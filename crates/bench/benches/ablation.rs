@@ -1,0 +1,81 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the firstprivate optimization (Section IV-D), update hoisting out of
+//! loop nests (Section IV-E / Algorithm 1), and the interprocedural
+//! analysis (Section IV-C).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_core::{DataflowOptions, OmpDart, OmpDartOptions};
+use ompdart_sim::{simulate_source, CostModel, SimConfig};
+use std::hint::black_box;
+
+fn profile_with(options: OmpDartOptions, bench_name: &str) -> (u64, u64, f64) {
+    let bench = ompdart_suite::by_name(bench_name).unwrap();
+    let tool = OmpDart::with_options(options);
+    let result = tool.transform_source("b.c", bench.unoptimized).unwrap();
+    let out = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+    let cost = CostModel::default();
+    (out.profile.total_calls(), out.profile.total_bytes(), out.profile.total_time(&cost))
+}
+
+fn bench(c: &mut Criterion) {
+    // Report the ablation effect once (calls / bytes / estimated time).
+    for (label, options, target) in [
+        ("default", OmpDartOptions::default(), "hotspot"),
+        (
+            "no-firstprivate",
+            OmpDartOptions {
+                dataflow: DataflowOptions { firstprivate_optimization: false, ..Default::default() },
+                ..OmpDartOptions::default()
+            },
+            "hotspot",
+        ),
+        ("default", OmpDartOptions::default(), "backprop"),
+        (
+            "no-update-hoisting",
+            OmpDartOptions {
+                dataflow: DataflowOptions { hoist_updates: false, ..Default::default() },
+                ..OmpDartOptions::default()
+            },
+            "backprop",
+        ),
+        ("default", OmpDartOptions::default(), "lulesh"),
+        (
+            "no-interprocedural",
+            OmpDartOptions { interprocedural: false, ..OmpDartOptions::default() },
+            "lulesh",
+        ),
+    ] {
+        let (calls, bytes, time) = profile_with(options, target);
+        eprintln!(
+            "ablation {target:<9} {label:<19} memcpy_calls={calls:<5} bytes={bytes:<9} est_time={:.3}ms",
+            time * 1e3
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation/analysis_time");
+    for (label, options) in [
+        ("default", OmpDartOptions::default()),
+        ("no-interprocedural", OmpDartOptions { interprocedural: false, ..OmpDartOptions::default() }),
+        (
+            "no-hoisting",
+            OmpDartOptions {
+                dataflow: DataflowOptions { hoist_updates: false, ..Default::default() },
+                ..OmpDartOptions::default()
+            },
+        ),
+    ] {
+        let bench = ompdart_suite::by_name("lulesh").unwrap();
+        group.bench_function(label, |b| {
+            let tool = OmpDart::with_options(options);
+            b.iter(|| black_box(tool.transform_source("lulesh.c", bench.unoptimized).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Regenerates Figure 3 (GPU data transfer activity in bytes for the
+//! Unoptimized / OMPDart / Expert variants) and benchmarks the simulation of
+//! a transfer-heavy benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_sim::{simulate_source, SimConfig};
+use ompdart_suite::experiment::{run_all, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let results = run_all(&config);
+    eprintln!("\n{}", ompdart_suite::report::figure3(&results));
+
+    let ace = ompdart_suite::by_name("ace").unwrap();
+    let transformed = results.iter().find(|r| r.name == "ace").unwrap().transformed_source.clone();
+    let mut group = c.benchmark_group("fig3/simulate_ace");
+    group.bench_function("unoptimized", |b| {
+        b.iter(|| black_box(simulate_source(ace.unoptimized, SimConfig::default()).unwrap()))
+    });
+    group.bench_function("ompdart", |b| {
+        b.iter(|| black_box(simulate_source(&transformed, SimConfig::default()).unwrap()))
+    });
+    group.bench_function("expert", |b| {
+        b.iter(|| black_box(simulate_source(ace.expert, SimConfig::default()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

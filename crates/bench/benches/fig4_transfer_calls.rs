@@ -1,0 +1,35 @@
+//! Regenerates Figure 4 (GPU data transfer activity in memcpy calls) and
+//! benchmarks the call-count-sensitive hotspot variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_sim::{simulate_source, SimConfig};
+use ompdart_suite::experiment::{run_all, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let results = run_all(&config);
+    eprintln!("\n{}", ompdart_suite::report::figure4(&results));
+
+    let hotspot = ompdart_suite::by_name("hotspot").unwrap();
+    let transformed =
+        results.iter().find(|r| r.name == "hotspot").unwrap().transformed_source.clone();
+    let mut group = c.benchmark_group("fig4/simulate_hotspot");
+    group.bench_function("unoptimized", |b| {
+        b.iter(|| black_box(simulate_source(hotspot.unoptimized, SimConfig::default()).unwrap()))
+    });
+    group.bench_function("ompdart", |b| {
+        b.iter(|| black_box(simulate_source(&transformed, SimConfig::default()).unwrap()))
+    });
+    group.bench_function("expert", |b| {
+        b.iter(|| black_box(simulate_source(hotspot.expert, SimConfig::default()).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates Figure 5 (speedups over the unoptimized offload code) and
+//! benchmarks one complete per-benchmark evaluation (transform + three
+//! simulations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_suite::experiment::{run_all, run_benchmark, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let results = run_all(&config);
+    eprintln!("\n{}", ompdart_suite::report::figure5(&results, &config.cost));
+
+    let xsbench = ompdart_suite::by_name("xsbench").unwrap();
+    c.bench_function("fig5/full_evaluation_xsbench", |b| {
+        b.iter(|| black_box(run_benchmark(black_box(&xsbench), &config).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Figure 6 (improvements in data-transfer wall time) and the
+//! Section VI geometric-mean summary, and benchmarks the accuracy benchmark
+//! whose transfer time dominates its runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_suite::experiment::{run_all, run_benchmark, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let results = run_all(&config);
+    eprintln!("\n{}", ompdart_suite::report::figure6(&results, &config.cost));
+    eprintln!("{}", ompdart_suite::report::summary(&results, &config.cost));
+
+    let accuracy = ompdart_suite::by_name("accuracy").unwrap();
+    c.bench_function("fig6/full_evaluation_accuracy", |b| {
+        b.iter(|| black_box(run_benchmark(black_box(&accuracy), &config).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Per-stage performance of the OMPDart pipeline on its largest input
+//! (lulesh): lexing+parsing, CFG/AST-CFG construction, the full analysis,
+//! and the offload simulation itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_core::OmpDart;
+use ompdart_frontend::parser::parse_str;
+use ompdart_frontend::diag::Diagnostics;
+use ompdart_graph::ProgramGraphs;
+use ompdart_sim::{simulate_source, SimConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let lulesh = ompdart_suite::by_name("lulesh").unwrap();
+    let src = lulesh.unoptimized;
+
+    c.bench_function("pipeline/parse_lulesh", |b| {
+        b.iter(|| black_box(parse_str("lulesh.c", black_box(src))))
+    });
+
+    let (_file, parsed) = parse_str("lulesh.c", src);
+    let unit = parsed.unit;
+    c.bench_function("pipeline/build_ast_cfg_lulesh", |b| {
+        b.iter(|| black_box(ProgramGraphs::build(black_box(&unit))))
+    });
+
+    c.bench_function("pipeline/analyze_lulesh", |b| {
+        let tool = OmpDart::new();
+        b.iter(|| {
+            let mut diags = Diagnostics::new();
+            black_box(tool.analyze_unit(black_box(&unit), &mut diags))
+        })
+    });
+
+    c.bench_function("pipeline/simulate_lulesh_unoptimized", |b| {
+        b.iter(|| black_box(simulate_source(black_box(src), SimConfig::default()).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

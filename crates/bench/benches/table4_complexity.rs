@@ -1,0 +1,25 @@
+//! Regenerates Table IV (benchmark data-mapping complexity) and benchmarks
+//! the complexity analysis itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the reproduced table once.
+    eprintln!("\n{}", ompdart_suite::report::table4());
+
+    let lulesh = ompdart_suite::by_name("lulesh").unwrap();
+    c.bench_function("table4/complexity_lulesh", |b| {
+        b.iter(|| black_box(ompdart_suite::complexity_of(black_box(&lulesh))))
+    });
+    c.bench_function("table4/complexity_all_benchmarks", |b| {
+        b.iter(|| black_box(ompdart_suite::table4_rows()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates Table V (OMPDart tool execution time): benchmarks the full
+//! analysis + rewrite pipeline on each of the nine benchmark inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ompdart_core::OmpDart;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tool = OmpDart::new();
+    let mut group = c.benchmark_group("table5/tool_overhead");
+    for bench in ompdart_suite::all_benchmarks() {
+        group.bench_with_input(BenchmarkId::from_parameter(bench.name), &bench, |b, bench| {
+            b.iter(|| {
+                black_box(
+                    tool.transform_source(&bench.unoptimized_file(), black_box(bench.unoptimized))
+                        .expect("transform failed"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

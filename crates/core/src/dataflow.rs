@@ -1,0 +1,1046 @@
+//! Host/device data-flow analysis and mapping decisions (Section IV-D).
+//!
+//! For every function that launches offload kernels the analysis:
+//!
+//! 1. determines the set of variables referenced inside kernels (the mapped
+//!    variables),
+//! 2. chooses the extent of the single per-function `target data` region —
+//!    from the first kernel to the last, extended outward past any loop that
+//!    captures them,
+//! 3. walks the function forward (the hybrid AST-CFG traversal), tracking in
+//!    which memory space each variable's data is currently valid; every true
+//!    (read-after-write) dependency between spaces is resolved by the
+//!    cheapest sufficient construct: a `map(to/from/tofrom/alloc:)` clause on
+//!    the region, a `target update to/from` hoisted as far out of loop nests
+//!    as data validity allows (Algorithm 1 / Section IV-E), or a
+//!    `firstprivate` clause for read-only scalars,
+//! 4. solves the exit-liveness problem: data written on the device and read
+//!    by the host after the region (or escaping through globals / pointer
+//!    parameters) is mapped `from`.
+
+use crate::access::{FunctionAccesses, SymbolTable};
+use crate::bounds::section_length_from_loops;
+use crate::mapping::{
+    FirstPrivateSpec, MapSpec, Placement, RegionPlan, UpdateDirection, UpdateSpec,
+};
+use ompdart_frontend::ast::*;
+use ompdart_frontend::diag::Diagnostics;
+use ompdart_frontend::omp::MapType;
+use ompdart_graph::{AstCfg, StmtIndex};
+use std::collections::{HashMap, HashSet};
+
+/// Tunable analysis options (used by the ablation studies).
+#[derive(Clone, Copy, Debug)]
+pub struct DataflowOptions {
+    /// Use `firstprivate` for read-only scalars instead of mapping them
+    /// (Section IV-D's specialized optimization).
+    pub firstprivate_optimization: bool,
+    /// Hoist `target update` directives out of loops that do not carry the
+    /// dependency (Section IV-E / Algorithm 1). Disabling this reproduces
+    /// the naive in-loop placement the paper reports as 14x slower on
+    /// backprop.
+    pub hoist_updates: bool,
+}
+
+impl Default for DataflowOptions {
+    fn default() -> Self {
+        DataflowOptions { firstprivate_optimization: true, hoist_updates: true }
+    }
+}
+
+/// Per-variable validity state during the forward traversal.
+#[derive(Clone, Debug)]
+struct VarState {
+    host_valid: bool,
+    dev_valid: bool,
+    /// True once the host has written the variable after region entry.
+    host_modified: bool,
+    last_host_writer: Option<NodeId>,
+    last_dev_writer: Option<NodeId>,
+}
+
+impl Default for VarState {
+    fn default() -> Self {
+        VarState {
+            host_valid: true,
+            dev_valid: false,
+            host_modified: false,
+            last_host_writer: None,
+            last_dev_writer: None,
+        }
+    }
+}
+
+/// Compute the mapping plan for one function. Returns `None` when the
+/// function launches no kernels.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_function(
+    unit: &TranslationUnit,
+    func: &FunctionDef,
+    graph: &AstCfg,
+    accesses: &FunctionAccesses,
+    symbols: &SymbolTable,
+    options: &DataflowOptions,
+    diags: &mut Diagnostics,
+) -> Option<RegionPlan> {
+    let index = &graph.index;
+    let kernels: Vec<NodeId> = index.kernels().to_vec();
+    if kernels.is_empty() {
+        return None;
+    }
+    let body = func.body.as_ref()?;
+
+    // ----- mapped variable set ---------------------------------------------
+    let decl_stmts = local_decl_stmts(body);
+    let kernel_local = kernel_local_decl_names(body, index);
+    let kernel_private = clause_private_vars(body);
+    let mut device_vars: Vec<String> = Vec::new();
+    for var in accesses.device_vars() {
+        if symbols.type_of(&var).is_none() {
+            continue; // macro constants and unknown identifiers
+        }
+        if kernel_private.contains(&var) {
+            continue; // reduction/private clauses own the data movement
+        }
+        if kernel_local.contains(&var) {
+            continue; // declared inside a kernel: device-local
+        }
+        device_vars.push(var);
+    }
+
+    // firstprivate optimization: read-only scalars become kernel arguments.
+    let mut firstprivate_vars: Vec<String> = Vec::new();
+    let mut mapped_vars: Vec<String> = Vec::new();
+    for var in &device_vars {
+        let scalar = symbols.is_scalar(var);
+        if scalar && accesses.device_read_only(var) && options.firstprivate_optimization {
+            firstprivate_vars.push(var.clone());
+        } else {
+            mapped_vars.push(var.clone());
+        }
+    }
+
+    // ----- region extent ----------------------------------------------------
+    let first_anchor = outermost_loop_or_self(index, kernels[0]);
+    let last_anchor = outermost_loop_or_self(index, *kernels.last().unwrap());
+    let (region_start, region_end) = align_to_common_parent(index, first_anchor, last_anchor);
+    let attach_to_kernel = if kernels.len() == 1 && region_start == kernels[0] && region_end == kernels[0]
+    {
+        Some(kernels[0])
+    } else {
+        None
+    };
+
+    // Declarations of mapped variables must precede the region start.
+    if attach_to_kernel.is_none() {
+        let region_info = index.info(region_start);
+        for var in &mapped_vars {
+            if let (Some(decl), Some(region_info)) = (decl_stmts.get(var), region_info) {
+                if let Some(decl_info) = index.info(*decl) {
+                    if decl_info.order >= region_info.order {
+                        diags.error(
+                            decl_info.span,
+                            format!(
+                                "declaration of `{var}` must be moved before the start of the \
+                                 target data region in `{}` so OMPDart can map it",
+                                func.name
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- forward traversal -----------------------------------------------
+    let loop_map = loop_stmt_map(body);
+    let mut walker = Walker {
+        accesses,
+        index,
+        options,
+        mapped: mapped_vars.iter().cloned().collect(),
+        state: mapped_vars.iter().map(|v| (v.clone(), VarState::default())).collect(),
+        loop_stack: Vec::new(),
+        to_entry: HashSet::new(),
+        from_exit: HashSet::new(),
+        updates: Vec::new(),
+        seen_updates: HashSet::new(),
+        region_start,
+        region_end,
+        region_entered: false,
+        past_region: false,
+        cond_depth: 0,
+    };
+    walker.walk_stmt(body);
+
+    // Exit liveness: device-written data that escapes must be copied back.
+    for var in &mapped_vars {
+        let st = &walker.state[var];
+        if !st.host_valid && symbols.escapes(var) {
+            walker.from_exit.insert(var.clone());
+        }
+    }
+
+    // ----- assemble the plan --------------------------------------------------
+    let to_entry = walker.to_entry.clone();
+    let from_exit = walker.from_exit.clone();
+    let updates_raw = walker.updates.clone();
+
+    let mut plan = RegionPlan {
+        function: func.name.clone(),
+        region_start: Some(region_start),
+        region_end: Some(region_end),
+        attach_to_kernel,
+        kernels: kernels.clone(),
+        ..Default::default()
+    };
+
+    for var in &mapped_vars {
+        let to = to_entry.contains(var);
+        let from = from_exit.contains(var);
+        let map_type = match (to, from) {
+            (true, true) => MapType::ToFrom,
+            (true, false) => MapType::To,
+            (false, true) => MapType::From,
+            (false, false) => MapType::Alloc,
+        };
+        let section_length = if symbols.is_pointer(var) {
+            pointer_section_length(var, accesses, index, &loop_map)
+        } else {
+            None
+        };
+        plan.maps.push(MapSpec { var: var.clone(), map_type, section_length });
+    }
+
+    for (var, direction, anchor, placement) in updates_raw {
+        let section_length = if symbols.is_pointer(&var) {
+            pointer_section_length(&var, accesses, index, &loop_map)
+        } else {
+            None
+        };
+        plan.updates.push(UpdateSpec { var, direction, anchor, placement, section_length });
+    }
+
+    // firstprivate clauses, one per kernel that references the scalar.
+    for var in &firstprivate_vars {
+        for kernel in &kernels {
+            let referenced = accesses
+                .accesses
+                .iter()
+                .any(|a| a.var == *var && a.on_device && enclosing_kernel(index, a.stmt) == Some(*kernel));
+            if referenced {
+                plan.firstprivate.push(FirstPrivateSpec { kernel: *kernel, var: var.clone() });
+            }
+        }
+    }
+
+    let _ = unit;
+    Some(plan)
+}
+
+/// The outermost loop enclosing a statement, or the statement itself.
+fn outermost_loop_or_self(index: &StmtIndex, stmt: NodeId) -> NodeId {
+    index.enclosing_loops(stmt).first().copied().unwrap_or(stmt)
+}
+
+/// Lift two anchors to direct children of their lowest common compound
+/// ancestor so that the inserted region braces stay syntactically balanced.
+fn align_to_common_parent(index: &StmtIndex, a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a == b {
+        return (a, b);
+    }
+    let chain = |mut id: NodeId| {
+        let mut out = vec![id];
+        while let Some(info) = index.info(id) {
+            match info.parent {
+                Some(p) => {
+                    out.push(p);
+                    id = p;
+                }
+                None => break,
+            }
+        }
+        out
+    };
+    let chain_a = chain(a);
+    let chain_b = chain(b);
+    let set_b: HashSet<NodeId> = chain_b.iter().copied().collect();
+    // Deepest ancestor of `a` that also encloses `b`.
+    let lca = chain_a.iter().find(|id| set_b.contains(id)).copied();
+    let Some(lca) = lca else { return (a, b) };
+    let child_of_lca = |chain: &[NodeId]| {
+        let pos = chain.iter().position(|id| *id == lca).unwrap_or(0);
+        if pos == 0 {
+            lca
+        } else {
+            chain[pos - 1]
+        }
+    };
+    (child_of_lca(&chain_a), child_of_lca(&chain_b))
+}
+
+/// Names declared anywhere inside an offload kernel (loop counters and
+/// temporaries); these are device-local and never mapped.
+fn kernel_local_decl_names(body: &Stmt, index: &StmtIndex) -> HashSet<String> {
+    let mut out = HashSet::new();
+    body.walk(&mut |s| {
+        let offloaded = index.info(s.id).map(|i| i.offloaded).unwrap_or(false);
+        if !offloaded {
+            return;
+        }
+        let decls: Vec<&VarDecl> = match &s.kind {
+            StmtKind::Decl(d) => d.iter().collect(),
+            StmtKind::For { init: Some(fi), .. } => match fi.as_ref() {
+                ForInit::Decl(d) => d.iter().collect(),
+                _ => Vec::new(),
+            },
+            _ => Vec::new(),
+        };
+        for d in decls {
+            out.insert(d.name.clone());
+        }
+    });
+    out
+}
+
+/// Map from variable name to the statement where it is locally declared.
+fn local_decl_stmts(body: &Stmt) -> HashMap<String, NodeId> {
+    let mut out = HashMap::new();
+    body.walk(&mut |s| {
+        let decls: Vec<&VarDecl> = match &s.kind {
+            StmtKind::Decl(d) => d.iter().collect(),
+            StmtKind::For { init: Some(fi), .. } => match fi.as_ref() {
+                ForInit::Decl(d) => d.iter().collect(),
+                _ => Vec::new(),
+            },
+            _ => Vec::new(),
+        };
+        for d in decls {
+            out.entry(d.name.clone()).or_insert(s.id);
+        }
+    });
+    out
+}
+
+/// Variables named in `reduction` or `private` clauses of kernels; their
+/// data movement is owned by those clauses.
+fn clause_private_vars(body: &Stmt) -> HashSet<String> {
+    let mut out = HashSet::new();
+    body.walk(&mut |s| {
+        if let StmtKind::Omp(dir) = &s.kind {
+            for v in dir.reduction_vars() {
+                out.insert(v.to_string());
+            }
+            for v in dir.private_vars() {
+                out.insert(v.to_string());
+            }
+        }
+    });
+    out
+}
+
+/// Map from statement id to the loop statement AST node, for every loop.
+fn loop_stmt_map(body: &Stmt) -> HashMap<NodeId, Stmt> {
+    let mut out = HashMap::new();
+    body.walk(&mut |s| {
+        if s.is_loop() {
+            out.insert(s.id, s.clone());
+        }
+    });
+    out
+}
+
+fn enclosing_kernel(index: &StmtIndex, stmt: NodeId) -> Option<NodeId> {
+    index.info(stmt).and_then(|i| i.enclosing_kernel)
+}
+
+/// Determine an array-section length for a pointer variable from its device
+/// access patterns (Section IV-E bounds analysis).
+fn pointer_section_length(
+    var: &str,
+    accesses: &FunctionAccesses,
+    index: &StmtIndex,
+    loop_map: &HashMap<NodeId, Stmt>,
+) -> Option<String> {
+    for access in accesses.accesses.iter().filter(|a| a.var == var && a.on_device) {
+        if access.indices.is_empty() {
+            continue;
+        }
+        let loops: Vec<(NodeId, &Stmt)> = index
+            .enclosing_loops(access.stmt)
+            .iter()
+            .filter_map(|id| loop_map.get(id).map(|s| (*id, s)))
+            .collect();
+        if let Some(len) = section_length_from_loops(&access.indices, &loops) {
+            return Some(len);
+        }
+    }
+    None
+}
+
+struct Walker<'a> {
+    accesses: &'a FunctionAccesses,
+    index: &'a StmtIndex,
+    options: &'a DataflowOptions,
+    mapped: HashSet<String>,
+    state: HashMap<String, VarState>,
+    loop_stack: Vec<NodeId>,
+    to_entry: HashSet<String>,
+    from_exit: HashSet<String>,
+    updates: Vec<(String, UpdateDirection, NodeId, Placement)>,
+    seen_updates: HashSet<(String, UpdateDirection, NodeId, Placement)>,
+    region_start: NodeId,
+    region_end: NodeId,
+    region_entered: bool,
+    past_region: bool,
+    /// Depth of enclosing `if`/`switch` statements during the walk; writes
+    /// performed under a condition may leave part of the destination stale,
+    /// so they require the target space to hold current data beforehand.
+    cond_depth: usize,
+}
+
+impl Walker<'_> {
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        if stmt.id == self.region_start && !self.region_entered {
+            self.region_entered = true;
+            for st in self.state.values_mut() {
+                st.host_modified = false;
+            }
+        }
+        match &stmt.kind {
+            StmtKind::Compound(items) => {
+                for s in items {
+                    self.walk_stmt(s);
+                }
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                self.process_accesses(stmt, None);
+                let before = self.state.clone();
+                self.cond_depth += 1;
+                self.walk_stmt(then_branch);
+                let after_then = std::mem::replace(&mut self.state, before);
+                if let Some(e) = else_branch {
+                    self.walk_stmt(e);
+                }
+                self.cond_depth -= 1;
+                let after_else = self.state.clone();
+                self.state = merge_states(&after_then, &after_else);
+            }
+            StmtKind::While { body, .. } | StmtKind::DoWhile { body, .. } => {
+                self.walk_loop(stmt, body);
+            }
+            StmtKind::For { body, .. } => {
+                self.walk_loop(stmt, body);
+            }
+            StmtKind::Switch { body, .. } => {
+                self.process_accesses(stmt, None);
+                self.cond_depth += 1;
+                self.walk_stmt(body);
+                self.cond_depth -= 1;
+            }
+            StmtKind::Omp(dir) => {
+                self.process_accesses(stmt, None);
+                if let Some(body) = &dir.body {
+                    self.walk_stmt(body);
+                }
+            }
+            _ => {
+                self.process_accesses(stmt, None);
+            }
+        }
+        if stmt.id == self.region_end {
+            self.past_region = true;
+        }
+    }
+
+    fn walk_loop(&mut self, loop_stmt: &Stmt, body: &Stmt) {
+        // Condition / init evaluated once before the first iteration.
+        self.process_accesses(loop_stmt, None);
+        // Two passes over the body expose loop-carried cross-space
+        // dependencies (the second pass starts from the state the first one
+        // produced).
+        for _ in 0..2 {
+            self.loop_stack.push(loop_stmt.id);
+            self.walk_stmt(body);
+            // Condition / increment re-evaluated at the end of each
+            // iteration: dependencies found here must be satisfied at the end
+            // of the loop body (Section IV-F rewriter rules).
+            self.process_accesses(loop_stmt, Some((loop_stmt.id, last_body_stmt(body))));
+            self.loop_stack.pop();
+        }
+    }
+
+    /// Process the accesses attributed directly to `stmt`. When
+    /// `loop_cond` is set, the accesses come from a loop condition
+    /// re-evaluation and dependency fixes anchor to the end of the loop body.
+    fn process_accesses(&mut self, stmt: &Stmt, loop_cond: Option<(NodeId, NodeId)>) {
+        let list: Vec<_> = self
+            .accesses
+            .for_stmt(stmt.id)
+            .into_iter()
+            .cloned()
+            .collect();
+        for access in list {
+            if !self.mapped.contains(&access.var) {
+                continue;
+            }
+            if access.kind.may_read() {
+                self.handle_read(&access.var, access.on_device, access.stmt, loop_cond);
+            }
+            if access.kind.may_write() {
+                // A write under a condition (or to a single element) may leave
+                // the rest of the destination holding old data, so the target
+                // space must be current before the write.
+                let stale_target = self
+                    .state
+                    .get(&access.var)
+                    .map(|s| if access.on_device { !s.dev_valid } else { !s.host_valid })
+                    .unwrap_or(false);
+                if self.cond_depth > 0 && stale_target && !access.kind.may_read() {
+                    self.handle_read(&access.var, access.on_device, access.stmt, loop_cond);
+                }
+                self.handle_write(&access.var, access.on_device, access.stmt);
+            }
+        }
+    }
+
+    fn handle_read(
+        &mut self,
+        var: &str,
+        on_device: bool,
+        stmt: NodeId,
+        loop_cond: Option<(NodeId, NodeId)>,
+    ) {
+        let st = self.state.get(var).cloned().unwrap_or_default();
+        if on_device {
+            if st.dev_valid {
+                return;
+            }
+            // True dependency: device needs data valid on the host.
+            if !st.host_modified {
+                // Satisfiable by copying at region entry.
+                self.to_entry.insert(var.to_string());
+            } else {
+                // Needs an update inside the region, placed before the kernel
+                // that performs the read and hoisted as far as validity
+                // allows.
+                let kernel = enclosing_kernel(self.index, stmt).unwrap_or(stmt);
+                let anchor = self.hoist_anchor(kernel, st.last_host_writer);
+                self.push_update(var, UpdateDirection::To, anchor, Placement::Before);
+            }
+            if let Some(s) = self.state.get_mut(var) {
+                s.dev_valid = true;
+            }
+        } else {
+            if st.host_valid {
+                return;
+            }
+            if self.past_region {
+                self.from_exit.insert(var.to_string());
+            } else if let Some((_loop_id, body_end)) = loop_cond {
+                // Loop-condition read of device-produced data: update at the
+                // end of the loop body.
+                self.push_update(var, UpdateDirection::From, body_end, Placement::After);
+            } else {
+                let anchor = self.hoist_anchor(stmt, st.last_dev_writer);
+                self.push_update(var, UpdateDirection::From, anchor, Placement::Before);
+            }
+            if let Some(s) = self.state.get_mut(var) {
+                s.host_valid = true;
+            }
+        }
+    }
+
+    fn handle_write(&mut self, var: &str, on_device: bool, stmt: NodeId) {
+        let region_entered = self.region_entered;
+        if let Some(s) = self.state.get_mut(var) {
+            if on_device {
+                s.dev_valid = true;
+                s.host_valid = false;
+                s.last_dev_writer = Some(stmt);
+            } else {
+                s.host_valid = true;
+                s.dev_valid = false;
+                s.last_host_writer = Some(stmt);
+                if region_entered {
+                    s.host_modified = true;
+                }
+            }
+        }
+    }
+
+    /// Hoist an update directive out of every enclosing loop that does not
+    /// contain the statement that produced the needed data.
+    fn hoist_anchor(&self, need_at: NodeId, producer: Option<NodeId>) -> NodeId {
+        if !self.options.hoist_updates {
+            return need_at;
+        }
+        let producer_loops: HashSet<NodeId> = producer
+            .map(|p| self.index.enclosing_loops(p).iter().copied().collect())
+            .unwrap_or_default();
+        // Enclosing loops of the need, outermost first; hoist to the
+        // outermost loop on the current walk stack that does not contain the
+        // producer.
+        for loop_id in self.index.enclosing_loops(need_at) {
+            if !self.loop_stack.contains(loop_id) {
+                // A loop that encloses the need in the AST but is not on the
+                // dynamic walk stack cannot happen for structured code; skip
+                // defensively.
+                continue;
+            }
+            if producer_loops.contains(loop_id) {
+                continue;
+            }
+            return *loop_id;
+        }
+        need_at
+    }
+
+    fn push_update(
+        &mut self,
+        var: &str,
+        direction: UpdateDirection,
+        anchor: NodeId,
+        placement: Placement,
+    ) {
+        let key = (var.to_string(), direction, anchor, placement);
+        if self.seen_updates.insert(key.clone()) {
+            self.updates.push(key);
+        }
+    }
+}
+
+fn merge_states(a: &HashMap<String, VarState>, b: &HashMap<String, VarState>) -> HashMap<String, VarState> {
+    let mut out = HashMap::new();
+    for (var, sa) in a {
+        let sb = b.get(var).cloned().unwrap_or_default();
+        out.insert(
+            var.clone(),
+            VarState {
+                host_valid: sa.host_valid && sb.host_valid,
+                dev_valid: sa.dev_valid && sb.dev_valid,
+                host_modified: sa.host_modified || sb.host_modified,
+                last_host_writer: sa.last_host_writer.or(sb.last_host_writer),
+                last_dev_writer: sa.last_dev_writer.or(sb.last_dev_writer),
+            },
+        );
+    }
+    out
+}
+
+/// The last direct child statement of a loop body (used as the anchor for
+/// end-of-body update placement).
+fn last_body_stmt(body: &Stmt) -> NodeId {
+    match &body.kind {
+        StmtKind::Compound(items) => items.last().map(|s| s.id).unwrap_or(body.id),
+        _ => body.id,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{FunctionAccesses, SymbolTable};
+    use crate::interproc::{augment_with_call_effects, ProgramSummaries};
+    use ompdart_frontend::parser::parse_str;
+    use ompdart_graph::ProgramGraphs;
+
+    fn plan_for(src: &str, func_name: &str) -> (RegionPlan, ompdart_frontend::TranslationUnit) {
+        plan_with_options(src, func_name, DataflowOptions::default())
+    }
+
+    fn plan_with_options(
+        src: &str,
+        func_name: &str,
+        options: DataflowOptions,
+    ) -> (RegionPlan, ompdart_frontend::TranslationUnit) {
+        let (_file, result) = parse_str("t.c", src);
+        assert!(result.is_ok(), "{:?}", result.diagnostics);
+        let unit = result.unit;
+        let graphs = ProgramGraphs::build(&unit);
+        let mut all_acc = HashMap::new();
+        let mut all_sym = HashMap::new();
+        for f in unit.functions() {
+            let sym = SymbolTable::build(&unit, f);
+            let g = graphs.function(&f.name).unwrap();
+            all_acc.insert(f.name.clone(), FunctionAccesses::collect(f, &g.index, &sym));
+            all_sym.insert(f.name.clone(), sym);
+        }
+        let summaries = ProgramSummaries::compute(&unit, &all_acc, &all_sym, 8);
+        let func = unit.function(func_name).unwrap();
+        let mut acc = all_acc.get(func_name).unwrap().clone();
+        augment_with_call_effects(&mut acc, &unit, &summaries);
+        let mut diags = Diagnostics::new();
+        let plan = plan_function(
+            &unit,
+            func,
+            graphs.function(func_name).unwrap(),
+            &acc,
+            all_sym.get(func_name).unwrap(),
+            &options,
+            &mut diags,
+        )
+        .expect("function should produce a plan");
+        (plan, unit)
+    }
+
+    /// Listing 1 of the paper: a kernel nested inside a loop. The region must
+    /// extend outside the loop and map the array once.
+    #[test]
+    fn kernel_in_loop_maps_outside_the_loop() {
+        let src = "\
+#define N 64
+int a[N];
+int main() {
+  for (int i = 0; i < N; ++i) {
+    #pragma omp target
+    for (int j = 0; j < N; ++j) {
+      a[j] += j;
+    }
+  }
+  return a[0];
+}
+";
+        let (plan, _unit) = plan_for(src, "main");
+        assert!(plan.attach_to_kernel.is_none(), "region must wrap the outer loop");
+        let a = plan.map_for("a").unwrap();
+        assert_eq!(a.map_type, MapType::ToFrom);
+        assert!(plan.updates.is_empty(), "no in-loop updates are needed: {:?}", plan.updates);
+        // The region starts at the outer loop, not the kernel.
+        assert_ne!(plan.region_start, Some(plan.kernels[0]));
+    }
+
+    /// Listing 2 of the paper: two consecutive kernels; no intermediate
+    /// transfers are needed.
+    #[test]
+    fn back_to_back_kernels_share_one_region() {
+        let src = "\
+#define N 64
+int a[N];
+int main() {
+  #pragma omp target
+  for (int i = 0; i < N; ++i) a[i] += i;
+  #pragma omp target
+  for (int i = 0; i < N; ++i) a[i] *= i;
+  return a[1];
+}
+";
+        let (plan, _unit) = plan_for(src, "main");
+        assert_eq!(plan.kernels.len(), 2);
+        assert!(plan.attach_to_kernel.is_none());
+        assert_eq!(plan.map_for("a").unwrap().map_type, MapType::ToFrom);
+        assert!(plan.updates.is_empty());
+    }
+
+    /// Listing 3 of the paper, written correctly: the host reads the array
+    /// every iteration, so an `update from` inside the loop is required.
+    #[test]
+    fn host_read_in_loop_requires_update_from() {
+        let src = "\
+#define N 64
+#define M 8
+int a[N];
+int main() {
+  int sum = 0;
+  for (int i = 0; i < M; ++i) {
+    #pragma omp target
+    for (int j = 0; j < N; ++j) {
+      a[j] += j;
+    }
+    for (int j = 0; j < N; ++j) {
+      sum += a[j];
+    }
+  }
+  return sum;
+}
+";
+        let (plan, _unit) = plan_for(src, "main");
+        let updates = plan.updates_for("a");
+        assert_eq!(updates.len(), 1, "expected exactly one update: {:?}", plan.updates);
+        assert_eq!(updates[0].direction, UpdateDirection::From);
+        // Hoisted out of the inner summation loop but kept inside the outer
+        // iteration loop (which also contains the kernel).
+        assert_eq!(updates[0].placement, Placement::Before);
+        // `a` must not be mapped `from` twice: the region map can stay `to`
+        // (host never needs it after the loop) — or tofrom if escapes; here
+        // `a` is a global so it is also copied out at region exit.
+        assert!(plan.map_for("a").is_some());
+    }
+
+    /// The backprop / Listing 6 pattern: host reduction between two kernels;
+    /// the update from must be hoisted out of both host loops.
+    #[test]
+    fn update_hoisted_out_of_nested_host_loops() {
+        let src = "\
+#define NB 16
+#define HID 8
+double partial_sum[NB * HID];
+double hidden_units[HID + 1];
+double weights[NB * HID];
+void forward(int hid, int num_blocks) {
+  #pragma omp target teams distribute parallel for
+  for (int t = 0; t < NB * HID; t++) {
+    partial_sum[t] = t * 0.5;
+  }
+  for (int j = 1; j <= hid; j++) {
+    double sum = 0.0;
+    for (int k = 0; k < num_blocks; k++) {
+      sum += partial_sum[k * hid + j - 1];
+    }
+    hidden_units[j] = sum;
+  }
+  #pragma omp target teams distribute parallel for
+  for (int t = 0; t < NB * HID; t++) {
+    weights[t] = weights[t] + partial_sum[t];
+  }
+}
+";
+        let (plan, unit) = plan_for(src, "forward");
+        let updates = plan.updates_for("partial_sum");
+        assert_eq!(updates.len(), 1, "expected one hoisted update: {:?}", plan.updates);
+        assert_eq!(updates[0].direction, UpdateDirection::From);
+        // The anchor must be the outer (j) host loop, not the inner k loop
+        // and not the summation statement.
+        let func = unit.function("forward").unwrap();
+        let mut j_loop = None;
+        func.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::For { init: Some(fi), .. } = &s.kind {
+                if let ForInit::Decl(decls) = fi.as_ref() {
+                    if decls[0].name == "j" {
+                        j_loop = Some(s.id);
+                    }
+                }
+            }
+        });
+        assert_eq!(updates[0].anchor, j_loop.unwrap());
+        // partial_sum never needs to come from the host: alloc (or from) only.
+        let ps = plan.map_for("partial_sum").unwrap();
+        assert_ne!(ps.map_type, MapType::To);
+        assert_ne!(ps.map_type, MapType::ToFrom);
+    }
+
+    /// Without hoisting (ablation), the update lands at the innermost access.
+    #[test]
+    fn hoisting_can_be_disabled() {
+        let src = "\
+#define NB 16
+#define HID 8
+double partial_sum[NB * HID];
+double hidden_units[HID + 1];
+void forward(int hid, int num_blocks) {
+  #pragma omp target teams distribute parallel for
+  for (int t = 0; t < NB * HID; t++) partial_sum[t] = t * 0.5;
+  for (int j = 1; j <= hid; j++) {
+    for (int k = 0; k < num_blocks; k++) {
+      hidden_units[j] += partial_sum[k * hid + j - 1];
+    }
+  }
+  #pragma omp target teams distribute parallel for
+  for (int t = 0; t < NB * HID; t++) partial_sum[t] += 1.0;
+}
+";
+        let (hoisted, _) = plan_for(src, "forward");
+        let (unhoisted, _) = plan_with_options(
+            src,
+            "forward",
+            DataflowOptions { hoist_updates: false, ..Default::default() },
+        );
+        let h = hoisted.updates_for("partial_sum");
+        let u = unhoisted.updates_for("partial_sum");
+        assert_eq!(h.len(), 1);
+        assert!(!u.is_empty());
+        assert_ne!(h[0].anchor, u[0].anchor, "hoisting must change the anchor");
+    }
+
+    /// Read-only scalars become firstprivate; scalars written on the device
+    /// (bfs's stop flag) are mapped and synchronized with updates.
+    #[test]
+    fn firstprivate_and_device_written_scalars() {
+        let src = "\
+#define N 128
+int mask[N];
+int cost[N];
+int main() {
+  int stop = 1;
+  int threshold = 7;
+  while (stop) {
+    stop = 0;
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) {
+      if (mask[i] > threshold) {
+        cost[i] = mask[i];
+        stop = 1;
+      }
+    }
+  }
+  return cost[0];
+}
+";
+        let (plan, _unit) = plan_for(src, "main");
+        // threshold: read-only scalar -> firstprivate
+        assert!(plan.is_firstprivate("threshold"));
+        assert!(plan.map_for("threshold").is_none());
+        // stop: written on device -> mapped, with to+from updates in the loop
+        assert!(plan.map_for("stop").is_some());
+        let stop_updates = plan.updates_for("stop");
+        assert!(
+            stop_updates.iter().any(|u| u.direction == UpdateDirection::To),
+            "stop needs an update to before the kernel: {:?}",
+            plan.updates
+        );
+        assert!(
+            stop_updates.iter().any(|u| u.direction == UpdateDirection::From),
+            "stop needs an update from after the kernel: {:?}",
+            plan.updates
+        );
+    }
+
+    /// The firstprivate optimization can be disabled (ablation), in which
+    /// case read-only scalars are mapped instead.
+    #[test]
+    fn firstprivate_optimization_toggle() {
+        let src = "\
+#define N 32
+double a[N];
+void f(double scale) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) a[i] = scale * i;
+}
+";
+        let (with_fp, _) = plan_for(src, "f");
+        assert!(with_fp.is_firstprivate("scale"));
+        let (without_fp, _) = plan_with_options(
+            src,
+            "f",
+            DataflowOptions { firstprivate_optimization: false, ..Default::default() },
+        );
+        assert!(!without_fp.is_firstprivate("scale"));
+        assert!(without_fp.map_for("scale").is_some());
+    }
+
+    /// Arrays only written on the device and read back on the host afterwards
+    /// need `from`; arrays fully produced on the device need no `to`.
+    #[test]
+    fn map_types_reflect_data_direction() {
+        let src = "\
+#define N 64
+double input[N];
+double output[N];
+double scratch[N];
+int main() {
+  for (int i = 0; i < N; i++) input[i] = i;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) {
+    scratch[i] = input[i] * 2.0;
+    output[i] = scratch[i] + 1.0;
+  }
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s += output[i];
+  printf(\"%f\\n\", s);
+  return 0;
+}
+";
+        let (plan, _unit) = plan_for(src, "main");
+        assert_eq!(plan.map_for("input").unwrap().map_type, MapType::To);
+        assert_eq!(plan.map_for("output").unwrap().map_type, MapType::From);
+        // scratch is written before being read on the device and never read
+        // on the host: alloc is enough... but as a global it escapes, so a
+        // conservative `from` is also acceptable. It must not be `to`.
+        let scratch = plan.map_for("scratch").unwrap().map_type;
+        assert!(scratch == MapType::Alloc || scratch == MapType::From);
+    }
+
+    /// A single kernel with no enclosing loop attaches its clauses directly
+    /// to the kernel directive.
+    #[test]
+    fn single_kernel_attaches_clauses() {
+        let src = "\
+#define N 16
+double a[N];
+void f() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) a[i] = i;
+}
+";
+        let (plan, _unit) = plan_for(src, "f");
+        assert_eq!(plan.attach_to_kernel, Some(plan.kernels[0]));
+    }
+
+    /// Pointer parameters get array sections derived from the kernel loop
+    /// bounds.
+    #[test]
+    fn pointer_parameters_get_sections() {
+        let src = "\
+void scale(double *data, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; i++) data[i] *= 2.0;
+}
+";
+        let (plan, _unit) = plan_for(src, "scale");
+        let m = plan.map_for("data").unwrap();
+        assert_eq!(m.section_length.as_deref(), Some("n"));
+        // data escapes through the pointer parameter, so the device result
+        // must be copied back.
+        assert_eq!(m.map_type, MapType::ToFrom);
+    }
+
+    /// Variables declared after the region start produce the paper's
+    /// diagnostic.
+    #[test]
+    fn declaration_after_region_start_is_reported() {
+        let src = "\
+#define N 16
+int main() {
+  for (int it = 0; it < 4; it++) {
+    double a[N];
+    #pragma omp target
+    for (int i = 0; i < N; i++) a[i] = i;
+    double s = 0.0;
+    for (int i = 0; i < N; i++) s += a[i];
+    printf(\"%f\\n\", s);
+  }
+  return 0;
+}
+";
+        let (_file, result) = parse_str("t.c", src);
+        let unit = result.unit;
+        let graphs = ProgramGraphs::build(&unit);
+        let func = unit.function("main").unwrap();
+        let sym = SymbolTable::build(&unit, func);
+        let acc = FunctionAccesses::collect(func, &graphs.function("main").unwrap().index, &sym);
+        let mut diags = Diagnostics::new();
+        let _ = plan_function(
+            &unit,
+            func,
+            graphs.function("main").unwrap(),
+            &acc,
+            &sym,
+            &DataflowOptions::default(),
+            &mut diags,
+        );
+        assert!(diags.has_errors(), "expected the declaration-placement error");
+    }
+
+    /// Functions without kernels produce no plan.
+    #[test]
+    fn no_kernels_no_plan() {
+        let src = "int add(int a, int b) { return a + b; }\n";
+        let (_file, result) = parse_str("t.c", src);
+        let unit = result.unit;
+        let graphs = ProgramGraphs::build(&unit);
+        let func = unit.function("add").unwrap();
+        let sym = SymbolTable::build(&unit, func);
+        let acc = FunctionAccesses::collect(func, &graphs.function("add").unwrap().index, &sym);
+        let mut diags = Diagnostics::new();
+        let plan = plan_function(
+            &unit,
+            func,
+            graphs.function("add").unwrap(),
+            &acc,
+            &sym,
+            &DataflowOptions::default(),
+            &mut diags,
+        );
+        assert!(plan.is_none());
+    }
+}

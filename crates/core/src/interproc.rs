@@ -1,0 +1,504 @@
+//! Interprocedural side-effect analysis (Section IV-C of the paper).
+//!
+//! For every function the analysis summarizes how it accesses data visible
+//! to its callers: data reached through pointer parameters and global
+//! variables, split by whether the access happens on the host or inside an
+//! offloaded region. Summaries are propagated through call sites with a
+//! fixed-point iteration bounded by the maximum call depth (with early
+//! termination once a pass makes no changes), and call sites are then
+//! augmented with *maximally pessimistic* assumptions for callees whose
+//! definitions are not visible (external translation units), exactly as the
+//! paper prescribes: `const` pointer parameters are assumed read-only, other
+//! pointers read-write.
+
+use crate::access::{Access, AccessKind, CallSite, FunctionAccesses, SymbolTable};
+use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
+use std::collections::HashMap;
+
+/// The effect of a function on one externally visible datum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Effect {
+    pub host_read: bool,
+    pub host_write: bool,
+    pub device_read: bool,
+    pub device_write: bool,
+}
+
+impl Effect {
+    /// True if no access was recorded.
+    pub fn is_empty(&self) -> bool {
+        !(self.host_read || self.host_write || self.device_read || self.device_write)
+    }
+
+    /// Merge another effect into this one; returns true if anything changed.
+    pub fn merge(&mut self, other: Effect) -> bool {
+        let before = *self;
+        self.host_read |= other.host_read;
+        self.host_write |= other.host_write;
+        self.device_read |= other.device_read;
+        self.device_write |= other.device_write;
+        *self != before
+    }
+
+    /// Record a single access.
+    pub fn record(&mut self, kind: AccessKind, on_device: bool) -> bool {
+        let mut add = Effect::default();
+        if kind.may_read() {
+            if on_device {
+                add.device_read = true;
+            } else {
+                add.host_read = true;
+            }
+        }
+        if kind.may_write() {
+            if on_device {
+                add.device_write = true;
+            } else {
+                add.host_write = true;
+            }
+        }
+        self.merge(add)
+    }
+
+    /// Convert to the access kinds this effect implies, as (host, device).
+    pub fn as_access_kinds(&self) -> (Option<AccessKind>, Option<AccessKind>) {
+        let combine = |read: bool, write: bool| match (read, write) {
+            (false, false) => None,
+            (true, false) => Some(AccessKind::Read),
+            (false, true) => Some(AccessKind::Write),
+            (true, true) => Some(AccessKind::ReadWrite),
+        };
+        (
+            combine(self.host_read, self.host_write),
+            combine(self.device_read, self.device_write),
+        )
+    }
+
+    /// The maximally pessimistic effect (read + write on the host).
+    pub fn pessimistic_host() -> Effect {
+        Effect { host_read: true, host_write: true, ..Default::default() }
+    }
+
+    /// A host read-only effect (used for `const` pointer parameters).
+    pub fn read_only_host() -> Effect {
+        Effect { host_read: true, ..Default::default() }
+    }
+}
+
+/// Summary of one function's externally visible effects.
+#[derive(Clone, Debug, Default)]
+pub struct FunctionSummary {
+    pub name: String,
+    /// Effect on the data reached through each pointer/array parameter,
+    /// indexed by parameter position.
+    pub param_effects: Vec<Effect>,
+    /// Effect on each global variable.
+    pub global_effects: HashMap<String, Effect>,
+    /// True if the function (transitively) launches offload kernels.
+    pub has_kernels: bool,
+}
+
+/// Summaries for every function definition in the translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramSummaries {
+    functions: HashMap<String, FunctionSummary>,
+    /// Number of propagation passes performed before reaching a fixed point.
+    pub passes: usize,
+}
+
+/// Functions from the C standard library (and the OpenMP runtime) that are
+/// known not to modify caller-visible data through their pointer arguments
+/// beyond their documented behaviour.
+const PURE_BUILTINS: &[&str] = &[
+    "exp", "expf", "exp2", "log", "logf", "log2", "log10", "sqrt", "sqrtf", "cbrt", "fabs",
+    "fabsf", "abs", "labs", "pow", "powf", "sin", "sinf", "cos", "cosf", "tan", "floor", "ceil",
+    "fmax", "fmin", "fmod", "rand", "srand", "omp_get_wtime", "omp_get_num_threads",
+    "omp_get_max_threads", "omp_get_thread_num", "omp_get_num_devices", "printf", "fprintf",
+    "assert", "exit",
+];
+
+impl ProgramSummaries {
+    /// Compute summaries by fixed-point iteration over the call graph.
+    pub fn compute(
+        unit: &TranslationUnit,
+        accesses: &HashMap<String, FunctionAccesses>,
+        symbols: &HashMap<String, SymbolTable>,
+        max_passes: usize,
+    ) -> ProgramSummaries {
+        let mut result = ProgramSummaries::default();
+        // Seed with direct effects.
+        for func in unit.functions() {
+            let Some(acc) = accesses.get(&func.name) else { continue };
+            let Some(sym) = symbols.get(&func.name) else { continue };
+            let mut summary = FunctionSummary {
+                name: func.name.clone(),
+                param_effects: vec![Effect::default(); func.params.len()],
+                global_effects: HashMap::new(),
+                has_kernels: acc.accesses.iter().any(|a| a.on_device)
+                    || acc.calls.iter().any(|c| c.on_device),
+            };
+            for access in &acc.accesses {
+                if let Some(idx) = param_index(func, &access.var) {
+                    if sym.is_aggregate(&access.var) {
+                        summary.param_effects[idx].record(access.kind, access.on_device);
+                    }
+                } else if sym.is_global(&access.var) {
+                    summary
+                        .global_effects
+                        .entry(access.var.clone())
+                        .or_default()
+                        .record(access.kind, access.on_device);
+                }
+            }
+            result.functions.insert(func.name.clone(), summary);
+        }
+
+        // Propagate through call sites until nothing changes.
+        let functions: Vec<&FunctionDef> = unit.functions().collect();
+        for pass in 0..max_passes.max(1) {
+            result.passes = pass + 1;
+            let mut changed = false;
+            for func in &functions {
+                let Some(acc) = accesses.get(&func.name) else { continue };
+                let Some(sym) = symbols.get(&func.name) else { continue };
+                let calls: Vec<CallSite> = acc.calls.clone();
+                for call in &calls {
+                    let Some(callee_summary) = result.functions.get(&call.callee).cloned() else {
+                        continue;
+                    };
+                    let mut caller = result.functions.get(&func.name).cloned().unwrap_or_default();
+                    let mut local_changed = false;
+                    if callee_summary.has_kernels && !caller.has_kernels {
+                        caller.has_kernels = true;
+                        local_changed = true;
+                    }
+                    // Parameter effects flow to the caller's own params/globals.
+                    for (arg_idx, arg) in call.args.iter().enumerate() {
+                        if !arg.by_ref {
+                            continue;
+                        }
+                        let Some(var) = &arg.base_var else { continue };
+                        let mut effect = callee_summary
+                            .param_effects
+                            .get(arg_idx)
+                            .copied()
+                            .unwrap_or_default();
+                        if call.on_device {
+                            effect = device_shifted(effect);
+                        }
+                        if let Some(pidx) = param_index(func, var) {
+                            if sym.is_aggregate(var) {
+                                local_changed |= caller.param_effects[pidx].merge(effect);
+                            }
+                        } else if sym.is_global(var) {
+                            local_changed |=
+                                caller.global_effects.entry(var.clone()).or_default().merge(effect);
+                        }
+                    }
+                    // Global effects propagate directly.
+                    for (global, effect) in &callee_summary.global_effects {
+                        let mut effect = *effect;
+                        if call.on_device {
+                            effect = device_shifted(effect);
+                        }
+                        local_changed |= caller
+                            .global_effects
+                            .entry(global.clone())
+                            .or_default()
+                            .merge(effect);
+                    }
+                    if local_changed {
+                        result.functions.insert(func.name.clone(), caller);
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        result
+    }
+
+    /// The summary for a function, if it was analyzed.
+    pub fn summary(&self, name: &str) -> Option<&FunctionSummary> {
+        self.functions.get(name)
+    }
+
+    /// Number of summarized functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+/// Move every host effect to the device (used when the call site itself
+/// executes inside an offloaded region).
+fn device_shifted(e: Effect) -> Effect {
+    Effect {
+        host_read: false,
+        host_write: false,
+        device_read: e.host_read || e.device_read,
+        device_write: e.host_write || e.device_write,
+    }
+}
+
+fn param_index(func: &FunctionDef, var: &str) -> Option<usize> {
+    func.params.iter().position(|p| p.name == var)
+}
+
+/// Augment a function's access list with the side effects of its call sites,
+/// using computed summaries for known callees and maximally pessimistic
+/// assumptions for unknown ones.
+pub fn augment_with_call_effects(
+    acc: &mut FunctionAccesses,
+    unit: &TranslationUnit,
+    summaries: &ProgramSummaries,
+) {
+    let calls: Vec<CallSite> = acc.calls.clone();
+    for call in &calls {
+        // Known callee with a body: apply its summary.
+        if let Some(summary) = summaries.summary(&call.callee) {
+            for (arg_idx, arg) in call.args.iter().enumerate() {
+                if !arg.by_ref {
+                    continue;
+                }
+                let Some(var) = &arg.base_var else { continue };
+                let effect = summary.param_effects.get(arg_idx).copied().unwrap_or_default();
+                push_effect_accesses(acc, var, effect, call);
+            }
+            for (global, effect) in &summary.global_effects {
+                push_effect_accesses(acc, global, *effect, call);
+            }
+            continue;
+        }
+        // Pure/standard library functions: reads only.
+        if PURE_BUILTINS.contains(&call.callee.as_str()) {
+            for arg in &call.args {
+                if arg.by_ref {
+                    if let Some(var) = &arg.base_var {
+                        push_effect_accesses(acc, var, Effect::read_only_host(), call);
+                    }
+                }
+            }
+            continue;
+        }
+        // Unknown external function: maximally pessimistic assumptions,
+        // refined by `const` pointer parameters on a visible prototype.
+        let proto = unit.all_functions().find(|f| f.name == call.callee);
+        for (arg_idx, arg) in call.args.iter().enumerate() {
+            if !arg.by_ref {
+                continue;
+            }
+            let Some(var) = &arg.base_var else { continue };
+            let is_const = proto
+                .and_then(|p| p.params.get(arg_idx))
+                .map(|p| p.is_const_pointee)
+                .unwrap_or(false);
+            let effect = if is_const { Effect::read_only_host() } else { Effect::pessimistic_host() };
+            push_effect_accesses(acc, var, effect, call);
+        }
+    }
+}
+
+fn push_effect_accesses(acc: &mut FunctionAccesses, var: &str, effect: Effect, call: &CallSite) {
+    let mut effect = effect;
+    if call.on_device {
+        effect = device_shifted(effect);
+    }
+    let (host_kind, device_kind) = effect.as_access_kinds();
+    if let Some(kind) = host_kind {
+        acc.add_synthetic(Access {
+            var: var.to_string(),
+            kind,
+            stmt: call.stmt,
+            on_device: false,
+            span: call.span,
+            indices: Vec::new(),
+        });
+    }
+    if let Some(kind) = device_kind {
+        acc.add_synthetic(Access {
+            var: var.to_string(),
+            kind,
+            stmt: call.stmt,
+            on_device: true,
+            span: call.span,
+            indices: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::{FunctionAccesses, SymbolTable};
+    use ompdart_frontend::parser::parse_str;
+    use ompdart_graph::ProgramGraphs;
+
+    fn analyze(src: &str) -> (ProgramSummaries, HashMap<String, FunctionAccesses>, ompdart_frontend::TranslationUnit) {
+        let (_file, result) = parse_str("t.c", src);
+        assert!(result.is_ok(), "{:?}", result.diagnostics);
+        let unit = result.unit;
+        let graphs = ProgramGraphs::build(&unit);
+        let mut accesses = HashMap::new();
+        let mut symbols = HashMap::new();
+        for f in unit.functions() {
+            let sym = SymbolTable::build(&unit, f);
+            let g = graphs.function(&f.name).unwrap();
+            accesses.insert(f.name.clone(), FunctionAccesses::collect(f, &g.index, &sym));
+            symbols.insert(f.name.clone(), sym);
+        }
+        let summaries = ProgramSummaries::compute(&unit, &accesses, &symbols, 8);
+        (summaries, accesses, unit)
+    }
+
+    const LAYERED: &str = "\
+double weights[64];
+void scale_buffer(double *buf, int n) {
+  for (int i = 0; i < n; i++) buf[i] *= 0.5;
+}
+void read_weights(const double *w, double *out, int n) {
+  for (int i = 0; i < n; i++) out[i] = w[i];
+}
+void outer(double *data, int n) {
+  scale_buffer(data, n);
+  read_weights(weights, data, n);
+  weights[0] = 1.0;
+}
+void top(double *data, int n) {
+  outer(data, n);
+}
+";
+
+    #[test]
+    fn direct_param_effects() {
+        let (summaries, _acc, _unit) = analyze(LAYERED);
+        let s = summaries.summary("scale_buffer").unwrap();
+        assert!(s.param_effects[0].host_read);
+        assert!(s.param_effects[0].host_write);
+        let r = summaries.summary("read_weights").unwrap();
+        assert!(r.param_effects[0].host_read);
+        assert!(!r.param_effects[0].host_write);
+        assert!(r.param_effects[1].host_write);
+    }
+
+    #[test]
+    fn effects_propagate_transitively() {
+        let (summaries, _acc, _unit) = analyze(LAYERED);
+        // `outer` writes its param through scale_buffer and read_weights.
+        let o = summaries.summary("outer").unwrap();
+        assert!(o.param_effects[0].host_write);
+        assert!(o.param_effects[0].host_read);
+        // ...and reads/writes the global `weights` both directly and through
+        // read_weights.
+        assert!(o.global_effects.get("weights").unwrap().host_read);
+        assert!(o.global_effects.get("weights").unwrap().host_write);
+        // `top` inherits everything through one more level of calls.
+        let t = summaries.summary("top").unwrap();
+        assert!(t.param_effects[0].host_write);
+        assert!(t.global_effects.get("weights").unwrap().host_read);
+    }
+
+    #[test]
+    fn fixed_point_terminates_early() {
+        let (summaries, _acc, _unit) = analyze(LAYERED);
+        assert!(summaries.passes <= 4, "expected early termination, took {}", summaries.passes);
+        assert_eq!(summaries.len(), 4);
+    }
+
+    #[test]
+    fn kernels_detected_transitively() {
+        let src = "\
+double field[32];
+void launch(double *f, int n) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; i++) f[i] += 1.0;
+}
+void driver(int n) {
+  launch(field, n);
+}
+";
+        let (summaries, _acc, _unit) = analyze(src);
+        assert!(summaries.summary("launch").unwrap().has_kernels);
+        assert!(summaries.summary("driver").unwrap().has_kernels);
+        // The kernel access is a device write of the parameter.
+        assert!(summaries.summary("launch").unwrap().param_effects[0].device_write);
+    }
+
+    #[test]
+    fn augmentation_applies_summary_at_call_site() {
+        let (summaries, mut accesses, unit) = analyze(LAYERED);
+        let outer = accesses.get_mut("outer").unwrap();
+        let before = outer.accesses.len();
+        augment_with_call_effects(outer, &unit, &summaries);
+        assert!(outer.accesses.len() > before);
+        // After augmentation, `outer` has a write access to `data` at the
+        // scale_buffer call site.
+        assert!(outer
+            .accesses
+            .iter()
+            .any(|a| a.var == "data" && a.kind.may_write() && !a.on_device));
+    }
+
+    #[test]
+    fn unknown_callee_is_pessimistic_but_const_is_read_only() {
+        let src = "\
+void external_fill(double *buf, int n);
+void external_inspect(const double *buf, int n);
+void f(double *data, int n) {
+  external_fill(data, n);
+  external_inspect(data, n);
+}
+";
+        let (summaries, mut accesses, unit) = analyze(src);
+        let f = accesses.get_mut("f").unwrap();
+        augment_with_call_effects(f, &unit, &summaries);
+        let writes: Vec<_> = f
+            .accesses
+            .iter()
+            .filter(|a| a.var == "data" && a.kind.may_write())
+            .collect();
+        let reads: Vec<_> = f
+            .accesses
+            .iter()
+            .filter(|a| a.var == "data" && a.kind == AccessKind::Read)
+            .collect();
+        // external_fill: pessimistic read+write; external_inspect: read only.
+        assert_eq!(writes.len(), 1);
+        assert!(!reads.is_empty());
+    }
+
+    #[test]
+    fn pure_builtins_do_not_add_writes() {
+        let src = "\
+double buf[8];
+void f() {
+  printf(\"%f\\n\", buf[0]);
+}
+";
+        let (summaries, mut accesses, unit) = analyze(src);
+        let f = accesses.get_mut("f").unwrap();
+        augment_with_call_effects(f, &unit, &summaries);
+        assert!(!f
+            .accesses
+            .iter()
+            .any(|a| a.var == "buf" && a.kind.may_write()));
+    }
+
+    #[test]
+    fn effect_merge_and_kinds() {
+        let mut e = Effect::default();
+        assert!(e.is_empty());
+        assert!(e.record(AccessKind::Read, false));
+        assert!(!e.record(AccessKind::Read, false));
+        assert!(e.record(AccessKind::Write, true));
+        let (host, dev) = e.as_access_kinds();
+        assert_eq!(host, Some(AccessKind::Read));
+        assert_eq!(dev, Some(AccessKind::Write));
+        assert_eq!(device_shifted(Effect::pessimistic_host()).device_write, true);
+    }
+}

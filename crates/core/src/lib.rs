@@ -1,0 +1,485 @@
+//! # ompdart-core
+//!
+//! OMPDart — *OpenMP Data Reduction Tool* — reimplemented in Rust.
+//!
+//! Given a C (MiniC) OpenMP offload program **without** explicit data
+//! mappings, OMPDart statically determines how data flows between the host
+//! and device memory spaces and rewrites the source to insert efficient
+//! OpenMP data-mapping constructs: `map(to/from/tofrom/alloc:)` clauses on a
+//! single per-function `target data` region, `target update to/from`
+//! directives hoisted out of loops that do not carry the dependency, and
+//! `firstprivate` clauses for read-only scalars.
+//!
+//! The pipeline follows the paper's workflow (Figure 1):
+//!
+//! 1. parse (`ompdart-frontend`), 2. build per-function CFGs and the hybrid
+//! AST-CFG (`ompdart-graph`), 3. classify memory accesses ([`access`]),
+//! 4. interprocedural side-effect analysis ([`interproc`]), 5. host/device
+//! data-flow analysis and mapping decisions ([`dataflow`], [`bounds`]),
+//! 6. source rewriting ([`rewrite`]).
+//!
+//! ```
+//! use ompdart_core::{OmpDart, OmpDartOptions};
+//!
+//! let src = r#"
+//! #define N 256
+//! double a[N];
+//! int main() {
+//!   for (int it = 0; it < 10; it++) {
+//!     #pragma omp target teams distribute parallel for
+//!     for (int i = 0; i < N; i++) a[i] += 1.0;
+//!   }
+//!   printf("%f\n", a[0]);
+//!   return 0;
+//! }
+//! "#;
+//! let result = OmpDart::new().transform_source("demo.c", src).unwrap();
+//! assert!(result.transformed_source.contains("#pragma omp target data"));
+//! assert_eq!(result.stats.kernels, 1);
+//! ```
+
+pub mod access;
+pub mod bounds;
+pub mod dataflow;
+pub mod interproc;
+pub mod mapping;
+pub mod rewrite;
+pub mod verify;
+
+pub use access::{Access, AccessKind, FunctionAccesses, SymbolTable};
+pub use bounds::{find_update_insert_loc, loop_bounds, LoopBounds};
+pub use dataflow::{plan_function, DataflowOptions};
+pub use interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
+pub use mapping::{
+    AnalysisStats, FirstPrivateSpec, MapSpec, MappingConstruct, Placement, RegionPlan,
+    UpdateDirection, UpdateSpec,
+};
+pub use rewrite::apply_plans;
+pub use verify::{verify_source, verify_unit, StaleRead, VerifyReport};
+
+use ompdart_frontend::ast::{StmtKind, TranslationUnit};
+use ompdart_frontend::diag::Diagnostics;
+use ompdart_frontend::parser::parse_str;
+use ompdart_graph::ProgramGraphs;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Configuration of the OMPDart pipeline.
+#[derive(Clone, Copy, Debug)]
+pub struct OmpDartOptions {
+    /// Data-flow analysis knobs (firstprivate optimization, update hoisting).
+    pub dataflow: DataflowOptions,
+    /// Run the interprocedural side-effect analysis (Section IV-C). When
+    /// disabled, call sites fall back to maximally pessimistic assumptions.
+    pub interprocedural: bool,
+    /// Upper bound on interprocedural propagation passes (the paper iterates
+    /// up to the maximum call depth with early termination).
+    pub max_interproc_passes: usize,
+    /// Reject inputs that already contain `target data` / `target update`
+    /// directives (the expected input contract of Section IV-A).
+    pub reject_existing_mappings: bool,
+}
+
+impl Default for OmpDartOptions {
+    fn default() -> Self {
+        OmpDartOptions {
+            dataflow: DataflowOptions::default(),
+            interprocedural: true,
+            max_interproc_passes: 16,
+            reject_existing_mappings: true,
+        }
+    }
+}
+
+/// Errors that abort the transformation entirely.
+#[derive(Debug)]
+pub enum OmpDartError {
+    /// The input failed to parse.
+    ParseFailed(Diagnostics),
+    /// The input already contains explicit data-mapping directives.
+    AlreadyMapped { function: String },
+}
+
+impl fmt::Display for OmpDartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OmpDartError::ParseFailed(d) => {
+                write!(f, "input failed to parse with {} error(s)", d.error_count())
+            }
+            OmpDartError::AlreadyMapped { function } => write!(
+                f,
+                "function `{function}` already contains target data/update directives; \
+                 OMPDart expects input without explicit data mappings"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OmpDartError {}
+
+/// Result of a successful transformation.
+#[derive(Debug)]
+pub struct TransformResult {
+    /// The rewritten source with data-mapping directives inserted.
+    pub transformed_source: String,
+    /// Per-function mapping plans.
+    pub plans: Vec<RegionPlan>,
+    /// Warnings and notes produced during analysis.
+    pub diagnostics: Diagnostics,
+    /// Aggregate statistics (kernels, mapped variables, inserted constructs).
+    pub stats: AnalysisStats,
+    /// Wall-clock time spent analyzing and rewriting (the paper's Table V).
+    pub tool_time: Duration,
+}
+
+impl TransformResult {
+    /// The plan for a given function.
+    pub fn plan_for(&self, function: &str) -> Option<&RegionPlan> {
+        self.plans.iter().find(|p| p.function == function)
+    }
+}
+
+/// The OMPDart tool.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OmpDart {
+    options: OmpDartOptions,
+}
+
+impl OmpDart {
+    /// Create the tool with default options.
+    pub fn new() -> OmpDart {
+        OmpDart { options: OmpDartOptions::default() }
+    }
+
+    /// Create the tool with explicit options.
+    pub fn with_options(options: OmpDartOptions) -> OmpDart {
+        OmpDart { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &OmpDartOptions {
+        &self.options
+    }
+
+    /// Analyze and transform a source string.
+    pub fn transform_source(
+        &self,
+        name: &str,
+        source: &str,
+    ) -> Result<TransformResult, OmpDartError> {
+        let start = Instant::now();
+        let (file, parse) = parse_str(name, source);
+        if !parse.is_ok() {
+            return Err(OmpDartError::ParseFailed(parse.diagnostics));
+        }
+        let mut diagnostics = parse.diagnostics;
+        let unit = parse.unit;
+
+        if self.options.reject_existing_mappings {
+            if let Some(function) = function_with_existing_mappings(&unit) {
+                return Err(OmpDartError::AlreadyMapped { function });
+            }
+        }
+
+        let (plans, stats) = self.analyze_unit(&unit, &mut diagnostics);
+        let graphs = ProgramGraphs::build(&unit);
+        let transformed_source = rewrite::apply_plans(&file, &unit, &graphs, &plans);
+        Ok(TransformResult {
+            transformed_source,
+            plans,
+            diagnostics,
+            stats,
+            tool_time: start.elapsed(),
+        })
+    }
+
+    /// Analyze a parsed translation unit and produce per-function plans
+    /// without rewriting (used by the complexity metrics and benches).
+    pub fn analyze_unit(
+        &self,
+        unit: &TranslationUnit,
+        diagnostics: &mut Diagnostics,
+    ) -> (Vec<RegionPlan>, AnalysisStats) {
+        let graphs = ProgramGraphs::build(unit);
+        let mut symbols = HashMap::new();
+        let mut accesses = HashMap::new();
+        for func in unit.functions() {
+            let sym = SymbolTable::build(unit, func);
+            if let Some(g) = graphs.function(&func.name) {
+                accesses.insert(func.name.clone(), FunctionAccesses::collect(func, &g.index, &sym));
+            }
+            symbols.insert(func.name.clone(), sym);
+        }
+
+        let summaries = if self.options.interprocedural {
+            ProgramSummaries::compute(unit, &accesses, &symbols, self.options.max_interproc_passes)
+        } else {
+            ProgramSummaries::default()
+        };
+
+        let mut plans = Vec::new();
+        let mut stats = AnalysisStats::default();
+        for func in unit.functions() {
+            let Some(graph) = graphs.function(&func.name) else { continue };
+            stats.functions_analyzed += 1;
+            let Some(mut acc) = accesses.get(&func.name).cloned() else { continue };
+            augment_with_call_effects(&mut acc, unit, &summaries);
+            let plan = plan_function(
+                unit,
+                func,
+                graph,
+                &acc,
+                &symbols[&func.name],
+                &self.options.dataflow,
+                diagnostics,
+            );
+            if let Some(plan) = plan {
+                stats.functions_with_kernels += 1;
+                stats.kernels += plan.kernels.len();
+                stats.mapped_variables += plan.mapped_variables().len();
+                stats.map_clauses += plan.maps.len();
+                stats.update_directives += plan.updates.len();
+                stats.firstprivate_clauses += plan.firstprivate.len();
+                plans.push(plan);
+            }
+        }
+        (plans, stats)
+    }
+}
+
+/// Find a function that already contains `target data`/`target update`
+/// directives (disallowed input per Section IV-A).
+fn function_with_existing_mappings(unit: &TranslationUnit) -> Option<String> {
+    for func in unit.functions() {
+        let mut found = false;
+        if let Some(body) = &func.body {
+            body.walk(&mut |s| {
+                if let StmtKind::Omp(dir) = &s.kind {
+                    if dir.kind.is_data_directive() {
+                        found = true;
+                    }
+                }
+            });
+        }
+        if found {
+            return Some(func.name.clone());
+        }
+    }
+    None
+}
+
+/// Convenience wrapper: transform a source string with default options.
+pub fn transform(name: &str, source: &str) -> Result<TransformResult, OmpDartError> {
+    OmpDart::new().transform_source(name, source)
+}
+
+/// Re-exported for downstream crates that need to parse alongside the tool.
+pub use ompdart_frontend as frontend;
+pub use ompdart_graph as graph;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompdart_sim::{simulate_source, SimConfig};
+
+    /// End-to-end: the motivating Listing 1 program. OMPDart must hoist the
+    /// mapping out of the loop, preserve program output, and dramatically
+    /// reduce transfers.
+    #[test]
+    fn listing1_transform_preserves_output_and_reduces_transfers() {
+        let src = "\
+#define N 64
+#define ITERS 20
+int a[N];
+int main() {
+  for (int i = 0; i < ITERS; ++i) {
+    #pragma omp target
+    for (int j = 0; j < N; ++j) {
+      a[j] += j;
+    }
+  }
+  int checksum = 0;
+  for (int j = 0; j < N; ++j) checksum += a[j];
+  printf(\"%d\\n\", checksum);
+  return 0;
+}
+";
+        let result = transform("listing1.c", src).expect("transform failed");
+        let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output, "program output must be preserved");
+        assert!(after.profile.total_calls() < before.profile.total_calls());
+        assert!(after.profile.total_bytes() < before.profile.total_bytes());
+        // 20 iterations of implicit tofrom collapse into a single pair.
+        assert_eq!(after.profile.htod_calls, 1);
+        assert_eq!(after.profile.dtoh_calls, 1);
+    }
+
+    /// End-to-end: Listing 2 (back-to-back kernels).
+    #[test]
+    fn listing2_back_to_back_kernels() {
+        let src = "\
+#define N 64
+int a[N];
+int main() {
+  #pragma omp target
+  for (int i = 0; i < N; ++i) a[i] += i;
+  #pragma omp target
+  for (int i = 0; i < N; ++i) a[i] *= 2;
+  printf(\"%d\\n\", a[10]);
+  return 0;
+}
+";
+        let result = transform("listing2.c", src).unwrap();
+        let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output);
+        assert_eq!(after.profile.htod_calls, 1);
+        assert_eq!(after.profile.dtoh_calls, 1);
+        assert_eq!(before.profile.htod_calls, 2);
+    }
+
+    /// End-to-end: the corrected Listing 3 pattern (host reduction inside the
+    /// loop) — the tool must keep the program correct by inserting an update.
+    #[test]
+    fn listing3_host_reduction_stays_correct() {
+        let src = "\
+#define N 32
+#define M 6
+int a[N];
+int main() {
+  int sum = 0;
+  for (int i = 0; i < M; ++i) {
+    #pragma omp target
+    for (int j = 0; j < N; ++j) {
+      a[j] += j;
+    }
+    for (int j = 0; j < N; ++j) {
+      sum += a[j];
+    }
+  }
+  printf(\"%d\\n\", sum);
+  return 0;
+}
+";
+        let result = transform("listing3.c", src).unwrap();
+        assert!(result.transformed_source.contains("target update from(a)"));
+        let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output, "transformed:\n{}", result.transformed_source);
+        assert!(after.profile.total_bytes() <= before.profile.total_bytes());
+    }
+
+    #[test]
+    fn rejects_already_mapped_input() {
+        let src = "\
+#define N 8
+double a[N];
+void f() {
+  #pragma omp target data map(tofrom: a)
+  {
+    #pragma omp target
+    for (int i = 0; i < N; i++) a[i] = i;
+  }
+}
+";
+        let err = transform("mapped.c", src).unwrap_err();
+        assert!(matches!(err, OmpDartError::AlreadyMapped { .. }));
+        // ...unless the caller opts out of the input contract.
+        let lenient = OmpDart::with_options(OmpDartOptions {
+            reject_existing_mappings: false,
+            ..OmpDartOptions::default()
+        });
+        assert!(lenient.transform_source("mapped.c", src).is_ok());
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        let err = transform("broken.c", "int main( { return 0; }\n").unwrap_err();
+        assert!(matches!(err, OmpDartError::ParseFailed(_)));
+    }
+
+    #[test]
+    fn stats_reflect_inserted_constructs() {
+        let src = "\
+#define N 32
+double x[N];
+double y[N];
+void axpy(double alpha) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) y[i] = alpha * x[i] + y[i];
+}
+";
+        let result = transform("axpy.c", src).unwrap();
+        assert_eq!(result.stats.functions_with_kernels, 1);
+        assert_eq!(result.stats.kernels, 1);
+        assert!(result.stats.map_clauses >= 2);
+        assert_eq!(result.stats.firstprivate_clauses, 1);
+        assert!(result.stats.total_constructs() >= 3);
+        assert!(result.tool_time.as_secs_f64() < 5.0);
+        assert!(result.plan_for("axpy").is_some());
+    }
+
+    /// The interprocedural analysis can be disabled; the tool then makes
+    /// pessimistic assumptions but still produces a correct program.
+    #[test]
+    fn interprocedural_toggle_still_correct() {
+        let src = "\
+#define N 64
+double field[N];
+void host_adjust(double *f, int n) {
+  for (int i = 0; i < n; i++) f[i] = f[i] * 0.5;
+}
+int main() {
+  for (int i = 0; i < N; i++) field[i] = i;
+  for (int step = 0; step < 4; step++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) field[i] += 1.0;
+    host_adjust(field, N);
+  }
+  printf(\"%.2f\\n\", field[3]);
+  return 0;
+}
+";
+        for interprocedural in [true, false] {
+            let tool = OmpDart::with_options(OmpDartOptions {
+                interprocedural,
+                ..OmpDartOptions::default()
+            });
+            let result = tool.transform_source("ip.c", src).unwrap();
+            let before = simulate_source(src, SimConfig::default()).unwrap();
+            let after =
+                simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+            assert_eq!(
+                before.output, after.output,
+                "interprocedural={interprocedural}\n{}",
+                result.transformed_source
+            );
+        }
+    }
+
+    /// Scalars that stay read-only on the device become firstprivate and the
+    /// transformed program still matches.
+    #[test]
+    fn firstprivate_end_to_end() {
+        let src = "\
+#define N 128
+double data[N];
+int main() {
+  double scale = 1.5;
+  int offset = 3;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) data[i] = scale * i + offset;
+  printf(\"%.1f\\n\", data[10]);
+  return 0;
+}
+";
+        let result = transform("fp.c", src).unwrap();
+        assert!(result.transformed_source.contains("firstprivate("));
+        let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output);
+        assert!(after.profile.total_calls() <= before.profile.total_calls());
+    }
+}

@@ -1,0 +1,173 @@
+//! Diagnostics: errors and warnings produced by the lexer, preprocessor,
+//! parser and downstream analyses.
+//!
+//! The OMPDart pipeline never panics on malformed user input; every stage
+//! reports problems through a [`Diagnostics`] sink and either recovers or
+//! aborts the stage, mirroring how a Clang-based tool surfaces problems.
+
+use crate::source::{SourceFile, Span};
+use std::fmt;
+
+/// Severity of a diagnostic message.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Severity {
+    /// Informational note, attached to another diagnostic or standalone.
+    Note,
+    /// The input is suspicious but processing continues unchanged.
+    Warning,
+    /// The input is invalid; the current stage cannot produce a result.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single diagnostic message anchored to a source span.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, span, message: message.into() }
+    }
+
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+    }
+
+    pub fn note(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Note, span, message: message.into() }
+    }
+
+    /// Render the diagnostic with file/line/column information.
+    pub fn render(&self, file: &SourceFile) -> String {
+        let lc = file.line_col(self.span.start);
+        format!("{}:{}: {}: {}", file.name(), lc, self.severity, self.message)
+    }
+}
+
+/// A collection of diagnostics produced while processing one translation
+/// unit.
+#[derive(Default, Debug, Clone)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.items.push(diag);
+    }
+
+    /// Record an error at `span`.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::error(span, message));
+    }
+
+    /// Record a warning at `span`.
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::warning(span, message));
+    }
+
+    /// Record a note at `span`.
+    pub fn note(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::note(span, message));
+    }
+
+    /// All recorded diagnostics in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// Number of diagnostics recorded.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True if at least one error-severity diagnostic was recorded.
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity diagnostics.
+    pub fn error_count(&self) -> usize {
+        self.items.iter().filter(|d| d.severity == Severity::Error).count()
+    }
+
+    /// Merge another diagnostics collection into this one.
+    pub fn extend(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Render all diagnostics against `file`, one per line.
+    pub fn render_all(&self, file: &SourceFile) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.render(file));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn collects_and_counts() {
+        let mut d = Diagnostics::new();
+        assert!(d.is_empty());
+        d.warning(Span::new(0, 1), "odd");
+        d.error(Span::new(2, 3), "bad");
+        d.note(Span::new(2, 3), "see here");
+        assert_eq!(d.len(), 3);
+        assert!(d.has_errors());
+        assert_eq!(d.error_count(), 1);
+    }
+
+    #[test]
+    fn renders_with_location() {
+        let f = SourceFile::new("x.c", "int a\nfoo bar\n");
+        let d = Diagnostic::error(Span::new(6, 9), "unknown type 'foo'");
+        let r = d.render(&f);
+        assert_eq!(r, "x.c:2:1: error: unknown type 'foo'");
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = Diagnostics::new();
+        a.warning(Span::dummy(), "w");
+        let mut b = Diagnostics::new();
+        b.error(Span::dummy(), "e");
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+        assert!(a.has_errors());
+    }
+}

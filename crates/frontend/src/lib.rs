@@ -1,0 +1,57 @@
+//! # ompdart-frontend
+//!
+//! Frontend for the OMPDart reproduction: a lexer, miniature preprocessor,
+//! and recursive-descent parser for **MiniC** — the C subset (plus OpenMP
+//! offload pragmas) that the rest of the workspace analyzes, transforms and
+//! simulates.
+//!
+//! The paper's tool operates on the Clang AST obtained through LibTooling.
+//! This crate plays that role: it produces a typed AST with precise source
+//! spans (so the rewriter can do source-to-source transformation on the
+//! original text), recognizes every OpenMP offload-kernel directive of the
+//! paper's Table I, and parses the data-motion clauses OMPDart reasons about
+//! (`map`, `target update to/from`, `firstprivate`, ...).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ompdart_frontend::parser::parse_str;
+//! use ompdart_frontend::ast::StmtKind;
+//!
+//! let src = r#"
+//! void saxpy(float *x, float *y, float a, int n) {
+//!   #pragma omp target teams distribute parallel for
+//!   for (int i = 0; i < n; i++) {
+//!     y[i] = a * x[i] + y[i];
+//!   }
+//! }
+//! "#;
+//! let (_file, result) = parse_str("saxpy.c", src);
+//! assert!(result.is_ok());
+//! let mut kernels = 0;
+//! for f in result.unit.functions() {
+//!     f.body.as_ref().unwrap().walk(&mut |s| {
+//!         if let StmtKind::Omp(dir) = &s.kind {
+//!             if dir.kind.is_offload_kernel() { kernels += 1; }
+//!         }
+//!     });
+//! }
+//! assert_eq!(kernels, 1);
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod lexer;
+pub mod omp;
+pub mod parser;
+pub mod pragma;
+pub mod preprocess;
+pub mod printer;
+pub mod source;
+pub mod token;
+
+pub use ast::{Expr, ExprKind, FunctionDef, Stmt, StmtKind, TranslationUnit, Type, VarDecl};
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use omp::{Clause, DirectiveKind, MapItem, MapType, OmpDirective};
+pub use parser::{parse_source, parse_str, ParseResult};
+pub use source::{SourceFile, Span};

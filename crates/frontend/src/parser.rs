@@ -1,0 +1,1546 @@
+//! Recursive-descent parser for MiniC.
+//!
+//! The parser consumes the preprocessed token stream and produces a
+//! [`TranslationUnit`]. OpenMP pragmas are attached to the statement that
+//! follows them (for non-standalone directives), mirroring how Clang
+//! represents `OMPExecutableDirective` nodes with captured statements.
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::lexer::tokenize_file;
+use crate::omp::{DirectiveKind, OmpDirective};
+use crate::pragma::parse_omp_pragma;
+use crate::preprocess::preprocess;
+use crate::source::{SourceFile, Span};
+use crate::token::{Token, TokenKind};
+use std::collections::HashSet;
+
+/// Result of parsing a source file.
+#[derive(Debug)]
+pub struct ParseResult {
+    pub unit: TranslationUnit,
+    pub diagnostics: Diagnostics,
+}
+
+impl ParseResult {
+    /// True if parsing produced no errors.
+    pub fn is_ok(&self) -> bool {
+        !self.diagnostics.has_errors()
+    }
+}
+
+/// Parse a complete source file (lex + preprocess + parse).
+pub fn parse_source(file: &SourceFile) -> ParseResult {
+    let (tokens, mut diags) = tokenize_file(file);
+    let pp = preprocess(tokens, &mut diags);
+    let mut parser = Parser::new(pp.tokens, file, diags);
+    let mut unit = parser.parse_translation_unit();
+    unit.constants = pp.constants;
+    ParseResult { unit, diagnostics: parser.diags }
+}
+
+/// Convenience: parse source text given as a string.
+pub fn parse_str(name: &str, text: &str) -> (SourceFile, ParseResult) {
+    let file = SourceFile::new(name, text);
+    let result = parse_source(&file);
+    (file, result)
+}
+
+pub(crate) struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    file: &'a SourceFile,
+    pub(crate) diags: Diagnostics,
+    next_id: u32,
+    typedefs: HashSet<String>,
+    structs: HashSet<String>,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn new(tokens: Vec<Token>, file: &'a SourceFile, diags: Diagnostics) -> Self {
+        let mut typedefs = HashSet::new();
+        for builtin in [
+            "size_t", "ssize_t", "ptrdiff_t", "int8_t", "int16_t", "int32_t", "int64_t",
+            "uint8_t", "uint16_t", "uint32_t", "uint64_t", "intptr_t", "uintptr_t", "FILE",
+            "Real_t", "Index_t", "Int_t",
+        ] {
+            typedefs.insert(builtin.to_string());
+        }
+        Parser { tokens, pos: 0, file, diags, next_id: 0, typedefs, structs: HashSet::new() }
+    }
+
+    /// Create a sub-parser over a detached token slice (used by the pragma
+    /// parser for clause expressions). Node ids start high so they do not
+    /// collide with ids from the main parse in practice; collisions are
+    /// harmless because clause expressions are never indexed by id.
+    pub(crate) fn for_fragment(tokens: Vec<Token>, file: &'a SourceFile) -> Self {
+        let mut p = Parser::new(tokens, file, Diagnostics::new());
+        p.next_id = 1 << 24;
+        p
+    }
+
+    pub(crate) fn fresh_id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    // -- token helpers ------------------------------------------------------
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_at(&self, off: usize) -> &TokenKind {
+        let idx = (self.pos + off).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn peek_span(&self) -> Span {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].span
+    }
+
+    fn prev_span(&self) -> Span {
+        if self.pos == 0 {
+            Span::dummy()
+        } else {
+            self.tokens[self.pos - 1].span
+        }
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Span {
+        if self.peek() == kind {
+            self.bump().span
+        } else {
+            let span = self.peek_span();
+            self.diags.error(
+                span,
+                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+            );
+            span
+        }
+    }
+
+    /// Skip tokens until one of `sync` (or EOF) is found; used for error
+    /// recovery.
+    fn recover_to(&mut self, sync: &[TokenKind]) {
+        while !self.at_eof() {
+            if sync.contains(self.peek()) {
+                return;
+            }
+            self.bump();
+        }
+    }
+
+    // -- type recognition ---------------------------------------------------
+
+    fn is_type_name(&self, kind: &TokenKind) -> bool {
+        match kind {
+            k if k.is_type_keyword() => true,
+            TokenKind::Ident(name) => self.typedefs.contains(name),
+            _ => false,
+        }
+    }
+
+    /// True if a declaration starts at the current position.
+    fn at_declaration(&self) -> bool {
+        let k = self.peek();
+        if k.is_decl_qualifier() {
+            return true;
+        }
+        if k.is_type_keyword() {
+            return true;
+        }
+        if let TokenKind::Ident(name) = k {
+            if self.typedefs.contains(name) {
+                // `size_t n`, `Real_t *x` — a type name followed by a
+                // declarator start.
+                return matches!(
+                    self.peek_at(1),
+                    TokenKind::Ident(_) | TokenKind::Star
+                );
+            }
+        }
+        matches!(k, TokenKind::KwTypedef)
+    }
+
+    // -- translation unit ---------------------------------------------------
+
+    pub(crate) fn parse_translation_unit(&mut self) -> TranslationUnit {
+        let mut items = Vec::new();
+        while !self.at_eof() {
+            match self.peek().clone() {
+                TokenKind::Pragma(text) => {
+                    // Top-level pragmas (`omp declare target`, `once`, ...) do
+                    // not affect the data-mapping analysis; skip them.
+                    let span = self.peek_span();
+                    if text.starts_with("omp") {
+                        self.diags.note(span, "ignoring file-scope OpenMP pragma");
+                    }
+                    self.bump();
+                }
+                TokenKind::HashDirective(_) => {
+                    self.bump();
+                }
+                TokenKind::Semi => {
+                    self.bump();
+                }
+                TokenKind::KwTypedef => {
+                    if let Some(item) = self.parse_typedef() {
+                        items.push(item);
+                    }
+                }
+                TokenKind::KwStruct
+                    if matches!(self.peek_at(1), TokenKind::Ident(_))
+                        && matches!(self.peek_at(2), TokenKind::LBrace) =>
+                {
+                    if let Some(item) = self.parse_struct_def() {
+                        items.push(item);
+                    }
+                }
+                TokenKind::KwEnum => {
+                    self.skip_enum();
+                }
+                _ => {
+                    if let Some(item) = self.parse_function_or_global() {
+                        items.push(item);
+                    }
+                }
+            }
+        }
+        TranslationUnit { items, constants: Default::default() }
+    }
+
+    fn parse_typedef(&mut self) -> Option<TopLevel> {
+        let start = self.expect(&TokenKind::KwTypedef);
+        // typedef struct [Name] { ... } Alias;
+        if matches!(self.peek(), TokenKind::KwStruct) {
+            self.bump();
+            let tag = if let TokenKind::Ident(name) = self.peek().clone() {
+                self.bump();
+                Some(name)
+            } else {
+                None
+            };
+            let fields = if matches!(self.peek(), TokenKind::LBrace) {
+                self.parse_struct_fields()
+            } else {
+                Vec::new()
+            };
+            let alias = match self.peek().clone() {
+                TokenKind::Ident(name) => {
+                    self.bump();
+                    name
+                }
+                _ => {
+                    self.diags.error(self.peek_span(), "expected typedef alias name");
+                    self.recover_to(&[TokenKind::Semi]);
+                    self.eat(&TokenKind::Semi);
+                    return None;
+                }
+            };
+            let end = self.expect(&TokenKind::Semi);
+            self.typedefs.insert(alias.clone());
+            let struct_name = tag.unwrap_or_else(|| alias.clone());
+            self.structs.insert(struct_name.clone());
+            self.typedefs.insert(struct_name.clone());
+            let id = self.fresh_id();
+            let sid = self.fresh_id();
+            let span = start.to(end);
+            // Record the struct definition and alias it.
+            let struct_def = TopLevel::Struct(StructDef {
+                id: sid,
+                span,
+                name: struct_name.clone(),
+                fields,
+            });
+            // Represent the alias as a typedef to the struct type.
+            let _ = TopLevel::Typedef {
+                id,
+                span,
+                name: alias.clone(),
+                ty: Type::Struct(struct_name),
+            };
+            return Some(struct_def);
+        }
+        let ty = self.parse_type_specifier()?;
+        let (ty, name, _name_span) = self.parse_declarator(ty)?;
+        let end = self.expect(&TokenKind::Semi);
+        self.typedefs.insert(name.clone());
+        let id = self.fresh_id();
+        Some(TopLevel::Typedef { id, span: start.to(end), name, ty })
+    }
+
+    fn parse_struct_def(&mut self) -> Option<TopLevel> {
+        let start = self.expect(&TokenKind::KwStruct);
+        let name = match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.bump();
+                name
+            }
+            _ => {
+                self.diags.error(self.peek_span(), "expected struct name");
+                return None;
+            }
+        };
+        self.structs.insert(name.clone());
+        let fields = self.parse_struct_fields();
+        let end = self.expect(&TokenKind::Semi);
+        let id = self.fresh_id();
+        Some(TopLevel::Struct(StructDef { id, span: start.to(end), name, fields }))
+    }
+
+    fn parse_struct_fields(&mut self) -> Vec<VarDecl> {
+        let mut fields = Vec::new();
+        self.expect(&TokenKind::LBrace);
+        while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+            let quals = self.parse_qualifiers();
+            let base = match self.parse_type_specifier() {
+                Some(t) => t,
+                None => {
+                    self.recover_to(&[TokenKind::Semi, TokenKind::RBrace]);
+                    self.eat(&TokenKind::Semi);
+                    continue;
+                }
+            };
+            loop {
+                match self.parse_declarator(base.clone()) {
+                    Some((ty, name, span)) => {
+                        let id = self.fresh_id();
+                        fields.push(VarDecl {
+                            id,
+                            span,
+                            name,
+                            ty,
+                            init: None,
+                            is_const: quals.is_const,
+                            is_static: false,
+                            is_extern: false,
+                        });
+                    }
+                    None => break,
+                }
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::Semi);
+        }
+        self.expect(&TokenKind::RBrace);
+        fields
+    }
+
+    fn skip_enum(&mut self) {
+        // `enum Name { A, B = 2, ... };` — record enumerators as constants is
+        // unnecessary for the benchmarks; skip the definition entirely.
+        self.bump();
+        if matches!(self.peek(), TokenKind::Ident(_)) {
+            self.bump();
+        }
+        if matches!(self.peek(), TokenKind::LBrace) {
+            let mut depth = 0usize;
+            loop {
+                match self.peek() {
+                    TokenKind::LBrace => {
+                        depth += 1;
+                        self.bump();
+                    }
+                    TokenKind::RBrace => {
+                        depth -= 1;
+                        self.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    TokenKind::Eof => break,
+                    _ => {
+                        self.bump();
+                    }
+                }
+            }
+        }
+        self.eat(&TokenKind::Semi);
+    }
+
+    fn parse_function_or_global(&mut self) -> Option<TopLevel> {
+        let start_span = self.peek_span();
+        let quals = self.parse_qualifiers();
+        let base = match self.parse_type_specifier() {
+            Some(t) => t,
+            None => {
+                self.diags.error(
+                    self.peek_span(),
+                    format!("expected a declaration, found {}", self.peek().describe()),
+                );
+                self.bump();
+                self.recover_to(&[TokenKind::Semi, TokenKind::RBrace]);
+                self.eat(&TokenKind::Semi);
+                return None;
+            }
+        };
+        let (ty, name, name_span) = self.parse_declarator(base.clone())?;
+
+        if matches!(self.peek(), TokenKind::LParen) {
+            // Function definition or prototype.
+            let (params, variadic) = self.parse_param_list();
+            if matches!(self.peek(), TokenKind::LBrace) {
+                let body = self.parse_compound_stmt();
+                let id = self.fresh_id();
+                return Some(TopLevel::Function(FunctionDef {
+                    id,
+                    span: start_span.to(body.span),
+                    name,
+                    ret: ty,
+                    params,
+                    body: Some(body),
+                    is_static: quals.is_static,
+                    is_variadic: variadic,
+                }));
+            }
+            let end = self.expect(&TokenKind::Semi);
+            let id = self.fresh_id();
+            return Some(TopLevel::Function(FunctionDef {
+                id,
+                span: start_span.to(end),
+                name,
+                ret: ty,
+                params,
+                body: None,
+                is_static: quals.is_static,
+                is_variadic: variadic,
+            }));
+        }
+
+        // Global variable declaration(s).
+        let mut decls = Vec::new();
+        let mut cur = (ty, name, name_span);
+        loop {
+            let init = if self.eat(&TokenKind::Assign) {
+                Some(self.parse_initializer())
+            } else {
+                None
+            };
+            let id = self.fresh_id();
+            decls.push(VarDecl {
+                id,
+                span: cur.2,
+                name: cur.1,
+                ty: cur.0,
+                init,
+                is_const: quals.is_const,
+                is_static: quals.is_static,
+                is_extern: quals.is_extern,
+            });
+            if self.eat(&TokenKind::Comma) {
+                match self.parse_declarator(base.clone()) {
+                    Some(next) => cur = next,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        self.expect(&TokenKind::Semi);
+        Some(TopLevel::Globals(decls))
+    }
+
+    // -- declaration pieces -------------------------------------------------
+
+    fn parse_qualifiers(&mut self) -> Qualifiers {
+        let mut q = Qualifiers::default();
+        loop {
+            match self.peek() {
+                TokenKind::KwConst => {
+                    q.is_const = true;
+                    self.bump();
+                }
+                TokenKind::KwStatic => {
+                    q.is_static = true;
+                    self.bump();
+                }
+                TokenKind::KwExtern => {
+                    q.is_extern = true;
+                    self.bump();
+                }
+                TokenKind::KwInline | TokenKind::KwVolatile | TokenKind::KwRestrict => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        q
+    }
+
+    /// Parse a type specifier (without pointer declarators).
+    fn parse_type_specifier(&mut self) -> Option<Type> {
+        // Consume interleaved qualifiers too (e.g. `unsigned const int`).
+        let mut unsigned = false;
+        let mut long_count = 0usize;
+        let mut base: Option<Type> = None;
+        let mut consumed_any = false;
+        loop {
+            match self.peek().clone() {
+                TokenKind::KwConst | TokenKind::KwVolatile | TokenKind::KwRestrict => {
+                    self.bump();
+                }
+                TokenKind::KwUnsigned => {
+                    unsigned = true;
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwSigned => {
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwLong => {
+                    long_count += 1;
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwShort => {
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwInt => {
+                    base = Some(Type::Int);
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwChar => {
+                    base = Some(Type::Char);
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwFloat => {
+                    base = Some(Type::Float);
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwDouble => {
+                    base = Some(Type::Double);
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwBool => {
+                    base = Some(Type::Bool);
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwVoid => {
+                    base = Some(Type::Void);
+                    consumed_any = true;
+                    self.bump();
+                }
+                TokenKind::KwStruct => {
+                    self.bump();
+                    if let TokenKind::Ident(name) = self.peek().clone() {
+                        self.bump();
+                        self.structs.insert(name.clone());
+                        base = Some(Type::Struct(name));
+                        consumed_any = true;
+                    } else {
+                        self.diags.error(self.peek_span(), "expected struct name");
+                        return None;
+                    }
+                }
+                TokenKind::Ident(name) if base.is_none() && !consumed_any => {
+                    if self.typedefs.contains(&name) {
+                        self.bump();
+                        base = Some(if self.structs.contains(&name) {
+                            Type::Struct(name)
+                        } else {
+                            Type::Named(name)
+                        });
+                        consumed_any = true;
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            // A base type followed by anything other than more specifiers is
+            // complete; the loop's match-arms above only continue for valid
+            // specifier tokens.
+            if base.is_some()
+                && !matches!(
+                    self.peek(),
+                    TokenKind::KwConst | TokenKind::KwVolatile | TokenKind::KwRestrict
+                )
+                && !self.peek().is_type_keyword()
+            {
+                break;
+            }
+        }
+        if !consumed_any {
+            return None;
+        }
+        let ty = match (base, unsigned, long_count) {
+            (Some(Type::Int), true, 0) => Type::UInt,
+            (Some(Type::Int), false, 0) => Type::Int,
+            (Some(Type::Int), true, _) => Type::ULong,
+            (Some(Type::Int), false, _) => Type::Long,
+            (Some(Type::Char), _, _) => Type::Char,
+            (Some(t), _, _) => t,
+            (None, true, 0) => Type::UInt,
+            (None, true, _) => Type::ULong,
+            (None, false, 0) => Type::Int,
+            (None, false, _) => Type::Long,
+        };
+        Some(ty)
+    }
+
+    /// Parse a declarator: pointers, a name, then array suffixes.
+    /// Returns (full type, name, name span).
+    fn parse_declarator(&mut self, mut base: Type) -> Option<(Type, String, Span)> {
+        loop {
+            match self.peek() {
+                TokenKind::Star => {
+                    self.bump();
+                    base = Type::Pointer(Box::new(base));
+                }
+                TokenKind::KwConst | TokenKind::KwRestrict | TokenKind::KwVolatile => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let (name, name_span) = match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek_span();
+                self.bump();
+                (name, span)
+            }
+            _ => {
+                self.diags.error(
+                    self.peek_span(),
+                    format!("expected identifier in declarator, found {}", self.peek().describe()),
+                );
+                return None;
+            }
+        };
+        // Array suffixes (innermost dimension last in source order).
+        let mut dims: Vec<Option<Box<Expr>>> = Vec::new();
+        while self.eat(&TokenKind::LBracket) {
+            if self.eat(&TokenKind::RBracket) {
+                dims.push(None);
+            } else {
+                let size = self.parse_assignment_expr();
+                self.expect(&TokenKind::RBracket);
+                dims.push(Some(Box::new(size)));
+            }
+        }
+        let mut ty = base;
+        for dim in dims.into_iter().rev() {
+            ty = Type::Array(Box::new(ty), dim);
+        }
+        Some((ty, name, name_span))
+    }
+
+    fn parse_param_list(&mut self) -> (Vec<ParamDecl>, bool) {
+        self.expect(&TokenKind::LParen);
+        let mut params = Vec::new();
+        let mut variadic = false;
+        if self.eat(&TokenKind::RParen) {
+            return (params, variadic);
+        }
+        // `(void)`
+        if matches!(self.peek(), TokenKind::KwVoid) && matches!(self.peek_at(1), TokenKind::RParen)
+        {
+            self.bump();
+            self.bump();
+            return (params, variadic);
+        }
+        loop {
+            if self.eat(&TokenKind::Ellipsis) {
+                variadic = true;
+                break;
+            }
+            let quals = self.parse_qualifiers();
+            let base = match self.parse_type_specifier() {
+                Some(t) => t,
+                None => {
+                    self.diags.error(self.peek_span(), "expected parameter type");
+                    self.recover_to(&[TokenKind::Comma, TokenKind::RParen]);
+                    if self.eat(&TokenKind::Comma) {
+                        continue;
+                    }
+                    break;
+                }
+            };
+            // The pointee is const if `const` appeared before the base type.
+            let pointee_const = quals.is_const;
+            match self.parse_declarator(base) {
+                Some((ty, name, span)) => {
+                    let id = self.fresh_id();
+                    params.push(ParamDecl {
+                        id,
+                        span,
+                        name,
+                        ty: ty.clone(),
+                        is_const_pointee: pointee_const && (ty.is_pointer() || ty.is_array()),
+                    });
+                }
+                None => {
+                    self.recover_to(&[TokenKind::Comma, TokenKind::RParen]);
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen);
+        (params, variadic)
+    }
+
+    fn parse_initializer(&mut self) -> Init {
+        if self.eat(&TokenKind::LBrace) {
+            let mut items = Vec::new();
+            if !matches!(self.peek(), TokenKind::RBrace) {
+                loop {
+                    items.push(self.parse_initializer());
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                    if matches!(self.peek(), TokenKind::RBrace) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RBrace);
+            Init::List(items)
+        } else {
+            Init::Expr(self.parse_assignment_expr())
+        }
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    pub(crate) fn parse_compound_stmt(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::LBrace);
+        let mut items = Vec::new();
+        while !matches!(self.peek(), TokenKind::RBrace | TokenKind::Eof) {
+            items.push(self.parse_stmt());
+        }
+        let end = self.expect(&TokenKind::RBrace);
+        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Compound(items) }
+    }
+
+    pub(crate) fn parse_stmt(&mut self) -> Stmt {
+        let start = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::LBrace => self.parse_compound_stmt(),
+            TokenKind::Semi => {
+                self.bump();
+                Stmt { id: self.fresh_id(), span: start, kind: StmtKind::Empty }
+            }
+            TokenKind::KwIf => self.parse_if_stmt(),
+            TokenKind::KwWhile => self.parse_while_stmt(),
+            TokenKind::KwDo => self.parse_do_stmt(),
+            TokenKind::KwFor => self.parse_for_stmt(),
+            TokenKind::KwSwitch => self.parse_switch_stmt(),
+            TokenKind::KwCase => {
+                self.bump();
+                let value = self.parse_expr();
+                let end = self.expect(&TokenKind::Colon);
+                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Case { value } }
+            }
+            TokenKind::KwDefault => {
+                self.bump();
+                let end = self.expect(&TokenKind::Colon);
+                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Default }
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if matches!(self.peek(), TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.parse_expr())
+                };
+                let end = self.expect(&TokenKind::Semi);
+                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Return(value) }
+            }
+            TokenKind::KwBreak => {
+                self.bump();
+                let end = self.expect(&TokenKind::Semi);
+                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Break }
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                let end = self.expect(&TokenKind::Semi);
+                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Continue }
+            }
+            TokenKind::Pragma(text) => self.parse_pragma_stmt(&text),
+            TokenKind::HashDirective(_) => {
+                self.bump();
+                Stmt { id: self.fresh_id(), span: start, kind: StmtKind::Empty }
+            }
+            _ => {
+                if self.at_declaration() {
+                    self.parse_decl_stmt()
+                } else {
+                    let expr = self.parse_expr();
+                    let end = self.expect(&TokenKind::Semi);
+                    Stmt {
+                        id: self.fresh_id(),
+                        span: start.to(end),
+                        kind: StmtKind::Expr(expr),
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_pragma_stmt(&mut self, text: &str) -> Stmt {
+        let pragma_span = self.peek_span();
+        self.bump();
+        if let Some(stripped) = text.strip_prefix("omp") {
+            let directive = parse_omp_pragma(self, stripped, pragma_span);
+            match directive {
+                Some(mut dir) => {
+                    if !dir.kind.is_standalone() {
+                        let body = self.parse_stmt();
+                        dir.body = Some(Box::new(body));
+                    }
+                    let span = match &dir.body {
+                        Some(b) => pragma_span.to(b.span),
+                        None => pragma_span,
+                    };
+                    Stmt { id: self.fresh_id(), span, kind: StmtKind::Omp(dir) }
+                }
+                None => {
+                    self.diags.warning(pragma_span, "unrecognized OpenMP pragma ignored");
+                    Stmt { id: self.fresh_id(), span: pragma_span, kind: StmtKind::Empty }
+                }
+            }
+        } else {
+            // Non-OpenMP pragma: ignore.
+            Stmt { id: self.fresh_id(), span: pragma_span, kind: StmtKind::Empty }
+        }
+    }
+
+    fn parse_decl_stmt(&mut self) -> Stmt {
+        let start = self.peek_span();
+        let quals = self.parse_qualifiers();
+        let base = match self.parse_type_specifier() {
+            Some(t) => t,
+            None => {
+                self.diags.error(self.peek_span(), "expected type in declaration");
+                self.recover_to(&[TokenKind::Semi]);
+                let end = self.prev_span();
+                self.eat(&TokenKind::Semi);
+                return Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Empty };
+            }
+        };
+        let mut decls = Vec::new();
+        loop {
+            match self.parse_declarator(base.clone()) {
+                Some((ty, name, span)) => {
+                    let init = if self.eat(&TokenKind::Assign) {
+                        Some(self.parse_initializer())
+                    } else {
+                        None
+                    };
+                    let id = self.fresh_id();
+                    decls.push(VarDecl {
+                        id,
+                        span,
+                        name,
+                        ty,
+                        init,
+                        is_const: quals.is_const,
+                        is_static: quals.is_static,
+                        is_extern: quals.is_extern,
+                    });
+                }
+                None => {
+                    self.recover_to(&[TokenKind::Semi, TokenKind::Comma]);
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::Semi);
+        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Decl(decls) }
+    }
+
+    fn parse_if_stmt(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::KwIf);
+        self.expect(&TokenKind::LParen);
+        let cond = self.parse_expr();
+        self.expect(&TokenKind::RParen);
+        let then_branch = Box::new(self.parse_stmt());
+        let (else_branch, end) = if self.eat(&TokenKind::KwElse) {
+            let e = self.parse_stmt();
+            let span = e.span;
+            (Some(Box::new(e)), span)
+        } else {
+            (None, then_branch.span)
+        };
+        Stmt {
+            id: self.fresh_id(),
+            span: start.to(end),
+            kind: StmtKind::If { cond, then_branch, else_branch },
+        }
+    }
+
+    fn parse_while_stmt(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::KwWhile);
+        self.expect(&TokenKind::LParen);
+        let cond = self.parse_expr();
+        self.expect(&TokenKind::RParen);
+        let body = Box::new(self.parse_stmt());
+        let end = body.span;
+        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::While { cond, body } }
+    }
+
+    fn parse_do_stmt(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::KwDo);
+        let body = Box::new(self.parse_stmt());
+        self.expect(&TokenKind::KwWhile);
+        self.expect(&TokenKind::LParen);
+        let cond = self.parse_expr();
+        self.expect(&TokenKind::RParen);
+        let end = self.expect(&TokenKind::Semi);
+        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::DoWhile { body, cond } }
+    }
+
+    fn parse_for_stmt(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::KwFor);
+        self.expect(&TokenKind::LParen);
+        let init = if self.eat(&TokenKind::Semi) {
+            None
+        } else if self.at_declaration() {
+            let stmt = self.parse_decl_stmt();
+            match stmt.kind {
+                StmtKind::Decl(decls) => Some(Box::new(ForInit::Decl(decls))),
+                _ => None,
+            }
+        } else {
+            let e = self.parse_expr();
+            self.expect(&TokenKind::Semi);
+            Some(Box::new(ForInit::Expr(e)))
+        };
+        let cond = if matches!(self.peek(), TokenKind::Semi) {
+            None
+        } else {
+            Some(self.parse_expr())
+        };
+        self.expect(&TokenKind::Semi);
+        let inc = if matches!(self.peek(), TokenKind::RParen) {
+            None
+        } else {
+            Some(self.parse_expr())
+        };
+        self.expect(&TokenKind::RParen);
+        let body = Box::new(self.parse_stmt());
+        let end = body.span;
+        Stmt {
+            id: self.fresh_id(),
+            span: start.to(end),
+            kind: StmtKind::For { init, cond, inc, body },
+        }
+    }
+
+    fn parse_switch_stmt(&mut self) -> Stmt {
+        let start = self.expect(&TokenKind::KwSwitch);
+        self.expect(&TokenKind::LParen);
+        let cond = self.parse_expr();
+        self.expect(&TokenKind::RParen);
+        let body = Box::new(self.parse_stmt());
+        let end = body.span;
+        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Switch { cond, body } }
+    }
+
+    // -- expressions --------------------------------------------------------
+
+    /// Parse a full expression, including the comma operator.
+    pub(crate) fn parse_expr(&mut self) -> Expr {
+        let first = self.parse_assignment_expr();
+        if matches!(self.peek(), TokenKind::Comma) {
+            let start = first.span;
+            let mut items = vec![first];
+            while self.eat(&TokenKind::Comma) {
+                items.push(self.parse_assignment_expr());
+            }
+            let end = items.last().map(|e| e.span).unwrap_or(start);
+            Expr { id: self.fresh_id(), span: start.to(end), kind: ExprKind::Comma(items) }
+        } else {
+            first
+        }
+    }
+
+    /// Parse an assignment expression (no top-level comma).
+    pub(crate) fn parse_assignment_expr(&mut self) -> Expr {
+        let lhs = self.parse_conditional_expr();
+        let op = match self.peek() {
+            TokenKind::Assign => AssignOp::Assign,
+            TokenKind::PlusAssign => AssignOp::Add,
+            TokenKind::MinusAssign => AssignOp::Sub,
+            TokenKind::StarAssign => AssignOp::Mul,
+            TokenKind::SlashAssign => AssignOp::Div,
+            TokenKind::PercentAssign => AssignOp::Rem,
+            TokenKind::ShlAssign => AssignOp::Shl,
+            TokenKind::ShrAssign => AssignOp::Shr,
+            TokenKind::AmpAssign => AssignOp::BitAnd,
+            TokenKind::PipeAssign => AssignOp::BitOr,
+            TokenKind::CaretAssign => AssignOp::BitXor,
+            _ => return lhs,
+        };
+        self.bump();
+        let rhs = self.parse_assignment_expr();
+        let span = lhs.span.to(rhs.span);
+        Expr {
+            id: self.fresh_id(),
+            span,
+            kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+        }
+    }
+
+    fn parse_conditional_expr(&mut self) -> Expr {
+        let cond = self.parse_binary_expr(0);
+        if self.eat(&TokenKind::Question) {
+            let then_expr = self.parse_assignment_expr();
+            self.expect(&TokenKind::Colon);
+            let else_expr = self.parse_conditional_expr();
+            let span = cond.span.to(else_expr.span);
+            Expr {
+                id: self.fresh_id(),
+                span,
+                kind: ExprKind::Conditional {
+                    cond: Box::new(cond),
+                    then_expr: Box::new(then_expr),
+                    else_expr: Box::new(else_expr),
+                },
+            }
+        } else {
+            cond
+        }
+    }
+
+    fn binary_op_of(kind: &TokenKind) -> Option<(BinaryOp, u8)> {
+        use BinaryOp::*;
+        Some(match kind {
+            TokenKind::OrOr => (LogicalOr, 1),
+            TokenKind::AndAnd => (LogicalAnd, 2),
+            TokenKind::Pipe => (BitOr, 3),
+            TokenKind::Caret => (BitXor, 4),
+            TokenKind::Amp => (BitAnd, 5),
+            TokenKind::Eq => (Eq, 6),
+            TokenKind::Ne => (Ne, 6),
+            TokenKind::Lt => (Lt, 7),
+            TokenKind::Gt => (Gt, 7),
+            TokenKind::Le => (Le, 7),
+            TokenKind::Ge => (Ge, 7),
+            TokenKind::Shl => (Shl, 8),
+            TokenKind::Shr => (Shr, 8),
+            TokenKind::Plus => (Add, 9),
+            TokenKind::Minus => (Sub, 9),
+            TokenKind::Star => (Mul, 10),
+            TokenKind::Slash => (Div, 10),
+            TokenKind::Percent => (Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn parse_binary_expr(&mut self, min_prec: u8) -> Expr {
+        let mut lhs = self.parse_unary_expr();
+        loop {
+            let (op, prec) = match Self::binary_op_of(self.peek()) {
+                Some(pair) if pair.1 >= min_prec.max(1) => pair,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_binary_expr(prec + 1);
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                id: self.fresh_id(),
+                span,
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            };
+        }
+        lhs
+    }
+
+    fn parse_unary_expr(&mut self) -> Expr {
+        let start = self.peek_span();
+        let (op, postfix_allowed) = match self.peek() {
+            TokenKind::PlusPlus => (Some(UnaryOp::Inc), false),
+            TokenKind::MinusMinus => (Some(UnaryOp::Dec), false),
+            TokenKind::Minus => (Some(UnaryOp::Neg), false),
+            TokenKind::Plus => (Some(UnaryOp::Plus), false),
+            TokenKind::Bang => (Some(UnaryOp::Not), false),
+            TokenKind::Tilde => (Some(UnaryOp::BitNot), false),
+            TokenKind::Star => (Some(UnaryOp::Deref), false),
+            TokenKind::Amp => (Some(UnaryOp::AddrOf), false),
+            TokenKind::KwSizeof => {
+                self.bump();
+                // sizeof(type) or sizeof expr
+                if matches!(self.peek(), TokenKind::LParen)
+                    && self.is_type_name(self.peek_at(1))
+                {
+                    self.bump();
+                    let ty = self.parse_type_specifier().unwrap_or(Type::Int);
+                    let mut ty = ty;
+                    while self.eat(&TokenKind::Star) {
+                        ty = Type::Pointer(Box::new(ty));
+                    }
+                    let end = self.expect(&TokenKind::RParen);
+                    return Expr {
+                        id: self.fresh_id(),
+                        span: start.to(end),
+                        kind: ExprKind::SizeofType(ty),
+                    };
+                }
+                let operand = self.parse_unary_expr();
+                let span = start.to(operand.span);
+                return Expr {
+                    id: self.fresh_id(),
+                    span,
+                    kind: ExprKind::SizeofExpr(Box::new(operand)),
+                };
+            }
+            _ => (None, true),
+        };
+        let _ = postfix_allowed;
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.parse_unary_expr();
+            let span = start.to(operand.span);
+            return Expr {
+                id: self.fresh_id(),
+                span,
+                kind: ExprKind::Unary { op, operand: Box::new(operand), postfix: false },
+            };
+        }
+        // Cast expression: `(type) unary-expr`
+        if matches!(self.peek(), TokenKind::LParen) && self.is_type_name(self.peek_at(1)) {
+            // Lookahead to distinguish `(int)x` from `(x + y)` when `x` could
+            // be a typedef used as a variable; the typedef set makes this
+            // unambiguous in MiniC.
+            self.bump();
+            let base = self.parse_type_specifier().unwrap_or(Type::Int);
+            let mut ty = base;
+            while self.eat(&TokenKind::Star) {
+                ty = Type::Pointer(Box::new(ty));
+            }
+            self.expect(&TokenKind::RParen);
+            let operand = self.parse_unary_expr();
+            let span = start.to(operand.span);
+            return Expr {
+                id: self.fresh_id(),
+                span,
+                kind: ExprKind::Cast { ty, expr: Box::new(operand) },
+            };
+        }
+        self.parse_postfix_expr()
+    }
+
+    fn parse_postfix_expr(&mut self) -> Expr {
+        let mut expr = self.parse_primary_expr();
+        loop {
+            match self.peek() {
+                TokenKind::LBracket => {
+                    self.bump();
+                    let index = self.parse_expr();
+                    let end = self.expect(&TokenKind::RBracket);
+                    let span = expr.span.to(end);
+                    expr = Expr {
+                        id: self.fresh_id(),
+                        span,
+                        kind: ExprKind::Index { base: Box::new(expr), index: Box::new(index) },
+                    };
+                }
+                TokenKind::Dot | TokenKind::Arrow => {
+                    let arrow = matches!(self.peek(), TokenKind::Arrow);
+                    self.bump();
+                    let (field, fspan) = match self.peek().clone() {
+                        TokenKind::Ident(name) => {
+                            let s = self.peek_span();
+                            self.bump();
+                            (name, s)
+                        }
+                        _ => {
+                            self.diags.error(self.peek_span(), "expected member name");
+                            ("<error>".to_string(), self.peek_span())
+                        }
+                    };
+                    let span = expr.span.to(fspan);
+                    expr = Expr {
+                        id: self.fresh_id(),
+                        span,
+                        kind: ExprKind::Member { base: Box::new(expr), field, arrow },
+                    };
+                }
+                TokenKind::PlusPlus | TokenKind::MinusMinus => {
+                    let op = if matches!(self.peek(), TokenKind::PlusPlus) {
+                        UnaryOp::Inc
+                    } else {
+                        UnaryOp::Dec
+                    };
+                    let end = self.bump().span;
+                    let span = expr.span.to(end);
+                    expr = Expr {
+                        id: self.fresh_id(),
+                        span,
+                        kind: ExprKind::Unary { op, operand: Box::new(expr), postfix: true },
+                    };
+                }
+                _ => break,
+            }
+        }
+        expr
+    }
+
+    fn parse_primary_expr(&mut self) -> Expr {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Expr { id: self.fresh_id(), span, kind: ExprKind::IntLit(v) }
+            }
+            TokenKind::FloatLit(v) => {
+                self.bump();
+                Expr { id: self.fresh_id(), span, kind: ExprKind::FloatLit(v) }
+            }
+            TokenKind::CharLit(c) => {
+                self.bump();
+                Expr { id: self.fresh_id(), span, kind: ExprKind::CharLit(c) }
+            }
+            TokenKind::StrLit(s) => {
+                self.bump();
+                Expr { id: self.fresh_id(), span, kind: ExprKind::StrLit(s) }
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if matches!(self.peek(), TokenKind::LParen) {
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), TokenKind::RParen) {
+                        loop {
+                            args.push(self.parse_assignment_expr());
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.expect(&TokenKind::RParen);
+                    Expr {
+                        id: self.fresh_id(),
+                        span: span.to(end),
+                        kind: ExprKind::Call { callee: name, callee_span: span, args },
+                    }
+                } else {
+                    Expr { id: self.fresh_id(), span, kind: ExprKind::Ident(name) }
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.parse_expr();
+                let end = self.expect(&TokenKind::RParen);
+                Expr {
+                    id: self.fresh_id(),
+                    span: span.to(end),
+                    kind: ExprKind::Paren(Box::new(inner)),
+                }
+            }
+            other => {
+                self.diags.error(
+                    span,
+                    format!("expected expression, found {}", other.describe()),
+                );
+                self.bump();
+                Expr { id: self.fresh_id(), span, kind: ExprKind::IntLit(0) }
+            }
+        }
+    }
+
+    /// The source file being parsed (returned with the parser's own lifetime
+    /// so fragment parsers can be constructed without holding a borrow of
+    /// `self`).
+    pub(crate) fn file(&self) -> &'a SourceFile {
+        self.file
+    }
+
+    pub(crate) fn note_unknown_directive(&mut self, span: Span, text: &str) {
+        self.diags
+            .warning(span, format!("unknown OpenMP directive `{text}` treated opaquely"));
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct Qualifiers {
+    is_const: bool,
+    is_static: bool,
+    is_extern: bool,
+}
+
+/// Build an [`OmpDirective`] with fresh ids; exposed to the pragma parser.
+pub(crate) fn make_directive(
+    parser: &mut Parser<'_>,
+    kind: DirectiveKind,
+    clauses: Vec<crate::omp::Clause>,
+    pragma_span: Span,
+) -> OmpDirective {
+    OmpDirective { id: parser.fresh_id(), pragma_span, kind, clauses, body: None }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::omp::{Clause, MapType};
+
+    fn parse_ok(src: &str) -> (SourceFile, TranslationUnit) {
+        let (file, result) = parse_str("test.c", src);
+        assert!(
+            result.is_ok(),
+            "unexpected parse errors:\n{}",
+            result.diagnostics.render_all(&file)
+        );
+        (file, result.unit)
+    }
+
+    #[test]
+    fn parses_simple_function() {
+        let (_f, unit) = parse_ok("int add(int a, int b) { return a + b; }\n");
+        let f = unit.function("add").unwrap();
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret, Type::Int);
+        assert!(!f.is_prototype());
+    }
+
+    #[test]
+    fn parses_globals_and_arrays() {
+        let (_f, unit) = parse_ok("#define N 8\nint a[N];\ndouble grid[4][N];\nint x = 3, y = 4;\n");
+        assert!(unit.global("a").unwrap().ty.is_array());
+        assert!(unit.global("grid").unwrap().ty.is_array());
+        assert_eq!(unit.globals().count(), 4);
+        assert_eq!(unit.int_constant("N"), Some(8));
+    }
+
+    #[test]
+    fn parses_pointers_and_const() {
+        let (_f, unit) = parse_ok(
+            "void scale(const double *in, double *out, int n) { for (int i = 0; i < n; i++) out[i] = in[i] * 2.0; }\n",
+        );
+        let f = unit.function("scale").unwrap();
+        assert!(f.params[0].is_const_pointee);
+        assert!(!f.params[1].is_const_pointee);
+        assert!(f.params[0].ty.is_pointer());
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let (_f, unit) = parse_ok(
+            "int main() { int s = 0; for (int i = 0; i < 10; ++i) { if (i % 2 == 0) s += i; else s -= 1; } while (s > 0) { s--; } do { s++; } while (s < 5); return s; }\n",
+        );
+        let main = unit.function("main").unwrap();
+        let mut loops = 0;
+        let mut ifs = 0;
+        main.body.as_ref().unwrap().walk(&mut |s| {
+            if s.is_loop() {
+                loops += 1;
+            }
+            if matches!(s.kind, StmtKind::If { .. }) {
+                ifs += 1;
+            }
+        });
+        assert_eq!(loops, 3);
+        assert_eq!(ifs, 1);
+    }
+
+    #[test]
+    fn parses_expression_precedence() {
+        let (_f, unit) = parse_ok("int v() { return 1 + 2 * 3 - 4 / 2; }\n");
+        let f = unit.function("v").unwrap();
+        let body = f.body.as_ref().unwrap();
+        let mut value = None;
+        body.walk(&mut |s| {
+            if let StmtKind::Return(Some(e)) = &s.kind {
+                value = e.const_eval(&|_| None);
+            }
+        });
+        assert_eq!(value, Some(5));
+    }
+
+    #[test]
+    fn parses_ternary_and_logical() {
+        let (_f, unit) = parse_ok("int f(int a, int b) { return a > b ? a : (a == 0 || b != 1) ? 1 : b; }\n");
+        assert!(unit.function("f").is_some());
+    }
+
+    #[test]
+    fn parses_omp_target_with_clauses() {
+        let src = "\
+#define N 64
+void kernel(double *a) {
+  #pragma omp target teams distribute parallel for map(tofrom: a[0:N]) firstprivate(N)
+  for (int i = 0; i < N; i++) {
+    a[i] = a[i] * 2.0;
+  }
+}
+";
+        let (_f, unit) = parse_ok(src);
+        let f = unit.function("kernel").unwrap();
+        let mut found = None;
+        f.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::Omp(dir) = &s.kind {
+                found = Some(dir.clone());
+            }
+        });
+        let dir = found.expect("no OpenMP directive found");
+        assert_eq!(dir.kind, DirectiveKind::TargetTeamsDistributeParallelFor);
+        assert!(dir.kind.is_offload_kernel());
+        assert!(dir.body.is_some());
+        let maps: Vec<_> = dir.map_clauses().collect();
+        assert_eq!(maps.len(), 1);
+        assert_eq!(*maps[0].0, Some(MapType::ToFrom));
+        assert_eq!(maps[0].1[0].var, "a");
+        assert_eq!(maps[0].1[0].sections.len(), 1);
+    }
+
+    #[test]
+    fn parses_target_data_and_update() {
+        let src = "\
+void step(double *a, int n) {
+  #pragma omp target data map(alloc: a[0:n])
+  {
+    #pragma omp target update to(a[0:n])
+    #pragma omp target
+    for (int i = 0; i < n; i++) a[i] += 1.0;
+    #pragma omp target update from(a[0:n])
+  }
+}
+";
+        let (_f, unit) = parse_ok(src);
+        let f = unit.function("step").unwrap();
+        let mut kinds = Vec::new();
+        f.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::Omp(dir) = &s.kind {
+                kinds.push(dir.kind.clone());
+            }
+        });
+        assert_eq!(
+            kinds,
+            vec![
+                DirectiveKind::TargetData,
+                DirectiveKind::TargetUpdate,
+                DirectiveKind::Target,
+                DirectiveKind::TargetUpdate,
+            ]
+        );
+    }
+
+    #[test]
+    fn parses_struct_and_member_access() {
+        let src = "\
+struct point { double x; double y; };
+double norm2(struct point p) { return p.x * p.x + p.y * p.y; }
+";
+        let (_f, unit) = parse_ok(src);
+        assert!(unit.struct_def("point").is_some());
+        assert_eq!(unit.struct_def("point").unwrap().fields.len(), 2);
+        assert!(unit.function("norm2").is_some());
+    }
+
+    #[test]
+    fn parses_typedef_struct() {
+        let src = "\
+typedef struct { float w; float h; } box_t;
+float area(box_t *b) { return b->w * b->h; }
+";
+        let (_f, unit) = parse_ok(src);
+        let f = unit.function("area").unwrap();
+        assert!(f.params[0].ty.is_pointer());
+    }
+
+    #[test]
+    fn parses_calls_and_casts() {
+        let (_f, unit) = parse_ok(
+            "double f(int n) { double s = (double)n; s += exp(1.0) + sqrt((double)(n * n)); return s; }\n",
+        );
+        assert!(unit.function("f").is_some());
+    }
+
+    #[test]
+    fn parses_sizeof() {
+        let (_f, unit) = parse_ok("int main() { int n = sizeof(double) + sizeof(int *); long m = sizeof n; return n; }\n");
+        assert!(unit.function("main").is_some());
+    }
+
+    #[test]
+    fn parses_prototype_and_variadic() {
+        let (_f, unit) = parse_ok("int printf(const char *fmt, ...);\nvoid use() { printf(\"%d\", 3); }\n");
+        let proto = unit.all_functions().find(|f| f.name == "printf").unwrap();
+        assert!(proto.is_prototype());
+        assert!(proto.is_variadic);
+    }
+
+    #[test]
+    fn parse_error_is_reported_not_panicking() {
+        let (_file, result) = parse_str("bad.c", "int f( { return 0; }\n");
+        assert!(!result.is_ok());
+        assert!(result.diagnostics.error_count() >= 1);
+    }
+
+    #[test]
+    fn spans_point_into_original_source() {
+        let src = "int main() {\n  int abc = 1;\n  return abc;\n}\n";
+        let (file, result) = parse_str("t.c", src);
+        assert!(result.is_ok());
+        let main = result.unit.function("main").unwrap();
+        let mut decl_span = None;
+        main.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::Decl(decls) = &s.kind {
+                decl_span = Some(decls[0].span);
+            }
+        });
+        assert_eq!(file.snippet(decl_span.unwrap()), "abc");
+    }
+
+    #[test]
+    fn reduction_clause_parses() {
+        let src = "\
+void total(double *a, int n) {
+  double sum = 0.0;
+  #pragma omp target teams distribute parallel for reduction(+: sum) map(to: a[0:n])
+  for (int i = 0; i < n; i++) sum += a[i];
+}
+";
+        let (_f, unit) = parse_ok(src);
+        let f = unit.function("total").unwrap();
+        let mut dir = None;
+        f.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::Omp(d) = &s.kind {
+                dir = Some(d.clone());
+            }
+        });
+        let dir = dir.unwrap();
+        assert_eq!(dir.reduction_vars(), vec!["sum"]);
+        assert!(dir
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::Reduction { op, .. } if op == "+")));
+    }
+}

@@ -1,0 +1,524 @@
+//! Parsing of `#pragma omp ...` directive text into [`OmpDirective`]s.
+//!
+//! The lexer captures each pragma as a single token holding the directive
+//! text; this module re-lexes that text, determines the directive kind
+//! (longest match against the Table I grammar), and parses the clause list.
+
+use crate::ast::Expr;
+use crate::lexer::Lexer;
+use crate::omp::{ArraySection, Clause, DirectiveKind, MapItem, MapType, OmpDirective};
+use crate::parser::{make_directive, Parser};
+use crate::source::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parse the text that follows `#pragma omp` into a directive (without an
+/// associated body; the statement parser attaches bodies afterwards).
+/// Returns `None` when the text is not a recognizable OpenMP directive.
+pub(crate) fn parse_omp_pragma<'a>(
+    parser: &mut Parser<'a>,
+    text: &str,
+    pragma_span: Span,
+) -> Option<OmpDirective> {
+    let file = parser.file();
+    let (tokens, _lex_diags) = Lexer::with_base(text, pragma_span.start).tokenize();
+
+    // 1. Collect the leading directive words (stop at the first clause that
+    //    carries parentheses).
+    let mut idx = 0usize;
+    let mut words: Vec<String> = Vec::new();
+    let mut word_token_end = 0usize;
+    while idx < tokens.len() {
+        let Some(word) = word_of(&tokens[idx].kind) else { break };
+        let next_is_paren = matches!(
+            tokens.get(idx + 1).map(|t| &t.kind),
+            Some(TokenKind::LParen)
+        );
+        if next_is_paren {
+            break;
+        }
+        words.push(word);
+        idx += 1;
+        word_token_end = idx;
+    }
+    if words.is_empty() && idx < tokens.len() {
+        // A pragma like `omp target map(...)` has "target" followed directly
+        // by a paren-clause; handle the degenerate case where even the first
+        // word owns parentheses (not valid OpenMP).
+        return None;
+    }
+
+    let word_refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
+    let (kind, consumed) = DirectiveKind::from_words(&word_refs);
+    if let DirectiveKind::Other(name) = &kind {
+        parser.note_unknown_directive(pragma_span, name);
+    }
+
+    let mut clauses: Vec<Clause> = Vec::new();
+    // 2. Leftover bare words between the directive and the first
+    //    parenthesized clause are clauses without arguments (e.g. `nowait`).
+    for word in &words[consumed.min(words.len())..] {
+        clauses.push(bare_clause(word));
+    }
+
+    // 3. Parse the remaining `name(args)` / bare-name clause list.
+    let mut i = word_token_end.max(idx);
+    while i < tokens.len() {
+        let Some(name) = word_of(&tokens[i].kind) else {
+            if matches!(tokens[i].kind, TokenKind::Eof) {
+                break;
+            }
+            // Unexpected token inside the pragma: skip it.
+            i += 1;
+            continue;
+        };
+        i += 1;
+        if matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::LParen)) {
+            let (args, next) = collect_paren_args(&tokens, i);
+            i = next;
+            clauses.push(build_clause(parser, file, &kind, &name, &args));
+        } else {
+            clauses.push(bare_clause(&name));
+        }
+    }
+
+    Some(make_directive(parser, kind, clauses, pragma_span))
+}
+
+/// The word form of a token usable in pragma directive/clause positions.
+fn word_of(kind: &TokenKind) -> Option<String> {
+    match kind {
+        TokenKind::Ident(s) => Some(s.clone()),
+        k if !k.symbol_text().is_empty() && k.symbol_text().chars().all(|c| c.is_ascii_alphabetic()) => {
+            Some(k.symbol_text().to_string())
+        }
+        _ => None,
+    }
+}
+
+fn bare_clause(name: &str) -> Clause {
+    match name {
+        "nowait" => Clause::Nowait,
+        other => Clause::Other { name: other.to_string(), text: String::new() },
+    }
+}
+
+/// Collect the tokens between a balanced pair of parentheses starting at
+/// `open_idx` (which must point at the `(`). Returns the inner tokens and the
+/// index just past the closing `)`.
+fn collect_paren_args(tokens: &[Token], open_idx: usize) -> (Vec<Token>, usize) {
+    let mut depth = 0usize;
+    let mut args = Vec::new();
+    let mut i = open_idx;
+    while i < tokens.len() {
+        match &tokens[i].kind {
+            TokenKind::LParen => {
+                depth += 1;
+                if depth > 1 {
+                    args.push(tokens[i].clone());
+                }
+            }
+            TokenKind::RParen => {
+                depth -= 1;
+                if depth == 0 {
+                    return (args, i + 1);
+                }
+                args.push(tokens[i].clone());
+            }
+            TokenKind::Eof => break,
+            _ => {
+                if depth >= 1 {
+                    args.push(tokens[i].clone());
+                }
+            }
+        }
+        i += 1;
+    }
+    (args, i)
+}
+
+fn build_clause(
+    parser: &mut Parser<'_>,
+    file: &crate::source::SourceFile,
+    directive: &DirectiveKind,
+    name: &str,
+    args: &[Token],
+) -> Clause {
+    match name {
+        "map" => parse_map_clause(file, args),
+        "to" if *directive == DirectiveKind::TargetUpdate => {
+            Clause::UpdateTo(parse_item_list(file, args))
+        }
+        "from" if *directive == DirectiveKind::TargetUpdate => {
+            Clause::UpdateFrom(parse_item_list(file, args))
+        }
+        "to" => Clause::UpdateTo(parse_item_list(file, args)),
+        "from" => Clause::UpdateFrom(parse_item_list(file, args)),
+        "firstprivate" => Clause::FirstPrivate(parse_item_list(file, args)),
+        "private" => Clause::Private(parse_item_list(file, args)),
+        "shared" => Clause::Shared(parse_item_list(file, args)),
+        "reduction" => {
+            let (op_tokens, rest) = split_at_colon(args);
+            let op = op_tokens
+                .iter()
+                .map(render_token)
+                .collect::<Vec<_>>()
+                .join("");
+            Clause::Reduction { op, items: parse_item_list(file, &rest) }
+        }
+        "num_teams" | "num_threads" | "thread_limit" | "collapse" | "device" | "if" => {
+            let expr = parse_expr_fragment(file, args)
+                .unwrap_or_else(|| default_expr(parser));
+            match name {
+                "num_teams" => Clause::NumTeams(expr),
+                "num_threads" => Clause::NumThreads(expr),
+                "thread_limit" => Clause::ThreadLimit(expr),
+                "collapse" => Clause::Collapse(expr),
+                "device" => Clause::Device(expr),
+                _ => Clause::If(expr),
+            }
+        }
+        "schedule" => Clause::Schedule(render_tokens(args)),
+        "defaultmap" => Clause::DefaultMap(render_tokens(args)),
+        other => Clause::Other { name: other.to_string(), text: render_tokens(args) },
+    }
+}
+
+fn default_expr(parser: &mut Parser<'_>) -> Expr {
+    Expr {
+        id: parser.fresh_id(),
+        span: Span::dummy(),
+        kind: crate::ast::ExprKind::IntLit(1),
+    }
+}
+
+fn parse_map_clause(file: &crate::source::SourceFile, args: &[Token]) -> Clause {
+    // Strip map-type modifiers (`always`, `close`) and their commas.
+    let mut rest: &[Token] = args;
+    loop {
+        match rest.first().map(|t| &t.kind) {
+            Some(TokenKind::Ident(s)) if s == "always" || s == "close" => {
+                rest = &rest[1..];
+                if matches!(rest.first().map(|t| &t.kind), Some(TokenKind::Comma)) {
+                    rest = &rest[1..];
+                }
+            }
+            _ => break,
+        }
+    }
+    // Optional `map-type :`
+    let mut map_type = None;
+    if rest.len() >= 2 {
+        if let (TokenKind::Ident(ty), TokenKind::Colon) = (&rest[0].kind, &rest[1].kind) {
+            if let Some(mt) = MapType::from_str(ty) {
+                map_type = Some(mt);
+                rest = &rest[2..];
+            }
+        }
+    }
+    Clause::Map { map_type, items: parse_item_list(file, rest) }
+}
+
+/// Split tokens at the first top-level colon (used for `reduction(op: list)`).
+fn split_at_colon(args: &[Token]) -> (Vec<Token>, Vec<Token>) {
+    let mut depth = 0i32;
+    for (i, tok) in args.iter().enumerate() {
+        match tok.kind {
+            TokenKind::LParen | TokenKind::LBracket => depth += 1,
+            TokenKind::RParen | TokenKind::RBracket => depth -= 1,
+            TokenKind::Colon if depth == 0 => {
+                return (args[..i].to_vec(), args[i + 1..].to_vec());
+            }
+            _ => {}
+        }
+    }
+    (Vec::new(), args.to_vec())
+}
+
+/// Parse a comma-separated list of map items, each `var` optionally followed
+/// by array sections `[lower:length]`.
+fn parse_item_list(file: &crate::source::SourceFile, args: &[Token]) -> Vec<MapItem> {
+    let mut items = Vec::new();
+    for group in split_top_level_commas(args) {
+        if group.is_empty() {
+            continue;
+        }
+        let (var, var_span) = match &group[0].kind {
+            TokenKind::Ident(name) => (name.clone(), group[0].span),
+            _ => continue,
+        };
+        let mut sections = Vec::new();
+        let mut i = 1usize;
+        while i < group.len() {
+            if !matches!(group[i].kind, TokenKind::LBracket) {
+                break;
+            }
+            // find matching RBracket
+            let mut depth = 0i32;
+            let mut j = i;
+            while j < group.len() {
+                match group[j].kind {
+                    TokenKind::LBracket => depth += 1,
+                    TokenKind::RBracket => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let inner = &group[i + 1..j.min(group.len())];
+            sections.push(parse_section(file, inner));
+            i = j + 1;
+        }
+        let span = group
+            .iter()
+            .map(|t| t.span)
+            .fold(var_span, |acc, s| acc.to(s));
+        items.push(MapItem { var, span, sections });
+    }
+    items
+}
+
+fn parse_section(file: &crate::source::SourceFile, inner: &[Token]) -> ArraySection {
+    // `lower : length`, either part optional.
+    let mut depth = 0i32;
+    let mut colon = None;
+    for (i, tok) in inner.iter().enumerate() {
+        match tok.kind {
+            TokenKind::LParen | TokenKind::LBracket => depth += 1,
+            TokenKind::RParen | TokenKind::RBracket => depth -= 1,
+            TokenKind::Colon if depth == 0 => {
+                colon = Some(i);
+                break;
+            }
+            _ => {}
+        }
+    }
+    match colon {
+        Some(i) => ArraySection {
+            lower: parse_expr_fragment(file, &inner[..i]),
+            length: parse_expr_fragment(file, &inner[i + 1..]),
+        },
+        None => ArraySection { lower: parse_expr_fragment(file, inner), length: None },
+    }
+}
+
+fn split_top_level_commas(args: &[Token]) -> Vec<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0i32;
+    for tok in args {
+        match tok.kind {
+            TokenKind::LParen | TokenKind::LBracket => {
+                depth += 1;
+                cur.push(tok.clone());
+            }
+            TokenKind::RParen | TokenKind::RBracket => {
+                depth -= 1;
+                cur.push(tok.clone());
+            }
+            TokenKind::Comma if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(tok.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parse an expression from a detached token slice.
+fn parse_expr_fragment(file: &crate::source::SourceFile, tokens: &[Token]) -> Option<Expr> {
+    if tokens.is_empty() {
+        return None;
+    }
+    let mut toks = tokens.to_vec();
+    let end = toks.last().map(|t| t.span.end).unwrap_or(0);
+    toks.push(Token::new(TokenKind::Eof, Span::point(end)));
+    let mut fragment = Parser::for_fragment(toks, file);
+    Some(fragment.parse_expr())
+}
+
+fn render_token(tok: &Token) -> String {
+    match &tok.kind {
+        TokenKind::Ident(s) => s.clone(),
+        TokenKind::IntLit(v) => v.to_string(),
+        TokenKind::FloatLit(v) => v.to_string(),
+        TokenKind::StrLit(s) => format!("\"{s}\""),
+        TokenKind::CharLit(c) => format!("'{c}'"),
+        other => other.symbol_text().to_string(),
+    }
+}
+
+fn render_tokens(args: &[Token]) -> String {
+    args.iter().map(render_token).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StmtKind;
+    use crate::parser::parse_str;
+
+    fn directives(src: &str) -> Vec<OmpDirective> {
+        let (file, result) = parse_str("p.c", src);
+        assert!(
+            result.is_ok(),
+            "parse errors:\n{}",
+            result.diagnostics.render_all(&file)
+        );
+        let mut out = Vec::new();
+        for f in result.unit.functions() {
+            f.body.as_ref().unwrap().walk(&mut |s| {
+                if let StmtKind::Omp(d) = &s.kind {
+                    out.push(d.clone());
+                }
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn map_clause_with_sections_and_types() {
+        let src = "\
+void f(double *a, double *b, int n) {
+  #pragma omp target teams distribute parallel for map(to: a[0:n]) map(from: b[0:n]) map(alloc: a)
+  for (int i = 0; i < n; i++) b[i] = a[i];
+}
+";
+        let d = &directives(src)[0];
+        let maps: Vec<_> = d.map_clauses().collect();
+        assert_eq!(maps.len(), 3);
+        assert_eq!(*maps[0].0, Some(MapType::To));
+        assert_eq!(*maps[1].0, Some(MapType::From));
+        assert_eq!(*maps[2].0, Some(MapType::Alloc));
+        assert_eq!(maps[0].1[0].var, "a");
+        assert!(maps[0].1[0].sections[0].lower.is_some());
+        assert!(maps[0].1[0].sections[0].length.is_some());
+        assert!(maps[2].1[0].sections.is_empty());
+    }
+
+    #[test]
+    fn map_clause_without_type_defaults_to_none() {
+        let src = "\
+void f(int n) {
+  int a[10];
+  #pragma omp target data map(a)
+  {
+    #pragma omp target
+    for (int i = 0; i < n; i++) a[i] = i;
+  }
+}
+";
+        let ds = directives(src);
+        let data = ds.iter().find(|d| d.kind == DirectiveKind::TargetData).unwrap();
+        let maps: Vec<_> = data.map_clauses().collect();
+        assert_eq!(*maps[0].0, None);
+        assert_eq!(maps[0].1[0].var, "a");
+    }
+
+    #[test]
+    fn update_clause_direction() {
+        let src = "\
+void f(double *a, int n) {
+  #pragma omp target data map(tofrom: a[0:n])
+  {
+    #pragma omp target update from(a[0:n])
+    #pragma omp target update to(a[0:n])
+  }
+}
+";
+        let ds = directives(src);
+        let updates: Vec<_> = ds
+            .iter()
+            .filter(|d| d.kind == DirectiveKind::TargetUpdate)
+            .collect();
+        assert_eq!(updates.len(), 2);
+        assert!(matches!(updates[0].clauses[0], Clause::UpdateFrom(_)));
+        assert!(matches!(updates[1].clauses[0], Clause::UpdateTo(_)));
+    }
+
+    #[test]
+    fn multiple_items_in_one_clause() {
+        let src = "\
+void f(double *a, double *b, double *c, int n) {
+  #pragma omp target map(tofrom: a[0:n], b[0:n]) map(to: c[0:n]) firstprivate(n)
+  for (int i = 0; i < n; i++) a[i] = b[i] + c[i];
+}
+";
+        let d = &directives(src)[0];
+        let maps: Vec<_> = d.map_clauses().collect();
+        assert_eq!(maps[0].1.len(), 2);
+        assert_eq!(maps[0].1[1].var, "b");
+        assert_eq!(d.firstprivate_vars(), vec!["n"]);
+    }
+
+    #[test]
+    fn num_teams_and_thread_limit_expressions() {
+        let src = "\
+void f(int n) {
+  int a[64];
+  #pragma omp target teams distribute num_teams(n/32) thread_limit(256) nowait
+  for (int i = 0; i < 64; i++) a[i] = i;
+}
+";
+        let d = &directives(src)[0];
+        assert!(d.clauses.iter().any(|c| matches!(c, Clause::NumTeams(_))));
+        assert!(d.clauses.iter().any(|c| matches!(c, Clause::ThreadLimit(_))));
+        assert!(d.clauses.iter().any(|c| matches!(c, Clause::Nowait)));
+    }
+
+    #[test]
+    fn enter_exit_data_are_standalone() {
+        let src = "\
+void f(double *a, int n) {
+  #pragma omp target enter data map(to: a[0:n])
+  #pragma omp target
+  for (int i = 0; i < n; i++) a[i] += 1.0;
+  #pragma omp target exit data map(from: a[0:n])
+}
+";
+        let ds = directives(src);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds[0].kind, DirectiveKind::TargetEnterData);
+        assert!(ds[0].body.is_none());
+        assert_eq!(ds[2].kind, DirectiveKind::TargetExitData);
+        assert!(ds[2].body.is_none());
+        assert!(ds[1].body.is_some());
+    }
+
+    #[test]
+    fn reduction_with_min_max() {
+        let src = "\
+void f(double *a, int n) {
+  double m = 0.0;
+  #pragma omp target teams distribute parallel for reduction(max: m) map(to: a[0:n])
+  for (int i = 0; i < n; i++) if (a[i] > m) m = a[i];
+}
+";
+        let d = &directives(src)[0];
+        assert!(d
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::Reduction { op, .. } if op == "max")));
+    }
+
+    #[test]
+    fn host_parallel_for_is_not_kernel() {
+        let src = "\
+void f(int n) {
+  int a[100];
+  #pragma omp parallel for schedule(static)
+  for (int i = 0; i < n; i++) a[i] = i;
+}
+";
+        let d = &directives(src)[0];
+        assert_eq!(d.kind, DirectiveKind::ParallelFor);
+        assert!(!d.kind.is_offload_kernel());
+        assert!(d.clauses.iter().any(|c| matches!(c, Clause::Schedule(_))));
+    }
+}

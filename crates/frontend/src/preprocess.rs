@@ -1,0 +1,396 @@
+//! A deliberately small C preprocessor operating on the token stream.
+//!
+//! Supported directives:
+//!
+//! * `#define NAME replacement` — object-like macros. Replacement tokens are
+//!   substituted at each use site; substituted tokens inherit the span of the
+//!   use site so the rewriter keeps working against the original source.
+//! * `#undef NAME`
+//! * `#include ...` — ignored. Standard library functions used by the
+//!   benchmarks (`exp`, `sqrt`, `fabs`, `malloc`, `printf`, ...) are treated
+//!   as known external functions by the parser/semantics instead.
+//! * `#ifdef NAME` / `#ifndef NAME` / `#else` / `#endif` and the constant
+//!   forms `#if 0` / `#if 1` — conditional inclusion.
+//!
+//! Function-like macros are rejected with a diagnostic; the benchmark ports
+//! in `ompdart-suite` do not need them.
+
+use crate::diag::Diagnostics;
+use crate::lexer::Lexer;
+use crate::source::Span;
+use crate::token::{Token, TokenKind};
+use std::collections::HashMap;
+
+/// An object-like macro definition.
+#[derive(Clone, Debug)]
+pub struct MacroDef {
+    pub name: String,
+    /// Replacement tokens (spans point into the `#define` line).
+    pub body: Vec<Token>,
+    /// Span of the defining directive.
+    pub span: Span,
+}
+
+/// Result of preprocessing: the expanded token stream plus the macro table.
+#[derive(Debug, Default)]
+pub struct PreprocessOutput {
+    pub tokens: Vec<Token>,
+    /// All object-like macros seen (last definition wins).
+    pub macros: HashMap<String, MacroDef>,
+    /// Macros whose replacement is a single numeric literal, exposed to later
+    /// stages (pragma expression evaluation, loop-bound const evaluation).
+    pub constants: HashMap<String, f64>,
+}
+
+impl PreprocessOutput {
+    /// Integer value of a constant macro, if it has one and it is integral.
+    pub fn int_constant(&self, name: &str) -> Option<i64> {
+        self.constants.get(name).map(|v| *v as i64)
+    }
+}
+
+/// Run the preprocessor over a lexed token stream.
+pub fn preprocess(tokens: Vec<Token>, diags: &mut Diagnostics) -> PreprocessOutput {
+    let mut out = PreprocessOutput::default();
+    // Stack of conditional states: (currently_active, any_branch_taken).
+    let mut cond_stack: Vec<(bool, bool)> = Vec::new();
+    let active = |stack: &Vec<(bool, bool)>| stack.iter().all(|(a, _)| *a);
+
+    for tok in tokens {
+        match &tok.kind {
+            TokenKind::HashDirective(text) => {
+                let text = text.trim();
+                let (dir, rest) = split_directive(text);
+                match dir {
+                    "define" if active(&cond_stack) => {
+                        handle_define(rest, tok.span, &mut out, diags);
+                    }
+                    "undef" if active(&cond_stack) => {
+                        let name = rest.trim();
+                        out.macros.remove(name);
+                        out.constants.remove(name);
+                    }
+                    "include" => { /* ignored: single translation unit model */ }
+                    "ifdef" => {
+                        let defined = out.macros.contains_key(rest.trim());
+                        cond_stack.push((defined, defined));
+                    }
+                    "ifndef" => {
+                        let defined = out.macros.contains_key(rest.trim());
+                        cond_stack.push((!defined, !defined));
+                    }
+                    "if" => {
+                        let value = eval_pp_condition(rest, &out);
+                        match value {
+                            Some(v) => cond_stack.push((v, v)),
+                            None => {
+                                diags.warning(
+                                    tok.span,
+                                    "unsupported #if condition; assuming true",
+                                );
+                                cond_stack.push((true, true));
+                            }
+                        }
+                    }
+                    "elif" => {
+                        if let Some((act, taken)) = cond_stack.pop() {
+                            let _ = act;
+                            if taken {
+                                cond_stack.push((false, true));
+                            } else {
+                                let v = eval_pp_condition(rest, &out).unwrap_or(true);
+                                cond_stack.push((v, v));
+                            }
+                        } else {
+                            diags.error(tok.span, "#elif without matching #if");
+                        }
+                    }
+                    "else" => {
+                        if let Some((act, taken)) = cond_stack.pop() {
+                            let _ = act;
+                            cond_stack.push((!taken, true));
+                        } else {
+                            diags.error(tok.span, "#else without matching #if");
+                        }
+                    }
+                    "endif" => {
+                        if cond_stack.pop().is_none() {
+                            diags.error(tok.span, "#endif without matching #if");
+                        }
+                    }
+                    "error" if active(&cond_stack) => {
+                        diags.error(tok.span, format!("#error {rest}"));
+                    }
+                    _ => {
+                        // Unknown or inactive directive: ignore.
+                    }
+                }
+            }
+            TokenKind::Pragma(_) => {
+                if active(&cond_stack) {
+                    out.tokens.push(tok);
+                }
+            }
+            TokenKind::Ident(name) => {
+                if !active(&cond_stack) {
+                    continue;
+                }
+                if out.macros.contains_key(name) {
+                    let name = name.clone();
+                    expand_macro(&name, tok.span, &out.macros, &mut out.tokens, diags, 0);
+                } else {
+                    out.tokens.push(tok);
+                }
+            }
+            TokenKind::Eof => {
+                if !cond_stack.is_empty() {
+                    diags.error(tok.span, "unterminated #if/#ifdef block");
+                }
+                out.tokens.push(tok);
+            }
+            _ => {
+                if active(&cond_stack) {
+                    out.tokens.push(tok);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn split_directive(text: &str) -> (&str, &str) {
+    let text = text.trim();
+    match text.find(|c: char| c.is_whitespace()) {
+        Some(i) => (&text[..i], text[i..].trim_start()),
+        None => (text, ""),
+    }
+}
+
+fn handle_define(
+    rest: &str,
+    span: Span,
+    out: &mut PreprocessOutput,
+    diags: &mut Diagnostics,
+) {
+    let rest = rest.trim();
+    let name_end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..name_end];
+    if name.is_empty() {
+        diags.error(span, "#define without a macro name");
+        return;
+    }
+    let after = &rest[name_end..];
+    if after.starts_with('(') {
+        diags.error(
+            span,
+            format!("function-like macro `{name}` is not supported by the MiniC preprocessor"),
+        );
+        return;
+    }
+    let replacement = after.trim();
+    let (body, lex_diags) = Lexer::with_base(replacement, span.start).tokenize();
+    let _ = lex_diags;
+    // Drop the trailing EOF token from the body.
+    let body: Vec<Token> = body.into_iter().filter(|t| !t.is_eof()).collect();
+    if let Some(value) = single_numeric_value(&body) {
+        out.constants.insert(name.to_string(), value);
+    }
+    out.macros.insert(
+        name.to_string(),
+        MacroDef { name: name.to_string(), body, span },
+    );
+}
+
+/// If the replacement is a single (possibly parenthesized, possibly negated)
+/// numeric literal, return its value.
+fn single_numeric_value(body: &[Token]) -> Option<f64> {
+    let mut toks: Vec<&TokenKind> = body.iter().map(|t| &t.kind).collect();
+    // strip balanced outer parens
+    while toks.len() >= 2
+        && matches!(toks.first(), Some(TokenKind::LParen))
+        && matches!(toks.last(), Some(TokenKind::RParen))
+    {
+        toks = toks[1..toks.len() - 1].to_vec();
+    }
+    let mut neg = false;
+    if toks.len() == 2 && matches!(toks[0], TokenKind::Minus) {
+        neg = true;
+        toks = toks[1..].to_vec();
+    }
+    if toks.len() != 1 {
+        return None;
+    }
+    let v = match toks[0] {
+        TokenKind::IntLit(v) => *v as f64,
+        TokenKind::FloatLit(v) => *v,
+        _ => return None,
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn eval_pp_condition(rest: &str, out: &PreprocessOutput) -> Option<bool> {
+    let rest = rest.trim();
+    if let Ok(v) = rest.parse::<i64>() {
+        return Some(v != 0);
+    }
+    if let Some(name) = rest
+        .strip_prefix("defined(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        return Some(out.macros.contains_key(name.trim()));
+    }
+    if let Some(name) = rest.strip_prefix("defined ") {
+        return Some(out.macros.contains_key(name.trim()));
+    }
+    if let Some(v) = out.constants.get(rest) {
+        return Some(*v != 0.0);
+    }
+    None
+}
+
+fn expand_macro(
+    name: &str,
+    use_span: Span,
+    macros: &HashMap<String, MacroDef>,
+    out: &mut Vec<Token>,
+    diags: &mut Diagnostics,
+    depth: usize,
+) {
+    if depth > 16 {
+        diags.error(use_span, format!("macro `{name}` expands too deeply (recursive?)"));
+        return;
+    }
+    let def = &macros[name];
+    for tok in &def.body {
+        match &tok.kind {
+            TokenKind::Ident(inner) if inner != name && macros.contains_key(inner) => {
+                expand_macro(inner, use_span, macros, out, diags, depth + 1);
+            }
+            kind => {
+                // Substituted tokens take the span of the use site so that
+                // rewriting decisions stay anchored to the original source.
+                out.push(Token::new(kind.clone(), use_span));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize_file;
+    use crate::source::SourceFile;
+
+    fn run(src: &str) -> (PreprocessOutput, Diagnostics) {
+        let f = SourceFile::new("t.c", src);
+        let (toks, mut diags) = tokenize_file(&f);
+        let out = preprocess(toks, &mut diags);
+        (out, diags)
+    }
+
+    fn kinds(out: &PreprocessOutput) -> Vec<TokenKind> {
+        out.tokens.iter().map(|t| t.kind.clone()).collect()
+    }
+
+    #[test]
+    fn define_substitutes_literal() {
+        let (out, diags) = run("#define N 100\nint a[N];\n");
+        assert!(!diags.has_errors());
+        let k = kinds(&out);
+        assert!(k.contains(&TokenKind::IntLit(100)));
+        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "N")));
+        assert_eq!(out.int_constant("N"), Some(100));
+    }
+
+    #[test]
+    fn define_expression_body() {
+        let (out, diags) = run("#define SIZE (ROWS*COLS)\n#define ROWS 8\n#define COLS 4\nint a = SIZE;\n");
+        assert!(!diags.has_errors());
+        let k = kinds(&out);
+        // SIZE expands to ( ROWS * COLS ); ROWS/COLS were not yet defined when
+        // SIZE was defined, but expansion happens at use time.
+        assert!(k.contains(&TokenKind::IntLit(8)));
+        assert!(k.contains(&TokenKind::IntLit(4)));
+        assert!(k.contains(&TokenKind::Star));
+        assert_eq!(out.int_constant("ROWS"), Some(8));
+        assert!(out.int_constant("SIZE").is_none());
+    }
+
+    #[test]
+    fn substituted_tokens_keep_use_site_span() {
+        let src = "#define N 16\nint a[N];\n";
+        let f = SourceFile::new("t.c", src);
+        let (toks, mut diags) = tokenize_file(&f);
+        let out = preprocess(toks, &mut diags);
+        let lit = out
+            .tokens
+            .iter()
+            .find(|t| matches!(t.kind, TokenKind::IntLit(16)))
+            .unwrap();
+        assert_eq!(f.snippet(lit.span), "N");
+    }
+
+    #[test]
+    fn include_is_ignored() {
+        let (out, diags) = run("#include <stdio.h>\n#include \"foo.h\"\nint a;\n");
+        assert!(!diags.has_errors());
+        assert_eq!(kinds(&out).len(), 4); // int a ; eof
+    }
+
+    #[test]
+    fn ifdef_blocks() {
+        let (out, diags) = run(
+            "#define USE_GPU 1\n#ifdef USE_GPU\nint g;\n#else\nint c;\n#endif\n",
+        );
+        assert!(!diags.has_errors());
+        let k = kinds(&out);
+        assert!(k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "g")));
+        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "c")));
+    }
+
+    #[test]
+    fn ifndef_and_if_zero() {
+        let (out, diags) = run("#ifndef FOO\nint a;\n#endif\n#if 0\nint b;\n#endif\n");
+        assert!(!diags.has_errors());
+        let k = kinds(&out);
+        assert!(k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "a")));
+        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "b")));
+    }
+
+    #[test]
+    fn unterminated_if_reports_error() {
+        let (_out, diags) = run("#ifdef FOO\nint a;\n");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn function_like_macro_rejected() {
+        let (_out, diags) = run("#define SQ(x) ((x)*(x))\nint a;\n");
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn undef_removes_macro() {
+        let (out, diags) = run("#define N 4\n#undef N\nint a[N];\n");
+        assert!(!diags.has_errors());
+        let k = kinds(&out);
+        assert!(k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "N")));
+        assert!(out.int_constant("N").is_none());
+    }
+
+    #[test]
+    fn negative_constant_macro() {
+        let (out, diags) = run("#define OFFSET (-3)\nint a = OFFSET;\n");
+        assert!(!diags.has_errors());
+        assert_eq!(out.int_constant("OFFSET"), Some(-3));
+    }
+
+    #[test]
+    fn pragma_tokens_pass_through() {
+        let (out, diags) = run("#pragma omp target\n{ }\n");
+        assert!(!diags.has_errors());
+        assert!(matches!(out.tokens[0].kind, TokenKind::Pragma(_)));
+    }
+}

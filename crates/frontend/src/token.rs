@@ -1,0 +1,339 @@
+//! Token definitions for the MiniC lexer.
+
+use crate::source::Span;
+use std::fmt;
+
+/// The kind of a lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokenKind {
+    // Literals and identifiers
+    Ident(String),
+    IntLit(i64),
+    FloatLit(f64),
+    CharLit(char),
+    StrLit(String),
+
+    // Keywords (C subset)
+    KwInt,
+    KwFloat,
+    KwDouble,
+    KwChar,
+    KwLong,
+    KwShort,
+    KwUnsigned,
+    KwSigned,
+    KwVoid,
+    KwBool,
+    KwConst,
+    KwStatic,
+    KwExtern,
+    KwStruct,
+    KwTypedef,
+    KwIf,
+    KwElse,
+    KwFor,
+    KwWhile,
+    KwDo,
+    KwReturn,
+    KwBreak,
+    KwContinue,
+    KwSwitch,
+    KwCase,
+    KwDefault,
+    KwSizeof,
+    KwGoto,
+    KwEnum,
+    KwRestrict,
+    KwInline,
+    KwVolatile,
+
+    // Punctuation and operators
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Colon,
+    Question,
+    Dot,
+    Arrow,
+    Ellipsis,
+
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Tilde,
+    Bang,
+    Shl,
+    Shr,
+
+    PlusPlus,
+    MinusMinus,
+
+    Assign,
+    PlusAssign,
+    MinusAssign,
+    StarAssign,
+    SlashAssign,
+    PercentAssign,
+    AmpAssign,
+    PipeAssign,
+    CaretAssign,
+    ShlAssign,
+    ShrAssign,
+
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+    AndAnd,
+    OrOr,
+
+    /// A complete `#pragma ...` line, captured verbatim (without the leading
+    /// `#pragma`). Directive text spans until the end of the (possibly
+    /// backslash-continued) logical line.
+    Pragma(String),
+    /// Any other preprocessor directive line that survived preprocessing
+    /// (kept so the parser can skip it gracefully).
+    HashDirective(String),
+
+    /// End of file.
+    Eof,
+}
+
+impl TokenKind {
+    /// True if this token starts a type specifier.
+    pub fn is_type_keyword(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::KwInt
+                | TokenKind::KwFloat
+                | TokenKind::KwDouble
+                | TokenKind::KwChar
+                | TokenKind::KwLong
+                | TokenKind::KwShort
+                | TokenKind::KwUnsigned
+                | TokenKind::KwSigned
+                | TokenKind::KwVoid
+                | TokenKind::KwBool
+                | TokenKind::KwStruct
+        )
+    }
+
+    /// True if this token is a declaration specifier that may precede a type.
+    pub fn is_decl_qualifier(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::KwConst
+                | TokenKind::KwStatic
+                | TokenKind::KwExtern
+                | TokenKind::KwRestrict
+                | TokenKind::KwVolatile
+                | TokenKind::KwInline
+        )
+    }
+
+    /// A short human-readable description used in parse error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::IntLit(v) => format!("integer literal `{v}`"),
+            TokenKind::FloatLit(v) => format!("floating literal `{v}`"),
+            TokenKind::CharLit(c) => format!("character literal `{c:?}`"),
+            TokenKind::StrLit(_) => "string literal".to_string(),
+            TokenKind::Pragma(_) => "#pragma directive".to_string(),
+            TokenKind::HashDirective(_) => "preprocessor directive".to_string(),
+            TokenKind::Eof => "end of file".to_string(),
+            other => format!("`{}`", other.symbol_text()),
+        }
+    }
+
+    /// The literal source text of a fixed token (keywords and punctuation).
+    pub fn symbol_text(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            KwInt => "int",
+            KwFloat => "float",
+            KwDouble => "double",
+            KwChar => "char",
+            KwLong => "long",
+            KwShort => "short",
+            KwUnsigned => "unsigned",
+            KwSigned => "signed",
+            KwVoid => "void",
+            KwBool => "bool",
+            KwConst => "const",
+            KwStatic => "static",
+            KwExtern => "extern",
+            KwStruct => "struct",
+            KwTypedef => "typedef",
+            KwIf => "if",
+            KwElse => "else",
+            KwFor => "for",
+            KwWhile => "while",
+            KwDo => "do",
+            KwReturn => "return",
+            KwBreak => "break",
+            KwContinue => "continue",
+            KwSwitch => "switch",
+            KwCase => "case",
+            KwDefault => "default",
+            KwSizeof => "sizeof",
+            KwGoto => "goto",
+            KwEnum => "enum",
+            KwRestrict => "restrict",
+            KwInline => "inline",
+            KwVolatile => "volatile",
+            LParen => "(",
+            RParen => ")",
+            LBrace => "{",
+            RBrace => "}",
+            LBracket => "[",
+            RBracket => "]",
+            Semi => ";",
+            Comma => ",",
+            Colon => ":",
+            Question => "?",
+            Dot => ".",
+            Arrow => "->",
+            Ellipsis => "...",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            Slash => "/",
+            Percent => "%",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Bang => "!",
+            Shl => "<<",
+            Shr => ">>",
+            PlusPlus => "++",
+            MinusMinus => "--",
+            Assign => "=",
+            PlusAssign => "+=",
+            MinusAssign => "-=",
+            StarAssign => "*=",
+            SlashAssign => "/=",
+            PercentAssign => "%=",
+            AmpAssign => "&=",
+            PipeAssign => "|=",
+            CaretAssign => "^=",
+            ShlAssign => "<<=",
+            ShrAssign => ">>=",
+            Eq => "==",
+            Ne => "!=",
+            Lt => "<",
+            Gt => ">",
+            Le => "<=",
+            Ge => ">=",
+            AndAnd => "&&",
+            OrOr => "||",
+            Ident(_) | IntLit(_) | FloatLit(_) | CharLit(_) | StrLit(_) | Pragma(_)
+            | HashDirective(_) | Eof => "",
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A lexed token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+
+    /// True if the token is the end-of-file marker.
+    pub fn is_eof(&self) -> bool {
+        matches!(self.kind, TokenKind::Eof)
+    }
+}
+
+/// Map an identifier string to a keyword token, if it is one.
+pub fn keyword_from_str(s: &str) -> Option<TokenKind> {
+    Some(match s {
+        "int" => TokenKind::KwInt,
+        "float" => TokenKind::KwFloat,
+        "double" => TokenKind::KwDouble,
+        "char" => TokenKind::KwChar,
+        "long" => TokenKind::KwLong,
+        "short" => TokenKind::KwShort,
+        "unsigned" => TokenKind::KwUnsigned,
+        "signed" => TokenKind::KwSigned,
+        "void" => TokenKind::KwVoid,
+        "bool" | "_Bool" => TokenKind::KwBool,
+        "const" => TokenKind::KwConst,
+        "static" => TokenKind::KwStatic,
+        "extern" => TokenKind::KwExtern,
+        "struct" => TokenKind::KwStruct,
+        "typedef" => TokenKind::KwTypedef,
+        "if" => TokenKind::KwIf,
+        "else" => TokenKind::KwElse,
+        "for" => TokenKind::KwFor,
+        "while" => TokenKind::KwWhile,
+        "do" => TokenKind::KwDo,
+        "return" => TokenKind::KwReturn,
+        "break" => TokenKind::KwBreak,
+        "continue" => TokenKind::KwContinue,
+        "switch" => TokenKind::KwSwitch,
+        "case" => TokenKind::KwCase,
+        "default" => TokenKind::KwDefault,
+        "sizeof" => TokenKind::KwSizeof,
+        "goto" => TokenKind::KwGoto,
+        "enum" => TokenKind::KwEnum,
+        "restrict" | "__restrict" | "__restrict__" => TokenKind::KwRestrict,
+        "inline" => TokenKind::KwInline,
+        "volatile" => TokenKind::KwVolatile,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(keyword_from_str("int"), Some(TokenKind::KwInt));
+        assert_eq!(keyword_from_str("while"), Some(TokenKind::KwWhile));
+        assert_eq!(keyword_from_str("__restrict__"), Some(TokenKind::KwRestrict));
+        assert_eq!(keyword_from_str("banana"), None);
+    }
+
+    #[test]
+    fn type_keyword_classification() {
+        assert!(TokenKind::KwInt.is_type_keyword());
+        assert!(TokenKind::KwStruct.is_type_keyword());
+        assert!(!TokenKind::KwConst.is_type_keyword());
+        assert!(TokenKind::KwConst.is_decl_qualifier());
+        assert!(!TokenKind::KwIf.is_type_keyword());
+    }
+
+    #[test]
+    fn describe_tokens() {
+        assert_eq!(TokenKind::Ident("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::PlusAssign.describe(), "`+=`");
+        assert_eq!(TokenKind::Eof.describe(), "end of file");
+    }
+}

@@ -1,0 +1,522 @@
+//! Statement index and the hybrid AST-CFG.
+//!
+//! The paper combines the Clang AST with the per-function CFG into a hybrid
+//! "AST-CFG" (Section IV-B, Figure 2): CFG nodes are linked to the AST nodes
+//! they execute so that data-flow traversals can consult structural
+//! information (enclosing loops, array subscripts, loop bounds) on demand.
+//!
+//! [`StmtIndex`] is the AST side of that structure: for every statement it
+//! records the enclosing loop stack, the enclosing offload kernel and
+//! `target data` region (if any), the parent statement and a stable source
+//! order. [`AstCfg`] pairs it with the [`Cfg`] for the same function.
+
+use crate::cfg::Cfg;
+use ompdart_frontend::ast::{FunctionDef, NodeId, Stmt, StmtKind, TranslationUnit};
+use ompdart_frontend::omp::DirectiveKind;
+use ompdart_frontend::source::Span;
+use std::collections::HashMap;
+
+/// Coarse classification of a statement, stored in the index so queries do
+/// not need access to the AST node itself.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StmtKindTag {
+    Expr,
+    Decl,
+    Compound,
+    If,
+    ForLoop,
+    WhileLoop,
+    DoWhileLoop,
+    Switch,
+    Return,
+    Break,
+    Continue,
+    OmpKernel,
+    OmpTargetData,
+    OmpTargetUpdate,
+    OmpOther,
+    Other,
+}
+
+impl StmtKindTag {
+    pub fn of(stmt: &Stmt) -> StmtKindTag {
+        match &stmt.kind {
+            StmtKind::Expr(_) => StmtKindTag::Expr,
+            StmtKind::Decl(_) => StmtKindTag::Decl,
+            StmtKind::Compound(_) => StmtKindTag::Compound,
+            StmtKind::If { .. } => StmtKindTag::If,
+            StmtKind::For { .. } => StmtKindTag::ForLoop,
+            StmtKind::While { .. } => StmtKindTag::WhileLoop,
+            StmtKind::DoWhile { .. } => StmtKindTag::DoWhileLoop,
+            StmtKind::Switch { .. } => StmtKindTag::Switch,
+            StmtKind::Return(_) => StmtKindTag::Return,
+            StmtKind::Break => StmtKindTag::Break,
+            StmtKind::Continue => StmtKindTag::Continue,
+            StmtKind::Omp(dir) => {
+                if dir.kind.is_offload_kernel() {
+                    StmtKindTag::OmpKernel
+                } else if dir.kind == DirectiveKind::TargetData {
+                    StmtKindTag::OmpTargetData
+                } else if dir.kind == DirectiveKind::TargetUpdate {
+                    StmtKindTag::OmpTargetUpdate
+                } else {
+                    StmtKindTag::OmpOther
+                }
+            }
+            _ => StmtKindTag::Other,
+        }
+    }
+
+    /// True for loop statements.
+    pub fn is_loop(&self) -> bool {
+        matches!(
+            self,
+            StmtKindTag::ForLoop | StmtKindTag::WhileLoop | StmtKindTag::DoWhileLoop
+        )
+    }
+}
+
+/// Per-statement structural information.
+#[derive(Clone, Debug)]
+pub struct StmtInfo {
+    pub id: NodeId,
+    pub span: Span,
+    pub kind: StmtKindTag,
+    /// Parent statement (None for the function body).
+    pub parent: Option<NodeId>,
+    /// Enclosing loops, outermost first.
+    pub enclosing_loops: Vec<NodeId>,
+    /// The offload kernel directive statement this statement executes inside,
+    /// if any.
+    pub enclosing_kernel: Option<NodeId>,
+    /// The enclosing `target data` region statement, if any.
+    pub enclosing_data_region: Option<NodeId>,
+    /// True if the statement executes on the device.
+    pub offloaded: bool,
+    /// Pre-order position within the function (source order).
+    pub order: usize,
+}
+
+/// The AST-side index for a single function.
+#[derive(Clone, Debug, Default)]
+pub struct StmtIndex {
+    pub function: String,
+    stmts: HashMap<NodeId, StmtInfo>,
+    /// Offload kernel statements in source order.
+    kernels: Vec<NodeId>,
+    /// Loop statements in source order.
+    loops: Vec<NodeId>,
+    /// `target data` regions in source order.
+    data_regions: Vec<NodeId>,
+    /// `target update` directives in source order.
+    updates: Vec<NodeId>,
+}
+
+impl StmtIndex {
+    /// Build the index for a function definition.
+    pub fn build(func: &FunctionDef) -> StmtIndex {
+        let mut index = StmtIndex { function: func.name.clone(), ..Default::default() };
+        if let Some(body) = &func.body {
+            let mut ctx = WalkCtx::default();
+            index.visit(body, &mut ctx);
+        }
+        index
+    }
+
+    fn visit(&mut self, stmt: &Stmt, ctx: &mut WalkCtx) {
+        let kind = StmtKindTag::of(stmt);
+        let info = StmtInfo {
+            id: stmt.id,
+            span: stmt.span,
+            kind,
+            parent: ctx.parents.last().copied(),
+            enclosing_loops: ctx.loops.clone(),
+            enclosing_kernel: ctx.kernel,
+            enclosing_data_region: ctx.data_region,
+            offloaded: ctx.kernel.is_some(),
+            order: self.stmts.len(),
+        };
+        self.stmts.insert(stmt.id, info);
+        match kind {
+            StmtKindTag::OmpKernel => self.kernels.push(stmt.id),
+            StmtKindTag::OmpTargetData => self.data_regions.push(stmt.id),
+            StmtKindTag::OmpTargetUpdate => self.updates.push(stmt.id),
+            k if k.is_loop() => self.loops.push(stmt.id),
+            _ => {}
+        }
+
+        ctx.parents.push(stmt.id);
+        let entering_loop = kind.is_loop();
+        if entering_loop {
+            ctx.loops.push(stmt.id);
+        }
+        let prev_kernel = ctx.kernel;
+        let prev_region = ctx.data_region;
+        if kind == StmtKindTag::OmpKernel {
+            ctx.kernel = Some(stmt.id);
+        }
+        if kind == StmtKindTag::OmpTargetData {
+            ctx.data_region = Some(stmt.id);
+        }
+
+        match &stmt.kind {
+            StmtKind::Compound(items) => {
+                for s in items {
+                    self.visit(s, ctx);
+                }
+            }
+            StmtKind::If { then_branch, else_branch, .. } => {
+                self.visit(then_branch, ctx);
+                if let Some(e) = else_branch {
+                    self.visit(e, ctx);
+                }
+            }
+            StmtKind::While { body, .. }
+            | StmtKind::DoWhile { body, .. }
+            | StmtKind::For { body, .. }
+            | StmtKind::Switch { body, .. } => {
+                self.visit(body, ctx);
+            }
+            StmtKind::Omp(dir) => {
+                if let Some(body) = &dir.body {
+                    self.visit(body, ctx);
+                }
+            }
+            _ => {}
+        }
+
+        if entering_loop {
+            ctx.loops.pop();
+        }
+        ctx.kernel = prev_kernel;
+        ctx.data_region = prev_region;
+        ctx.parents.pop();
+    }
+
+    /// Information about one statement.
+    pub fn info(&self, id: NodeId) -> Option<&StmtInfo> {
+        self.stmts.get(&id)
+    }
+
+    /// Number of indexed statements.
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+
+    /// Offload kernels in source order.
+    pub fn kernels(&self) -> &[NodeId] {
+        &self.kernels
+    }
+
+    /// Loops in source order.
+    pub fn loops(&self) -> &[NodeId] {
+        &self.loops
+    }
+
+    /// `target data` regions in source order.
+    pub fn data_regions(&self) -> &[NodeId] {
+        &self.data_regions
+    }
+
+    /// `target update` directives in source order.
+    pub fn updates(&self) -> &[NodeId] {
+        &self.updates
+    }
+
+    /// The loop stack (outermost first) enclosing a statement.
+    pub fn enclosing_loops(&self, id: NodeId) -> &[NodeId] {
+        self.info(id).map(|i| i.enclosing_loops.as_slice()).unwrap_or(&[])
+    }
+
+    /// The outermost loop that encloses `inner` but starts after (or at)
+    /// `limit`'s position, mirroring the `locLim` parameter of the paper's
+    /// Algorithm 1.
+    pub fn outermost_loop_after(&self, inner: NodeId, limit: Option<NodeId>) -> Option<NodeId> {
+        let limit_order = limit.and_then(|l| self.info(l)).map(|i| i.order);
+        let loops = self.enclosing_loops(inner);
+        for &loop_id in loops {
+            let order = self.info(loop_id)?.order;
+            if let Some(lim) = limit_order {
+                if order <= lim {
+                    continue;
+                }
+            }
+            return Some(loop_id);
+        }
+        None
+    }
+
+    /// True if statement `a` appears before statement `b` in source order.
+    pub fn is_before(&self, a: NodeId, b: NodeId) -> bool {
+        match (self.info(a), self.info(b)) {
+            (Some(ia), Some(ib)) => ia.order < ib.order,
+            _ => false,
+        }
+    }
+
+    /// All statements, in source order.
+    pub fn stmts_in_order(&self) -> Vec<&StmtInfo> {
+        let mut v: Vec<&StmtInfo> = self.stmts.values().collect();
+        v.sort_by_key(|i| i.order);
+        v
+    }
+}
+
+#[derive(Default)]
+struct WalkCtx {
+    parents: Vec<NodeId>,
+    loops: Vec<NodeId>,
+    kernel: Option<NodeId>,
+    data_region: Option<NodeId>,
+}
+
+/// The hybrid AST-CFG for one function: the control-flow graph plus the
+/// statement index that links graph nodes back to structural AST facts.
+#[derive(Clone, Debug)]
+pub struct AstCfg {
+    pub cfg: Cfg,
+    pub index: StmtIndex,
+}
+
+impl AstCfg {
+    /// Build the hybrid representation for a function definition.
+    pub fn build(func: &FunctionDef) -> Option<AstCfg> {
+        let body = func.body.as_ref()?;
+        Some(AstCfg {
+            cfg: Cfg::build(&func.name, body),
+            index: StmtIndex::build(func),
+        })
+    }
+
+    /// The function name.
+    pub fn function(&self) -> &str {
+        &self.cfg.function
+    }
+
+    /// Number of offload kernels in the function.
+    pub fn kernel_count(&self) -> usize {
+        self.index.kernels().len()
+    }
+
+    /// True if the function contains at least one offload kernel.
+    pub fn has_kernels(&self) -> bool {
+        self.kernel_count() > 0
+    }
+}
+
+/// Hybrid AST-CFGs for every function definition in a translation unit.
+#[derive(Clone, Debug, Default)]
+pub struct ProgramGraphs {
+    pub functions: Vec<AstCfg>,
+}
+
+impl ProgramGraphs {
+    /// Build graphs for every function with a body.
+    pub fn build(unit: &TranslationUnit) -> ProgramGraphs {
+        let functions = unit.functions().filter_map(AstCfg::build).collect();
+        ProgramGraphs { functions }
+    }
+
+    /// The graph for a specific function.
+    pub fn function(&self, name: &str) -> Option<&AstCfg> {
+        self.functions.iter().find(|g| g.function() == name)
+    }
+
+    /// Total number of offload kernels across the program.
+    pub fn total_kernels(&self) -> usize {
+        self.functions.iter().map(|g| g.kernel_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompdart_frontend::parser::parse_str;
+
+    fn graphs(src: &str) -> (ompdart_frontend::SourceFile, ProgramGraphs, TranslationUnit) {
+        let (file, result) = parse_str("t.c", src);
+        assert!(result.is_ok(), "{:?}", result.diagnostics);
+        let graphs = ProgramGraphs::build(&result.unit);
+        (file, graphs, result.unit)
+    }
+
+    const NESTED: &str = "\
+void compute(double *a, double *partial, int n, int m) {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] * 2.0;
+  }
+  for (int j = 1; j <= m; j++) {
+    double sum = 0.0;
+    for (int k = 0; k < n; k++) {
+      sum += partial[k * m + j - 1];
+    }
+    a[j] = sum;
+  }
+}
+";
+
+    #[test]
+    fn kernels_and_loops_indexed_in_order() {
+        let (_f, graphs, _unit) = graphs(NESTED);
+        let g = graphs.function("compute").unwrap();
+        assert_eq!(g.kernel_count(), 1);
+        assert_eq!(g.index.loops().len(), 3);
+        assert_eq!(graphs.total_kernels(), 1);
+        // kernels() precede the host loops in source order
+        let kernel = g.index.kernels()[0];
+        let first_host_loop = g.index.loops()[1];
+        assert!(g.index.is_before(kernel, first_host_loop));
+    }
+
+    #[test]
+    fn offloaded_statements_are_marked() {
+        let (_f, graphs, unit) = graphs(NESTED);
+        let g = graphs.function("compute").unwrap();
+        let func = unit.function("compute").unwrap();
+        let mut offloaded_exprs = 0;
+        let mut host_exprs = 0;
+        func.body.as_ref().unwrap().walk(&mut |s| {
+            if matches!(s.kind, StmtKind::Expr(_)) {
+                let info = g.index.info(s.id).unwrap();
+                if info.offloaded {
+                    offloaded_exprs += 1;
+                } else {
+                    host_exprs += 1;
+                }
+            }
+        });
+        assert_eq!(offloaded_exprs, 1); // a[i] = a[i] * 2.0
+        assert_eq!(host_exprs, 2); // sum += ...; a[j] = sum
+    }
+
+    #[test]
+    fn enclosing_loops_outermost_first() {
+        let (_f, graphs, unit) = graphs(NESTED);
+        let g = graphs.function("compute").unwrap();
+        let func = unit.function("compute").unwrap();
+        // Find the innermost host statement `sum += partial[...]`.
+        let mut target = None;
+        func.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::Expr(e) = &s.kind {
+                if e.referenced_vars().contains(&"partial".to_string()) {
+                    target = Some(s.id);
+                }
+            }
+        });
+        let target = target.unwrap();
+        let loops = g.index.enclosing_loops(target);
+        assert_eq!(loops.len(), 2);
+        // outermost (j loop) first
+        assert!(g.index.is_before(loops[0], loops[1]));
+        // The outermost loop enclosing this access is the j loop; the kernel
+        // statement precedes it so it is a valid hoist target.
+        let outer = g.index.outermost_loop_after(target, Some(g.index.kernels()[0]));
+        assert_eq!(outer, Some(loops[0]));
+    }
+
+    #[test]
+    fn loop_limit_prevents_hoisting_past_kernel() {
+        let src = "\
+void f(double *a, int n) {
+  for (int it = 0; it < 10; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < n; i++) a[i] += 1.0;
+    double s = 0.0;
+    for (int i = 0; i < n; i++) s += a[i];
+  }
+}
+";
+        let (_f, graphs, unit) = graphs(src);
+        let g = graphs.function("f").unwrap();
+        let func = unit.function("f").unwrap();
+        let mut host_read = None;
+        func.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::Expr(e) = &s.kind {
+                let vars = e.referenced_vars();
+                if vars.contains(&"s".to_string()) && vars.contains(&"a".to_string()) {
+                    let info = g.index.info(s.id).unwrap();
+                    if !info.offloaded {
+                        host_read = Some(s.id);
+                    }
+                }
+            }
+        });
+        let host_read = host_read.unwrap();
+        // Without a limit the outermost enclosing loop is the `it` loop...
+        let unlimited = g.index.outermost_loop_after(host_read, None).unwrap();
+        assert_eq!(g.index.enclosing_loops(host_read)[0], unlimited);
+        // ...but limited by the kernel's position (locLim) only the inner
+        // summation loop qualifies.
+        let limited = g
+            .index
+            .outermost_loop_after(host_read, Some(g.index.kernels()[0]))
+            .unwrap();
+        assert_eq!(g.index.enclosing_loops(host_read)[1], limited);
+    }
+
+    #[test]
+    fn data_regions_and_updates_indexed() {
+        let src = "\
+void f(double *a, int n) {
+  #pragma omp target data map(tofrom: a[0:n])
+  {
+    #pragma omp target
+    for (int i = 0; i < n; i++) a[i] += 1.0;
+    #pragma omp target update from(a[0:n])
+  }
+}
+";
+        let (_f, graphs, _unit) = graphs(src);
+        let g = graphs.function("f").unwrap();
+        assert_eq!(g.index.data_regions().len(), 1);
+        assert_eq!(g.index.updates().len(), 1);
+        // the update is inside the data region
+        let upd = g.index.updates()[0];
+        assert_eq!(
+            g.index.info(upd).unwrap().enclosing_data_region,
+            Some(g.index.data_regions()[0])
+        );
+    }
+
+    #[test]
+    fn parent_chain_is_recorded() {
+        let (_f, graphs, unit) = graphs(NESTED);
+        let g = graphs.function("compute").unwrap();
+        let func = unit.function("compute").unwrap();
+        let body = func.body.as_ref().unwrap();
+        // The function body has no parent; everything else does.
+        assert!(g.index.info(body.id).unwrap().parent.is_none());
+        let mut checked = 0;
+        body.walk(&mut |s| {
+            if s.id != body.id {
+                assert!(g.index.info(s.id).unwrap().parent.is_some());
+                checked += 1;
+            }
+        });
+        assert!(checked > 5);
+    }
+
+    #[test]
+    fn functions_without_bodies_are_skipped() {
+        let (_f, graphs, _unit) = graphs("int ext(int x);\nint use(int x) { return ext(x); }\n");
+        assert_eq!(graphs.functions.len(), 1);
+        assert!(graphs.function("use").is_some());
+        assert!(graphs.function("ext").is_none());
+    }
+
+    #[test]
+    fn stmts_in_order_is_stable() {
+        let (_f, graphs, _unit) = graphs(NESTED);
+        let g = graphs.function("compute").unwrap();
+        let ordered = g.index.stmts_in_order();
+        for (i, info) in ordered.iter().enumerate() {
+            assert_eq!(info.order, i);
+        }
+        assert_eq!(ordered.len(), g.index.len());
+    }
+}

@@ -1,0 +1,169 @@
+//! Runtime values of the MiniC interpreter.
+
+use std::fmt;
+
+/// Identifier of a memory object (an allocation: a variable, array, struct
+/// or heap block).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl fmt::Debug for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+/// A pointer value: an object plus an element offset into it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Pointer {
+    pub object: ObjectId,
+    pub offset: i64,
+}
+
+impl Pointer {
+    pub fn new(object: ObjectId, offset: i64) -> Self {
+        Pointer { object, offset }
+    }
+
+    /// Pointer arithmetic: advance by `delta` elements.
+    pub fn add(self, delta: i64) -> Self {
+        Pointer { object: self.object, offset: self.offset + delta }
+    }
+}
+
+/// A runtime value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Value {
+    Int(i64),
+    Double(f64),
+    Ptr(Pointer),
+    /// The absence of a value (void function results, uninitialized data).
+    Unit,
+}
+
+impl Value {
+    /// Interpret the value as a boolean condition.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(v) => *v != 0,
+            Value::Double(v) => *v != 0.0,
+            Value::Ptr(_) => true,
+            Value::Unit => false,
+        }
+    }
+
+    /// Numeric value as f64 (pointers and unit coerce to 0).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            Value::Int(v) => *v as f64,
+            Value::Double(v) => *v,
+            Value::Ptr(p) => p.offset as f64,
+            Value::Unit => 0.0,
+        }
+    }
+
+    /// Numeric value as i64 (truncating doubles).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            Value::Int(v) => *v,
+            Value::Double(v) => *v as i64,
+            Value::Ptr(p) => p.offset,
+            Value::Unit => 0,
+        }
+    }
+
+    /// The pointer inside this value, if it is one.
+    pub fn as_ptr(&self) -> Option<Pointer> {
+        match self {
+            Value::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// True if the value is floating point.
+    pub fn is_double(&self) -> bool {
+        matches!(self, Value::Double(_))
+    }
+
+    /// Binary arithmetic with C-like promotion: if either operand is a
+    /// double the result is a double, otherwise integer arithmetic is used.
+    pub fn arith(self, other: Value, f_int: impl Fn(i64, i64) -> i64, f_dbl: impl Fn(f64, f64) -> f64) -> Value {
+        match (self, other) {
+            (Value::Ptr(p), v) => Value::Ptr(p.add(v.as_i64())),
+            (v, Value::Ptr(p)) => Value::Ptr(p.add(v.as_i64())),
+            (a, b) => {
+                if a.is_double() || b.is_double() {
+                    Value::Double(f_dbl(a.as_f64(), b.as_f64()))
+                } else {
+                    Value::Int(f_int(a.as_i64(), b.as_i64()))
+                }
+            }
+        }
+    }
+
+    /// Comparison returning a C-style 0/1 integer.
+    pub fn compare(self, other: Value, f: impl Fn(f64, f64) -> bool) -> Value {
+        Value::Int(i64::from(f(self.as_f64(), other.as_f64())))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Ptr(p) => write!(f, "&{:?}[{}]", p.object, p.offset),
+            Value::Unit => write!(f, "()"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Int(3).truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Double(0.1).truthy());
+        assert!(!Value::Double(0.0).truthy());
+        assert!(Value::Ptr(Pointer::new(ObjectId(1), 0)).truthy());
+        assert!(!Value::Unit.truthy());
+    }
+
+    #[test]
+    fn arithmetic_promotion() {
+        let a = Value::Int(3);
+        let b = Value::Double(0.5);
+        let sum = a.arith(b, |x, y| x + y, |x, y| x + y);
+        assert_eq!(sum, Value::Double(3.5));
+        let c = Value::Int(7).arith(Value::Int(2), |x, y| x / y, |x, y| x / y);
+        assert_eq!(c, Value::Int(3));
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        let p = Value::Ptr(Pointer::new(ObjectId(4), 10));
+        let q = p.arith(Value::Int(5), |x, y| x + y, |x, y| x + y);
+        assert_eq!(q.as_ptr().unwrap().offset, 15);
+        let r = Value::Int(2).arith(p, |x, y| x + y, |x, y| x + y);
+        assert_eq!(r.as_ptr().unwrap().offset, 12);
+    }
+
+    #[test]
+    fn comparisons_yield_int() {
+        let r = Value::Double(2.0).compare(Value::Int(3), |a, b| a < b);
+        assert_eq!(r, Value::Int(1));
+        let r = Value::Int(5).compare(Value::Int(3), |a, b| a < b);
+        assert_eq!(r, Value::Int(0));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Double(2.9).as_i64(), 2);
+        assert_eq!(Value::Int(2).as_f64(), 2.0);
+        assert_eq!(Value::Unit.as_i64(), 0);
+        assert!(Value::Int(1).as_ptr().is_none());
+    }
+}

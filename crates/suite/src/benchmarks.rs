@@ -1,0 +1,268 @@
+//! The nine benchmark programs used to evaluate OMPDart (Table III of the
+//! paper), ported to MiniC.
+//!
+//! Each benchmark ships in two variants, exactly as in the paper's
+//! evaluation methodology (Section V):
+//!
+//! * **unoptimized** — no explicit data mappings; the program relies on the
+//!   implicit OpenMP data-mapping rules. This is the input OMPDart consumes.
+//! * **expert** — the hand-optimized data mappings of the Rodinia / HeCBench
+//!   implementations (including their known inefficiencies: the small struct
+//!   clenergy overlooks, the scalars hotspot/nw/xsbench map instead of
+//!   passing firstprivate, and lulesh's redundant per-step updates).
+//!
+//! The ports are scaled down so the offload runtime simulator executes them
+//! in milliseconds, but they preserve the data-mapping structure that drives
+//! the paper's results: the same kernel counts as Table IV, the same
+//! host/device interleavings, and the same opportunities for OMPDart.
+
+/// Origin suite of a benchmark (Table III).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Suite {
+    Rodinia,
+    HeCBench,
+}
+
+impl Suite {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Suite::Rodinia => "Rodinia",
+            Suite::HeCBench => "HeCBench",
+        }
+    }
+}
+
+/// One benchmark application with both evaluation variants.
+#[derive(Clone, Debug)]
+pub struct Benchmark {
+    /// Short name used throughout the paper (e.g. `backprop`).
+    pub name: &'static str,
+    pub suite: Suite,
+    /// Application domain (Table III).
+    pub domain: &'static str,
+    /// One-line description (Table III).
+    pub description: &'static str,
+    /// Source without explicit data mappings (OMPDart's input).
+    pub unoptimized: &'static str,
+    /// Source with the expert-defined data mappings.
+    pub expert: &'static str,
+    /// True when the paper reports OMPDart strictly outperforming the expert
+    /// mapping (lulesh).
+    pub tool_beats_expert: bool,
+}
+
+impl Benchmark {
+    /// File name used when reporting diagnostics for the unoptimized source.
+    pub fn unoptimized_file(&self) -> String {
+        format!("{}_unoptimized.c", self.name)
+    }
+
+    /// File name used when reporting diagnostics for the expert source.
+    pub fn expert_file(&self) -> String {
+        format!("{}_expert.c", self.name)
+    }
+}
+
+/// All nine benchmarks in the order the paper lists them (Table III).
+pub fn all() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "accuracy",
+            suite: Suite::HeCBench,
+            domain: "Machine Learning",
+            description: "Computes the classification accuracy of a neural network",
+            unoptimized: include_str!("../assets/accuracy_unoptimized.c"),
+            expert: include_str!("../assets/accuracy_expert.c"),
+            tool_beats_expert: false,
+        },
+        Benchmark {
+            name: "ace",
+            suite: Suite::HeCBench,
+            domain: "Fluid Dynamics",
+            description: "Phase-field simulation of dendritic solidification (Allen-Cahn equation)",
+            unoptimized: include_str!("../assets/ace_unoptimized.c"),
+            expert: include_str!("../assets/ace_expert.c"),
+            tool_beats_expert: false,
+        },
+        Benchmark {
+            name: "backprop",
+            suite: Suite::Rodinia,
+            domain: "Pattern Recognition",
+            description: "Trains the weights of connecting nodes on a neural network layer",
+            unoptimized: include_str!("../assets/backprop_unoptimized.c"),
+            expert: include_str!("../assets/backprop_expert.c"),
+            tool_beats_expert: false,
+        },
+        Benchmark {
+            name: "bfs",
+            suite: Suite::Rodinia,
+            domain: "Graph Traversal",
+            description: "Traverses all the connected components in a graph",
+            unoptimized: include_str!("../assets/bfs_unoptimized.c"),
+            expert: include_str!("../assets/bfs_expert.c"),
+            tool_beats_expert: false,
+        },
+        Benchmark {
+            name: "clenergy",
+            suite: Suite::HeCBench,
+            domain: "Physics Simulation",
+            description: "Evaluates electrostatic potentials on a lattice by direct Coulomb summation",
+            unoptimized: include_str!("../assets/clenergy_unoptimized.c"),
+            expert: include_str!("../assets/clenergy_expert.c"),
+            tool_beats_expert: false,
+        },
+        Benchmark {
+            name: "hotspot",
+            suite: Suite::Rodinia,
+            domain: "Physics Simulation",
+            description: "Thermal simulation estimating processor temperature from the floor plan",
+            unoptimized: include_str!("../assets/hotspot_unoptimized.c"),
+            expert: include_str!("../assets/hotspot_expert.c"),
+            tool_beats_expert: false,
+        },
+        Benchmark {
+            name: "lulesh",
+            suite: Suite::HeCBench,
+            domain: "Hydrodynamics",
+            description: "Proxy application that simulates shock hydrodynamics",
+            unoptimized: include_str!("../assets/lulesh_unoptimized.c"),
+            expert: include_str!("../assets/lulesh_expert.c"),
+            tool_beats_expert: true,
+        },
+        Benchmark {
+            name: "nw",
+            suite: Suite::Rodinia,
+            domain: "Bioinformatics",
+            description: "Needleman-Wunsch global optimization for DNA sequence alignment",
+            unoptimized: include_str!("../assets/nw_unoptimized.c"),
+            expert: include_str!("../assets/nw_expert.c"),
+            tool_beats_expert: false,
+        },
+        Benchmark {
+            name: "xsbench",
+            suite: Suite::HeCBench,
+            domain: "Neutron Transport",
+            description: "Key computational kernel of the Monte-Carlo neutron transport algorithm",
+            unoptimized: include_str!("../assets/xsbench_unoptimized.c"),
+            expert: include_str!("../assets/xsbench_expert.c"),
+            tool_beats_expert: false,
+        },
+    ]
+}
+
+/// Find a benchmark by name.
+pub fn by_name(name: &str) -> Option<Benchmark> {
+    all().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ompdart_frontend::parser::parse_str;
+
+    #[test]
+    fn nine_benchmarks_in_paper_order() {
+        let names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "accuracy", "ace", "backprop", "bfs", "clenergy", "hotspot", "lulesh", "nw",
+                "xsbench"
+            ]
+        );
+    }
+
+    #[test]
+    fn suites_match_table_iii() {
+        let rodinia: Vec<&str> = all()
+            .iter()
+            .filter(|b| b.suite == Suite::Rodinia)
+            .map(|b| b.name)
+            .collect();
+        assert_eq!(rodinia, vec!["backprop", "bfs", "hotspot", "nw"]);
+        assert_eq!(all().iter().filter(|b| b.suite == Suite::HeCBench).count(), 5);
+    }
+
+    #[test]
+    fn every_variant_parses() {
+        for bench in all() {
+            for (label, src) in [("unoptimized", bench.unoptimized), ("expert", bench.expert)] {
+                let (file, result) = parse_str(&format!("{}_{label}.c", bench.name), src);
+                assert!(
+                    result.is_ok(),
+                    "{} {label} failed to parse:\n{}",
+                    bench.name,
+                    result.diagnostics.render_all(&file)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_counts_match_table_iv() {
+        use ompdart_frontend::ast::StmtKind;
+        let expected = [
+            ("accuracy", 1),
+            ("ace", 6),
+            ("backprop", 2),
+            ("bfs", 2),
+            ("clenergy", 2),
+            ("hotspot", 1),
+            ("lulesh", 15),
+            ("nw", 2),
+            ("xsbench", 1),
+        ];
+        for (name, kernels) in expected {
+            let bench = by_name(name).unwrap();
+            let (_f, result) = parse_str("b.c", bench.unoptimized);
+            let mut count = 0;
+            for f in result.unit.functions() {
+                f.body.as_ref().unwrap().walk(&mut |s| {
+                    if let StmtKind::Omp(d) = &s.kind {
+                        if d.kind.is_offload_kernel() {
+                            count += 1;
+                        }
+                    }
+                });
+            }
+            assert_eq!(count, kernels, "kernel count mismatch for {name}");
+        }
+    }
+
+    #[test]
+    fn unoptimized_variants_have_no_explicit_mappings() {
+        use ompdart_frontend::ast::StmtKind;
+        for bench in all() {
+            let (_f, result) = parse_str("b.c", bench.unoptimized);
+            for f in result.unit.functions() {
+                f.body.as_ref().unwrap().walk(&mut |s| {
+                    if let StmtKind::Omp(d) = &s.kind {
+                        assert!(
+                            !d.kind.is_data_directive() && !d.has_explicit_data_motion(),
+                            "{}: unoptimized variant contains explicit mappings",
+                            bench.name
+                        );
+                    }
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn expert_variants_do_use_explicit_mappings() {
+        for bench in all() {
+            assert!(
+                bench.expert.contains("#pragma omp target data"),
+                "{}: expert variant should use a target data region",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("lulesh").unwrap().tool_beats_expert);
+        assert!(!by_name("ace").unwrap().tool_beats_expert);
+        assert!(by_name("does-not-exist").is_none());
+    }
+}

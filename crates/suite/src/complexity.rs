@@ -1,0 +1,171 @@
+//! Benchmark data-mapping complexity metrics (Table IV of the paper).
+//!
+//! For each benchmark the paper reports the number of kernel regions, the
+//! lines of code inside offloaded regions, the number of mapped variables,
+//! and an estimate of the size of the mapping search space:
+//!
+//! ```text
+//! mappings = kernels * variables * 4 + (lines / 2) * variables * 3
+//! ```
+//!
+//! (each variable can carry one of four map-types per kernel, and an update
+//! directive in either direction — or none — can be placed at roughly every
+//! other offloaded line).
+
+use crate::benchmarks::Benchmark;
+use ompdart_core::{OmpDart, OmpDartOptions};
+use ompdart_frontend::ast::StmtKind;
+use ompdart_frontend::diag::Diagnostics;
+use ompdart_frontend::parser::parse_str;
+
+/// One row of Table IV.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComplexityRow {
+    pub name: String,
+    /// Number of offload kernel regions.
+    pub kernels: usize,
+    /// Lines of code inside offloaded regions.
+    pub offloaded_lines: usize,
+    /// Number of variables that participate in host/device data mapping.
+    pub mapped_variables: usize,
+    /// Estimated number of possible mapping combinations.
+    pub possible_mappings: usize,
+}
+
+impl ComplexityRow {
+    /// The paper's formula for the size of the mapping search space.
+    pub fn mappings_formula(kernels: usize, lines: usize, variables: usize) -> usize {
+        kernels * variables * 4 + (lines / 2) * variables * 3
+    }
+}
+
+/// Compute the complexity metrics for one benchmark from its unoptimized
+/// source (the input OMPDart analyzes).
+pub fn complexity_of(bench: &Benchmark) -> ComplexityRow {
+    let (file, result) = parse_str(&bench.unoptimized_file(), bench.unoptimized);
+    assert!(
+        result.is_ok(),
+        "{} failed to parse: {}",
+        bench.name,
+        result.diagnostics.render_all(&file)
+    );
+    let unit = result.unit;
+
+    // Kernel count and offloaded line count come straight from the AST.
+    let mut kernels = 0usize;
+    let mut offloaded_lines = 0usize;
+    for func in unit.functions() {
+        func.body.as_ref().unwrap().walk(&mut |s| {
+            if let StmtKind::Omp(dir) = &s.kind {
+                if dir.kind.is_offload_kernel() {
+                    kernels += 1;
+                    let start = file.line_col(s.span.start).line as usize;
+                    let end = file.line_col(s.span.end).line as usize;
+                    offloaded_lines += end.saturating_sub(start) + 1;
+                }
+            }
+        });
+    }
+
+    // Mapped variables: what OMPDart's analysis decides needs mapping
+    // (map clauses, updates, firstprivate) across all functions.
+    let tool = OmpDart::with_options(OmpDartOptions::default());
+    let mut diags = Diagnostics::new();
+    let (plans, _stats) = tool.analyze_unit(&unit, &mut diags);
+    let mut vars: Vec<String> = Vec::new();
+    for plan in &plans {
+        for v in plan.mapped_variables() {
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    let mapped_variables = vars.len();
+
+    ComplexityRow {
+        name: bench.name.to_string(),
+        kernels,
+        offloaded_lines,
+        mapped_variables,
+        possible_mappings: ComplexityRow::mappings_formula(
+            kernels,
+            offloaded_lines,
+            mapped_variables,
+        ),
+    }
+}
+
+/// Complexity rows for every benchmark (Table IV).
+pub fn table4_rows() -> Vec<ComplexityRow> {
+    crate::benchmarks::all().iter().map(complexity_of).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn formula_matches_paper_example() {
+        // accuracy in the paper: 1 kernel, 37 offloaded lines, 5 variables
+        // => 1*5*4 + 18*5*3 = 290 (the paper rounds the line count slightly
+        // differently and reports 297; the formula itself is what matters).
+        assert_eq!(ComplexityRow::mappings_formula(1, 37, 5), 290);
+        // lulesh: 15 kernels, 1293 lines, 65 variables => 15*65*4 + 646*65*3.
+        assert_eq!(ComplexityRow::mappings_formula(15, 1293, 65), 129_870);
+    }
+
+    #[test]
+    fn kernel_counts_match_table_iv() {
+        let rows = table4_rows();
+        let expect = [
+            ("accuracy", 1),
+            ("ace", 6),
+            ("backprop", 2),
+            ("bfs", 2),
+            ("clenergy", 2),
+            ("hotspot", 1),
+            ("lulesh", 15),
+            ("nw", 2),
+            ("xsbench", 1),
+        ];
+        for (name, kernels) in expect {
+            let row = rows.iter().find(|r| r.name == name).unwrap();
+            assert_eq!(row.kernels, kernels, "kernel count for {name}");
+        }
+    }
+
+    #[test]
+    fn lulesh_is_the_most_complex() {
+        let rows = table4_rows();
+        let lulesh = rows.iter().find(|r| r.name == "lulesh").unwrap();
+        for row in &rows {
+            assert!(
+                lulesh.possible_mappings >= row.possible_mappings,
+                "lulesh should dominate the mapping search space ({} vs {} for {})",
+                lulesh.possible_mappings,
+                row.possible_mappings,
+                row.name
+            );
+            assert!(lulesh.mapped_variables >= row.mapped_variables);
+        }
+        assert!(lulesh.mapped_variables >= 20);
+    }
+
+    #[test]
+    fn every_row_has_offloaded_lines_and_variables() {
+        for row in table4_rows() {
+            assert!(row.kernels >= 1, "{}", row.name);
+            assert!(row.offloaded_lines >= row.kernels * 2, "{}", row.name);
+            assert!(row.mapped_variables >= 2, "{}", row.name);
+            assert!(row.possible_mappings > 0, "{}", row.name);
+        }
+    }
+
+    #[test]
+    fn hotspot_maps_many_scalars() {
+        let row = complexity_of(&benchmarks::by_name("hotspot").unwrap());
+        // temp, power, result plus the physical-constant scalars.
+        assert!(row.mapped_variables >= 8, "got {}", row.mapped_variables);
+    }
+}

@@ -1,0 +1,35 @@
+//! # ompdart-suite
+//!
+//! Benchmarks and the experiment harness for the OMPDart reproduction.
+//!
+//! This crate carries the nine HPC benchmark programs of the paper's
+//! evaluation (Table III), ported to MiniC in both the *unoptimized* and the
+//! *expert-optimized* variants, together with:
+//!
+//! * [`complexity`] — the data-mapping complexity metrics of Table IV,
+//! * [`experiment`] — the harness that transforms each unoptimized program
+//!   with OMPDart, simulates all three variants on the offload runtime
+//!   simulator, and derives Figures 3-6, Table V, and the Section VI
+//!   geometric-mean summary,
+//! * [`report`] — plain-text renderings of every table and figure.
+//!
+//! ```no_run
+//! use ompdart_suite::experiment::{run_all, ExperimentConfig};
+//! use ompdart_suite::report;
+//!
+//! let config = ExperimentConfig::default();
+//! let results = run_all(&config);
+//! println!("{}", report::figure5(&results, &config.cost));
+//! println!("{}", report::summary(&results, &config.cost));
+//! ```
+
+pub mod benchmarks;
+pub mod complexity;
+pub mod experiment;
+pub mod report;
+
+pub use benchmarks::{all as all_benchmarks, by_name, Benchmark, Suite};
+pub use complexity::{complexity_of, table4_rows, ComplexityRow};
+pub use experiment::{
+    run_all, run_benchmark, summarize, BenchmarkResult, ExperimentConfig, Summary, VariantResult,
+};

@@ -1,0 +1,74 @@
+//! Quickstart: run OMPDart on a small OpenMP offload program and see what it
+//! inserts and what it saves.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ompdart_core::OmpDart;
+use ompdart_sim::{format_bytes, simulate_source, CostModel, SimConfig};
+
+const PROGRAM: &str = r#"
+#define N 4096
+#define STEPS 25
+double field[N];
+double forcing[N];
+
+int main() {
+  for (int i = 0; i < N; i++) {
+    field[i] = 0.0;
+    forcing[i] = 0.001 * i;
+  }
+  for (int step = 0; step < STEPS; step++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 1; i < N - 1; i++) {
+      field[i] = field[i] + 0.25 * (field[i - 1] - 2.0 * field[i] + field[i + 1]) + forcing[i];
+    }
+  }
+  double total = 0.0;
+  for (int i = 0; i < N; i++) total += field[i];
+  printf("field_sum %.6f\n", total);
+  return 0;
+}
+"#;
+
+fn main() {
+    // 1. Run the static analysis + source rewriting.
+    let result = OmpDart::new()
+        .transform_source("quickstart.c", PROGRAM)
+        .expect("OMPDart failed");
+
+    println!("=== OMPDart transformed source ===\n{}", result.transformed_source);
+    println!("constructs inserted: {} ({} map clauses, {} updates, {} firstprivate)",
+        result.stats.total_constructs(),
+        result.stats.map_clauses,
+        result.stats.update_directives,
+        result.stats.firstprivate_clauses,
+    );
+    println!("analysis time: {:.3} ms\n", result.tool_time.as_secs_f64() * 1e3);
+
+    // 2. Execute both versions on the offload runtime simulator and compare
+    //    the nsys-style transfer profiles.
+    let cost = CostModel::default();
+    let before = simulate_source(PROGRAM, SimConfig::default()).expect("baseline run failed");
+    let after = simulate_source(&result.transformed_source, SimConfig::default())
+        .expect("transformed run failed");
+
+    assert_eq!(before.output, after.output, "the transformation must not change results");
+    println!("program output: {:?} (identical before/after)", after.output);
+    println!();
+    println!("{:<28} {:>16} {:>16}", "metric", "implicit mappings", "OMPDart");
+    println!("{:<28} {:>16} {:>16}", "HtoD memcpy calls", before.profile.htod_calls, after.profile.htod_calls);
+    println!("{:<28} {:>16} {:>16}", "DtoH memcpy calls", before.profile.dtoh_calls, after.profile.dtoh_calls);
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "bytes transferred",
+        format_bytes(before.profile.total_bytes()),
+        format_bytes(after.profile.total_bytes())
+    );
+    println!(
+        "{:<28} {:>15.2}x",
+        "speedup (est.)",
+        after.profile.speedup_over(&before.profile, &cost)
+    );
+}

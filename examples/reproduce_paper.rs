@@ -1,0 +1,61 @@
+//! Reproduce every table and figure of the paper's evaluation section.
+//!
+//! ```sh
+//! cargo run --release --example reproduce_paper            # everything
+//! cargo run --release --example reproduce_paper -- --fig5  # one artifact
+//! ```
+//!
+//! Accepted flags: `--table1` .. `--table5`, `--fig3` .. `--fig6`,
+//! `--summary`. With no flags all artifacts are printed in order.
+
+use ompdart_suite::experiment::{run_all, ExperimentConfig};
+use ompdart_suite::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+
+    // The static tables need no execution.
+    if want("--table1") {
+        println!("{}", report::table1());
+    }
+    if want("--table2") {
+        println!("{}", report::table2());
+    }
+    if want("--table3") {
+        println!("{}", report::table3());
+    }
+    if want("--table4") {
+        println!("{}", report::table4());
+    }
+
+    let needs_run = ["--table5", "--fig3", "--fig4", "--fig5", "--fig6", "--summary"]
+        .iter()
+        .any(|f| want(f));
+    if !needs_run {
+        return;
+    }
+
+    eprintln!("running the nine benchmarks (unoptimized / OMPDart / expert)...");
+    let config = ExperimentConfig::default();
+    let results = run_all(&config);
+
+    if want("--table5") {
+        println!("{}", report::table5(&results));
+    }
+    if want("--fig3") {
+        println!("{}", report::figure3(&results));
+    }
+    if want("--fig4") {
+        println!("{}", report::figure4(&results));
+    }
+    if want("--fig5") {
+        println!("{}", report::figure5(&results, &config.cost));
+    }
+    if want("--fig6") {
+        println!("{}", report::figure6(&results, &config.cost));
+    }
+    if want("--summary") {
+        println!("{}", report::summary(&results, &config.cost));
+    }
+}

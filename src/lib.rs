@@ -1,0 +1,6 @@
+//! Workspace-level re-exports for the OMPDart reproduction.
+pub use ompdart_core as core;
+pub use ompdart_frontend as frontend;
+pub use ompdart_graph as graph;
+pub use ompdart_sim as sim;
+pub use ompdart_suite as suite;

@@ -1,0 +1,177 @@
+//! Cross-crate integration tests: frontend -> graph -> core -> sim on the
+//! motivating examples of the paper and a subset of the benchmark suite.
+
+use ompdart_core::{transform, MappingConstruct, OmpDart, OmpDartOptions};
+use ompdart_frontend::omp::DirectiveKind;
+use ompdart_sim::{simulate_source, CostModel, SimConfig};
+use ompdart_suite::experiment::{run_benchmark, ExperimentConfig};
+use ompdart_suite::{by_name, table4_rows};
+
+/// Table I: every offload-kernel directive kind must be recognized by the
+/// frontend, marked offloaded by the graph crate, and mapped by the core.
+#[test]
+fn table1_every_kernel_directive_is_supported_end_to_end() {
+    for kind in DirectiveKind::all_offload_kernels() {
+        let src = format!(
+            "#define N 32\ndouble a[N];\nvoid f() {{\n  #pragma omp {}\n  for (int i = 0; i < N; i++) a[i] = i;\n}}\nint main() {{ f(); printf(\"%.0f\\n\", a[5]); return 0; }}\n",
+            kind.directive_text()
+        );
+        let result = transform("kernel.c", &src)
+            .unwrap_or_else(|e| panic!("transform failed for `{kind:?}`: {e}"));
+        assert_eq!(result.stats.kernels, 1, "{kind:?}");
+        assert!(result.stats.map_clauses >= 1, "{kind:?}");
+        let before = simulate_source(&src, SimConfig::default()).unwrap();
+        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output, "{kind:?}");
+    }
+}
+
+/// Table II: the seven constructs of the paper are exactly the ones the tool
+/// can insert, and each can be observed in at least one transformation.
+#[test]
+fn table2_constructs_are_observable() {
+    assert_eq!(MappingConstruct::all().len(), 7);
+
+    // A program that needs map(to), map(from), map(alloc), update to,
+    // update from and firstprivate all at once.
+    let src = "\
+#define N 64
+#define STEPS 4
+double input[N];
+double output[N];
+double scratch[N];
+int flag;
+int main() {
+  for (int i = 0; i < N; i++) { input[i] = i; output[i] = 0.0; scratch[i] = 0.0; }
+  double scale = 0.5;
+  for (int s = 0; s < STEPS; s++) {
+    flag = s;
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) {
+      scratch[i] = input[i] * scale + flag;
+      if (i > 0) {
+        output[i] = scratch[i] + output[i - 1];
+      }
+    }
+    double probe = 0.0;
+    for (int i = 0; i < N; i++) probe += output[i];
+    printf(\"probe %.1f\\n\", probe);
+  }
+  return 0;
+}
+";
+    let result = transform("all_constructs.c", src).unwrap();
+    let text = &result.transformed_source;
+    assert!(text.contains("map(to:"), "{text}");
+    assert!(text.contains("map(from:") || text.contains("map(tofrom:"), "{text}");
+    assert!(text.contains("firstprivate("), "{text}");
+    assert!(text.contains("target update from("), "{text}");
+    let before = simulate_source(src, SimConfig::default()).unwrap();
+    let after = simulate_source(text, SimConfig::default()).unwrap();
+    assert_eq!(before.output, after.output, "{text}");
+}
+
+/// The paper's three motivating listings, end to end through the public API.
+#[test]
+fn motivating_listings_reduce_transfers_and_stay_correct() {
+    let listing1 = "\
+#define N 128
+int a[N];
+int main() {
+  for (int i = 0; i < N; ++i) {
+    #pragma omp target
+    for (int j = 0; j < N; ++j) a[j] += j;
+  }
+  int s = 0;
+  for (int j = 0; j < N; ++j) s += a[j];
+  printf(\"%d\\n\", s);
+  return 0;
+}
+";
+    let listing2 = "\
+#define N 128
+int a[N];
+int main() {
+  #pragma omp target
+  for (int i = 0; i < N; ++i) a[i] += i;
+  #pragma omp target
+  for (int i = 0; i < N; ++i) a[i] *= i;
+  printf(\"%d\\n\", a[64]);
+  return 0;
+}
+";
+    for (name, src, min_reduction) in
+        [("listing1", listing1, 10.0), ("listing2", listing2, 1.5)]
+    {
+        let result = transform(name, src).unwrap();
+        let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output, "{name}");
+        let reduction =
+            before.profile.total_bytes() as f64 / after.profile.total_bytes().max(1) as f64;
+        assert!(
+            reduction >= min_reduction,
+            "{name}: expected at least {min_reduction}x transfer reduction, got {reduction:.2}x"
+        );
+    }
+}
+
+/// A focused subset of the benchmark suite (the full nine-benchmark run lives
+/// in `ompdart-suite`); checks the cross-crate plumbing with the default and
+/// a non-default cost model.
+#[test]
+fn benchmark_subset_end_to_end() {
+    let config = ExperimentConfig { cost: CostModel::fast_interconnect(), ..Default::default() };
+    for name in ["backprop", "clenergy"] {
+        let bench = by_name(name).unwrap();
+        let result = run_benchmark(&bench, &config).unwrap();
+        assert!(result.output_matches_expert(), "{name}");
+        assert!(result.output_matches_unoptimized(), "{name}");
+        assert!(
+            result.speedup_ompdart(&config.cost) >= result.speedup_expert(&config.cost) * 0.95,
+            "{name}"
+        );
+    }
+}
+
+/// The ablation knobs change what the tool emits but never break programs.
+#[test]
+fn ablation_options_preserve_correctness() {
+    let bench = by_name("backprop").unwrap();
+    let variants = [
+        OmpDartOptions::default(),
+        OmpDartOptions {
+            dataflow: ompdart_core::DataflowOptions {
+                firstprivate_optimization: false,
+                ..Default::default()
+            },
+            ..OmpDartOptions::default()
+        },
+        OmpDartOptions {
+            dataflow: ompdart_core::DataflowOptions {
+                hoist_updates: false,
+                ..Default::default()
+            },
+            ..OmpDartOptions::default()
+        },
+        OmpDartOptions { interprocedural: false, ..OmpDartOptions::default() },
+    ];
+    let baseline = simulate_source(bench.unoptimized, SimConfig::default()).unwrap();
+    for (i, options) in variants.iter().enumerate() {
+        let tool = OmpDart::with_options(*options);
+        let result = tool.transform_source("backprop.c", bench.unoptimized).unwrap();
+        let run = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(baseline.output, run.output, "ablation variant {i} changed the result");
+    }
+}
+
+/// Table IV sanity from the workspace root: lulesh dominates the mapping
+/// search space, mirroring the paper.
+#[test]
+fn table4_rows_available_from_root() {
+    let rows = table4_rows();
+    assert_eq!(rows.len(), 9);
+    let lulesh = rows.iter().find(|r| r.name == "lulesh").unwrap();
+    assert_eq!(lulesh.kernels, 15);
+    assert!(rows.iter().all(|r| lulesh.possible_mappings >= r.possible_mappings));
+}

@@ -1,0 +1,162 @@
+//! Property-based tests over the whole pipeline.
+//!
+//! Random (but well-formed) MiniC offload programs are generated from a
+//! small grammar and pushed through parser, analysis, rewriting and the
+//! offload simulator. The key invariants:
+//!
+//! * the transformed program still parses,
+//! * OMPDart never changes program output (no stale-data bugs introduced),
+//! * OMPDart never increases the number of bytes moved,
+//! * the reference-count semantics of the device data environment hold for
+//!   arbitrary nesting sequences.
+
+use ompdart_core::OmpDart;
+use ompdart_frontend::omp::MapType;
+use ompdart_frontend::parser::parse_str;
+use ompdart_sim::{simulate_source, DeviceEnv, Memory, ObjectKind, SimConfig, TransferProfile, Value};
+use proptest::prelude::*;
+
+/// A small statement menu used to build random host/device interleavings
+/// around a single global array.
+#[derive(Clone, Debug)]
+enum Piece {
+    HostInit(u8),
+    HostAccumulate,
+    KernelAdd(u8),
+    KernelScale(u8),
+    KernelInLoop { iters: u8, add: u8 },
+    HostPrint,
+}
+
+fn piece_strategy() -> impl Strategy<Value = Piece> {
+    prop_oneof![
+        (0u8..5).prop_map(Piece::HostInit),
+        Just(Piece::HostAccumulate),
+        (1u8..4).prop_map(Piece::KernelAdd),
+        (1u8..3).prop_map(Piece::KernelScale),
+        ((2u8..5), (1u8..3)).prop_map(|(iters, add)| Piece::KernelInLoop { iters, add }),
+        Just(Piece::HostPrint),
+    ]
+}
+
+/// Render a random program. It always contains at least one kernel so the
+/// tool has something to do, and always prints a final checksum.
+fn render_program(pieces: &[Piece]) -> String {
+    let mut body = String::new();
+    for piece in pieces {
+        match piece {
+            Piece::HostInit(v) => {
+                body.push_str(&format!(
+                    "  for (int i = 0; i < N; i++) data[i] = {v} + i % 3;\n"
+                ));
+            }
+            Piece::HostAccumulate => {
+                body.push_str("  for (int i = 0; i < N; i++) checksum += data[i];\n");
+            }
+            Piece::KernelAdd(v) => {
+                body.push_str(&format!(
+                    "  #pragma omp target teams distribute parallel for\n  for (int i = 0; i < N; i++) data[i] += {v};\n"
+                ));
+            }
+            Piece::KernelScale(v) => {
+                body.push_str(&format!(
+                    "  #pragma omp target teams distribute parallel for\n  for (int i = 0; i < N; i++) data[i] = data[i] * {v} + 1;\n"
+                ));
+            }
+            Piece::KernelInLoop { iters, add } => {
+                body.push_str(&format!(
+                    "  for (int it = 0; it < {iters}; it++) {{\n    #pragma omp target teams distribute parallel for\n    for (int i = 0; i < N; i++) data[i] += {add};\n  }}\n"
+                ));
+            }
+            Piece::HostPrint => {
+                body.push_str("  printf(\"probe %d\\n\", data[7] + checksum);\n");
+            }
+        }
+    }
+    format!(
+        "#define N 48\nint data[N];\nint main() {{\n  int checksum = 0;\n{body}  #pragma omp target teams distribute parallel for\n  for (int i = 0; i < N; i++) data[i] += 1;\n  for (int i = 0; i < N; i++) checksum += data[i];\n  printf(\"final %d\\n\", checksum);\n  return 0;\n}}\n"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Transformation preserves semantics and never moves more data.
+    #[test]
+    fn transformation_preserves_semantics(pieces in proptest::collection::vec(piece_strategy(), 1..6)) {
+        let src = render_program(&pieces);
+        let (_file, parsed) = parse_str("random.c", &src);
+        prop_assert!(parsed.is_ok(), "generated program failed to parse:\n{src}");
+
+        let result = OmpDart::new().transform_source("random.c", &src);
+        let result = match result {
+            Ok(r) => r,
+            Err(e) => return Err(TestCaseError::fail(format!("transform failed: {e}\n{src}"))),
+        };
+
+        // The transformed source must still be a valid program.
+        let (_f2, reparsed) = parse_str("random_out.c", &result.transformed_source);
+        prop_assert!(reparsed.is_ok(), "transformed program failed to parse:\n{}", result.transformed_source);
+
+        let before = simulate_source(&src, SimConfig::default()).expect("baseline failed");
+        let after = simulate_source(&result.transformed_source, SimConfig::default())
+            .expect("transformed program failed");
+        prop_assert_eq!(&before.output, &after.output,
+            "output changed\noriginal:\n{}\ntransformed:\n{}", src, result.transformed_source);
+        prop_assert!(after.profile.total_bytes() <= before.profile.total_bytes(),
+            "transformation increased data movement ({} -> {})\n{}",
+            before.profile.total_bytes(), after.profile.total_bytes(), result.transformed_source);
+        prop_assert!(after.profile.total_calls() <= before.profile.total_calls());
+    }
+
+    /// Device data-environment reference counting: for an arbitrary sequence
+    /// of nested map types, data is copied to the device only on the 0->1
+    /// transition and back only on the 1->0 transition, and presence ends
+    /// balanced.
+    #[test]
+    fn device_env_reference_counting(map_types in proptest::collection::vec(0u8..4, 1..8)) {
+        let to_type = |v: u8| match v {
+            0 => MapType::To,
+            1 => MapType::From,
+            2 => MapType::ToFrom,
+            _ => MapType::Alloc,
+        };
+        let mut mem = Memory::new();
+        let obj = mem.alloc("a", ObjectKind::Array { dims: vec![16] }, 8, true);
+        for i in 0..16 {
+            mem.write(obj, i, Value::Double(i as f64));
+        }
+        let mut dev = DeviceEnv::new();
+        let mut profile = TransferProfile::default();
+        let kinds: Vec<MapType> = map_types.iter().map(|v| to_type(*v)).collect();
+
+        // Enter all mappings (nested), then exit in reverse order.
+        for mt in &kinds {
+            dev.map_enter(&mem, obj, *mt, 128, &mut profile);
+        }
+        prop_assert_eq!(dev.ref_count(obj), kinds.len() as u32);
+        // At most one HtoD copy can have happened, and only if the OUTERMOST
+        // mapping requests it.
+        let expected_htod = u64::from(kinds[0].copies_to_device());
+        prop_assert_eq!(profile.htod_calls, expected_htod);
+
+        for mt in kinds.iter().rev() {
+            dev.map_exit(&mut mem, obj, *mt, 128, &mut profile);
+        }
+        prop_assert!(!dev.is_present(obj), "object must be released after balanced exits");
+        // At most one DtoH copy, and only if the outermost mapping requests it.
+        let expected_dtoh = u64::from(kinds[0].copies_to_host());
+        prop_assert_eq!(profile.dtoh_calls, expected_dtoh);
+    }
+
+    /// The frontend round-trips arbitrary integer expressions built from a
+    /// constrained grammar: parse(print(parse(e))) == parse(e) semantically
+    /// (same constant value).
+    #[test]
+    fn expression_constant_folding_is_stable(a in 0i64..100, b in 1i64..50, c in 0i64..20) {
+        let src = format!("int main() {{ return ({a} + {b} * {c}) - ({a} / {b}) + ({c} << 1); }}\n");
+        let expected = (a + b * c) - (a / b) + (c << 1);
+        let out = simulate_source(&src, SimConfig::default()).expect("run failed");
+        prop_assert_eq!(out.exit_code, expected);
+    }
+}
