@@ -14,7 +14,11 @@ fn profile_with(options: OmpDartOptions, bench_name: &str) -> (u64, u64, f64) {
     let result = tool.transform_source("b.c", bench.unoptimized).unwrap();
     let out = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
     let cost = CostModel::default();
-    (out.profile.total_calls(), out.profile.total_bytes(), out.profile.total_time(&cost))
+    (
+        out.profile.total_calls(),
+        out.profile.total_bytes(),
+        out.profile.total_time(&cost),
+    )
 }
 
 fn bench(c: &mut Criterion) {
@@ -24,7 +28,10 @@ fn bench(c: &mut Criterion) {
         (
             "no-firstprivate",
             OmpDartOptions {
-                dataflow: DataflowOptions { firstprivate_optimization: false, ..Default::default() },
+                dataflow: DataflowOptions {
+                    firstprivate_optimization: false,
+                    ..Default::default()
+                },
                 ..OmpDartOptions::default()
             },
             "hotspot",
@@ -33,7 +40,10 @@ fn bench(c: &mut Criterion) {
         (
             "no-update-hoisting",
             OmpDartOptions {
-                dataflow: DataflowOptions { hoist_updates: false, ..Default::default() },
+                dataflow: DataflowOptions {
+                    hoist_updates: false,
+                    ..Default::default()
+                },
                 ..OmpDartOptions::default()
             },
             "backprop",
@@ -41,7 +51,10 @@ fn bench(c: &mut Criterion) {
         ("default", OmpDartOptions::default(), "lulesh"),
         (
             "no-interprocedural",
-            OmpDartOptions { interprocedural: false, ..OmpDartOptions::default() },
+            OmpDartOptions {
+                interprocedural: false,
+                ..OmpDartOptions::default()
+            },
             "lulesh",
         ),
     ] {
@@ -55,11 +68,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/analysis_time");
     for (label, options) in [
         ("default", OmpDartOptions::default()),
-        ("no-interprocedural", OmpDartOptions { interprocedural: false, ..OmpDartOptions::default() }),
+        (
+            "no-interprocedural",
+            OmpDartOptions {
+                interprocedural: false,
+                ..OmpDartOptions::default()
+            },
+        ),
         (
             "no-hoisting",
             OmpDartOptions {
-                dataflow: DataflowOptions { hoist_updates: false, ..Default::default() },
+                dataflow: DataflowOptions {
+                    hoist_updates: false,
+                    ..Default::default()
+                },
                 ..OmpDartOptions::default()
             },
         ),
@@ -67,7 +89,12 @@ fn bench(c: &mut Criterion) {
         let bench = ompdart_suite::by_name("lulesh").unwrap();
         group.bench_function(label, |b| {
             let tool = OmpDart::with_options(options);
-            b.iter(|| black_box(tool.transform_source("lulesh.c", bench.unoptimized).unwrap()))
+            b.iter(|| {
+                black_box(
+                    tool.transform_source("lulesh.c", bench.unoptimized)
+                        .unwrap(),
+                )
+            })
         });
     }
     group.finish();

@@ -13,7 +13,12 @@ fn bench(c: &mut Criterion) {
     eprintln!("\n{}", ompdart_suite::report::figure3(&results));
 
     let ace = ompdart_suite::by_name("ace").unwrap();
-    let transformed = results.iter().find(|r| r.name == "ace").unwrap().transformed_source.clone();
+    let transformed = results
+        .iter()
+        .find(|r| r.name == "ace")
+        .unwrap()
+        .transformed_source
+        .clone();
     let mut group = c.benchmark_group("fig3/simulate_ace");
     group.bench_function("unoptimized", |b| {
         b.iter(|| black_box(simulate_source(ace.unoptimized, SimConfig::default()).unwrap()))

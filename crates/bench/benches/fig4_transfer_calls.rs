@@ -12,8 +12,12 @@ fn bench(c: &mut Criterion) {
     eprintln!("\n{}", ompdart_suite::report::figure4(&results));
 
     let hotspot = ompdart_suite::by_name("hotspot").unwrap();
-    let transformed =
-        results.iter().find(|r| r.name == "hotspot").unwrap().transformed_source.clone();
+    let transformed = results
+        .iter()
+        .find(|r| r.name == "hotspot")
+        .unwrap()
+        .transformed_source
+        .clone();
     let mut group = c.benchmark_group("fig4/simulate_hotspot");
     group.bench_function("unoptimized", |b| {
         b.iter(|| black_box(simulate_source(hotspot.unoptimized, SimConfig::default()).unwrap()))

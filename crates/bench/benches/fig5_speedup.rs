@@ -9,7 +9,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let config = ExperimentConfig::default();
     let results = run_all(&config);
-    eprintln!("\n{}", ompdart_suite::report::figure5(&results, &config.cost));
+    eprintln!(
+        "\n{}",
+        ompdart_suite::report::figure5(&results, &config.cost)
+    );
 
     let xsbench = ompdart_suite::by_name("xsbench").unwrap();
     c.bench_function("fig5/full_evaluation_xsbench", |b| {

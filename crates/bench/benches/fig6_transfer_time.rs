@@ -9,7 +9,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let config = ExperimentConfig::default();
     let results = run_all(&config);
-    eprintln!("\n{}", ompdart_suite::report::figure6(&results, &config.cost));
+    eprintln!(
+        "\n{}",
+        ompdart_suite::report::figure6(&results, &config.cost)
+    );
     eprintln!("{}", ompdart_suite::report::summary(&results, &config.cost));
 
     let accuracy = ompdart_suite::by_name("accuracy").unwrap();

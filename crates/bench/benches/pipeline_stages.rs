@@ -1,34 +1,67 @@
 //! Per-stage performance of the OMPDart pipeline on its largest input
-//! (lulesh): lexing+parsing, CFG/AST-CFG construction, the full analysis,
-//! and the offload simulation itself.
+//! (lulesh), measured through the staged `AnalysisSession` API: parsing,
+//! hybrid AST-CFG construction, access classification + interprocedural
+//! summaries + planning, the cached full-pipeline path, batch throughput
+//! over the whole corpus, and the offload simulation itself.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ompdart_core::OmpDart;
-use ompdart_frontend::parser::parse_str;
-use ompdart_frontend::diag::Diagnostics;
-use ompdart_graph::ProgramGraphs;
+use ompdart_bench::corpus;
+use ompdart_core::pipeline::{
+    stage_accesses, stage_graphs, stage_parse, stage_plans, stage_summaries,
+};
+use ompdart_core::{AnalysisSession, BatchDriver, OmpDartOptions};
 use ompdart_sim::{simulate_source, SimConfig};
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench(c: &mut Criterion) {
     let lulesh = ompdart_suite::by_name("lulesh").unwrap();
     let src = lulesh.unoptimized;
+    let options = OmpDartOptions::default();
 
     c.bench_function("pipeline/parse_lulesh", |b| {
-        b.iter(|| black_box(parse_str("lulesh.c", black_box(src))))
+        b.iter(|| black_box(stage_parse("lulesh.c", black_box(src)).unwrap()))
     });
 
-    let (_file, parsed) = parse_str("lulesh.c", src);
-    let unit = parsed.unit;
+    let parsed = stage_parse("lulesh.c", src).unwrap();
     c.bench_function("pipeline/build_ast_cfg_lulesh", |b| {
-        b.iter(|| black_box(ProgramGraphs::build(black_box(&unit))))
+        b.iter(|| black_box(stage_graphs(black_box(&parsed.unit))))
     });
 
+    let graphs = stage_graphs(&parsed.unit);
     c.bench_function("pipeline/analyze_lulesh", |b| {
-        let tool = OmpDart::new();
         b.iter(|| {
-            let mut diags = Diagnostics::new();
-            black_box(tool.analyze_unit(black_box(&unit), &mut diags))
+            let accesses = stage_accesses(&parsed.unit, &graphs);
+            let summaries = stage_summaries(&parsed.unit, &accesses, &options);
+            black_box(stage_plans(
+                &parsed.unit,
+                &graphs,
+                &accesses,
+                &summaries,
+                &options,
+                1,
+            ))
+        })
+    });
+
+    // The cached full-pipeline path: after the first run every stage is a
+    // cache hit, so this measures the session's near-free re-analysis.
+    let session = AnalysisSession::new();
+    session.analyze("lulesh.c", src).unwrap();
+    c.bench_function("pipeline/analyze_lulesh_cached", |b| {
+        b.iter(|| black_box(session.analyze("lulesh.c", black_box(src)).unwrap()))
+    });
+    eprintln!(
+        "pipeline stage timings (lulesh, first run): {}",
+        session.timings()
+    );
+
+    // Batch throughput: all nine benchmark inputs through one BatchDriver.
+    let inputs = corpus();
+    c.bench_function("pipeline/batch_analyze_corpus", |b| {
+        b.iter(|| {
+            let driver = BatchDriver::with_session(Arc::new(AnalysisSession::new()));
+            black_box(driver.analyze_all(black_box(&inputs)))
         })
     });
 

@@ -9,14 +9,21 @@ fn bench(c: &mut Criterion) {
     let tool = OmpDart::new();
     let mut group = c.benchmark_group("table5/tool_overhead");
     for bench in ompdart_suite::all_benchmarks() {
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name), &bench, |b, bench| {
-            b.iter(|| {
-                black_box(
-                    tool.transform_source(&bench.unoptimized_file(), black_box(bench.unoptimized))
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bench.name),
+            &bench,
+            |b, bench| {
+                b.iter(|| {
+                    black_box(
+                        tool.transform_source(
+                            &bench.unoptimized_file(),
+                            black_box(bench.unoptimized),
+                        )
                         .expect("transform failed"),
-                )
-            })
-        });
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -26,12 +26,18 @@ pub enum AccessKind {
 impl AccessKind {
     /// True if the access may read the current value.
     pub fn may_read(&self) -> bool {
-        matches!(self, AccessKind::Read | AccessKind::ReadWrite | AccessKind::Unknown)
+        matches!(
+            self,
+            AccessKind::Read | AccessKind::ReadWrite | AccessKind::Unknown
+        )
     }
 
     /// True if the access may modify the value.
     pub fn may_write(&self) -> bool {
-        matches!(self, AccessKind::Write | AccessKind::ReadWrite | AccessKind::Unknown)
+        matches!(
+            self,
+            AccessKind::Write | AccessKind::ReadWrite | AccessKind::Unknown
+        )
     }
 
     /// Combine two access kinds affecting the same variable.
@@ -117,7 +123,10 @@ impl SymbolTable {
                     _ => Vec::new(),
                 };
                 for d in decls {
-                    table.vars.entry(d.name.clone()).or_insert_with(|| d.ty.clone());
+                    table
+                        .vars
+                        .entry(d.name.clone())
+                        .or_insert_with(|| d.ty.clone());
                 }
             });
         }
@@ -132,7 +141,9 @@ impl SymbolTable {
     /// True if the variable's data is an aggregate OpenMP would map as a
     /// block (array, struct, or pointer target).
     pub fn is_aggregate(&self, name: &str) -> bool {
-        self.type_of(name).map(|t| t.is_mappable_aggregate()).unwrap_or(false)
+        self.type_of(name)
+            .map(|t| t.is_mappable_aggregate())
+            .unwrap_or(false)
     }
 
     /// True for plain scalar variables.
@@ -186,8 +197,15 @@ pub struct FunctionAccesses {
 
 impl FunctionAccesses {
     /// Collect accesses for a function.
-    pub fn collect(func: &FunctionDef, index: &StmtIndex, symbols: &SymbolTable) -> FunctionAccesses {
-        let mut out = FunctionAccesses { function: func.name.clone(), ..Default::default() };
+    pub fn collect(
+        func: &FunctionDef,
+        index: &StmtIndex,
+        symbols: &SymbolTable,
+    ) -> FunctionAccesses {
+        let mut out = FunctionAccesses {
+            function: func.name.clone(),
+            ..Default::default()
+        };
         if let Some(body) = &func.body {
             body.walk(&mut |stmt| {
                 let on_device = index.info(stmt.id).map(|i| i.offloaded).unwrap_or(false);
@@ -247,7 +265,11 @@ impl FunctionAccesses {
     /// The merged access kind of a variable on the given execution space.
     pub fn merged_kind(&self, var: &str, on_device: bool) -> Option<AccessKind> {
         let mut merged: Option<AccessKind> = None;
-        for a in self.accesses.iter().filter(|a| a.var == var && a.on_device == on_device) {
+        for a in self
+            .accesses
+            .iter()
+            .filter(|a| a.var == var && a.on_device == on_device)
+        {
             merged = Some(match merged {
                 Some(k) => k.merge(a.kind),
                 None => a.kind,
@@ -286,14 +308,27 @@ impl Classifier<'_> {
     fn classify(&mut self, expr: &Expr, writing: bool) {
         match &expr.kind {
             ExprKind::Ident(name) => {
-                let kind = if writing { AccessKind::Write } else { AccessKind::Read };
+                let kind = if writing {
+                    AccessKind::Write
+                } else {
+                    AccessKind::Read
+                };
                 self.record(name, kind, expr.span, Vec::new());
             }
             ExprKind::Index { .. } => {
                 let (base, indices) = flatten_subscripts(expr);
                 if let Some(var) = base.and_then(|b| b.base_variable().map(|s| s.to_string())) {
-                    let kind = if writing { AccessKind::Write } else { AccessKind::Read };
-                    self.record(&var, kind, expr.span, indices.iter().map(|e| (*e).clone()).collect());
+                    let kind = if writing {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
+                    self.record(
+                        &var,
+                        kind,
+                        expr.span,
+                        indices.iter().map(|e| (*e).clone()).collect(),
+                    );
                 }
                 for idx in indices {
                     self.classify(idx, false);
@@ -301,7 +336,11 @@ impl Classifier<'_> {
             }
             ExprKind::Member { base, .. } => {
                 if let Some(var) = base.base_variable() {
-                    let kind = if writing { AccessKind::Write } else { AccessKind::Read };
+                    let kind = if writing {
+                        AccessKind::Write
+                    } else {
+                        AccessKind::Read
+                    };
                     let var = var.to_string();
                     self.record(&var, kind, expr.span, Vec::new());
                 }
@@ -322,7 +361,11 @@ impl Classifier<'_> {
                 }
                 UnaryOp::Deref => {
                     if let Some(var) = operand.base_variable() {
-                        let kind = if writing { AccessKind::Write } else { AccessKind::Read };
+                        let kind = if writing {
+                            AccessKind::Write
+                        } else {
+                            AccessKind::Read
+                        };
                         let var = var.to_string();
                         self.record(&var, kind, expr.span, Vec::new());
                     }
@@ -350,7 +393,9 @@ impl Classifier<'_> {
                 match &lhs.kind {
                     ExprKind::Index { .. } => {
                         let (base, indices) = flatten_subscripts(lhs);
-                        if let Some(var) = base.and_then(|b| b.base_variable().map(|s| s.to_string())) {
+                        if let Some(var) =
+                            base.and_then(|b| b.base_variable().map(|s| s.to_string()))
+                        {
                             self.record(
                                 &var,
                                 kind,
@@ -370,7 +415,11 @@ impl Classifier<'_> {
                     }
                 }
             }
-            ExprKind::Call { callee, args, callee_span } => {
+            ExprKind::Call {
+                callee,
+                args,
+                callee_span,
+            } => {
                 let mut call_args = Vec::new();
                 for arg in args {
                     let (base_var, by_ref) = argument_info(arg, self.symbols);
@@ -395,7 +444,11 @@ impl Classifier<'_> {
                 self.classify(lhs, false);
                 self.classify(rhs, false);
             }
-            ExprKind::Conditional { cond, then_expr, else_expr } => {
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 self.classify(cond, false);
                 self.classify(then_expr, false);
                 self.classify(else_expr, false);
@@ -441,9 +494,11 @@ fn flatten_subscripts(expr: &Expr) -> (Option<&Expr>, Vec<&Expr>) {
 /// it is rooted at.
 fn argument_info(arg: &Expr, symbols: &SymbolTable) -> (Option<String>, bool) {
     match &arg.kind {
-        ExprKind::Unary { op: UnaryOp::AddrOf, operand, .. } => {
-            (operand.base_variable().map(|s| s.to_string()), true)
-        }
+        ExprKind::Unary {
+            op: UnaryOp::AddrOf,
+            operand,
+            ..
+        } => (operand.base_variable().map(|s| s.to_string()), true),
         ExprKind::Ident(name) => {
             let by_ref = symbols.is_aggregate(name);
             (Some(name.clone()), by_ref)
@@ -460,14 +515,9 @@ fn argument_info(arg: &Expr, symbols: &SymbolTable) -> (Option<String>, bool) {
                     // count array/pointer levels deeper than the subscripts
                     let mut ty = t;
                     let mut depth = 0usize;
-                    loop {
-                        match ty {
-                            Type::Array(inner, _) | Type::Pointer(inner) => {
-                                depth += 1;
-                                ty = inner;
-                            }
-                            _ => break,
-                        }
+                    while let Type::Array(inner, _) | Type::Pointer(inner) = ty {
+                        depth += 1;
+                        ty = inner;
                     }
                     depth > indices.len()
                 })
@@ -491,7 +541,8 @@ mod tests {
         let graphs = ProgramGraphs::build(&result.unit);
         let f = result.unit.function(func).unwrap();
         let symbols = SymbolTable::build(&result.unit, f);
-        let accesses = FunctionAccesses::collect(f, &graphs.function(func).unwrap().index.clone(), &symbols);
+        let accesses =
+            FunctionAccesses::collect(f, &graphs.function(func).unwrap().index.clone(), &symbols);
         (accesses, symbols)
     }
 
@@ -595,7 +646,10 @@ void f(int n) {
         assert!(!call.args[2].by_ref);
         assert_eq!(call.args[0].base_var.as_deref(), Some("buf"));
         // scalar argument n recorded as a read
-        assert!(acc.accesses.iter().any(|a| a.var == "n" && a.kind == AccessKind::Read));
+        assert!(acc
+            .accesses
+            .iter()
+            .any(|a| a.var == "n" && a.kind == AccessKind::Read));
     }
 
     #[test]

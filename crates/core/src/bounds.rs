@@ -36,7 +36,11 @@ impl LoopBounds {
         let lower = self.lower.as_ref()?.const_eval(lookup)?;
         let upper = self.upper.as_ref()?.const_eval(lookup)?;
         let step = if self.step == 0 { 1 } else { self.step.abs() };
-        let span = if self.step >= 0 { upper - lower } else { lower - upper };
+        let span = if self.step >= 0 {
+            upper - lower
+        } else {
+            lower - upper
+        };
         let span = span + i64::from(self.inclusive);
         if span <= 0 {
             return Some(0);
@@ -50,7 +54,11 @@ impl LoopBounds {
     pub fn extent_source(&self) -> Option<String> {
         let upper = self.upper.as_ref()?;
         let text = expr_to_c(upper);
-        Some(if self.inclusive { format!("{text} + 1") } else { text })
+        Some(if self.inclusive {
+            format!("{text} + 1")
+        } else {
+            text
+        })
     }
 }
 
@@ -58,7 +66,12 @@ impl LoopBounds {
 /// `for (init; cond; inc)` form; returns `None` when any component is
 /// missing or too complex (the conservative fallback of the paper).
 pub fn loop_bounds(stmt: &Stmt) -> Option<LoopBounds> {
-    let StmtKind::For { init, cond, inc, .. } = &stmt.kind else { return None };
+    let StmtKind::For {
+        init, cond, inc, ..
+    } = &stmt.kind
+    else {
+        return None;
+    };
 
     // Induction variable and lower bound from the init statement.
     let (var, lower) = match init.as_deref() {
@@ -71,7 +84,11 @@ pub fn loop_bounds(stmt: &Stmt) -> Option<LoopBounds> {
             (d.name.clone(), lower)
         }
         Some(ForInit::Expr(e)) => match &e.kind {
-            ExprKind::Assign { op: AssignOp::Assign, lhs, rhs } => {
+            ExprKind::Assign {
+                op: AssignOp::Assign,
+                lhs,
+                rhs,
+            } => {
                 let name = lhs.base_variable()?.to_string();
                 (name, Some((**rhs).clone()))
             }
@@ -105,7 +122,13 @@ pub fn loop_bounds(stmt: &Stmt) -> Option<LoopBounds> {
         None => return None,
     };
 
-    Some(LoopBounds { var, lower, upper: Some(upper), inclusive, step })
+    Some(LoopBounds {
+        var,
+        lower,
+        upper: Some(upper),
+        inclusive,
+        step,
+    })
 }
 
 fn step_of(expr: &Expr, var: &str) -> Option<i64> {
@@ -131,16 +154,16 @@ fn step_of(expr: &Expr, var: &str) -> Option<i64> {
                 (AssignOp::Assign, _) => {
                     // i = i + c / i = i - c
                     match &rhs.kind {
-                        ExprKind::Binary { op: BinaryOp::Add, lhs: l, rhs: r }
-                            if l.base_variable() == Some(var) =>
-                        {
-                            r.const_eval(&|_| None)
-                        }
-                        ExprKind::Binary { op: BinaryOp::Sub, lhs: l, rhs: r }
-                            if l.base_variable() == Some(var) =>
-                        {
-                            r.const_eval(&|_| None).map(|v| -v)
-                        }
+                        ExprKind::Binary {
+                            op: BinaryOp::Add,
+                            lhs: l,
+                            rhs: r,
+                        } if l.base_variable() == Some(var) => r.const_eval(&|_| None),
+                        ExprKind::Binary {
+                            op: BinaryOp::Sub,
+                            lhs: l,
+                            rhs: r,
+                        } if l.base_variable() == Some(var) => r.const_eval(&|_| None).map(|v| -v),
                         _ => None,
                     }
                 }
@@ -194,7 +217,9 @@ pub fn find_update_insert_loc(
             }
         }
         // forIdxVar <- findIndexingVar(forStmt); skip when indeterminate
-        let Some(loop_var) = indexing_var(loop_stmt) else { continue };
+        let Some(loop_var) = indexing_var(loop_stmt) else {
+            continue;
+        };
         if indexing_vars.contains(&loop_var) {
             pos = *loop_id;
         }
@@ -253,7 +278,8 @@ mod tests {
 
     #[test]
     fn canonical_for_bounds() {
-        let (func, _) = first_function("void f(int n) { for (int i = 0; i < n; i++) { int x = i; } }\n");
+        let (func, _) =
+            first_function("void f(int n) { for (int i = 0; i < n; i++) { int x = i; } }\n");
         let loops = loops_of(&func);
         let b = loop_bounds(&loops[0].1).unwrap();
         assert_eq!(b.var, "i");

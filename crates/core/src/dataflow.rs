@@ -44,7 +44,10 @@ pub struct DataflowOptions {
 
 impl Default for DataflowOptions {
     fn default() -> Self {
-        DataflowOptions { firstprivate_optimization: true, hoist_updates: true }
+        DataflowOptions {
+            firstprivate_optimization: true,
+            hoist_updates: true,
+        }
     }
 }
 
@@ -124,12 +127,12 @@ pub fn plan_function(
     let first_anchor = outermost_loop_or_self(index, kernels[0]);
     let last_anchor = outermost_loop_or_self(index, *kernels.last().unwrap());
     let (region_start, region_end) = align_to_common_parent(index, first_anchor, last_anchor);
-    let attach_to_kernel = if kernels.len() == 1 && region_start == kernels[0] && region_end == kernels[0]
-    {
-        Some(kernels[0])
-    } else {
-        None
-    };
+    let attach_to_kernel =
+        if kernels.len() == 1 && region_start == kernels[0] && region_end == kernels[0] {
+            Some(kernels[0])
+        } else {
+            None
+        };
 
     // Declarations of mapped variables must precede the region start.
     if attach_to_kernel.is_none() {
@@ -159,7 +162,10 @@ pub fn plan_function(
         index,
         options,
         mapped: mapped_vars.iter().cloned().collect(),
-        state: mapped_vars.iter().map(|v| (v.clone(), VarState::default())).collect(),
+        state: mapped_vars
+            .iter()
+            .map(|v| (v.clone(), VarState::default()))
+            .collect(),
         loop_stack: Vec::new(),
         to_entry: HashSet::new(),
         from_exit: HashSet::new(),
@@ -173,10 +179,16 @@ pub fn plan_function(
     };
     walker.walk_stmt(body);
 
-    // Exit liveness: device-written data that escapes must be copied back.
+    // Exit liveness: device-written data that escapes must be copied back —
+    // unless whole-program use shows it is dead on the host: a global that no
+    // other function references and that this function never reads after the
+    // region can stay device-only (`alloc`), sparing the exit copy.
     for var in &mapped_vars {
         let st = &walker.state[var];
-        if !st.host_valid && symbols.escapes(var) {
+        if !st.host_valid
+            && symbols.escapes(var)
+            && may_be_read_after_region(unit, func, accesses, index, region_start, var, symbols)
+        {
             walker.from_exit.insert(var.clone());
         }
     }
@@ -209,7 +221,11 @@ pub fn plan_function(
         } else {
             None
         };
-        plan.maps.push(MapSpec { var: var.clone(), map_type, section_length });
+        plan.maps.push(MapSpec {
+            var: var.clone(),
+            map_type,
+            section_length,
+        });
     }
 
     for (var, direction, anchor, placement) in updates_raw {
@@ -218,18 +234,26 @@ pub fn plan_function(
         } else {
             None
         };
-        plan.updates.push(UpdateSpec { var, direction, anchor, placement, section_length });
+        plan.updates.push(UpdateSpec {
+            var,
+            direction,
+            anchor,
+            placement,
+            section_length,
+        });
     }
 
     // firstprivate clauses, one per kernel that references the scalar.
     for var in &firstprivate_vars {
         for kernel in &kernels {
-            let referenced = accesses
-                .accesses
-                .iter()
-                .any(|a| a.var == *var && a.on_device && enclosing_kernel(index, a.stmt) == Some(*kernel));
+            let referenced = accesses.accesses.iter().any(|a| {
+                a.var == *var && a.on_device && enclosing_kernel(index, a.stmt) == Some(*kernel)
+            });
             if referenced {
-                plan.firstprivate.push(FirstPrivateSpec { kernel: *kernel, var: var.clone() });
+                plan.firstprivate.push(FirstPrivateSpec {
+                    kernel: *kernel,
+                    var: var.clone(),
+                });
             }
         }
     }
@@ -239,6 +263,160 @@ pub fn plan_function(
 }
 
 /// The outermost loop enclosing a statement, or the statement itself.
+/// Whether a device-written escaping variable may still be read after the
+/// region ends. Parameters always may (the caller sees them), and so do
+/// globals in any function other than `main` (the function may be invoked
+/// again and read the stale host copy before its region re-enters). Inside
+/// `main` — which runs exactly once — a global is live only if `main` reads
+/// it on the host after the region or any other function in the translation
+/// unit references it at all. Host reads *inside* the region count as live
+/// too: they are usually satisfied by `target update from` directives, but
+/// keeping the exit copy preserves the host copy even when those updates sit
+/// behind conditions the analysis cannot see through.
+fn may_be_read_after_region(
+    unit: &TranslationUnit,
+    func: &FunctionDef,
+    accesses: &FunctionAccesses,
+    index: &StmtIndex,
+    region_start: NodeId,
+    var: &str,
+    symbols: &SymbolTable,
+) -> bool {
+    if !symbols.is_global(var) || func.name != "main" {
+        return true;
+    }
+    let Some(start_order) = index.info(region_start).map(|i| i.order) else {
+        return true;
+    };
+    let read_later_here = accesses.accesses.iter().any(|a| {
+        a.var == var
+            && !a.on_device
+            && a.kind.may_read()
+            && index
+                .info(a.stmt)
+                .map(|i| i.order >= start_order)
+                .unwrap_or(true)
+    });
+    if read_later_here {
+        return true;
+    }
+    // An aliasing use anywhere in this function (`double *p = var;`,
+    // `f(var)`, `&var[0]`) can smuggle reads past the name-based access
+    // check above, so it keeps the exit copy.
+    if func
+        .body
+        .as_ref()
+        .is_some_and(|b| stmt_has_aliasing_use(b, var))
+    {
+        return true;
+    }
+    unit.functions()
+        .filter(|f| f.name != func.name)
+        .any(|f| f.body.as_ref().is_some_and(|b| stmt_references_var(b, var)))
+}
+
+/// True if `var` appears under `stmt` in a way that can create an alias or
+/// consume the whole object: any occurrence that is not the direct base of
+/// an element access (`var[i]...`) or member access (`var.field`).
+fn stmt_has_aliasing_use(stmt: &Stmt, var: &str) -> bool {
+    fn init_has(init: &Init, var: &str) -> bool {
+        match init {
+            Init::Expr(e) => expr_has(e, var),
+            Init::List(items) => items.iter().any(|i| init_has(i, var)),
+        }
+    }
+    fn expr_has(e: &Expr, var: &str) -> bool {
+        match &e.kind {
+            ExprKind::Ident(name) => name == var,
+            ExprKind::Index { base, index } => {
+                // `var[i]` touches an element, not the object as a whole;
+                // anything else in base position recurses normally.
+                let base_aliases = match &base.kind {
+                    ExprKind::Ident(_) => false,
+                    _ => expr_has(base, var),
+                };
+                base_aliases || expr_has(index, var)
+            }
+            ExprKind::Member { base, .. } => match &base.kind {
+                ExprKind::Ident(_) => false,
+                _ => expr_has(base, var),
+            },
+            ExprKind::Unary {
+                op: UnaryOp::AddrOf,
+                operand,
+                ..
+            } => operand.referenced_vars().iter().any(|v| v == var),
+            ExprKind::Unary { operand, .. } => expr_has(operand, var),
+            ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
+                expr_has(lhs, var) || expr_has(rhs, var)
+            }
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => expr_has(cond, var) || expr_has(then_expr, var) || expr_has(else_expr, var),
+            ExprKind::Call { args, .. } => args.iter().any(|a| expr_has(a, var)),
+            ExprKind::Cast { expr, .. } | ExprKind::Paren(expr) => expr_has(expr, var),
+            ExprKind::Comma(items) => items.iter().any(|i| expr_has(i, var)),
+            ExprKind::SizeofExpr(_)
+            | ExprKind::SizeofType(_)
+            | ExprKind::IntLit(_)
+            | ExprKind::FloatLit(_)
+            | ExprKind::CharLit(_)
+            | ExprKind::StrLit(_) => false,
+        }
+    }
+    let mut found = false;
+    stmt.walk(&mut |s| {
+        if found {
+            return;
+        }
+        let decl_hit = match &s.kind {
+            StmtKind::Decl(decls) => decls
+                .iter()
+                .any(|d| d.init.as_ref().is_some_and(|i| init_has(i, var))),
+            StmtKind::For { init: Some(fi), .. } => match fi.as_ref() {
+                ForInit::Decl(decls) => decls
+                    .iter()
+                    .any(|d| d.init.as_ref().is_some_and(|i| init_has(i, var))),
+                _ => false,
+            },
+            _ => false,
+        };
+        if decl_hit || s.direct_exprs().iter().any(|e| expr_has(e, var)) {
+            found = true;
+        }
+    });
+    found
+}
+
+/// True if any expression under `stmt` (including declaration initializers)
+/// references `var`.
+fn stmt_references_var(stmt: &Stmt, var: &str) -> bool {
+    let mut found = false;
+    stmt.walk(&mut |s| {
+        if found {
+            return;
+        }
+        let decl_inits_hit = match &s.kind {
+            StmtKind::Decl(decls) => decls.iter().any(|d| {
+                d.init
+                    .as_ref()
+                    .is_some_and(|i| i.referenced_vars().iter().any(|v| v == var))
+            }),
+            _ => false,
+        };
+        if decl_inits_hit
+            || s.direct_exprs()
+                .iter()
+                .any(|e| e.referenced_vars().iter().any(|v| v == var))
+        {
+            found = true;
+        }
+    });
+    found
+}
+
 fn outermost_loop_or_self(index: &StmtIndex, stmt: NodeId) -> NodeId {
     index.enclosing_loops(stmt).first().copied().unwrap_or(stmt)
 }
@@ -362,7 +540,11 @@ fn pointer_section_length(
     index: &StmtIndex,
     loop_map: &HashMap<NodeId, Stmt>,
 ) -> Option<String> {
-    for access in accesses.accesses.iter().filter(|a| a.var == var && a.on_device) {
+    for access in accesses
+        .accesses
+        .iter()
+        .filter(|a| a.var == var && a.on_device)
+    {
         if access.indices.is_empty() {
             continue;
         }
@@ -413,7 +595,11 @@ impl Walker<'_> {
                     self.walk_stmt(s);
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.process_accesses(stmt, None);
                 let before = self.state.clone();
                 self.cond_depth += 1;
@@ -494,7 +680,13 @@ impl Walker<'_> {
                 let stale_target = self
                     .state
                     .get(&access.var)
-                    .map(|s| if access.on_device { !s.dev_valid } else { !s.host_valid })
+                    .map(|s| {
+                        if access.on_device {
+                            !s.dev_valid
+                        } else {
+                            !s.host_valid
+                        }
+                    })
                     .unwrap_or(false);
                 if self.cond_depth > 0 && stale_target && !access.kind.may_read() {
                     self.handle_read(&access.var, access.on_device, access.stmt, loop_cond);
@@ -610,7 +802,10 @@ impl Walker<'_> {
     }
 }
 
-fn merge_states(a: &HashMap<String, VarState>, b: &HashMap<String, VarState>) -> HashMap<String, VarState> {
+fn merge_states(
+    a: &HashMap<String, VarState>,
+    b: &HashMap<String, VarState>,
+) -> HashMap<String, VarState> {
     let mut out = HashMap::new();
     for (var, sa) in a {
         let sb = b.get(var).cloned().unwrap_or_default();
@@ -702,10 +897,17 @@ int main() {
 }
 ";
         let (plan, _unit) = plan_for(src, "main");
-        assert!(plan.attach_to_kernel.is_none(), "region must wrap the outer loop");
+        assert!(
+            plan.attach_to_kernel.is_none(),
+            "region must wrap the outer loop"
+        );
         let a = plan.map_for("a").unwrap();
         assert_eq!(a.map_type, MapType::ToFrom);
-        assert!(plan.updates.is_empty(), "no in-loop updates are needed: {:?}", plan.updates);
+        assert!(
+            plan.updates.is_empty(),
+            "no in-loop updates are needed: {:?}",
+            plan.updates
+        );
         // The region starts at the outer loop, not the kernel.
         assert_ne!(plan.region_start, Some(plan.kernels[0]));
     }
@@ -756,7 +958,12 @@ int main() {
 ";
         let (plan, _unit) = plan_for(src, "main");
         let updates = plan.updates_for("a");
-        assert_eq!(updates.len(), 1, "expected exactly one update: {:?}", plan.updates);
+        assert_eq!(
+            updates.len(),
+            1,
+            "expected exactly one update: {:?}",
+            plan.updates
+        );
         assert_eq!(updates[0].direction, UpdateDirection::From);
         // Hoisted out of the inner summation loop but kept inside the outer
         // iteration loop (which also contains the kernel).
@@ -797,7 +1004,12 @@ void forward(int hid, int num_blocks) {
 ";
         let (plan, unit) = plan_for(src, "forward");
         let updates = plan.updates_for("partial_sum");
-        assert_eq!(updates.len(), 1, "expected one hoisted update: {:?}", plan.updates);
+        assert_eq!(
+            updates.len(),
+            1,
+            "expected one hoisted update: {:?}",
+            plan.updates
+        );
         assert_eq!(updates[0].direction, UpdateDirection::From);
         // The anchor must be the outer (j) host loop, not the inner k loop
         // and not the summation statement.
@@ -843,7 +1055,10 @@ void forward(int hid, int num_blocks) {
         let (unhoisted, _) = plan_with_options(
             src,
             "forward",
-            DataflowOptions { hoist_updates: false, ..Default::default() },
+            DataflowOptions {
+                hoist_updates: false,
+                ..Default::default()
+            },
         );
         let h = hoisted.updates_for("partial_sum");
         let u = unhoisted.updates_for("partial_sum");
@@ -884,12 +1099,16 @@ int main() {
         assert!(plan.map_for("stop").is_some());
         let stop_updates = plan.updates_for("stop");
         assert!(
-            stop_updates.iter().any(|u| u.direction == UpdateDirection::To),
+            stop_updates
+                .iter()
+                .any(|u| u.direction == UpdateDirection::To),
             "stop needs an update to before the kernel: {:?}",
             plan.updates
         );
         assert!(
-            stop_updates.iter().any(|u| u.direction == UpdateDirection::From),
+            stop_updates
+                .iter()
+                .any(|u| u.direction == UpdateDirection::From),
             "stop needs an update from after the kernel: {:?}",
             plan.updates
         );
@@ -912,7 +1131,10 @@ void f(double scale) {
         let (without_fp, _) = plan_with_options(
             src,
             "f",
-            DataflowOptions { firstprivate_optimization: false, ..Default::default() },
+            DataflowOptions {
+                firstprivate_optimization: false,
+                ..Default::default()
+            },
         );
         assert!(!without_fp.is_firstprivate("scale"));
         assert!(without_fp.map_for("scale").is_some());
@@ -1018,7 +1240,10 @@ int main() {
             &DataflowOptions::default(),
             &mut diags,
         );
-        assert!(diags.has_errors(), "expected the declaration-placement error");
+        assert!(
+            diags.has_errors(),
+            "expected the declaration-placement error"
+        );
     }
 
     /// Functions without kernels produce no plan.

@@ -76,12 +76,19 @@ impl Effect {
 
     /// The maximally pessimistic effect (read + write on the host).
     pub fn pessimistic_host() -> Effect {
-        Effect { host_read: true, host_write: true, ..Default::default() }
+        Effect {
+            host_read: true,
+            host_write: true,
+            ..Default::default()
+        }
     }
 
     /// A host read-only effect (used for `const` pointer parameters).
     pub fn read_only_host() -> Effect {
-        Effect { host_read: true, ..Default::default() }
+        Effect {
+            host_read: true,
+            ..Default::default()
+        }
     }
 }
 
@@ -110,11 +117,43 @@ pub struct ProgramSummaries {
 /// known not to modify caller-visible data through their pointer arguments
 /// beyond their documented behaviour.
 const PURE_BUILTINS: &[&str] = &[
-    "exp", "expf", "exp2", "log", "logf", "log2", "log10", "sqrt", "sqrtf", "cbrt", "fabs",
-    "fabsf", "abs", "labs", "pow", "powf", "sin", "sinf", "cos", "cosf", "tan", "floor", "ceil",
-    "fmax", "fmin", "fmod", "rand", "srand", "omp_get_wtime", "omp_get_num_threads",
-    "omp_get_max_threads", "omp_get_thread_num", "omp_get_num_devices", "printf", "fprintf",
-    "assert", "exit",
+    "exp",
+    "expf",
+    "exp2",
+    "log",
+    "logf",
+    "log2",
+    "log10",
+    "sqrt",
+    "sqrtf",
+    "cbrt",
+    "fabs",
+    "fabsf",
+    "abs",
+    "labs",
+    "pow",
+    "powf",
+    "sin",
+    "sinf",
+    "cos",
+    "cosf",
+    "tan",
+    "floor",
+    "ceil",
+    "fmax",
+    "fmin",
+    "fmod",
+    "rand",
+    "srand",
+    "omp_get_wtime",
+    "omp_get_num_threads",
+    "omp_get_max_threads",
+    "omp_get_thread_num",
+    "omp_get_num_devices",
+    "printf",
+    "fprintf",
+    "assert",
+    "exit",
 ];
 
 impl ProgramSummaries {
@@ -128,8 +167,12 @@ impl ProgramSummaries {
         let mut result = ProgramSummaries::default();
         // Seed with direct effects.
         for func in unit.functions() {
-            let Some(acc) = accesses.get(&func.name) else { continue };
-            let Some(sym) = symbols.get(&func.name) else { continue };
+            let Some(acc) = accesses.get(&func.name) else {
+                continue;
+            };
+            let Some(sym) = symbols.get(&func.name) else {
+                continue;
+            };
             let mut summary = FunctionSummary {
                 name: func.name.clone(),
                 param_effects: vec![Effect::default(); func.params.len()],
@@ -159,14 +202,22 @@ impl ProgramSummaries {
             result.passes = pass + 1;
             let mut changed = false;
             for func in &functions {
-                let Some(acc) = accesses.get(&func.name) else { continue };
-                let Some(sym) = symbols.get(&func.name) else { continue };
+                let Some(acc) = accesses.get(&func.name) else {
+                    continue;
+                };
+                let Some(sym) = symbols.get(&func.name) else {
+                    continue;
+                };
                 let calls: Vec<CallSite> = acc.calls.clone();
                 for call in &calls {
                     let Some(callee_summary) = result.functions.get(&call.callee).cloned() else {
                         continue;
                     };
-                    let mut caller = result.functions.get(&func.name).cloned().unwrap_or_default();
+                    let mut caller = result
+                        .functions
+                        .get(&func.name)
+                        .cloned()
+                        .unwrap_or_default();
                     let mut local_changed = false;
                     if callee_summary.has_kernels && !caller.has_kernels {
                         caller.has_kernels = true;
@@ -191,8 +242,11 @@ impl ProgramSummaries {
                                 local_changed |= caller.param_effects[pidx].merge(effect);
                             }
                         } else if sym.is_global(var) {
-                            local_changed |=
-                                caller.global_effects.entry(var.clone()).or_default().merge(effect);
+                            local_changed |= caller
+                                .global_effects
+                                .entry(var.clone())
+                                .or_default()
+                                .merge(effect);
                         }
                     }
                     // Global effects propagate directly.
@@ -267,7 +321,11 @@ pub fn augment_with_call_effects(
                     continue;
                 }
                 let Some(var) = &arg.base_var else { continue };
-                let effect = summary.param_effects.get(arg_idx).copied().unwrap_or_default();
+                let effect = summary
+                    .param_effects
+                    .get(arg_idx)
+                    .copied()
+                    .unwrap_or_default();
                 push_effect_accesses(acc, var, effect, call);
             }
             for (global, effect) in &summary.global_effects {
@@ -298,7 +356,11 @@ pub fn augment_with_call_effects(
                 .and_then(|p| p.params.get(arg_idx))
                 .map(|p| p.is_const_pointee)
                 .unwrap_or(false);
-            let effect = if is_const { Effect::read_only_host() } else { Effect::pessimistic_host() };
+            let effect = if is_const {
+                Effect::read_only_host()
+            } else {
+                Effect::pessimistic_host()
+            };
             push_effect_accesses(acc, var, effect, call);
         }
     }
@@ -339,7 +401,13 @@ mod tests {
     use ompdart_frontend::parser::parse_str;
     use ompdart_graph::ProgramGraphs;
 
-    fn analyze(src: &str) -> (ProgramSummaries, HashMap<String, FunctionAccesses>, ompdart_frontend::TranslationUnit) {
+    fn analyze(
+        src: &str,
+    ) -> (
+        ProgramSummaries,
+        HashMap<String, FunctionAccesses>,
+        ompdart_frontend::TranslationUnit,
+    ) {
         let (_file, result) = parse_str("t.c", src);
         assert!(result.is_ok(), "{:?}", result.diagnostics);
         let unit = result.unit;
@@ -406,7 +474,11 @@ void top(double *data, int n) {
     #[test]
     fn fixed_point_terminates_early() {
         let (summaries, _acc, _unit) = analyze(LAYERED);
-        assert!(summaries.passes <= 4, "expected early termination, took {}", summaries.passes);
+        assert!(
+            summaries.passes <= 4,
+            "expected early termination, took {}",
+            summaries.passes
+        );
         assert_eq!(summaries.len(), 4);
     }
 
@@ -499,6 +571,6 @@ void f() {
         let (host, dev) = e.as_access_kinds();
         assert_eq!(host, Some(AccessKind::Read));
         assert_eq!(dev, Some(AccessKind::Write));
-        assert_eq!(device_shifted(Effect::pessimistic_host()).device_write, true);
+        assert!(device_shifted(Effect::pessimistic_host()).device_write);
     }
 }

@@ -12,11 +12,19 @@
 //!
 //! The pipeline follows the paper's workflow (Figure 1):
 //!
-//! 1. parse (`ompdart-frontend`), 2. build per-function CFGs and the hybrid
-//! AST-CFG (`ompdart-graph`), 3. classify memory accesses ([`access`]),
-//! 4. interprocedural side-effect analysis ([`interproc`]), 5. host/device
-//! data-flow analysis and mapping decisions ([`dataflow`], [`bounds`]),
+//! 1. parse (`ompdart-frontend`),
+//! 2. build per-function CFGs and the hybrid AST-CFG (`ompdart-graph`),
+//! 3. classify memory accesses ([`access`]),
+//! 4. interprocedural side-effect analysis ([`interproc`]),
+//! 5. host/device data-flow analysis and mapping decisions ([`dataflow`], [`bounds`]),
 //! 6. source rewriting ([`rewrite`]).
+//!
+//! Those stages are first-class in the [`pipeline`] module: an
+//! [`AnalysisSession`] runs them individually or end to end, records
+//! per-stage timings, and caches finished artifacts under a content hash so
+//! repeated analysis of unchanged sources is near-free; a [`BatchDriver`]
+//! analyzes many translation units concurrently. The [`OmpDart`] type below
+//! is a thin one-shot compatibility wrapper over that session API.
 //!
 //! ```
 //! use ompdart_core::{OmpDart, OmpDartOptions};
@@ -43,6 +51,7 @@ pub mod bounds;
 pub mod dataflow;
 pub mod interproc;
 pub mod mapping;
+pub mod pipeline;
 pub mod rewrite;
 pub mod verify;
 
@@ -54,16 +63,16 @@ pub use mapping::{
     AnalysisStats, FirstPrivateSpec, MapSpec, MappingConstruct, Placement, RegionPlan,
     UpdateDirection, UpdateSpec,
 };
+pub use pipeline::{
+    AnalysisSession, BatchDriver, CacheStats, Stage, StageError, StageTimings, UnitAnalysis,
+};
 pub use rewrite::apply_plans;
 pub use verify::{verify_source, verify_unit, StaleRead, VerifyReport};
 
 use ompdart_frontend::ast::{StmtKind, TranslationUnit};
 use ompdart_frontend::diag::Diagnostics;
-use ompdart_frontend::parser::parse_str;
-use ompdart_graph::ProgramGraphs;
-use std::collections::HashMap;
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of the OMPDart pipeline.
 #[derive(Clone, Copy, Debug)]
@@ -149,7 +158,9 @@ pub struct OmpDart {
 impl OmpDart {
     /// Create the tool with default options.
     pub fn new() -> OmpDart {
-        OmpDart { options: OmpDartOptions::default() }
+        OmpDart {
+            options: OmpDartOptions::default(),
+        }
     }
 
     /// Create the tool with explicit options.
@@ -163,88 +174,36 @@ impl OmpDart {
     }
 
     /// Analyze and transform a source string.
+    ///
+    /// This is a thin one-shot wrapper over [`pipeline::AnalysisSession`];
+    /// callers that analyze many sources (or the same source repeatedly)
+    /// should hold a session to benefit from its artifact cache, and batch
+    /// workloads should use [`pipeline::BatchDriver`].
     pub fn transform_source(
         &self,
         name: &str,
         source: &str,
     ) -> Result<TransformResult, OmpDartError> {
-        let start = Instant::now();
-        let (file, parse) = parse_str(name, source);
-        if !parse.is_ok() {
-            return Err(OmpDartError::ParseFailed(parse.diagnostics));
-        }
-        let mut diagnostics = parse.diagnostics;
-        let unit = parse.unit;
-
-        if self.options.reject_existing_mappings {
-            if let Some(function) = function_with_existing_mappings(&unit) {
-                return Err(OmpDartError::AlreadyMapped { function });
-            }
-        }
-
-        let (plans, stats) = self.analyze_unit(&unit, &mut diagnostics);
-        let graphs = ProgramGraphs::build(&unit);
-        let transformed_source = rewrite::apply_plans(&file, &unit, &graphs, &plans);
-        Ok(TransformResult {
-            transformed_source,
-            plans,
-            diagnostics,
-            stats,
-            tool_time: start.elapsed(),
-        })
+        pipeline::AnalysisSession::with_options(self.options)
+            .transform(name, source)
+            .map_err(OmpDartError::from)
     }
 
     /// Analyze a parsed translation unit and produce per-function plans
     /// without rewriting (used by the complexity metrics and benches).
+    /// Runs the graph, access, summary and plan stages of the pipeline on
+    /// the borrowed unit.
     pub fn analyze_unit(
         &self,
         unit: &TranslationUnit,
         diagnostics: &mut Diagnostics,
     ) -> (Vec<RegionPlan>, AnalysisStats) {
-        let graphs = ProgramGraphs::build(unit);
-        let mut symbols = HashMap::new();
-        let mut accesses = HashMap::new();
-        for func in unit.functions() {
-            let sym = SymbolTable::build(unit, func);
-            if let Some(g) = graphs.function(&func.name) {
-                accesses.insert(func.name.clone(), FunctionAccesses::collect(func, &g.index, &sym));
-            }
-            symbols.insert(func.name.clone(), sym);
-        }
-
-        let summaries = if self.options.interprocedural {
-            ProgramSummaries::compute(unit, &accesses, &symbols, self.options.max_interproc_passes)
-        } else {
-            ProgramSummaries::default()
-        };
-
-        let mut plans = Vec::new();
-        let mut stats = AnalysisStats::default();
-        for func in unit.functions() {
-            let Some(graph) = graphs.function(&func.name) else { continue };
-            stats.functions_analyzed += 1;
-            let Some(mut acc) = accesses.get(&func.name).cloned() else { continue };
-            augment_with_call_effects(&mut acc, unit, &summaries);
-            let plan = plan_function(
-                unit,
-                func,
-                graph,
-                &acc,
-                &symbols[&func.name],
-                &self.options.dataflow,
-                diagnostics,
-            );
-            if let Some(plan) = plan {
-                stats.functions_with_kernels += 1;
-                stats.kernels += plan.kernels.len();
-                stats.mapped_variables += plan.mapped_variables().len();
-                stats.map_clauses += plan.maps.len();
-                stats.update_directives += plan.updates.len();
-                stats.firstprivate_clauses += plan.firstprivate.len();
-                plans.push(plan);
-            }
-        }
-        (plans, stats)
+        let graphs = pipeline::stage_graphs(unit);
+        let accesses = pipeline::stage_accesses(unit, &graphs);
+        let summaries = pipeline::stage_summaries(unit, &accesses, &self.options);
+        let plans = pipeline::stage_plans(unit, &graphs, &accesses, &summaries, &self.options, 1);
+        diagnostics.extend(plans.diagnostics.clone());
+        (plans.plans, plans.stats)
     }
 }
 
@@ -308,7 +267,10 @@ int main() {
         let result = transform("listing1.c", src).expect("transform failed");
         let before = simulate_source(src, SimConfig::default()).unwrap();
         let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
-        assert_eq!(before.output, after.output, "program output must be preserved");
+        assert_eq!(
+            before.output, after.output,
+            "program output must be preserved"
+        );
         assert!(after.profile.total_calls() < before.profile.total_calls());
         assert!(after.profile.total_bytes() < before.profile.total_bytes());
         // 20 iterations of implicit tofrom collapse into a single pair.
@@ -367,7 +329,11 @@ int main() {
         assert!(result.transformed_source.contains("target update from(a)"));
         let before = simulate_source(src, SimConfig::default()).unwrap();
         let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
-        assert_eq!(before.output, after.output, "transformed:\n{}", result.transformed_source);
+        assert_eq!(
+            before.output, after.output,
+            "transformed:\n{}",
+            result.transformed_source
+        );
         assert!(after.profile.total_bytes() <= before.profile.total_bytes());
     }
 
@@ -449,14 +415,44 @@ int main() {
             });
             let result = tool.transform_source("ip.c", src).unwrap();
             let before = simulate_source(src, SimConfig::default()).unwrap();
-            let after =
-                simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+            let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
             assert_eq!(
                 before.output, after.output,
                 "interprocedural={interprocedural}\n{}",
                 result.transformed_source
             );
         }
+    }
+
+    /// Regression: a device-written global that the host only reads through
+    /// a pointer alias must keep its exit copy — the dead-exit-copy
+    /// demotion may not treat it as device-only.
+    #[test]
+    fn pointer_alias_keeps_exit_copy() {
+        let src = "\
+#define N 16
+double a[N];
+int main() {
+  double *p = a;
+  for (int it = 0; it < 3; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) a[i] = i + 1.0;
+  }
+  printf(\"%f\\n\", p[3]);
+  return 0;
+}
+";
+        let result = transform("alias.c", src).unwrap();
+        let map = result.plans[0].map_for("a").expect("a must be mapped");
+        assert!(
+            map.map_type.copies_to_host(),
+            "alias read requires from/tofrom, got {:?}\n{}",
+            map.map_type,
+            result.transformed_source
+        );
+        let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output, "{}", result.transformed_source);
     }
 
     /// Scalars that stay read-only on the device become firstprivate and the

@@ -270,17 +270,31 @@ mod tests {
 
     #[test]
     fn map_spec_rendering() {
-        let whole = MapSpec { var: "a".into(), map_type: MapType::To, section_length: None };
+        let whole = MapSpec {
+            var: "a".into(),
+            map_type: MapType::To,
+            section_length: None,
+        };
         assert_eq!(whole.to_list_item(), "a");
-        let section =
-            MapSpec { var: "b".into(), map_type: MapType::From, section_length: Some("n".into()) };
+        let section = MapSpec {
+            var: "b".into(),
+            map_type: MapType::From,
+            section_length: Some("n".into()),
+        };
         assert_eq!(section.to_list_item(), "b[0:n]");
     }
 
     #[test]
     fn region_plan_queries() {
-        let mut plan = RegionPlan { function: "f".into(), ..Default::default() };
-        plan.maps.push(MapSpec { var: "a".into(), map_type: MapType::ToFrom, section_length: None });
+        let mut plan = RegionPlan {
+            function: "f".into(),
+            ..Default::default()
+        };
+        plan.maps.push(MapSpec {
+            var: "a".into(),
+            map_type: MapType::ToFrom,
+            section_length: None,
+        });
         plan.updates.push(UpdateSpec {
             var: "b".into(),
             direction: UpdateDirection::From,
@@ -288,7 +302,10 @@ mod tests {
             placement: Placement::Before,
             section_length: None,
         });
-        plan.firstprivate.push(FirstPrivateSpec { kernel: NodeId(3), var: "n".into() });
+        plan.firstprivate.push(FirstPrivateSpec {
+            kernel: NodeId(3),
+            var: "n".into(),
+        });
         assert_eq!(plan.construct_count(), 3);
         assert!(plan.map_for("a").is_some());
         assert!(plan.map_for("b").is_none());

@@ -1,0 +1,975 @@
+//! The staged analysis pipeline behind OMPDart.
+//!
+//! The paper's workflow (Figure 1) is an explicit multi-stage pipeline:
+//! parse, hybrid AST-CFG construction, memory-access classification,
+//! interprocedural summaries, host/device data-flow planning, and source
+//! rewriting. This module models each of those stages as a first-class,
+//! independently runnable artifact instead of the historical one-shot
+//! [`crate::OmpDart::transform_source`] monolith:
+//!
+//! * [`ParsedUnit`] — frontend output (AST + diagnostics + content hash),
+//! * [`GraphsArtifact`] — per-function CFGs / hybrid AST-CFG,
+//! * [`AccessArtifact`] — classified accesses and symbol tables,
+//! * [`SummariesArtifact`] — interprocedural side-effect summaries,
+//! * [`PlansArtifact`] — per-function [`RegionPlan`]s plus statistics,
+//! * [`RewriteOutput`] — the transformed source.
+//!
+//! Every artifact records the wall-clock time its stage took
+//! ([`StageTimings`] aggregates them), stage failures are typed
+//! ([`StageError`]), and an [`AnalysisSession`] caches finished artifacts
+//! under a content hash so repeated analysis of unchanged sources is
+//! near-free. [`BatchDriver`] fans a whole corpus of translation units out
+//! over scoped worker threads, while the planning stage itself fans out per
+//! function. The legacy [`crate::OmpDart`] API is a thin wrapper over this
+//! module.
+//!
+//! ```
+//! use ompdart_core::pipeline::AnalysisSession;
+//!
+//! let src = "\
+//! #define N 64
+//! double a[N];
+//! int main() {
+//!   for (int it = 0; it < 4; it++) {
+//!     #pragma omp target teams distribute parallel for
+//!     for (int i = 0; i < N; i++) a[i] += 1.0;
+//!   }
+//!   printf(\"%f\\n\", a[0]);
+//!   return 0;
+//! }
+//! ";
+//! let session = AnalysisSession::new();
+//! let analysis = session.analyze("demo.c", src).unwrap();
+//! assert!(analysis.rewrite.source.contains("#pragma omp target data"));
+//! // The second analysis of identical content is served from the cache.
+//! let again = session.analyze("demo.c", src).unwrap();
+//! assert_eq!(session.cache_stats().analysis_hits, 1);
+//! assert_eq!(analysis.parsed.content_hash, again.parsed.content_hash);
+//! ```
+
+use crate::access::{FunctionAccesses, SymbolTable};
+use crate::dataflow::plan_function;
+use crate::interproc::{augment_with_call_effects, ProgramSummaries};
+use crate::mapping::{AnalysisStats, RegionPlan};
+use crate::rewrite;
+use crate::{function_with_existing_mappings, OmpDartError, OmpDartOptions, TransformResult};
+use ompdart_frontend::ast::TranslationUnit;
+use ompdart_frontend::diag::Diagnostics;
+use ompdart_frontend::parser::parse_str;
+use ompdart_frontend::source::SourceFile;
+use ompdart_graph::ProgramGraphs;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Stages, errors and timings
+// ---------------------------------------------------------------------------
+
+/// The six pipeline stages, in execution order (paper Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    Parse,
+    Graphs,
+    Accesses,
+    Summaries,
+    Plan,
+    Rewrite,
+}
+
+impl Stage {
+    /// All stages in execution order.
+    pub const ALL: [Stage; 6] = [
+        Stage::Parse,
+        Stage::Graphs,
+        Stage::Accesses,
+        Stage::Summaries,
+        Stage::Plan,
+        Stage::Rewrite,
+    ];
+
+    /// Human-readable stage name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Graphs => "graphs",
+            Stage::Accesses => "accesses",
+            Stage::Summaries => "summaries",
+            Stage::Plan => "plan",
+            Stage::Rewrite => "rewrite",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed failure of one pipeline stage.
+#[derive(Clone, Debug)]
+pub enum StageError {
+    /// The frontend stage failed: the input does not parse.
+    Parse {
+        name: String,
+        diagnostics: Diagnostics,
+    },
+    /// The input-contract check failed: the source already contains explicit
+    /// data-mapping directives (Section IV-A).
+    AlreadyMapped { function: String },
+}
+
+impl StageError {
+    /// The stage that failed.
+    pub fn stage(&self) -> Stage {
+        match self {
+            StageError::Parse { .. } => Stage::Parse,
+            StageError::AlreadyMapped { .. } => Stage::Parse,
+        }
+    }
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageError::Parse { name, diagnostics } => write!(
+                f,
+                "`{name}` failed to parse with {} error(s)",
+                diagnostics.error_count()
+            ),
+            StageError::AlreadyMapped { function } => write!(
+                f,
+                "function `{function}` already contains target data/update directives; \
+                 OMPDart expects input without explicit data mappings"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StageError {}
+
+impl From<StageError> for OmpDartError {
+    fn from(err: StageError) -> OmpDartError {
+        match err {
+            StageError::Parse { diagnostics, .. } => OmpDartError::ParseFailed(diagnostics),
+            StageError::AlreadyMapped { function } => OmpDartError::AlreadyMapped { function },
+        }
+    }
+}
+
+/// Wall-clock time spent in each pipeline stage.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageTimings {
+    pub parse: Duration,
+    pub graphs: Duration,
+    pub accesses: Duration,
+    pub summaries: Duration,
+    pub plan: Duration,
+    pub rewrite: Duration,
+}
+
+impl StageTimings {
+    /// Time of one stage.
+    pub fn of(&self, stage: Stage) -> Duration {
+        match stage {
+            Stage::Parse => self.parse,
+            Stage::Graphs => self.graphs,
+            Stage::Accesses => self.accesses,
+            Stage::Summaries => self.summaries,
+            Stage::Plan => self.plan,
+            Stage::Rewrite => self.rewrite,
+        }
+    }
+
+    /// Total across all stages.
+    pub fn total(&self) -> Duration {
+        Stage::ALL.iter().map(|s| self.of(*s)).sum()
+    }
+
+    /// Accumulate another timing set into this one.
+    pub fn merge(&mut self, other: &StageTimings) {
+        self.parse += other.parse;
+        self.graphs += other.graphs;
+        self.accesses += other.accesses;
+        self.summaries += other.summaries;
+        self.plan += other.plan;
+        self.rewrite += other.rewrite;
+    }
+}
+
+impl fmt::Display for StageTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str("  ")?;
+            }
+            write!(f, "{}={:.3}ms", stage, self.of(*stage).as_secs_f64() * 1e3)?;
+        }
+        write!(f, "  total={:.3}ms", self.total().as_secs_f64() * 1e3)
+    }
+}
+
+/// FNV-1a content hash used to key the artifact caches.
+pub fn content_hash(name: &str, source: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes().chain([0u8]).chain(source.bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Stage artifacts and the pure stage functions
+// ---------------------------------------------------------------------------
+
+/// Frontend artifact: the parsed translation unit.
+#[derive(Debug)]
+pub struct ParsedUnit {
+    /// File name used in diagnostics.
+    pub name: String,
+    /// FNV-1a hash of (name, source) — the cache key.
+    pub content_hash: u64,
+    /// The source file (spans in the AST point into it).
+    pub file: SourceFile,
+    /// The typed AST.
+    pub unit: TranslationUnit,
+    /// Parse-time warnings and notes.
+    pub diagnostics: Diagnostics,
+    /// Wall-clock time of the parse stage.
+    pub elapsed: Duration,
+}
+
+/// Graph artifact: per-function CFGs and the hybrid AST-CFG.
+#[derive(Debug)]
+pub struct GraphsArtifact {
+    pub graphs: ProgramGraphs,
+    pub elapsed: Duration,
+}
+
+/// Access artifact: classified memory accesses and per-function symbols.
+#[derive(Debug)]
+pub struct AccessArtifact {
+    pub accesses: HashMap<String, FunctionAccesses>,
+    pub symbols: HashMap<String, SymbolTable>,
+    pub elapsed: Duration,
+}
+
+/// Interprocedural artifact: per-function side-effect summaries.
+#[derive(Debug)]
+pub struct SummariesArtifact {
+    pub summaries: ProgramSummaries,
+    pub elapsed: Duration,
+}
+
+/// Planning artifact: per-function mapping plans plus statistics.
+#[derive(Debug)]
+pub struct PlansArtifact {
+    pub plans: Vec<RegionPlan>,
+    pub stats: AnalysisStats,
+    /// Diagnostics produced by the data-flow analysis.
+    pub diagnostics: Diagnostics,
+    pub elapsed: Duration,
+}
+
+/// Rewrite artifact: the transformed source text.
+#[derive(Debug)]
+pub struct RewriteOutput {
+    pub source: String,
+    pub elapsed: Duration,
+}
+
+/// Stage 1 — parse source text into a [`ParsedUnit`].
+pub fn stage_parse(name: &str, source: &str) -> Result<ParsedUnit, StageError> {
+    let start = Instant::now();
+    let (file, parse) = parse_str(name, source);
+    if !parse.is_ok() {
+        return Err(StageError::Parse {
+            name: name.to_string(),
+            diagnostics: parse.diagnostics,
+        });
+    }
+    Ok(ParsedUnit {
+        name: name.to_string(),
+        content_hash: content_hash(name, source),
+        file,
+        unit: parse.unit,
+        diagnostics: parse.diagnostics,
+        elapsed: start.elapsed(),
+    })
+}
+
+/// Input-contract check (Section IV-A): reject sources that already carry
+/// explicit data mappings.
+pub fn check_input_contract(parsed: &ParsedUnit) -> Result<(), StageError> {
+    match function_with_existing_mappings(&parsed.unit) {
+        Some(function) => Err(StageError::AlreadyMapped { function }),
+        None => Ok(()),
+    }
+}
+
+/// Stage 2 — build per-function CFGs and the hybrid AST-CFG.
+pub fn stage_graphs(unit: &TranslationUnit) -> GraphsArtifact {
+    let start = Instant::now();
+    let graphs = ProgramGraphs::build(unit);
+    GraphsArtifact {
+        graphs,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Stage 3 — classify memory accesses and build symbol tables.
+pub fn stage_accesses(unit: &TranslationUnit, graphs: &GraphsArtifact) -> AccessArtifact {
+    let start = Instant::now();
+    let mut symbols = HashMap::new();
+    let mut accesses = HashMap::new();
+    for func in unit.functions() {
+        let sym = SymbolTable::build(unit, func);
+        if let Some(g) = graphs.graphs.function(&func.name) {
+            accesses.insert(
+                func.name.clone(),
+                FunctionAccesses::collect(func, &g.index, &sym),
+            );
+        }
+        symbols.insert(func.name.clone(), sym);
+    }
+    AccessArtifact {
+        accesses,
+        symbols,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Stage 4 — interprocedural side-effect summaries (Section IV-C).
+pub fn stage_summaries(
+    unit: &TranslationUnit,
+    accesses: &AccessArtifact,
+    options: &OmpDartOptions,
+) -> SummariesArtifact {
+    let start = Instant::now();
+    let summaries = if options.interprocedural {
+        ProgramSummaries::compute(
+            unit,
+            &accesses.accesses,
+            &accesses.symbols,
+            options.max_interproc_passes,
+        )
+    } else {
+        ProgramSummaries::default()
+    };
+    SummariesArtifact {
+        summaries,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Stage 5 — host/device data-flow planning, fanned out per function over
+/// scoped worker threads when `parallelism > 1`. The produced plans and
+/// diagnostics are merged back in source order, so the result is identical
+/// to a serial run.
+pub fn stage_plans(
+    unit: &TranslationUnit,
+    graphs: &GraphsArtifact,
+    accesses: &AccessArtifact,
+    summaries: &SummariesArtifact,
+    options: &OmpDartOptions,
+    parallelism: usize,
+) -> PlansArtifact {
+    let start = Instant::now();
+    let funcs: Vec<_> = unit.functions().collect();
+    let workers = parallelism.clamp(1, funcs.len().max(1));
+
+    // One slot per function: (had a graph, plan, diagnostics).
+    type Slot = (bool, Option<RegionPlan>, Diagnostics);
+    let plan_one = |idx: usize| -> Slot {
+        let func = funcs[idx];
+        let Some(graph) = graphs.graphs.function(&func.name) else {
+            return (false, None, Diagnostics::new());
+        };
+        let Some(mut acc) = accesses.accesses.get(&func.name).cloned() else {
+            return (true, None, Diagnostics::new());
+        };
+        augment_with_call_effects(&mut acc, unit, &summaries.summaries);
+        let mut diags = Diagnostics::new();
+        let plan = plan_function(
+            unit,
+            func,
+            graph,
+            &acc,
+            &accesses.symbols[&func.name],
+            &options.dataflow,
+            &mut diags,
+        );
+        (true, plan, diags)
+    };
+
+    let slots = parallel_map_indexed(workers, funcs.len(), plan_one);
+
+    let mut plans = Vec::new();
+    let mut stats = AnalysisStats::default();
+    let mut diagnostics = Diagnostics::new();
+    for slot in slots {
+        let (analyzed, plan, diags) = slot;
+        if analyzed {
+            stats.functions_analyzed += 1;
+        }
+        diagnostics.extend(diags);
+        if let Some(plan) = plan {
+            stats.functions_with_kernels += 1;
+            stats.kernels += plan.kernels.len();
+            stats.mapped_variables += plan.mapped_variables().len();
+            stats.map_clauses += plan.maps.len();
+            stats.update_directives += plan.updates.len();
+            stats.firstprivate_clauses += plan.firstprivate.len();
+            plans.push(plan);
+        }
+    }
+    PlansArtifact {
+        plans,
+        stats,
+        diagnostics,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Order-preserving parallel map over indices `0..len`: up to `workers`
+/// scoped threads pull indices from a shared cursor and fill one slot each.
+/// With one worker (or one item) the map runs inline. Shared by the
+/// per-function plan fan-out and [`BatchDriver::analyze_all`].
+fn parallel_map_indexed<T, F>(workers: usize, len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, len.max(1));
+    if workers <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= len {
+                    break;
+                }
+                *done[i].lock().unwrap() = Some(f(i));
+            });
+        }
+    });
+    done.into_iter()
+        .map(|cell| {
+            cell.into_inner()
+                .unwrap()
+                .expect("parallel map slot not filled")
+        })
+        .collect()
+}
+
+/// Stage 6 — source-to-source rewriting.
+pub fn stage_rewrite(
+    parsed: &ParsedUnit,
+    graphs: &GraphsArtifact,
+    plans: &PlansArtifact,
+) -> RewriteOutput {
+    let start = Instant::now();
+    let source = rewrite::apply_plans(&parsed.file, &parsed.unit, &graphs.graphs, &plans.plans);
+    RewriteOutput {
+        source,
+        elapsed: start.elapsed(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The assembled analysis of one translation unit
+// ---------------------------------------------------------------------------
+
+/// Every artifact of a fully analyzed translation unit.
+#[derive(Debug)]
+pub struct UnitAnalysis {
+    pub parsed: Arc<ParsedUnit>,
+    pub graphs: Arc<GraphsArtifact>,
+    pub accesses: Arc<AccessArtifact>,
+    pub summaries: Arc<SummariesArtifact>,
+    pub plans: Arc<PlansArtifact>,
+    pub rewrite: Arc<RewriteOutput>,
+}
+
+impl UnitAnalysis {
+    /// Per-stage timings of this analysis.
+    pub fn timings(&self) -> StageTimings {
+        StageTimings {
+            parse: self.parsed.elapsed,
+            graphs: self.graphs.elapsed,
+            accesses: self.accesses.elapsed,
+            summaries: self.summaries.elapsed,
+            plan: self.plans.elapsed,
+            rewrite: self.rewrite.elapsed,
+        }
+    }
+
+    /// Assemble the legacy [`TransformResult`] from the staged artifacts.
+    pub fn to_transform_result(&self) -> TransformResult {
+        let mut diagnostics = self.parsed.diagnostics.clone();
+        diagnostics.extend(self.plans.diagnostics.clone());
+        TransformResult {
+            transformed_source: self.rewrite.source.clone(),
+            plans: self.plans.plans.clone(),
+            diagnostics,
+            stats: self.plans.stats,
+            tool_time: self.timings().total(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AnalysisSession: cached, reusable pipeline driver
+// ---------------------------------------------------------------------------
+
+/// Cache hit/miss counters of an [`AnalysisSession`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// `parse` calls served from the parse cache.
+    pub parse_hits: u64,
+    /// `parse` calls that ran the frontend.
+    pub parse_misses: u64,
+    /// `analyze` calls served entirely from the artifact cache.
+    pub analysis_hits: u64,
+    /// `analyze` calls that ran the pipeline.
+    pub analysis_misses: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheCounters {
+    parse_hits: AtomicU64,
+    parse_misses: AtomicU64,
+    analysis_hits: AtomicU64,
+    analysis_misses: AtomicU64,
+}
+
+/// A reusable, thread-safe driver for the staged pipeline.
+///
+/// The session caches [`ParsedUnit`]s and complete [`UnitAnalysis`] bundles
+/// under the FNV-1a hash of (file name, source text), so re-analyzing
+/// unchanged sources skips every stage. Stage methods can also be called
+/// individually to run the pipeline step by step.
+#[derive(Debug)]
+pub struct AnalysisSession {
+    options: OmpDartOptions,
+    parallelism: usize,
+    parse_cache: Mutex<HashMap<u64, Arc<ParsedUnit>>>,
+    unit_cache: Mutex<HashMap<u64, Arc<UnitAnalysis>>>,
+    counters: CacheCounters,
+    cumulative: Mutex<StageTimings>,
+}
+
+impl Default for AnalysisSession {
+    fn default() -> Self {
+        AnalysisSession::new()
+    }
+}
+
+impl AnalysisSession {
+    /// A session with default options.
+    pub fn new() -> AnalysisSession {
+        AnalysisSession::with_options(OmpDartOptions::default())
+    }
+
+    /// A session with explicit options.
+    pub fn with_options(options: OmpDartOptions) -> AnalysisSession {
+        AnalysisSession {
+            options,
+            parallelism: default_parallelism(),
+            parse_cache: Mutex::new(HashMap::new()),
+            unit_cache: Mutex::new(HashMap::new()),
+            counters: CacheCounters::default(),
+            cumulative: Mutex::new(StageTimings::default()),
+        }
+    }
+
+    /// Override the per-function fan-out width of the planning stage.
+    pub fn with_parallelism(mut self, workers: usize) -> AnalysisSession {
+        self.parallelism = workers.max(1);
+        self
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &OmpDartOptions {
+        &self.options
+    }
+
+    /// Cache hit/miss counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            parse_hits: self.counters.parse_hits.load(Ordering::Relaxed),
+            parse_misses: self.counters.parse_misses.load(Ordering::Relaxed),
+            analysis_hits: self.counters.analysis_hits.load(Ordering::Relaxed),
+            analysis_misses: self.counters.analysis_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cumulative per-stage wall-clock time spent by this session (cache
+    /// hits add nothing — that is the point).
+    pub fn timings(&self) -> StageTimings {
+        *self.cumulative.lock().unwrap()
+    }
+
+    /// Stage 1, cached: parse source text.
+    pub fn parse(&self, name: &str, source: &str) -> Result<Arc<ParsedUnit>, StageError> {
+        let key = content_hash(name, source);
+        if let Some(hit) = self.parse_cache.lock().unwrap().get(&key).cloned() {
+            self.counters.parse_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.counters.parse_misses.fetch_add(1, Ordering::Relaxed);
+        let parsed = Arc::new(stage_parse(name, source)?);
+        self.cumulative.lock().unwrap().parse += parsed.elapsed;
+        // First writer wins: if a concurrent call raced us to the same key,
+        // return its artifact so identical content always yields one Arc.
+        let winner = Arc::clone(
+            self.parse_cache
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert(parsed),
+        );
+        Ok(winner)
+    }
+
+    /// Stage 2: build the hybrid AST-CFG.
+    pub fn graphs(&self, parsed: &ParsedUnit) -> Arc<GraphsArtifact> {
+        let artifact = Arc::new(stage_graphs(&parsed.unit));
+        self.cumulative.lock().unwrap().graphs += artifact.elapsed;
+        artifact
+    }
+
+    /// Stage 3: classify memory accesses.
+    pub fn accesses(&self, parsed: &ParsedUnit, graphs: &GraphsArtifact) -> Arc<AccessArtifact> {
+        let artifact = Arc::new(stage_accesses(&parsed.unit, graphs));
+        self.cumulative.lock().unwrap().accesses += artifact.elapsed;
+        artifact
+    }
+
+    /// Stage 4: interprocedural summaries.
+    pub fn summaries(
+        &self,
+        parsed: &ParsedUnit,
+        accesses: &AccessArtifact,
+    ) -> Arc<SummariesArtifact> {
+        let artifact = Arc::new(stage_summaries(&parsed.unit, accesses, &self.options));
+        self.cumulative.lock().unwrap().summaries += artifact.elapsed;
+        artifact
+    }
+
+    /// Stage 5: data-flow planning with per-function fan-out.
+    pub fn plan(
+        &self,
+        parsed: &ParsedUnit,
+        graphs: &GraphsArtifact,
+        accesses: &AccessArtifact,
+        summaries: &SummariesArtifact,
+    ) -> Arc<PlansArtifact> {
+        let artifact = Arc::new(stage_plans(
+            &parsed.unit,
+            graphs,
+            accesses,
+            summaries,
+            &self.options,
+            self.parallelism,
+        ));
+        self.cumulative.lock().unwrap().plan += artifact.elapsed;
+        artifact
+    }
+
+    /// Stage 6: source rewriting.
+    pub fn rewrite(
+        &self,
+        parsed: &ParsedUnit,
+        graphs: &GraphsArtifact,
+        plans: &PlansArtifact,
+    ) -> Arc<RewriteOutput> {
+        let artifact = Arc::new(stage_rewrite(parsed, graphs, plans));
+        self.cumulative.lock().unwrap().rewrite += artifact.elapsed;
+        artifact
+    }
+
+    /// Run (or fetch from the cache) the complete pipeline for one source.
+    pub fn analyze(&self, name: &str, source: &str) -> Result<Arc<UnitAnalysis>, StageError> {
+        let key = content_hash(name, source);
+        if let Some(hit) = self.unit_cache.lock().unwrap().get(&key).cloned() {
+            self.counters.analysis_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.counters
+            .analysis_misses
+            .fetch_add(1, Ordering::Relaxed);
+        let parsed = self.parse(name, source)?;
+        if self.options.reject_existing_mappings {
+            check_input_contract(&parsed)?;
+        }
+        let graphs = self.graphs(&parsed);
+        let accesses = self.accesses(&parsed, &graphs);
+        let summaries = self.summaries(&parsed, &accesses);
+        let plans = self.plan(&parsed, &graphs, &accesses, &summaries);
+        let rewrite = self.rewrite(&parsed, &graphs, &plans);
+        let analysis = Arc::new(UnitAnalysis {
+            parsed,
+            graphs,
+            accesses,
+            summaries,
+            plans,
+            rewrite,
+        });
+        // First writer wins, as in `parse`: concurrent analyses of the same
+        // content may both compute (benign duplicated work), but every
+        // caller observes the same cached Arc afterwards.
+        let winner = Arc::clone(
+            self.unit_cache
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert(analysis),
+        );
+        Ok(winner)
+    }
+
+    /// Run the pipeline and assemble the legacy [`TransformResult`]. The
+    /// reported `tool_time` is the wall-clock time of this call, so cached
+    /// invocations report near-zero time.
+    pub fn transform(&self, name: &str, source: &str) -> Result<TransformResult, StageError> {
+        let start = Instant::now();
+        let analysis = self.analyze(name, source)?;
+        let mut result = analysis.to_transform_result();
+        result.tool_time = start.elapsed();
+        Ok(result)
+    }
+}
+
+/// Worker count used by default for batch and per-function fan-out.
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 8)
+}
+
+// ---------------------------------------------------------------------------
+// BatchDriver: many translation units, concurrently
+// ---------------------------------------------------------------------------
+
+/// One slot of a batch run: the analysis of a unit or its stage error.
+pub type BatchResult = Result<Arc<UnitAnalysis>, StageError>;
+
+/// Analyzes many translation units concurrently over one shared
+/// [`AnalysisSession`] (and therefore one shared artifact cache).
+#[derive(Debug)]
+pub struct BatchDriver {
+    session: Arc<AnalysisSession>,
+    threads: usize,
+}
+
+impl BatchDriver {
+    /// A driver over a fresh default session.
+    pub fn new() -> BatchDriver {
+        BatchDriver::with_session(Arc::new(AnalysisSession::new()))
+    }
+
+    /// A driver over an existing session (shares its cache).
+    pub fn with_session(session: Arc<AnalysisSession>) -> BatchDriver {
+        BatchDriver {
+            session,
+            threads: default_parallelism(),
+        }
+    }
+
+    /// Override the number of worker threads.
+    pub fn with_threads(mut self, threads: usize) -> BatchDriver {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &AnalysisSession {
+        &self.session
+    }
+
+    /// Analyze every `(name, source)` pair, preserving input order. Units
+    /// are distributed over scoped worker threads; results (or stage
+    /// errors) land in the slot of their input.
+    pub fn analyze_all(&self, inputs: &[(String, String)]) -> Vec<BatchResult> {
+        parallel_map_indexed(self.threads, inputs.len(), |i| {
+            let (name, source) = &inputs[i];
+            self.session.analyze(name, source)
+        })
+    }
+
+    /// Transform every `(name, source)` pair, preserving input order.
+    pub fn transform_all(
+        &self,
+        inputs: &[(String, String)],
+    ) -> Vec<Result<TransformResult, StageError>> {
+        self.analyze_all(inputs)
+            .into_iter()
+            .map(|r| r.map(|a| a.to_transform_result()))
+            .collect()
+    }
+}
+
+impl Default for BatchDriver {
+    fn default() -> Self {
+        BatchDriver::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DEMO: &str = "\
+#define N 32
+double a[N];
+int main() {
+  for (int it = 0; it < 4; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) a[i] += 1.0;
+  }
+  printf(\"%f\\n\", a[0]);
+  return 0;
+}
+";
+
+    #[test]
+    fn stages_compose_to_the_one_shot_result() {
+        let session = AnalysisSession::new();
+        let parsed = session.parse("demo.c", DEMO).unwrap();
+        let graphs = session.graphs(&parsed);
+        let accesses = session.accesses(&parsed, &graphs);
+        let summaries = session.summaries(&parsed, &accesses);
+        let plans = session.plan(&parsed, &graphs, &accesses, &summaries);
+        let rewrite = session.rewrite(&parsed, &graphs, &plans);
+
+        let one_shot = crate::transform("demo.c", DEMO).unwrap();
+        assert_eq!(one_shot.transformed_source, rewrite.source);
+        assert_eq!(one_shot.stats, plans.stats);
+        assert_eq!(one_shot.plans.len(), plans.plans.len());
+    }
+
+    #[test]
+    fn cache_hits_skip_every_stage() {
+        let session = AnalysisSession::new();
+        let first = session.analyze("demo.c", DEMO).unwrap();
+        let before = session.timings();
+        let second = session.analyze("demo.c", DEMO).unwrap();
+        let after = session.timings();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "cache hit must return the same artifacts"
+        );
+        assert_eq!(
+            before.total(),
+            after.total(),
+            "a cache hit must not spend stage time"
+        );
+        let stats = session.cache_stats();
+        assert_eq!(stats.analysis_hits, 1);
+        assert_eq!(stats.analysis_misses, 1);
+        assert_eq!(stats.parse_misses, 1);
+    }
+
+    #[test]
+    fn stage_errors_are_typed() {
+        let session = AnalysisSession::new();
+        let err = session
+            .analyze("broken.c", "int main( { return 0; }\n")
+            .unwrap_err();
+        assert!(matches!(err, StageError::Parse { .. }));
+        assert_eq!(err.stage(), Stage::Parse);
+
+        let mapped = "\
+#define N 8
+double a[N];
+void f() {
+  #pragma omp target data map(tofrom: a)
+  {
+    #pragma omp target
+    for (int i = 0; i < N; i++) a[i] = i;
+  }
+}
+";
+        let err = session.analyze("mapped.c", mapped).unwrap_err();
+        assert!(matches!(err, StageError::AlreadyMapped { .. }));
+    }
+
+    #[test]
+    fn parallel_plan_stage_matches_serial() {
+        let src = "\
+#define N 16
+double a[N];
+double b[N];
+void f() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) a[i] = i;
+}
+void g() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) b[i] = 2 * i;
+}
+int main() { f(); g(); printf(\"%f %f\\n\", a[1], b[1]); return 0; }
+";
+        let serial = AnalysisSession::new().with_parallelism(1);
+        let parallel = AnalysisSession::new().with_parallelism(4);
+        let a = serial.analyze("fg.c", src).unwrap();
+        let b = parallel.analyze("fg.c", src).unwrap();
+        assert_eq!(a.rewrite.source, b.rewrite.source);
+        assert_eq!(a.plans.stats, b.plans.stats);
+        let funcs: Vec<_> = a.plans.plans.iter().map(|p| p.function.clone()).collect();
+        let funcs_b: Vec<_> = b.plans.plans.iter().map(|p| p.function.clone()).collect();
+        assert_eq!(funcs, funcs_b, "plan order must be deterministic");
+    }
+
+    #[test]
+    fn batch_driver_analyzes_units_concurrently_and_in_order() {
+        let inputs: Vec<(String, String)> = (0..6)
+            .map(|i| {
+                (
+                    format!("unit{i}.c"),
+                    format!(
+                        "#define N 32\ndouble arr{i}[N];\nint main() {{\n  for (int t = 0; t < 3; t++) {{\n    #pragma omp target teams distribute parallel for\n    for (int j = 0; j < N; j++) arr{i}[j] += {i};\n  }}\n  printf(\"%f\\n\", arr{i}[0]);\n  return 0;\n}}\n"
+                    ),
+                )
+            })
+            .collect();
+        let driver = BatchDriver::new().with_threads(4);
+        let results = driver.analyze_all(&inputs);
+        assert_eq!(results.len(), 6);
+        for (i, result) in results.iter().enumerate() {
+            let analysis = result.as_ref().expect("unit failed");
+            assert_eq!(analysis.parsed.name, format!("unit{i}.c"));
+            assert!(analysis.rewrite.source.contains("#pragma omp target data"));
+        }
+        assert_eq!(driver.session().cache_stats().analysis_misses, 6);
+
+        // Re-running the same corpus is served from the cache.
+        let again = driver.analyze_all(&inputs);
+        assert_eq!(driver.session().cache_stats().analysis_hits, 6);
+        for (a, b) in results.iter().zip(&again) {
+            assert!(Arc::ptr_eq(a.as_ref().unwrap(), b.as_ref().unwrap()));
+        }
+    }
+
+    #[test]
+    fn timings_cover_every_stage() {
+        let session = AnalysisSession::new();
+        let analysis = session.analyze("demo.c", DEMO).unwrap();
+        let timings = analysis.timings();
+        assert!(timings.total() > Duration::ZERO);
+        let rendered = format!("{timings}");
+        for stage in Stage::ALL {
+            assert!(rendered.contains(stage.name()), "{rendered}");
+        }
+    }
+}

@@ -31,7 +31,9 @@ pub fn apply_plans(
     let mut edits = EditSet::default();
     let directives = collect_directives(unit);
     for plan in plans {
-        let Some(graph) = graphs.function(&plan.function) else { continue };
+        let Some(graph) = graphs.function(&plan.function) else {
+            continue;
+        };
         let index = &graph.index;
         let span_of = |id: NodeId| index.info(id).map(|i| i.span);
 
@@ -65,7 +67,10 @@ pub fn apply_plans(
         // Consolidate per kernel.
         let mut per_kernel: BTreeMap<NodeId, Vec<String>> = BTreeMap::new();
         for fp in &plan.firstprivate {
-            per_kernel.entry(fp.kernel).or_default().push(fp.var.clone());
+            per_kernel
+                .entry(fp.kernel)
+                .or_default()
+                .push(fp.var.clone());
         }
         for (kernel, vars) in per_kernel {
             if let Some(dir) = directives.get(&kernel) {
@@ -92,7 +97,9 @@ pub fn apply_plans(
             }
         }
         for ((anchor, after, from), items) in grouped {
-            let Some(span) = span_of(anchor) else { continue };
+            let Some(span) = span_of(anchor) else {
+                continue;
+            };
             let indent = file.indentation_at(span.start);
             let keyword = if from == 1 { "from" } else { "to" };
             let text = format!(
@@ -207,7 +214,9 @@ mod tests {
             symbols.insert(f.name.clone(), SymbolTable::build(&unit, f));
         }
         for f in unit.functions() {
-            let Some(g) = graphs.function(&f.name) else { continue };
+            let Some(g) = graphs.function(&f.name) else {
+                continue;
+            };
             let acc = FunctionAccesses::collect(f, &g.index, &symbols[&f.name]);
             if let Some(plan) = plan_function(
                 &unit,
@@ -239,7 +248,10 @@ void f() {
             out.contains("#pragma omp target teams distribute parallel for map("),
             "clauses must be appended to the kernel pragma:\n{out}"
         );
-        assert!(!out.contains("#pragma omp target data"), "no separate region expected:\n{out}");
+        assert!(
+            !out.contains("#pragma omp target data"),
+            "no separate region expected:\n{out}"
+        );
     }
 
     #[test]
@@ -256,7 +268,10 @@ int main() {
 }
 ";
         let out = transform(src);
-        assert!(out.contains("#pragma omp target data map("), "region directive missing:\n{out}");
+        assert!(
+            out.contains("#pragma omp target data map("),
+            "region directive missing:\n{out}"
+        );
         // The region must open before the outer loop, not inside it.
         let region_pos = out.find("#pragma omp target data").unwrap();
         let loop_pos = out.find("for (int it").unwrap();
@@ -306,7 +321,10 @@ void f(double scale) {
 }
 ";
         let out = transform(src);
-        assert!(out.contains("firstprivate(scale)"), "firstprivate clause missing:\n{out}");
+        assert!(
+            out.contains("firstprivate(scale)"),
+            "firstprivate clause missing:\n{out}"
+        );
     }
 
     #[test]

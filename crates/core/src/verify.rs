@@ -63,7 +63,9 @@ pub fn verify_unit(unit: &TranslationUnit) -> VerifyReport {
     let graphs = ProgramGraphs::build(unit);
     let mut report = VerifyReport::default();
     for func in unit.functions() {
-        let Some(graph) = graphs.function(&func.name) else { continue };
+        let Some(graph) = graphs.function(&func.name) else {
+            continue;
+        };
         if !graph.has_kernels() {
             continue;
         }
@@ -103,7 +105,10 @@ struct Checker<'a> {
 
 impl Checker<'_> {
     fn validity(&mut self, var: &str) -> Validity {
-        *self.state.entry(var.to_string()).or_insert(Validity { host: true, dev: false })
+        *self.state.entry(var.to_string()).or_insert(Validity {
+            host: true,
+            dev: false,
+        })
     }
 
     fn set(&mut self, var: &str, v: Validity) {
@@ -121,7 +126,11 @@ impl Checker<'_> {
                     self.walk(s);
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.check_stmt_accesses(stmt, false);
                 self.walk(then_branch);
                 if let Some(e) = else_branch {
@@ -278,8 +287,7 @@ impl Checker<'_> {
             // Collect accesses by statement; recursion handled by walk.
             let accesses: Vec<_> = self.accesses.for_stmt(s.id).into_iter().cloned().collect();
             for access in accesses {
-                if !self.symbols.is_aggregate(&access.var) && !self.symbols.is_scalar(&access.var)
-                {
+                if !self.symbols.is_aggregate(&access.var) && !self.symbols.is_scalar(&access.var) {
                     continue;
                 }
                 let mut v = self.validity(&access.var);
@@ -304,7 +312,12 @@ impl Checker<'_> {
     }
 
     fn check_stmt_accesses(&mut self, stmt: &Stmt, _device: bool) {
-        let accesses: Vec<_> = self.accesses.for_stmt(stmt.id).into_iter().cloned().collect();
+        let accesses: Vec<_> = self
+            .accesses
+            .for_stmt(stmt.id)
+            .into_iter()
+            .cloned()
+            .collect();
         for access in accesses {
             if access.on_device {
                 continue; // handled by check_device_body
@@ -356,7 +369,8 @@ fn kernel_vars(body: &Stmt, accesses: &FunctionAccesses) -> Vec<String> {
 
 /// True if the directive explicitly lists the variable in a map clause.
 fn explicitly_listed(dir: &OmpDirective, var: &str) -> bool {
-    dir.map_clauses().any(|(_, items)| items.iter().any(|i| i.var == var))
+    dir.map_clauses()
+        .any(|(_, items)| items.iter().any(|i| i.var == var))
 }
 
 #[cfg(test)]
@@ -493,7 +507,10 @@ int main() {
 }
 ";
         let report = verify_source("missing_from.c", src).unwrap();
-        assert!(report.stale_reads.iter().any(|r| r.variable == "a" && !r.on_device));
+        assert!(report
+            .stale_reads
+            .iter()
+            .any(|r| r.variable == "a" && !r.on_device));
     }
 
     /// Invalid input surfaces parse diagnostics instead of a report.

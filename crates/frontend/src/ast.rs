@@ -357,8 +357,16 @@ impl Expr {
             ExprKind::Member { base, .. } => base.base_variable(),
             ExprKind::Paren(inner) => inner.base_variable(),
             ExprKind::Cast { expr, .. } => expr.base_variable(),
-            ExprKind::Unary { op: UnaryOp::Deref, operand, .. } => operand.base_variable(),
-            ExprKind::Unary { op: UnaryOp::AddrOf, operand, .. } => operand.base_variable(),
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                operand,
+                ..
+            } => operand.base_variable(),
+            ExprKind::Unary {
+                op: UnaryOp::AddrOf,
+                operand,
+                ..
+            } => operand.base_variable(),
             _ => None,
         }
     }
@@ -384,7 +392,11 @@ impl Expr {
                 lhs.collect_vars(out);
                 rhs.collect_vars(out);
             }
-            ExprKind::Conditional { cond, then_expr, else_expr } => {
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 cond.collect_vars(out);
                 then_expr.collect_vars(out);
                 else_expr.collect_vars(out);
@@ -468,7 +480,11 @@ impl Expr {
                     BinaryOp::LogicalOr => i64::from(a != 0 || b != 0),
                 })
             }
-            ExprKind::Conditional { cond, then_expr, else_expr } => {
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 let c = cond.const_eval(lookup)?;
                 if c != 0 {
                     then_expr.const_eval(lookup)
@@ -500,7 +516,11 @@ impl Expr {
                 lhs.walk(f);
                 rhs.walk(f);
             }
-            ExprKind::Conditional { cond, then_expr, else_expr } => {
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 cond.walk(f);
                 then_expr.walk(f);
                 else_expr.walk(f);
@@ -653,7 +673,11 @@ impl Stmt {
                     s.walk(f);
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 then_branch.walk(f);
                 if let Some(e) = else_branch {
                     e.walk(f);
@@ -689,7 +713,9 @@ impl Stmt {
             | StmtKind::While { cond, .. }
             | StmtKind::DoWhile { cond, .. }
             | StmtKind::Switch { cond, .. } => out.push(cond),
-            StmtKind::For { init, cond, inc, .. } => {
+            StmtKind::For {
+                init, cond, inc, ..
+            } => {
                 if let Some(fi) = init {
                     match fi.as_ref() {
                         ForInit::Expr(e) => out.push(e),
@@ -765,11 +791,17 @@ pub struct StructDef {
 
 /// A top-level item in a translation unit.
 #[derive(Clone, Debug, PartialEq)]
+#[allow(clippy::large_enum_variant)]
 pub enum TopLevel {
     Function(FunctionDef),
     Globals(Vec<VarDecl>),
     Struct(StructDef),
-    Typedef { id: NodeId, span: Span, name: String, ty: Type },
+    Typedef {
+        id: NodeId,
+        span: Span,
+        name: String,
+        ty: Type,
+    },
 }
 
 /// A parsed translation unit: the list of top-level items plus the constant
@@ -840,7 +872,11 @@ mod tests {
     use super::*;
 
     fn expr(kind: ExprKind) -> Expr {
-        Expr { id: NodeId(0), span: Span::dummy(), kind }
+        Expr {
+            id: NodeId(0),
+            span: Span::dummy(),
+            kind,
+        }
     }
 
     #[test]
@@ -909,7 +945,10 @@ mod tests {
         assert!(!Type::Pointer(Box::new(Type::Int)).is_scalar());
         assert!(Type::Pointer(Box::new(Type::Int)).is_mappable_aggregate());
         assert!(Type::Array(Box::new(Type::Double), None).is_mappable_aggregate());
-        assert_eq!(Type::Array(Box::new(Type::Double), None).scalar_size_bytes(), 8);
+        assert_eq!(
+            Type::Array(Box::new(Type::Double), None).scalar_size_bytes(),
+            8
+        );
         assert_eq!(Type::Pointer(Box::new(Type::Float)).scalar_size_bytes(), 4);
         assert_eq!(Type::Int.to_c_string(), "int");
         assert_eq!(

@@ -39,21 +39,39 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     pub fn error(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Error, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+        }
     }
 
     pub fn warning(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+        }
     }
 
     pub fn note(span: Span, message: impl Into<String>) -> Self {
-        Diagnostic { severity: Severity::Note, span, message: message.into() }
+        Diagnostic {
+            severity: Severity::Note,
+            span,
+            message: message.into(),
+        }
     }
 
     /// Render the diagnostic with file/line/column information.
     pub fn render(&self, file: &SourceFile) -> String {
         let lc = file.line_col(self.span.start);
-        format!("{}:{}: {}: {}", file.name(), lc, self.severity, self.message)
+        format!(
+            "{}:{}: {}: {}",
+            file.name(),
+            lc,
+            self.severity,
+            self.message
+        )
     }
 }
 
@@ -111,7 +129,10 @@ impl Diagnostics {
 
     /// Number of error-severity diagnostics.
     pub fn error_count(&self) -> usize {
-        self.items.iter().filter(|d| d.severity == Severity::Error).count()
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
     }
 
     /// Merge another diagnostics collection into this one.

@@ -29,13 +29,23 @@ pub struct Lexer<'a> {
 impl<'a> Lexer<'a> {
     /// Lex the full text of `file`.
     pub fn new(file: &'a SourceFile) -> Self {
-        Lexer { text: file.text().as_bytes(), pos: 0, base: 0, diags: Diagnostics::new() }
+        Lexer {
+            text: file.text().as_bytes(),
+            pos: 0,
+            base: 0,
+            diags: Diagnostics::new(),
+        }
     }
 
     /// Lex an arbitrary string whose first byte corresponds to absolute file
     /// offset `base` (used to lex pragma bodies and macro replacement text).
     pub fn with_base(text: &'a str, base: u32) -> Self {
-        Lexer { text: text.as_bytes(), pos: 0, base, diags: Diagnostics::new() }
+        Lexer {
+            text: text.as_bytes(),
+            pos: 0,
+            base,
+            diags: Diagnostics::new(),
+        }
     }
 
     /// Diagnostics produced while lexing.
@@ -185,9 +195,7 @@ impl<'a> Lexer<'a> {
                 Some(b'\\') if self.peek_at(1) == Some(b'\n') => {
                     self.pos += 2;
                 }
-                Some(b'\\')
-                    if self.peek_at(1) == Some(b'\r') && self.peek_at(2) == Some(b'\n') =>
-                {
+                Some(b'\\') if self.peek_at(1) == Some(b'\r') && self.peek_at(2) == Some(b'\n') => {
                     self.pos += 3;
                 }
                 // comments terminate the directive body logically but we keep
@@ -206,8 +214,8 @@ impl<'a> Lexer<'a> {
         let cleaned = cleaned.trim().to_string();
         let span = Span::new(self.abs(start), self.abs(self.pos));
         let lower = cleaned.trim_start();
-        if lower.starts_with("pragma") {
-            let body = lower["pragma".len()..].trim().to_string();
+        if let Some(stripped) = lower.strip_prefix("pragma") {
+            let body = stripped.trim().to_string();
             Token::new(TokenKind::Pragma(body), span)
         } else {
             Token::new(TokenKind::HashDirective(cleaned), span)
@@ -222,7 +230,9 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let s = std::str::from_utf8(&self.text[start..self.pos]).unwrap_or("").to_string();
+        let s = std::str::from_utf8(&self.text[start..self.pos])
+            .unwrap_or("")
+            .to_string();
         let span = Span::new(self.abs(start), self.abs(self.pos));
         match keyword_from_str(&s) {
             Some(kw) => Token::new(kw, span),
@@ -233,9 +243,7 @@ impl<'a> Lexer<'a> {
     fn lex_number(&mut self, start: usize) -> Token {
         let mut is_float = false;
         // hex
-        if self.peek() == Some(b'0')
-            && matches!(self.peek_at(1), Some(b'x') | Some(b'X'))
-        {
+        if self.peek() == Some(b'0') && matches!(self.peek_at(1), Some(b'x') | Some(b'X')) {
             self.pos += 2;
             while let Some(c) = self.peek() {
                 if c.is_ascii_hexdigit() {
@@ -279,7 +287,10 @@ impl<'a> Lexer<'a> {
         let span_end_before_suffix = self.pos;
         // suffixes
         if is_float {
-            if matches!(self.peek(), Some(b'f') | Some(b'F') | Some(b'l') | Some(b'L')) {
+            if matches!(
+                self.peek(),
+                Some(b'f') | Some(b'F') | Some(b'l') | Some(b'L')
+            ) {
                 self.pos += 1;
             }
         } else {

@@ -189,11 +189,17 @@ impl DirectiveKind {
                 &["target", "teams", "distribute", "parallel", "for"],
                 TargetTeamsDistributeParallelFor,
             ),
-            (&["target", "teams", "distribute", "simd"], TargetTeamsDistributeSimd),
+            (
+                &["target", "teams", "distribute", "simd"],
+                TargetTeamsDistributeSimd,
+            ),
             (&["target", "teams", "distribute"], TargetTeamsDistribute),
             (&["target", "teams", "loop"], TargetTeamsGenericLoop),
             (&["target", "teams"], TargetTeams),
-            (&["target", "parallel", "for", "simd"], TargetParallelForSimd),
+            (
+                &["target", "parallel", "for", "simd"],
+                TargetParallelForSimd,
+            ),
             (&["target", "parallel", "for"], TargetParallelFor),
             (&["target", "parallel", "loop"], TargetParallelGenericLoop),
             (&["target", "parallel"], TargetParallel),
@@ -259,6 +265,7 @@ impl MapType {
         }
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str(s: &str) -> Option<MapType> {
         Some(match s {
             "to" => MapType::To,
@@ -308,7 +315,11 @@ pub struct MapItem {
 
 impl MapItem {
     pub fn whole(var: impl Into<String>, span: Span) -> Self {
-        MapItem { var: var.into(), span, sections: Vec::new() }
+        MapItem {
+            var: var.into(),
+            span,
+            sections: Vec::new(),
+        }
     }
 
     /// Render this item as OpenMP list-item source text.
@@ -333,7 +344,10 @@ impl MapItem {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Clause {
     /// `map([map-type:] list)`
-    Map { map_type: Option<MapType>, items: Vec<MapItem> },
+    Map {
+        map_type: Option<MapType>,
+        items: Vec<MapItem>,
+    },
     /// `to(list)` on `target update`
     UpdateTo(Vec<MapItem>),
     /// `from(list)` on `target update`
@@ -341,7 +355,10 @@ pub enum Clause {
     FirstPrivate(Vec<MapItem>),
     Private(Vec<MapItem>),
     Shared(Vec<MapItem>),
-    Reduction { op: String, items: Vec<MapItem> },
+    Reduction {
+        op: String,
+        items: Vec<MapItem>,
+    },
     NumTeams(Expr),
     NumThreads(Expr),
     ThreadLimit(Expr),
@@ -352,7 +369,10 @@ pub enum Clause {
     DefaultMap(String),
     Nowait,
     /// Any clause we do not model specially, kept verbatim.
-    Other { name: String, text: String },
+    Other {
+        name: String,
+        text: String,
+    },
 }
 
 impl Clause {
@@ -488,13 +508,18 @@ mod tests {
     #[test]
     fn from_words_longest_match() {
         let (k, n) = DirectiveKind::from_words(&[
-            "target", "teams", "distribute", "parallel", "for", "simd",
+            "target",
+            "teams",
+            "distribute",
+            "parallel",
+            "for",
+            "simd",
         ]);
         assert_eq!(k, DirectiveKind::TargetTeamsDistributeParallelForSimd);
         assert_eq!(n, 6);
 
-        let (k, n) = DirectiveKind::from_words(&["target", "teams", "distribute", "parallel",
-            "for", "map"]);
+        let (k, n) =
+            DirectiveKind::from_words(&["target", "teams", "distribute", "parallel", "for", "map"]);
         assert_eq!(k, DirectiveKind::TargetTeamsDistributeParallelFor);
         assert_eq!(n, 5);
 
@@ -539,7 +564,10 @@ mod tests {
         let item = MapItem {
             var: "a".into(),
             span: Span::dummy(),
-            sections: vec![ArraySection { lower: None, length: None }],
+            sections: vec![ArraySection {
+                lower: None,
+                length: None,
+            }],
         };
         let rendered = item.to_source(&|_| "N".into());
         assert_eq!(rendered, "a[:]");

@@ -36,7 +36,10 @@ pub fn parse_source(file: &SourceFile) -> ParseResult {
     let mut parser = Parser::new(pp.tokens, file, diags);
     let mut unit = parser.parse_translation_unit();
     unit.constants = pp.constants;
-    ParseResult { unit, diagnostics: parser.diags }
+    ParseResult {
+        unit,
+        diagnostics: parser.diags,
+    }
 }
 
 /// Convenience: parse source text given as a string.
@@ -60,13 +63,35 @@ impl<'a> Parser<'a> {
     pub(crate) fn new(tokens: Vec<Token>, file: &'a SourceFile, diags: Diagnostics) -> Self {
         let mut typedefs = HashSet::new();
         for builtin in [
-            "size_t", "ssize_t", "ptrdiff_t", "int8_t", "int16_t", "int32_t", "int64_t",
-            "uint8_t", "uint16_t", "uint32_t", "uint64_t", "intptr_t", "uintptr_t", "FILE",
-            "Real_t", "Index_t", "Int_t",
+            "size_t",
+            "ssize_t",
+            "ptrdiff_t",
+            "int8_t",
+            "int16_t",
+            "int32_t",
+            "int64_t",
+            "uint8_t",
+            "uint16_t",
+            "uint32_t",
+            "uint64_t",
+            "intptr_t",
+            "uintptr_t",
+            "FILE",
+            "Real_t",
+            "Index_t",
+            "Int_t",
         ] {
             typedefs.insert(builtin.to_string());
         }
-        Parser { tokens, pos: 0, file, diags, next_id: 0, typedefs, structs: HashSet::new() }
+        Parser {
+            tokens,
+            pos: 0,
+            file,
+            diags,
+            next_id: 0,
+            typedefs,
+            structs: HashSet::new(),
+        }
     }
 
     /// Create a sub-parser over a detached token slice (used by the pragma
@@ -136,7 +161,11 @@ impl<'a> Parser<'a> {
             let span = self.peek_span();
             self.diags.error(
                 span,
-                format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
             );
             span
         }
@@ -176,10 +205,7 @@ impl<'a> Parser<'a> {
             if self.typedefs.contains(name) {
                 // `size_t n`, `Real_t *x` — a type name followed by a
                 // declarator start.
-                return matches!(
-                    self.peek_at(1),
-                    TokenKind::Ident(_) | TokenKind::Star
-                );
+                return matches!(self.peek_at(1), TokenKind::Ident(_) | TokenKind::Star);
             }
         }
         matches!(k, TokenKind::KwTypedef)
@@ -229,7 +255,10 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        TranslationUnit { items, constants: Default::default() }
+        TranslationUnit {
+            items,
+            constants: Default::default(),
+        }
     }
 
     fn parse_typedef(&mut self) -> Option<TopLevel> {
@@ -254,7 +283,8 @@ impl<'a> Parser<'a> {
                     name
                 }
                 _ => {
-                    self.diags.error(self.peek_span(), "expected typedef alias name");
+                    self.diags
+                        .error(self.peek_span(), "expected typedef alias name");
                     self.recover_to(&[TokenKind::Semi]);
                     self.eat(&TokenKind::Semi);
                     return None;
@@ -289,7 +319,12 @@ impl<'a> Parser<'a> {
         let end = self.expect(&TokenKind::Semi);
         self.typedefs.insert(name.clone());
         let id = self.fresh_id();
-        Some(TopLevel::Typedef { id, span: start.to(end), name, ty })
+        Some(TopLevel::Typedef {
+            id,
+            span: start.to(end),
+            name,
+            ty,
+        })
     }
 
     fn parse_struct_def(&mut self) -> Option<TopLevel> {
@@ -308,7 +343,12 @@ impl<'a> Parser<'a> {
         let fields = self.parse_struct_fields();
         let end = self.expect(&TokenKind::Semi);
         let id = self.fresh_id();
-        Some(TopLevel::Struct(StructDef { id, span: start.to(end), name, fields }))
+        Some(TopLevel::Struct(StructDef {
+            id,
+            span: start.to(end),
+            name,
+            fields,
+        }))
     }
 
     fn parse_struct_fields(&mut self) -> Vec<VarDecl> {
@@ -324,23 +364,18 @@ impl<'a> Parser<'a> {
                     continue;
                 }
             };
-            loop {
-                match self.parse_declarator(base.clone()) {
-                    Some((ty, name, span)) => {
-                        let id = self.fresh_id();
-                        fields.push(VarDecl {
-                            id,
-                            span,
-                            name,
-                            ty,
-                            init: None,
-                            is_const: quals.is_const,
-                            is_static: false,
-                            is_extern: false,
-                        });
-                    }
-                    None => break,
-                }
+            while let Some((ty, name, span)) = self.parse_declarator(base.clone()) {
+                let id = self.fresh_id();
+                fields.push(VarDecl {
+                    id,
+                    span,
+                    name,
+                    ty,
+                    init: None,
+                    is_const: quals.is_const,
+                    is_static: false,
+                    is_extern: false,
+                });
                 if !self.eat(&TokenKind::Comma) {
                     break;
                 }
@@ -634,7 +669,10 @@ impl<'a> Parser<'a> {
             _ => {
                 self.diags.error(
                     self.peek_span(),
-                    format!("expected identifier in declarator, found {}", self.peek().describe()),
+                    format!(
+                        "expected identifier in declarator, found {}",
+                        self.peek().describe()
+                    ),
                 );
                 return None;
             }
@@ -680,7 +718,8 @@ impl<'a> Parser<'a> {
             let base = match self.parse_type_specifier() {
                 Some(t) => t,
                 None => {
-                    self.diags.error(self.peek_span(), "expected parameter type");
+                    self.diags
+                        .error(self.peek_span(), "expected parameter type");
                     self.recover_to(&[TokenKind::Comma, TokenKind::RParen]);
                     if self.eat(&TokenKind::Comma) {
                         continue;
@@ -743,7 +782,11 @@ impl<'a> Parser<'a> {
             items.push(self.parse_stmt());
         }
         let end = self.expect(&TokenKind::RBrace);
-        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Compound(items) }
+        Stmt {
+            id: self.fresh_id(),
+            span: start.to(end),
+            kind: StmtKind::Compound(items),
+        }
     }
 
     pub(crate) fn parse_stmt(&mut self) -> Stmt {
@@ -752,7 +795,11 @@ impl<'a> Parser<'a> {
             TokenKind::LBrace => self.parse_compound_stmt(),
             TokenKind::Semi => {
                 self.bump();
-                Stmt { id: self.fresh_id(), span: start, kind: StmtKind::Empty }
+                Stmt {
+                    id: self.fresh_id(),
+                    span: start,
+                    kind: StmtKind::Empty,
+                }
             }
             TokenKind::KwIf => self.parse_if_stmt(),
             TokenKind::KwWhile => self.parse_while_stmt(),
@@ -763,12 +810,20 @@ impl<'a> Parser<'a> {
                 self.bump();
                 let value = self.parse_expr();
                 let end = self.expect(&TokenKind::Colon);
-                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Case { value } }
+                Stmt {
+                    id: self.fresh_id(),
+                    span: start.to(end),
+                    kind: StmtKind::Case { value },
+                }
             }
             TokenKind::KwDefault => {
                 self.bump();
                 let end = self.expect(&TokenKind::Colon);
-                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Default }
+                Stmt {
+                    id: self.fresh_id(),
+                    span: start.to(end),
+                    kind: StmtKind::Default,
+                }
             }
             TokenKind::KwReturn => {
                 self.bump();
@@ -778,22 +833,38 @@ impl<'a> Parser<'a> {
                     Some(self.parse_expr())
                 };
                 let end = self.expect(&TokenKind::Semi);
-                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Return(value) }
+                Stmt {
+                    id: self.fresh_id(),
+                    span: start.to(end),
+                    kind: StmtKind::Return(value),
+                }
             }
             TokenKind::KwBreak => {
                 self.bump();
                 let end = self.expect(&TokenKind::Semi);
-                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Break }
+                Stmt {
+                    id: self.fresh_id(),
+                    span: start.to(end),
+                    kind: StmtKind::Break,
+                }
             }
             TokenKind::KwContinue => {
                 self.bump();
                 let end = self.expect(&TokenKind::Semi);
-                Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Continue }
+                Stmt {
+                    id: self.fresh_id(),
+                    span: start.to(end),
+                    kind: StmtKind::Continue,
+                }
             }
             TokenKind::Pragma(text) => self.parse_pragma_stmt(&text),
             TokenKind::HashDirective(_) => {
                 self.bump();
-                Stmt { id: self.fresh_id(), span: start, kind: StmtKind::Empty }
+                Stmt {
+                    id: self.fresh_id(),
+                    span: start,
+                    kind: StmtKind::Empty,
+                }
             }
             _ => {
                 if self.at_declaration() {
@@ -826,16 +897,29 @@ impl<'a> Parser<'a> {
                         Some(b) => pragma_span.to(b.span),
                         None => pragma_span,
                     };
-                    Stmt { id: self.fresh_id(), span, kind: StmtKind::Omp(dir) }
+                    Stmt {
+                        id: self.fresh_id(),
+                        span,
+                        kind: StmtKind::Omp(dir),
+                    }
                 }
                 None => {
-                    self.diags.warning(pragma_span, "unrecognized OpenMP pragma ignored");
-                    Stmt { id: self.fresh_id(), span: pragma_span, kind: StmtKind::Empty }
+                    self.diags
+                        .warning(pragma_span, "unrecognized OpenMP pragma ignored");
+                    Stmt {
+                        id: self.fresh_id(),
+                        span: pragma_span,
+                        kind: StmtKind::Empty,
+                    }
                 }
             }
         } else {
             // Non-OpenMP pragma: ignore.
-            Stmt { id: self.fresh_id(), span: pragma_span, kind: StmtKind::Empty }
+            Stmt {
+                id: self.fresh_id(),
+                span: pragma_span,
+                kind: StmtKind::Empty,
+            }
         }
     }
 
@@ -845,11 +929,16 @@ impl<'a> Parser<'a> {
         let base = match self.parse_type_specifier() {
             Some(t) => t,
             None => {
-                self.diags.error(self.peek_span(), "expected type in declaration");
+                self.diags
+                    .error(self.peek_span(), "expected type in declaration");
                 self.recover_to(&[TokenKind::Semi]);
                 let end = self.prev_span();
                 self.eat(&TokenKind::Semi);
-                return Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Empty };
+                return Stmt {
+                    id: self.fresh_id(),
+                    span: start.to(end),
+                    kind: StmtKind::Empty,
+                };
             }
         };
         let mut decls = Vec::new();
@@ -882,7 +971,11 @@ impl<'a> Parser<'a> {
             }
         }
         let end = self.expect(&TokenKind::Semi);
-        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Decl(decls) }
+        Stmt {
+            id: self.fresh_id(),
+            span: start.to(end),
+            kind: StmtKind::Decl(decls),
+        }
     }
 
     fn parse_if_stmt(&mut self) -> Stmt {
@@ -901,7 +994,11 @@ impl<'a> Parser<'a> {
         Stmt {
             id: self.fresh_id(),
             span: start.to(end),
-            kind: StmtKind::If { cond, then_branch, else_branch },
+            kind: StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            },
         }
     }
 
@@ -912,7 +1009,11 @@ impl<'a> Parser<'a> {
         self.expect(&TokenKind::RParen);
         let body = Box::new(self.parse_stmt());
         let end = body.span;
-        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::While { cond, body } }
+        Stmt {
+            id: self.fresh_id(),
+            span: start.to(end),
+            kind: StmtKind::While { cond, body },
+        }
     }
 
     fn parse_do_stmt(&mut self) -> Stmt {
@@ -923,7 +1024,11 @@ impl<'a> Parser<'a> {
         let cond = self.parse_expr();
         self.expect(&TokenKind::RParen);
         let end = self.expect(&TokenKind::Semi);
-        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::DoWhile { body, cond } }
+        Stmt {
+            id: self.fresh_id(),
+            span: start.to(end),
+            kind: StmtKind::DoWhile { body, cond },
+        }
     }
 
     fn parse_for_stmt(&mut self) -> Stmt {
@@ -959,7 +1064,12 @@ impl<'a> Parser<'a> {
         Stmt {
             id: self.fresh_id(),
             span: start.to(end),
-            kind: StmtKind::For { init, cond, inc, body },
+            kind: StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            },
         }
     }
 
@@ -970,7 +1080,11 @@ impl<'a> Parser<'a> {
         self.expect(&TokenKind::RParen);
         let body = Box::new(self.parse_stmt());
         let end = body.span;
-        Stmt { id: self.fresh_id(), span: start.to(end), kind: StmtKind::Switch { cond, body } }
+        Stmt {
+            id: self.fresh_id(),
+            span: start.to(end),
+            kind: StmtKind::Switch { cond, body },
+        }
     }
 
     // -- expressions --------------------------------------------------------
@@ -985,7 +1099,11 @@ impl<'a> Parser<'a> {
                 items.push(self.parse_assignment_expr());
             }
             let end = items.last().map(|e| e.span).unwrap_or(start);
-            Expr { id: self.fresh_id(), span: start.to(end), kind: ExprKind::Comma(items) }
+            Expr {
+                id: self.fresh_id(),
+                span: start.to(end),
+                kind: ExprKind::Comma(items),
+            }
         } else {
             first
         }
@@ -1014,7 +1132,11 @@ impl<'a> Parser<'a> {
         Expr {
             id: self.fresh_id(),
             span,
-            kind: ExprKind::Assign { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+            kind: ExprKind::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            },
         }
     }
 
@@ -1077,7 +1199,11 @@ impl<'a> Parser<'a> {
             lhs = Expr {
                 id: self.fresh_id(),
                 span,
-                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                kind: ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
             };
         }
         lhs
@@ -1097,9 +1223,7 @@ impl<'a> Parser<'a> {
             TokenKind::KwSizeof => {
                 self.bump();
                 // sizeof(type) or sizeof expr
-                if matches!(self.peek(), TokenKind::LParen)
-                    && self.is_type_name(self.peek_at(1))
-                {
+                if matches!(self.peek(), TokenKind::LParen) && self.is_type_name(self.peek_at(1)) {
                     self.bump();
                     let ty = self.parse_type_specifier().unwrap_or(Type::Int);
                     let mut ty = ty;
@@ -1131,7 +1255,11 @@ impl<'a> Parser<'a> {
             return Expr {
                 id: self.fresh_id(),
                 span,
-                kind: ExprKind::Unary { op, operand: Box::new(operand), postfix: false },
+                kind: ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                    postfix: false,
+                },
             };
         }
         // Cast expression: `(type) unary-expr`
@@ -1151,7 +1279,10 @@ impl<'a> Parser<'a> {
             return Expr {
                 id: self.fresh_id(),
                 span,
-                kind: ExprKind::Cast { ty, expr: Box::new(operand) },
+                kind: ExprKind::Cast {
+                    ty,
+                    expr: Box::new(operand),
+                },
             };
         }
         self.parse_postfix_expr()
@@ -1169,7 +1300,10 @@ impl<'a> Parser<'a> {
                     expr = Expr {
                         id: self.fresh_id(),
                         span,
-                        kind: ExprKind::Index { base: Box::new(expr), index: Box::new(index) },
+                        kind: ExprKind::Index {
+                            base: Box::new(expr),
+                            index: Box::new(index),
+                        },
                     };
                 }
                 TokenKind::Dot | TokenKind::Arrow => {
@@ -1190,7 +1324,11 @@ impl<'a> Parser<'a> {
                     expr = Expr {
                         id: self.fresh_id(),
                         span,
-                        kind: ExprKind::Member { base: Box::new(expr), field, arrow },
+                        kind: ExprKind::Member {
+                            base: Box::new(expr),
+                            field,
+                            arrow,
+                        },
                     };
                 }
                 TokenKind::PlusPlus | TokenKind::MinusMinus => {
@@ -1204,7 +1342,11 @@ impl<'a> Parser<'a> {
                     expr = Expr {
                         id: self.fresh_id(),
                         span,
-                        kind: ExprKind::Unary { op, operand: Box::new(expr), postfix: true },
+                        kind: ExprKind::Unary {
+                            op,
+                            operand: Box::new(expr),
+                            postfix: true,
+                        },
                     };
                 }
                 _ => break,
@@ -1218,19 +1360,35 @@ impl<'a> Parser<'a> {
         match self.peek().clone() {
             TokenKind::IntLit(v) => {
                 self.bump();
-                Expr { id: self.fresh_id(), span, kind: ExprKind::IntLit(v) }
+                Expr {
+                    id: self.fresh_id(),
+                    span,
+                    kind: ExprKind::IntLit(v),
+                }
             }
             TokenKind::FloatLit(v) => {
                 self.bump();
-                Expr { id: self.fresh_id(), span, kind: ExprKind::FloatLit(v) }
+                Expr {
+                    id: self.fresh_id(),
+                    span,
+                    kind: ExprKind::FloatLit(v),
+                }
             }
             TokenKind::CharLit(c) => {
                 self.bump();
-                Expr { id: self.fresh_id(), span, kind: ExprKind::CharLit(c) }
+                Expr {
+                    id: self.fresh_id(),
+                    span,
+                    kind: ExprKind::CharLit(c),
+                }
             }
             TokenKind::StrLit(s) => {
                 self.bump();
-                Expr { id: self.fresh_id(), span, kind: ExprKind::StrLit(s) }
+                Expr {
+                    id: self.fresh_id(),
+                    span,
+                    kind: ExprKind::StrLit(s),
+                }
             }
             TokenKind::Ident(name) => {
                 self.bump();
@@ -1249,10 +1407,18 @@ impl<'a> Parser<'a> {
                     Expr {
                         id: self.fresh_id(),
                         span: span.to(end),
-                        kind: ExprKind::Call { callee: name, callee_span: span, args },
+                        kind: ExprKind::Call {
+                            callee: name,
+                            callee_span: span,
+                            args,
+                        },
                     }
                 } else {
-                    Expr { id: self.fresh_id(), span, kind: ExprKind::Ident(name) }
+                    Expr {
+                        id: self.fresh_id(),
+                        span,
+                        kind: ExprKind::Ident(name),
+                    }
                 }
             }
             TokenKind::LParen => {
@@ -1271,7 +1437,11 @@ impl<'a> Parser<'a> {
                     format!("expected expression, found {}", other.describe()),
                 );
                 self.bump();
-                Expr { id: self.fresh_id(), span, kind: ExprKind::IntLit(0) }
+                Expr {
+                    id: self.fresh_id(),
+                    span,
+                    kind: ExprKind::IntLit(0),
+                }
             }
         }
     }
@@ -1284,8 +1454,10 @@ impl<'a> Parser<'a> {
     }
 
     pub(crate) fn note_unknown_directive(&mut self, span: Span, text: &str) {
-        self.diags
-            .warning(span, format!("unknown OpenMP directive `{text}` treated opaquely"));
+        self.diags.warning(
+            span,
+            format!("unknown OpenMP directive `{text}` treated opaquely"),
+        );
     }
 }
 
@@ -1303,7 +1475,13 @@ pub(crate) fn make_directive(
     clauses: Vec<crate::omp::Clause>,
     pragma_span: Span,
 ) -> OmpDirective {
-    OmpDirective { id: parser.fresh_id(), pragma_span, kind, clauses, body: None }
+    OmpDirective {
+        id: parser.fresh_id(),
+        pragma_span,
+        kind,
+        clauses,
+        body: None,
+    }
 }
 
 #[cfg(test)]
@@ -1332,7 +1510,8 @@ mod tests {
 
     #[test]
     fn parses_globals_and_arrays() {
-        let (_f, unit) = parse_ok("#define N 8\nint a[N];\ndouble grid[4][N];\nint x = 3, y = 4;\n");
+        let (_f, unit) =
+            parse_ok("#define N 8\nint a[N];\ndouble grid[4][N];\nint x = 3, y = 4;\n");
         assert!(unit.global("a").unwrap().ty.is_array());
         assert!(unit.global("grid").unwrap().ty.is_array());
         assert_eq!(unit.globals().count(), 4);
@@ -1386,7 +1565,8 @@ mod tests {
 
     #[test]
     fn parses_ternary_and_logical() {
-        let (_f, unit) = parse_ok("int f(int a, int b) { return a > b ? a : (a == 0 || b != 1) ? 1 : b; }\n");
+        let (_f, unit) =
+            parse_ok("int f(int a, int b) { return a > b ? a : (a == 0 || b != 1) ? 1 : b; }\n");
         assert!(unit.function("f").is_some());
     }
 
@@ -1485,13 +1665,16 @@ float area(box_t *b) { return b->w * b->h; }
 
     #[test]
     fn parses_sizeof() {
-        let (_f, unit) = parse_ok("int main() { int n = sizeof(double) + sizeof(int *); long m = sizeof n; return n; }\n");
+        let (_f, unit) = parse_ok(
+            "int main() { int n = sizeof(double) + sizeof(int *); long m = sizeof n; return n; }\n",
+        );
         assert!(unit.function("main").is_some());
     }
 
     #[test]
     fn parses_prototype_and_variadic() {
-        let (_f, unit) = parse_ok("int printf(const char *fmt, ...);\nvoid use() { printf(\"%d\", 3); }\n");
+        let (_f, unit) =
+            parse_ok("int printf(const char *fmt, ...);\nvoid use() { printf(\"%d\", 3); }\n");
         let proto = unit.all_functions().find(|f| f.name == "printf").unwrap();
         assert!(proto.is_prototype());
         assert!(proto.is_variadic);

@@ -28,7 +28,9 @@ pub(crate) fn parse_omp_pragma<'a>(
     let mut words: Vec<String> = Vec::new();
     let mut word_token_end = 0usize;
     while idx < tokens.len() {
-        let Some(word) = word_of(&tokens[idx].kind) else { break };
+        let Some(word) = word_of(&tokens[idx].kind) else {
+            break;
+        };
         let next_is_paren = matches!(
             tokens.get(idx + 1).map(|t| &t.kind),
             Some(TokenKind::LParen)
@@ -88,7 +90,9 @@ pub(crate) fn parse_omp_pragma<'a>(
 fn word_of(kind: &TokenKind) -> Option<String> {
     match kind {
         TokenKind::Ident(s) => Some(s.clone()),
-        k if !k.symbol_text().is_empty() && k.symbol_text().chars().all(|c| c.is_ascii_alphabetic()) => {
+        k if !k.symbol_text().is_empty()
+            && k.symbol_text().chars().all(|c| c.is_ascii_alphabetic()) =>
+        {
             Some(k.symbol_text().to_string())
         }
         _ => None,
@@ -98,7 +102,10 @@ fn word_of(kind: &TokenKind) -> Option<String> {
 fn bare_clause(name: &str) -> Clause {
     match name {
         "nowait" => Clause::Nowait,
-        other => Clause::Other { name: other.to_string(), text: String::new() },
+        other => Clause::Other {
+            name: other.to_string(),
+            text: String::new(),
+        },
     }
 }
 
@@ -163,11 +170,13 @@ fn build_clause(
                 .map(render_token)
                 .collect::<Vec<_>>()
                 .join("");
-            Clause::Reduction { op, items: parse_item_list(file, &rest) }
+            Clause::Reduction {
+                op,
+                items: parse_item_list(file, &rest),
+            }
         }
         "num_teams" | "num_threads" | "thread_limit" | "collapse" | "device" | "if" => {
-            let expr = parse_expr_fragment(file, args)
-                .unwrap_or_else(|| default_expr(parser));
+            let expr = parse_expr_fragment(file, args).unwrap_or_else(|| default_expr(parser));
             match name {
                 "num_teams" => Clause::NumTeams(expr),
                 "num_threads" => Clause::NumThreads(expr),
@@ -179,7 +188,10 @@ fn build_clause(
         }
         "schedule" => Clause::Schedule(render_tokens(args)),
         "defaultmap" => Clause::DefaultMap(render_tokens(args)),
-        other => Clause::Other { name: other.to_string(), text: render_tokens(args) },
+        other => Clause::Other {
+            name: other.to_string(),
+            text: render_tokens(args),
+        },
     }
 }
 
@@ -215,7 +227,10 @@ fn parse_map_clause(file: &crate::source::SourceFile, args: &[Token]) -> Clause 
             }
         }
     }
-    Clause::Map { map_type, items: parse_item_list(file, rest) }
+    Clause::Map {
+        map_type,
+        items: parse_item_list(file, rest),
+    }
 }
 
 /// Split tokens at the first top-level colon (used for `reduction(op: list)`).
@@ -276,7 +291,11 @@ fn parse_item_list(file: &crate::source::SourceFile, args: &[Token]) -> Vec<MapI
             .iter()
             .map(|t| t.span)
             .fold(var_span, |acc, s| acc.to(s));
-        items.push(MapItem { var, span, sections });
+        items.push(MapItem {
+            var,
+            span,
+            sections,
+        });
     }
     items
 }
@@ -301,7 +320,10 @@ fn parse_section(file: &crate::source::SourceFile, inner: &[Token]) -> ArraySect
             lower: parse_expr_fragment(file, &inner[..i]),
             length: parse_expr_fragment(file, &inner[i + 1..]),
         },
-        None => ArraySection { lower: parse_expr_fragment(file, inner), length: None },
+        None => ArraySection {
+            lower: parse_expr_fragment(file, inner),
+            length: None,
+        },
     }
 }
 
@@ -415,7 +437,10 @@ void f(int n) {
 }
 ";
         let ds = directives(src);
-        let data = ds.iter().find(|d| d.kind == DirectiveKind::TargetData).unwrap();
+        let data = ds
+            .iter()
+            .find(|d| d.kind == DirectiveKind::TargetData)
+            .unwrap();
         let maps: Vec<_> = data.map_clauses().collect();
         assert_eq!(*maps[0].0, None);
         assert_eq!(maps[0].1[0].var, "a");
@@ -468,7 +493,10 @@ void f(int n) {
 ";
         let d = &directives(src)[0];
         assert!(d.clauses.iter().any(|c| matches!(c, Clause::NumTeams(_))));
-        assert!(d.clauses.iter().any(|c| matches!(c, Clause::ThreadLimit(_))));
+        assert!(d
+            .clauses
+            .iter()
+            .any(|c| matches!(c, Clause::ThreadLimit(_))));
         assert!(d.clauses.iter().any(|c| matches!(c, Clause::Nowait)));
     }
 

@@ -84,10 +84,7 @@ pub fn preprocess(tokens: Vec<Token>, diags: &mut Diagnostics) -> PreprocessOutp
                         match value {
                             Some(v) => cond_stack.push((v, v)),
                             None => {
-                                diags.warning(
-                                    tok.span,
-                                    "unsupported #if condition; assuming true",
-                                );
+                                diags.warning(tok.span, "unsupported #if condition; assuming true");
                                 cond_stack.push((true, true));
                             }
                         }
@@ -114,7 +111,8 @@ pub fn preprocess(tokens: Vec<Token>, diags: &mut Diagnostics) -> PreprocessOutp
                         }
                     }
                     "endif" => {
-                        if cond_stack.pop().is_none() {
+                        let balanced = cond_stack.pop().is_some();
+                        if !balanced {
                             diags.error(tok.span, "#endif without matching #if");
                         }
                     }
@@ -166,12 +164,7 @@ fn split_directive(text: &str) -> (&str, &str) {
     }
 }
 
-fn handle_define(
-    rest: &str,
-    span: Span,
-    out: &mut PreprocessOutput,
-    diags: &mut Diagnostics,
-) {
+fn handle_define(rest: &str, span: Span, out: &mut PreprocessOutput, diags: &mut Diagnostics) {
     let rest = rest.trim();
     let name_end = rest
         .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
@@ -199,7 +192,11 @@ fn handle_define(
     }
     out.macros.insert(
         name.to_string(),
-        MacroDef { name: name.to_string(), body, span },
+        MacroDef {
+            name: name.to_string(),
+            body,
+            span,
+        },
     );
 }
 
@@ -259,7 +256,10 @@ fn expand_macro(
     depth: usize,
 ) {
     if depth > 16 {
-        diags.error(use_span, format!("macro `{name}` expands too deeply (recursive?)"));
+        diags.error(
+            use_span,
+            format!("macro `{name}` expands too deeply (recursive?)"),
+        );
         return;
     }
     let def = &macros[name];
@@ -300,13 +300,16 @@ mod tests {
         assert!(!diags.has_errors());
         let k = kinds(&out);
         assert!(k.contains(&TokenKind::IntLit(100)));
-        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "N")));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "N")));
         assert_eq!(out.int_constant("N"), Some(100));
     }
 
     #[test]
     fn define_expression_body() {
-        let (out, diags) = run("#define SIZE (ROWS*COLS)\n#define ROWS 8\n#define COLS 4\nint a = SIZE;\n");
+        let (out, diags) =
+            run("#define SIZE (ROWS*COLS)\n#define ROWS 8\n#define COLS 4\nint a = SIZE;\n");
         assert!(!diags.has_errors());
         let k = kinds(&out);
         // SIZE expands to ( ROWS * COLS ); ROWS/COLS were not yet defined when
@@ -341,13 +344,16 @@ mod tests {
 
     #[test]
     fn ifdef_blocks() {
-        let (out, diags) = run(
-            "#define USE_GPU 1\n#ifdef USE_GPU\nint g;\n#else\nint c;\n#endif\n",
-        );
+        let (out, diags) =
+            run("#define USE_GPU 1\n#ifdef USE_GPU\nint g;\n#else\nint c;\n#endif\n");
         assert!(!diags.has_errors());
         let k = kinds(&out);
-        assert!(k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "g")));
-        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "c")));
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "g")));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "c")));
     }
 
     #[test]
@@ -355,8 +361,12 @@ mod tests {
         let (out, diags) = run("#ifndef FOO\nint a;\n#endif\n#if 0\nint b;\n#endif\n");
         assert!(!diags.has_errors());
         let k = kinds(&out);
-        assert!(k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "a")));
-        assert!(!k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "b")));
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "a")));
+        assert!(!k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "b")));
     }
 
     #[test]
@@ -376,7 +386,9 @@ mod tests {
         let (out, diags) = run("#define N 4\n#undef N\nint a[N];\n");
         assert!(!diags.has_errors());
         let k = kinds(&out);
-        assert!(k.iter().any(|t| matches!(t, TokenKind::Ident(s) if s == "N")));
+        assert!(k
+            .iter()
+            .any(|t| matches!(t, TokenKind::Ident(s) if s == "N")));
         assert!(out.int_constant("N").is_none());
     }
 

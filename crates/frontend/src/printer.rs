@@ -24,7 +24,11 @@ pub fn expr_to_c(expr: &Expr) -> String {
         ExprKind::CharLit(c) => format!("'{}'", escape_char(*c)),
         ExprKind::StrLit(s) => format!("\"{}\"", escape_str(s)),
         ExprKind::Ident(name) => name.clone(),
-        ExprKind::Unary { op, operand, postfix } => {
+        ExprKind::Unary {
+            op,
+            operand,
+            postfix,
+        } => {
             if *postfix {
                 format!("{}{}", expr_to_c(operand), op.symbol())
             } else {
@@ -37,7 +41,11 @@ pub fn expr_to_c(expr: &Expr) -> String {
         ExprKind::Assign { op, lhs, rhs } => {
             format!("{} {} {}", expr_to_c(lhs), op.symbol(), expr_to_c(rhs))
         }
-        ExprKind::Conditional { cond, then_expr, else_expr } => format!(
+        ExprKind::Conditional {
+            cond,
+            then_expr,
+            else_expr,
+        } => format!(
             "{} ? {} : {}",
             expr_to_c(cond),
             expr_to_c(then_expr),
@@ -51,16 +59,17 @@ pub fn expr_to_c(expr: &Expr) -> String {
             format!("{}[{}]", expr_to_c(base), expr_to_c(index))
         }
         ExprKind::Member { base, field, arrow } => {
-            format!("{}{}{}", expr_to_c(base), if *arrow { "->" } else { "." }, field)
+            format!(
+                "{}{}{}",
+                expr_to_c(base),
+                if *arrow { "->" } else { "." },
+                field
+            )
         }
         ExprKind::Cast { ty, expr } => format!("({}){}", ty.to_c_string(), expr_to_c(expr)),
         ExprKind::SizeofType(ty) => format!("sizeof({})", ty.to_c_string()),
         ExprKind::SizeofExpr(e) => format!("sizeof({})", expr_to_c(e)),
-        ExprKind::Comma(items) => items
-            .iter()
-            .map(expr_to_c)
-            .collect::<Vec<_>>()
-            .join(", "),
+        ExprKind::Comma(items) => items.iter().map(expr_to_c).collect::<Vec<_>>().join(", "),
         ExprKind::Paren(inner) => format!("({})", expr_to_c(inner)),
     }
 }
@@ -97,10 +106,17 @@ pub fn map_item_to_c(item: &MapItem) -> String {
 /// Render a clause as OpenMP source text.
 pub fn clause_to_c(clause: &Clause) -> String {
     let items = |items: &[MapItem]| {
-        items.iter().map(map_item_to_c).collect::<Vec<_>>().join(", ")
+        items
+            .iter()
+            .map(map_item_to_c)
+            .collect::<Vec<_>>()
+            .join(", ")
     };
     match clause {
-        Clause::Map { map_type, items: list } => match map_type {
+        Clause::Map {
+            map_type,
+            items: list,
+        } => match map_type {
             Some(mt) => format!("map({}: {})", mt.as_str(), items(list)),
             None => format!("map({})", items(list)),
         },
@@ -147,7 +163,10 @@ pub struct Printer {
 
 impl Default for Printer {
     fn default() -> Self {
-        Printer { indent_width: 2, out: String::new() }
+        Printer {
+            indent_width: 2,
+            out: String::new(),
+        }
     }
 }
 
@@ -203,7 +222,11 @@ impl Printer {
             if f.is_static { "static " } else { "" },
             f.ret.to_c_string(),
             f.name,
-            if params.is_empty() { "void".to_string() } else { params.join(", ") }
+            if params.is_empty() {
+                "void".to_string()
+            } else {
+                params.join(", ")
+            }
         );
         if f.is_variadic {
             sig = sig.trim_end_matches(')').to_string() + ", ...)";
@@ -284,7 +307,11 @@ impl Printer {
                 let rendered: Vec<String> = decls.iter().map(Self::var_decl_to_c).collect();
                 self.out.push_str(&format!("{};\n", rendered.join(", ")));
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 self.out.push_str(&format!("if ({}) ", expr_to_c(cond)));
                 self.stmt(then_branch, level);
                 if let Some(e) = else_branch {
@@ -301,9 +328,15 @@ impl Printer {
                 self.out.push_str("do ");
                 self.stmt(body, level);
                 self.pad(level);
-                self.out.push_str(&format!("while ({});\n", expr_to_c(cond)));
+                self.out
+                    .push_str(&format!("while ({});\n", expr_to_c(cond)));
             }
-            StmtKind::For { init, cond, inc, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            } => {
                 let init_s = match init.as_deref() {
                     Some(ForInit::Decl(decls)) => decls
                         .iter()

@@ -28,7 +28,10 @@ impl Span {
 
     /// A zero-length span at `pos`.
     pub fn point(pos: u32) -> Self {
-        Span { start: pos, end: pos }
+        Span {
+            start: pos,
+            end: pos,
+        }
     }
 
     /// An empty placeholder span (offset 0). Used for synthesized nodes.

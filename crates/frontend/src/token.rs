@@ -317,7 +317,10 @@ mod tests {
     fn keyword_lookup() {
         assert_eq!(keyword_from_str("int"), Some(TokenKind::KwInt));
         assert_eq!(keyword_from_str("while"), Some(TokenKind::KwWhile));
-        assert_eq!(keyword_from_str("__restrict__"), Some(TokenKind::KwRestrict));
+        assert_eq!(
+            keyword_from_str("__restrict__"),
+            Some(TokenKind::KwRestrict)
+        );
         assert_eq!(keyword_from_str("banana"), None);
     }
 

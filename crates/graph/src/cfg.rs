@@ -220,7 +220,11 @@ impl Cfg {
                 CfgNodeKind::Kernel => "box3d",
                 _ => "box",
             };
-            let style = if n.offloaded { ", style=filled, fillcolor=lightblue" } else { "" };
+            let style = if n.offloaded {
+                ", style=filled, fillcolor=lightblue"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "  n{} [label=\"{}\", shape={}{}];\n",
                 n.id.0, n.label, shape, style
@@ -361,7 +365,11 @@ impl Builder {
                 }
                 self.add_node(CfgNodeKind::Join, None, "after-continue")
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 let cond = self.add_node(CfgNodeKind::Condition, Some(stmt.id), "if");
                 self.add_edge(pred, cond, in_kind);
                 let join = self.add_node(CfgNodeKind::Join, None, "endif");
@@ -504,7 +512,11 @@ fn label_of(stmt: &Stmt) -> String {
         StmtKind::Expr(_) => "expr".to_string(),
         StmtKind::Decl(decls) => format!(
             "decl {}",
-            decls.iter().map(|d| d.name.clone()).collect::<Vec<_>>().join(",")
+            decls
+                .iter()
+                .map(|d| d.name.clone())
+                .collect::<Vec<_>>()
+                .join(",")
         ),
         StmtKind::Empty => "empty".to_string(),
         StmtKind::Case { .. } => "case".to_string(),
@@ -554,7 +566,10 @@ mod tests {
 
     #[test]
     fn for_loop_has_back_edge() {
-        let cfg = cfg_of("int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }\n", "f");
+        let cfg = cfg_of(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) { s += i; } return s; }\n",
+            "f",
+        );
         assert!(cfg.all_reachable());
         assert_eq!(cfg.back_edges().len(), 1);
         let head = cfg
@@ -595,7 +610,7 @@ mod tests {
         );
         assert!(cfg.all_reachable());
         // continue contributes an extra back edge to the increment node.
-        assert!(cfg.back_edges().len() >= 1);
+        assert!(!cfg.back_edges().is_empty());
     }
 
     #[test]
@@ -667,9 +682,6 @@ void f(double *a, int n) {
             "f",
         );
         assert!(cfg.all_reachable());
-        assert!(cfg
-            .nodes()
-            .iter()
-            .any(|n| n.kind == CfgNodeKind::Condition));
+        assert!(cfg.nodes().iter().any(|n| n.kind == CfgNodeKind::Condition));
     }
 }

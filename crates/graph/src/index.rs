@@ -115,7 +115,10 @@ pub struct StmtIndex {
 impl StmtIndex {
     /// Build the index for a function definition.
     pub fn build(func: &FunctionDef) -> StmtIndex {
-        let mut index = StmtIndex { function: func.name.clone(), ..Default::default() };
+        let mut index = StmtIndex {
+            function: func.name.clone(),
+            ..Default::default()
+        };
         if let Some(body) = &func.body {
             let mut ctx = WalkCtx::default();
             index.visit(body, &mut ctx);
@@ -165,7 +168,11 @@ impl StmtIndex {
                     self.visit(s, ctx);
                 }
             }
-            StmtKind::If { then_branch, else_branch, .. } => {
+            StmtKind::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
                 self.visit(then_branch, ctx);
                 if let Some(e) = else_branch {
                     self.visit(e, ctx);
@@ -229,7 +236,9 @@ impl StmtIndex {
 
     /// The loop stack (outermost first) enclosing a statement.
     pub fn enclosing_loops(&self, id: NodeId) -> &[NodeId] {
-        self.info(id).map(|i| i.enclosing_loops.as_slice()).unwrap_or(&[])
+        self.info(id)
+            .map(|i| i.enclosing_loops.as_slice())
+            .unwrap_or(&[])
     }
 
     /// The outermost loop that encloses `inner` but starts after (or at)
@@ -415,7 +424,9 @@ void compute(double *a, double *partial, int n, int m) {
         assert!(g.index.is_before(loops[0], loops[1]));
         // The outermost loop enclosing this access is the j loop; the kernel
         // statement precedes it so it is a valid hoist target.
-        let outer = g.index.outermost_loop_after(target, Some(g.index.kernels()[0]));
+        let outer = g
+            .index
+            .outermost_loop_after(target, Some(g.index.kernels()[0]));
         assert_eq!(outer, Some(loops[0]));
     }
 

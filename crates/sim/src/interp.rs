@@ -32,7 +32,11 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { cost: CostModel::default(), max_ops: 400_000_000, entry: "main".to_string() }
+        SimConfig {
+            cost: CostModel::default(),
+            max_ops: 400_000_000,
+            entry: "main".to_string(),
+        }
     }
 }
 
@@ -47,6 +51,10 @@ pub struct Outcome {
     pub exit_code: i64,
     /// Non-fatal issues encountered (stale-data fallbacks, unknown calls).
     pub warnings: Vec<String>,
+    /// Wall-clock time the simulator itself spent executing the program
+    /// (the "simulate" stage timing, complementing the analysis pipeline's
+    /// per-stage timings).
+    pub sim_time: std::time::Duration,
 }
 
 impl Outcome {
@@ -118,7 +126,9 @@ struct Frame {
 
 impl Frame {
     fn new() -> Frame {
-        Frame { scopes: vec![HashMap::new()] }
+        Frame {
+            scopes: vec![HashMap::new()],
+        }
     }
 }
 
@@ -152,7 +162,10 @@ impl<'a> Interpreter<'a> {
         let mut structs = HashMap::new();
         for item in &unit.items {
             if let TopLevel::Struct(s) = item {
-                structs.insert(s.name.clone(), s.fields.iter().map(|f| f.name.clone()).collect());
+                structs.insert(
+                    s.name.clone(),
+                    s.fields.iter().map(|f| f.name.clone()).collect(),
+                );
             }
         }
         Interpreter {
@@ -176,6 +189,7 @@ impl<'a> Interpreter<'a> {
 
     /// Run the program from the configured entry function.
     pub fn run(mut self) -> Result<Outcome, SimError> {
+        let start = std::time::Instant::now();
         self.init_globals()?;
         if !self.functions.contains_key(&self.config.entry) {
             return Err(SimError::MissingEntry(self.config.entry.clone()));
@@ -187,6 +201,7 @@ impl<'a> Interpreter<'a> {
             output: self.output,
             exit_code: ret.as_i64(),
             warnings: self.warnings,
+            sim_time: start.elapsed(),
         })
     }
 
@@ -277,7 +292,12 @@ impl<'a> Interpreter<'a> {
         Ok(())
     }
 
-    fn apply_init_list(&mut self, obj: ObjectId, items: &[Init], idx: &mut i64) -> Result<(), SimError> {
+    fn apply_init_list(
+        &mut self,
+        obj: ObjectId,
+        items: &[Init],
+        idx: &mut i64,
+    ) -> Result<(), SimError> {
         for item in items {
             match item {
                 Init::Expr(e) => {
@@ -375,7 +395,8 @@ impl<'a> Interpreter<'a> {
 
     fn write_place(&mut self, place: Place, value: Value) {
         if self.on_device && self.device.is_present(place.object) {
-            self.device.write(&mut self.mem, place.object, place.index, value);
+            self.device
+                .write(&mut self.mem, place.object, place.index, value);
         } else {
             self.mem.write(place.object, place.index, value);
         }
@@ -396,7 +417,9 @@ impl<'a> Interpreter<'a> {
             let value = args.get(i).copied().unwrap_or(Value::Int(0));
             let kind = ObjectKind::Scalar;
             let floating = Self::type_is_floating(&param.ty) && !param.ty.is_pointer();
-            let obj = self.mem.alloc(&param.name, kind, param.ty.scalar_size_bytes(), floating);
+            let obj = self
+                .mem
+                .alloc(&param.name, kind, param.ty.scalar_size_bytes(), floating);
             let stored = if param.ty.is_pointer() || param.ty.is_array() {
                 value
             } else if floating {
@@ -448,7 +471,11 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let c = self.eval(cond)?;
                 if c.truthy() {
                     self.exec_stmt(then_branch)
@@ -484,7 +511,12 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(Flow::Normal)
             }
-            StmtKind::For { init, cond, inc, body } => {
+            StmtKind::For {
+                init,
+                cond,
+                inc,
+                body,
+            } => {
                 self.push_scope();
                 if let Some(fi) = init {
                     match fi.as_ref() {
@@ -593,14 +625,16 @@ impl<'a> Interpreter<'a> {
             DirectiveKind::TargetEnterData => {
                 let actions = self.mapping_actions(dir)?;
                 for (obj, map_type, bytes) in actions {
-                    self.device.map_enter(&self.mem, obj, map_type, bytes, &mut self.profile);
+                    self.device
+                        .map_enter(&self.mem, obj, map_type, bytes, &mut self.profile);
                 }
                 Ok(Flow::Normal)
             }
             DirectiveKind::TargetExitData => {
                 let actions = self.mapping_actions(dir)?;
                 for (obj, map_type, bytes) in actions {
-                    self.device.map_exit(&mut self.mem, obj, map_type, bytes, &mut self.profile);
+                    self.device
+                        .map_exit(&mut self.mem, obj, map_type, bytes, &mut self.profile);
                 }
                 Ok(Flow::Normal)
             }
@@ -622,14 +656,16 @@ impl<'a> Interpreter<'a> {
     fn exec_target_data(&mut self, dir: &OmpDirective) -> Result<Flow, SimError> {
         let actions = self.mapping_actions(dir)?;
         for (obj, map_type, bytes) in &actions {
-            self.device.map_enter(&self.mem, *obj, *map_type, *bytes, &mut self.profile);
+            self.device
+                .map_enter(&self.mem, *obj, *map_type, *bytes, &mut self.profile);
         }
         let flow = match &dir.body {
             Some(body) => self.exec_stmt(body)?,
             None => Flow::Normal,
         };
         for (obj, map_type, bytes) in actions.iter().rev() {
-            self.device.map_exit(&mut self.mem, *obj, *map_type, *bytes, &mut self.profile);
+            self.device
+                .map_exit(&mut self.mem, *obj, *map_type, *bytes, &mut self.profile);
         }
         Ok(flow)
     }
@@ -640,7 +676,10 @@ impl<'a> Interpreter<'a> {
                 Clause::UpdateTo(items) => {
                     for item in items {
                         if let Some((obj, bytes)) = self.resolve_map_item(item)? {
-                            if !self.device.update_to(&self.mem, obj, bytes, &mut self.profile) {
+                            if !self
+                                .device
+                                .update_to(&self.mem, obj, bytes, &mut self.profile)
+                            {
                                 self.warn(format!(
                                     "target update to({}) on data that is not present",
                                     item.var
@@ -652,10 +691,12 @@ impl<'a> Interpreter<'a> {
                 Clause::UpdateFrom(items) => {
                     for item in items {
                         if let Some((obj, bytes)) = self.resolve_map_item(item)? {
-                            if !self
-                                .device
-                                .update_from(&mut self.mem, obj, bytes, &mut self.profile)
-                            {
+                            if !self.device.update_from(
+                                &mut self.mem,
+                                obj,
+                                bytes,
+                                &mut self.profile,
+                            ) {
                                 self.warn(format!(
                                     "target update from({}) on data that is not present",
                                     item.var
@@ -702,7 +743,10 @@ impl<'a> Interpreter<'a> {
 
     /// Expand the `map` clauses of a directive into (object, map type, bytes)
     /// actions.
-    fn mapping_actions(&mut self, dir: &OmpDirective) -> Result<Vec<(ObjectId, MapType, u64)>, SimError> {
+    fn mapping_actions(
+        &mut self,
+        dir: &OmpDirective,
+    ) -> Result<Vec<(ObjectId, MapType, u64)>, SimError> {
         let mut actions = Vec::new();
         for clause in &dir.clauses {
             if let Clause::Map { map_type, items } = clause {
@@ -720,13 +764,20 @@ impl<'a> Interpreter<'a> {
     fn exec_kernel(&mut self, dir: &OmpDirective) -> Result<Flow, SimError> {
         // 1. Explicit clauses.
         let mut explicit: Vec<(ObjectId, MapType, u64)> = self.mapping_actions(dir)?;
-        let firstprivate: Vec<String> =
-            dir.firstprivate_vars().iter().map(|s| s.to_string()).collect();
+        let firstprivate: Vec<String> = dir
+            .firstprivate_vars()
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         let private: Vec<String> = dir.private_vars().iter().map(|s| s.to_string()).collect();
         let reductions: Vec<String> = dir.reduction_vars().iter().map(|s| s.to_string()).collect();
 
         // 2. Variables referenced by the kernel body but declared outside it.
-        let referenced = dir.body.as_ref().map(|b| referenced_outer_vars(b)).unwrap_or_default();
+        let referenced = dir
+            .body
+            .as_ref()
+            .map(|b| referenced_outer_vars(b))
+            .unwrap_or_default();
 
         let explicitly_handled: HashSet<String> = dir
             .clauses
@@ -759,7 +810,9 @@ impl<'a> Interpreter<'a> {
             {
                 continue;
             }
-            let Some(obj) = self.lookup(name) else { continue };
+            let Some(obj) = self.lookup(name) else {
+                continue;
+            };
             let target = match self.mem.object(obj).kind {
                 ObjectKind::Scalar => match self.mem.read(obj, 0) {
                     Value::Ptr(p) => Some(p.object),
@@ -777,7 +830,8 @@ impl<'a> Interpreter<'a> {
         let mut all_maps = explicit;
         all_maps.extend(implicit);
         for (obj, map_type, bytes) in &all_maps {
-            self.device.map_enter(&self.mem, *obj, *map_type, *bytes, &mut self.profile);
+            self.device
+                .map_enter(&self.mem, *obj, *map_type, *bytes, &mut self.profile);
         }
 
         // 6. Private copies (explicit firstprivate, implicit scalar
@@ -815,7 +869,8 @@ impl<'a> Interpreter<'a> {
 
         // 8. Exit mappings (reverse order).
         for (obj, map_type, bytes) in all_maps.iter().rev() {
-            self.device.map_exit(&mut self.mem, *obj, *map_type, *bytes, &mut self.profile);
+            self.device
+                .map_exit(&mut self.mem, *obj, *map_type, *bytes, &mut self.profile);
         }
         match flow {
             Flow::Return(v) => Ok(Flow::Return(v)),
@@ -858,22 +913,28 @@ impl<'a> Interpreter<'a> {
                 }
                 Ok(Value::Int(8))
             }
-            ExprKind::Unary { op, operand, postfix } => self.eval_unary(*op, operand, *postfix),
+            ExprKind::Unary {
+                op,
+                operand,
+                postfix,
+            } => self.eval_unary(*op, operand, *postfix),
             ExprKind::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs),
             ExprKind::Assign { op, lhs, rhs } => self.eval_assign(*op, lhs, rhs),
-            ExprKind::Conditional { cond, then_expr, else_expr } => {
+            ExprKind::Conditional {
+                cond,
+                then_expr,
+                else_expr,
+            } => {
                 if self.eval(cond)?.truthy() {
                     self.eval(then_expr)
                 } else {
                     self.eval(else_expr)
                 }
             }
-            ExprKind::Index { .. } | ExprKind::Member { .. } => {
-                match self.resolve_place(expr)? {
-                    PlaceOrValue::Place(p) => Ok(self.read_place(p)),
-                    PlaceOrValue::Value(v) => Ok(v),
-                }
-            }
+            ExprKind::Index { .. } | ExprKind::Member { .. } => match self.resolve_place(expr)? {
+                PlaceOrValue::Place(p) => Ok(self.read_place(p)),
+                PlaceOrValue::Value(v) => Ok(v),
+            },
             ExprKind::Call { callee, args, .. } => self.eval_call(callee, args),
         }
     }
@@ -885,23 +946,35 @@ impl<'a> Interpreter<'a> {
                 ObjectKind::Array { .. } | ObjectKind::Heap { .. } | ObjectKind::Struct { .. } => {
                     Value::Ptr(Pointer::new(obj, 0))
                 }
-                ObjectKind::Scalar => self.read_place(Place { object: obj, index: 0 }),
+                ObjectKind::Scalar => self.read_place(Place {
+                    object: obj,
+                    index: 0,
+                }),
             });
         }
         if let Some(v) = self.unit.constants.get(name) {
-            return Ok(if v.fract() == 0.0 { Value::Int(*v as i64) } else { Value::Double(*v) });
+            return Ok(if v.fract() == 0.0 {
+                Value::Int(*v as i64)
+            } else {
+                Value::Double(*v)
+            });
         }
         self.warn(format!("use of undeclared identifier `{name}`"));
         Ok(Value::Int(0))
     }
 
-    fn eval_unary(&mut self, op: UnaryOp, operand: &Expr, _postfix: bool) -> Result<Value, SimError> {
+    fn eval_unary(
+        &mut self,
+        op: UnaryOp,
+        operand: &Expr,
+        _postfix: bool,
+    ) -> Result<Value, SimError> {
         match op {
             UnaryOp::Inc | UnaryOp::Dec => {
                 let place = self.resolve_place_strict(operand)?;
                 let old = self.read_place(place);
                 let delta = if op == UnaryOp::Inc { 1 } else { -1 };
-                let new = old.arith(Value::Int(delta), |a, b| a + b, |a, b| a + b as f64);
+                let new = old.arith(Value::Int(delta), |a, b| a + b, |a, b| a + b);
                 self.write_place(place, new);
                 // Postfix returns the old value, prefix the new one; the
                 // analyses never depend on which, but keep C semantics.
@@ -920,7 +993,10 @@ impl<'a> Interpreter<'a> {
             UnaryOp::Deref => {
                 let v = self.eval(operand)?;
                 match v.as_ptr() {
-                    Some(p) => Ok(self.read_place(Place { object: p.object, index: p.offset })),
+                    Some(p) => Ok(self.read_place(Place {
+                        object: p.object,
+                        index: p.offset,
+                    })),
                     None => {
                         self.warn("dereference of a non-pointer value");
                         Ok(Value::Int(0))
@@ -1080,14 +1156,20 @@ impl<'a> Interpreter<'a> {
                     a0.as_i64().max(0) as u64
                 };
                 let elems = (bytes / 8).max(1) as usize;
-                let obj = self.mem.alloc("heap", ObjectKind::Heap { len: elems }, 8, true);
+                let obj = self
+                    .mem
+                    .alloc("heap", ObjectKind::Heap { len: elems }, 8, true);
                 Value::Ptr(Pointer::new(obj, 0))
             }
             "free" => Value::Unit,
             "memset" => {
                 if let Some(p) = a0.as_ptr() {
                     let len = self.mem.object(p.object).len();
-                    let fill = if a1.as_i64() == 0 { Value::Double(0.0) } else { Value::Int(a1.as_i64()) };
+                    let fill = if a1.as_i64() == 0 {
+                        Value::Double(0.0)
+                    } else {
+                        Value::Int(a1.as_i64())
+                    };
                     for i in 0..len {
                         self.mem.write(p.object, i as i64, fill);
                     }
@@ -1112,7 +1194,9 @@ impl<'a> Interpreter<'a> {
     fn eval_printf(&mut self, callee: &str, args: &[Expr]) -> Result<Value, SimError> {
         // fprintf(stderr, fmt, ...) — skip the stream argument.
         let skip = usize::from(callee == "fprintf");
-        let Some(fmt_expr) = args.get(skip) else { return Ok(Value::Int(0)) };
+        let Some(fmt_expr) = args.get(skip) else {
+            return Ok(Value::Int(0));
+        };
         let format = match &fmt_expr.kind {
             ExprKind::StrLit(s) => s.clone(),
             _ => {
@@ -1140,7 +1224,10 @@ impl<'a> Interpreter<'a> {
                 self.warn("expression is not assignable; ignoring write");
                 // Use a scratch location so execution can continue.
                 let scratch = self.mem.alloc("<scratch>", ObjectKind::Scalar, 8, true);
-                Ok(Place { object: scratch, index: 0 })
+                Ok(Place {
+                    object: scratch,
+                    index: 0,
+                })
             }
         }
     }
@@ -1152,7 +1239,10 @@ impl<'a> Interpreter<'a> {
                     return Ok(PlaceOrValue::Value(self.eval_ident(name)?));
                 };
                 Ok(match self.mem.object(obj).kind {
-                    ObjectKind::Scalar => PlaceOrValue::Place(Place { object: obj, index: 0 }),
+                    ObjectKind::Scalar => PlaceOrValue::Place(Place {
+                        object: obj,
+                        index: 0,
+                    }),
                     _ => PlaceOrValue::Value(Value::Ptr(Pointer::new(obj, 0))),
                 })
             }
@@ -1171,20 +1261,24 @@ impl<'a> Interpreter<'a> {
                     self.warn("member access on a non-struct value");
                     return Ok(PlaceOrValue::Value(Value::Int(0)));
                 };
-                let field_index = self
-                    .mem
-                    .object(ptr.object)
-                    .field_index(field)
-                    .unwrap_or(0) as i64;
+                let field_index =
+                    self.mem.object(ptr.object).field_index(field).unwrap_or(0) as i64;
                 Ok(PlaceOrValue::Place(Place {
                     object: ptr.object,
                     index: ptr.offset + field_index,
                 }))
             }
-            ExprKind::Unary { op: UnaryOp::Deref, operand, .. } => {
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                operand,
+                ..
+            } => {
                 let v = self.eval(operand)?;
                 match v.as_ptr() {
-                    Some(p) => Ok(PlaceOrValue::Place(Place { object: p.object, index: p.offset })),
+                    Some(p) => Ok(PlaceOrValue::Place(Place {
+                        object: p.object,
+                        index: p.offset,
+                    })),
                     None => {
                         self.warn("dereference of a non-pointer value");
                         Ok(PlaceOrValue::Value(Value::Int(0)))
@@ -1224,7 +1318,10 @@ impl<'a> Interpreter<'a> {
                     ObjectKind::Array { dims } => (obj, 0i64, dims),
                     ObjectKind::Heap { len } => (obj, 0i64, vec![len]),
                     ObjectKind::Struct { fields } => (obj, 0i64, vec![fields.len()]),
-                    ObjectKind::Scalar => match self.read_place(Place { object: obj, index: 0 }) {
+                    ObjectKind::Scalar => match self.read_place(Place {
+                        object: obj,
+                        index: 0,
+                    }) {
                         Value::Ptr(p) => {
                             let len = self.mem.object(p.object).len();
                             (p.object, p.offset, vec![len])
@@ -1236,7 +1333,11 @@ impl<'a> Interpreter<'a> {
                     },
                 }
             }
-            ExprKind::Unary { op: UnaryOp::Deref, operand, .. } => {
+            ExprKind::Unary {
+                op: UnaryOp::Deref,
+                operand,
+                ..
+            } => {
                 let v = self.eval(operand)?;
                 match v.as_ptr() {
                     Some(p) => {
@@ -1283,14 +1384,24 @@ impl<'a> Interpreter<'a> {
         }
         if indices.len() < dims.len() {
             // Partial indexing yields the address of a sub-array.
-            return Ok(PlaceOrValue::Value(Value::Ptr(Pointer::new(object, offset))));
+            return Ok(PlaceOrValue::Value(Value::Ptr(Pointer::new(
+                object, offset,
+            ))));
         }
-        Ok(PlaceOrValue::Place(Place { object, index: offset }))
+        Ok(PlaceOrValue::Place(Place {
+            object,
+            index: offset,
+        }))
     }
 }
 
 fn place_is_float_dest(mem: &Memory, place: Place) -> bool {
-    matches!(mem.object(place.object).data.get(place.index.max(0) as usize), Some(Value::Double(_)))
+    matches!(
+        mem.object(place.object)
+            .data
+            .get(place.index.max(0) as usize),
+        Some(Value::Double(_))
+    )
 }
 
 enum PlaceOrValue {
@@ -1329,7 +1440,12 @@ fn collect_vars(stmt: &Stmt, declared: &mut HashSet<String>, referenced: &mut Ve
                 declared.insert(d.name.clone());
             }
         }
-        StmtKind::For { init, cond, inc, body } => {
+        StmtKind::For {
+            init,
+            cond,
+            inc,
+            body,
+        } => {
             if let Some(fi) = init {
                 match fi.as_ref() {
                     ForInit::Decl(decls) => {
@@ -1368,7 +1484,11 @@ fn collect_vars(stmt: &Stmt, declared: &mut HashSet<String>, referenced: &mut Ve
                 collect_vars(s, declared, referenced);
             }
         }
-        StmtKind::If { then_branch, else_branch, .. } => {
+        StmtKind::If {
+            then_branch,
+            else_branch,
+            ..
+        } => {
             collect_vars(then_branch, declared, referenced);
             if let Some(e) = else_branch {
                 collect_vars(e, declared, referenced);
@@ -1450,9 +1570,7 @@ mod tests {
 
     #[test]
     fn arithmetic_and_output() {
-        let out = run(
-            "int main() { int a = 6; int b = 7; printf(\"%d\\n\", a * b); return 0; }\n",
-        );
+        let out = run("int main() { int a = 6; int b = 7; printf(\"%d\\n\", a * b); return 0; }\n");
         assert_eq!(out.output, vec!["42"]);
         assert_eq!(out.exit_code, 0);
     }
@@ -1579,7 +1697,10 @@ int main() {
             "#pragma omp target map(alloc: a[0:N])\n      for (int j = 0; j < N; j++) a[j] += j;\n      #pragma omp target update from(a[0:N])",
         );
         let fixed = run(&fixed);
-        assert_ne!(buggy.output, fixed.output, "stale data must change the result");
+        assert_ne!(
+            buggy.output, fixed.output,
+            "stale data must change the result"
+        );
         // With the update, each iteration sums the freshly computed values:
         // iteration i sums sum_j j*(i+1) = 28*(i+1); total = 28*(1+2+3) = 168.
         assert_eq!(fixed.output, vec!["168"]);
@@ -1608,7 +1729,10 @@ int main() {
 
     #[test]
     fn op_budget_guards_infinite_loops() {
-        let cfg = SimConfig { max_ops: 10_000, ..Default::default() };
+        let cfg = SimConfig {
+            max_ops: 10_000,
+            ..Default::default()
+        };
         let err = simulate_source("int main() { while (1) { int x = 0; } return 0; }\n", cfg)
             .unwrap_err();
         assert!(matches!(err, SimError::OpBudgetExceeded(_)));
@@ -1616,7 +1740,8 @@ int main() {
 
     #[test]
     fn missing_entry_is_reported() {
-        let err = simulate_source("int helper() { return 1; }\n", SimConfig::default()).unwrap_err();
+        let err =
+            simulate_source("int helper() { return 1; }\n", SimConfig::default()).unwrap_err();
         assert!(matches!(err, SimError::MissingEntry(_)));
     }
 

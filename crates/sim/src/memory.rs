@@ -107,11 +107,27 @@ impl Memory {
     /// `Value::Int(0)` for integer-like elements and `Value::Double(0.0)`
     /// when `floating` is set (C static initialization semantics; stack
     /// variables in the benchmarks are always explicitly initialized).
-    pub fn alloc(&mut self, name: &str, kind: ObjectKind, elem_bytes: u64, floating: bool) -> ObjectId {
+    pub fn alloc(
+        &mut self,
+        name: &str,
+        kind: ObjectKind,
+        elem_bytes: u64,
+        floating: bool,
+    ) -> ObjectId {
         let id = ObjectId(self.objects.len() as u32);
-        let init = if floating { Value::Double(0.0) } else { Value::Int(0) };
+        let init = if floating {
+            Value::Double(0.0)
+        } else {
+            Value::Int(0)
+        };
         let data = vec![init; kind.slot_count()];
-        self.objects.push(MemObject { id, name: name.to_string(), kind, elem_bytes, data });
+        self.objects.push(MemObject {
+            id,
+            name: name.to_string(),
+            kind,
+            elem_bytes,
+            data,
+        });
         id
     }
 
@@ -204,7 +220,10 @@ impl DeviceEnv {
         let host_len = host.object(id).len();
         let entry = self.entries.entry(id).or_insert_with(|| {
             profile.device_allocs += 1;
-            DeviceEntry { data: vec![Value::Unit; host_len], ref_count: 0 }
+            DeviceEntry {
+                data: vec![Value::Unit; host_len],
+                ref_count: 0,
+            }
         });
         if entry.ref_count == 0 && map_type.copies_to_device() {
             entry.data.clone_from(&host.object(id).data);
@@ -346,7 +365,9 @@ mod tests {
         let mut mem = Memory::new();
         let id = mem.alloc(
             "p",
-            ObjectKind::Struct { fields: vec!["x".into(), "y".into()] },
+            ObjectKind::Struct {
+                fields: vec!["x".into(), "y".into()],
+            },
             8,
             true,
         );
@@ -380,7 +401,10 @@ mod tests {
         dev.map_enter(&mem, id, MapType::From, 32, &mut prof); // inner kernel
         dev.write(&mut mem, id, 0, Value::Double(99.0));
         dev.map_exit(&mut mem, id, MapType::From, 32, &mut prof); // inner exit
-        assert_eq!(prof.dtoh_calls, 0, "inner exit must not copy while refcount > 0");
+        assert_eq!(
+            prof.dtoh_calls, 0,
+            "inner exit must not copy while refcount > 0"
+        );
         assert_eq!(mem.read(id, 0), Value::Double(0.0), "host still stale");
         dev.map_exit(&mut mem, id, MapType::ToFrom, 32, &mut prof); // outer exit
         assert_eq!(prof.dtoh_calls, 1);

@@ -146,12 +146,20 @@ impl CostModel {
     /// A cost model with a slower interconnect (e.g. PCIe 3.0), useful for
     /// sensitivity/ablation studies.
     pub fn slow_interconnect() -> Self {
-        CostModel { bandwidth_bytes_per_s: 8e9, transfer_latency_s: 15e-6, ..Default::default() }
+        CostModel {
+            bandwidth_bytes_per_s: 8e9,
+            transfer_latency_s: 15e-6,
+            ..Default::default()
+        }
     }
 
     /// A cost model with a fast NVLink-class interconnect.
     pub fn fast_interconnect() -> Self {
-        CostModel { bandwidth_bytes_per_s: 60e9, transfer_latency_s: 5e-6, ..Default::default() }
+        CostModel {
+            bandwidth_bytes_per_s: 60e9,
+            transfer_latency_s: 5e-6,
+            ..Default::default()
+        }
     }
 }
 
@@ -205,8 +213,17 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = TransferProfile { htod_calls: 1, htod_bytes: 10, ..Default::default() };
-        let b = TransferProfile { dtoh_calls: 2, dtoh_bytes: 20, kernel_launches: 3, ..Default::default() };
+        let mut a = TransferProfile {
+            htod_calls: 1,
+            htod_bytes: 10,
+            ..Default::default()
+        };
+        let b = TransferProfile {
+            dtoh_calls: 2,
+            dtoh_bytes: 20,
+            kernel_launches: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.total_calls(), 3);
         assert_eq!(a.total_bytes(), 30);
@@ -226,12 +243,22 @@ mod tests {
     #[test]
     fn speedup_reflects_reduced_transfers() {
         let cost = CostModel::default();
-        let mut unopt = TransferProfile { host_ops: 1_000, device_ops: 1_000_000, kernel_launches: 100, ..Default::default() };
+        let mut unopt = TransferProfile {
+            host_ops: 1_000,
+            device_ops: 1_000_000,
+            kernel_launches: 100,
+            ..Default::default()
+        };
         for _ in 0..200 {
             unopt.record_htod(8 << 20);
             unopt.record_dtoh(8 << 20);
         }
-        let mut opt = TransferProfile { host_ops: 1_000, device_ops: 1_000_000, kernel_launches: 100, ..Default::default() };
+        let mut opt = TransferProfile {
+            host_ops: 1_000,
+            device_ops: 1_000_000,
+            kernel_launches: 100,
+            ..Default::default()
+        };
         opt.record_htod(8 << 20);
         opt.record_dtoh(8 << 20);
         let s = opt.speedup_over(&unopt, &cost);

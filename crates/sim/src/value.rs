@@ -26,8 +26,12 @@ impl Pointer {
     }
 
     /// Pointer arithmetic: advance by `delta` elements.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, delta: i64) -> Self {
-        Pointer { object: self.object, offset: self.offset + delta }
+        Pointer {
+            object: self.object,
+            offset: self.offset + delta,
+        }
     }
 }
 
@@ -87,7 +91,12 @@ impl Value {
 
     /// Binary arithmetic with C-like promotion: if either operand is a
     /// double the result is a double, otherwise integer arithmetic is used.
-    pub fn arith(self, other: Value, f_int: impl Fn(i64, i64) -> i64, f_dbl: impl Fn(f64, f64) -> f64) -> Value {
+    pub fn arith(
+        self,
+        other: Value,
+        f_int: impl Fn(i64, i64) -> i64,
+        f_dbl: impl Fn(f64, f64) -> f64,
+    ) -> Value {
         match (self, other) {
             (Value::Ptr(p), v) => Value::Ptr(p.add(v.as_i64())),
             (v, Value::Ptr(p)) => Value::Ptr(p.add(v.as_i64())),

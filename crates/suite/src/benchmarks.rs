@@ -106,7 +106,8 @@ pub fn all() -> Vec<Benchmark> {
             name: "clenergy",
             suite: Suite::HeCBench,
             domain: "Physics Simulation",
-            description: "Evaluates electrostatic potentials on a lattice by direct Coulomb summation",
+            description:
+                "Evaluates electrostatic potentials on a lattice by direct Coulomb summation",
             unoptimized: include_str!("../assets/clenergy_unoptimized.c"),
             expert: include_str!("../assets/clenergy_expert.c"),
             tool_beats_expert: false,
@@ -180,7 +181,10 @@ mod tests {
             .map(|b| b.name)
             .collect();
         assert_eq!(rodinia, vec!["backprop", "bfs", "hotspot", "nw"]);
-        assert_eq!(all().iter().filter(|b| b.suite == Suite::HeCBench).count(), 5);
+        assert_eq!(
+            all().iter().filter(|b| b.suite == Suite::HeCBench).count(),
+            5
+        );
     }
 
     #[test]

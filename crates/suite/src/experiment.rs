@@ -5,9 +5,11 @@
 //! the geometric-mean summary of Section VI).
 
 use crate::benchmarks::{self, Benchmark};
-use ompdart_core::{OmpDart, OmpDartOptions};
-use ompdart_sim::{geometric_mean, simulate_source, CostModel, Outcome, SimConfig, TransferProfile};
+use ompdart_core::pipeline::StageTimings;
+use ompdart_core::{AnalysisSession, OmpDartOptions};
+use ompdart_sim::{geometric_mean, simulate, CostModel, Outcome, SimConfig, TransferProfile};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of an experiment run.
@@ -38,7 +40,10 @@ impl Default for ExperimentConfig {
 #[derive(Debug)]
 pub enum ExperimentError {
     Transform(String),
-    Simulation { variant: &'static str, message: String },
+    Simulation {
+        variant: &'static str,
+        message: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -63,7 +68,10 @@ pub struct VariantResult {
 
 impl From<Outcome> for VariantResult {
     fn from(o: Outcome) -> Self {
-        VariantResult { profile: o.profile, output: o.output }
+        VariantResult {
+            profile: o.profile,
+            output: o.output,
+        }
     }
 }
 
@@ -76,6 +84,8 @@ pub struct BenchmarkResult {
     pub expert: VariantResult,
     /// OMPDart analysis + rewrite time (Table V).
     pub tool_time: Duration,
+    /// Per-stage breakdown of the analysis pipeline for this benchmark.
+    pub stage_timings: StageTimings,
     /// The source OMPDart produced.
     pub transformed_source: String,
     /// Number of constructs OMPDart inserted.
@@ -98,23 +108,31 @@ impl BenchmarkResult {
     /// Runtime speedup of the OMPDart variant over the unoptimized variant
     /// (Figure 5).
     pub fn speedup_ompdart(&self, cost: &CostModel) -> f64 {
-        self.ompdart.profile.speedup_over(&self.unoptimized.profile, cost)
+        self.ompdart
+            .profile
+            .speedup_over(&self.unoptimized.profile, cost)
     }
 
     /// Runtime speedup of the expert variant over the unoptimized variant
     /// (Figure 5).
     pub fn speedup_expert(&self, cost: &CostModel) -> f64 {
-        self.expert.profile.speedup_over(&self.unoptimized.profile, cost)
+        self.expert
+            .profile
+            .speedup_over(&self.unoptimized.profile, cost)
     }
 
     /// Data-transfer wall-time improvement over unoptimized (Figure 6).
     pub fn transfer_time_improvement_ompdart(&self, cost: &CostModel) -> f64 {
-        self.ompdart.profile.transfer_improvement_over(&self.unoptimized.profile, cost)
+        self.ompdart
+            .profile
+            .transfer_improvement_over(&self.unoptimized.profile, cost)
     }
 
     /// Data-transfer wall-time improvement of the expert variant (Figure 6).
     pub fn transfer_time_improvement_expert(&self, cost: &CostModel) -> f64 {
-        self.expert.profile.transfer_improvement_over(&self.unoptimized.profile, cost)
+        self.expert
+            .profile
+            .transfer_improvement_over(&self.unoptimized.profile, cost)
     }
 
     /// Factor by which OMPDart reduces the bytes moved versus the
@@ -133,62 +151,113 @@ impl BenchmarkResult {
     }
 }
 
-/// Run one benchmark through all three variants.
+/// Run one benchmark through all three variants on a fresh analysis
+/// session.
 pub fn run_benchmark(
     bench: &Benchmark,
     config: &ExperimentConfig,
 ) -> Result<BenchmarkResult, ExperimentError> {
-    let tool = OmpDart::with_options(config.tool);
-    let transform = tool
-        .transform_source(&bench.unoptimized_file(), bench.unoptimized)
+    run_benchmark_with_session(bench, config, &AnalysisSession::with_options(config.tool))
+}
+
+/// Run one benchmark through all three variants, reusing a shared
+/// [`AnalysisSession`]: the OMPDart transform and every variant's parse are
+/// served from the session's artifact cache on repeated runs.
+pub fn run_benchmark_with_session(
+    bench: &Benchmark,
+    config: &ExperimentConfig,
+    session: &AnalysisSession,
+) -> Result<BenchmarkResult, ExperimentError> {
+    let start = std::time::Instant::now();
+    let analysis = session
+        .analyze(&bench.unoptimized_file(), bench.unoptimized)
         .map_err(|e| ExperimentError::Transform(e.to_string()))?;
+    let tool_time = start.elapsed();
+    let transformed_source = analysis.rewrite.source.clone();
 
-    let sim = |src: &str, variant: &'static str| -> Result<Outcome, ExperimentError> {
-        let cfg = SimConfig { cost: config.cost, max_ops: config.max_ops, entry: "main".into() };
-        simulate_source(src, cfg)
-            .map_err(|e| ExperimentError::Simulation { variant, message: e.to_string() })
-    };
+    let sim =
+        |name: String, src: &str, variant: &'static str| -> Result<Outcome, ExperimentError> {
+            let parsed = session
+                .parse(&name, src)
+                .map_err(|e| ExperimentError::Simulation {
+                    variant,
+                    message: e.to_string(),
+                })?;
+            let cfg = SimConfig {
+                cost: config.cost,
+                max_ops: config.max_ops,
+                entry: "main".into(),
+            };
+            simulate(&parsed.unit, cfg).map_err(|e| ExperimentError::Simulation {
+                variant,
+                message: e.to_string(),
+            })
+        };
 
-    let unoptimized = sim(bench.unoptimized, "unoptimized")?;
-    let ompdart = sim(&transform.transformed_source, "ompdart")?;
-    let expert = sim(bench.expert, "expert")?;
+    let unoptimized = sim(bench.unoptimized_file(), bench.unoptimized, "unoptimized")?;
+    let ompdart = sim(
+        format!("{}_ompdart.c", bench.name),
+        &transformed_source,
+        "ompdart",
+    )?;
+    let expert = sim(bench.expert_file(), bench.expert, "expert")?;
 
     Ok(BenchmarkResult {
         name: bench.name.to_string(),
         unoptimized: unoptimized.into(),
         ompdart: ompdart.into(),
         expert: expert.into(),
-        tool_time: transform.tool_time,
-        transformed_source: transform.transformed_source,
-        constructs_inserted: transform.stats.total_constructs(),
+        tool_time,
+        stage_timings: analysis.timings(),
+        transformed_source,
+        constructs_inserted: analysis.plans.stats.total_constructs(),
     })
 }
 
-/// Run every benchmark. With `config.parallel` the nine benchmarks run on
-/// scoped worker threads (one per benchmark).
+/// Run every benchmark over one shared analysis session. With
+/// `config.parallel` the nine benchmarks run on scoped worker threads.
 pub fn run_all(config: &ExperimentConfig) -> Vec<BenchmarkResult> {
+    let session = Arc::new(AnalysisSession::with_options(config.tool));
+    run_all_with_session(config, &session)
+}
+
+/// Run every benchmark, reusing the given session (and its caches) across
+/// benchmarks and runs.
+pub fn run_all_with_session(
+    config: &ExperimentConfig,
+    session: &Arc<AnalysisSession>,
+) -> Vec<BenchmarkResult> {
     let benches = benchmarks::all();
     if !config.parallel {
         return benches
             .iter()
-            .map(|b| run_benchmark(b, config).unwrap_or_else(|e| panic!("{}: {e}", b.name)))
+            .map(|b| {
+                run_benchmark_with_session(b, config, session)
+                    .unwrap_or_else(|e| panic!("{}: {e}", b.name))
+            })
             .collect();
     }
     let mut results: Vec<Option<BenchmarkResult>> = Vec::new();
     results.resize_with(benches.len(), || None);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, bench) in benches.iter().enumerate() {
             let cfg = config.clone();
-            handles.push((i, scope.spawn(move |_| run_benchmark(bench, &cfg))));
+            let session = Arc::clone(session);
+            handles.push((
+                i,
+                scope.spawn(move || run_benchmark_with_session(bench, &cfg, &session)),
+            ));
         }
         for (i, handle) in handles {
             let result = handle.join().expect("benchmark worker panicked");
             results[i] = Some(result.unwrap_or_else(|e| panic!("{}: {e}", benches[i].name)));
         }
-    })
-    .expect("experiment scope failed");
-    results.into_iter().map(|r| r.expect("missing result")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("missing result"))
+        .collect()
 }
 
 /// Geometric-mean summary of a full run (the headline numbers of Section VI).
@@ -220,17 +289,20 @@ pub fn summarize(results: &[BenchmarkResult], cost: &CostModel) -> Summary {
     let speedups_expert: Vec<f64> = results.iter().map(|r| r.speedup_expert(cost)).collect();
     let vs_expert: Vec<f64> = results
         .iter()
-        .map(|r| {
-            r.ompdart
-                .profile
-                .speedup_over(&r.expert.profile, cost)
-        })
+        .map(|r| r.ompdart.profile.speedup_over(&r.expert.profile, cost))
         .collect();
-    let transfer_tool: Vec<f64> =
-        results.iter().map(|r| r.transfer_time_improvement_ompdart(cost)).collect();
-    let transfer_expert: Vec<f64> =
-        results.iter().map(|r| r.transfer_time_improvement_expert(cost)).collect();
-    let bytes_saved: Vec<f64> = results.iter().map(|r| r.bytes_saved().max(1) as f64).collect();
+    let transfer_tool: Vec<f64> = results
+        .iter()
+        .map(|r| r.transfer_time_improvement_ompdart(cost))
+        .collect();
+    let transfer_expert: Vec<f64> = results
+        .iter()
+        .map(|r| r.transfer_time_improvement_expert(cost))
+        .collect();
+    let bytes_saved: Vec<f64> = results
+        .iter()
+        .map(|r| r.bytes_saved().max(1) as f64)
+        .collect();
     Summary {
         geomean_speedup_ompdart: geometric_mean(&speedups_tool),
         geomean_speedup_expert: geometric_mean(&speedups_expert),
@@ -252,7 +324,10 @@ mod tests {
     use super::*;
 
     fn quick_config() -> ExperimentConfig {
-        ExperimentConfig { parallel: true, ..Default::default() }
+        ExperimentConfig {
+            parallel: true,
+            ..Default::default()
+        }
     }
 
     /// One full evaluation run: every benchmark, all three variants. This is
@@ -304,8 +379,10 @@ mod tests {
         // lulesh: OMPDart strictly beats the expert mapping (redundant
         // updates removed) — the paper reports 1.6x and an 85% reduction.
         let lulesh = results.iter().find(|r| r.name == "lulesh").unwrap();
-        let lulesh_vs_expert =
-            lulesh.ompdart.profile.speedup_over(&lulesh.expert.profile, &cost);
+        let lulesh_vs_expert = lulesh
+            .ompdart
+            .profile
+            .speedup_over(&lulesh.expert.profile, &cost);
         assert!(
             lulesh_vs_expert > 1.2,
             "lulesh: expected a clear win over the expert mapping, got {lulesh_vs_expert:.2}x"
@@ -342,10 +419,40 @@ mod tests {
         let bench = benchmarks::by_name("accuracy").unwrap();
         let config = quick_config();
         let a = run_benchmark(&bench, &config).unwrap();
-        let serial = ExperimentConfig { parallel: false, ..quick_config() };
+        let serial = ExperimentConfig {
+            parallel: false,
+            ..quick_config()
+        };
         let b = run_benchmark(&bench, &serial).unwrap();
         assert_eq!(a.ompdart.output, b.ompdart.output);
         assert_eq!(a.ompdart.profile, b.ompdart.profile);
+    }
+
+    #[test]
+    fn shared_session_caches_across_runs() {
+        let bench = benchmarks::by_name("nw").unwrap();
+        let config = quick_config();
+        let session = AnalysisSession::with_options(config.tool);
+        let a = run_benchmark_with_session(&bench, &config, &session).unwrap();
+        let parses = session.cache_stats().parse_misses;
+        let b = run_benchmark_with_session(&bench, &config, &session).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(stats.analysis_hits, 1, "second run must reuse the analysis");
+        assert_eq!(
+            stats.parse_misses, parses,
+            "second run must not re-parse anything"
+        );
+        assert!(stats.parse_hits >= 2);
+        assert_eq!(a.ompdart.profile, b.ompdart.profile);
+        assert_eq!(a.ompdart.output, b.ompdart.output);
+    }
+
+    #[test]
+    fn stage_timings_are_populated() {
+        let bench = benchmarks::by_name("ace").unwrap();
+        let r = run_benchmark(&bench, &quick_config()).unwrap();
+        assert!(r.stage_timings.total() > Duration::from_secs(0));
+        assert!(r.stage_timings.parse > Duration::from_secs(0));
     }
 
     #[test]

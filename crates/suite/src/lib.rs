@@ -31,5 +31,6 @@ pub mod report;
 pub use benchmarks::{all as all_benchmarks, by_name, Benchmark, Suite};
 pub use complexity::{complexity_of, table4_rows, ComplexityRow};
 pub use experiment::{
-    run_all, run_benchmark, summarize, BenchmarkResult, ExperimentConfig, Summary, VariantResult,
+    run_all, run_all_with_session, run_benchmark, run_benchmark_with_session, summarize,
+    BenchmarkResult, ExperimentConfig, Summary, VariantResult,
 };

@@ -29,7 +29,10 @@ fn header(title: &str) -> String {
 /// Table I: AST nodes recognized as offload kernels.
 pub fn table1() -> String {
     let mut out = header("Table I: AST nodes recognized as offload kernels");
-    out.push_str(&format!("{:<55} {}\n", "Clang AST node", "OpenMP directive"));
+    out.push_str(&format!(
+        "{:<55} {}\n",
+        "Clang AST node", "OpenMP directive"
+    ));
     for kind in DirectiveKind::all_offload_kernels() {
         out.push_str(&format!(
             "{:<55} omp {}\n",
@@ -44,7 +47,11 @@ pub fn table1() -> String {
 pub fn table2() -> String {
     let mut out = header("Table II: constructs inserted to resolve data dependencies");
     for construct in MappingConstruct::all() {
-        out.push_str(&format!("{:<16} {}\n", construct.syntax(), construct.description()));
+        out.push_str(&format!(
+            "{:<16} {}\n",
+            construct.syntax(),
+            construct.description()
+        ));
     }
     out
 }
@@ -52,7 +59,10 @@ pub fn table2() -> String {
 /// Table III: the benchmark programs.
 pub fn table3() -> String {
     let mut out = header("Table III: programs used for evaluating OMPDart");
-    out.push_str(&format!("{:<10} {:<9} {:<20} {}\n", "Name", "Suite", "Domain", "Description"));
+    out.push_str(&format!(
+        "{:<10} {:<9} {:<20} {}\n",
+        "Name", "Suite", "Domain", "Description"
+    ));
     for b in benchmarks::all() {
         out.push_str(&format!(
             "{:<10} {:<9} {:<20} {}\n",
@@ -84,7 +94,10 @@ pub fn table4() -> String {
 /// Table V: OMPDart overhead (tool execution time per benchmark).
 pub fn table5(results: &[BenchmarkResult]) -> String {
     let mut out = header("Table V: OMPDart overhead");
-    out.push_str(&format!("{:<10} {:>20}\n", "Benchmark", "Tool execution time"));
+    out.push_str(&format!(
+        "{:<10} {:>20}\n",
+        "Benchmark", "Tool execution time"
+    ));
     let mut total = 0.0;
     for r in results {
         let secs = r.tool_time.as_secs_f64();
@@ -160,7 +173,10 @@ pub fn figure4(results: &[BenchmarkResult]) -> String {
 /// Figure 5: speedups over the unoptimized OpenMP offload code.
 pub fn figure5(results: &[BenchmarkResult], cost: &CostModel) -> String {
     let mut out = header("Figure 5: speedups over unoptimized OpenMP offload code");
-    out.push_str(&format!("{:<10} {:>10} {:>10}\n", "Benchmark", "OMPDart", "Expert"));
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10}\n",
+        "Benchmark", "OMPDart", "Expert"
+    ));
     for r in results {
         out.push_str(&format!(
             "{:<10} {:>9.2}x {:>9.2}x\n",
@@ -175,7 +191,10 @@ pub fn figure5(results: &[BenchmarkResult], cost: &CostModel) -> String {
 /// Figure 6: improvements in data-transfer wall time over unoptimized.
 pub fn figure6(results: &[BenchmarkResult], cost: &CostModel) -> String {
     let mut out = header("Figure 6: improvements in data transfer wall time");
-    out.push_str(&format!("{:<10} {:>10} {:>10}\n", "Benchmark", "OMPDart", "Expert"));
+    out.push_str(&format!(
+        "{:<10} {:>10} {:>10}\n",
+        "Benchmark", "OMPDart", "Expert"
+    ));
     for r in results {
         out.push_str(&format!(
             "{:<10} {:>9.2}x {:>9.2}x\n",

@@ -8,8 +8,8 @@
 //! ```
 
 use ompdart_sim::format_bytes;
-use ompdart_suite::experiment::{run_benchmark, ExperimentConfig};
 use ompdart_suite::by_name;
+use ompdart_suite::experiment::{run_benchmark, ExperimentConfig};
 
 fn main() {
     let bench = by_name("lulesh").expect("lulesh benchmark missing");
@@ -37,7 +37,10 @@ fn main() {
         );
     }
 
-    let vs_expert = result.ompdart.profile.speedup_over(&result.expert.profile, &cost);
+    let vs_expert = result
+        .ompdart
+        .profile
+        .speedup_over(&result.expert.profile, &cost);
     let transfer_cut = 100.0
         * (1.0
             - result.ompdart.profile.total_bytes() as f64

@@ -1,6 +1,7 @@
 //! Command-line use of OMPDart: read an OpenMP offload C file, insert data
 //! mappings, and print (or write) the transformed source — the same workflow
-//! as the paper's LibTooling-based tool.
+//! as the paper's LibTooling-based tool, driven stage by stage through the
+//! `AnalysisSession` API.
 //!
 //! ```sh
 //! cargo run --release --example optimize_file -- input.c            # to stdout
@@ -10,50 +11,57 @@
 //! Without arguments the example optimizes the bundled unoptimized `hotspot`
 //! benchmark so it can be run out of the box.
 
-use ompdart_core::{OmpDart, OmpDartOptions};
+use ompdart_core::{AnalysisSession, OmpDartOptions};
 use ompdart_suite::by_name;
+use std::error::Error;
 
 fn main() {
+    if let Err(err) = run() {
+        eprintln!("error: {err}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (name, source) = match args.first() {
-        Some(path) => {
-            let text = std::fs::read_to_string(path)
-                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-            (path.clone(), text)
-        }
+        Some(path) => (path.clone(), std::fs::read_to_string(path)?),
         None => {
-            let bench = by_name("hotspot").unwrap();
+            let bench = by_name("hotspot").expect("bundled hotspot benchmark missing");
             eprintln!("no input given; optimizing the bundled hotspot benchmark");
             (bench.unoptimized_file(), bench.unoptimized.to_string())
         }
     };
 
-    let tool = OmpDart::with_options(OmpDartOptions::default());
-    match tool.transform_source(&name, &source) {
-        Ok(result) => {
-            eprintln!(
-                "{}: {} kernels, {} mapped variables, {} constructs inserted in {:.2} ms",
-                name,
-                result.stats.kernels,
-                result.stats.mapped_variables,
-                result.stats.total_constructs(),
-                result.tool_time.as_secs_f64() * 1e3
-            );
-            for diag in result.diagnostics.iter() {
-                eprintln!("note: {}", diag.message);
-            }
-            match args.get(1) {
-                Some(out_path) => {
-                    std::fs::write(out_path, &result.transformed_source)
-                        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
-                    eprintln!("wrote {out_path}");
-                }
-                None => println!("{}", result.transformed_source),
-            }
-        }
-        Err(err) => {
-            eprintln!("error: {err}");
-            std::process::exit(1);
-        }
+    // Drive the pipeline one stage at a time: parse -> hybrid AST-CFG ->
+    // access classification -> interprocedural summaries -> mapping plans ->
+    // rewrite. `?` works because every stage error is a std::error::Error.
+    let session = AnalysisSession::with_options(OmpDartOptions::default());
+    let parsed = session.parse(&name, &source)?;
+    ompdart_core::pipeline::check_input_contract(&parsed)?;
+    let graphs = session.graphs(&parsed);
+    let accesses = session.accesses(&parsed, &graphs);
+    let summaries = session.summaries(&parsed, &accesses);
+    let plans = session.plan(&parsed, &graphs, &accesses, &summaries);
+    let rewritten = session.rewrite(&parsed, &graphs, &plans);
+
+    eprintln!(
+        "{}: {} kernels, {} mapped variables, {} constructs inserted",
+        name,
+        plans.stats.kernels,
+        plans.stats.mapped_variables,
+        plans.stats.total_constructs(),
+    );
+    eprintln!("stage timings: {}", session.timings());
+    for diag in parsed.diagnostics.iter().chain(plans.diagnostics.iter()) {
+        eprintln!("note: {}", diag.message);
     }
+    match args.get(1) {
+        Some(out_path) => {
+            std::fs::write(out_path, &rewritten.source)?;
+            eprintln!("wrote {out_path}");
+        }
+        None => println!("{}", rewritten.source),
+    }
+    Ok(())
 }

@@ -38,14 +38,21 @@ fn main() {
         .transform_source("quickstart.c", PROGRAM)
         .expect("OMPDart failed");
 
-    println!("=== OMPDart transformed source ===\n{}", result.transformed_source);
-    println!("constructs inserted: {} ({} map clauses, {} updates, {} firstprivate)",
+    println!(
+        "=== OMPDart transformed source ===\n{}",
+        result.transformed_source
+    );
+    println!(
+        "constructs inserted: {} ({} map clauses, {} updates, {} firstprivate)",
         result.stats.total_constructs(),
         result.stats.map_clauses,
         result.stats.update_directives,
         result.stats.firstprivate_clauses,
     );
-    println!("analysis time: {:.3} ms\n", result.tool_time.as_secs_f64() * 1e3);
+    println!(
+        "analysis time: {:.3} ms\n",
+        result.tool_time.as_secs_f64() * 1e3
+    );
 
     // 2. Execute both versions on the offload runtime simulator and compare
     //    the nsys-style transfer profiles.
@@ -54,12 +61,27 @@ fn main() {
     let after = simulate_source(&result.transformed_source, SimConfig::default())
         .expect("transformed run failed");
 
-    assert_eq!(before.output, after.output, "the transformation must not change results");
-    println!("program output: {:?} (identical before/after)", after.output);
+    assert_eq!(
+        before.output, after.output,
+        "the transformation must not change results"
+    );
+    println!(
+        "program output: {:?} (identical before/after)",
+        after.output
+    );
     println!();
-    println!("{:<28} {:>16} {:>16}", "metric", "implicit mappings", "OMPDart");
-    println!("{:<28} {:>16} {:>16}", "HtoD memcpy calls", before.profile.htod_calls, after.profile.htod_calls);
-    println!("{:<28} {:>16} {:>16}", "DtoH memcpy calls", before.profile.dtoh_calls, after.profile.dtoh_calls);
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "metric", "implicit mappings", "OMPDart"
+    );
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "HtoD memcpy calls", before.profile.htod_calls, after.profile.htod_calls
+    );
+    println!(
+        "{:<28} {:>16} {:>16}",
+        "DtoH memcpy calls", before.profile.dtoh_calls, after.profile.dtoh_calls
+    );
     println!(
         "{:<28} {:>16} {:>16}",
         "bytes transferred",

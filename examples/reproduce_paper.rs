@@ -1,18 +1,45 @@
 //! Reproduce every table and figure of the paper's evaluation section.
 //!
 //! ```sh
-//! cargo run --release --example reproduce_paper            # everything
-//! cargo run --release --example reproduce_paper -- --fig5  # one artifact
+//! cargo run --release --example reproduce_paper              # everything
+//! cargo run --release --example reproduce_paper -- --fig5    # one artifact
+//! cargo run --release --example reproduce_paper -- --timings # pipeline stages
 //! ```
 //!
 //! Accepted flags: `--table1` .. `--table5`, `--fig3` .. `--fig6`,
-//! `--summary`. With no flags all artifacts are printed in order.
+//! `--summary`, `--timings`. With no flags all artifacts are printed in
+//! order. The nine benchmarks run concurrently over one shared
+//! `AnalysisSession`, so repeated artifacts reuse the cached analyses.
 
-use ompdart_suite::experiment::{run_all, ExperimentConfig};
+use ompdart_core::AnalysisSession;
+use ompdart_suite::experiment::{run_all_with_session, ExperimentConfig};
 use ompdart_suite::report;
+use std::sync::Arc;
+
+const FLAGS: [&str; 10] = [
+    "--table1",
+    "--table2",
+    "--table3",
+    "--table4",
+    "--table5",
+    "--fig3",
+    "--fig4",
+    "--fig5",
+    "--fig6",
+    "--summary",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    for arg in &args {
+        if arg != "--timings" && !FLAGS.contains(&arg.as_str()) {
+            eprintln!(
+                "unknown flag `{arg}`; accepted: {} --timings",
+                FLAGS.join(" ")
+            );
+            std::process::exit(2);
+        }
+    }
     let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
 
     // The static tables need no execution.
@@ -29,16 +56,25 @@ fn main() {
         println!("{}", report::table4());
     }
 
-    let needs_run = ["--table5", "--fig3", "--fig4", "--fig5", "--fig6", "--summary"]
-        .iter()
-        .any(|f| want(f));
+    let needs_run = [
+        "--table5",
+        "--fig3",
+        "--fig4",
+        "--fig5",
+        "--fig6",
+        "--summary",
+        "--timings",
+    ]
+    .iter()
+    .any(|f| want(f));
     if !needs_run {
         return;
     }
 
     eprintln!("running the nine benchmarks (unoptimized / OMPDart / expert)...");
     let config = ExperimentConfig::default();
-    let results = run_all(&config);
+    let session = Arc::new(AnalysisSession::with_options(config.tool));
+    let results = run_all_with_session(&config, &session);
 
     if want("--table5") {
         println!("{}", report::table5(&results));
@@ -57,5 +93,18 @@ fn main() {
     }
     if want("--summary") {
         println!("{}", report::summary(&results, &config.cost));
+    }
+    if want("--timings") {
+        println!("Pipeline stage timings per benchmark");
+        println!("------------------------------------");
+        for r in &results {
+            println!("{:<10} {}", r.name, r.stage_timings);
+        }
+        println!("{:<10} {}", "session", session.timings());
+        let stats = session.cache_stats();
+        println!(
+            "cache: {} analysis misses, {} analysis hits, {} parse misses, {} parse hits",
+            stats.analysis_misses, stats.analysis_hits, stats.parse_misses, stats.parse_hits
+        );
     }
 }

@@ -57,13 +57,17 @@ int main() {
     for (int i = 0; i < N; i++) probe += output[i];
     printf(\"probe %.1f\\n\", probe);
   }
+  printf(\"last %.1f\\n\", output[N - 1] + scratch[N - 1]);
   return 0;
 }
 ";
     let result = transform("all_constructs.c", src).unwrap();
     let text = &result.transformed_source;
     assert!(text.contains("map(to:"), "{text}");
-    assert!(text.contains("map(from:") || text.contains("map(tofrom:"), "{text}");
+    assert!(
+        text.contains("map(from:") || text.contains("map(tofrom:"),
+        "{text}"
+    );
     assert!(text.contains("firstprivate("), "{text}");
     assert!(text.contains("target update from("), "{text}");
     let before = simulate_source(src, SimConfig::default()).unwrap();
@@ -100,9 +104,7 @@ int main() {
   return 0;
 }
 ";
-    for (name, src, min_reduction) in
-        [("listing1", listing1, 10.0), ("listing2", listing2, 1.5)]
-    {
+    for (name, src, min_reduction) in [("listing1", listing1, 10.0), ("listing2", listing2, 1.5)] {
         let result = transform(name, src).unwrap();
         let before = simulate_source(src, SimConfig::default()).unwrap();
         let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
@@ -121,7 +123,10 @@ int main() {
 /// a non-default cost model.
 #[test]
 fn benchmark_subset_end_to_end() {
-    let config = ExperimentConfig { cost: CostModel::fast_interconnect(), ..Default::default() };
+    let config = ExperimentConfig {
+        cost: CostModel::fast_interconnect(),
+        ..Default::default()
+    };
     for name in ["backprop", "clenergy"] {
         let bench = by_name(name).unwrap();
         let result = run_benchmark(&bench, &config).unwrap();
@@ -154,14 +159,22 @@ fn ablation_options_preserve_correctness() {
             },
             ..OmpDartOptions::default()
         },
-        OmpDartOptions { interprocedural: false, ..OmpDartOptions::default() },
+        OmpDartOptions {
+            interprocedural: false,
+            ..OmpDartOptions::default()
+        },
     ];
     let baseline = simulate_source(bench.unoptimized, SimConfig::default()).unwrap();
     for (i, options) in variants.iter().enumerate() {
         let tool = OmpDart::with_options(*options);
-        let result = tool.transform_source("backprop.c", bench.unoptimized).unwrap();
+        let result = tool
+            .transform_source("backprop.c", bench.unoptimized)
+            .unwrap();
         let run = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
-        assert_eq!(baseline.output, run.output, "ablation variant {i} changed the result");
+        assert_eq!(
+            baseline.output, run.output,
+            "ablation variant {i} changed the result"
+        );
     }
 }
 
@@ -173,5 +186,7 @@ fn table4_rows_available_from_root() {
     assert_eq!(rows.len(), 9);
     let lulesh = rows.iter().find(|r| r.name == "lulesh").unwrap();
     assert_eq!(lulesh.kernels, 15);
-    assert!(rows.iter().all(|r| lulesh.possible_mappings >= r.possible_mappings));
+    assert!(rows
+        .iter()
+        .all(|r| lulesh.possible_mappings >= r.possible_mappings));
 }

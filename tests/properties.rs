@@ -13,7 +13,9 @@
 use ompdart_core::OmpDart;
 use ompdart_frontend::omp::MapType;
 use ompdart_frontend::parser::parse_str;
-use ompdart_sim::{simulate_source, DeviceEnv, Memory, ObjectKind, SimConfig, TransferProfile, Value};
+use ompdart_sim::{
+    simulate_source, DeviceEnv, Memory, ObjectKind, SimConfig, TransferProfile, Value,
+};
 use proptest::prelude::*;
 
 /// A small statement menu used to build random host/device interleavings

@@ -1,0 +1,144 @@
+//! Integration tests for the staged `AnalysisSession` / `BatchDriver` API:
+//! stage-by-stage artifacts must compose to exactly the one-shot
+//! `transform` result, the artifact cache must serve repeated analyses
+//! without re-running any stage, and the batch driver must analyze several
+//! translation units concurrently with deterministic results.
+
+use ompdart_core::pipeline::Stage;
+use ompdart_core::{transform, AnalysisSession, BatchDriver, OmpDart, OmpDartOptions, StageError};
+use ompdart_sim::{simulate_source, SimConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Golden test: running the six stages by hand produces byte-identical
+/// output and identical plans/statistics to the legacy one-shot `transform`
+/// on every bundled benchmark.
+#[test]
+fn staged_artifacts_compose_to_the_one_shot_transform() {
+    for bench in ompdart_suite::all_benchmarks() {
+        let session = AnalysisSession::new();
+        let parsed = session
+            .parse(&bench.unoptimized_file(), bench.unoptimized)
+            .unwrap();
+        let graphs = session.graphs(&parsed);
+        let accesses = session.accesses(&parsed, &graphs);
+        let summaries = session.summaries(&parsed, &accesses);
+        let plans = session.plan(&parsed, &graphs, &accesses, &summaries);
+        let rewritten = session.rewrite(&parsed, &graphs, &plans);
+
+        let one_shot = transform(&bench.unoptimized_file(), bench.unoptimized).unwrap();
+        assert_eq!(
+            one_shot.transformed_source, rewritten.source,
+            "{}: staged rewrite diverges from one-shot transform",
+            bench.name
+        );
+        assert_eq!(one_shot.stats, plans.stats, "{}", bench.name);
+        assert_eq!(one_shot.plans.len(), plans.plans.len(), "{}", bench.name);
+        for (a, b) in one_shot.plans.iter().zip(plans.plans.iter()) {
+            assert_eq!(a.function, b.function, "{}", bench.name);
+            assert_eq!(a.maps.len(), b.maps.len(), "{}", bench.name);
+            assert_eq!(a.updates.len(), b.updates.len(), "{}", bench.name);
+        }
+    }
+}
+
+/// The cache returns identical plans for identical source content and skips
+/// every stage: counters prove the second run did not re-parse, and the
+/// cumulative stage timings do not advance on a hit.
+#[test]
+fn artifact_cache_returns_identical_plans_without_reparsing() {
+    let bench = ompdart_suite::by_name("backprop").unwrap();
+    let session = AnalysisSession::new();
+
+    let first = session
+        .analyze(&bench.unoptimized_file(), bench.unoptimized)
+        .unwrap();
+    let stats = session.cache_stats();
+    assert_eq!(stats.analysis_misses, 1);
+    assert_eq!(stats.parse_misses, 1);
+    let spent = session.timings().total();
+    assert!(spent > Duration::ZERO);
+
+    let second = session
+        .analyze(&bench.unoptimized_file(), bench.unoptimized)
+        .unwrap();
+    let stats = session.cache_stats();
+    assert_eq!(
+        stats.analysis_hits, 1,
+        "identical content must hit the cache"
+    );
+    assert_eq!(stats.parse_misses, 1, "the cache hit must skip re-parsing");
+    assert_eq!(
+        session.timings().total(),
+        spent,
+        "a cache hit must not spend any stage time"
+    );
+    assert!(Arc::ptr_eq(&first, &second));
+    assert_eq!(first.plans.plans.len(), second.plans.plans.len());
+    assert_eq!(first.rewrite.source, second.rewrite.source);
+
+    // Different content (same name) misses the cache.
+    let other = ompdart_suite::by_name("nw").unwrap();
+    session
+        .analyze(&bench.unoptimized_file(), other.unoptimized)
+        .unwrap();
+    assert_eq!(session.cache_stats().analysis_misses, 2);
+}
+
+/// BatchDriver: at least two translation units analyzed concurrently, with
+/// order-preserving results that match the sequential wrappers and still
+/// simulate correctly.
+#[test]
+fn batch_driver_matches_sequential_transforms() {
+    let inputs: Vec<(String, String)> = ompdart_suite::all_benchmarks()
+        .iter()
+        .take(4)
+        .map(|b| (b.unoptimized_file(), b.unoptimized.to_string()))
+        .collect();
+    assert!(inputs.len() >= 2);
+
+    let driver = BatchDriver::new().with_threads(4);
+    let batch = driver.analyze_all(&inputs);
+    assert_eq!(batch.len(), inputs.len());
+
+    for ((name, source), result) in inputs.iter().zip(&batch) {
+        let analysis = result.as_ref().expect("batch unit failed");
+        assert_eq!(&analysis.parsed.name, name);
+        let sequential = OmpDart::new().transform_source(name, source).unwrap();
+        assert_eq!(
+            sequential.transformed_source, analysis.rewrite.source,
+            "{name}: batch result diverges from sequential transform"
+        );
+        // The batch-produced mapping must still preserve program semantics.
+        let before = simulate_source(source, SimConfig::default()).unwrap();
+        let after = simulate_source(&analysis.rewrite.source, SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output, "{name}");
+    }
+}
+
+/// Stage errors are typed, carry the failing stage, and convert into the
+/// legacy `OmpDartError` for the compatibility wrappers.
+#[test]
+fn typed_stage_errors_translate_to_legacy_errors() {
+    let session = AnalysisSession::new();
+    let err = session
+        .analyze("broken.c", "int main( { return 0; }\n")
+        .unwrap_err();
+    assert_eq!(err.stage(), Stage::Parse);
+    let legacy: ompdart_core::OmpDartError = err.into();
+    assert!(matches!(legacy, ompdart_core::OmpDartError::ParseFailed(_)));
+
+    // The lenient option is honoured by the session exactly like the
+    // one-shot wrapper.
+    let mapped = ompdart_suite::by_name("ace").unwrap().expert;
+    let strict = AnalysisSession::new();
+    assert!(matches!(
+        strict.analyze("ace_expert.c", mapped),
+        Err(StageError::AlreadyMapped { .. })
+    ));
+    let lenient = AnalysisSession::with_options(OmpDartOptions {
+        reject_existing_mappings: false,
+        ..OmpDartOptions::default()
+    });
+    assert!(lenient.analyze("ace_expert.c", mapped).is_ok());
+}
