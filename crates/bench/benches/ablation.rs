@@ -4,15 +4,15 @@
 //! analysis (Section IV-C).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use ompdart_core::{DataflowOptions, OmpDart, OmpDartOptions};
+use ompdart_core::{DataflowOptions, OmpDartOptions, Ompdart};
 use ompdart_sim::{simulate_source, CostModel, SimConfig};
 use std::hint::black_box;
 
 fn profile_with(options: OmpDartOptions, bench_name: &str) -> (u64, u64, f64) {
     let bench = ompdart_suite::by_name(bench_name).unwrap();
-    let tool = OmpDart::with_options(options);
-    let result = tool.transform_source("b.c", bench.unoptimized).unwrap();
-    let out = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+    let tool = Ompdart::builder().options(options).build();
+    let analysis = tool.analyze("b.c", bench.unoptimized).unwrap();
+    let out = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
     let cost = CostModel::default();
     (
         out.profile.total_calls(),
@@ -88,12 +88,9 @@ fn bench(c: &mut Criterion) {
     ] {
         let bench = ompdart_suite::by_name("lulesh").unwrap();
         group.bench_function(label, |b| {
-            let tool = OmpDart::with_options(options);
             b.iter(|| {
-                black_box(
-                    tool.transform_source("lulesh.c", bench.unoptimized)
-                        .unwrap(),
-                )
+                let tool = Ompdart::builder().options(options).build();
+                black_box(tool.analyze("lulesh.c", bench.unoptimized).unwrap())
             })
         });
     }

@@ -20,8 +20,10 @@
 
 use crate::access::{FunctionAccesses, SymbolTable};
 use crate::bounds::section_length_from_loops;
-use crate::mapping::{
-    FirstPrivateSpec, MapSpec, Placement, RegionPlan, UpdateDirection, UpdateSpec,
+use crate::pipeline::Stage;
+use crate::plan::ir::{
+    FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
+    UpdateSpec,
 };
 use ompdart_frontend::ast::*;
 use ompdart_frontend::diag::Diagnostics;
@@ -74,8 +76,23 @@ impl Default for VarState {
     }
 }
 
+/// A planned `target update` before its provenance-carrying spec is built:
+/// the placement decision plus the access that forced it.
+#[derive(Clone, Debug)]
+struct UpdateDecision {
+    var: String,
+    direction: UpdateDirection,
+    anchor: NodeId,
+    placement: Placement,
+    /// The read whose cross-space dependency forced this update.
+    deciding: NodeId,
+    fact: ProvenanceFact,
+}
+
 /// Compute the mapping plan for one function. Returns `None` when the
-/// function launches no kernels.
+/// function launches no kernels. Every construct of the produced plan
+/// carries a [`Provenance`] naming the dataflow fact and the deciding
+/// source span that justified it.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_function(
     unit: &TranslationUnit,
@@ -85,7 +102,7 @@ pub fn plan_function(
     symbols: &SymbolTable,
     options: &DataflowOptions,
     diags: &mut Diagnostics,
-) -> Option<RegionPlan> {
+) -> Option<MappingPlan> {
     let index = &graph.index;
     let kernels: Vec<NodeId> = index.kernels().to_vec();
     if kernels.is_empty() {
@@ -141,13 +158,17 @@ pub fn plan_function(
             if let (Some(decl), Some(region_info)) = (decl_stmts.get(var), region_info) {
                 if let Some(decl_info) = index.info(*decl) {
                     if decl_info.order >= region_info.order {
-                        diags.error(
+                        diags.error_with_labels(
                             decl_info.span,
                             format!(
                                 "declaration of `{var}` must be moved before the start of the \
                                  target data region in `{}` so OMPDart can map it",
                                 func.name
                             ),
+                            [(
+                                region_info.span,
+                                "the target data region starts here".to_string(),
+                            )],
                         );
                     }
                 }
@@ -167,8 +188,8 @@ pub fn plan_function(
             .map(|v| (v.clone(), VarState::default()))
             .collect(),
         loop_stack: Vec::new(),
-        to_entry: HashSet::new(),
-        from_exit: HashSet::new(),
+        to_entry: HashMap::new(),
+        from_exit: HashMap::new(),
         updates: Vec::new(),
         seen_updates: HashSet::new(),
         region_start,
@@ -182,14 +203,21 @@ pub fn plan_function(
     // Exit liveness: device-written data that escapes must be copied back —
     // unless whole-program use shows it is dead on the host: a global that no
     // other function references and that this function never reads after the
-    // region can stay device-only (`alloc`), sparing the exit copy.
+    // region can stay device-only (`alloc`), sparing the exit copy. Escape
+    // decisions are recorded separately from `from_exit` (which holds actual
+    // host reads): their deciding statement is the device write that makes
+    // the escaping data dirty. Demotions are recorded so the plan can
+    // explain them (`DeadExitCopy`).
+    let mut escape_exit: HashMap<String, Option<NodeId>> = HashMap::new();
+    let mut demoted: HashMap<String, Option<NodeId>> = HashMap::new();
     for var in &mapped_vars {
         let st = &walker.state[var];
-        if !st.host_valid
-            && symbols.escapes(var)
-            && may_be_read_after_region(unit, func, accesses, index, region_start, var, symbols)
-        {
-            walker.from_exit.insert(var.clone());
+        if !st.host_valid && symbols.escapes(var) && !walker.from_exit.contains_key(var) {
+            if may_be_read_after_region(unit, func, accesses, index, region_start, var, symbols) {
+                escape_exit.insert(var.clone(), st.last_dev_writer);
+            } else {
+                demoted.insert(var.clone(), st.last_dev_writer);
+            }
         }
     }
 
@@ -197,8 +225,9 @@ pub fn plan_function(
     let to_entry = walker.to_entry.clone();
     let from_exit = walker.from_exit.clone();
     let updates_raw = walker.updates.clone();
+    let span_of = |id: NodeId| index.info(id).map(|i| i.span);
 
-    let mut plan = RegionPlan {
+    let mut plan = MappingPlan {
         function: func.name.clone(),
         region_start: Some(region_start),
         region_end: Some(region_end),
@@ -208,13 +237,69 @@ pub fn plan_function(
     };
 
     for var in &mapped_vars {
-        let to = to_entry.contains(var);
-        let from = from_exit.contains(var);
-        let map_type = match (to, from) {
-            (true, true) => MapType::ToFrom,
-            (true, false) => MapType::To,
-            (false, true) => MapType::From,
-            (false, false) => MapType::Alloc,
+        let to = to_entry.get(var);
+        // An exit copy is forced either by an observed host read past the
+        // region (span = that read) or by escape liveness (span = the
+        // device write whose result escapes).
+        let from = from_exit
+            .get(var)
+            .map(|read| (span_of(*read), format!("the device-written `{var}` is read on the host after the region")))
+            .or_else(|| {
+                escape_exit.get(var).map(|writer| {
+                    (
+                        writer.and_then(span_of),
+                        format!(
+                            "`{var}` escapes the region (global or pointer parameter) and whole-program liveness cannot prove the device result dead"
+                        ),
+                    )
+                })
+            });
+        let (map_type, provenance) = match (to, from) {
+            (Some(to_stmt), Some(_)) => (
+                MapType::ToFrom,
+                Provenance::plan(
+                    ProvenanceFact::ReadAndLiveAfterRegion,
+                    span_of(*to_stmt),
+                    format!(
+                        "a kernel reads the host value of `{var}` and its device result is live after the region"
+                    ),
+                ),
+            ),
+            (Some(to_stmt), None) => (
+                MapType::To,
+                Provenance::plan(
+                    ProvenanceFact::ReadBeforeWriteOnDevice,
+                    span_of(*to_stmt),
+                    format!("a kernel reads the host value of `{var}` before any device write"),
+                ),
+            ),
+            (None, Some((from_span, from_detail))) => (
+                MapType::From,
+                Provenance::plan(ProvenanceFact::LiveAfterRegion, from_span, from_detail),
+            ),
+            (None, None) => {
+                let provenance = if let Some(writer) = demoted.get(var) {
+                    Provenance::plan(
+                        ProvenanceFact::DeadExitCopy,
+                        writer.and_then(span_of),
+                        format!(
+                            "`{var}` escapes, but whole-program liveness proves no host read observes it after the region; exit copy demoted to alloc"
+                        ),
+                    )
+                } else {
+                    let first_dev_access = accesses
+                        .accesses
+                        .iter()
+                        .find(|a| a.var == *var && a.on_device)
+                        .map(|a| a.stmt);
+                    Provenance::plan(
+                        ProvenanceFact::DeviceOnlyData,
+                        first_dev_access.and_then(span_of),
+                        format!("`{var}` never crosses the host/device boundary"),
+                    )
+                };
+                (MapType::Alloc, provenance)
+            }
         };
         let section_length = if symbols.is_pointer(var) {
             pointer_section_length(var, accesses, index, &loop_map)
@@ -225,14 +310,31 @@ pub fn plan_function(
             var: var.clone(),
             map_type,
             section_length,
+            provenance,
         });
     }
 
-    for (var, direction, anchor, placement) in updates_raw {
+    for decision in updates_raw {
+        let UpdateDecision {
+            var,
+            direction,
+            anchor,
+            placement,
+            deciding,
+            fact,
+        } = decision;
         let section_length = if symbols.is_pointer(&var) {
             pointer_section_length(&var, accesses, index, &loop_map)
         } else {
             None
+        };
+        let detail = match direction {
+            UpdateDirection::To => {
+                format!("a host write to `{var}` inside the region reaches a later kernel read")
+            }
+            UpdateDirection::From => {
+                format!("the host reads the device-produced `{var}` inside the region")
+            }
         };
         plan.updates.push(UpdateSpec {
             var,
@@ -240,19 +342,33 @@ pub fn plan_function(
             anchor,
             placement,
             section_length,
+            provenance: Provenance::plan(fact, span_of(deciding), detail),
         });
     }
 
-    // firstprivate clauses, one per kernel that references the scalar.
+    // firstprivate clauses, one per kernel that references the scalar. The
+    // read-only fact comes from the access-classification stage.
     for var in &firstprivate_vars {
         for kernel in &kernels {
-            let referenced = accesses.accesses.iter().any(|a| {
-                a.var == *var && a.on_device && enclosing_kernel(index, a.stmt) == Some(*kernel)
-            });
-            if referenced {
+            let deciding = accesses
+                .accesses
+                .iter()
+                .find(|a| {
+                    a.var == *var && a.on_device && enclosing_kernel(index, a.stmt) == Some(*kernel)
+                })
+                .map(|a| a.stmt);
+            if let Some(deciding) = deciding {
                 plan.firstprivate.push(FirstPrivateSpec {
                     kernel: *kernel,
                     var: var.clone(),
+                    provenance: Provenance::at_stage(
+                        Stage::Accesses,
+                        ProvenanceFact::ReadOnlyInRegion,
+                        span_of(deciding),
+                        format!(
+                            "the scalar `{var}` is only ever read inside kernels; a private device copy avoids mapping it"
+                        ),
+                    ),
                 });
             }
         }
@@ -567,9 +683,11 @@ struct Walker<'a> {
     mapped: HashSet<String>,
     state: HashMap<String, VarState>,
     loop_stack: Vec<NodeId>,
-    to_entry: HashSet<String>,
-    from_exit: HashSet<String>,
-    updates: Vec<(String, UpdateDirection, NodeId, Placement)>,
+    /// Variables copied in at region entry, with the deciding device read.
+    to_entry: HashMap<String, NodeId>,
+    /// Variables copied out at region exit, with the deciding host read.
+    from_exit: HashMap<String, NodeId>,
+    updates: Vec<UpdateDecision>,
     seen_updates: HashSet<(String, UpdateDirection, NodeId, Placement)>,
     region_start: NodeId,
     region_end: NodeId,
@@ -711,14 +829,21 @@ impl Walker<'_> {
             // True dependency: device needs data valid on the host.
             if !st.host_modified {
                 // Satisfiable by copying at region entry.
-                self.to_entry.insert(var.to_string());
+                self.to_entry.entry(var.to_string()).or_insert(stmt);
             } else {
                 // Needs an update inside the region, placed before the kernel
                 // that performs the read and hoisted as far as validity
                 // allows.
                 let kernel = enclosing_kernel(self.index, stmt).unwrap_or(stmt);
                 let anchor = self.hoist_anchor(kernel, st.last_host_writer);
-                self.push_update(var, UpdateDirection::To, anchor, Placement::Before);
+                self.push_update(
+                    var,
+                    UpdateDirection::To,
+                    anchor,
+                    Placement::Before,
+                    stmt,
+                    ProvenanceFact::HostWriteReachesKernel,
+                );
             }
             if let Some(s) = self.state.get_mut(var) {
                 s.dev_valid = true;
@@ -728,14 +853,28 @@ impl Walker<'_> {
                 return;
             }
             if self.past_region {
-                self.from_exit.insert(var.to_string());
+                self.from_exit.entry(var.to_string()).or_insert(stmt);
             } else if let Some((_loop_id, body_end)) = loop_cond {
                 // Loop-condition read of device-produced data: update at the
                 // end of the loop body.
-                self.push_update(var, UpdateDirection::From, body_end, Placement::After);
+                self.push_update(
+                    var,
+                    UpdateDirection::From,
+                    body_end,
+                    Placement::After,
+                    stmt,
+                    ProvenanceFact::LoopBoundaryHostRead,
+                );
             } else {
                 let anchor = self.hoist_anchor(stmt, st.last_dev_writer);
-                self.push_update(var, UpdateDirection::From, anchor, Placement::Before);
+                self.push_update(
+                    var,
+                    UpdateDirection::From,
+                    anchor,
+                    Placement::Before,
+                    stmt,
+                    ProvenanceFact::HostReadBetweenKernels,
+                );
             }
             if let Some(s) = self.state.get_mut(var) {
                 s.host_valid = true;
@@ -794,10 +933,19 @@ impl Walker<'_> {
         direction: UpdateDirection,
         anchor: NodeId,
         placement: Placement,
+        deciding: NodeId,
+        fact: ProvenanceFact,
     ) {
         let key = (var.to_string(), direction, anchor, placement);
-        if self.seen_updates.insert(key.clone()) {
-            self.updates.push(key);
+        if self.seen_updates.insert(key) {
+            self.updates.push(UpdateDecision {
+                var: var.to_string(),
+                direction,
+                anchor,
+                placement,
+                deciding,
+                fact,
+            });
         }
     }
 }
@@ -840,7 +988,7 @@ mod tests {
     use ompdart_frontend::parser::parse_str;
     use ompdart_graph::ProgramGraphs;
 
-    fn plan_for(src: &str, func_name: &str) -> (RegionPlan, ompdart_frontend::TranslationUnit) {
+    fn plan_for(src: &str, func_name: &str) -> (MappingPlan, ompdart_frontend::TranslationUnit) {
         plan_with_options(src, func_name, DataflowOptions::default())
     }
 
@@ -848,7 +996,7 @@ mod tests {
         src: &str,
         func_name: &str,
         options: DataflowOptions,
-    ) -> (RegionPlan, ompdart_frontend::TranslationUnit) {
+    ) -> (MappingPlan, ompdart_frontend::TranslationUnit) {
         let (_file, result) = parse_str("t.c", src);
         assert!(result.is_ok(), "{:?}", result.diagnostics);
         let unit = result.unit;
@@ -1244,6 +1392,87 @@ int main() {
             diags.has_errors(),
             "expected the declaration-placement error"
         );
+    }
+
+    /// Every construct the analysis emits carries a non-default provenance
+    /// with the dataflow fact that justified it, and the facts match the
+    /// decision rules.
+    #[test]
+    fn every_construct_carries_justified_provenance() {
+        let src = "\
+#define N 16
+double input[N];
+double scratch[N];
+double out[N];
+int main() {
+  double scale = 2.0;
+  for (int i = 0; i < N; i++) input[i] = i;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) scratch[i] = input[i] * scale;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) out[i] = scratch[i] + 1.0;
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s += out[i];
+  printf(\"%f\\n\", s);
+  return 0;
+}
+";
+        let (plan, _unit) = plan_for(src, "main");
+        assert!(plan.fully_justified(), "{plan:#?}");
+        assert_eq!(
+            plan.map_for("input").unwrap().provenance.fact,
+            ProvenanceFact::ReadBeforeWriteOnDevice
+        );
+        assert_eq!(
+            plan.map_for("out").unwrap().provenance.fact,
+            ProvenanceFact::LiveAfterRegion
+        );
+        // scratch is device-written, escapes as a global, but whole-program
+        // liveness proves the host never reads it: demoted exit copy.
+        let scratch = plan.map_for("scratch").unwrap();
+        assert_eq!(scratch.map_type, MapType::Alloc);
+        assert_eq!(scratch.provenance.fact, ProvenanceFact::DeadExitCopy);
+        // The read-only scalar's justification names the access stage.
+        let fp = plan
+            .firstprivate
+            .iter()
+            .find(|f| f.var == "scale")
+            .expect("scale should be firstprivate");
+        assert_eq!(fp.provenance.fact, ProvenanceFact::ReadOnlyInRegion);
+        assert_eq!(fp.provenance.stage, crate::pipeline::Stage::Accesses);
+        // Deciding spans point into the source.
+        for p in plan.provenances() {
+            assert!(p.span.is_some(), "{p:?}");
+        }
+    }
+
+    /// Update directives are justified by the read that forced them.
+    #[test]
+    fn update_provenance_names_the_deciding_read() {
+        let src = "\
+#define N 64
+#define M 8
+int a[N];
+int main() {
+  int sum = 0;
+  for (int i = 0; i < M; ++i) {
+    #pragma omp target
+    for (int j = 0; j < N; ++j) a[j] += j;
+    for (int j = 0; j < N; ++j) sum += a[j];
+  }
+  printf(\"%d\\n\", sum);
+  return 0;
+}
+";
+        let (plan, _unit) = plan_for(src, "main");
+        let updates = plan.updates_for("a");
+        assert_eq!(updates.len(), 1);
+        assert_eq!(
+            updates[0].provenance.fact,
+            ProvenanceFact::HostReadBetweenKernels
+        );
+        assert!(updates[0].provenance.span.is_some());
+        assert!(updates[0].provenance.detail.contains("`a`"));
     }
 
     /// Functions without kernels produce no plan.

@@ -19,15 +19,15 @@
 //! 5. host/device data-flow analysis and mapping decisions ([`dataflow`], [`bounds`]),
 //! 6. source rewriting ([`rewrite`]).
 //!
-//! Those stages are first-class in the [`pipeline`] module: an
-//! [`AnalysisSession`] runs them individually or end to end, records
-//! per-stage timings, and caches finished artifacts under a content hash so
-//! repeated analysis of unchanged sources is near-free; a [`BatchDriver`]
-//! analyzes many translation units concurrently. The [`OmpDart`] type below
-//! is a thin one-shot compatibility wrapper over that session API.
+//! The public entry point is the [`Ompdart`] facade: build one with
+//! [`Ompdart::builder`], then [`Ompdart::analyze`] sources into [`Analysis`]
+//! handles. An analysis exposes the rewritten source, the
+//! provenance-carrying [`MappingPlan`]s of the [`plan`] IR — serializable
+//! via [`MappingPlan::to_json`] and explainable via [`Analysis::explain`] —
+//! plus per-stage timings from the underlying [`pipeline::AnalysisSession`].
 //!
 //! ```
-//! use ompdart_core::{OmpDart, OmpDartOptions};
+//! use ompdart_core::Ompdart;
 //!
 //! let src = r#"
 //! #define N 256
@@ -41,9 +41,15 @@
 //!   return 0;
 //! }
 //! "#;
-//! let result = OmpDart::new().transform_source("demo.c", src).unwrap();
-//! assert!(result.transformed_source.contains("#pragma omp target data"));
-//! assert_eq!(result.stats.kernels, 1);
+//! let tool = Ompdart::builder().build();
+//! let analysis = tool.analyze("demo.c", src).unwrap();
+//! assert!(analysis.rewritten_source().contains("#pragma omp target data"));
+//! assert_eq!(analysis.stats().kernels, 1);
+//! // Every mapping decision can explain itself.
+//! assert!(analysis.plans().iter().all(|p| p.fully_justified()));
+//! let json = analysis.plans_json();
+//! let roundtrip = ompdart_core::plan::plans_from_json(&json).unwrap();
+//! assert_eq!(&roundtrip[..], analysis.plans());
 //! ```
 
 pub mod access;
@@ -52,6 +58,7 @@ pub mod dataflow;
 pub mod interproc;
 pub mod mapping;
 pub mod pipeline;
+pub mod plan;
 pub mod rewrite;
 pub mod verify;
 
@@ -59,19 +66,25 @@ pub use access::{Access, AccessKind, FunctionAccesses, SymbolTable};
 pub use bounds::{find_update_insert_loc, loop_bounds, LoopBounds};
 pub use dataflow::{plan_function, DataflowOptions};
 pub use interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
-pub use mapping::{
-    AnalysisStats, FirstPrivateSpec, MapSpec, MappingConstruct, Placement, RegionPlan,
-    UpdateDirection, UpdateSpec,
-};
 pub use pipeline::{
     AnalysisSession, BatchDriver, CacheStats, Stage, StageError, StageTimings, UnitAnalysis,
+};
+#[allow(deprecated)]
+pub use plan::ir::RegionPlan;
+pub use plan::{
+    diff_plans, explain_plan, explain_plans, extract_explicit_plans, plans_from_json,
+    plans_to_json, AnalysisStats, DiffEntry, FirstPrivateSpec, MapSpec, MappingConstruct,
+    MappingPlan, Placement, PlanDiff, PlanJsonError, Provenance, ProvenanceFact, UpdateDirection,
+    UpdateSpec, PLAN_FORMAT_VERSION,
 };
 pub use rewrite::apply_plans;
 pub use verify::{verify_source, verify_unit, StaleRead, VerifyReport};
 
 use ompdart_frontend::ast::{StmtKind, TranslationUnit};
 use ompdart_frontend::diag::Diagnostics;
+use ompdart_frontend::source::SourceFile;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of the OMPDart pipeline.
@@ -133,7 +146,7 @@ pub struct TransformResult {
     /// The rewritten source with data-mapping directives inserted.
     pub transformed_source: String,
     /// Per-function mapping plans.
-    pub plans: Vec<RegionPlan>,
+    pub plans: Vec<MappingPlan>,
     /// Warnings and notes produced during analysis.
     pub diagnostics: Diagnostics,
     /// Aggregate statistics (kernels, mapped variables, inserted constructs).
@@ -144,12 +157,217 @@ pub struct TransformResult {
 
 impl TransformResult {
     /// The plan for a given function.
-    pub fn plan_for(&self, function: &str) -> Option<&RegionPlan> {
+    pub fn plan_for(&self, function: &str) -> Option<&MappingPlan> {
         self.plans.iter().find(|p| p.function == function)
     }
 }
 
-/// The OMPDart tool.
+// ---------------------------------------------------------------------------
+// The Ompdart facade: builder -> tool -> Analysis handles
+// ---------------------------------------------------------------------------
+
+/// Builder for the [`Ompdart`] facade.
+///
+/// ```
+/// use ompdart_core::{DataflowOptions, Ompdart};
+///
+/// let tool = Ompdart::builder()
+///     .dataflow(DataflowOptions { hoist_updates: false, ..Default::default() })
+///     .interprocedural(true)
+///     .parallelism(4)
+///     .build();
+/// assert!(!tool.options().dataflow.hoist_updates);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OmpdartBuilder {
+    options: OmpDartOptions,
+    parallelism: Option<usize>,
+}
+
+impl OmpdartBuilder {
+    /// Replace the whole option set.
+    pub fn options(mut self, options: OmpDartOptions) -> OmpdartBuilder {
+        self.options = options;
+        self
+    }
+
+    /// Set the data-flow analysis knobs (ablations flip these).
+    pub fn dataflow(mut self, dataflow: DataflowOptions) -> OmpdartBuilder {
+        self.options.dataflow = dataflow;
+        self
+    }
+
+    /// Enable or disable the interprocedural side-effect analysis.
+    pub fn interprocedural(mut self, enabled: bool) -> OmpdartBuilder {
+        self.options.interprocedural = enabled;
+        self
+    }
+
+    /// Accept inputs that already carry explicit data mappings.
+    pub fn accept_existing_mappings(mut self) -> OmpdartBuilder {
+        self.options.reject_existing_mappings = false;
+        self
+    }
+
+    /// Worker-thread fan-out of the planning stage (and batch analyses).
+    pub fn parallelism(mut self, workers: usize) -> OmpdartBuilder {
+        self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Build the tool (one cached [`AnalysisSession`] behind an `Arc`).
+    pub fn build(self) -> Ompdart {
+        let mut session = AnalysisSession::with_options(self.options);
+        if let Some(workers) = self.parallelism {
+            session = session.with_parallelism(workers);
+        }
+        Ompdart {
+            session: Arc::new(session),
+        }
+    }
+}
+
+/// The OMPDart tool: the builder-style facade over the staged pipeline.
+///
+/// One `Ompdart` owns one cached [`AnalysisSession`]; analyzing the same
+/// content twice is served from the artifact cache. Clones share the
+/// session (and its cache).
+#[derive(Clone, Debug)]
+pub struct Ompdart {
+    session: Arc<AnalysisSession>,
+}
+
+impl Default for Ompdart {
+    fn default() -> Self {
+        Ompdart::builder().build()
+    }
+}
+
+impl Ompdart {
+    /// Start configuring a tool.
+    pub fn builder() -> OmpdartBuilder {
+        OmpdartBuilder::default()
+    }
+
+    /// A tool with default options.
+    pub fn new() -> Ompdart {
+        Ompdart::default()
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &OmpDartOptions {
+        self.session.options()
+    }
+
+    /// The underlying session (stage-by-stage driving, cache statistics).
+    pub fn session(&self) -> &Arc<AnalysisSession> {
+        &self.session
+    }
+
+    /// Analyze one source: runs (or fetches from the cache) the complete
+    /// pipeline and returns a typed [`Analysis`] handle.
+    pub fn analyze(&self, name: &str, source: &str) -> Result<Analysis, StageError> {
+        Ok(Analysis {
+            unit: self.session.analyze(name, source)?,
+        })
+    }
+
+    /// Analyze many `(name, source)` pairs concurrently over this tool's
+    /// shared session, preserving input order. The builder's `parallelism`
+    /// governs the batch worker count as well as the per-function fan-out.
+    pub fn analyze_batch(&self, inputs: &[(String, String)]) -> Vec<Result<Analysis, StageError>> {
+        BatchDriver::with_session(Arc::clone(&self.session))
+            .with_threads(self.session.parallelism())
+            .analyze_all(inputs)
+            .into_iter()
+            .map(|r| r.map(|unit| Analysis { unit }))
+            .collect()
+    }
+}
+
+/// A fully analyzed translation unit: the typed handle returned by
+/// [`Ompdart::analyze`].
+///
+/// The handle is a cheap `Arc` view over the pipeline's
+/// [`UnitAnalysis`] artifacts; cloning it does not re-run anything.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    unit: Arc<UnitAnalysis>,
+}
+
+impl Analysis {
+    /// The rewritten source with data-mapping directives inserted.
+    pub fn rewritten_source(&self) -> &str {
+        &self.unit.rewrite.source
+    }
+
+    /// The provenance-carrying mapping plans, one per kernel-launching
+    /// function.
+    pub fn plans(&self) -> &[MappingPlan] {
+        &self.unit.plans.plans
+    }
+
+    /// The plan for a given function.
+    pub fn plan_for(&self, function: &str) -> Option<&MappingPlan> {
+        self.plans().iter().find(|p| p.function == function)
+    }
+
+    /// Aggregate statistics (kernels, mapped variables, constructs).
+    pub fn stats(&self) -> AnalysisStats {
+        self.unit.plans.stats
+    }
+
+    /// Parse- and analysis-time diagnostics, merged.
+    pub fn diagnostics(&self) -> Diagnostics {
+        let mut diagnostics = self.unit.parsed.diagnostics.clone();
+        diagnostics.extend(self.unit.plans.diagnostics.clone());
+        diagnostics
+    }
+
+    /// Per-stage wall-clock timings of this analysis.
+    pub fn timings(&self) -> StageTimings {
+        self.unit.timings()
+    }
+
+    /// The parsed translation unit (AST).
+    pub fn translation_unit(&self) -> &TranslationUnit {
+        &self.unit.parsed.unit
+    }
+
+    /// The input source file (spans in plans and diagnostics point into it).
+    pub fn source_file(&self) -> &SourceFile {
+        &self.unit.parsed.file
+    }
+
+    /// Human-readable justification of every mapping decision: one line per
+    /// construct with the dataflow fact and the deciding source location.
+    pub fn explain(&self) -> String {
+        self.unit.explain()
+    }
+
+    /// The versioned plan-JSON document for this unit
+    /// (see [`plan::json`]).
+    pub fn plans_json(&self) -> String {
+        self.unit.plans_json()
+    }
+
+    /// The raw staged artifacts (graphs, accesses, summaries, ...).
+    pub fn artifacts(&self) -> &Arc<UnitAnalysis> {
+        &self.unit
+    }
+
+    /// Assemble the legacy [`TransformResult`] (owned copies of the
+    /// rewritten source and plans).
+    pub fn to_transform_result(&self) -> TransformResult {
+        self.unit.to_transform_result()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy one-shot API (deprecated wrappers over the facade)
+// ---------------------------------------------------------------------------
+
+/// The pre-builder OMPDart entry point.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct OmpDart {
     options: OmpDartOptions,
@@ -174,30 +392,34 @@ impl OmpDart {
     }
 
     /// Analyze and transform a source string.
-    ///
-    /// This is a thin one-shot wrapper over [`pipeline::AnalysisSession`];
-    /// callers that analyze many sources (or the same source repeatedly)
-    /// should hold a session to benefit from its artifact cache, and batch
-    /// workloads should use [`pipeline::BatchDriver`].
+    #[deprecated(
+        note = "use `Ompdart::builder().options(..).build().analyze(name, source)` and the \
+                returned `Analysis` handle"
+    )]
     pub fn transform_source(
         &self,
         name: &str,
         source: &str,
     ) -> Result<TransformResult, OmpDartError> {
-        pipeline::AnalysisSession::with_options(self.options)
-            .transform(name, source)
+        Ompdart::builder()
+            .options(self.options)
+            .build()
+            .analyze(name, source)
+            .map(|a| a.to_transform_result())
             .map_err(OmpDartError::from)
     }
 
     /// Analyze a parsed translation unit and produce per-function plans
-    /// without rewriting (used by the complexity metrics and benches).
-    /// Runs the graph, access, summary and plan stages of the pipeline on
-    /// the borrowed unit.
+    /// without rewriting.
+    #[deprecated(
+        note = "use `Ompdart::analyze` and read `Analysis::plans`/`Analysis::stats`; the staged \
+                `pipeline::stage_*` functions remain for borrowed-unit workflows"
+    )]
     pub fn analyze_unit(
         &self,
         unit: &TranslationUnit,
         diagnostics: &mut Diagnostics,
-    ) -> (Vec<RegionPlan>, AnalysisStats) {
+    ) -> (Vec<MappingPlan>, AnalysisStats) {
         let graphs = pipeline::stage_graphs(unit);
         let accesses = pipeline::stage_accesses(unit, &graphs);
         let summaries = pipeline::stage_summaries(unit, &accesses, &self.options);
@@ -229,8 +451,13 @@ fn function_with_existing_mappings(unit: &TranslationUnit) -> Option<String> {
 }
 
 /// Convenience wrapper: transform a source string with default options.
+#[deprecated(note = "use `Ompdart::builder().build().analyze(name, source)`")]
 pub fn transform(name: &str, source: &str) -> Result<TransformResult, OmpDartError> {
-    OmpDart::new().transform_source(name, source)
+    Ompdart::builder()
+        .build()
+        .analyze(name, source)
+        .map(|a| a.to_transform_result())
+        .map_err(OmpDartError::from)
 }
 
 /// Re-exported for downstream crates that need to parse alongside the tool.
@@ -241,6 +468,10 @@ pub use ompdart_graph as graph;
 mod tests {
     use super::*;
     use ompdart_sim::{simulate_source, SimConfig};
+
+    fn analyze(name: &str, src: &str) -> Result<Analysis, StageError> {
+        Ompdart::builder().build().analyze(name, src)
+    }
 
     /// End-to-end: the motivating Listing 1 program. OMPDart must hoist the
     /// mapping out of the loop, preserve program output, and dramatically
@@ -264,9 +495,9 @@ int main() {
   return 0;
 }
 ";
-        let result = transform("listing1.c", src).expect("transform failed");
+        let analysis = analyze("listing1.c", src).expect("analysis failed");
         let before = simulate_source(src, SimConfig::default()).unwrap();
-        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(
             before.output, after.output,
             "program output must be preserved"
@@ -293,9 +524,9 @@ int main() {
   return 0;
 }
 ";
-        let result = transform("listing2.c", src).unwrap();
+        let analysis = analyze("listing2.c", src).unwrap();
         let before = simulate_source(src, SimConfig::default()).unwrap();
-        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(before.output, after.output);
         assert_eq!(after.profile.htod_calls, 1);
         assert_eq!(after.profile.dtoh_calls, 1);
@@ -325,14 +556,17 @@ int main() {
   return 0;
 }
 ";
-        let result = transform("listing3.c", src).unwrap();
-        assert!(result.transformed_source.contains("target update from(a)"));
+        let analysis = analyze("listing3.c", src).unwrap();
+        assert!(analysis
+            .rewritten_source()
+            .contains("target update from(a)"));
         let before = simulate_source(src, SimConfig::default()).unwrap();
-        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(
-            before.output, after.output,
+            before.output,
+            after.output,
             "transformed:\n{}",
-            result.transformed_source
+            analysis.rewritten_source()
         );
         assert!(after.profile.total_bytes() <= before.profile.total_bytes());
     }
@@ -350,20 +584,19 @@ void f() {
   }
 }
 ";
-        let err = transform("mapped.c", src).unwrap_err();
-        assert!(matches!(err, OmpDartError::AlreadyMapped { .. }));
+        let err = analyze("mapped.c", src).unwrap_err();
+        assert!(matches!(err, StageError::AlreadyMapped { .. }));
+        let legacy: OmpDartError = err.into();
+        assert!(matches!(legacy, OmpDartError::AlreadyMapped { .. }));
         // ...unless the caller opts out of the input contract.
-        let lenient = OmpDart::with_options(OmpDartOptions {
-            reject_existing_mappings: false,
-            ..OmpDartOptions::default()
-        });
-        assert!(lenient.transform_source("mapped.c", src).is_ok());
+        let lenient = Ompdart::builder().accept_existing_mappings().build();
+        assert!(lenient.analyze("mapped.c", src).is_ok());
     }
 
     #[test]
     fn parse_errors_are_reported() {
-        let err = transform("broken.c", "int main( { return 0; }\n").unwrap_err();
-        assert!(matches!(err, OmpDartError::ParseFailed(_)));
+        let err = analyze("broken.c", "int main( { return 0; }\n").unwrap_err();
+        assert!(matches!(err, StageError::Parse { .. }));
     }
 
     #[test]
@@ -377,14 +610,22 @@ void axpy(double alpha) {
   for (int i = 0; i < N; i++) y[i] = alpha * x[i] + y[i];
 }
 ";
-        let result = transform("axpy.c", src).unwrap();
-        assert_eq!(result.stats.functions_with_kernels, 1);
-        assert_eq!(result.stats.kernels, 1);
-        assert!(result.stats.map_clauses >= 2);
-        assert_eq!(result.stats.firstprivate_clauses, 1);
-        assert!(result.stats.total_constructs() >= 3);
-        assert!(result.tool_time.as_secs_f64() < 5.0);
-        assert!(result.plan_for("axpy").is_some());
+        let analysis = analyze("axpy.c", src).unwrap();
+        let stats = analysis.stats();
+        assert_eq!(stats.functions_with_kernels, 1);
+        assert_eq!(stats.kernels, 1);
+        assert!(stats.map_clauses >= 2);
+        assert_eq!(stats.firstprivate_clauses, 1);
+        assert!(stats.total_constructs() >= 3);
+        assert!(analysis.timings().total().as_secs_f64() < 5.0);
+        assert!(analysis.plan_for("axpy").is_some());
+        // The explain rendering justifies each construct on its own line.
+        let explained = analysis.explain();
+        assert_eq!(
+            plan::justified_line_count(&explained),
+            stats.total_constructs(),
+            "{explained}"
+        );
     }
 
     /// The interprocedural analysis can be disabled; the tool then makes
@@ -409,17 +650,15 @@ int main() {
 }
 ";
         for interprocedural in [true, false] {
-            let tool = OmpDart::with_options(OmpDartOptions {
-                interprocedural,
-                ..OmpDartOptions::default()
-            });
-            let result = tool.transform_source("ip.c", src).unwrap();
+            let tool = Ompdart::builder().interprocedural(interprocedural).build();
+            let analysis = tool.analyze("ip.c", src).unwrap();
             let before = simulate_source(src, SimConfig::default()).unwrap();
-            let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+            let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
             assert_eq!(
-                before.output, after.output,
+                before.output,
+                after.output,
                 "interprocedural={interprocedural}\n{}",
-                result.transformed_source
+                analysis.rewritten_source()
             );
         }
     }
@@ -442,17 +681,22 @@ int main() {
   return 0;
 }
 ";
-        let result = transform("alias.c", src).unwrap();
-        let map = result.plans[0].map_for("a").expect("a must be mapped");
+        let analysis = analyze("alias.c", src).unwrap();
+        let map = analysis.plans()[0].map_for("a").expect("a must be mapped");
         assert!(
             map.map_type.copies_to_host(),
             "alias read requires from/tofrom, got {:?}\n{}",
             map.map_type,
-            result.transformed_source
+            analysis.rewritten_source()
         );
         let before = simulate_source(src, SimConfig::default()).unwrap();
-        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
-        assert_eq!(before.output, after.output, "{}", result.transformed_source);
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
+        assert_eq!(
+            before.output,
+            after.output,
+            "{}",
+            analysis.rewritten_source()
+        );
     }
 
     /// Scalars that stay read-only on the device become firstprivate and the
@@ -471,11 +715,33 @@ int main() {
   return 0;
 }
 ";
-        let result = transform("fp.c", src).unwrap();
-        assert!(result.transformed_source.contains("firstprivate("));
+        let analysis = analyze("fp.c", src).unwrap();
+        assert!(analysis.rewritten_source().contains("firstprivate("));
         let before = simulate_source(src, SimConfig::default()).unwrap();
-        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(before.output, after.output);
         assert!(after.profile.total_calls() <= before.profile.total_calls());
+    }
+
+    /// The facade's batch path preserves input order and shares the cache.
+    #[test]
+    fn facade_batch_preserves_order() {
+        let inputs: Vec<(String, String)> = (0..4)
+            .map(|i| {
+                (
+                    format!("u{i}.c"),
+                    format!(
+                        "#define N 16\ndouble a{i}[N];\nvoid f{i}() {{\n  #pragma omp target teams distribute parallel for\n  for (int j = 0; j < N; j++) a{i}[j] = j;\n}}\n"
+                    ),
+                )
+            })
+            .collect();
+        let tool = Ompdart::builder().parallelism(4).build();
+        let results = tool.analyze_batch(&inputs);
+        assert_eq!(results.len(), 4);
+        for (i, result) in results.iter().enumerate() {
+            let analysis = result.as_ref().expect("unit failed");
+            assert!(analysis.plan_for(&format!("f{i}")).is_some());
+        }
     }
 }

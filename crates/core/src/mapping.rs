@@ -1,333 +1,14 @@
-//! Mapping plans: the data-mapping decisions OMPDart makes before rewriting.
+//! Source-compatibility shim: the mapping types moved to the explainable
+//! Mapping IR in [`crate::plan::ir`].
 //!
-//! Table II of the paper lists the OpenMP constructs the tool inserts to
-//! resolve host/device data dependencies. [`MappingConstruct`] mirrors that
-//! table; [`RegionPlan`] collects every decision for one function (one
-//! `target data` region per function, per Section IV-D).
+//! `ompdart_core::mapping::MapSpec` and friends keep resolving, but new code
+//! should import from [`crate::plan`] (or the crate root re-exports). The
+//! old `RegionPlan` name is a deprecated alias of [`MappingPlan`].
 
-use ompdart_frontend::ast::NodeId;
-use ompdart_frontend::omp::MapType;
-use std::fmt;
+pub use crate::plan::ir::{
+    AnalysisStats, FirstPrivateSpec, MapSpec, MappingConstruct, MappingPlan, Placement, Provenance,
+    ProvenanceFact, UpdateDirection, UpdateSpec,
+};
 
-/// The OpenMP constructs OMPDart inserts (Table II of the paper).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum MappingConstruct {
-    /// `map(to:)` — on region entry copies data from host to device.
-    MapTo,
-    /// `map(from:)` — on region exit copies data from device to host.
-    MapFrom,
-    /// `map(tofrom:)` — copies in on entry and out on exit.
-    MapToFrom,
-    /// `map(alloc:)` — on region entry allocates memory on the device.
-    MapAlloc,
-    /// `update to()` — updates device data with the host value.
-    UpdateTo,
-    /// `update from()` — updates host data with the device value.
-    UpdateFrom,
-    /// `firstprivate()` — initializes a private device copy from the host
-    /// value (no memcpy for scalars).
-    FirstPrivate,
-}
-
-impl MappingConstruct {
-    /// Human-readable description matching Table II.
-    pub fn description(&self) -> &'static str {
-        match self {
-            MappingConstruct::MapTo => "on region entry copies data from host to device",
-            MappingConstruct::MapFrom => "on region exit copies data from device to host",
-            MappingConstruct::MapToFrom => {
-                "on region entry copies data from host to device and on exit copies data from device to host"
-            }
-            MappingConstruct::MapAlloc => "on region entry allocates memory on device",
-            MappingConstruct::UpdateTo => "updates data on device with the value from host",
-            MappingConstruct::UpdateFrom => "updates data on host with the value from device",
-            MappingConstruct::FirstPrivate => {
-                "on region entry initializes a private copy on the device with the original value from the host"
-            }
-        }
-    }
-
-    /// The OpenMP source syntax of the construct.
-    pub fn syntax(&self) -> &'static str {
-        match self {
-            MappingConstruct::MapTo => "map(to:)",
-            MappingConstruct::MapFrom => "map(from:)",
-            MappingConstruct::MapToFrom => "map(tofrom:)",
-            MappingConstruct::MapAlloc => "map(alloc:)",
-            MappingConstruct::UpdateTo => "update to()",
-            MappingConstruct::UpdateFrom => "update from()",
-            MappingConstruct::FirstPrivate => "firstprivate()",
-        }
-    }
-
-    /// All constructs, in the order of Table II.
-    pub fn all() -> [MappingConstruct; 7] {
-        [
-            MappingConstruct::MapTo,
-            MappingConstruct::MapFrom,
-            MappingConstruct::MapToFrom,
-            MappingConstruct::MapAlloc,
-            MappingConstruct::UpdateTo,
-            MappingConstruct::UpdateFrom,
-            MappingConstruct::FirstPrivate,
-        ]
-    }
-
-    /// The corresponding map-type, for the `map(...)` constructs.
-    pub fn map_type(&self) -> Option<MapType> {
-        Some(match self {
-            MappingConstruct::MapTo => MapType::To,
-            MappingConstruct::MapFrom => MapType::From,
-            MappingConstruct::MapToFrom => MapType::ToFrom,
-            MappingConstruct::MapAlloc => MapType::Alloc,
-            _ => return None,
-        })
-    }
-}
-
-impl fmt::Display for MappingConstruct {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.syntax())
-    }
-}
-
-/// Direction of a `target update`.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum UpdateDirection {
-    /// `update to(...)`: host -> device.
-    To,
-    /// `update from(...)`: device -> host.
-    From,
-}
-
-impl UpdateDirection {
-    pub fn clause_keyword(&self) -> &'static str {
-        match self {
-            UpdateDirection::To => "to",
-            UpdateDirection::From => "from",
-        }
-    }
-}
-
-/// Where to insert a directive relative to its anchor statement.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Placement {
-    /// Insert on the line before the anchor statement.
-    Before,
-    /// Insert on the line after the anchor statement.
-    After,
-}
-
-/// A map clause entry for the function's `target data` region.
-#[derive(Clone, Debug, PartialEq)]
-pub struct MapSpec {
-    pub var: String,
-    pub map_type: MapType,
-    /// Length expression for pointer variables mapped with an array section
-    /// (`var[0:length]`); `None` maps the whole (fixed-size) array.
-    pub section_length: Option<String>,
-}
-
-impl MapSpec {
-    /// Render the list item as OpenMP source.
-    pub fn to_list_item(&self) -> String {
-        match &self.section_length {
-            Some(len) => format!("{}[0:{}]", self.var, len),
-            None => self.var.clone(),
-        }
-    }
-}
-
-/// A planned `target update` directive.
-#[derive(Clone, Debug, PartialEq)]
-pub struct UpdateSpec {
-    pub var: String,
-    pub direction: UpdateDirection,
-    /// Statement the directive anchors to.
-    pub anchor: NodeId,
-    pub placement: Placement,
-    /// Length expression for pointer variables (`var[0:length]`).
-    pub section_length: Option<String>,
-}
-
-impl UpdateSpec {
-    pub fn to_list_item(&self) -> String {
-        match &self.section_length {
-            Some(len) => format!("{}[0:{}]", self.var, len),
-            None => self.var.clone(),
-        }
-    }
-}
-
-/// A planned `firstprivate` addition to a kernel directive.
-#[derive(Clone, Debug, PartialEq)]
-pub struct FirstPrivateSpec {
-    /// The kernel directive statement to augment.
-    pub kernel: NodeId,
-    pub var: String,
-}
-
-/// All data-mapping decisions for one function.
-#[derive(Clone, Debug, Default)]
-pub struct RegionPlan {
-    pub function: String,
-    /// Statement before which the `target data` region starts.
-    pub region_start: Option<NodeId>,
-    /// Statement after which the region ends.
-    pub region_end: Option<NodeId>,
-    /// When the region degenerates to a single kernel, clauses are appended
-    /// to that kernel's directive instead of creating a new region.
-    pub attach_to_kernel: Option<NodeId>,
-    pub maps: Vec<MapSpec>,
-    pub updates: Vec<UpdateSpec>,
-    pub firstprivate: Vec<FirstPrivateSpec>,
-    /// Kernels found in this function (source order).
-    pub kernels: Vec<NodeId>,
-}
-
-impl RegionPlan {
-    /// Total number of constructs this plan will insert.
-    pub fn construct_count(&self) -> usize {
-        self.maps.len() + self.updates.len() + self.firstprivate.len()
-    }
-
-    /// The map specification for a variable, if any.
-    pub fn map_for(&self, var: &str) -> Option<&MapSpec> {
-        self.maps.iter().find(|m| m.var == var)
-    }
-
-    /// All update directives for a variable.
-    pub fn updates_for(&self, var: &str) -> Vec<&UpdateSpec> {
-        self.updates.iter().filter(|u| u.var == var).collect()
-    }
-
-    /// True if the variable is passed `firstprivate` to any kernel.
-    pub fn is_firstprivate(&self, var: &str) -> bool {
-        self.firstprivate.iter().any(|f| f.var == var)
-    }
-
-    /// Variables covered by any construct in the plan.
-    pub fn mapped_variables(&self) -> Vec<String> {
-        let mut vars: Vec<String> = Vec::new();
-        let mut push = |v: &str| {
-            if !vars.iter().any(|x| x == v) {
-                vars.push(v.to_string());
-            }
-        };
-        for m in &self.maps {
-            push(&m.var);
-        }
-        for u in &self.updates {
-            push(&u.var);
-        }
-        for f in &self.firstprivate {
-            push(&f.var);
-        }
-        vars
-    }
-}
-
-/// Aggregate statistics over a whole transformation run.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct AnalysisStats {
-    pub functions_analyzed: usize,
-    pub functions_with_kernels: usize,
-    pub kernels: usize,
-    pub mapped_variables: usize,
-    pub map_clauses: usize,
-    pub update_directives: usize,
-    pub firstprivate_clauses: usize,
-}
-
-impl AnalysisStats {
-    /// Total constructs inserted.
-    pub fn total_constructs(&self) -> usize {
-        self.map_clauses + self.update_directives + self.firstprivate_clauses
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_ii_has_seven_constructs() {
-        let all = MappingConstruct::all();
-        assert_eq!(all.len(), 7);
-        for c in all {
-            assert!(!c.description().is_empty());
-            assert!(!c.syntax().is_empty());
-        }
-    }
-
-    #[test]
-    fn map_constructs_expose_map_types() {
-        assert_eq!(MappingConstruct::MapTo.map_type(), Some(MapType::To));
-        assert_eq!(MappingConstruct::MapAlloc.map_type(), Some(MapType::Alloc));
-        assert_eq!(MappingConstruct::UpdateTo.map_type(), None);
-        assert_eq!(MappingConstruct::FirstPrivate.map_type(), None);
-    }
-
-    #[test]
-    fn map_spec_rendering() {
-        let whole = MapSpec {
-            var: "a".into(),
-            map_type: MapType::To,
-            section_length: None,
-        };
-        assert_eq!(whole.to_list_item(), "a");
-        let section = MapSpec {
-            var: "b".into(),
-            map_type: MapType::From,
-            section_length: Some("n".into()),
-        };
-        assert_eq!(section.to_list_item(), "b[0:n]");
-    }
-
-    #[test]
-    fn region_plan_queries() {
-        let mut plan = RegionPlan {
-            function: "f".into(),
-            ..Default::default()
-        };
-        plan.maps.push(MapSpec {
-            var: "a".into(),
-            map_type: MapType::ToFrom,
-            section_length: None,
-        });
-        plan.updates.push(UpdateSpec {
-            var: "b".into(),
-            direction: UpdateDirection::From,
-            anchor: NodeId(7),
-            placement: Placement::Before,
-            section_length: None,
-        });
-        plan.firstprivate.push(FirstPrivateSpec {
-            kernel: NodeId(3),
-            var: "n".into(),
-        });
-        assert_eq!(plan.construct_count(), 3);
-        assert!(plan.map_for("a").is_some());
-        assert!(plan.map_for("b").is_none());
-        assert_eq!(plan.updates_for("b").len(), 1);
-        assert!(plan.is_firstprivate("n"));
-        assert_eq!(plan.mapped_variables(), vec!["a", "b", "n"]);
-    }
-
-    #[test]
-    fn stats_totals() {
-        let stats = AnalysisStats {
-            map_clauses: 4,
-            update_directives: 2,
-            firstprivate_clauses: 3,
-            ..Default::default()
-        };
-        assert_eq!(stats.total_constructs(), 9);
-    }
-
-    #[test]
-    fn update_direction_keywords() {
-        assert_eq!(UpdateDirection::To.clause_keyword(), "to");
-        assert_eq!(UpdateDirection::From.clause_keyword(), "from");
-    }
-}
+#[allow(deprecated)]
+pub use crate::plan::ir::RegionPlan;

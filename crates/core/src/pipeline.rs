@@ -11,7 +11,7 @@
 //! * [`GraphsArtifact`] — per-function CFGs / hybrid AST-CFG,
 //! * [`AccessArtifact`] — classified accesses and symbol tables,
 //! * [`SummariesArtifact`] — interprocedural side-effect summaries,
-//! * [`PlansArtifact`] — per-function [`RegionPlan`]s plus statistics,
+//! * [`PlansArtifact`] — per-function [`MappingPlan`]s plus statistics,
 //! * [`RewriteOutput`] — the transformed source.
 //!
 //! Every artifact records the wall-clock time its stage took
@@ -50,7 +50,9 @@
 use crate::access::{FunctionAccesses, SymbolTable};
 use crate::dataflow::plan_function;
 use crate::interproc::{augment_with_call_effects, ProgramSummaries};
-use crate::mapping::{AnalysisStats, RegionPlan};
+use crate::plan::explain::explain_plans;
+use crate::plan::ir::{AnalysisStats, MappingPlan};
+use crate::plan::json::plans_to_json;
 use crate::rewrite;
 use crate::{function_with_existing_mappings, OmpDartError, OmpDartOptions, TransformResult};
 use ompdart_frontend::ast::TranslationUnit;
@@ -100,6 +102,12 @@ impl Stage {
             Stage::Plan => "plan",
             Stage::Rewrite => "rewrite",
         }
+    }
+
+    /// Parse a stage name (the inverse of [`Stage::name`], used by the plan
+    /// JSON deserialization).
+    pub fn from_name(name: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|s| s.name() == name)
     }
 }
 
@@ -268,7 +276,7 @@ pub struct SummariesArtifact {
 /// Planning artifact: per-function mapping plans plus statistics.
 #[derive(Debug)]
 pub struct PlansArtifact {
-    pub plans: Vec<RegionPlan>,
+    pub plans: Vec<MappingPlan>,
     pub stats: AnalysisStats,
     /// Diagnostics produced by the data-flow analysis.
     pub diagnostics: Diagnostics,
@@ -383,7 +391,7 @@ pub fn stage_plans(
     let workers = parallelism.clamp(1, funcs.len().max(1));
 
     // One slot per function: (had a graph, plan, diagnostics).
-    type Slot = (bool, Option<RegionPlan>, Diagnostics);
+    type Slot = (bool, Option<MappingPlan>, Diagnostics);
     let plan_one = |idx: usize| -> Slot {
         let func = funcs[idx];
         let Some(graph) = graphs.graphs.function(&func.name) else {
@@ -524,6 +532,17 @@ impl UnitAnalysis {
             tool_time: self.timings().total(),
         }
     }
+
+    /// Human-readable justification of every mapping decision: one line per
+    /// construct, with the deciding source location.
+    pub fn explain(&self) -> String {
+        explain_plans(&self.plans.plans, Some(&self.parsed.file))
+    }
+
+    /// The versioned plan-JSON document for this unit's plans.
+    pub fn plans_json(&self) -> String {
+        plans_to_json(&self.plans.plans)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -600,6 +619,11 @@ impl AnalysisSession {
     /// The active options.
     pub fn options(&self) -> &OmpDartOptions {
         &self.options
+    }
+
+    /// The configured worker fan-out width.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// Cache hit/miss counters so far.
@@ -740,6 +764,10 @@ impl AnalysisSession {
     /// Run the pipeline and assemble the legacy [`TransformResult`]. The
     /// reported `tool_time` is the wall-clock time of this call, so cached
     /// invocations report near-zero time.
+    #[deprecated(
+        note = "use `Ompdart::builder().build().analyze(..)` (or `AnalysisSession::analyze`) \
+                and read the `Analysis`/`UnitAnalysis` artifacts instead"
+    )]
     pub fn transform(&self, name: &str, source: &str) -> Result<TransformResult, StageError> {
         let start = Instant::now();
         let analysis = self.analyze(name, source)?;
@@ -852,6 +880,7 @@ int main() {
         let plans = session.plan(&parsed, &graphs, &accesses, &summaries);
         let rewrite = session.rewrite(&parsed, &graphs, &plans);
 
+        #[allow(deprecated)] // compat pin: staged stages == legacy one-shot
         let one_shot = crate::transform("demo.c", DEMO).unwrap();
         assert_eq!(one_shot.transformed_source, rewrite.source);
         assert_eq!(one_shot.stats, plans.stats);

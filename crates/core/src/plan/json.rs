@@ -1,0 +1,948 @@
+//! Versioned, serde-free JSON serialization of the Mapping IR.
+//!
+//! The serializer is hand-rolled so the crate stays dependency-free and
+//! offline-friendly: a tiny [`Json`] value tree, a strict writer with
+//! deterministic key order, and a recursive-descent parser. The format is
+//! versioned via [`PLAN_FORMAT_VERSION`];
+//! [`MappingPlan::from_json`] rejects documents written by an incompatible
+//! future version instead of mis-reading them.
+//!
+//! Node ids and byte spans are serialized as plain integers. They are
+//! meaningful relative to a parse of the *same* source text (parsing is
+//! deterministic), which is what makes the round-trip
+//! `plan -> to_json -> from_json -> rewrite` produce byte-identical output.
+
+use crate::pipeline::Stage;
+use crate::plan::ir::{
+    FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
+    UpdateSpec, PLAN_FORMAT_VERSION,
+};
+use ompdart_frontend::ast::NodeId;
+use ompdart_frontend::omp::MapType;
+use ompdart_frontend::source::Span;
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// The JSON value tree
+// ---------------------------------------------------------------------------
+
+/// A minimal JSON value. Objects preserve insertion order so serialization
+/// is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Only integers are needed by the plan format.
+    Int(i64),
+    Str(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Render compactly (no insignificant whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Render with two-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Str(s) => write_json_string(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_json_string(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document. Trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, PlanJsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos < p.bytes.len() {
+            return Err(PlanJsonError::syntax(p.pos, "trailing characters"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Maximum container nesting the parser accepts. Plan documents nest a
+/// handful of levels; the cap turns adversarial deeply-nested input into a
+/// syntax error instead of a stack overflow.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), PlanJsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(PlanJsonError::syntax(
+                self.pos,
+                format!("expected `{}`", b as char),
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, PlanJsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(PlanJsonError::syntax(
+                self.pos,
+                format!("expected `{word}`"),
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, PlanJsonError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') | Some(b'[') => {
+                if self.depth >= MAX_DEPTH {
+                    return Err(PlanJsonError::syntax(self.pos, "nesting too deep"));
+                }
+                self.depth += 1;
+                let result = if self.peek() == Some(b'{') {
+                    self.object()
+                } else {
+                    self.array()
+                };
+                self.depth -= 1;
+                result
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(PlanJsonError::syntax(self.pos, "expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, PlanJsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(PlanJsonError::syntax(self.pos, "expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, PlanJsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(PlanJsonError::syntax(self.pos, "expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, PlanJsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(PlanJsonError::syntax(self.pos, "unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(PlanJsonError::syntax(self.pos, "unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            let scalar = match unit {
+                                // High surrogate: a low surrogate must
+                                // follow (standard JSON encoding of non-BMP
+                                // characters, e.g. Python's ensure_ascii).
+                                0xd800..=0xdbff => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(PlanJsonError::syntax(
+                                            self.pos,
+                                            "unpaired high surrogate",
+                                        ));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(PlanJsonError::syntax(
+                                            self.pos,
+                                            "unpaired high surrogate",
+                                        ));
+                                    }
+                                    self.pos += 1;
+                                    let low = self.hex4()?;
+                                    if !(0xdc00..=0xdfff).contains(&low) {
+                                        return Err(PlanJsonError::syntax(
+                                            self.pos,
+                                            "invalid low surrogate",
+                                        ));
+                                    }
+                                    0x10000 + ((unit - 0xd800) << 10) + (low - 0xdc00)
+                                }
+                                0xdc00..=0xdfff => {
+                                    return Err(PlanJsonError::syntax(
+                                        self.pos,
+                                        "unpaired low surrogate",
+                                    ));
+                                }
+                                other => other,
+                            };
+                            out.push(char::from_u32(scalar).ok_or_else(|| {
+                                PlanJsonError::syntax(self.pos, "invalid \\u escape")
+                            })?);
+                        }
+                        _ => {
+                            return Err(PlanJsonError::syntax(self.pos, "unknown escape"));
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let width = utf8_width(b);
+                    let end = (start + width).min(self.bytes.len());
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return Err(PlanJsonError::syntax(start, "invalid UTF-8")),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Read four hex digits of a `\u` escape.
+    fn hex4(&mut self) -> Result<u32, PlanJsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(PlanJsonError::syntax(self.pos, "truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .ok()
+            .and_then(|h| u32::from_str_radix(h, 16).ok())
+            .ok_or_else(|| PlanJsonError::syntax(self.pos, "invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(hex)
+    }
+
+    fn number(&mut self) -> Result<Json, PlanJsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(PlanJsonError::syntax(
+                self.pos,
+                "the plan format only uses integers",
+            ));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<i64>().ok())
+            .map(Json::Int)
+            .ok_or_else(|| PlanJsonError::syntax(start, "invalid number"))
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// Failure to parse or interpret a serialized plan.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PlanJsonError {
+    /// The text is not valid JSON.
+    Syntax { offset: usize, message: String },
+    /// The JSON is valid but does not match the plan schema.
+    Schema(String),
+    /// The document was written by an incompatible format version.
+    UnsupportedVersion(i64),
+}
+
+impl PlanJsonError {
+    fn syntax(offset: usize, message: impl Into<String>) -> PlanJsonError {
+        PlanJsonError::Syntax {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn schema(message: impl Into<String>) -> PlanJsonError {
+        PlanJsonError::Schema(message.into())
+    }
+}
+
+impl fmt::Display for PlanJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanJsonError::Syntax { offset, message } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            PlanJsonError::Schema(message) => write!(f, "plan schema violation: {message}"),
+            PlanJsonError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported plan format version {v} (this build reads version {PLAN_FORMAT_VERSION})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanJsonError {}
+
+// ---------------------------------------------------------------------------
+// Plan <-> Json conversion
+// ---------------------------------------------------------------------------
+
+fn node_to_json(id: Option<NodeId>) -> Json {
+    match id {
+        Some(NodeId(n)) => Json::Int(i64::from(n)),
+        None => Json::Null,
+    }
+}
+
+fn node_from_json(value: &Json, what: &str) -> Result<Option<NodeId>, PlanJsonError> {
+    match value {
+        Json::Null => Ok(None),
+        Json::Int(n) if *n >= 0 && *n <= i64::from(u32::MAX) => Ok(Some(NodeId(*n as u32))),
+        _ => Err(PlanJsonError::schema(format!(
+            "`{what}` must be a node id or null"
+        ))),
+    }
+}
+
+fn require_node(value: &Json, what: &str) -> Result<NodeId, PlanJsonError> {
+    node_from_json(value, what)?
+        .ok_or_else(|| PlanJsonError::schema(format!("`{what}` must not be null")))
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, PlanJsonError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| PlanJsonError::schema(format!("missing string field `{key}`")))
+}
+
+fn opt_str_field(obj: &Json, key: &str) -> Result<Option<String>, PlanJsonError> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(PlanJsonError::schema(format!(
+            "`{key}` must be a string or null"
+        ))),
+    }
+}
+
+fn array_field<'a>(obj: &'a Json, key: &str) -> Result<&'a [Json], PlanJsonError> {
+    obj.get(key)
+        .and_then(Json::as_array)
+        .ok_or_else(|| PlanJsonError::schema(format!("missing array field `{key}`")))
+}
+
+fn provenance_to_json(p: &Provenance) -> Json {
+    let span = match p.span {
+        Some(span) => Json::Object(vec![
+            ("start".into(), Json::Int(i64::from(span.start))),
+            ("end".into(), Json::Int(i64::from(span.end))),
+        ]),
+        None => Json::Null,
+    };
+    Json::Object(vec![
+        ("stage".into(), Json::Str(p.stage.name().into())),
+        ("fact".into(), Json::Str(p.fact.key().into())),
+        ("span".into(), span),
+        ("detail".into(), Json::Str(p.detail.clone())),
+    ])
+}
+
+fn provenance_from_json(value: &Json) -> Result<Provenance, PlanJsonError> {
+    let stage_name = str_field(value, "stage")?;
+    let stage = Stage::from_name(stage_name)
+        .ok_or_else(|| PlanJsonError::schema(format!("unknown stage `{stage_name}`")))?;
+    let fact_key = str_field(value, "fact")?;
+    let fact = ProvenanceFact::from_key(fact_key)
+        .ok_or_else(|| PlanJsonError::schema(format!("unknown provenance fact `{fact_key}`")))?;
+    let span = match value.get("span") {
+        None | Some(Json::Null) => None,
+        Some(obj) => {
+            let start = obj
+                .get("start")
+                .and_then(Json::as_int)
+                .ok_or_else(|| PlanJsonError::schema("span is missing `start`"))?;
+            let end = obj
+                .get("end")
+                .and_then(Json::as_int)
+                .ok_or_else(|| PlanJsonError::schema("span is missing `end`"))?;
+            if start < 0 || end < start || end > i64::from(u32::MAX) {
+                return Err(PlanJsonError::schema("span bounds out of range"));
+            }
+            Some(Span::new(start as u32, end as u32))
+        }
+    };
+    let detail = str_field(value, "detail")?.to_string();
+    Ok(Provenance {
+        stage,
+        fact,
+        span,
+        detail,
+    })
+}
+
+fn map_spec_to_json(m: &MapSpec) -> Json {
+    Json::Object(vec![
+        ("var".into(), Json::Str(m.var.clone())),
+        ("map_type".into(), Json::Str(m.map_type.as_str().into())),
+        (
+            "section_length".into(),
+            match &m.section_length {
+                Some(len) => Json::Str(len.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("provenance".into(), provenance_to_json(&m.provenance)),
+    ])
+}
+
+fn map_spec_from_json(value: &Json) -> Result<MapSpec, PlanJsonError> {
+    let map_type_key = str_field(value, "map_type")?;
+    let map_type = MapType::from_str(map_type_key)
+        .ok_or_else(|| PlanJsonError::schema(format!("unknown map type `{map_type_key}`")))?;
+    Ok(MapSpec {
+        var: str_field(value, "var")?.to_string(),
+        map_type,
+        section_length: opt_str_field(value, "section_length")?,
+        provenance: provenance_from_json(
+            value
+                .get("provenance")
+                .ok_or_else(|| PlanJsonError::schema("map spec is missing `provenance`"))?,
+        )?,
+    })
+}
+
+fn update_spec_to_json(u: &UpdateSpec) -> Json {
+    Json::Object(vec![
+        ("var".into(), Json::Str(u.var.clone())),
+        (
+            "direction".into(),
+            Json::Str(u.direction.clause_keyword().into()),
+        ),
+        ("anchor".into(), node_to_json(Some(u.anchor))),
+        ("placement".into(), Json::Str(u.placement.keyword().into())),
+        (
+            "section_length".into(),
+            match &u.section_length {
+                Some(len) => Json::Str(len.clone()),
+                None => Json::Null,
+            },
+        ),
+        ("provenance".into(), provenance_to_json(&u.provenance)),
+    ])
+}
+
+fn update_spec_from_json(value: &Json) -> Result<UpdateSpec, PlanJsonError> {
+    let direction_key = str_field(value, "direction")?;
+    let direction = UpdateDirection::from_keyword(direction_key).ok_or_else(|| {
+        PlanJsonError::schema(format!("unknown update direction `{direction_key}`"))
+    })?;
+    let placement_key = str_field(value, "placement")?;
+    let placement = Placement::from_keyword(placement_key)
+        .ok_or_else(|| PlanJsonError::schema(format!("unknown placement `{placement_key}`")))?;
+    Ok(UpdateSpec {
+        var: str_field(value, "var")?.to_string(),
+        direction,
+        anchor: require_node(
+            value
+                .get("anchor")
+                .ok_or_else(|| PlanJsonError::schema("update spec is missing `anchor`"))?,
+            "anchor",
+        )?,
+        placement,
+        section_length: opt_str_field(value, "section_length")?,
+        provenance: provenance_from_json(
+            value
+                .get("provenance")
+                .ok_or_else(|| PlanJsonError::schema("update spec is missing `provenance`"))?,
+        )?,
+    })
+}
+
+fn firstprivate_spec_to_json(f: &FirstPrivateSpec) -> Json {
+    Json::Object(vec![
+        ("kernel".into(), node_to_json(Some(f.kernel))),
+        ("var".into(), Json::Str(f.var.clone())),
+        ("provenance".into(), provenance_to_json(&f.provenance)),
+    ])
+}
+
+fn firstprivate_spec_from_json(value: &Json) -> Result<FirstPrivateSpec, PlanJsonError> {
+    Ok(FirstPrivateSpec {
+        kernel: require_node(
+            value
+                .get("kernel")
+                .ok_or_else(|| PlanJsonError::schema("firstprivate spec is missing `kernel`"))?,
+            "kernel",
+        )?,
+        var: str_field(value, "var")?.to_string(),
+        provenance: provenance_from_json(
+            value.get("provenance").ok_or_else(|| {
+                PlanJsonError::schema("firstprivate spec is missing `provenance`")
+            })?,
+        )?,
+    })
+}
+
+fn check_version(obj: &Json) -> Result<(), PlanJsonError> {
+    let version = obj
+        .get("version")
+        .and_then(Json::as_int)
+        .ok_or_else(|| PlanJsonError::schema("missing integer field `version`"))?;
+    if version != i64::from(PLAN_FORMAT_VERSION) {
+        return Err(PlanJsonError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+impl MappingPlan {
+    /// The JSON value of this plan (versioned).
+    pub fn to_json_value(&self) -> Json {
+        Json::Object(vec![
+            ("version".into(), Json::Int(i64::from(PLAN_FORMAT_VERSION))),
+            ("function".into(), Json::Str(self.function.clone())),
+            ("region_start".into(), node_to_json(self.region_start)),
+            ("region_end".into(), node_to_json(self.region_end)),
+            (
+                "attach_to_kernel".into(),
+                node_to_json(self.attach_to_kernel),
+            ),
+            (
+                "kernels".into(),
+                Json::Array(
+                    self.kernels
+                        .iter()
+                        .map(|k| node_to_json(Some(*k)))
+                        .collect(),
+                ),
+            ),
+            (
+                "maps".into(),
+                Json::Array(self.maps.iter().map(map_spec_to_json).collect()),
+            ),
+            (
+                "updates".into(),
+                Json::Array(self.updates.iter().map(update_spec_to_json).collect()),
+            ),
+            (
+                "firstprivate".into(),
+                Json::Array(
+                    self.firstprivate
+                        .iter()
+                        .map(firstprivate_spec_to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Serialize this plan as pretty-printed, versioned JSON.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().render_pretty()
+    }
+
+    /// Rebuild a plan from a JSON value (already version-checked or not).
+    pub fn from_json_value(value: &Json) -> Result<MappingPlan, PlanJsonError> {
+        check_version(value)?;
+        let mut plan = MappingPlan {
+            function: str_field(value, "function")?.to_string(),
+            region_start: node_from_json(
+                value.get("region_start").unwrap_or(&Json::Null),
+                "region_start",
+            )?,
+            region_end: node_from_json(
+                value.get("region_end").unwrap_or(&Json::Null),
+                "region_end",
+            )?,
+            attach_to_kernel: node_from_json(
+                value.get("attach_to_kernel").unwrap_or(&Json::Null),
+                "attach_to_kernel",
+            )?,
+            ..Default::default()
+        };
+        for k in array_field(value, "kernels")? {
+            plan.kernels.push(require_node(k, "kernels[..]")?);
+        }
+        for m in array_field(value, "maps")? {
+            plan.maps.push(map_spec_from_json(m)?);
+        }
+        for u in array_field(value, "updates")? {
+            plan.updates.push(update_spec_from_json(u)?);
+        }
+        for f in array_field(value, "firstprivate")? {
+            plan.firstprivate.push(firstprivate_spec_from_json(f)?);
+        }
+        Ok(plan)
+    }
+
+    /// Parse a plan serialized by [`MappingPlan::to_json`]. The round-trip
+    /// is the identity: `MappingPlan::from_json(&plan.to_json()) == plan`.
+    pub fn from_json(text: &str) -> Result<MappingPlan, PlanJsonError> {
+        MappingPlan::from_json_value(&Json::parse(text)?)
+    }
+}
+
+/// Serialize a whole translation unit's plans as one versioned document.
+pub fn plans_to_json(plans: &[MappingPlan]) -> String {
+    Json::Object(vec![
+        ("version".into(), Json::Int(i64::from(PLAN_FORMAT_VERSION))),
+        (
+            "plans".into(),
+            Json::Array(plans.iter().map(MappingPlan::to_json_value).collect()),
+        ),
+    ])
+    .render_pretty()
+}
+
+/// Parse a document produced by [`plans_to_json`].
+pub fn plans_from_json(text: &str) -> Result<Vec<MappingPlan>, PlanJsonError> {
+    let doc = Json::parse(text)?;
+    check_version(&doc)?;
+    array_field(&doc, "plans")?
+        .iter()
+        .map(MappingPlan::from_json_value)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ir::{Placement, UpdateDirection};
+
+    fn sample_plan() -> MappingPlan {
+        let mut plan = MappingPlan {
+            function: "main".into(),
+            region_start: Some(NodeId(4)),
+            region_end: Some(NodeId(19)),
+            attach_to_kernel: None,
+            kernels: vec![NodeId(7), NodeId(12)],
+            ..Default::default()
+        };
+        plan.maps.push(MapSpec {
+            section_length: Some("n".into()),
+            provenance: Provenance::plan(
+                ProvenanceFact::ReadAndLiveAfterRegion,
+                Some(Span::new(10, 25)),
+                "`a` read by kernel at line 3 and by host at line 9",
+            ),
+            ..MapSpec::new("a", MapType::ToFrom)
+        });
+        plan.maps.push(MapSpec {
+            provenance: Provenance::plan(ProvenanceFact::DeadExitCopy, None, "demoted"),
+            ..MapSpec::new("scratch", MapType::Alloc)
+        });
+        plan.updates.push(UpdateSpec {
+            provenance: Provenance::plan(
+                ProvenanceFact::HostReadBetweenKernels,
+                Some(Span::new(40, 55)),
+                "host sum loop reads `a`",
+            ),
+            ..UpdateSpec::new("a", UpdateDirection::From, NodeId(9), Placement::Before)
+        });
+        plan.firstprivate.push(FirstPrivateSpec {
+            provenance: Provenance::at_stage(
+                Stage::Accesses,
+                ProvenanceFact::ReadOnlyInRegion,
+                Some(Span::new(60, 61)),
+                "`n` is never written on the device",
+            ),
+            ..FirstPrivateSpec::new(NodeId(7), "n")
+        });
+        plan
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let plan = sample_plan();
+        let json = plan.to_json();
+        let back = MappingPlan::from_json(&json).unwrap();
+        assert_eq!(plan, back);
+        // Serialization is deterministic.
+        assert_eq!(json, back.to_json());
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let plans = vec![sample_plan(), MappingPlan::default()];
+        let doc = plans_to_json(&plans);
+        let back = plans_from_json(&doc).unwrap();
+        assert_eq!(plans, back);
+    }
+
+    #[test]
+    fn version_is_enforced() {
+        let mut json = sample_plan().to_json();
+        json = json.replacen("\"version\": 1", "\"version\": 99", 1);
+        assert_eq!(
+            MappingPlan::from_json(&json),
+            Err(PlanJsonError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        assert!(matches!(
+            MappingPlan::from_json("{\"version\": 1}"),
+            Err(PlanJsonError::Schema(_))
+        ));
+        assert!(matches!(
+            MappingPlan::from_json("not json"),
+            Err(PlanJsonError::Syntax { .. })
+        ));
+        // Unknown fact names are schema errors, not silent defaults.
+        let bad = sample_plan()
+            .to_json()
+            .replace("read_and_live_after_region", "vibes");
+        assert!(matches!(
+            MappingPlan::from_json(&bad),
+            Err(PlanJsonError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn strings_escape_and_parse() {
+        let mut plan = MappingPlan {
+            function: "weird \"name\"\nwith\tescapes \\ and unicode é".into(),
+            ..Default::default()
+        };
+        plan.maps.push(MapSpec {
+            provenance: Provenance::plan(ProvenanceFact::DeviceOnlyData, None, "π ≈ 3"),
+            ..MapSpec::new("a", MapType::Alloc)
+        });
+        let back = MappingPlan::from_json(&plan.to_json()).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn parser_rejects_floats_and_garbage() {
+        assert!(Json::parse("1.5").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} x").is_err());
+        assert_eq!(Json::parse("[1, 2]").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(
+            Json::parse("\"a\\u0041b\"").unwrap(),
+            Json::Str("aAb".into())
+        );
+    }
+
+    /// Surrogate-pair escapes (how standard JSON encoders write non-BMP
+    /// characters) decode to the real character; lone surrogates are
+    /// rejected instead of silently mangled.
+    #[test]
+    fn surrogate_pairs_decode() {
+        // U+1D465 mathematical italic small x, as serde/Python encode it.
+        assert_eq!(
+            Json::parse("\"\\ud835\\udc65\"").unwrap(),
+            Json::Str("\u{1d465}".into())
+        );
+        assert!(Json::parse("\"\\ud835\"").is_err());
+        assert!(Json::parse("\"\\ud835x\"").is_err());
+        assert!(Json::parse("\"\\udc65\"").is_err());
+    }
+
+    /// Adversarial nesting must fail with a syntax error, never overflow
+    /// the stack.
+    #[test]
+    fn parser_bounds_nesting_depth() {
+        let deep = "[".repeat(200_000);
+        assert!(matches!(
+            Json::parse(&deep),
+            Err(PlanJsonError::Syntax { .. })
+        ));
+        // Reasonable nesting still parses.
+        let ok = format!("{}1{}", "[".repeat(100), "]".repeat(100));
+        assert!(Json::parse(&ok).is_ok());
+    }
+}

@@ -13,7 +13,7 @@
 //!   anchor statements, consolidated so that each insertion point receives a
 //!   single directive per direction.
 
-use crate::mapping::{Placement, RegionPlan, UpdateDirection};
+use crate::plan::ir::{MappingPlan, Placement, UpdateDirection};
 use ompdart_frontend::ast::{NodeId, StmtKind, TranslationUnit};
 use ompdart_frontend::omp::{MapType, OmpDirective};
 use ompdart_frontend::source::SourceFile;
@@ -26,7 +26,7 @@ pub fn apply_plans(
     file: &SourceFile,
     unit: &TranslationUnit,
     graphs: &ProgramGraphs,
-    plans: &[RegionPlan],
+    plans: &[MappingPlan],
 ) -> String {
     let mut edits = EditSet::default();
     let directives = collect_directives(unit);
@@ -126,7 +126,7 @@ fn after_line_pos(file: &SourceFile, pos: u32) -> u32 {
 }
 
 /// Render the consolidated `map(...)` clauses of a plan.
-fn render_map_clauses(plan: &RegionPlan) -> String {
+fn render_map_clauses(plan: &MappingPlan) -> String {
     let mut groups: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
     for spec in &plan.maps {
         let key = match spec.map_type {

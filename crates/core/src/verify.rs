@@ -456,7 +456,12 @@ int main() {
   return 0;
 }
 ";
-        let transformed = crate::transform("in.c", src).unwrap().transformed_source;
+        let transformed = crate::Ompdart::builder()
+            .build()
+            .analyze("in.c", src)
+            .unwrap()
+            .rewritten_source()
+            .to_string();
         let report = verify_source("out.c", &transformed).unwrap();
         assert!(
             report.is_clean(),

@@ -29,12 +29,25 @@ impl fmt::Display for Severity {
     }
 }
 
-/// A single diagnostic message anchored to a source span.
+/// A secondary source location attached to a diagnostic: "the declaration
+/// is here", "the region starts here". Downstream analyses (and the
+/// provenance-carrying mapping plans) use labels to point at the deciding
+/// span of a decision without raising a second diagnostic.
+#[derive(Clone, Debug)]
+pub struct SpanLabel {
+    pub span: Span,
+    pub label: String,
+}
+
+/// A single diagnostic message anchored to a source span, with optional
+/// labeled secondary spans.
 #[derive(Clone, Debug)]
 pub struct Diagnostic {
     pub severity: Severity,
     pub span: Span,
     pub message: String,
+    /// Labeled secondary locations, rendered one per line after the message.
+    pub labels: Vec<SpanLabel>,
 }
 
 impl Diagnostic {
@@ -43,6 +56,7 @@ impl Diagnostic {
             severity: Severity::Error,
             span,
             message: message.into(),
+            labels: Vec::new(),
         }
     }
 
@@ -51,6 +65,7 @@ impl Diagnostic {
             severity: Severity::Warning,
             span,
             message: message.into(),
+            labels: Vec::new(),
         }
     }
 
@@ -59,19 +74,35 @@ impl Diagnostic {
             severity: Severity::Note,
             span,
             message: message.into(),
+            labels: Vec::new(),
         }
     }
 
-    /// Render the diagnostic with file/line/column information.
+    /// Attach a labeled secondary span (builder style).
+    pub fn with_label(mut self, span: Span, label: impl Into<String>) -> Self {
+        self.labels.push(SpanLabel {
+            span,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Render the diagnostic with file/line/column information; labeled
+    /// spans follow on indented lines.
     pub fn render(&self, file: &SourceFile) -> String {
         let lc = file.line_col(self.span.start);
-        format!(
+        let mut out = format!(
             "{}:{}: {}: {}",
             file.name(),
             lc,
             self.severity,
             self.message
-        )
+        );
+        for label in &self.labels {
+            let lc = file.line_col(label.span.start);
+            out.push_str(&format!("\n  {}:{}: {}", file.name(), lc, label.label));
+        }
+        out
     }
 }
 
@@ -90,6 +121,20 @@ impl Diagnostics {
     /// Record a diagnostic.
     pub fn push(&mut self, diag: Diagnostic) {
         self.items.push(diag);
+    }
+
+    /// Record an error with labeled secondary spans.
+    pub fn error_with_labels(
+        &mut self,
+        span: Span,
+        message: impl Into<String>,
+        labels: impl IntoIterator<Item = (Span, String)>,
+    ) {
+        let mut diag = Diagnostic::error(span, message);
+        for (span, label) in labels {
+            diag = diag.with_label(span, label);
+        }
+        self.push(diag);
     }
 
     /// Record an error at `span`.
@@ -179,6 +224,27 @@ mod tests {
         let d = Diagnostic::error(Span::new(6, 9), "unknown type 'foo'");
         let r = d.render(&f);
         assert_eq!(r, "x.c:2:1: error: unknown type 'foo'");
+    }
+
+    #[test]
+    fn labels_render_as_secondary_lines() {
+        let f = SourceFile::new("x.c", "int a;\nint b;\n");
+        let d = Diagnostic::error(Span::new(7, 12), "declaration misplaced")
+            .with_label(Span::new(0, 6), "the region starts here");
+        let r = d.render(&f);
+        assert_eq!(
+            r,
+            "x.c:2:1: error: declaration misplaced\n  x.c:1:1: the region starts here"
+        );
+
+        let mut diags = Diagnostics::new();
+        diags.error_with_labels(
+            Span::new(7, 12),
+            "declaration misplaced",
+            [(Span::new(0, 6), "the region starts here".to_string())],
+        );
+        assert!(diags.has_errors());
+        assert_eq!(diags.iter().next().unwrap().labels.len(), 1);
     }
 
     #[test]

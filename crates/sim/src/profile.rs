@@ -64,6 +64,18 @@ impl TransferProfile {
         self.device_ops += other.device_ops;
     }
 
+    /// One-line nsys-style summary, used by CLI output and reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} HtoD call(s) / {}, {} DtoH call(s) / {}, {} kernel launch(es)",
+            self.htod_calls,
+            format_bytes(self.htod_bytes),
+            self.dtoh_calls,
+            format_bytes(self.dtoh_bytes),
+            self.kernel_launches
+        )
+    }
+
     /// Time spent moving data under the given cost model (seconds).
     pub fn transfer_time(&self, cost: &CostModel) -> f64 {
         let latency = (self.htod_calls + self.dtoh_calls) as f64 * cost.transfer_latency_s;
@@ -209,6 +221,9 @@ mod tests {
         assert_eq!(p.dtoh_calls, 1);
         assert_eq!(p.total_calls(), 3);
         assert_eq!(p.total_bytes(), 1750);
+        let s = p.summary();
+        assert!(s.contains("2 HtoD call(s)"), "{s}");
+        assert!(s.contains("1 DtoH call(s)"), "{s}");
     }
 
     #[test]

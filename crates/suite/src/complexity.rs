@@ -13,9 +13,9 @@
 //! other offloaded line).
 
 use crate::benchmarks::Benchmark;
-use ompdart_core::{OmpDart, OmpDartOptions};
+use ompdart_core::pipeline::{stage_accesses, stage_graphs, stage_plans, stage_summaries};
+use ompdart_core::OmpDartOptions;
 use ompdart_frontend::ast::StmtKind;
-use ompdart_frontend::diag::Diagnostics;
 use ompdart_frontend::parser::parse_str;
 
 /// One row of Table IV.
@@ -68,10 +68,13 @@ pub fn complexity_of(bench: &Benchmark) -> ComplexityRow {
     }
 
     // Mapped variables: what OMPDart's analysis decides needs mapping
-    // (map clauses, updates, firstprivate) across all functions.
-    let tool = OmpDart::with_options(OmpDartOptions::default());
-    let mut diags = Diagnostics::new();
-    let (plans, _stats) = tool.analyze_unit(&unit, &mut diags);
+    // (map clauses, updates, firstprivate) across all functions, computed
+    // on the borrowed unit through the staged pipeline.
+    let options = OmpDartOptions::default();
+    let graphs = stage_graphs(&unit);
+    let accesses = stage_accesses(&unit, &graphs);
+    let summaries = stage_summaries(&unit, &accesses, &options);
+    let plans = stage_plans(&unit, &graphs, &accesses, &summaries, &options, 1).plans;
     let mut vars: Vec<String> = Vec::new();
     for plan in &plans {
         for v in plan.mapped_variables() {

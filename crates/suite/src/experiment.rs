@@ -6,7 +6,8 @@
 
 use crate::benchmarks::{self, Benchmark};
 use ompdart_core::pipeline::StageTimings;
-use ompdart_core::{AnalysisSession, OmpDartOptions};
+use ompdart_core::plan::{diff_plans, extract_explicit_plans, plans_to_json, PlanDiff};
+use ompdart_core::{AnalysisSession, MappingPlan, OmpDartOptions};
 use ompdart_sim::{geometric_mean, simulate, CostModel, Outcome, SimConfig, TransferProfile};
 use std::fmt;
 use std::sync::Arc;
@@ -90,6 +91,10 @@ pub struct BenchmarkResult {
     pub transformed_source: String,
     /// Number of constructs OMPDart inserted.
     pub constructs_inserted: usize,
+    /// The provenance-carrying mapping plans OMPDart generated.
+    pub plans: Vec<MappingPlan>,
+    /// Plans extracted from the expert variant's explicit directives.
+    pub expert_plans: Vec<MappingPlan>,
 }
 
 impl BenchmarkResult {
@@ -149,6 +154,17 @@ impl BenchmarkResult {
             .total_bytes()
             .saturating_sub(self.ompdart.profile.total_bytes())
     }
+
+    /// The versioned plan-JSON document for OMPDart's plans.
+    pub fn plans_json(&self) -> String {
+        plans_to_json(&self.plans)
+    }
+
+    /// Construct-level diff of OMPDart's plans against the expert mapping
+    /// (the offline tool-vs-expert comparison the paper performs by hand).
+    pub fn plan_diff_vs_expert(&self) -> PlanDiff {
+        diff_plans(&self.plans, &self.expert_plans)
+    }
 }
 
 /// Run one benchmark through all three variants on a fresh analysis
@@ -202,6 +218,15 @@ pub fn run_benchmark_with_session(
     )?;
     let expert = sim(bench.expert_file(), bench.expert, "expert")?;
 
+    // The expert source was parsed (and cached) for the simulation above;
+    // its explicit directives become a comparable plan set. A parse failure
+    // here would mean the cached parse diverged — surface it, never return
+    // a silently empty expert side.
+    let expert_plans = session
+        .parse(&bench.expert_file(), bench.expert)
+        .map(|p| extract_explicit_plans(&p.unit))
+        .map_err(|e| ExperimentError::Transform(format!("expert variant: {e}")))?;
+
     Ok(BenchmarkResult {
         name: bench.name.to_string(),
         unoptimized: unoptimized.into(),
@@ -211,6 +236,8 @@ pub fn run_benchmark_with_session(
         stage_timings: analysis.timings(),
         transformed_source,
         constructs_inserted: analysis.plans.stats.total_constructs(),
+        plans: analysis.plans.plans.clone(),
+        expert_plans,
     })
 }
 
@@ -453,6 +480,30 @@ mod tests {
         let r = run_benchmark(&bench, &quick_config()).unwrap();
         assert!(r.stage_timings.total() > Duration::from_secs(0));
         assert!(r.stage_timings.parse > Duration::from_secs(0));
+    }
+
+    /// The IR surface: generated plans justify every construct, serialize
+    /// through the versioned JSON round-trip, and diff against the plans
+    /// extracted from the expert variant.
+    #[test]
+    fn plans_are_justified_serializable_and_diffable() {
+        let bench = benchmarks::by_name("backprop").unwrap();
+        let r = run_benchmark(&bench, &quick_config()).unwrap();
+        assert!(!r.plans.is_empty());
+        for plan in &r.plans {
+            assert!(plan.fully_justified(), "{}: {plan:#?}", r.name);
+        }
+        let json = r.plans_json();
+        let back = ompdart_core::plan::plans_from_json(&json).unwrap();
+        assert_eq!(back, r.plans);
+        // The expert variant's explicit directives became a plan set too.
+        assert!(!r.expert_plans.is_empty());
+        let diff = r.plan_diff_vs_expert();
+        assert!(
+            diff.agreements > 0,
+            "tool and expert should agree on something: {}",
+            diff.render("ompdart", "expert")
+        );
     }
 
     #[test]

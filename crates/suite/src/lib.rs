@@ -34,3 +34,4 @@ pub use experiment::{
     run_all, run_all_with_session, run_benchmark, run_benchmark_with_session, summarize,
     BenchmarkResult, ExperimentConfig, Summary, VariantResult,
 };
+pub use report::{plan_vs_expert, plans_json};

@@ -18,7 +18,8 @@
 use crate::benchmarks;
 use crate::complexity::table4_rows;
 use crate::experiment::{summarize, BenchmarkResult};
-use ompdart_core::MappingConstruct;
+use ompdart_core::plan::{Json, MappingConstruct, PLAN_FORMAT_VERSION};
+use ompdart_core::MappingPlan;
 use ompdart_frontend::omp::DirectiveKind;
 use ompdart_sim::{format_bytes, CostModel};
 
@@ -242,6 +243,62 @@ pub fn summary(results: &[BenchmarkResult], cost: &CostModel) -> String {
         "benchmarks with fewer memcpy calls than expert:   {}/{}\n",
         s.fewer_calls_than_expert, s.total
     ));
+    out
+}
+
+/// One versioned JSON document with every benchmark's generated plans —
+/// the machine-readable counterpart of the tables above, for offline
+/// comparison against expert mappings.
+pub fn plans_json(results: &[BenchmarkResult]) -> String {
+    Json::Object(vec![
+        ("version".into(), Json::Int(i64::from(PLAN_FORMAT_VERSION))),
+        (
+            "benchmarks".into(),
+            Json::Array(
+                results
+                    .iter()
+                    .map(|r| {
+                        Json::Object(vec![
+                            ("name".into(), Json::Str(r.name.clone())),
+                            (
+                                "plans".into(),
+                                Json::Array(
+                                    r.plans.iter().map(MappingPlan::to_json_value).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+    .render_pretty()
+}
+
+/// Construct-level comparison of OMPDart's plans against the mappings the
+/// experts wrote by hand: agreements, constructs only one side emits, and
+/// map-type disagreements per benchmark.
+pub fn plan_vs_expert(results: &[BenchmarkResult]) -> String {
+    let mut out = header("Plan vs expert: construct-level mapping comparison");
+    out.push_str(&format!(
+        "{:<10} {:>7} {:>10} {:>13} {:>9}\n",
+        "Benchmark", "Agree", "Tool-only", "Expert-only", "Retyped"
+    ));
+    for r in results {
+        let diff = r.plan_diff_vs_expert();
+        let (mut tool_only, mut expert_only, mut retyped) = (0usize, 0usize, 0usize);
+        for entry in &diff.entries {
+            match entry {
+                ompdart_core::DiffEntry::OnlyLeft { .. } => tool_only += 1,
+                ompdart_core::DiffEntry::OnlyRight { .. } => expert_only += 1,
+                ompdart_core::DiffEntry::Retyped { .. } => retyped += 1,
+            }
+        }
+        out.push_str(&format!(
+            "{:<10} {:>7} {:>10} {:>13} {:>9}\n",
+            r.name, diff.agreements, tool_only, expert_only, retyped
+        ));
+    }
     out
 }
 

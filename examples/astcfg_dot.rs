@@ -7,6 +7,7 @@
 //! cargo run --release --example astcfg_dot | dot -Tsvg > astcfg.svg
 //! ```
 
+use ompdart_core::Ompdart;
 use ompdart_frontend::parser::parse_str;
 use ompdart_graph::ProgramGraphs;
 
@@ -52,4 +53,13 @@ fn main() {
             }
         );
     }
+
+    // The same hybrid AST-CFG drives the mapping decisions; show what the
+    // analysis concludes for this function and why.
+    let analysis = Ompdart::builder()
+        .build()
+        .analyze("foo.c", PROGRAM)
+        .expect("analysis failed");
+    eprintln!("\nmapping decisions derived from this graph:");
+    eprint!("{}", analysis.explain());
 }

@@ -56,12 +56,18 @@ fn main() {
     println!("and thermodynamic fields to the host every time step even though the host only");
     println!("needs the reduced time-step constraints; OMPDart's data-flow analysis proves");
     println!("those updates unnecessary and keeps the fields resident on the device.");
-    println!("\nMappings OMPDart generated for main():");
-    for line in result
-        .transformed_source
-        .lines()
-        .filter(|l| l.contains("#pragma omp target data") || l.contains("target update"))
-    {
-        println!("  {}", line.trim());
+
+    // The Mapping IR makes that judgement inspectable: every construct
+    // carries its justifying dataflow fact...
+    println!("\nMappings OMPDart generated, with their provenance:");
+    for plan in &result.plans {
+        print!("{}", ompdart_core::explain_plan(plan, None));
     }
+    // ...and the construct-level diff shows exactly which expert updates
+    // the analysis proved redundant.
+    println!();
+    print!(
+        "{}",
+        result.plan_diff_vs_expert().render("ompdart", "expert")
+    );
 }

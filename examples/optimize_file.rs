@@ -1,7 +1,8 @@
 //! Command-line use of OMPDart: read an OpenMP offload C file, insert data
 //! mappings, and print (or write) the transformed source — the same workflow
-//! as the paper's LibTooling-based tool, driven stage by stage through the
-//! `AnalysisSession` API.
+//! as the paper's LibTooling-based tool, driven through the `Ompdart`
+//! builder facade. (The installable `ompdart` binary wraps the same API
+//! with `analyze`/`explain`/`diff-plan`/`batch` subcommands.)
 //!
 //! ```sh
 //! cargo run --release --example optimize_file -- input.c            # to stdout
@@ -9,9 +10,11 @@
 //! ```
 //!
 //! Without arguments the example optimizes the bundled unoptimized `hotspot`
-//! benchmark so it can be run out of the box.
+//! benchmark so it can be run out of the box, and — like
+//! `reproduce_paper` — finishes by running the result through `explain()`
+//! so every inserted construct justifies itself.
 
-use ompdart_core::{AnalysisSession, OmpDartOptions};
+use ompdart_core::{OmpDartOptions, Ompdart};
 use ompdart_suite::by_name;
 use std::error::Error;
 
@@ -33,35 +36,38 @@ fn run() -> Result<(), Box<dyn Error>> {
         }
     };
 
-    // Drive the pipeline one stage at a time: parse -> hybrid AST-CFG ->
-    // access classification -> interprocedural summaries -> mapping plans ->
-    // rewrite. `?` works because every stage error is a std::error::Error.
-    let session = AnalysisSession::with_options(OmpDartOptions::default());
-    let parsed = session.parse(&name, &source)?;
-    ompdart_core::pipeline::check_input_contract(&parsed)?;
-    let graphs = session.graphs(&parsed);
-    let accesses = session.accesses(&parsed, &graphs);
-    let summaries = session.summaries(&parsed, &accesses);
-    let plans = session.plan(&parsed, &graphs, &accesses, &summaries);
-    let rewritten = session.rewrite(&parsed, &graphs, &plans);
+    // The builder facade: configure once, analyze into a typed handle.
+    let tool = Ompdart::builder()
+        .options(OmpDartOptions::default())
+        .build();
+    let analysis = tool.analyze(&name, &source)?;
 
+    let stats = analysis.stats();
     eprintln!(
         "{}: {} kernels, {} mapped variables, {} constructs inserted",
         name,
-        plans.stats.kernels,
-        plans.stats.mapped_variables,
-        plans.stats.total_constructs(),
+        stats.kernels,
+        stats.mapped_variables,
+        stats.total_constructs(),
     );
-    eprintln!("stage timings: {}", session.timings());
-    for diag in parsed.diagnostics.iter().chain(plans.diagnostics.iter()) {
-        eprintln!("note: {}", diag.message);
+    eprintln!("stage timings: {}", analysis.timings());
+    for diag in analysis.diagnostics().iter() {
+        eprintln!("{}", diag.render(analysis.source_file()));
     }
+
+    // Every mapping decision explains itself: the dataflow fact, the
+    // deciding pipeline stage, and the source location that forced it.
+    eprintln!(
+        "\n=== why each construct exists ===\n{}",
+        analysis.explain()
+    );
+
     match args.get(1) {
         Some(out_path) => {
-            std::fs::write(out_path, &rewritten.source)?;
+            std::fs::write(out_path, analysis.rewritten_source())?;
             eprintln!("wrote {out_path}");
         }
-        None => println!("{}", rewritten.source),
+        None => println!("{}", analysis.rewritten_source()),
     }
     Ok(())
 }

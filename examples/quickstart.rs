@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use ompdart_core::OmpDart;
+use ompdart_core::Ompdart;
 use ompdart_sim::{format_bytes, simulate_source, CostModel, SimConfig};
 
 const PROGRAM: &str = r#"
@@ -34,31 +34,34 @@ int main() {
 
 fn main() {
     // 1. Run the static analysis + source rewriting.
-    let result = OmpDart::new()
-        .transform_source("quickstart.c", PROGRAM)
+    let tool = Ompdart::builder().build();
+    let analysis = tool
+        .analyze("quickstart.c", PROGRAM)
         .expect("OMPDart failed");
 
     println!(
         "=== OMPDart transformed source ===\n{}",
-        result.transformed_source
+        analysis.rewritten_source()
     );
+    let stats = analysis.stats();
     println!(
         "constructs inserted: {} ({} map clauses, {} updates, {} firstprivate)",
-        result.stats.total_constructs(),
-        result.stats.map_clauses,
-        result.stats.update_directives,
-        result.stats.firstprivate_clauses,
+        stats.total_constructs(),
+        stats.map_clauses,
+        stats.update_directives,
+        stats.firstprivate_clauses,
     );
     println!(
         "analysis time: {:.3} ms\n",
-        result.tool_time.as_secs_f64() * 1e3
+        analysis.timings().total().as_secs_f64() * 1e3
     );
+    println!("=== why each construct exists ===\n{}", analysis.explain());
 
     // 2. Execute both versions on the offload runtime simulator and compare
     //    the nsys-style transfer profiles.
     let cost = CostModel::default();
     let before = simulate_source(PROGRAM, SimConfig::default()).expect("baseline run failed");
-    let after = simulate_source(&result.transformed_source, SimConfig::default())
+    let after = simulate_source(analysis.rewritten_source(), SimConfig::default())
         .expect("transformed run failed");
 
     assert_eq!(

@@ -7,16 +7,21 @@
 //! ```
 //!
 //! Accepted flags: `--table1` .. `--table5`, `--fig3` .. `--fig6`,
-//! `--summary`, `--timings`. With no flags all artifacts are printed in
-//! order. The nine benchmarks run concurrently over one shared
-//! `AnalysisSession`, so repeated artifacts reuse the cached analyses.
+//! `--summary`, `--timings`, `--plan-diff` (construct-level tool-vs-expert
+//! comparison), `--plans` (plan-JSON emission), `--explain` (justify every
+//! inserted construct). With no flags every tabular artifact — including
+//! the plan-vs-expert diff — is printed in order; only the large `--plans`
+//! and `--explain` dumps are opt-in. The nine benchmarks run concurrently
+//! over one shared `AnalysisSession`, so repeated artifacts reuse the
+//! cached analyses.
 
+use ompdart_core::plan::explain_plans;
 use ompdart_core::AnalysisSession;
 use ompdart_suite::experiment::{run_all_with_session, ExperimentConfig};
 use ompdart_suite::report;
 use std::sync::Arc;
 
-const FLAGS: [&str; 10] = [
+const FLAGS: [&str; 13] = [
     "--table1",
     "--table2",
     "--table3",
@@ -27,6 +32,9 @@ const FLAGS: [&str; 10] = [
     "--fig5",
     "--fig6",
     "--summary",
+    "--plans",
+    "--plan-diff",
+    "--explain",
 ];
 
 fn main() {
@@ -40,7 +48,16 @@ fn main() {
             std::process::exit(2);
         }
     }
-    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag);
+    // The `--plans` JSON dump and the per-construct `--explain` listing are
+    // large, so they are opt-in; every tabular artifact (the plan-vs-expert
+    // diff included) prints by default.
+    let want = |flag: &str| {
+        if matches!(flag, "--plans" | "--explain") {
+            args.iter().any(|a| a == flag)
+        } else {
+            args.is_empty() || args.iter().any(|a| a == flag)
+        }
+    };
 
     // The static tables need no execution.
     if want("--table1") {
@@ -64,6 +81,9 @@ fn main() {
         "--fig6",
         "--summary",
         "--timings",
+        "--plans",
+        "--plan-diff",
+        "--explain",
     ]
     .iter()
     .any(|f| want(f));
@@ -93,6 +113,18 @@ fn main() {
     }
     if want("--summary") {
         println!("{}", report::summary(&results, &config.cost));
+    }
+    if want("--plan-diff") {
+        println!("{}", report::plan_vs_expert(&results));
+    }
+    if want("--plans") {
+        println!("{}", report::plans_json(&results));
+    }
+    if want("--explain") {
+        for r in &results {
+            println!("=== {} ===", r.name);
+            println!("{}", explain_plans(&r.plans, None));
+        }
     }
     if want("--timings") {
         println!("Pipeline stage timings per benchmark");

@@ -1,0 +1,399 @@
+//! The `ompdart` command-line facade: the paper's LibTooling-style tool as
+//! a binary over the `Ompdart` builder API.
+//!
+//! ```text
+//! ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
+//! ompdart explain <input.c>
+//! ompdart diff-plan <left> <right>        # each side: plan .json or a .c source
+//! ompdart batch <input.c>... [--threads N] [--out-dir DIR]
+//! ```
+//!
+//! `analyze` rewrites one translation unit and can emit the versioned plan
+//! JSON; `explain` prints one justified line per inserted construct;
+//! `diff-plan` compares two mappings (generated, serialized, or extracted
+//! from an already-mapped source); `batch` fans a corpus out over worker
+//! threads with one shared artifact cache.
+
+use ompdart_core::plan::{diff_plans, extract_explicit_plans, Json, MappingPlan};
+use ompdart_core::{Analysis, Ompdart, StageError};
+use ompdart_sim::{simulate_source, SimConfig};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+ompdart — static generation of efficient OpenMP offload data mappings
+
+USAGE:
+    ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
+    ompdart explain <input.c>
+    ompdart diff-plan <left> <right>
+    ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>]
+    ompdart help
+
+SUBCOMMANDS:
+    analyze    Insert data-mapping constructs into one source file.
+               Writes the transformed source to stdout (or -o FILE);
+               --plan-json additionally emits the versioned Mapping IR
+               (`-` for stdout); --simulate compares transfer profiles
+               before/after on the offload simulator.
+    explain    Print one justified line per mapping construct: the
+               OpenMP syntax, the dataflow fact that forced it, the
+               deciding pipeline stage and source location.
+    diff-plan  Compare two mappings construct by construct. Each side is
+               either a plan-JSON file produced by `analyze --plan-json`
+               or a C source (analyzed when unmapped, its explicit
+               directives extracted when already mapped).
+    batch      Analyze many files concurrently over one shared artifact
+               cache; --out-dir writes each `<name>.mapped.c`.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(rest),
+        "explain" => cmd_explain(rest),
+        "diff-plan" => cmd_diff_plan(rest),
+        "batch" => cmd_batch(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn read_source(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+}
+
+fn analyze_file(tool: &Ompdart, path: &str) -> Result<Analysis, String> {
+    let source = read_source(path)?;
+    tool.analyze(path, &source)
+        .map_err(|e| render_stage_error(path, &source, e))
+}
+
+/// Render a stage error with its diagnostics (parse failures show the
+/// individual messages, not just a count).
+fn render_stage_error(path: &str, source: &str, err: StageError) -> String {
+    match &err {
+        StageError::Parse { diagnostics, .. } => {
+            let file = ompdart_frontend::source::SourceFile::new(path, source);
+            format!("{err}\n{}", diagnostics.render_all(&file))
+        }
+        _ => err.to_string(),
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
+    let mut input: Option<&str> = None;
+    let mut output: Option<&str> = None;
+    let mut plan_json: Option<&str> = None;
+    let mut timings = false;
+    let mut simulate = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" | "--output" => {
+                output = Some(it.next().ok_or_else(|| format!("`{arg}` expects a path"))?);
+            }
+            "--plan-json" => {
+                plan_json = Some(
+                    it.next()
+                        .ok_or_else(|| format!("`{arg}` expects a path or `-`"))?,
+                );
+            }
+            "--timings" => timings = true,
+            "--simulate" => simulate = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path if input.is_none() => input = Some(path),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let input = input.ok_or("`analyze` expects an input file")?;
+    if plan_json == Some("-") && output.is_none() {
+        return Err(
+            "`--plan-json -` would interleave the plan JSON with the transformed source on \
+             stdout; pass `-o <out.c>` to redirect the source"
+                .into(),
+        );
+    }
+
+    let tool = Ompdart::builder().build();
+    let analysis = analyze_file(&tool, input)?;
+
+    let stats = analysis.stats();
+    eprintln!(
+        "{input}: {} kernel(s), {} mapped variable(s), {} construct(s) inserted",
+        stats.kernels,
+        stats.mapped_variables,
+        stats.total_constructs()
+    );
+    let diagnostics = analysis.diagnostics();
+    for diag in diagnostics.iter() {
+        eprintln!("{}", diag.render(analysis.source_file()));
+    }
+    if timings {
+        eprintln!("stage timings: {}", analysis.timings());
+    }
+
+    match output {
+        Some(path) => {
+            std::fs::write(path, analysis.rewritten_source())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{}", analysis.rewritten_source()),
+    }
+    match plan_json {
+        Some("-") => print!("{}", analysis.plans_json()),
+        Some(path) => {
+            std::fs::write(path, analysis.plans_json())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote plan JSON to {path}");
+        }
+        None => {}
+    }
+    if simulate {
+        // Simulate the exact text that was analyzed, not a re-read of the
+        // file (which may have changed since).
+        let source = analysis.source_file().text().to_string();
+        let before = simulate_source(&source, SimConfig::default())
+            .map_err(|e| format!("simulation of the input failed: {e}"))?;
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default())
+            .map_err(|e| format!("simulation of the transformed source failed: {e}"))?;
+        eprintln!("before: {}", before.profile.summary());
+        eprintln!("after:  {}", after.profile.summary());
+        eprintln!(
+            "output preserved: {}",
+            if before.output == after.output {
+                "yes"
+            } else {
+                "NO — please report this"
+            }
+        );
+    }
+    // Error-severity diagnostics mean the produced mapping is unsound
+    // (e.g. a declaration inside the region extent): the output is still
+    // written for inspection, but the run must not look clean.
+    if diagnostics.has_errors() {
+        eprintln!(
+            "error: analysis reported {} error(s); the produced mapping is not usable as-is",
+            diagnostics.error_count()
+        );
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
+    let [input] = args else {
+        return Err("`explain` expects exactly one input file".into());
+    };
+    let tool = Ompdart::builder().build();
+    let analysis = analyze_file(&tool, input)?;
+    print!("{}", analysis.explain());
+    let diagnostics = analysis.diagnostics();
+    if diagnostics.has_errors() {
+        for diag in diagnostics.iter() {
+            eprintln!("{}", diag.render(analysis.source_file()));
+        }
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Load one side of a `diff-plan`: plan JSON, an unmapped source (analyzed),
+/// or an already-mapped source (explicit directives extracted).
+fn load_plans(path: &str) -> Result<Vec<MappingPlan>, String> {
+    let content = read_source(path)?;
+    if Path::new(path).extension().is_some_and(|e| e == "json") {
+        // A document with a `plans` array is a multi-plan dump; anything
+        // else is treated as a single serialized plan. Deciding the shape
+        // on the parsed value keeps error messages pointing at the real
+        // problem without re-parsing the text.
+        let doc = Json::parse(&content).map_err(|e| format!("`{path}`: {e}"))?;
+        return match doc.get("plans").and_then(Json::as_array) {
+            Some(items) => {
+                let version = doc.get("version").and_then(Json::as_int);
+                if version != Some(i64::from(ompdart_core::PLAN_FORMAT_VERSION)) {
+                    return Err(format!(
+                        "`{path}`: unsupported or missing plan document version {version:?}"
+                    ));
+                }
+                items
+                    .iter()
+                    .map(MappingPlan::from_json_value)
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|e| format!("`{path}`: {e}"))
+            }
+            None => MappingPlan::from_json_value(&doc)
+                .map(|p| vec![p])
+                .map_err(|e| format!("`{path}`: {e}")),
+        };
+    }
+    let tool = Ompdart::builder().build();
+    match tool.analyze(path, &content) {
+        Ok(analysis) => {
+            let diagnostics = analysis.diagnostics();
+            if diagnostics.has_errors() {
+                return Err(format!(
+                    "`{path}`: analysis reported {} error(s); its plans are not comparable",
+                    diagnostics.error_count()
+                ));
+            }
+            Ok(analysis.plans().to_vec())
+        }
+        Err(StageError::AlreadyMapped { .. }) => {
+            // The session's parse cache already holds this source (the
+            // contract check runs after parsing), so this does not re-parse.
+            let parsed = tool
+                .session()
+                .parse(path, &content)
+                .map_err(|e| render_stage_error(path, &content, e))?;
+            Ok(extract_explicit_plans(&parsed.unit))
+        }
+        Err(e) => Err(render_stage_error(path, &content, e)),
+    }
+}
+
+fn cmd_diff_plan(args: &[String]) -> Result<ExitCode, String> {
+    let [left, right] = args else {
+        return Err("`diff-plan` expects exactly two inputs (plan .json or .c source)".into());
+    };
+    // Like `diff(1)`: 0 = equivalent, 1 = divergences, 2 = trouble — so
+    // scripts gating on parity cannot mistake a failure for a divergence.
+    let load = |path: &str| -> Result<Vec<MappingPlan>, ExitCode> {
+        load_plans(path).map_err(|e| {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        })
+    };
+    let (left_plans, right_plans) = match (load(left), load(right)) {
+        (Ok(l), Ok(r)) => (l, r),
+        (Err(code), _) | (_, Err(code)) => return Ok(code),
+    };
+    let diff = diff_plans(&left_plans, &right_plans);
+    print!("{}", diff.render(left, right));
+    Ok(if diff.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
+    let mut inputs: Vec<&str> = Vec::new();
+    let mut threads: Option<usize> = None;
+    let mut out_dir: Option<&str> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threads" => {
+                let value = it
+                    .next()
+                    .ok_or("`--threads` expects a number")?
+                    .parse::<usize>()
+                    .map_err(|_| "`--threads` expects a number".to_string())?;
+                threads = Some(value.max(1));
+            }
+            "--out-dir" => {
+                out_dir = Some(it.next().ok_or("`--out-dir` expects a directory")?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => inputs.push(path),
+        }
+    }
+    if inputs.is_empty() {
+        return Err("`batch` expects at least one input file".into());
+    }
+    let mut builder = Ompdart::builder();
+    if let Some(threads) = threads {
+        builder = builder.parallelism(threads);
+    }
+    let tool = builder.build();
+    let pairs: Vec<(String, String)> = inputs
+        .iter()
+        .map(|path| read_source(path).map(|src| (path.to_string(), src)))
+        .collect::<Result<_, _>>()?;
+    let results = tool.analyze_batch(&pairs);
+
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    }
+    let mut failures = 0usize;
+    let mut used_names: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for ((path, source), result) in pairs.iter().zip(&results) {
+        match result {
+            Ok(analysis) => {
+                let diagnostics = analysis.diagnostics();
+                if diagnostics.has_errors() {
+                    failures += 1;
+                    println!(
+                        "{path}: FAILED — analysis reported {} error diagnostic(s)",
+                        diagnostics.error_count()
+                    );
+                    continue;
+                }
+                let stats = analysis.stats();
+                println!(
+                    "{path}: ok — {} kernel(s), {} construct(s)",
+                    stats.kernels,
+                    stats.total_constructs()
+                );
+                if let Some(dir) = out_dir {
+                    let stem = Path::new(path)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("unit");
+                    // Inputs from different directories may share a stem;
+                    // disambiguate instead of silently overwriting.
+                    let mut name = format!("{stem}.mapped.c");
+                    let mut suffix = 1usize;
+                    while !used_names.insert(name.clone()) {
+                        name = format!("{stem}.{suffix}.mapped.c");
+                        suffix += 1;
+                    }
+                    let out_path = format!("{dir}/{name}");
+                    std::fs::write(&out_path, analysis.rewritten_source())
+                        .map_err(|e| format!("cannot write `{out_path}`: {e}"))?;
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!(
+                    "{path}: FAILED — {}",
+                    render_stage_error(path, source, e.clone())
+                        .lines()
+                        .next()
+                        .unwrap_or("unknown error")
+                );
+            }
+        }
+    }
+    println!(
+        "{}/{} unit(s) analyzed successfully",
+        results.len() - failures,
+        results.len()
+    );
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}

@@ -1,0 +1,97 @@
+//! Compatibility pins for the deprecated pre-facade API.
+//!
+//! `OmpDart::transform_source`, the free `transform`, `OmpDart::analyze_unit`
+//! and `AnalysisSession::transform` remain as thin `#[deprecated]` wrappers
+//! over the `Ompdart` builder facade; these tests pin their behavior to the
+//! new API byte for byte so the wrappers cannot silently drift. This is the
+//! only place (outside the wrappers themselves) allowed to use them.
+#![allow(deprecated)]
+
+use ompdart_core::{
+    transform, AnalysisSession, MappingPlan, OmpDart, OmpDartError, OmpDartOptions, Ompdart,
+    RegionPlan,
+};
+use ompdart_frontend::diag::Diagnostics;
+use ompdart_frontend::parser::parse_str;
+
+const SRC: &str = "\
+#define N 32
+double a[N];
+int main() {
+  for (int it = 0; it < 4; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) a[i] += 1.0;
+  }
+  printf(\"%f\\n\", a[0]);
+  return 0;
+}
+";
+
+/// All three legacy entry points produce the same rewrite as the facade.
+#[test]
+fn legacy_wrappers_match_the_facade() {
+    let facade = Ompdart::builder().build().analyze("demo.c", SRC).unwrap();
+
+    let via_free = transform("demo.c", SRC).unwrap();
+    assert_eq!(via_free.transformed_source, facade.rewritten_source());
+    assert_eq!(via_free.stats, facade.stats());
+    assert_eq!(&via_free.plans[..], facade.plans());
+
+    let via_struct = OmpDart::new().transform_source("demo.c", SRC).unwrap();
+    assert_eq!(via_struct.transformed_source, facade.rewritten_source());
+
+    let via_session = AnalysisSession::new().transform("demo.c", SRC).unwrap();
+    assert_eq!(via_session.transformed_source, facade.rewritten_source());
+}
+
+/// Legacy error types still surface through the wrappers.
+#[test]
+fn legacy_errors_are_preserved() {
+    let err = transform("broken.c", "int main( { return 0; }\n").unwrap_err();
+    assert!(matches!(err, OmpDartError::ParseFailed(_)));
+
+    let mapped = "\
+#define N 8
+double a[N];
+void f() {
+  #pragma omp target data map(tofrom: a)
+  {
+    #pragma omp target
+    for (int i = 0; i < N; i++) a[i] = i;
+  }
+}
+";
+    let err = OmpDart::new()
+        .transform_source("mapped.c", mapped)
+        .unwrap_err();
+    assert!(matches!(err, OmpDartError::AlreadyMapped { .. }));
+    let lenient = OmpDart::with_options(OmpDartOptions {
+        reject_existing_mappings: false,
+        ..OmpDartOptions::default()
+    });
+    assert!(lenient.transform_source("mapped.c", mapped).is_ok());
+}
+
+/// `analyze_unit` on a borrowed AST matches the facade's plans and stats.
+#[test]
+fn analyze_unit_matches_facade_plans() {
+    let (_file, parsed) = parse_str("demo.c", SRC);
+    assert!(parsed.is_ok());
+    let mut diags = Diagnostics::new();
+    let (plans, stats) = OmpDart::new().analyze_unit(&parsed.unit, &mut diags);
+
+    let facade = Ompdart::builder().build().analyze("demo.c", SRC).unwrap();
+    assert_eq!(&plans[..], facade.plans());
+    assert_eq!(stats, facade.stats());
+}
+
+/// The old `RegionPlan` name remains a usable alias of `MappingPlan`.
+#[test]
+fn region_plan_alias_still_resolves() {
+    let plan: RegionPlan = MappingPlan {
+        function: "f".into(),
+        ..Default::default()
+    };
+    let as_mapping: &MappingPlan = &plan;
+    assert_eq!(as_mapping.construct_count(), 0);
+}

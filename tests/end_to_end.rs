@@ -1,11 +1,20 @@
 //! Cross-crate integration tests: frontend -> graph -> core -> sim on the
-//! motivating examples of the paper and a subset of the benchmark suite.
+//! motivating examples of the paper and a subset of the benchmark suite,
+//! all through the `Ompdart` builder facade.
 
-use ompdart_core::{transform, MappingConstruct, OmpDart, OmpDartOptions};
+use ompdart_core::plan::{justified_line_count, plans_from_json};
+use ompdart_core::{MappingConstruct, Ompdart};
 use ompdart_frontend::omp::DirectiveKind;
 use ompdart_sim::{simulate_source, CostModel, SimConfig};
-use ompdart_suite::experiment::{run_benchmark, ExperimentConfig};
+use ompdart_suite::experiment::{run_all, run_benchmark, ExperimentConfig};
 use ompdart_suite::{by_name, table4_rows};
+
+fn analyze(name: &str, src: &str) -> ompdart_core::Analysis {
+    Ompdart::builder()
+        .build()
+        .analyze(name, src)
+        .unwrap_or_else(|e| panic!("analysis of {name} failed: {e}"))
+}
 
 /// Table I: every offload-kernel directive kind must be recognized by the
 /// frontend, marked offloaded by the graph crate, and mapped by the core.
@@ -16,12 +25,11 @@ fn table1_every_kernel_directive_is_supported_end_to_end() {
             "#define N 32\ndouble a[N];\nvoid f() {{\n  #pragma omp {}\n  for (int i = 0; i < N; i++) a[i] = i;\n}}\nint main() {{ f(); printf(\"%.0f\\n\", a[5]); return 0; }}\n",
             kind.directive_text()
         );
-        let result = transform("kernel.c", &src)
-            .unwrap_or_else(|e| panic!("transform failed for `{kind:?}`: {e}"));
-        assert_eq!(result.stats.kernels, 1, "{kind:?}");
-        assert!(result.stats.map_clauses >= 1, "{kind:?}");
+        let analysis = analyze("kernel.c", &src);
+        assert_eq!(analysis.stats().kernels, 1, "{kind:?}");
+        assert!(analysis.stats().map_clauses >= 1, "{kind:?}");
         let before = simulate_source(&src, SimConfig::default()).unwrap();
-        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(before.output, after.output, "{kind:?}");
     }
 }
@@ -61,8 +69,8 @@ int main() {
   return 0;
 }
 ";
-    let result = transform("all_constructs.c", src).unwrap();
-    let text = &result.transformed_source;
+    let analysis = analyze("all_constructs.c", src);
+    let text = analysis.rewritten_source();
     assert!(text.contains("map(to:"), "{text}");
     assert!(
         text.contains("map(from:") || text.contains("map(tofrom:"),
@@ -105,9 +113,9 @@ int main() {
 }
 ";
     for (name, src, min_reduction) in [("listing1", listing1, 10.0), ("listing2", listing2, 1.5)] {
-        let result = transform(name, src).unwrap();
+        let analysis = analyze(name, src);
         let before = simulate_source(src, SimConfig::default()).unwrap();
-        let after = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(before.output, after.output, "{name}");
         let reduction =
             before.profile.total_bytes() as f64 / after.profile.total_bytes().max(1) as f64;
@@ -115,6 +123,48 @@ int main() {
             reduction >= min_reduction,
             "{name}: expected at least {min_reduction}x transfer reduction, got {reduction:.2}x"
         );
+    }
+}
+
+/// Acceptance: for all nine benchmarks, every construct of every plan
+/// carries a non-default provenance, the explain rendering justifies each
+/// construct on its own line, and the plan JSON round-trips.
+#[test]
+fn every_benchmark_plan_is_fully_explained() {
+    let results = run_all(&ExperimentConfig::default());
+    assert_eq!(results.len(), 9);
+    for r in &results {
+        assert!(!r.plans.is_empty(), "{}: no plans", r.name);
+        let mut constructs = 0;
+        for plan in &r.plans {
+            constructs += plan.construct_count();
+            for p in plan.provenances() {
+                assert!(
+                    p.is_justified(),
+                    "{}: construct without provenance in `{}`",
+                    r.name,
+                    plan.function
+                );
+                assert!(
+                    !p.detail.is_empty(),
+                    "{}: empty provenance detail in `{}`",
+                    r.name,
+                    plan.function
+                );
+            }
+        }
+        assert!(constructs > 0, "{}: no constructs", r.name);
+        // One justified line per construct.
+        let explained = ompdart_core::explain_plans(&r.plans, None);
+        assert_eq!(
+            justified_line_count(&explained),
+            constructs,
+            "{}: explain must print one justified line per construct:\n{explained}",
+            r.name
+        );
+        // The serialized IR is the identity under round-trip.
+        let back = plans_from_json(&r.plans_json()).unwrap();
+        assert_eq!(back, r.plans, "{}", r.name);
     }
 }
 
@@ -144,33 +194,22 @@ fn benchmark_subset_end_to_end() {
 fn ablation_options_preserve_correctness() {
     let bench = by_name("backprop").unwrap();
     let variants = [
-        OmpDartOptions::default(),
-        OmpDartOptions {
-            dataflow: ompdart_core::DataflowOptions {
-                firstprivate_optimization: false,
-                ..Default::default()
-            },
-            ..OmpDartOptions::default()
-        },
-        OmpDartOptions {
-            dataflow: ompdart_core::DataflowOptions {
-                hoist_updates: false,
-                ..Default::default()
-            },
-            ..OmpDartOptions::default()
-        },
-        OmpDartOptions {
-            interprocedural: false,
-            ..OmpDartOptions::default()
-        },
+        Ompdart::builder(),
+        Ompdart::builder().dataflow(ompdart_core::DataflowOptions {
+            firstprivate_optimization: false,
+            ..Default::default()
+        }),
+        Ompdart::builder().dataflow(ompdart_core::DataflowOptions {
+            hoist_updates: false,
+            ..Default::default()
+        }),
+        Ompdart::builder().interprocedural(false),
     ];
     let baseline = simulate_source(bench.unoptimized, SimConfig::default()).unwrap();
-    for (i, options) in variants.iter().enumerate() {
-        let tool = OmpDart::with_options(*options);
-        let result = tool
-            .transform_source("backprop.c", bench.unoptimized)
-            .unwrap();
-        let run = simulate_source(&result.transformed_source, SimConfig::default()).unwrap();
+    for (i, builder) in variants.into_iter().enumerate() {
+        let tool = builder.build();
+        let analysis = tool.analyze("backprop.c", bench.unoptimized).unwrap();
+        let run = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(
             baseline.output, run.output,
             "ablation variant {i} changed the result"

@@ -10,9 +10,16 @@
 //! * the reference-count semantics of the device data environment hold for
 //!   arbitrary nesting sequences.
 
-use ompdart_core::OmpDart;
+use ompdart_core::pipeline::Stage;
+use ompdart_core::plan::{
+    FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
+    UpdateSpec,
+};
+use ompdart_core::Ompdart;
+use ompdart_frontend::ast::NodeId;
 use ompdart_frontend::omp::MapType;
 use ompdart_frontend::parser::parse_str;
+use ompdart_frontend::source::Span;
 use ompdart_sim::{
     simulate_source, DeviceEnv, Memory, ObjectKind, SimConfig, TransferProfile, Value,
 };
@@ -80,8 +87,151 @@ fn render_program(pieces: &[Piece]) -> String {
     )
 }
 
+// ---------------------------------------------------------------------------
+// Generators for arbitrary (well-formed) MappingPlans
+// ---------------------------------------------------------------------------
+
+fn var_name(i: u8) -> String {
+    format!("v{i}")
+}
+
+fn provenance_strategy() -> impl Strategy<Value = Provenance> {
+    (
+        0usize..Stage::ALL.len(),
+        0usize..ProvenanceFact::all().len(),
+        // 0 = no span; otherwise a span at (n, n + 7).
+        0u32..100,
+        0u8..4,
+    )
+        .prop_map(|(stage, fact, span_start, detail)| Provenance {
+            stage: Stage::ALL[stage],
+            fact: ProvenanceFact::all()[fact],
+            span: if span_start == 0 {
+                None
+            } else {
+                Some(Span::new(span_start, span_start + 7))
+            },
+            detail: match detail {
+                0 => String::new(),
+                1 => "plain detail".to_string(),
+                2 => "quotes \" and \\ backslashes\nand newlines".to_string(),
+                _ => "unicode: π ≈ 3, done".to_string(),
+            },
+        })
+}
+
+fn section_strategy() -> impl Strategy<Value = Option<String>> {
+    (0u8..4).prop_map(|v| match v {
+        0 => None,
+        1 => Some("n".to_string()),
+        2 => Some("rows * cols".to_string()),
+        _ => Some("0".to_string()), // degenerate bound: renders as `[:]`
+    })
+}
+
+fn map_spec_strategy() -> impl Strategy<Value = MapSpec> {
+    (
+        (0u8..8),
+        (0u8..4),
+        section_strategy(),
+        provenance_strategy(),
+    )
+        .prop_map(|(var, mt, section_length, provenance)| MapSpec {
+            var: var_name(var),
+            map_type: match mt {
+                0 => MapType::To,
+                1 => MapType::From,
+                2 => MapType::ToFrom,
+                _ => MapType::Alloc,
+            },
+            section_length,
+            provenance,
+        })
+}
+
+fn update_spec_strategy() -> impl Strategy<Value = UpdateSpec> {
+    ((0u8..8), (0u32..64), (0u8..4), provenance_strategy()).prop_map(
+        |(var, anchor, bits, provenance)| UpdateSpec {
+            var: var_name(var),
+            direction: if bits & 1 == 0 {
+                UpdateDirection::To
+            } else {
+                UpdateDirection::From
+            },
+            anchor: NodeId(anchor),
+            placement: if bits & 2 == 0 {
+                Placement::Before
+            } else {
+                Placement::After
+            },
+            section_length: None,
+            provenance,
+        },
+    )
+}
+
+fn firstprivate_strategy() -> impl Strategy<Value = FirstPrivateSpec> {
+    ((0u8..8), (0u32..64), provenance_strategy()).prop_map(|(var, kernel, provenance)| {
+        FirstPrivateSpec {
+            kernel: NodeId(kernel),
+            var: var_name(var),
+            provenance,
+        }
+    })
+}
+
+fn plan_strategy() -> impl Strategy<Value = MappingPlan> {
+    (
+        proptest::collection::vec(map_spec_strategy(), 0..5),
+        proptest::collection::vec(update_spec_strategy(), 0..5),
+        proptest::collection::vec(firstprivate_strategy(), 0..4),
+        (0u32..3, 0u32..200),
+    )
+        .prop_map(|(maps, updates, firstprivate, (shape, base))| MappingPlan {
+            function: format!("fn_{base}"),
+            region_start: if shape == 0 { None } else { Some(NodeId(base)) },
+            region_end: if shape == 0 {
+                None
+            } else {
+                Some(NodeId(base + 9))
+            },
+            attach_to_kernel: if shape == 2 {
+                Some(NodeId(base + 1))
+            } else {
+                None
+            },
+            kernels: (0..shape).map(|k| NodeId(base + k)).collect(),
+            maps,
+            updates,
+            firstprivate,
+        })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// The versioned JSON serialization is the identity under round-trip
+    /// for arbitrary generated plans: `from_json(to_json(p)) == p`, both
+    /// per plan and for whole documents.
+    #[test]
+    fn plan_json_round_trip_is_identity(plans in proptest::collection::vec(plan_strategy(), 1..4)) {
+        for plan in &plans {
+            let json = plan.to_json();
+            let back = match MappingPlan::from_json(&json) {
+                Ok(p) => p,
+                Err(e) => return Err(TestCaseError::fail(format!("from_json failed: {e}\n{json}"))),
+            };
+            prop_assert_eq!(&back, plan, "single-plan round trip diverged:\n{}", json);
+            // Serialization is deterministic: a second trip is stable.
+            prop_assert_eq!(back.to_json(), json);
+        }
+        let doc = ompdart_core::plans_to_json(&plans);
+        let back = match ompdart_core::plans_from_json(&doc) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("document parse failed: {e}\n{doc}"))),
+        };
+        prop_assert_eq!(back, plans, "document round trip diverged");
+    }
 
     /// Transformation preserves semantics and never moves more data.
     #[test]
@@ -90,24 +240,28 @@ proptest! {
         let (_file, parsed) = parse_str("random.c", &src);
         prop_assert!(parsed.is_ok(), "generated program failed to parse:\n{src}");
 
-        let result = OmpDart::new().transform_source("random.c", &src);
-        let result = match result {
-            Ok(r) => r,
-            Err(e) => return Err(TestCaseError::fail(format!("transform failed: {e}\n{src}"))),
+        let analysis = match Ompdart::builder().build().analyze("random.c", &src) {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(format!("analysis failed: {e}\n{src}"))),
         };
+        let transformed = analysis.rewritten_source();
 
         // The transformed source must still be a valid program.
-        let (_f2, reparsed) = parse_str("random_out.c", &result.transformed_source);
-        prop_assert!(reparsed.is_ok(), "transformed program failed to parse:\n{}", result.transformed_source);
+        let (_f2, reparsed) = parse_str("random_out.c", transformed);
+        prop_assert!(reparsed.is_ok(), "transformed program failed to parse:\n{transformed}");
+
+        // Every construct must justify itself (the IR acceptance bar).
+        prop_assert!(analysis.plans().iter().all(|p| p.fully_justified()),
+            "unjustified construct in plans for:\n{src}");
 
         let before = simulate_source(&src, SimConfig::default()).expect("baseline failed");
-        let after = simulate_source(&result.transformed_source, SimConfig::default())
+        let after = simulate_source(transformed, SimConfig::default())
             .expect("transformed program failed");
         prop_assert_eq!(&before.output, &after.output,
-            "output changed\noriginal:\n{}\ntransformed:\n{}", src, result.transformed_source);
+            "output changed\noriginal:\n{src}\ntransformed:\n{transformed}");
         prop_assert!(after.profile.total_bytes() <= before.profile.total_bytes(),
-            "transformation increased data movement ({} -> {})\n{}",
-            before.profile.total_bytes(), after.profile.total_bytes(), result.transformed_source);
+            "transformation increased data movement ({} -> {})\n{transformed}",
+            before.profile.total_bytes(), after.profile.total_bytes());
         prop_assert!(after.profile.total_calls() <= before.profile.total_calls());
     }
 

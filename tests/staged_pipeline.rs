@@ -1,20 +1,24 @@
 //! Integration tests for the staged `AnalysisSession` / `BatchDriver` API:
-//! stage-by-stage artifacts must compose to exactly the one-shot
-//! `transform` result, the artifact cache must serve repeated analyses
-//! without re-running any stage, and the batch driver must analyze several
-//! translation units concurrently with deterministic results.
+//! stage-by-stage artifacts must compose to exactly the facade result, the
+//! artifact cache must serve repeated analyses without re-running any
+//! stage, the batch driver must analyze several translation units
+//! concurrently with deterministic, order-preserving results, and the
+//! serialized Mapping IR must round-trip into a byte-identical rewrite.
 
 use ompdart_core::pipeline::Stage;
-use ompdart_core::{transform, AnalysisSession, BatchDriver, OmpDart, OmpDartOptions, StageError};
+use ompdart_core::plan::plans_from_json;
+use ompdart_core::{
+    apply_plans, AnalysisSession, BatchDriver, OmpDartOptions, Ompdart, StageError,
+};
 use ompdart_sim::{simulate_source, SimConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Golden test: running the six stages by hand produces byte-identical
-/// output and identical plans/statistics to the legacy one-shot `transform`
-/// on every bundled benchmark.
+/// output and identical plans/statistics to the `Ompdart` facade on every
+/// bundled benchmark.
 #[test]
-fn staged_artifacts_compose_to_the_one_shot_transform() {
+fn staged_artifacts_compose_to_the_facade_analysis() {
     for bench in ompdart_suite::all_benchmarks() {
         let session = AnalysisSession::new();
         let parsed = session
@@ -26,19 +30,52 @@ fn staged_artifacts_compose_to_the_one_shot_transform() {
         let plans = session.plan(&parsed, &graphs, &accesses, &summaries);
         let rewritten = session.rewrite(&parsed, &graphs, &plans);
 
-        let one_shot = transform(&bench.unoptimized_file(), bench.unoptimized).unwrap();
+        let facade = Ompdart::builder()
+            .build()
+            .analyze(&bench.unoptimized_file(), bench.unoptimized)
+            .unwrap();
         assert_eq!(
-            one_shot.transformed_source, rewritten.source,
-            "{}: staged rewrite diverges from one-shot transform",
+            facade.rewritten_source(),
+            rewritten.source,
+            "{}: staged rewrite diverges from the facade analysis",
             bench.name
         );
-        assert_eq!(one_shot.stats, plans.stats, "{}", bench.name);
-        assert_eq!(one_shot.plans.len(), plans.plans.len(), "{}", bench.name);
-        for (a, b) in one_shot.plans.iter().zip(plans.plans.iter()) {
-            assert_eq!(a.function, b.function, "{}", bench.name);
-            assert_eq!(a.maps.len(), b.maps.len(), "{}", bench.name);
-            assert_eq!(a.updates.len(), b.updates.len(), "{}", bench.name);
-        }
+        assert_eq!(facade.stats(), plans.stats, "{}", bench.name);
+        assert_eq!(facade.plans(), &plans.plans[..], "{}", bench.name);
+    }
+}
+
+/// Acceptance golden: serializing every benchmark's plans to JSON,
+/// deserializing them, and re-running only the rewrite stage yields the
+/// one-shot rewrite byte for byte. Node ids survive the round-trip because
+/// parsing is deterministic.
+#[test]
+fn plan_json_round_trip_rewrites_byte_identically() {
+    for bench in ompdart_suite::all_benchmarks() {
+        let tool = Ompdart::builder().build();
+        let analysis = tool
+            .analyze(&bench.unoptimized_file(), bench.unoptimized)
+            .unwrap();
+
+        let json = analysis.plans_json();
+        let plans = plans_from_json(&json)
+            .unwrap_or_else(|e| panic!("{}: plan JSON failed to parse: {e}", bench.name));
+        assert_eq!(&plans[..], analysis.plans(), "{}", bench.name);
+
+        // Rebuild the rewrite from the deserialized plans alone plus a
+        // *fresh* parse of the same source: node ids in the JSON must line
+        // up with a new AST because parsing is deterministic.
+        let parsed =
+            ompdart_core::pipeline::stage_parse(&bench.unoptimized_file(), bench.unoptimized)
+                .unwrap();
+        let graphs = ompdart_core::pipeline::stage_graphs(&parsed.unit);
+        let rewritten = apply_plans(&parsed.file, &parsed.unit, &graphs.graphs, &plans);
+        assert_eq!(
+            rewritten,
+            analysis.rewritten_source(),
+            "{}: rewrite from deserialized plans diverges",
+            bench.name
+        );
     }
 }
 
@@ -86,10 +123,10 @@ fn artifact_cache_returns_identical_plans_without_reparsing() {
 }
 
 /// BatchDriver: at least two translation units analyzed concurrently, with
-/// order-preserving results that match the sequential wrappers and still
-/// simulate correctly.
+/// order-preserving results that match the facade and still simulate
+/// correctly.
 #[test]
-fn batch_driver_matches_sequential_transforms() {
+fn batch_driver_matches_sequential_analyses() {
     let inputs: Vec<(String, String)> = ompdart_suite::all_benchmarks()
         .iter()
         .take(4)
@@ -104,15 +141,62 @@ fn batch_driver_matches_sequential_transforms() {
     for ((name, source), result) in inputs.iter().zip(&batch) {
         let analysis = result.as_ref().expect("batch unit failed");
         assert_eq!(&analysis.parsed.name, name);
-        let sequential = OmpDart::new().transform_source(name, source).unwrap();
+        let sequential = Ompdart::builder().build().analyze(name, source).unwrap();
         assert_eq!(
-            sequential.transformed_source, analysis.rewrite.source,
-            "{name}: batch result diverges from sequential transform"
+            sequential.rewritten_source(),
+            analysis.rewrite.source,
+            "{name}: batch result diverges from sequential analysis"
         );
         // The batch-produced mapping must still preserve program semantics.
         let before = simulate_source(source, SimConfig::default()).unwrap();
         let after = simulate_source(&analysis.rewrite.source, SimConfig::default()).unwrap();
         assert_eq!(before.output, after.output, "{name}");
+    }
+}
+
+/// Regression: `transform_all` (and `analyze_all`) must keep results in
+/// input order even when worker threads finish out of order. Twelve units
+/// of very different sizes over few threads maximize reordering pressure.
+#[test]
+fn batch_results_preserve_input_order_with_many_units() {
+    let mut inputs: Vec<(String, String)> = Vec::new();
+    for i in 0..12 {
+        // Alternate tiny units with large bundled benchmarks so completion
+        // order differs wildly from submission order.
+        if i % 2 == 0 {
+            let bench = ompdart_suite::all_benchmarks()[i % 9].clone();
+            inputs.push((format!("unit{i}.c"), bench.unoptimized.to_string()));
+        } else {
+            inputs.push((
+                format!("unit{i}.c"),
+                format!(
+                    "#define N 8\ndouble t{i}[N];\nvoid f{i}() {{\n  #pragma omp target teams distribute parallel for\n  for (int j = 0; j < N; j++) t{i}[j] = {i};\n}}\n"
+                ),
+            ));
+        }
+    }
+    assert!(inputs.len() > 8);
+
+    let driver = BatchDriver::new().with_threads(3);
+    let results = driver.transform_all(&inputs);
+    assert_eq!(results.len(), inputs.len());
+    for (i, ((name, source), result)) in inputs.iter().zip(&results).enumerate() {
+        let result = result.as_ref().unwrap_or_else(|e| panic!("{name}: {e}"));
+        // Slot i must hold the analysis of input i: the tiny odd units
+        // mention their own function name, the big even units match the
+        // sequential transform of the same source.
+        let expected = Ompdart::builder().build().analyze(name, source).unwrap();
+        assert_eq!(
+            result.transformed_source,
+            expected.rewritten_source(),
+            "slot {i} holds the wrong unit's result"
+        );
+        if i % 2 == 1 {
+            assert!(
+                result.transformed_source.contains(&format!("f{i}")),
+                "slot {i} lost its unit"
+            );
+        }
     }
 }
 
@@ -129,7 +213,7 @@ fn typed_stage_errors_translate_to_legacy_errors() {
     assert!(matches!(legacy, ompdart_core::OmpDartError::ParseFailed(_)));
 
     // The lenient option is honoured by the session exactly like the
-    // one-shot wrapper.
+    // facade's `accept_existing_mappings`.
     let mapped = ompdart_suite::by_name("ace").unwrap().expert;
     let strict = AnalysisSession::new();
     assert!(matches!(
