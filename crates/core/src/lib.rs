@@ -60,6 +60,7 @@ pub mod mapping;
 pub mod pipeline;
 pub mod plan;
 pub mod rewrite;
+pub mod store;
 pub mod verify;
 
 pub use access::{Access, AccessKind, FunctionAccesses, SymbolTable};
@@ -67,7 +68,8 @@ pub use bounds::{find_update_insert_loc, loop_bounds, LoopBounds};
 pub use dataflow::{plan_function, DataflowOptions};
 pub use interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
 pub use pipeline::{
-    AnalysisSession, BatchDriver, CacheStats, Stage, StageError, StageTimings, UnitAnalysis,
+    AnalysisSession, BatchDriver, CacheStats, FunctionPlanCache, Stage, StageError, StageTimings,
+    UnitAnalysis,
 };
 #[allow(deprecated)]
 pub use plan::ir::RegionPlan;
@@ -78,6 +80,7 @@ pub use plan::{
     UpdateSpec, PLAN_FORMAT_VERSION,
 };
 pub use rewrite::apply_plans;
+pub use store::{ArtifactStore, StoredUnit, STORE_FORMAT_VERSION};
 pub use verify::{verify_source, verify_unit, StaleRead, VerifyReport};
 
 use ompdart_frontend::ast::{StmtKind, TranslationUnit};
@@ -101,6 +104,15 @@ pub struct OmpDartOptions {
     /// Reject inputs that already contain `target data` / `target update`
     /// directives (the expected input contract of Section IV-A).
     pub reject_existing_mappings: bool,
+}
+
+impl OmpDartOptions {
+    /// Stable fingerprint of this option set, part of every plan cache key
+    /// (in memory and in the persistent store): plans produced under
+    /// different analysis knobs are never interchangeable.
+    pub fn fingerprint(&self) -> u64 {
+        pipeline::options_fingerprint(self)
+    }
 }
 
 impl Default for OmpDartOptions {
@@ -178,10 +190,11 @@ impl TransformResult {
 ///     .build();
 /// assert!(!tool.options().dataflow.hoist_updates);
 /// ```
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct OmpdartBuilder {
     options: OmpDartOptions,
     parallelism: Option<usize>,
+    cache_dir: Option<std::path::PathBuf>,
 }
 
 impl OmpdartBuilder {
@@ -215,11 +228,25 @@ impl OmpdartBuilder {
         self
     }
 
+    /// Attach a persistent artifact store rooted at `dir`: plans are loaded
+    /// from disk when the full content key matches and written back after
+    /// every planning run, so a new process with the same `dir` starts
+    /// warm. Corrupt, stale, or foreign-options entries are rejected. A
+    /// store-served [`Analysis`] carries empty access/summary artifacts
+    /// (see [`Analysis::artifacts`]).
+    pub fn cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> OmpdartBuilder {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Build the tool (one cached [`AnalysisSession`] behind an `Arc`).
     pub fn build(self) -> Ompdart {
         let mut session = AnalysisSession::with_options(self.options);
         if let Some(workers) = self.parallelism {
             session = session.with_parallelism(workers);
+        }
+        if let Some(dir) = self.cache_dir {
+            session = session.with_cache_dir(dir);
         }
         Ompdart {
             session: Arc::new(session),
@@ -352,6 +379,12 @@ impl Analysis {
     }
 
     /// The raw staged artifacts (graphs, accesses, summaries, ...).
+    ///
+    /// Note: when the analysis was served from a persistent store
+    /// (`cache_dir`), the access and summary artifacts are *empty* — they
+    /// are intermediates of the planning stage, which a store hit skips.
+    /// Plans, stats, the rewrite, and the parse/graph artifacts are always
+    /// populated.
     pub fn artifacts(&self) -> &Arc<UnitAnalysis> {
         &self.unit
     }

@@ -49,18 +49,19 @@
 
 use crate::access::{FunctionAccesses, SymbolTable};
 use crate::dataflow::plan_function;
-use crate::interproc::{augment_with_call_effects, ProgramSummaries};
+use crate::interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
 use crate::plan::explain::explain_plans;
-use crate::plan::ir::{AnalysisStats, MappingPlan};
+use crate::plan::ir::{AnalysisStats, MappingPlan, Provenance};
 use crate::plan::json::plans_to_json;
 use crate::rewrite;
+use crate::store::ArtifactStore;
 use crate::{function_with_existing_mappings, OmpDartError, OmpDartOptions, TransformResult};
-use ompdart_frontend::ast::TranslationUnit;
+use ompdart_frontend::ast::{FunctionDef, NodeId, StmtKind, TranslationUnit};
 use ompdart_frontend::diag::Diagnostics;
 use ompdart_frontend::parser::parse_str;
-use ompdart_frontend::source::SourceFile;
+use ompdart_frontend::source::{SourceFile, Span};
 use ompdart_graph::ProgramGraphs;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -220,14 +221,74 @@ impl fmt::Display for StageTimings {
     }
 }
 
-/// FNV-1a content hash used to key the artifact caches.
+/// FNV-1a content hash used to key the artifact caches. The hash only
+/// *indexes* the caches; every lookup verifies the full `(name, source)`
+/// pair before trusting an entry, so a 64-bit collision can cost a re-run
+/// but never return another file's artifacts.
 pub fn content_hash(name: &str, source: &str) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in name.bytes().chain([0u8]).chain(source.bytes()) {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    let mut h = Fnv::new();
+    h.write(name.as_bytes());
+    h.write(&[0]);
+    h.write(source.as_bytes());
+    h.finish()
+}
+
+/// A second, independently mixed content hash. The persistent artifact
+/// store records both hashes (plus name and length) so its on-disk key is
+/// effectively 128 bits wide — full-source verification without storing
+/// the source itself.
+pub fn content_hash2(name: &str, source: &str) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_97f4_a7c5;
+    for b in name.bytes().chain([0xff]).chain(source.bytes()) {
+        h = (h ^ u64::from(b))
+            .wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .rotate_left(23);
     }
     h
+}
+
+/// Incremental FNV-1a hasher shared by the cache-key fingerprints.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0]);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Stable fingerprint of an [`OmpDartOptions`] value. Part of every plan
+/// cache key (in memory and on disk): plans produced under different
+/// analysis knobs are never interchangeable.
+pub fn options_fingerprint(options: &OmpDartOptions) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&[
+        u8::from(options.dataflow.firstprivate_optimization),
+        u8::from(options.dataflow.hoist_updates),
+        u8::from(options.interprocedural),
+        u8::from(options.reject_existing_mappings),
+    ]);
+    h.write_u64(options.max_interproc_passes as u64);
+    h.finish()
 }
 
 // ---------------------------------------------------------------------------
@@ -280,6 +341,12 @@ pub struct PlansArtifact {
     pub stats: AnalysisStats,
     /// Diagnostics produced by the data-flow analysis.
     pub diagnostics: Diagnostics,
+    /// Functions whose plan was served (relocated) from the
+    /// function-granular plan cache. Zero when no cache was consulted.
+    pub plan_cache_hits: u64,
+    /// Functions that were actually (re-)planned while a cache was
+    /// consulted. Zero when no cache was consulted.
+    pub plan_cache_misses: u64,
     pub elapsed: Duration,
 }
 
@@ -374,6 +441,273 @@ pub fn stage_summaries(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Function-granular incremental planning
+// ---------------------------------------------------------------------------
+
+/// The complete set of inputs that determine one function's mapping plan.
+///
+/// Two analyses may share a cached plan only when every component matches:
+///
+/// * `snippet` — the exact source text of the function (signature + body),
+///   compared byte for byte, so the dominant variable-length component of
+///   the key is verified in full rather than trusted to a hash;
+/// * `env_hash` — everything *outside* function definitions (macro
+///   definitions, global declarations, prototypes, typedefs): macros expand
+///   into function bodies and globals drive symbol resolution, so any
+///   environment edit invalidates every function;
+/// * `callees_hash` — the interprocedural summaries (or visible-prototype
+///   `const` qualifiers) of the function's direct callees, so editing a
+///   callee's effects re-plans its callers;
+/// * `refs_hash` — for `main` only: the variables referenced by every
+///   sibling function, mirroring the whole-program exit-liveness scan of
+///   the dead-exit-copy demotion;
+/// * `options_hash` — the [`OmpDartOptions`] fingerprint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct FunctionPlanKey {
+    snippet: String,
+    env_hash: u64,
+    callees_hash: u64,
+    refs_hash: u64,
+    options_hash: u64,
+}
+
+/// A cached per-function planning result, stored in the coordinates
+/// (node ids, byte offsets) of the parse that produced it and relocated on
+/// every hit.
+#[derive(Clone, Debug)]
+struct CachedFunctionPlan {
+    key: FunctionPlanKey,
+    /// `func.id` at cache time (node-id relocation base).
+    base_id: u32,
+    /// `func.span.start` at cache time (byte-offset relocation base).
+    base_pos: u32,
+    /// Whether the function counted towards `functions_analyzed`.
+    analyzed: bool,
+    plan: Option<MappingPlan>,
+    diagnostics: Diagnostics,
+}
+
+/// Session-lifetime cache of per-function planning results.
+///
+/// Entries are indexed by `(unit name, function name)` and verified against
+/// the full function-plan key on every hit. Because node ids are assigned
+/// by one sequential counter and spans are plain byte offsets, a function
+/// whose own tokens are unchanged keeps the same ids and offsets *relative
+/// to its definition* even when surrounding code moves it — a hit therefore
+/// relocates the cached plan by the id/offset delta instead of re-running
+/// the data-flow analysis.
+#[derive(Debug, Default)]
+pub struct FunctionPlanCache {
+    entries: Mutex<HashMap<(String, String), CachedFunctionPlan>>,
+}
+
+impl FunctionPlanCache {
+    /// An empty cache.
+    pub fn new() -> FunctionPlanCache {
+        FunctionPlanCache::default()
+    }
+
+    /// Number of cached function entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, unit: &str, func: &str, key: &FunctionPlanKey) -> Option<CachedFunctionPlan> {
+        let entries = self.entries.lock().unwrap();
+        let entry = entries.get(&(unit.to_string(), func.to_string()))?;
+        (entry.key == *key).then(|| entry.clone())
+    }
+
+    fn store(&self, unit: String, func: String, entry: CachedFunctionPlan) {
+        self.entries.lock().unwrap().insert((unit, func), entry);
+    }
+}
+
+/// Hash of the translation-unit environment: every byte of the source that
+/// lies outside a function definition. See [`FunctionPlanKey::env_hash`].
+fn environment_hash(file: &SourceFile, unit: &TranslationUnit) -> u64 {
+    let text = file.text().as_bytes();
+    let mut spans: Vec<(usize, usize)> = unit
+        .functions()
+        .map(|f| (f.span.start as usize, f.span.end as usize))
+        .collect();
+    spans.sort_unstable();
+    let mut h = Fnv::new();
+    let mut pos = 0usize;
+    for (start, end) in spans {
+        let start = start.min(text.len());
+        if start > pos {
+            h.write(&text[pos..start]);
+        }
+        // Separator: deleting the gap between two functions must still
+        // change the environment hash.
+        h.write(&[0]);
+        pos = pos.max(end.min(text.len()));
+    }
+    if pos < text.len() {
+        h.write(&text[pos..]);
+    }
+    h.finish()
+}
+
+fn effect_byte(e: Effect) -> u8 {
+    u8::from(e.host_read)
+        | u8::from(e.host_write) << 1
+        | u8::from(e.device_read) << 2
+        | u8::from(e.device_write) << 3
+}
+
+fn summary_fingerprint(s: &FunctionSummary) -> u64 {
+    let mut h = Fnv::new();
+    h.write_str(&s.name);
+    h.write(&[u8::from(s.has_kernels)]);
+    for e in &s.param_effects {
+        h.write(&[effect_byte(*e)]);
+    }
+    let mut globals: Vec<(&String, &Effect)> = s.global_effects.iter().collect();
+    globals.sort_by_key(|(name, _)| name.as_str());
+    for (name, e) in globals {
+        h.write_str(name);
+        h.write(&[effect_byte(*e)]);
+    }
+    h.finish()
+}
+
+/// Fingerprint of the interprocedural facts a function's plan consumes: the
+/// summary of every direct callee, or — for callees without a summary — the
+/// `const` qualifiers of the visible prototype the pessimistic fallback
+/// reads.
+fn callees_fingerprint(
+    func_name: &str,
+    accesses: &AccessArtifact,
+    summaries: &SummariesArtifact,
+    unit: &TranslationUnit,
+) -> u64 {
+    let mut names: Vec<&str> = accesses
+        .accesses
+        .get(func_name)
+        .map(|acc| acc.calls.iter().map(|c| c.callee.as_str()).collect())
+        .unwrap_or_default();
+    names.sort_unstable();
+    names.dedup();
+    let mut h = Fnv::new();
+    for name in names {
+        h.write_str(name);
+        match summaries.summaries.summary(name) {
+            Some(summary) => {
+                h.write(&[1]);
+                h.write_u64(summary_fingerprint(summary));
+            }
+            None => {
+                h.write(&[2]);
+                if let Some(proto) = unit.all_functions().find(|f| f.name == name) {
+                    h.write_u64(proto.params.len() as u64);
+                    for p in &proto.params {
+                        h.write(&[u8::from(p.is_const_pointee)]);
+                    }
+                    h.write(&[u8::from(proto.is_variadic)]);
+                }
+            }
+        }
+    }
+    h.finish()
+}
+
+/// The whole-program facts `main`'s exit-liveness demotion reads: for every
+/// sibling function, the set of variables its body references (the same
+/// name-occurrence notion `dataflow::exit_copy_is_live` scans for).
+fn liveness_fingerprint(unit: &TranslationUnit, func_name: &str) -> u64 {
+    let mut funcs: Vec<&FunctionDef> = unit.functions().filter(|f| f.name != func_name).collect();
+    funcs.sort_by_key(|f| f.name.as_str());
+    let mut h = Fnv::new();
+    for f in funcs {
+        h.write_str(&f.name);
+        let mut vars: BTreeSet<String> = BTreeSet::new();
+        if let Some(body) = &f.body {
+            body.walk(&mut |s| {
+                if let StmtKind::Decl(decls) = &s.kind {
+                    for d in decls {
+                        if let Some(init) = &d.init {
+                            vars.extend(init.referenced_vars());
+                        }
+                    }
+                }
+                for e in s.direct_exprs() {
+                    vars.extend(e.referenced_vars());
+                }
+            });
+        }
+        for v in &vars {
+            h.write_str(v);
+        }
+        h.write(&[0]);
+    }
+    h.finish()
+}
+
+fn relocate_node(id: NodeId, delta: i64) -> NodeId {
+    NodeId((i64::from(id.0) + delta).max(0) as u32)
+}
+
+fn relocate_span(span: Span, delta: i64) -> Span {
+    Span::new(
+        (i64::from(span.start) + delta).max(0) as u32,
+        (i64::from(span.end) + delta).max(0) as u32,
+    )
+}
+
+fn relocate_provenance(p: &Provenance, dpos: i64) -> Provenance {
+    Provenance {
+        span: p.span.map(|s| relocate_span(s, dpos)),
+        ..p.clone()
+    }
+}
+
+/// Rebase a cached plan onto the coordinates of a fresh parse: shift every
+/// node id by `did` and every byte span by `dpos`.
+fn relocate_plan(plan: &MappingPlan, did: i64, dpos: i64) -> MappingPlan {
+    let mut out = plan.clone();
+    out.region_start = plan.region_start.map(|n| relocate_node(n, did));
+    out.region_end = plan.region_end.map(|n| relocate_node(n, did));
+    out.attach_to_kernel = plan.attach_to_kernel.map(|n| relocate_node(n, did));
+    out.kernels = plan
+        .kernels
+        .iter()
+        .map(|n| relocate_node(*n, did))
+        .collect();
+    for m in &mut out.maps {
+        m.provenance = relocate_provenance(&m.provenance, dpos);
+    }
+    for u in &mut out.updates {
+        u.anchor = relocate_node(u.anchor, did);
+        u.provenance = relocate_provenance(&u.provenance, dpos);
+    }
+    for fp in &mut out.firstprivate {
+        fp.kernel = relocate_node(fp.kernel, did);
+        fp.provenance = relocate_provenance(&fp.provenance, dpos);
+    }
+    out
+}
+
+fn relocate_diagnostics(diags: &Diagnostics, dpos: i64) -> Diagnostics {
+    let mut out = Diagnostics::new();
+    for d in diags.iter() {
+        let mut d = d.clone();
+        d.span = relocate_span(d.span, dpos);
+        for label in &mut d.labels {
+            label.span = relocate_span(label.span, dpos);
+        }
+        out.push(d);
+    }
+    out
+}
+
 /// Stage 5 — host/device data-flow planning, fanned out per function over
 /// scoped worker threads when `parallelism > 1`. The produced plans and
 /// diagnostics are merged back in source order, so the result is identical
@@ -386,32 +720,130 @@ pub fn stage_plans(
     options: &OmpDartOptions,
     parallelism: usize,
 ) -> PlansArtifact {
+    run_plan_stage(
+        unit,
+        graphs,
+        accesses,
+        summaries,
+        options,
+        parallelism,
+        None,
+    )
+}
+
+/// Stage 5 with function-granular caching: functions whose key (source
+/// text, environment, callee summaries, options) is unchanged re-use their
+/// cached plan — relocated to the current node ids and byte offsets —
+/// instead of re-running the data-flow analysis. The artifact's
+/// `plan_cache_hits`/`plan_cache_misses` record the split.
+pub fn stage_plans_incremental(
+    parsed: &ParsedUnit,
+    graphs: &GraphsArtifact,
+    accesses: &AccessArtifact,
+    summaries: &SummariesArtifact,
+    options: &OmpDartOptions,
+    parallelism: usize,
+    cache: &FunctionPlanCache,
+) -> PlansArtifact {
+    run_plan_stage(
+        &parsed.unit,
+        graphs,
+        accesses,
+        summaries,
+        options,
+        parallelism,
+        Some((parsed, cache)),
+    )
+}
+
+fn run_plan_stage(
+    unit: &TranslationUnit,
+    graphs: &GraphsArtifact,
+    accesses: &AccessArtifact,
+    summaries: &SummariesArtifact,
+    options: &OmpDartOptions,
+    parallelism: usize,
+    incremental: Option<(&ParsedUnit, &FunctionPlanCache)>,
+) -> PlansArtifact {
     let start = Instant::now();
     let funcs: Vec<_> = unit.functions().collect();
     let workers = parallelism.clamp(1, funcs.len().max(1));
 
-    // One slot per function: (had a graph, plan, diagnostics).
-    type Slot = (bool, Option<MappingPlan>, Diagnostics);
+    // Unit-wide key components, computed once and shared by every worker.
+    let shared = incremental.map(|(parsed, cache)| {
+        (
+            parsed,
+            cache,
+            environment_hash(&parsed.file, unit),
+            options_fingerprint(options),
+        )
+    });
+
+    // One slot per function: (had a graph, plan, diagnostics, cache hit).
+    type Slot = (bool, Option<MappingPlan>, Diagnostics, bool);
     let plan_one = |idx: usize| -> Slot {
         let func = funcs[idx];
-        let Some(graph) = graphs.graphs.function(&func.name) else {
-            return (false, None, Diagnostics::new());
-        };
-        let Some(mut acc) = accesses.accesses.get(&func.name).cloned() else {
-            return (true, None, Diagnostics::new());
-        };
-        augment_with_call_effects(&mut acc, unit, &summaries.summaries);
-        let mut diags = Diagnostics::new();
-        let plan = plan_function(
-            unit,
-            func,
-            graph,
-            &acc,
-            &accesses.symbols[&func.name],
-            &options.dataflow,
-            &mut diags,
-        );
-        (true, plan, diags)
+        let key = shared
+            .as_ref()
+            .map(|(parsed, _, env_hash, options_hash)| FunctionPlanKey {
+                snippet: parsed.file.snippet(func.span).to_string(),
+                env_hash: *env_hash,
+                callees_hash: callees_fingerprint(&func.name, accesses, summaries, unit),
+                refs_hash: if func.name == "main" {
+                    liveness_fingerprint(unit, &func.name)
+                } else {
+                    0
+                },
+                options_hash: *options_hash,
+            });
+        if let (Some(key), Some((parsed, cache, ..))) = (&key, shared.as_ref()) {
+            if let Some(entry) = cache.lookup(&parsed.name, &func.name, key) {
+                let did = i64::from(func.id.0) - i64::from(entry.base_id);
+                let dpos = i64::from(func.span.start) - i64::from(entry.base_pos);
+                return (
+                    entry.analyzed,
+                    entry.plan.as_ref().map(|p| relocate_plan(p, did, dpos)),
+                    relocate_diagnostics(&entry.diagnostics, dpos),
+                    true,
+                );
+            }
+        }
+
+        let (analyzed, plan, diags) = (|| {
+            let Some(graph) = graphs.graphs.function(&func.name) else {
+                return (false, None, Diagnostics::new());
+            };
+            let Some(mut acc) = accesses.accesses.get(&func.name).cloned() else {
+                return (true, None, Diagnostics::new());
+            };
+            augment_with_call_effects(&mut acc, unit, &summaries.summaries);
+            let mut diags = Diagnostics::new();
+            let plan = plan_function(
+                unit,
+                func,
+                graph,
+                &acc,
+                &accesses.symbols[&func.name],
+                &options.dataflow,
+                &mut diags,
+            );
+            (true, plan, diags)
+        })();
+        if let (Some(key), Some((parsed, cache, ..))) = (key, shared.as_ref()) {
+            cache.store(
+                parsed.name.clone(),
+                func.name.clone(),
+                CachedFunctionPlan {
+                    key,
+                    base_id: func.id.0,
+                    base_pos: func.span.start,
+                    analyzed,
+                    plan: plan.clone(),
+                    diagnostics: diags.clone(),
+                },
+            );
+        }
+        (analyzed, plan, diags, false)
     };
 
     let slots = parallel_map_indexed(workers, funcs.len(), plan_one);
@@ -419,8 +851,17 @@ pub fn stage_plans(
     let mut plans = Vec::new();
     let mut stats = AnalysisStats::default();
     let mut diagnostics = Diagnostics::new();
+    let mut plan_cache_hits = 0u64;
+    let mut plan_cache_misses = 0u64;
     for slot in slots {
-        let (analyzed, plan, diags) = slot;
+        let (analyzed, plan, diags, hit) = slot;
+        if shared.is_some() {
+            if hit {
+                plan_cache_hits += 1;
+            } else {
+                plan_cache_misses += 1;
+            }
+        }
         if analyzed {
             stats.functions_analyzed += 1;
         }
@@ -439,6 +880,8 @@ pub fn stage_plans(
         plans,
         stats,
         diagnostics,
+        plan_cache_hits,
+        plan_cache_misses,
         elapsed: start.elapsed(),
     }
 }
@@ -560,6 +1003,18 @@ pub struct CacheStats {
     pub analysis_hits: u64,
     /// `analyze` calls that ran the pipeline.
     pub analysis_misses: u64,
+    /// Functions whose plan was served (relocated) from the
+    /// function-granular plan cache instead of re-running the data-flow
+    /// analysis.
+    pub function_plan_hits: u64,
+    /// Functions that were actually planned.
+    pub function_plan_misses: u64,
+    /// `analyze` calls whose plans were served from the persistent
+    /// artifact store (when a `cache_dir` is configured).
+    pub store_hits: u64,
+    /// `analyze` calls that ran the planner while a store was configured
+    /// (each one is written back to the store afterwards).
+    pub store_misses: u64,
 }
 
 #[derive(Debug, Default)]
@@ -568,20 +1023,40 @@ struct CacheCounters {
     parse_misses: AtomicU64,
     analysis_hits: AtomicU64,
     analysis_misses: AtomicU64,
+    function_plan_hits: AtomicU64,
+    function_plan_misses: AtomicU64,
+    store_hits: AtomicU64,
+    store_misses: AtomicU64,
 }
 
 /// A reusable, thread-safe driver for the staged pipeline.
 ///
 /// The session caches [`ParsedUnit`]s and complete [`UnitAnalysis`] bundles
-/// under the FNV-1a hash of (file name, source text), so re-analyzing
-/// unchanged sources skips every stage. Stage methods can also be called
-/// individually to run the pipeline step by step.
+/// indexed by the FNV-1a hash of (file name, source text) — every hit is
+/// verified against the full `(name, source)` pair, so a hash collision can
+/// never return another file's artifacts. On top of that sit two
+/// incremental layers:
+///
+/// * a [`FunctionPlanCache`]: when an edited source re-enters `analyze`,
+///   only functions whose key (own text, environment, callee summaries)
+///   changed are re-planned; unchanged functions re-use their plan,
+///   relocated to the new node ids and byte offsets
+///   ([`CacheStats::function_plan_hits`] proves it);
+/// * an optional persistent [`ArtifactStore`]
+///   ([`AnalysisSession::with_cache_dir`]): plans are loaded from disk on a
+///   content match and written back after every miss, so a fresh process
+///   starts warm.
+///
+/// Stage methods can also be called individually to run the pipeline step
+/// by step.
 #[derive(Debug)]
 pub struct AnalysisSession {
     options: OmpDartOptions,
     parallelism: usize,
-    parse_cache: Mutex<HashMap<u64, Arc<ParsedUnit>>>,
-    unit_cache: Mutex<HashMap<u64, Arc<UnitAnalysis>>>,
+    parse_cache: Mutex<HashMap<u64, Vec<Arc<ParsedUnit>>>>,
+    unit_cache: Mutex<HashMap<u64, Vec<Arc<UnitAnalysis>>>>,
+    function_plans: FunctionPlanCache,
+    store: Option<ArtifactStore>,
     counters: CacheCounters,
     cumulative: Mutex<StageTimings>,
 }
@@ -605,6 +1080,8 @@ impl AnalysisSession {
             parallelism: default_parallelism(),
             parse_cache: Mutex::new(HashMap::new()),
             unit_cache: Mutex::new(HashMap::new()),
+            function_plans: FunctionPlanCache::new(),
+            store: None,
             counters: CacheCounters::default(),
             cumulative: Mutex::new(StageTimings::default()),
         }
@@ -614,6 +1091,49 @@ impl AnalysisSession {
     pub fn with_parallelism(mut self, workers: usize) -> AnalysisSession {
         self.parallelism = workers.max(1);
         self
+    }
+
+    /// Attach a persistent [`ArtifactStore`] rooted at `dir`: plans are
+    /// loaded from disk when the full content key matches and written back
+    /// after every planning run, so a new process with the same `dir`
+    /// starts warm. Entries produced under different options, a different
+    /// format version, or corrupted on disk are rejected, never trusted.
+    /// A store-served [`UnitAnalysis`] carries empty access/summary
+    /// artifacts — they are intermediates of the skipped planning stage.
+    pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> AnalysisSession {
+        self.store = Some(ArtifactStore::open(dir));
+        self
+    }
+
+    /// The attached persistent artifact store, if any.
+    pub fn artifact_store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    /// The session's function-granular plan cache.
+    pub fn function_plan_cache(&self) -> &FunctionPlanCache {
+        &self.function_plans
+    }
+
+    /// Drop cached parse/unit artifacts of `name` whose content differs
+    /// from `source`. Long-lived front doors (`ompdart watch`/`serve`)
+    /// call this after re-analyzing an edited file so that only the latest
+    /// version of each unit stays pinned in memory — without it, every
+    /// save of every watched file would accumulate a full artifact bundle
+    /// for the session's lifetime. (The function-plan cache already keeps
+    /// one entry per function and needs no eviction.)
+    pub fn evict_stale_versions(&self, name: &str, source: &str) {
+        let mut parse = self.parse_cache.lock().unwrap();
+        parse.retain(|_, bucket| {
+            bucket.retain(|p| p.name != name || p.file.text() == source);
+            !bucket.is_empty()
+        });
+        drop(parse);
+        let mut units = self.unit_cache.lock().unwrap();
+        units.retain(|_, bucket| {
+            bucket.retain(|a| a.parsed.name != name || a.parsed.file.text() == source);
+            !bucket.is_empty()
+        });
     }
 
     /// The active options.
@@ -633,6 +1153,10 @@ impl AnalysisSession {
             parse_misses: self.counters.parse_misses.load(Ordering::Relaxed),
             analysis_hits: self.counters.analysis_hits.load(Ordering::Relaxed),
             analysis_misses: self.counters.analysis_misses.load(Ordering::Relaxed),
+            function_plan_hits: self.counters.function_plan_hits.load(Ordering::Relaxed),
+            function_plan_misses: self.counters.function_plan_misses.load(Ordering::Relaxed),
+            store_hits: self.counters.store_hits.load(Ordering::Relaxed),
+            store_misses: self.counters.store_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -642,10 +1166,24 @@ impl AnalysisSession {
         *self.cumulative.lock().unwrap()
     }
 
-    /// Stage 1, cached: parse source text.
+    /// Stage 1, cached: parse source text. The content hash only indexes
+    /// the cache; a hit requires the stored `(name, source)` to match byte
+    /// for byte, so colliding keys chain instead of aliasing.
     pub fn parse(&self, name: &str, source: &str) -> Result<Arc<ParsedUnit>, StageError> {
         let key = content_hash(name, source);
-        if let Some(hit) = self.parse_cache.lock().unwrap().get(&key).cloned() {
+        let find = |bucket: &[Arc<ParsedUnit>]| {
+            bucket
+                .iter()
+                .find(|p| p.name == name && p.file.text() == source)
+                .cloned()
+        };
+        if let Some(hit) = self
+            .parse_cache
+            .lock()
+            .unwrap()
+            .get(&key)
+            .and_then(|b| find(b))
+        {
             self.counters.parse_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
@@ -654,14 +1192,13 @@ impl AnalysisSession {
         self.cumulative.lock().unwrap().parse += parsed.elapsed;
         // First writer wins: if a concurrent call raced us to the same key,
         // return its artifact so identical content always yields one Arc.
-        let winner = Arc::clone(
-            self.parse_cache
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert(parsed),
-        );
-        Ok(winner)
+        let mut cache = self.parse_cache.lock().unwrap();
+        let bucket = cache.entry(key).or_default();
+        if let Some(winner) = find(bucket) {
+            return Ok(winner);
+        }
+        bucket.push(Arc::clone(&parsed));
+        Ok(parsed)
     }
 
     /// Stage 2: build the hybrid AST-CFG.
@@ -689,7 +1226,10 @@ impl AnalysisSession {
         artifact
     }
 
-    /// Stage 5: data-flow planning with per-function fan-out.
+    /// Stage 5: data-flow planning with per-function fan-out and the
+    /// function-granular plan cache — functions whose key is unchanged
+    /// since a previous `plan`/`analyze` call of this session are served by
+    /// relocation instead of re-analysis.
     pub fn plan(
         &self,
         parsed: &ParsedUnit,
@@ -697,14 +1237,21 @@ impl AnalysisSession {
         accesses: &AccessArtifact,
         summaries: &SummariesArtifact,
     ) -> Arc<PlansArtifact> {
-        let artifact = Arc::new(stage_plans(
-            &parsed.unit,
+        let artifact = Arc::new(stage_plans_incremental(
+            parsed,
             graphs,
             accesses,
             summaries,
             &self.options,
             self.parallelism,
+            &self.function_plans,
         ));
+        self.counters
+            .function_plan_hits
+            .fetch_add(artifact.plan_cache_hits, Ordering::Relaxed);
+        self.counters
+            .function_plan_misses
+            .fetch_add(artifact.plan_cache_misses, Ordering::Relaxed);
         self.cumulative.lock().unwrap().plan += artifact.elapsed;
         artifact
     }
@@ -722,9 +1269,26 @@ impl AnalysisSession {
     }
 
     /// Run (or fetch from the cache) the complete pipeline for one source.
+    ///
+    /// Lookup order: the in-memory unit cache (full-key verified), then —
+    /// when a `cache_dir` is attached — the persistent store (plans loaded
+    /// from disk, only parse/graphs/rewrite re-run), then the full
+    /// pipeline, whose planning stage consults the function-granular cache.
     pub fn analyze(&self, name: &str, source: &str) -> Result<Arc<UnitAnalysis>, StageError> {
         let key = content_hash(name, source);
-        if let Some(hit) = self.unit_cache.lock().unwrap().get(&key).cloned() {
+        let find = |bucket: &[Arc<UnitAnalysis>]| {
+            bucket
+                .iter()
+                .find(|a| a.parsed.name == name && a.parsed.file.text() == source)
+                .cloned()
+        };
+        if let Some(hit) = self
+            .unit_cache
+            .lock()
+            .unwrap()
+            .get(&key)
+            .and_then(|b| find(b))
+        {
             self.counters.analysis_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
@@ -736,29 +1300,82 @@ impl AnalysisSession {
             check_input_contract(&parsed)?;
         }
         let graphs = self.graphs(&parsed);
-        let accesses = self.accesses(&parsed, &graphs);
-        let summaries = self.summaries(&parsed, &accesses);
-        let plans = self.plan(&parsed, &graphs, &accesses, &summaries);
-        let rewrite = self.rewrite(&parsed, &graphs, &plans);
-        let analysis = Arc::new(UnitAnalysis {
-            parsed,
-            graphs,
-            accesses,
-            summaries,
-            plans,
-            rewrite,
+
+        // Persistent-store fast path: a verified content match on disk
+        // skips access classification, summaries and planning entirely.
+        let stored = self.store.as_ref().and_then(|store| {
+            let hit = store.load(name, source, &self.options);
+            let counter = if hit.is_some() {
+                &self.counters.store_hits
+            } else {
+                &self.counters.store_misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            hit
         });
+        let analysis = match stored {
+            Some(stored) => {
+                let plans = Arc::new(PlansArtifact {
+                    plans: stored.plans,
+                    stats: stored.stats,
+                    diagnostics: Diagnostics::new(),
+                    plan_cache_hits: 0,
+                    plan_cache_misses: 0,
+                    elapsed: Duration::ZERO,
+                });
+                let rewrite = self.rewrite(&parsed, &graphs, &plans);
+                // A store-served analysis carries empty access/summary
+                // artifacts: they are intermediates of planning, which was
+                // skipped.
+                Arc::new(UnitAnalysis {
+                    parsed,
+                    graphs,
+                    accesses: Arc::new(AccessArtifact {
+                        accesses: HashMap::new(),
+                        symbols: HashMap::new(),
+                        elapsed: Duration::ZERO,
+                    }),
+                    summaries: Arc::new(SummariesArtifact {
+                        summaries: ProgramSummaries::default(),
+                        elapsed: Duration::ZERO,
+                    }),
+                    plans,
+                    rewrite,
+                })
+            }
+            None => {
+                let accesses = self.accesses(&parsed, &graphs);
+                let summaries = self.summaries(&parsed, &accesses);
+                let plans = self.plan(&parsed, &graphs, &accesses, &summaries);
+                let rewrite = self.rewrite(&parsed, &graphs, &plans);
+                if let Some(store) = &self.store {
+                    // Write-back, best effort. Units with planning
+                    // diagnostics are not persisted: the warnings would be
+                    // lost on a later store hit.
+                    if plans.diagnostics.is_empty() {
+                        let _ = store.save(name, source, &self.options, &plans.plans, &plans.stats);
+                    }
+                }
+                Arc::new(UnitAnalysis {
+                    parsed,
+                    graphs,
+                    accesses,
+                    summaries,
+                    plans,
+                    rewrite,
+                })
+            }
+        };
         // First writer wins, as in `parse`: concurrent analyses of the same
         // content may both compute (benign duplicated work), but every
         // caller observes the same cached Arc afterwards.
-        let winner = Arc::clone(
-            self.unit_cache
-                .lock()
-                .unwrap()
-                .entry(key)
-                .or_insert(analysis),
-        );
-        Ok(winner)
+        let mut cache = self.unit_cache.lock().unwrap();
+        let bucket = cache.entry(key).or_default();
+        if let Some(winner) = find(bucket) {
+            return Ok(winner);
+        }
+        bucket.push(Arc::clone(&analysis));
+        Ok(analysis)
     }
 
     /// Run the pipeline and assemble the legacy [`TransformResult`]. The
@@ -988,6 +1605,200 @@ int main() { f(); g(); printf(\"%f %f\\n\", a[1], b[1]); return 0; }
         for (a, b) in results.iter().zip(&again) {
             assert!(Arc::ptr_eq(a.as_ref().unwrap(), b.as_ref().unwrap()));
         }
+    }
+
+    const TWO_FUNCS: &str = "\
+#define N 24
+double a[N];
+double b[N];
+void fa() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) a[i] = i;
+}
+void fb() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) b[i] = 2 * i;
+}
+int main() { fa(); fb(); printf(\"%f %f\\n\", a[1], b[1]); return 0; }
+";
+
+    /// Editing one function's body re-plans only that function: the other
+    /// functions are served from the function-granular plan cache, and the
+    /// incremental result is identical to a cold analysis of the edited
+    /// source — plans (node ids, spans), stats, and rewrite bytes.
+    #[test]
+    fn one_function_edit_replans_only_that_function() {
+        let session = AnalysisSession::new();
+        session.analyze("two.c", TWO_FUNCS).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(stats.function_plan_hits, 0);
+        assert_eq!(stats.function_plan_misses, 3);
+
+        // Grow fa's body: every later function moves in both byte offsets
+        // and node ids, exercising the relocation path.
+        let edited = TWO_FUNCS.replace("a[i] = i;", "a[i] = i + 1.0;");
+        assert_ne!(edited, TWO_FUNCS);
+        let incremental = session.analyze("two.c", &edited).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(
+            stats.function_plan_misses, 4,
+            "only the edited function may be re-planned"
+        );
+        assert_eq!(stats.function_plan_hits, 2, "fb and main must be served");
+
+        let cold = AnalysisSession::new();
+        let fresh = cold.analyze("two.c", &edited).unwrap();
+        assert_eq!(fresh.rewrite.source, incremental.rewrite.source);
+        assert_eq!(fresh.plans.stats, incremental.plans.stats);
+        assert_eq!(fresh.plans.plans, incremental.plans.plans);
+    }
+
+    /// An edit *before* the functions (a macro change) invalidates every
+    /// function: macros expand into bodies, so no cached plan may survive.
+    #[test]
+    fn environment_edit_invalidates_every_function() {
+        let session = AnalysisSession::new();
+        session.analyze("two.c", TWO_FUNCS).unwrap();
+        let edited = TWO_FUNCS.replace("#define N 24", "#define N 48");
+        let incremental = session.analyze("two.c", &edited).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(stats.function_plan_hits, 0);
+        assert_eq!(stats.function_plan_misses, 6);
+        let cold = AnalysisSession::new().analyze("two.c", &edited).unwrap();
+        assert_eq!(cold.rewrite.source, incremental.rewrite.source);
+    }
+
+    /// A callee's changed interprocedural summary re-plans its caller even
+    /// though the caller's own body is unchanged.
+    #[test]
+    fn callee_summary_change_replans_caller() {
+        let src = "\
+#define N 16
+double buf[N];
+double sink;
+void helper(double *p, int n) {
+  for (int i = 0; i < n; i++) sink = sink + p[i];
+}
+void driver() {
+  for (int it = 0; it < 3; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) buf[i] += 1.0;
+    helper(buf, N);
+  }
+}
+";
+        let session = AnalysisSession::new();
+        session.analyze("ip.c", src).unwrap();
+        // helper turns from a reader into a writer of its parameter:
+        // driver's plan must be recomputed even though its body text is
+        // unchanged (same length, same node count).
+        let edited = src.replace("sink = sink + p[i];", "p[i] = sink + 0.25;");
+        assert_eq!(edited.len(), src.len());
+        let incremental = session.analyze("ip.c", &edited).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(
+            stats.function_plan_misses, 4,
+            "both helper and driver must be re-planned"
+        );
+        let cold = AnalysisSession::new().analyze("ip.c", &edited).unwrap();
+        assert_eq!(cold.rewrite.source, incremental.rewrite.source);
+        assert_eq!(cold.plans.plans, incremental.plans.plans);
+    }
+
+    /// Colliding 64-bit keys must not alias: the parse and unit caches
+    /// verify the full `(name, source)` on every hit.
+    #[test]
+    fn cache_hits_verify_full_key() {
+        let session = AnalysisSession::new();
+        let a = session.analyze("x.c", TWO_FUNCS).unwrap();
+        // Simulate a collision by force-filing a different unit under the
+        // same buckets (the public API cannot collide on demand, so poke
+        // the internals the way a colliding hash would).
+        let other = session.analyze("y.c", DEMO).unwrap();
+        let key = content_hash("x.c", TWO_FUNCS);
+        session
+            .unit_cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .push(Arc::clone(&other));
+        session
+            .parse_cache
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_default()
+            .push(Arc::clone(&other.parsed));
+        // The colliding entry must be skipped, not returned.
+        let again = session.analyze("x.c", TWO_FUNCS).unwrap();
+        assert!(Arc::ptr_eq(&a, &again));
+        let reparsed = session.parse("x.c", TWO_FUNCS).unwrap();
+        assert_eq!(reparsed.name, "x.c");
+        assert_eq!(reparsed.file.text(), TWO_FUNCS);
+    }
+
+    /// Long-lived sessions can evict superseded versions of a unit so
+    /// watch/serve memory stays bounded by the number of files, not the
+    /// number of saves.
+    #[test]
+    fn evict_stale_versions_keeps_only_the_latest() {
+        let session = AnalysisSession::new();
+        session.analyze("demo.c", DEMO).unwrap();
+        let edited = DEMO.replace("a[i] += 1.0;", "a[i] += 2.0;");
+        let latest = session.analyze("demo.c", &edited).unwrap();
+        let other = session.analyze("other.c", TWO_FUNCS).unwrap();
+        assert_eq!(session.unit_cache.lock().unwrap().len(), 3);
+
+        session.evict_stale_versions("demo.c", &edited);
+        let remaining: usize = session
+            .unit_cache
+            .lock()
+            .unwrap()
+            .values()
+            .map(|b| b.len())
+            .sum();
+        assert_eq!(remaining, 2, "the old demo.c version must be gone");
+        // The surviving entries still hit.
+        let again = session.analyze("demo.c", &edited).unwrap();
+        assert!(Arc::ptr_eq(&latest, &again));
+        let other_again = session.analyze("other.c", TWO_FUNCS).unwrap();
+        assert!(Arc::ptr_eq(&other, &other_again));
+        // The superseded content is a miss (recomputed, not aliased).
+        let misses_before = session.cache_stats().analysis_misses;
+        session.analyze("demo.c", DEMO).unwrap();
+        assert_eq!(session.cache_stats().analysis_misses, misses_before + 1);
+    }
+
+    /// The persistent store round-trips through a "process restart": a new
+    /// session over the same cache dir serves plans from disk and rewrites
+    /// byte-identically without planning anything.
+    #[test]
+    fn persistent_store_survives_session_restart() {
+        let dir =
+            std::env::temp_dir().join(format!("ompdart-pipeline-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let first = AnalysisSession::new().with_cache_dir(&dir);
+        let cold = first.analyze("two.c", TWO_FUNCS).unwrap();
+        let stats = first.cache_stats();
+        assert_eq!(stats.store_hits, 0);
+        assert_eq!(stats.store_misses, 1);
+        assert_eq!(first.artifact_store().unwrap().entry_count(), 1);
+
+        let second = AnalysisSession::new().with_cache_dir(&dir);
+        let warm = second.analyze("two.c", TWO_FUNCS).unwrap();
+        let stats = second.cache_stats();
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.store_misses, 0);
+        assert_eq!(
+            stats.function_plan_misses, 0,
+            "a store hit must not plan any function"
+        );
+        assert_eq!(warm.rewrite.source, cold.rewrite.source);
+        assert_eq!(warm.plans.plans, cold.plans.plans);
+        assert_eq!(warm.plans.stats, cold.plans.stats);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -14,8 +14,8 @@
 
 use crate::pipeline::Stage;
 use crate::plan::ir::{
-    FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
-    UpdateSpec, PLAN_FORMAT_VERSION,
+    AnalysisStats, FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact,
+    UpdateDirection, UpdateSpec, PLAN_FORMAT_VERSION,
 };
 use ompdart_frontend::ast::NodeId;
 use ompdart_frontend::omp::MapType;
@@ -786,6 +786,61 @@ pub fn plans_to_json(plans: &[MappingPlan]) -> String {
     .render_pretty()
 }
 
+/// Field order of the [`AnalysisStats`] serialization (kept in one place so
+/// the writer and the reader cannot drift apart).
+const STATS_FIELDS: [&str; 7] = [
+    "functions_analyzed",
+    "functions_with_kernels",
+    "kernels",
+    "mapped_variables",
+    "map_clauses",
+    "update_directives",
+    "firstprivate_clauses",
+];
+
+/// Serialize [`AnalysisStats`] as a JSON object (used by the persistent
+/// artifact store alongside the plan document).
+pub fn stats_to_json(stats: &AnalysisStats) -> Json {
+    let values = [
+        stats.functions_analyzed,
+        stats.functions_with_kernels,
+        stats.kernels,
+        stats.mapped_variables,
+        stats.map_clauses,
+        stats.update_directives,
+        stats.firstprivate_clauses,
+    ];
+    Json::Object(
+        STATS_FIELDS
+            .iter()
+            .zip(values)
+            .map(|(key, v)| ((*key).to_string(), Json::Int(v as i64)))
+            .collect(),
+    )
+}
+
+/// Parse an object written by [`stats_to_json`]. Every field is required;
+/// negative counts are schema violations.
+pub fn stats_from_json(value: &Json) -> Result<AnalysisStats, PlanJsonError> {
+    let field = |key: &str| -> Result<usize, PlanJsonError> {
+        let n = value
+            .get(key)
+            .and_then(Json::as_int)
+            .ok_or_else(|| PlanJsonError::schema(format!("missing integer field `{key}`")))?;
+        usize::try_from(n)
+            .map_err(|_| PlanJsonError::schema(format!("`{key}` must be non-negative")))
+    };
+    Ok(AnalysisStats {
+        functions_analyzed: field(STATS_FIELDS[0])?,
+        functions_with_kernels: field(STATS_FIELDS[1])?,
+        kernels: field(STATS_FIELDS[2])?,
+        mapped_variables: field(STATS_FIELDS[3])?,
+        map_clauses: field(STATS_FIELDS[4])?,
+        update_directives: field(STATS_FIELDS[5])?,
+        firstprivate_clauses: field(STATS_FIELDS[6])?,
+    })
+}
+
 /// Parse a document produced by [`plans_to_json`].
 pub fn plans_from_json(text: &str) -> Result<Vec<MappingPlan>, PlanJsonError> {
     let doc = Json::parse(text)?;
@@ -930,6 +985,25 @@ mod tests {
         assert!(Json::parse("\"\\ud835\"").is_err());
         assert!(Json::parse("\"\\ud835x\"").is_err());
         assert!(Json::parse("\"\\udc65\"").is_err());
+    }
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = AnalysisStats {
+            functions_analyzed: 3,
+            functions_with_kernels: 2,
+            kernels: 5,
+            mapped_variables: 7,
+            map_clauses: 6,
+            update_directives: 1,
+            firstprivate_clauses: 2,
+        };
+        let json = stats_to_json(&stats);
+        assert_eq!(stats_from_json(&json).unwrap(), stats);
+        // Missing and negative fields are schema violations.
+        assert!(stats_from_json(&Json::Object(vec![])).is_err());
+        let negative = Json::Object(vec![("functions_analyzed".into(), Json::Int(-1))]);
+        assert!(stats_from_json(&negative).is_err());
     }
 
     /// Adversarial nesting must fail with a syntax error, never overflow

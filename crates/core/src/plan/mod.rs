@@ -22,4 +22,6 @@ pub use ir::{
     AnalysisStats, FirstPrivateSpec, MapSpec, MappingConstruct, MappingPlan, Placement, Provenance,
     ProvenanceFact, UpdateDirection, UpdateSpec, PLAN_FORMAT_VERSION,
 };
-pub use json::{plans_from_json, plans_to_json, Json, PlanJsonError};
+pub use json::{
+    plans_from_json, plans_to_json, stats_from_json, stats_to_json, Json, PlanJsonError,
+};

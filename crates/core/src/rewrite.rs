@@ -178,10 +178,18 @@ impl EditSet {
 
     fn apply(&self, original: &str) -> String {
         let mut out = String::with_capacity(original.len() + 256);
-        let bytes = original.as_bytes();
         let mut prev = 0usize;
         for (&pos, texts) in &self.inserts {
-            let pos = (pos as usize).min(bytes.len());
+            // Positions are byte offsets into the original text. Snap any
+            // position that lands inside a multibyte UTF-8 sequence (e.g.
+            // computed past a non-ASCII comment or string literal) back to
+            // the nearest char boundary instead of panicking on the slice,
+            // and never behind an already-emitted prefix.
+            let mut pos = (pos as usize).min(original.len());
+            while !original.is_char_boundary(pos) {
+                pos -= 1;
+            }
+            let pos = pos.max(prev);
             out.push_str(&original[prev..pos]);
             for t in texts {
                 out.push_str(t);
@@ -383,5 +391,55 @@ void f() {
         edits.insert(5, "Y".into());
         let out = edits.apply("hello world");
         assert_eq!(out, "AhelloXY world");
+    }
+
+    /// Positions inside a multibyte UTF-8 sequence snap to the previous
+    /// char boundary instead of panicking on a non-boundary slice.
+    #[test]
+    fn edit_set_snaps_positions_to_char_boundaries() {
+        let text = "a≤b"; // '≤' occupies bytes 1..4
+        for pos in 0..=text.len() as u32 + 2 {
+            let mut edits = EditSet::default();
+            edits.insert(pos, "|".into());
+            let out = edits.apply(text);
+            assert_eq!(out.replace('|', ""), text, "insert at byte {pos}");
+            assert_eq!(out.matches('|').count(), 1);
+        }
+        // Two inserts landing inside the same multibyte char both snap and
+        // stay ordered.
+        let mut edits = EditSet::default();
+        edits.insert(2, "X".into());
+        edits.insert(3, "Y".into());
+        assert_eq!(edits.apply(text), "aXY≤b");
+    }
+
+    /// Regression: rewriting a source that carries multibyte UTF-8 in
+    /// comments above the target loop must not panic, and the inserted
+    /// directives must land on valid boundaries.
+    #[test]
+    fn rewrites_source_with_multibyte_comments() {
+        let src = "\
+#define N 16
+// café ≤ ∞ — multibyte bytes before every span below
+int a[N];
+int main() {
+  // ∑ of a[j] — more multibyte
+  int sum = 0;
+  for (int i = 0; i < 4; ++i) {
+    #pragma omp target
+    for (int j = 0; j < N; ++j) a[j] += j;
+    for (int j = 0; j < N; ++j) sum += a[j];
+  }
+  printf(\"%d\\n\", sum);
+  return 0;
+}
+";
+        let out = transform(src);
+        assert!(out.contains("#pragma omp target data"), "{out}");
+        assert!(out.contains("#pragma omp target update from(a)"), "{out}");
+        assert!(out.contains("café ≤ ∞"), "comment must survive: {out}");
+        // The transformed text must still be valid UTF-8-aligned C.
+        let (_f, reparsed) = parse_str("utf8_out.c", &out);
+        assert!(reparsed.is_ok(), "{out}\n{:?}", reparsed.diagnostics);
     }
 }

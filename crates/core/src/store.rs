@@ -1,0 +1,354 @@
+//! Persistent on-disk artifact store: warm starts across process restarts.
+//!
+//! The store keeps one JSON document per analyzed translation unit, keyed by
+//! the content of `(file name, source text)`. Documents reuse the versioned
+//! plan JSON of [`crate::plan::json`] and add a *full verification key*:
+//! besides the primary FNV-1a content hash (which also names the file on
+//! disk), every entry records the unit name, the source length, an
+//! independent second content hash, and the fingerprint of the
+//! [`OmpDartOptions`] that produced the plans. A lookup only hits when every
+//! component matches — a corrupt file, a hash collision, a stale entry from
+//! an older format version, or an entry produced under different options is
+//! silently treated as a miss and overwritten on the next write-back, never
+//! trusted.
+//!
+//! The store is deliberately plan-granular: plans are the expensive artifact
+//! (the data-flow analysis), while parsing and rewriting are cheap and must
+//! re-run anyway to rebuild spans and node ids for the current source.
+//! Because parsing is deterministic, node ids serialized in a stored plan
+//! line up with a fresh parse of the identical source, which is what makes
+//! a store-served rewrite byte-identical to a cold one (the same property
+//! the plan-JSON golden tests pin).
+
+use crate::pipeline::{content_hash, content_hash2};
+use crate::plan::ir::{AnalysisStats, MappingPlan, PLAN_FORMAT_VERSION};
+use crate::plan::json::{stats_from_json, stats_to_json, Json};
+use crate::OmpDartOptions;
+use std::path::{Path, PathBuf};
+
+/// Version of the on-disk store envelope. Bumped whenever the document
+/// layout around the embedded plan JSON changes; entries written by any
+/// other version are rejected as stale.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// A directory-backed store of per-unit planning artifacts.
+///
+/// Opening a store never fails: the directory is created lazily on the
+/// first write, and every read error (missing directory, unreadable file,
+/// corrupt JSON) degrades to a cache miss.
+#[derive(Clone, Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+}
+
+/// One unit's stored planning artifacts, as returned by
+/// [`ArtifactStore::load`].
+#[derive(Clone, Debug)]
+pub struct StoredUnit {
+    /// The per-function mapping plans, in source order.
+    pub plans: Vec<MappingPlan>,
+    /// The aggregate statistics recorded when the plans were produced.
+    pub stats: AnalysisStats,
+}
+
+impl ArtifactStore {
+    /// A store rooted at `dir`. The directory is created on first write.
+    pub fn open(dir: impl Into<PathBuf>) -> ArtifactStore {
+        ArtifactStore { dir: dir.into() }
+    }
+
+    /// The directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path an entry for `(name, source)` under `options`
+    /// lives at. The file name carries three hashes — the unit name alone,
+    /// the full content, and the options fingerprint — so (a) sessions
+    /// with different options sharing one `cache_dir` coexist instead of
+    /// overwriting each other, and (b) superseded content versions of the
+    /// same unit are identifiable (and pruned) by their shared name/options
+    /// prefix. Colliding hashes share a path but are disambiguated by the
+    /// in-file verification key.
+    pub fn entry_path(&self, name: &str, source: &str, options: &OmpDartOptions) -> PathBuf {
+        self.dir.join(format!(
+            "unit-{:016x}-{:016x}-{:016x}.json",
+            content_hash(name, ""),
+            content_hash(name, source),
+            options.fingerprint()
+        ))
+    }
+
+    /// Number of entries currently on disk (diagnostics and tests).
+    pub fn entry_count(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| {
+                        e.file_name()
+                            .to_str()
+                            .is_some_and(|n| n.starts_with("unit-") && n.ends_with(".json"))
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entry_count() == 0
+    }
+
+    /// Look up the stored plans for `(name, source)` under `options`.
+    /// Returns `None` unless the entry exists, parses, carries the expected
+    /// versions, and its full key — name, source length, both content
+    /// hashes, and the options fingerprint — matches exactly.
+    pub fn load(&self, name: &str, source: &str, options: &OmpDartOptions) -> Option<StoredUnit> {
+        let text = std::fs::read_to_string(self.entry_path(name, source, options)).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("store_version").and_then(Json::as_int) != Some(i64::from(STORE_FORMAT_VERSION))
+            || doc.get("version").and_then(Json::as_int) != Some(i64::from(PLAN_FORMAT_VERSION))
+        {
+            return None;
+        }
+        let key = doc.get("key")?;
+        let matches = key.get("name").and_then(Json::as_str) == Some(name)
+            && key.get("len").and_then(Json::as_int) == Some(source.len() as i64)
+            && key.get("fnv").and_then(Json::as_str)
+                == Some(format!("{:016x}", content_hash(name, source)).as_str())
+            && key.get("fnv2").and_then(Json::as_str)
+                == Some(format!("{:016x}", content_hash2(name, source)).as_str())
+            && doc.get("options").and_then(Json::as_str)
+                == Some(format!("{:016x}", options.fingerprint()).as_str());
+        if !matches {
+            return None;
+        }
+        let plans = doc
+            .get("plans")
+            .and_then(Json::as_array)?
+            .iter()
+            .map(MappingPlan::from_json_value)
+            .collect::<Result<Vec<_>, _>>()
+            .ok()?;
+        let stats = stats_from_json(doc.get("stats")?).ok()?;
+        Some(StoredUnit { plans, stats })
+    }
+
+    /// Write back the plans for `(name, source)` produced under `options`.
+    /// The write is atomic (temp file + rename) so concurrent writers and
+    /// crashed processes never leave a torn entry behind. Entries for
+    /// *superseded* content of the same unit under the same options are
+    /// pruned afterwards, so a long editing session leaves one file per
+    /// (unit, options) on disk — not one per save.
+    pub fn save(
+        &self,
+        name: &str,
+        source: &str,
+        options: &OmpDartOptions,
+        plans: &[MappingPlan],
+        stats: &AnalysisStats,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let doc = Json::Object(vec![
+            (
+                "store_version".into(),
+                Json::Int(i64::from(STORE_FORMAT_VERSION)),
+            ),
+            ("version".into(), Json::Int(i64::from(PLAN_FORMAT_VERSION))),
+            (
+                "key".into(),
+                Json::Object(vec![
+                    ("name".into(), Json::Str(name.to_string())),
+                    ("len".into(), Json::Int(source.len() as i64)),
+                    (
+                        "fnv".into(),
+                        Json::Str(format!("{:016x}", content_hash(name, source))),
+                    ),
+                    (
+                        "fnv2".into(),
+                        Json::Str(format!("{:016x}", content_hash2(name, source))),
+                    ),
+                ]),
+            ),
+            (
+                "options".into(),
+                Json::Str(format!("{:016x}", options.fingerprint())),
+            ),
+            ("stats".into(), stats_to_json(stats)),
+            (
+                "plans".into(),
+                Json::Array(plans.iter().map(MappingPlan::to_json_value).collect()),
+            ),
+        ]);
+        let path = self.entry_path(name, source, options);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, doc.render_pretty())?;
+        std::fs::rename(&tmp, &path)?;
+        self.prune_superseded(name, options, &path);
+        Ok(path)
+    }
+
+    /// Best-effort removal of entries for older content of `(name,
+    /// options)`: everything sharing the fresh entry's name/options hash
+    /// pair except the fresh entry itself.
+    fn prune_superseded(&self, name: &str, options: &OmpDartOptions, keep: &Path) {
+        let prefix = format!("unit-{:016x}-", content_hash(name, ""));
+        let suffix = format!("-{:016x}.json", options.fingerprint());
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path == keep {
+                continue;
+            }
+            let stale = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(&suffix));
+            if stale {
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ir::MapSpec;
+    use ompdart_frontend::omp::MapType;
+
+    fn temp_store(tag: &str) -> ArtifactStore {
+        let dir =
+            std::env::temp_dir().join(format!("ompdart-store-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ArtifactStore::open(dir)
+    }
+
+    fn sample_plans() -> Vec<MappingPlan> {
+        let mut plan = MappingPlan {
+            function: "main".into(),
+            ..Default::default()
+        };
+        plan.maps.push(MapSpec::new("a", MapType::ToFrom));
+        vec![plan]
+    }
+
+    #[test]
+    fn round_trip_hits_only_on_exact_key() {
+        let store = temp_store("roundtrip");
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats {
+            map_clauses: 1,
+            ..Default::default()
+        };
+        let plans = sample_plans();
+        store
+            .save("demo.c", "int main() {}", &options, &plans, &stats)
+            .unwrap();
+        assert_eq!(store.entry_count(), 1);
+
+        let hit = store.load("demo.c", "int main() {}", &options).unwrap();
+        assert_eq!(hit.plans, plans);
+        assert_eq!(hit.stats, stats);
+
+        // Different source, name, or options must miss.
+        assert!(store.load("demo.c", "int main() { }", &options).is_none());
+        assert!(store.load("other.c", "int main() {}", &options).is_none());
+        let other_options = OmpDartOptions {
+            interprocedural: false,
+            ..OmpDartOptions::default()
+        };
+        assert!(store
+            .load("demo.c", "int main() {}", &other_options)
+            .is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn corrupt_and_stale_entries_are_rejected() {
+        let store = temp_store("corrupt");
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        store
+            .save("x.c", "void f() {}", &options, &sample_plans(), &stats)
+            .unwrap();
+        let path = store.entry_path("x.c", "void f() {}", &options);
+
+        // Corrupt JSON: miss, not a panic or a bad deserialization.
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(store.load("x.c", "void f() {}", &options).is_none());
+
+        // A valid document from a future store version: stale, rejected.
+        store
+            .save("x.c", "void f() {}", &options, &sample_plans(), &stats)
+            .unwrap();
+        let bumped = std::fs::read_to_string(&path).unwrap().replacen(
+            "\"store_version\": 1",
+            "\"store_version\": 99",
+            1,
+        );
+        std::fs::write(&path, bumped).unwrap();
+        assert!(store.load("x.c", "void f() {}", &options).is_none());
+
+        // An entry whose key was tampered with (collision simulation).
+        store
+            .save("x.c", "void f() {}", &options, &sample_plans(), &stats)
+            .unwrap();
+        let tampered = std::fs::read_to_string(&path).unwrap().replacen(
+            "\"name\": \"x.c\"",
+            "\"name\": \"y.c\"",
+            1,
+        );
+        std::fs::write(&path, tampered).unwrap();
+        assert!(store.load("x.c", "void f() {}", &options).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Different option sets sharing one cache dir coexist (distinct
+    /// files), while superseded content of the same (unit, options) pair
+    /// is pruned on write-back so disk is bounded by the unit count, not
+    /// the save count.
+    #[test]
+    fn options_variants_coexist_and_superseded_versions_are_pruned() {
+        let store = temp_store("prune");
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        let defaults = OmpDartOptions::default();
+        let no_ip = OmpDartOptions {
+            interprocedural: false,
+            ..OmpDartOptions::default()
+        };
+        store.save("a.c", "v1", &defaults, &plans, &stats).unwrap();
+        store.save("a.c", "v1", &no_ip, &plans, &stats).unwrap();
+        assert_eq!(store.entry_count(), 2, "options variants must coexist");
+        assert!(store.load("a.c", "v1", &defaults).is_some());
+        assert!(store.load("a.c", "v1", &no_ip).is_some());
+
+        // New content for the default options: the old default entry is
+        // pruned, the other-options entry survives.
+        store.save("a.c", "v2", &defaults, &plans, &stats).unwrap();
+        assert_eq!(store.entry_count(), 2);
+        assert!(store.load("a.c", "v1", &defaults).is_none());
+        assert!(store.load("a.c", "v2", &defaults).is_some());
+        assert!(store.load("a.c", "v1", &no_ip).is_some());
+
+        // Other units are untouched by pruning.
+        store.save("b.c", "v1", &defaults, &plans, &stats).unwrap();
+        store.save("a.c", "v3", &defaults, &plans, &stats).unwrap();
+        assert_eq!(store.entry_count(), 3);
+        assert!(store.load("b.c", "v1", &defaults).is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn missing_directory_degrades_to_miss() {
+        let store = ArtifactStore::open("/nonexistent/ompdart-store");
+        assert!(store
+            .load("a.c", "int x;", &OmpDartOptions::default())
+            .is_none());
+        assert!(store.is_empty());
+    }
+}

@@ -95,7 +95,19 @@ pub fn preprocess(tokens: Vec<Token>, diags: &mut Diagnostics) -> PreprocessOutp
                             if taken {
                                 cond_stack.push((false, true));
                             } else {
-                                let v = eval_pp_condition(rest, &out).unwrap_or(true);
+                                // Same warn-on-unknown path as `#if`: an
+                                // unevaluable condition is assumed true
+                                // *loudly*, never silently.
+                                let v = match eval_pp_condition(rest, &out) {
+                                    Some(v) => v,
+                                    None => {
+                                        diags.warning(
+                                            tok.span,
+                                            "unsupported #elif condition; assuming true",
+                                        );
+                                        true
+                                    }
+                                };
                                 cond_stack.push((v, v));
                             }
                         } else {
@@ -227,24 +239,295 @@ fn single_numeric_value(body: &[Token]) -> Option<f64> {
     Some(if neg { -v } else { v })
 }
 
+/// Evaluate a `#if`/`#elif` condition over the known macro table.
+///
+/// Supported grammar (C preprocessor subset):
+///
+/// ```text
+/// or    := and ('||' and)*
+/// and   := cmp ('&&' cmp)*
+/// cmp   := add (('=='|'!='|'<='|'>='|'<'|'>') add)?
+/// add   := mul (('+'|'-') mul)*
+/// mul   := unary (('*'|'/'|'%') unary)*
+/// unary := ('!'|'-') unary | primary
+/// primary := integer | 'defined' '(' name ')' | 'defined' name
+///          | name | '(' or ')'
+/// ```
+///
+/// Identifiers resolve through the constant-macro table; an identifier with
+/// no known integer value makes its subexpression *unknown* (`None`).
+/// Unknowns propagate, except where `&&`/`||` can decide the result from
+/// the known side alone — mirroring how a real preprocessor would
+/// short-circuit. The caller warns and assumes true on `None`.
 fn eval_pp_condition(rest: &str, out: &PreprocessOutput) -> Option<bool> {
-    let rest = rest.trim();
-    if let Ok(v) = rest.parse::<i64>() {
-        return Some(v != 0);
+    let tokens: Vec<PpTok> = pp_cond_tokens(rest)?;
+    let mut p = PpCondParser {
+        tokens: &tokens,
+        pos: 0,
+        out,
+    };
+    let value = p.or_expr();
+    if p.pos != tokens.len() {
+        return None; // trailing garbage: unsupported condition
     }
-    if let Some(name) = rest
-        .strip_prefix("defined(")
-        .and_then(|s| s.strip_suffix(')'))
-    {
-        return Some(out.macros.contains_key(name.trim()));
+    value.map(|v| v != 0)
+}
+
+/// A token of the `#if` condition grammar.
+#[derive(Clone, Debug, PartialEq)]
+enum PpTok {
+    Int(i64),
+    Name(String),
+    Op(&'static str),
+}
+
+fn pp_cond_tokens(text: &str) -> Option<Vec<PpTok>> {
+    let bytes = text.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' => i += 1,
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // Skip integer suffixes (1L, 2u, ...).
+                while i < bytes.len() && matches!(bytes[i], b'l' | b'L' | b'u' | b'U') {
+                    i += 1;
+                }
+                let digits = &text[start..start + (i - start)];
+                let digits = digits.trim_end_matches(['l', 'L', 'u', 'U']);
+                toks.push(PpTok::Int(digits.parse().ok()?));
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(PpTok::Name(text[start..i].to_string()));
+            }
+            _ => {
+                let two = bytes.get(i..i + 2).unwrap_or(&[]);
+                let op = match two {
+                    b"&&" => Some("&&"),
+                    b"||" => Some("||"),
+                    b"==" => Some("=="),
+                    b"!=" => Some("!="),
+                    b"<=" => Some("<="),
+                    b">=" => Some(">="),
+                    _ => None,
+                };
+                if let Some(op) = op {
+                    toks.push(PpTok::Op(op));
+                    i += 2;
+                } else {
+                    let op = match c {
+                        b'!' => "!",
+                        b'<' => "<",
+                        b'>' => ">",
+                        b'(' => "(",
+                        b')' => ")",
+                        b'+' => "+",
+                        b'-' => "-",
+                        b'*' => "*",
+                        b'/' => "/",
+                        b'%' => "%",
+                        _ => return None, // unsupported character
+                    };
+                    toks.push(PpTok::Op(op));
+                    i += 1;
+                }
+            }
+        }
     }
-    if let Some(name) = rest.strip_prefix("defined ") {
-        return Some(out.macros.contains_key(name.trim()));
+    Some(toks)
+}
+
+struct PpCondParser<'a> {
+    tokens: &'a [PpTok],
+    pos: usize,
+    out: &'a PreprocessOutput,
+}
+
+impl PpCondParser<'_> {
+    fn peek(&self) -> Option<&PpTok> {
+        self.tokens.get(self.pos)
     }
-    if let Some(v) = out.constants.get(rest) {
-        return Some(*v != 0.0);
+
+    fn eat_op(&mut self, op: &str) -> bool {
+        if matches!(self.peek(), Some(PpTok::Op(o)) if *o == op) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
     }
-    None
+
+    fn or_expr(&mut self) -> Option<i64> {
+        let mut value = self.and_expr();
+        while self.eat_op("||") {
+            let rhs = self.and_expr();
+            // A side known non-zero decides `||` even if the other side is
+            // unknown.
+            value = match (value, rhs) {
+                (Some(a), Some(b)) => Some(i64::from(a != 0 || b != 0)),
+                (Some(a), None) if a != 0 => Some(1),
+                (None, Some(b)) if b != 0 => Some(1),
+                _ => None,
+            };
+        }
+        value
+    }
+
+    fn and_expr(&mut self) -> Option<i64> {
+        let mut value = self.cmp_expr();
+        while self.eat_op("&&") {
+            let rhs = self.cmp_expr();
+            // A side known zero decides `&&` even if the other is unknown.
+            value = match (value, rhs) {
+                (Some(a), Some(b)) => Some(i64::from(a != 0 && b != 0)),
+                (Some(0), None) | (None, Some(0)) => Some(0),
+                _ => None,
+            };
+        }
+        value
+    }
+
+    fn cmp_expr(&mut self) -> Option<i64> {
+        let lhs = self.add_expr();
+        for op in ["==", "!=", "<=", ">=", "<", ">"] {
+            if self.eat_op(op) {
+                let rhs = self.add_expr();
+                let (a, b) = (lhs?, rhs?);
+                return Some(i64::from(match op {
+                    "==" => a == b,
+                    "!=" => a != b,
+                    "<=" => a <= b,
+                    ">=" => a >= b,
+                    "<" => a < b,
+                    _ => a > b,
+                }));
+            }
+        }
+        lhs
+    }
+
+    fn add_expr(&mut self) -> Option<i64> {
+        let mut value = self.mul_expr();
+        loop {
+            if self.eat_op("+") {
+                value = value.zip(self.mul_expr()).map(|(a, b)| a.wrapping_add(b));
+            } else if self.eat_op("-") {
+                value = value.zip(self.mul_expr()).map(|(a, b)| a.wrapping_sub(b));
+            } else {
+                return value;
+            }
+        }
+    }
+
+    fn mul_expr(&mut self) -> Option<i64> {
+        let mut value = self.unary_expr();
+        loop {
+            if self.eat_op("*") {
+                value = value.zip(self.unary_expr()).map(|(a, b)| a.wrapping_mul(b));
+            } else if self.eat_op("/") {
+                value = value
+                    .zip(self.unary_expr())
+                    .and_then(|(a, b)| a.checked_div(b));
+            } else if self.eat_op("%") {
+                value = value
+                    .zip(self.unary_expr())
+                    .and_then(|(a, b)| a.checked_rem(b));
+            } else {
+                return value;
+            }
+        }
+    }
+
+    fn unary_expr(&mut self) -> Option<i64> {
+        if self.eat_op("!") {
+            return self.unary_expr().map(|v| i64::from(v == 0));
+        }
+        if self.eat_op("-") {
+            return self.unary_expr().map(i64::wrapping_neg);
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Option<i64> {
+        match self.peek().cloned() {
+            Some(PpTok::Int(v)) => {
+                self.pos += 1;
+                Some(v)
+            }
+            Some(PpTok::Name(name)) if name == "defined" => {
+                self.pos += 1;
+                let parenthesized = self.eat_op("(");
+                let Some(PpTok::Name(target)) = self.peek().cloned() else {
+                    // Malformed `defined`: poison the whole condition by
+                    // consuming to the end.
+                    self.pos = self.tokens.len() + 1;
+                    return None;
+                };
+                self.pos += 1;
+                if parenthesized && !self.eat_op(")") {
+                    self.pos = self.tokens.len() + 1;
+                    return None;
+                }
+                Some(i64::from(self.out.macros.contains_key(&target)))
+            }
+            Some(PpTok::Name(name)) => {
+                self.pos += 1;
+                // A function-like invocation (`MYSTERY(3)`) is an *unknown
+                // operand*, not a parse failure: consume the balanced
+                // argument list so a decided short-circuit on the other
+                // side of `&&`/`||` still wins instead of the leftover
+                // tokens poisoning the whole condition.
+                if matches!(self.peek(), Some(PpTok::Op("("))) {
+                    let mut depth = 0usize;
+                    while let Some(tok) = self.peek() {
+                        match tok {
+                            PpTok::Op("(") => depth += 1,
+                            PpTok::Op(")") => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    self.pos += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        self.pos += 1;
+                    }
+                    return None;
+                }
+                // Known integer-constant macro, or unknown (None). A
+                // float-valued macro must not silently truncate (0.5 would
+                // become 0 and flip truthiness): treat it as unknown so the
+                // caller warns and assumes true.
+                match self.out.constants.get(&name) {
+                    Some(v) if v.fract() == 0.0 => Some(*v as i64),
+                    _ => None,
+                }
+            }
+            Some(PpTok::Op("(")) => {
+                self.pos += 1;
+                let value = self.or_expr();
+                if !self.eat_op(")") {
+                    self.pos = self.tokens.len() + 1;
+                    return None;
+                }
+                value
+            }
+            _ => {
+                self.pos = self.tokens.len() + 1;
+                None
+            }
+        }
+    }
 }
 
 fn expand_macro(
@@ -404,5 +687,98 @@ mod tests {
         let (out, diags) = run("#pragma omp target\n{ }\n");
         assert!(!diags.has_errors());
         assert!(matches!(out.tokens[0].kind, TokenKind::Pragma(_)));
+    }
+
+    /// `#if` must evaluate negation, parentheses, comparisons and `&&`/`||`
+    /// over known defines instead of "assuming true" and mis-including
+    /// guarded code.
+    #[test]
+    fn if_conditions_evaluate_operators() {
+        let has_ident = |out: &PreprocessOutput, name: &str| {
+            kinds(out)
+                .iter()
+                .any(|t| matches!(t, TokenKind::Ident(s) if s == name))
+        };
+
+        // `!defined(X)` excludes when X is defined.
+        let (out, diags) = run("#define GPU 1\n#if !defined(GPU)\nint cpu;\n#endif\nint after;\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!has_ident(&out, "cpu"));
+        assert!(has_ident(&out, "after"));
+
+        // Integer comparison over a constant macro.
+        let (out, diags) = run("#define N 8\n#if N > 4\nint big;\n#else\nint small;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(has_ident(&out, "big"));
+        assert!(!has_ident(&out, "small"));
+
+        // Conjunction, disjunction, parentheses, arithmetic.
+        let (out, diags) = run(
+            "#define A 1\n#define B 0\n#if (A && !B) || (B > 10)\nint yes;\n#endif\n\
+             #if A + B * 2 == 1\nint arith;\n#endif\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(has_ident(&out, "yes"));
+        assert!(has_ident(&out, "arith"));
+
+        // A known-false side decides `&&` even when the other side is
+        // unknown; a known-true side decides `||`. The unknown side may
+        // even be a function-like invocation — its argument list is
+        // swallowed as part of the unknown operand, so the decided side
+        // still wins instead of the leftover tokens poisoning the parse.
+        let (out, diags) = run("#if defined(NEVER) && MYSTERY\nint dead;\n#endif\n\
+             #define YES 1\n#if YES || MYSTERY\nint live;\n#endif\n\
+             #if defined(NEVER) && MYSTERY(3)\nint dead2;\n#endif\n");
+        assert!(diags.is_empty(), "unknown sides were decidable: {diags:?}");
+        assert!(!has_ident(&out, "dead"));
+        assert!(has_ident(&out, "live"));
+        assert!(!has_ident(&out, "dead2"));
+
+        // A genuinely unknown condition still warns and assumes true.
+        let (out, diags) = run("#if MYSTERY == 3\nint maybe;\n#endif\n");
+        assert!(!diags.is_empty());
+        assert!(has_ident(&out, "maybe"));
+
+        // A float-valued macro must not be truncated to 0 (which would
+        // silently exclude the guarded code): it is unknown, so the block
+        // stays included — with a warning.
+        let (out, diags) = run("#define HALF 0.5\n#if HALF\nint half;\n#endif\n");
+        assert!(!diags.is_empty(), "float-valued condition must warn");
+        assert!(has_ident(&out, "half"));
+    }
+
+    /// `#elif` goes through the same evaluator and the same warn-on-unknown
+    /// path as `#if` — no more silent `unwrap_or(true)`.
+    #[test]
+    fn elif_evaluates_and_warns_on_unknown() {
+        let has_ident = |out: &PreprocessOutput, name: &str| {
+            kinds(out)
+                .iter()
+                .any(|t| matches!(t, TokenKind::Ident(s) if s == name))
+        };
+
+        let (out, diags) = run(
+            "#define MODE 2\n#if MODE == 1\nint one;\n#elif MODE == 2\nint two;\n\
+             #elif MODE == 3\nint three;\n#else\nint other;\n#endif\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!has_ident(&out, "one"));
+        assert!(has_ident(&out, "two"));
+        assert!(!has_ident(&out, "three"));
+        assert!(!has_ident(&out, "other"));
+
+        // An unevaluable #elif warns (the old code silently assumed true).
+        let (out, diags) = run("#if 0\nint a;\n#elif MYSTERY(3)\nint b;\n#endif\n");
+        assert!(
+            diags.iter().any(|d| d.message.contains("#elif")),
+            "{diags:?}"
+        );
+        assert!(has_ident(&out, "b"));
+
+        // A taken #if never re-opens on #elif, evaluable or not.
+        let (out, diags) = run("#define ON 1\n#if ON\nint a;\n#elif MYSTERY\nint b;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(has_ident(&out, "a"));
+        assert!(!has_ident(&out, "b"));
     }
 }

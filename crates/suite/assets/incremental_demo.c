@@ -1,0 +1,58 @@
+// Multi-function incremental-analysis workload: five functions around a
+// 1-D advection step, each launching (or feeding) its own offload kernels.
+// Unlike the nine paper benchmarks — which are single-`main` ports — this
+// program gives the function-granular plan cache several independent
+// planning units, so editing one function body leaves the others' plans
+// reusable.
+#define N 256
+#define STEPS 4
+
+double grid[N];
+double flux[N];
+double out[N];
+
+void init_grid() {
+  for (int i = 0; i < N; i++) {
+    grid[i] = 0.001 * i;
+    flux[i] = 0.0;
+    out[i] = 0.0;
+  }
+}
+
+void compute_flux() {
+  for (int s = 0; s < STEPS; s++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 1; i < N - 1; i++) {
+      flux[i] = 0.5 * (grid[i + 1] - grid[i - 1]);
+    }
+  }
+}
+
+void apply_flux(double scale) {
+  for (int s = 0; s < STEPS; s++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 1; i < N - 1; i++) {
+      grid[i] = grid[i] + scale * flux[i];
+    }
+  }
+}
+
+void write_output() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) {
+    out[i] = grid[i];
+  }
+}
+
+int main() {
+  init_grid();
+  compute_flux();
+  apply_flux(0.25);
+  write_output();
+  double sum = 0.0;
+  for (int i = 0; i < N; i++) {
+    sum = sum + out[i];
+  }
+  printf("%f\n", sum);
+  return 0;
+}

@@ -156,6 +156,41 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
     all().into_iter().find(|b| b.name == name)
 }
 
+/// A multi-function incremental-analysis workload (not part of the paper's
+/// nine-benchmark evaluation): five functions around a 1-D advection step,
+/// several of which launch their own offload kernels. The nine paper ports
+/// are single-`main` programs, so this is the corpus member that exercises
+/// function-granular re-planning — editing one function body leaves the
+/// other functions' plans reusable.
+pub fn incremental_demo() -> &'static str {
+    include_str!("../assets/incremental_demo.c")
+}
+
+/// Produce a one-function edit of `source`: a comment (containing multibyte
+/// UTF-8, which also stresses the rewriter's char-boundary handling) is
+/// inserted at the start of one function body, changing that function's
+/// text — and shifting every later byte offset and node id — without
+/// changing the program's semantics. Returns the edited source and the name
+/// of the edited function, or `None` when the source has no function
+/// definition to edit.
+///
+/// The edited function is the *first* defined function, so in
+/// multi-function programs every function behind it is displaced and an
+/// incremental re-analysis must relocate their cached plans.
+pub fn one_function_edit(name: &str, source: &str) -> Option<(String, String)> {
+    let parsed = ompdart_core::pipeline::stage_parse(name, source).ok()?;
+    let func = parsed.unit.functions().next()?;
+    let insert_at = func.body.as_ref()?.span.start as usize + 1; // just past `{`
+    if insert_at > source.len() || !source.is_char_boundary(insert_at) {
+        return None;
+    }
+    let mut edited = String::with_capacity(source.len() + 48);
+    edited.push_str(&source[..insert_at]);
+    edited.push_str(" /* édition incrémentale ✎ */");
+    edited.push_str(&source[insert_at..]);
+    Some((edited, func.name.clone()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +303,51 @@ mod tests {
         assert!(by_name("lulesh").unwrap().tool_beats_expert);
         assert!(!by_name("ace").unwrap().tool_beats_expert);
         assert!(by_name("does-not-exist").is_none());
+    }
+
+    /// The incremental-demo workload really is multi-function, analyzes
+    /// cleanly, and its transformation preserves program output.
+    #[test]
+    fn incremental_demo_is_multi_function_and_clean() {
+        use ompdart_core::Ompdart;
+        use ompdart_sim::{simulate_source, SimConfig};
+
+        let src = incremental_demo();
+        let (_f, result) = parse_str("incremental_demo.c", src);
+        assert!(result.is_ok(), "{:?}", result.diagnostics);
+        let functions = result.unit.functions().count();
+        assert!(functions >= 4, "expected a multi-function workload");
+
+        let analysis = Ompdart::builder()
+            .build()
+            .analyze("incremental_demo.c", src)
+            .unwrap();
+        assert!(!analysis.diagnostics().has_errors());
+        assert!(analysis.plans().len() >= 2, "several kernel functions");
+        let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output);
+    }
+
+    /// `one_function_edit` parses, inserts inside the first function, and
+    /// keeps the program semantically identical.
+    #[test]
+    fn one_function_edit_is_semantics_preserving() {
+        for bench in all() {
+            let (edited, func) =
+                one_function_edit(&bench.unoptimized_file(), bench.unoptimized).unwrap();
+            assert_ne!(edited, bench.unoptimized, "{}", bench.name);
+            assert!(!func.is_empty());
+            let (_f, reparsed) = parse_str("edited.c", &edited);
+            assert!(
+                reparsed.is_ok(),
+                "{}: {:?}",
+                bench.name,
+                reparsed.diagnostics
+            );
+        }
+        let (edited, func) = one_function_edit("demo.c", incremental_demo()).unwrap();
+        assert_eq!(func, "init_grid", "first defined function is edited");
+        assert!(edited.contains("édition incrémentale"));
     }
 }

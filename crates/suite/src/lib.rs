@@ -28,7 +28,9 @@ pub mod complexity;
 pub mod experiment;
 pub mod report;
 
-pub use benchmarks::{all as all_benchmarks, by_name, Benchmark, Suite};
+pub use benchmarks::{
+    all as all_benchmarks, by_name, incremental_demo, one_function_edit, Benchmark, Suite,
+};
 pub use complexity::{complexity_of, table4_rows, ComplexityRow};
 pub use experiment::{
     run_all, run_all_with_session, run_benchmark, run_benchmark_with_session, summarize,

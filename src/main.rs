@@ -6,19 +6,26 @@
 //! ompdart explain <input.c>
 //! ompdart diff-plan <left> <right>        # each side: plan .json or a .c source
 //! ompdart batch <input.c>... [--threads N] [--out-dir DIR]
+//! ompdart watch <dir> [--out-dir DIR] [--cache-dir DIR] [--interval-ms N] [--iterations N]
+//! ompdart serve [--out-dir DIR] [--cache-dir DIR]
 //! ```
 //!
 //! `analyze` rewrites one translation unit and can emit the versioned plan
 //! JSON; `explain` prints one justified line per inserted construct;
 //! `diff-plan` compares two mappings (generated, serialized, or extracted
 //! from an already-mapped source); `batch` fans a corpus out over worker
-//! threads with one shared artifact cache.
+//! threads with one shared artifact cache. `watch` and `serve` keep one
+//! long-lived session hot — re-planning only the functions an edit touched
+//! and, with `--cache-dir`, starting warm from the persistent artifact
+//! store.
 
 use ompdart_core::plan::{diff_plans, extract_explicit_plans, Json, MappingPlan};
-use ompdart_core::{Analysis, Ompdart, StageError};
+use ompdart_core::{Analysis, CacheStats, Ompdart, StageError};
 use ompdart_sim::{simulate_source, SimConfig};
-use std::path::Path;
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 const USAGE: &str = "\
 ompdart — static generation of efficient OpenMP offload data mappings
@@ -28,6 +35,9 @@ USAGE:
     ompdart explain <input.c>
     ompdart diff-plan <left> <right>
     ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>]
+    ompdart watch <dir> [--out-dir <dir>] [--cache-dir <dir>] [--interval-ms <N>]
+                  [--iterations <N>] [--once]
+    ompdart serve [--out-dir <dir>] [--cache-dir <dir>]
     ompdart help
 
 SUBCOMMANDS:
@@ -45,6 +55,15 @@ SUBCOMMANDS:
                directives extracted when already mapped).
     batch      Analyze many files concurrently over one shared artifact
                cache; --out-dir writes each `<name>.mapped.c`.
+    watch      Keep one long-lived session over every `.c` file in a
+               directory: re-analyze on change, re-planning only the
+               functions the edit touched, and re-emit `<name>.mapped.c`.
+               --cache-dir persists plans across restarts; --interval-ms
+               sets the poll period (default 500); --iterations exits
+               after N scan cycles; --once scans a single time.
+    serve      Line protocol on stdin over the same hot session:
+               `analyze <path> [<out>]` re-emits one file, `stats`
+               prints cache counters, `quit` (or EOF) exits.
 ";
 
 fn main() -> ExitCode {
@@ -59,6 +78,8 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(rest),
         "diff-plan" => cmd_diff_plan(rest),
         "batch" => cmd_batch(rest),
+        "watch" => cmd_watch(rest),
+        "serve" => cmd_serve(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -396,4 +417,291 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     } else {
         ExitCode::FAILURE
     })
+}
+
+// ---------------------------------------------------------------------------
+// watch / serve: the long-lived incremental front door
+// ---------------------------------------------------------------------------
+
+/// Where the rewritten source of `input` is emitted.
+fn mapped_path(input: &Path, out_dir: Option<&str>) -> PathBuf {
+    let stem = input.file_stem().and_then(|s| s.to_str()).unwrap_or("unit");
+    let name = format!("{stem}.mapped.c");
+    match out_dir {
+        Some(dir) => Path::new(dir).join(name),
+        None => input.with_file_name(name),
+    }
+}
+
+/// The `.c` inputs under `dir` (excluding our own `.mapped.c` outputs),
+/// sorted for deterministic emit order.
+fn scan_c_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read `{}`: {e}", dir.display()))?;
+    let mut out: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.ends_with(".c") && !n.ends_with(".mapped.c"))
+        })
+        .collect();
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze `source` (already read from `path`) over the shared hot session
+/// and re-emit its mapped output to `out_path`, reporting how the caches
+/// served the run. `tag` names the front door (`watch`/`serve`) in the
+/// emitted lines. Taking the source instead of re-reading keeps the
+/// recorded content hash and the analyzed text in lockstep even when a
+/// save lands mid-scan.
+fn emit_one(tool: &Ompdart, tag: &str, path: &Path, source: &str, out_path: &Path) {
+    let display = path.display().to_string();
+    let before = tool.session().cache_stats();
+    let start = Instant::now();
+    match tool.analyze(&display, source) {
+        Ok(analysis) => {
+            let elapsed = start.elapsed();
+            let after = tool.session().cache_stats();
+            if let Err(e) = std::fs::write(out_path, analysis.rewritten_source()) {
+                println!(
+                    "[{tag}] {display}: FAILED — cannot write {}: {e}",
+                    out_path.display()
+                );
+                return;
+            }
+            println!(
+                "[{tag}] {display}: re-emitted {} ({}, function plans: {} reused / {} replanned, {:.1}ms)",
+                out_path.display(),
+                serve_mode(&before, &after),
+                after.function_plan_hits - before.function_plan_hits,
+                after.function_plan_misses - before.function_plan_misses,
+                elapsed.as_secs_f64() * 1e3
+            );
+        }
+        Err(e) => {
+            let line = render_stage_error(&display, source, e);
+            println!(
+                "[{tag}] {display}: FAILED — {}",
+                line.lines().next().unwrap_or("unknown error")
+            );
+        }
+    }
+    // Long-lived session: drop artifact bundles of superseded versions of
+    // this file so memory is bounded by the file count, not the save count.
+    tool.session().evict_stale_versions(&display, source);
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+/// How an analysis was served, judged from the counter deltas.
+fn serve_mode(before: &CacheStats, after: &CacheStats) -> &'static str {
+    if after.analysis_hits > before.analysis_hits {
+        "cached"
+    } else if after.store_hits > before.store_hits {
+        "store"
+    } else if after.function_plan_hits > before.function_plan_hits {
+        "incremental"
+    } else {
+        "cold"
+    }
+}
+
+struct SessionFlags {
+    out_dir: Option<String>,
+    cache_dir: Option<String>,
+}
+
+impl SessionFlags {
+    /// Build the long-lived tool these commands share.
+    fn tool(&self) -> Ompdart {
+        let mut builder = Ompdart::builder();
+        if let Some(dir) = &self.cache_dir {
+            builder = builder.cache_dir(dir);
+        }
+        builder.build()
+    }
+}
+
+fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
+    let mut dir: Option<&str> = None;
+    let mut flags = SessionFlags {
+        out_dir: None,
+        cache_dir: None,
+    };
+    let mut interval_ms: u64 = 500;
+    let mut iterations: Option<u64> = None;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out-dir" => {
+                flags.out_dir = Some(
+                    it.next()
+                        .ok_or("`--out-dir` expects a directory")?
+                        .to_string(),
+                );
+            }
+            "--cache-dir" => {
+                flags.cache_dir = Some(
+                    it.next()
+                        .ok_or("`--cache-dir` expects a directory")?
+                        .to_string(),
+                );
+            }
+            "--interval-ms" => {
+                interval_ms = it
+                    .next()
+                    .ok_or("`--interval-ms` expects a number")?
+                    .parse()
+                    .map_err(|_| "`--interval-ms` expects a number".to_string())?;
+            }
+            "--iterations" => {
+                iterations = Some(
+                    it.next()
+                        .ok_or("`--iterations` expects a number")?
+                        .parse()
+                        .map_err(|_| "`--iterations` expects a number".to_string())?,
+                );
+            }
+            "--once" => once = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path if dir.is_none() => dir = Some(path),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let dir = Path::new(dir.ok_or("`watch` expects a directory")?);
+    if let Some(out) = &flags.out_dir {
+        std::fs::create_dir_all(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
+    }
+    let tool = flags.tool();
+    println!(
+        "[watch] watching {} every {interval_ms}ms{}",
+        dir.display(),
+        match &flags.cache_dir {
+            Some(cd) => format!(", persistent cache at {cd}"),
+            None => String::new(),
+        }
+    );
+
+    // Re-emit on *content* change, not mtime: editors and CI touch files
+    // in too many ways to trust timestamps. The full previous source is
+    // kept (not just a hash) so change detection can never be fooled by a
+    // hash collision — the same standard the session caches hold.
+    let mut seen: std::collections::HashMap<PathBuf, String> = std::collections::HashMap::new();
+    let mut cycles: u64 = 0;
+    loop {
+        match scan_c_files(dir) {
+            Ok(paths) => {
+                for path in paths {
+                    let Ok(source) = std::fs::read_to_string(&path) else {
+                        continue;
+                    };
+                    if seen.get(&path).is_some_and(|prev| *prev == source) {
+                        continue;
+                    }
+                    let out_path = mapped_path(&path, flags.out_dir.as_deref());
+                    emit_one(&tool, "watch", &path, &source, &out_path);
+                    seen.insert(path, source);
+                }
+            }
+            // The watcher is long-lived: a transient scan failure (the
+            // directory briefly replaced by a build step, an NFS hiccup)
+            // is logged and retried on the next interval — except on the
+            // very first scan, where a bad path should fail loudly.
+            Err(e) if cycles > 0 => println!("[watch] scan failed (will retry): {e}"),
+            Err(e) => return Err(e),
+        }
+        cycles += 1;
+        if once || iterations.is_some_and(|n| cycles >= n) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+    let stats = tool.session().cache_stats();
+    println!(
+        "[watch] done after {cycles} scan(s): function plans {} reused / {} replanned, store {} hit(s)",
+        stats.function_plan_hits, stats.function_plan_misses, stats.store_hits
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
+    let mut flags = SessionFlags {
+        out_dir: None,
+        cache_dir: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out-dir" => {
+                flags.out_dir = Some(
+                    it.next()
+                        .ok_or("`--out-dir` expects a directory")?
+                        .to_string(),
+                );
+            }
+            "--cache-dir" => {
+                flags.cache_dir = Some(
+                    it.next()
+                        .ok_or("`--cache-dir` expects a directory")?
+                        .to_string(),
+                );
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if let Some(out) = &flags.out_dir {
+        std::fs::create_dir_all(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
+    }
+    let tool = flags.tool();
+    println!("[serve] ready — `analyze <path> [<out>]`, `stats`, `quit`");
+    let stdin = std::io::stdin();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("analyze") => {
+                let Some(path) = words.next() else {
+                    println!("[serve] error: `analyze` expects a path");
+                    continue;
+                };
+                let path = Path::new(path);
+                let source = match std::fs::read_to_string(path) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        println!("[serve] error: cannot read `{}`: {e}", path.display());
+                        continue;
+                    }
+                };
+                // An explicit second argument overrides the default
+                // `<stem>.mapped.c` output location.
+                let out_path = match words.next() {
+                    Some(out) => PathBuf::from(out),
+                    None => mapped_path(path, flags.out_dir.as_deref()),
+                };
+                emit_one(&tool, "serve", path, &source, &out_path);
+            }
+            Some("stats") => {
+                let stats = tool.session().cache_stats();
+                println!(
+                    "[serve] stats: analyses {} hit / {} miss, function plans {} reused / {} replanned, store {} hit / {} miss",
+                    stats.analysis_hits,
+                    stats.analysis_misses,
+                    stats.function_plan_hits,
+                    stats.function_plan_misses,
+                    stats.store_hits,
+                    stats.store_misses
+                );
+            }
+            Some("quit") | Some("exit") => break,
+            Some(other) => println!("[serve] error: unknown command `{other}`"),
+            None => {}
+        }
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
+    Ok(ExitCode::SUCCESS)
 }

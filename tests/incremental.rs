@@ -1,0 +1,184 @@
+//! Golden tests for the incremental analysis engine.
+//!
+//! * **Incremental == cold**: after a one-function edit, re-analysis in a
+//!   warm session — where unchanged functions are served by plan
+//!   relocation — must produce byte-identical output (and identical plans
+//!   and stats) to a cold analysis of the edited source, across the whole
+//!   corpus.
+//! * **Persistent store == cold**: a second session over the same
+//!   `cache_dir` (a simulated process restart) must reproduce every
+//!   rewrite byte-identically from disk without planning a single
+//!   function.
+
+use ompdart_core::{AnalysisSession, Ompdart};
+use ompdart_suite::{all_benchmarks, incremental_demo, one_function_edit};
+use std::sync::Arc;
+
+/// The nine paper benchmarks plus the multi-function incremental demo.
+fn corpus() -> Vec<(String, String)> {
+    let mut inputs: Vec<(String, String)> = all_benchmarks()
+        .iter()
+        .map(|b| (b.unoptimized_file(), b.unoptimized.to_string()))
+        .collect();
+    inputs.push(("incremental_demo.c".into(), incremental_demo().to_string()));
+    inputs
+}
+
+/// Acceptance golden: incremental re-analysis after a one-function edit is
+/// byte-identical to a cold analysis on every corpus unit, and the
+/// multi-function unit re-plans *only* the edited function.
+#[test]
+fn incremental_reanalysis_matches_cold_analysis_on_all_benchmarks() {
+    for (name, source) in corpus() {
+        let session = AnalysisSession::new();
+        session.analyze(&name, &source).unwrap();
+
+        let (edited, edited_func) = one_function_edit(&name, &source)
+            .unwrap_or_else(|| panic!("{name}: no editable function"));
+        let before = session.cache_stats();
+        let incremental = session.analyze(&name, &edited).unwrap();
+        let after = session.cache_stats();
+
+        let cold = AnalysisSession::new();
+        let fresh = cold.analyze(&name, &edited).unwrap();
+        assert_eq!(
+            fresh.rewrite.source, incremental.rewrite.source,
+            "{name}: incremental rewrite diverges from cold analysis"
+        );
+        assert_eq!(fresh.plans.stats, incremental.plans.stats, "{name}");
+        assert_eq!(
+            fresh.plans.plans, incremental.plans.plans,
+            "{name}: relocated plans must equal freshly computed plans"
+        );
+
+        let functions = fresh.parsed.unit.functions().count();
+        let hits = after.function_plan_hits - before.function_plan_hits;
+        let misses = after.function_plan_misses - before.function_plan_misses;
+        assert_eq!(
+            hits + misses,
+            functions as u64,
+            "{name}: every function must be accounted for"
+        );
+        if functions > 1 {
+            assert_eq!(
+                misses, 1,
+                "{name}: only the edited function (`{edited_func}`) may be re-planned"
+            );
+            assert_eq!(hits, functions as u64 - 1, "{name}");
+        }
+    }
+}
+
+/// A *growing* edit displaces every function behind the edited one: the
+/// relocated plans must still land the directives at the right places.
+#[test]
+fn incremental_reanalysis_survives_offset_and_node_id_shifts() {
+    let demo = incremental_demo();
+    let session = AnalysisSession::new();
+    session.analyze("demo.c", demo).unwrap();
+
+    // Grow the *first* function body with real statements (not just a
+    // comment): node ids and byte offsets of all later functions shift.
+    let edited = demo.replacen(
+        "grid[i] = 0.001 * i;",
+        "grid[i] = 0.001 * i;\n    grid[i] = grid[i] + 0.0;",
+        1,
+    );
+    assert_ne!(edited, demo);
+    let incremental = session.analyze("demo.c", &edited).unwrap();
+    let cold = AnalysisSession::new().analyze("demo.c", &edited).unwrap();
+    assert_eq!(cold.rewrite.source, incremental.rewrite.source);
+    assert_eq!(cold.plans.plans, incremental.plans.plans);
+    let stats = session.cache_stats();
+    assert!(
+        stats.function_plan_hits >= 3,
+        "unchanged kernel functions must be relocated, not re-planned: {stats:?}"
+    );
+}
+
+/// Acceptance golden: a second process (here: a second session) started
+/// with the same `cache_dir` reproduces all corpus rewrites byte-identically
+/// from the persistent store without re-planning anything.
+#[test]
+fn persistent_store_reproduces_corpus_across_restart() {
+    let dir = std::env::temp_dir().join(format!("ompdart-store-corpus-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let corpus = corpus();
+
+    let first = Ompdart::builder().cache_dir(&dir).build();
+    let mut cold_rewrites = Vec::new();
+    for (name, source) in &corpus {
+        let analysis = first.analyze(name, source).unwrap();
+        cold_rewrites.push(analysis.rewritten_source().to_string());
+    }
+    let stats = first.session().cache_stats();
+    assert_eq!(stats.store_hits, 0);
+    assert_eq!(stats.store_misses, corpus.len() as u64);
+    assert_eq!(
+        first.session().artifact_store().unwrap().entry_count(),
+        corpus.len()
+    );
+
+    // "Process restart": a brand-new tool over the same directory.
+    let second = Ompdart::builder().cache_dir(&dir).build();
+    for ((name, source), cold) in corpus.iter().zip(&cold_rewrites) {
+        let analysis = second.analyze(name, source).unwrap();
+        assert_eq!(
+            analysis.rewritten_source(),
+            cold,
+            "{name}: store-served rewrite diverges"
+        );
+    }
+    let stats = second.session().cache_stats();
+    assert_eq!(stats.store_hits, corpus.len() as u64, "{stats:?}");
+    assert_eq!(stats.store_misses, 0);
+    assert_eq!(
+        stats.function_plan_misses, 0,
+        "a warm start must not re-plan any function: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The persistent store and the in-memory caches compose: within one
+/// session the unit cache wins, across sessions the store wins, and an
+/// edit falls back to incremental planning.
+#[test]
+fn store_unit_cache_and_function_cache_compose() {
+    let dir = std::env::temp_dir().join(format!("ompdart-store-compose-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let demo = incremental_demo();
+
+    let warmup = AnalysisSession::new().with_cache_dir(&dir);
+    warmup.analyze("demo.c", demo).unwrap();
+
+    let session = AnalysisSession::new().with_cache_dir(&dir);
+    let served = session.analyze("demo.c", demo).unwrap();
+    assert_eq!(session.cache_stats().store_hits, 1);
+    // Same content again: the in-memory unit cache answers, not the store.
+    let again = session.analyze("demo.c", demo).unwrap();
+    assert!(Arc::ptr_eq(&served, &again));
+    let stats = session.cache_stats();
+    assert_eq!(stats.analysis_hits, 1);
+    assert_eq!(stats.store_hits, 1, "the store must not be consulted twice");
+
+    // An edit misses the store and re-plans every function once (the
+    // store-served analysis could not seed the function cache), then a
+    // second edit gets function-granular hits again.
+    let (edited, _) = one_function_edit("demo.c", demo).unwrap();
+    session.analyze("demo.c", &edited).unwrap();
+    let stats = session.cache_stats();
+    assert_eq!(stats.store_misses, 1);
+    assert!(stats.function_plan_misses > 0);
+    let functions = served.parsed.unit.functions().count() as u64;
+    let edited2 = edited.replacen("0.001 * i", "0.001 * i + 0.0", 1);
+    assert_ne!(edited2, edited);
+    let before = session.cache_stats();
+    session.analyze("demo.c", &edited2).unwrap();
+    let after = session.cache_stats();
+    assert_eq!(
+        after.function_plan_hits - before.function_plan_hits,
+        functions - 1,
+        "second edit must reuse all unchanged functions"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -207,8 +207,87 @@ fn plan_strategy() -> impl Strategy<Value = MappingPlan> {
         })
 }
 
+/// True when `needle` is a (byte-)subsequence of `haystack`: the pure
+/// insertion invariant of the rewriter — everything of the original text
+/// survives, in order.
+fn is_subsequence(needle: &[u8], haystack: &[u8]) -> bool {
+    let mut it = haystack.iter();
+    needle.iter().all(|b| it.any(|h| h == b))
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Rewriting generated sources — including ones carrying multibyte
+    /// UTF-8 in comments before and between the target loops — never
+    /// panics, and because the rewriter only ever *inserts*, the original
+    /// text is always a subsequence of the output.
+    #[test]
+    fn rewriting_is_pure_insertion_and_never_panics(
+        pieces in proptest::collection::vec(piece_strategy(), 1..6),
+        decor in 0u8..8,
+    ) {
+        let mut src = render_program(&pieces);
+        // Sprinkle non-ASCII comments into the environment and the body:
+        // every span downstream of one is displaced by non-char-boundary
+        // byte offsets.
+        if decor & 1 != 0 {
+            src = format!("// café ≤ ∞ λ — entête\n{src}");
+        }
+        if decor & 2 != 0 {
+            src = src.replacen(
+                "int checksum = 0;",
+                "int checksum = 0; // ∑ ≥ 0 ✓",
+                1,
+            );
+        }
+        if decor & 4 != 0 {
+            src = src.replacen("#define N 48", "#define N 48 // größe", 1);
+        }
+        let analysis = match Ompdart::builder().build().analyze("utf8.c", &src) {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(format!("analysis failed: {e}\n{src}"))),
+        };
+        let out = analysis.rewritten_source();
+        prop_assert!(
+            is_subsequence(src.as_bytes(), out.as_bytes()),
+            "rewrite dropped or reordered original text\noriginal:\n{src}\noutput:\n{out}"
+        );
+        prop_assert!(std::str::from_utf8(out.as_bytes()).is_ok());
+        let (_f, reparsed) = parse_str("utf8_out.c", out);
+        prop_assert!(reparsed.is_ok(), "transformed program failed to parse:\n{out}");
+    }
+
+    /// Incremental re-analysis after an arbitrary one-function edit agrees
+    /// byte for byte with a cold analysis of the edited source.
+    #[test]
+    fn incremental_reanalysis_agrees_with_cold(
+        pieces in proptest::collection::vec(piece_strategy(), 1..5),
+        extra in 1u8..4,
+    ) {
+        let src = render_program(&pieces);
+        let session = ompdart_core::AnalysisSession::new();
+        if session.analyze("inc.c", &src).is_err() {
+            return Err(TestCaseError::reject("base program failed to analyze"));
+        }
+        // Edit main's body by appending more kernel work.
+        let edited = src.replacen(
+            "  #pragma omp target teams distribute parallel for\n",
+            &format!(
+                "  for (int e = 0; e < {extra}; e++) data[e] += {extra};\n  #pragma omp target teams distribute parallel for\n"
+            ),
+            1,
+        );
+        prop_assert!(edited != src);
+        let incremental = match session.analyze("inc.c", &edited) {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(format!("incremental analysis failed: {e}\n{edited}"))),
+        };
+        let cold = ompdart_core::AnalysisSession::new();
+        let fresh = cold.analyze("inc.c", &edited).unwrap();
+        prop_assert_eq!(&fresh.rewrite.source, &incremental.rewrite.source);
+        prop_assert_eq!(&fresh.plans.plans, &incremental.plans.plans);
+    }
 
     /// The versioned JSON serialization is the identity under round-trip
     /// for arbitrary generated plans: `from_json(to_json(p)) == p`, both
