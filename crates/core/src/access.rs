@@ -52,6 +52,24 @@ impl AccessKind {
     }
 }
 
+/// Where an [`Access`] record came from. Mapping decisions keep this around
+/// so their provenance can say *why* a conservative assumption was made —
+/// in particular when the deciding access was never observed in the source
+/// but synthesized from the pessimistic unknown-callee fallback.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum AccessOrigin {
+    /// The function's own expression performed the access.
+    #[default]
+    Direct,
+    /// Synthesized from the interprocedural summary of a known callee.
+    /// `cross_unit` is true when the callee's definition lives in another
+    /// translation unit of a linked whole-program analysis.
+    Callee { callee: String, cross_unit: bool },
+    /// Synthesized from the maximally pessimistic fallback for a callee
+    /// whose definition is not visible (at best a prototype).
+    UnknownCallee { callee: String },
+}
+
 /// One classified memory access.
 #[derive(Clone, Debug)]
 pub struct Access {
@@ -65,6 +83,9 @@ pub struct Access {
     /// Array subscript index expressions (outermost dimension first), empty
     /// for scalar accesses.
     pub indices: Vec<Expr>,
+    /// Whether the access was observed directly or synthesized from a
+    /// callee's (possibly assumed) side effects.
+    pub origin: AccessOrigin,
 }
 
 /// A call site observed during classification; the interprocedural analysis
@@ -300,6 +321,7 @@ impl Classifier<'_> {
             on_device: self.on_device,
             span,
             indices,
+            origin: AccessOrigin::Direct,
         });
     }
 

@@ -18,18 +18,20 @@
 //!    by the host after the region (or escaping through globals / pointer
 //!    parameters) is mapped `from`.
 
-use crate::access::{FunctionAccesses, SymbolTable};
+use crate::access::{Access, AccessOrigin, FunctionAccesses, SymbolTable};
 use crate::bounds::section_length_from_loops;
 use crate::pipeline::Stage;
 use crate::plan::ir::{
     FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
     UpdateSpec,
 };
+use crate::program::ExternalRefs;
 use ompdart_frontend::ast::*;
 use ompdart_frontend::diag::Diagnostics;
 use ompdart_frontend::omp::MapType;
+use ompdart_frontend::source::Span;
 use ompdart_graph::{AstCfg, StmtIndex};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Tunable analysis options (used by the ablation studies).
 #[derive(Clone, Copy, Debug)]
@@ -76,6 +78,61 @@ impl Default for VarState {
     }
 }
 
+/// The access that forced a mapping decision: the statement, the source
+/// span, and where the access record came from (observed directly, or
+/// synthesized from a — possibly unknown — callee's effects).
+#[derive(Clone, Debug)]
+struct Deciding {
+    stmt: NodeId,
+    span: Span,
+    origin: AccessOrigin,
+}
+
+impl Deciding {
+    fn of(access: &Access) -> Deciding {
+        Deciding {
+            stmt: access.stmt,
+            span: access.span,
+            origin: access.origin.clone(),
+        }
+    }
+}
+
+/// Rewrite a construct's provenance when its deciding access was
+/// synthesized from a call site: the pessimistic unknown-callee fallback
+/// becomes an explicit [`ProvenanceFact::UnknownCalleePessimistic`]
+/// anchored at the call site, and a decision driven by another translation
+/// unit's summary says so in its detail.
+fn provenance_for(
+    fact: ProvenanceFact,
+    span: Option<Span>,
+    detail: String,
+    deciding: Option<&Deciding>,
+) -> Provenance {
+    match deciding.map(|d| (&d.origin, d.span)) {
+        Some((AccessOrigin::UnknownCallee { callee }, call_span)) => Provenance::plan(
+            ProvenanceFact::UnknownCalleePessimistic,
+            Some(call_span),
+            format!(
+                "{detail}; the call to `{callee}` has no visible definition, so the analysis \
+                 assumes it reads and writes the argument on the host"
+            ),
+        ),
+        Some((
+            AccessOrigin::Callee {
+                callee,
+                cross_unit: true,
+            },
+            _,
+        )) => Provenance::plan(
+            fact,
+            span,
+            format!("{detail} (decided by the cross-unit summary of `{callee}`)"),
+        ),
+        _ => Provenance::plan(fact, span, detail),
+    }
+}
+
 /// A planned `target update` before its provenance-carrying spec is built:
 /// the placement decision plus the access that forced it.
 #[derive(Clone, Debug)]
@@ -85,7 +142,7 @@ struct UpdateDecision {
     anchor: NodeId,
     placement: Placement,
     /// The read whose cross-space dependency forced this update.
-    deciding: NodeId,
+    deciding: Deciding,
     fact: ProvenanceFact,
 }
 
@@ -102,6 +159,25 @@ pub fn plan_function(
     symbols: &SymbolTable,
     options: &DataflowOptions,
     diags: &mut Diagnostics,
+) -> Option<MappingPlan> {
+    plan_function_linked(unit, func, graph, accesses, symbols, options, diags, None)
+}
+
+/// [`plan_function`] with whole-program link context: `extern_refs` maps
+/// every function defined in *another* translation unit of the linked
+/// program to the set of variables its body references, extending the
+/// exit-liveness scan (dead-exit-copy demotion) across unit boundaries
+/// exactly as if those functions lived in this unit.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_function_linked(
+    unit: &TranslationUnit,
+    func: &FunctionDef,
+    graph: &AstCfg,
+    accesses: &FunctionAccesses,
+    symbols: &SymbolTable,
+    options: &DataflowOptions,
+    diags: &mut Diagnostics,
+    extern_refs: Option<&ExternalRefs>,
 ) -> Option<MappingPlan> {
     let index = &graph.index;
     let kernels: Vec<NodeId> = index.kernels().to_vec();
@@ -213,7 +289,16 @@ pub fn plan_function(
     for var in &mapped_vars {
         let st = &walker.state[var];
         if !st.host_valid && symbols.escapes(var) && !walker.from_exit.contains_key(var) {
-            if may_be_read_after_region(unit, func, accesses, index, region_start, var, symbols) {
+            if may_be_read_after_region(
+                unit,
+                func,
+                accesses,
+                index,
+                region_start,
+                var,
+                symbols,
+                extern_refs,
+            ) {
                 escape_exit.insert(var.clone(), st.last_dev_writer);
             } else {
                 demoted.insert(var.clone(), st.last_dev_writer);
@@ -243,10 +328,11 @@ pub fn plan_function(
         // device write whose result escapes).
         let from = from_exit
             .get(var)
-            .map(|read| (span_of(*read), format!("the device-written `{var}` is read on the host after the region")))
+            .map(|read| (Some(read.clone()), span_of(read.stmt), format!("the device-written `{var}` is read on the host after the region")))
             .or_else(|| {
                 escape_exit.get(var).map(|writer| {
                     (
+                        None,
                         writer.and_then(span_of),
                         format!(
                             "`{var}` escapes the region (global or pointer parameter) and whole-program liveness cannot prove the device result dead"
@@ -255,27 +341,37 @@ pub fn plan_function(
                 })
             });
         let (map_type, provenance) = match (to, from) {
-            (Some(to_stmt), Some(_)) => (
+            (Some(to_read), Some((from_read, ..))) => (
                 MapType::ToFrom,
-                Provenance::plan(
+                provenance_for(
                     ProvenanceFact::ReadAndLiveAfterRegion,
-                    span_of(*to_stmt),
+                    span_of(to_read.stmt),
                     format!(
                         "a kernel reads the host value of `{var}` and its device result is live after the region"
                     ),
+                    // The conservative side of a tofrom is the exit copy: if
+                    // either deciding access came from an unknown callee,
+                    // prefer explaining that one.
+                    pick_unknown(from_read.as_ref(), Some(to_read)),
                 ),
             ),
-            (Some(to_stmt), None) => (
+            (Some(to_read), None) => (
                 MapType::To,
-                Provenance::plan(
+                provenance_for(
                     ProvenanceFact::ReadBeforeWriteOnDevice,
-                    span_of(*to_stmt),
+                    span_of(to_read.stmt),
                     format!("a kernel reads the host value of `{var}` before any device write"),
+                    Some(to_read),
                 ),
             ),
-            (None, Some((from_span, from_detail))) => (
+            (None, Some((from_read, from_span, from_detail))) => (
                 MapType::From,
-                Provenance::plan(ProvenanceFact::LiveAfterRegion, from_span, from_detail),
+                provenance_for(
+                    ProvenanceFact::LiveAfterRegion,
+                    from_span,
+                    from_detail,
+                    from_read.as_ref(),
+                ),
             ),
             (None, None) => {
                 let provenance = if let Some(writer) = demoted.get(var) {
@@ -336,13 +432,14 @@ pub fn plan_function(
                 format!("the host reads the device-produced `{var}` inside the region")
             }
         };
+        let provenance = provenance_for(fact, span_of(deciding.stmt), detail, Some(&deciding));
         plan.updates.push(UpdateSpec {
             var,
             direction,
             anchor,
             placement,
             section_length,
-            provenance: Provenance::plan(fact, span_of(deciding), detail),
+            provenance,
         });
     }
 
@@ -378,17 +475,61 @@ pub fn plan_function(
     Some(plan)
 }
 
+/// Prefer the deciding access that best explains a conservative decision:
+/// an unknown-callee fallback first (either side), then a cross-unit
+/// summary, then whichever deciding access the base provenance points at.
+fn pick_unknown<'a>(a: Option<&'a Deciding>, b: Option<&'a Deciding>) -> Option<&'a Deciding> {
+    let is_unknown = |d: &&Deciding| matches!(d.origin, AccessOrigin::UnknownCallee { .. });
+    let is_cross = |d: &&Deciding| {
+        matches!(
+            d.origin,
+            AccessOrigin::Callee {
+                cross_unit: true,
+                ..
+            }
+        )
+    };
+    a.filter(is_unknown)
+        .or_else(|| b.filter(is_unknown))
+        .or_else(|| a.filter(is_cross))
+        .or(b)
+}
+
+/// The set of variables a function's body references, in the exact sense of
+/// [`stmt_references_var`] (declaration initializers plus every direct
+/// expression). The link stage exports this per function so whole-program
+/// exit liveness — and its cache fingerprint — see identical facts whether
+/// the reader lives in this unit or in another one.
+pub(crate) fn function_referenced_vars(func: &FunctionDef) -> BTreeSet<String> {
+    let mut vars = BTreeSet::new();
+    if let Some(body) = &func.body {
+        body.walk(&mut |s| {
+            if let StmtKind::Decl(decls) = &s.kind {
+                for d in decls {
+                    if let Some(init) = &d.init {
+                        vars.extend(init.referenced_vars());
+                    }
+                }
+            }
+            for e in s.direct_exprs() {
+                vars.extend(e.referenced_vars());
+            }
+        });
+    }
+    vars
+}
+
 /// The outermost loop enclosing a statement, or the statement itself.
 /// Whether a device-written escaping variable may still be read after the
 /// region ends. Parameters always may (the caller sees them), and so do
 /// globals in any function other than `main` (the function may be invoked
 /// again and read the stale host copy before its region re-enters). Inside
 /// `main` — which runs exactly once — a global is live only if `main` reads
-/// it on the host after the region or any other function in the translation
-/// unit references it at all. Host reads *inside* the region count as live
-/// too: they are usually satisfied by `target update from` directives, but
-/// keeping the exit copy preserves the host copy even when those updates sit
-/// behind conditions the analysis cannot see through.
+/// it on the host after the region or any other function in the *whole
+/// program* references it at all: same-unit functions are scanned directly,
+/// functions from other translation units through the link stage's
+/// `extern_refs` export.
+#[allow(clippy::too_many_arguments)]
 fn may_be_read_after_region(
     unit: &TranslationUnit,
     func: &FunctionDef,
@@ -397,6 +538,7 @@ fn may_be_read_after_region(
     region_start: NodeId,
     var: &str,
     symbols: &SymbolTable,
+    extern_refs: Option<&ExternalRefs>,
 ) -> bool {
     if !symbols.is_global(var) || func.name != "main" {
         return true;
@@ -426,9 +568,19 @@ fn may_be_read_after_region(
     {
         return true;
     }
-    unit.functions()
+    if unit
+        .functions()
         .filter(|f| f.name != func.name)
         .any(|f| f.body.as_ref().is_some_and(|b| stmt_references_var(b, var)))
+    {
+        return true;
+    }
+    // Functions defined in other translation units of the linked program:
+    // the link stage exported their referenced-variable sets.
+    extern_refs.is_some_and(|refs| {
+        refs.iter()
+            .any(|(name, vars)| name != &func.name && vars.contains(var))
+    })
 }
 
 /// True if `var` appears under `stmt` in a way that can create an alias or
@@ -684,9 +836,9 @@ struct Walker<'a> {
     state: HashMap<String, VarState>,
     loop_stack: Vec<NodeId>,
     /// Variables copied in at region entry, with the deciding device read.
-    to_entry: HashMap<String, NodeId>,
+    to_entry: HashMap<String, Deciding>,
     /// Variables copied out at region exit, with the deciding host read.
-    from_exit: HashMap<String, NodeId>,
+    from_exit: HashMap<String, Deciding>,
     updates: Vec<UpdateDecision>,
     seen_updates: HashSet<(String, UpdateDirection, NodeId, Placement)>,
     region_start: NodeId,
@@ -789,7 +941,7 @@ impl Walker<'_> {
                 continue;
             }
             if access.kind.may_read() {
-                self.handle_read(&access.var, access.on_device, access.stmt, loop_cond);
+                self.handle_read(&access, loop_cond);
             }
             if access.kind.may_write() {
                 // A write under a condition (or to a single element) may leave
@@ -807,20 +959,17 @@ impl Walker<'_> {
                     })
                     .unwrap_or(false);
                 if self.cond_depth > 0 && stale_target && !access.kind.may_read() {
-                    self.handle_read(&access.var, access.on_device, access.stmt, loop_cond);
+                    self.handle_read(&access, loop_cond);
                 }
                 self.handle_write(&access.var, access.on_device, access.stmt);
             }
         }
     }
 
-    fn handle_read(
-        &mut self,
-        var: &str,
-        on_device: bool,
-        stmt: NodeId,
-        loop_cond: Option<(NodeId, NodeId)>,
-    ) {
+    fn handle_read(&mut self, access: &Access, loop_cond: Option<(NodeId, NodeId)>) {
+        let var = access.var.as_str();
+        let on_device = access.on_device;
+        let stmt = access.stmt;
         let st = self.state.get(var).cloned().unwrap_or_default();
         if on_device {
             if st.dev_valid {
@@ -829,7 +978,9 @@ impl Walker<'_> {
             // True dependency: device needs data valid on the host.
             if !st.host_modified {
                 // Satisfiable by copying at region entry.
-                self.to_entry.entry(var.to_string()).or_insert(stmt);
+                self.to_entry
+                    .entry(var.to_string())
+                    .or_insert_with(|| Deciding::of(access));
             } else {
                 // Needs an update inside the region, placed before the kernel
                 // that performs the read and hoisted as far as validity
@@ -841,7 +992,7 @@ impl Walker<'_> {
                     UpdateDirection::To,
                     anchor,
                     Placement::Before,
-                    stmt,
+                    access,
                     ProvenanceFact::HostWriteReachesKernel,
                 );
             }
@@ -853,7 +1004,9 @@ impl Walker<'_> {
                 return;
             }
             if self.past_region {
-                self.from_exit.entry(var.to_string()).or_insert(stmt);
+                self.from_exit
+                    .entry(var.to_string())
+                    .or_insert_with(|| Deciding::of(access));
             } else if let Some((_loop_id, body_end)) = loop_cond {
                 // Loop-condition read of device-produced data: update at the
                 // end of the loop body.
@@ -862,7 +1015,7 @@ impl Walker<'_> {
                     UpdateDirection::From,
                     body_end,
                     Placement::After,
-                    stmt,
+                    access,
                     ProvenanceFact::LoopBoundaryHostRead,
                 );
             } else {
@@ -872,7 +1025,7 @@ impl Walker<'_> {
                     UpdateDirection::From,
                     anchor,
                     Placement::Before,
-                    stmt,
+                    access,
                     ProvenanceFact::HostReadBetweenKernels,
                 );
             }
@@ -933,7 +1086,7 @@ impl Walker<'_> {
         direction: UpdateDirection,
         anchor: NodeId,
         placement: Placement,
-        deciding: NodeId,
+        deciding: &Access,
         fact: ProvenanceFact,
     ) {
         let key = (var.to_string(), direction, anchor, placement);
@@ -943,7 +1096,7 @@ impl Walker<'_> {
                 direction,
                 anchor,
                 placement,
-                deciding,
+                deciding: Deciding::of(deciding),
                 fact,
             });
         }

@@ -11,7 +11,7 @@
 //! paper prescribes: `const` pointer parameters are assumed read-only, other
 //! pointers read-write.
 
-use crate::access::{Access, AccessKind, CallSite, FunctionAccesses, SymbolTable};
+use crate::access::{Access, AccessKind, AccessOrigin, CallSite, FunctionAccesses, SymbolTable};
 use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
 use std::collections::HashMap;
 
@@ -306,16 +306,29 @@ fn param_index(func: &FunctionDef, var: &str) -> Option<usize> {
 
 /// Augment a function's access list with the side effects of its call sites,
 /// using computed summaries for known callees and maximally pessimistic
-/// assumptions for unknown ones.
+/// assumptions for unknown ones. Synthetic accesses record their
+/// [`AccessOrigin`] so downstream provenance can distinguish a real summary
+/// (possibly from another translation unit) from the pessimistic fallback.
+///
+/// Returns the number of call sites that hit the pessimistic
+/// unknown-callee fallback (zero when every non-builtin callee resolved to
+/// a real summary, as in a fully linked whole-program analysis).
 pub fn augment_with_call_effects(
     acc: &mut FunctionAccesses,
     unit: &TranslationUnit,
     summaries: &ProgramSummaries,
-) {
+) -> usize {
     let calls: Vec<CallSite> = acc.calls.clone();
+    let mut fallbacks = 0usize;
     for call in &calls {
-        // Known callee with a body: apply its summary.
+        // Known callee with a body: apply its summary. The summary may come
+        // from this unit or — in a linked whole-program analysis — from
+        // another translation unit; record which.
         if let Some(summary) = summaries.summary(&call.callee) {
+            let origin = AccessOrigin::Callee {
+                callee: call.callee.clone(),
+                cross_unit: !unit.functions().any(|f| f.name == call.callee),
+            };
             for (arg_idx, arg) in call.args.iter().enumerate() {
                 if !arg.by_ref {
                     continue;
@@ -326,19 +339,28 @@ pub fn augment_with_call_effects(
                     .get(arg_idx)
                     .copied()
                     .unwrap_or_default();
-                push_effect_accesses(acc, var, effect, call);
+                push_effect_accesses(acc, var, effect, call, &origin);
             }
-            for (global, effect) in &summary.global_effects {
-                push_effect_accesses(acc, global, *effect, call);
+            // Deterministic order: the synthetic accesses decide the
+            // mapped-variable order of the caller's plan, so iterate the
+            // globals sorted — never in HashMap order.
+            let mut globals: Vec<(&String, &Effect)> = summary.global_effects.iter().collect();
+            globals.sort_by_key(|(name, _)| name.as_str());
+            for (global, effect) in globals {
+                push_effect_accesses(acc, global, *effect, call, &origin);
             }
             continue;
         }
         // Pure/standard library functions: reads only.
         if PURE_BUILTINS.contains(&call.callee.as_str()) {
+            let origin = AccessOrigin::Callee {
+                callee: call.callee.clone(),
+                cross_unit: false,
+            };
             for arg in &call.args {
                 if arg.by_ref {
                     if let Some(var) = &arg.base_var {
-                        push_effect_accesses(acc, var, Effect::read_only_host(), call);
+                        push_effect_accesses(acc, var, Effect::read_only_host(), call, &origin);
                     }
                 }
             }
@@ -347,6 +369,10 @@ pub fn augment_with_call_effects(
         // Unknown external function: maximally pessimistic assumptions,
         // refined by `const` pointer parameters on a visible prototype.
         let proto = unit.all_functions().find(|f| f.name == call.callee);
+        let origin = AccessOrigin::UnknownCallee {
+            callee: call.callee.clone(),
+        };
+        let mut fell_back = false;
         for (arg_idx, arg) in call.args.iter().enumerate() {
             if !arg.by_ref {
                 continue;
@@ -359,14 +385,25 @@ pub fn augment_with_call_effects(
             let effect = if is_const {
                 Effect::read_only_host()
             } else {
+                fell_back = true;
                 Effect::pessimistic_host()
             };
-            push_effect_accesses(acc, var, effect, call);
+            push_effect_accesses(acc, var, effect, call, &origin);
+        }
+        if fell_back {
+            fallbacks += 1;
         }
     }
+    fallbacks
 }
 
-fn push_effect_accesses(acc: &mut FunctionAccesses, var: &str, effect: Effect, call: &CallSite) {
+fn push_effect_accesses(
+    acc: &mut FunctionAccesses,
+    var: &str,
+    effect: Effect,
+    call: &CallSite,
+    origin: &AccessOrigin,
+) {
     let mut effect = effect;
     if call.on_device {
         effect = device_shifted(effect);
@@ -380,6 +417,7 @@ fn push_effect_accesses(acc: &mut FunctionAccesses, var: &str, effect: Effect, c
             on_device: false,
             span: call.span,
             indices: Vec::new(),
+            origin: origin.clone(),
         });
     }
     if let Some(kind) = device_kind {
@@ -390,6 +428,7 @@ fn push_effect_accesses(acc: &mut FunctionAccesses, var: &str, effect: Effect, c
             on_device: true,
             span: call.span,
             indices: Vec::new(),
+            origin: origin.clone(),
         });
     }
 }

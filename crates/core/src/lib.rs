@@ -59,17 +59,18 @@ pub mod interproc;
 pub mod mapping;
 pub mod pipeline;
 pub mod plan;
+pub mod program;
 pub mod rewrite;
 pub mod store;
 pub mod verify;
 
-pub use access::{Access, AccessKind, FunctionAccesses, SymbolTable};
+pub use access::{Access, AccessKind, AccessOrigin, FunctionAccesses, SymbolTable};
 pub use bounds::{find_update_insert_loc, loop_bounds, LoopBounds};
-pub use dataflow::{plan_function, DataflowOptions};
+pub use dataflow::{plan_function, plan_function_linked, DataflowOptions};
 pub use interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
 pub use pipeline::{
-    AnalysisSession, BatchDriver, CacheStats, FunctionPlanCache, Stage, StageError, StageTimings,
-    UnitAnalysis,
+    AnalysisSession, BatchDriver, CacheStats, FunctionKeySnapshot, FunctionPlanCache, Stage,
+    StageError, StageTimings, SummarizedUnit, UnitAnalysis,
 };
 #[allow(deprecated)]
 pub use plan::ir::RegionPlan;
@@ -79,8 +80,12 @@ pub use plan::{
     MappingPlan, Placement, PlanDiff, PlanJsonError, Provenance, ProvenanceFact, UpdateDirection,
     UpdateSpec, PLAN_FORMAT_VERSION,
 };
+pub use program::{
+    ExportedInterface, ExternalRefs, LinkContext, LinkedSummaries, Program, ProgramAnalysis,
+    ProgramDriver, ProgramError, UnitServe, UNLINKED,
+};
 pub use rewrite::apply_plans;
-pub use store::{ArtifactStore, StoredUnit, STORE_FORMAT_VERSION};
+pub use store::{ArtifactStore, GcReport, StoredUnit, STORE_FORMAT_VERSION};
 pub use verify::{verify_source, verify_unit, StaleRead, VerifyReport};
 
 use ompdart_frontend::ast::{StmtKind, TranslationUnit};
@@ -195,6 +200,7 @@ pub struct OmpdartBuilder {
     options: OmpDartOptions,
     parallelism: Option<usize>,
     cache_dir: Option<std::path::PathBuf>,
+    cache_max_bytes: Option<u64>,
 }
 
 impl OmpdartBuilder {
@@ -239,6 +245,14 @@ impl OmpdartBuilder {
         self
     }
 
+    /// Size-cap the persistent store (only meaningful together with
+    /// [`OmpdartBuilder::cache_dir`]): after every write-back,
+    /// least-recently-used entries are evicted until the store fits.
+    pub fn cache_max_bytes(mut self, max_bytes: u64) -> OmpdartBuilder {
+        self.cache_max_bytes = Some(max_bytes);
+        self
+    }
+
     /// Build the tool (one cached [`AnalysisSession`] behind an `Arc`).
     pub fn build(self) -> Ompdart {
         let mut session = AnalysisSession::with_options(self.options);
@@ -246,7 +260,11 @@ impl OmpdartBuilder {
             session = session.with_parallelism(workers);
         }
         if let Some(dir) = self.cache_dir {
-            session = session.with_cache_dir(dir);
+            let mut store = ArtifactStore::open(dir);
+            if let Some(max) = self.cache_max_bytes {
+                store = store.with_max_bytes(max);
+            }
+            session = session.with_store(store);
         }
         Ompdart {
             session: Arc::new(session),
@@ -302,6 +320,10 @@ impl Ompdart {
     /// Analyze many `(name, source)` pairs concurrently over this tool's
     /// shared session, preserving input order. The builder's `parallelism`
     /// governs the batch worker count as well as the per-function fan-out.
+    ///
+    /// Each unit is a *closed world* here: calls into other units fall back
+    /// to pessimistic assumptions. Use [`Ompdart::analyze_program`] to link
+    /// the inputs into one whole program instead.
     pub fn analyze_batch(&self, inputs: &[(String, String)]) -> Vec<Result<Analysis, StageError>> {
         BatchDriver::with_session(Arc::clone(&self.session))
             .with_threads(self.session.parallelism())
@@ -309,6 +331,22 @@ impl Ompdart {
             .into_iter()
             .map(|r| r.map(|unit| Analysis { unit }))
             .collect()
+    }
+
+    /// Analyze many `(name, source)` pairs as **one linked program**:
+    /// parallel summarize, sequential cross-unit link (interprocedural
+    /// fixed point over the merged call graph plus whole-program liveness),
+    /// parallel plan. A unit's calls into sibling units resolve to their
+    /// real summaries instead of the pessimistic fallback, and the result
+    /// for each unit is byte-identical to analyzing the concatenation of
+    /// all inputs as a single translation unit.
+    pub fn analyze_program(
+        &self,
+        inputs: &[(String, String)],
+    ) -> Result<ProgramAnalysis, ProgramError> {
+        ProgramDriver::with_session(Arc::clone(&self.session))
+            .with_threads(self.session.parallelism())
+            .analyze_program(inputs)
     }
 }
 
@@ -323,6 +361,12 @@ pub struct Analysis {
 }
 
 impl Analysis {
+    /// Wrap a raw pipeline artifact bundle (e.g. one unit of a
+    /// [`ProgramAnalysis`]) in the typed handle.
+    pub fn from_unit(unit: Arc<UnitAnalysis>) -> Analysis {
+        Analysis { unit }
+    }
+
     /// The rewritten source with data-mapping directives inserted.
     pub fn rewritten_source(&self) -> &str {
         &self.unit.rewrite.source

@@ -48,20 +48,21 @@
 //! ```
 
 use crate::access::{FunctionAccesses, SymbolTable};
-use crate::dataflow::plan_function;
+use crate::dataflow::{function_referenced_vars, plan_function_linked};
 use crate::interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
 use crate::plan::explain::explain_plans;
 use crate::plan::ir::{AnalysisStats, MappingPlan, Provenance};
 use crate::plan::json::plans_to_json;
+use crate::program::{LinkContext, UnitServe, UNLINKED};
 use crate::rewrite;
-use crate::store::ArtifactStore;
+use crate::store::{ArtifactStore, StoredUnit};
 use crate::{function_with_existing_mappings, OmpDartError, OmpDartOptions, TransformResult};
-use ompdart_frontend::ast::{FunctionDef, NodeId, StmtKind, TranslationUnit};
+use ompdart_frontend::ast::{FunctionDef, NodeId, TranslationUnit};
 use ompdart_frontend::diag::Diagnostics;
 use ompdart_frontend::parser::parse_str;
 use ompdart_frontend::source::{SourceFile, Span};
 use ompdart_graph::ProgramGraphs;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -247,31 +248,32 @@ pub fn content_hash2(name: &str, source: &str) -> u64 {
     h
 }
 
-/// Incremental FNV-1a hasher shared by the cache-key fingerprints.
-struct Fnv(u64);
+/// Incremental FNV-1a hasher shared by the cache-key fingerprints (also
+/// used by the link stage's interface fingerprints).
+pub(crate) struct Fnv(u64);
 
 impl Fnv {
-    fn new() -> Fnv {
+    pub(crate) fn new() -> Fnv {
         Fnv(0xcbf2_9ce4_8422_2325)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= u64::from(b);
             self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
         }
     }
 
-    fn write_u64(&mut self, v: u64) {
+    pub(crate) fn write_u64(&mut self, v: u64) {
         self.write(&v.to_le_bytes());
     }
 
-    fn write_str(&mut self, s: &str) {
+    pub(crate) fn write_str(&mut self, s: &str) {
         self.write(s.as_bytes());
         self.write(&[0]);
     }
 
-    fn finish(&self) -> u64 {
+    pub(crate) fn finish(&self) -> u64 {
         self.0
     }
 }
@@ -347,6 +349,11 @@ pub struct PlansArtifact {
     /// Functions that were actually (re-)planned while a cache was
     /// consulted. Zero when no cache was consulted.
     pub plan_cache_misses: u64,
+    /// Per-function plan-cache key snapshots (source order), populated when
+    /// the function-granular cache was consulted. The persistent store
+    /// saves these alongside the plans so a later process can re-seed its
+    /// cache from a store hit.
+    pub function_keys: Vec<FunctionKeySnapshot>,
     pub elapsed: Duration,
 }
 
@@ -484,8 +491,31 @@ struct CachedFunctionPlan {
     base_pos: u32,
     /// Whether the function counted towards `functions_analyzed`.
     analyzed: bool,
+    /// Unknown-callee pessimistic fallbacks the function's planning hit
+    /// (re-counted into the stats on every cache hit).
+    fallbacks: u64,
     plan: Option<MappingPlan>,
     diagnostics: Diagnostics,
+}
+
+/// The persisted form of one function's plan-cache key: everything needed
+/// to re-seed the in-memory [`FunctionPlanCache`] from a store hit, so the
+/// first edit after a warm start is already incremental. The snippet itself
+/// is not stored — a store hit verified the full source, so the snippet is
+/// recovered from `[base_pos, base_pos + snippet_len)` of that source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FunctionKeySnapshot {
+    pub function: String,
+    pub base_id: u32,
+    pub base_pos: u32,
+    pub snippet_len: u32,
+    pub env_hash: u64,
+    pub callees_hash: u64,
+    pub refs_hash: u64,
+    pub options_hash: u64,
+    pub analyzed: bool,
+    pub has_plan: bool,
+    pub fallbacks: u64,
 }
 
 /// Session-lifetime cache of per-function planning results.
@@ -563,7 +593,7 @@ fn effect_byte(e: Effect) -> u8 {
         | u8::from(e.device_write) << 3
 }
 
-fn summary_fingerprint(s: &FunctionSummary) -> u64 {
+pub(crate) fn summary_fingerprint(s: &FunctionSummary) -> u64 {
     let mut h = Fnv::new();
     h.write_str(&s.name);
     h.write(&[u8::from(s.has_kernels)]);
@@ -582,11 +612,13 @@ fn summary_fingerprint(s: &FunctionSummary) -> u64 {
 /// Fingerprint of the interprocedural facts a function's plan consumes: the
 /// summary of every direct callee, or — for callees without a summary — the
 /// `const` qualifiers of the visible prototype the pessimistic fallback
-/// reads.
+/// reads. In a linked program the summaries are the *whole-program* ones,
+/// so a callee edited in another unit invalidates its callers here exactly
+/// when its converged summary changed.
 fn callees_fingerprint(
     func_name: &str,
     accesses: &AccessArtifact,
-    summaries: &SummariesArtifact,
+    summaries: &ProgramSummaries,
     unit: &TranslationUnit,
 ) -> u64 {
     let mut names: Vec<&str> = accesses
@@ -599,7 +631,7 @@ fn callees_fingerprint(
     let mut h = Fnv::new();
     for name in names {
         h.write_str(name);
-        match summaries.summaries.summary(name) {
+        match summaries.summary(name) {
             Some(summary) => {
                 h.write(&[1]);
                 h.write_u64(summary_fingerprint(summary));
@@ -621,30 +653,18 @@ fn callees_fingerprint(
 
 /// The whole-program facts `main`'s exit-liveness demotion reads: for every
 /// sibling function, the set of variables its body references (the same
-/// name-occurrence notion `dataflow::exit_copy_is_live` scans for).
+/// name-occurrence notion the dead-exit-copy liveness scan uses). In a
+/// linked program the caller additionally mixes in the
+/// [`LinkContext::extern_refs_fingerprint`], covering siblings that live in
+/// other units.
 fn liveness_fingerprint(unit: &TranslationUnit, func_name: &str) -> u64 {
     let mut funcs: Vec<&FunctionDef> = unit.functions().filter(|f| f.name != func_name).collect();
     funcs.sort_by_key(|f| f.name.as_str());
     let mut h = Fnv::new();
     for f in funcs {
         h.write_str(&f.name);
-        let mut vars: BTreeSet<String> = BTreeSet::new();
-        if let Some(body) = &f.body {
-            body.walk(&mut |s| {
-                if let StmtKind::Decl(decls) = &s.kind {
-                    for d in decls {
-                        if let Some(init) = &d.init {
-                            vars.extend(init.referenced_vars());
-                        }
-                    }
-                }
-                for e in s.direct_exprs() {
-                    vars.extend(e.referenced_vars());
-                }
-            });
-        }
-        for v in &vars {
-            h.write_str(v);
+        for v in function_referenced_vars(f) {
+            h.write_str(&v);
         }
         h.write(&[0]);
     }
@@ -728,6 +748,7 @@ pub fn stage_plans(
         options,
         parallelism,
         None,
+        None,
     )
 }
 
@@ -753,9 +774,40 @@ pub fn stage_plans_incremental(
         options,
         parallelism,
         Some((parsed, cache)),
+        None,
     )
 }
 
+/// Stage 5 under a whole-program [`LinkContext`]: callee effects resolve
+/// against the *linked* summaries (cross-unit callees included), and
+/// `main`'s exit liveness extends over every other unit's functions. The
+/// function-granular cache keys incorporate the linked facts, so an edit in
+/// another unit re-plans functions here only when a callee summary or the
+/// external liveness surface it depends on actually changed.
+#[allow(clippy::too_many_arguments)]
+pub fn stage_plans_linked(
+    parsed: &ParsedUnit,
+    graphs: &GraphsArtifact,
+    accesses: &AccessArtifact,
+    summaries: &SummariesArtifact,
+    options: &OmpDartOptions,
+    parallelism: usize,
+    cache: &FunctionPlanCache,
+    link: &LinkContext,
+) -> PlansArtifact {
+    run_plan_stage(
+        &parsed.unit,
+        graphs,
+        accesses,
+        summaries,
+        options,
+        parallelism,
+        Some((parsed, cache)),
+        Some(link),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_plan_stage(
     unit: &TranslationUnit,
     graphs: &GraphsArtifact,
@@ -764,10 +816,18 @@ fn run_plan_stage(
     options: &OmpDartOptions,
     parallelism: usize,
     incremental: Option<(&ParsedUnit, &FunctionPlanCache)>,
+    link: Option<&LinkContext>,
 ) -> PlansArtifact {
     let start = Instant::now();
     let funcs: Vec<_> = unit.functions().collect();
     let workers = parallelism.clamp(1, funcs.len().max(1));
+
+    // Effective interprocedural facts: the linked whole-program summaries
+    // when a link context is present, the unit-local ones otherwise.
+    let effective_summaries: &ProgramSummaries = match link {
+        Some(link) => &link.summaries,
+        None => &summaries.summaries,
+    };
 
     // Unit-wide key components, computed once and shared by every worker.
     let shared = incremental.map(|(parsed, cache)| {
@@ -779,8 +839,16 @@ fn run_plan_stage(
         )
     });
 
-    // One slot per function: (had a graph, plan, diagnostics, cache hit).
-    type Slot = (bool, Option<MappingPlan>, Diagnostics, bool);
+    // One slot per function:
+    // (had a graph, plan, diagnostics, cache hit, fallbacks, key snapshot).
+    type Slot = (
+        bool,
+        Option<MappingPlan>,
+        Diagnostics,
+        bool,
+        u64,
+        Option<FunctionKeySnapshot>,
+    );
     let plan_one = |idx: usize| -> Slot {
         let func = funcs[idx];
         let key = shared
@@ -788,37 +856,61 @@ fn run_plan_stage(
             .map(|(parsed, _, env_hash, options_hash)| FunctionPlanKey {
                 snippet: parsed.file.snippet(func.span).to_string(),
                 env_hash: *env_hash,
-                callees_hash: callees_fingerprint(&func.name, accesses, summaries, unit),
+                callees_hash: callees_fingerprint(&func.name, accesses, effective_summaries, unit),
                 refs_hash: if func.name == "main" {
-                    liveness_fingerprint(unit, &func.name)
+                    let mut h = Fnv::new();
+                    h.write_u64(liveness_fingerprint(unit, &func.name));
+                    if let Some(link) = link {
+                        h.write_u64(link.extern_refs_fingerprint);
+                    }
+                    h.finish()
                 } else {
                     0
                 },
                 options_hash: *options_hash,
             });
+        let snapshot = |key: &FunctionPlanKey, analyzed: bool, has_plan: bool, fallbacks: u64| {
+            FunctionKeySnapshot {
+                function: func.name.clone(),
+                base_id: func.id.0,
+                base_pos: func.span.start,
+                snippet_len: key.snippet.len() as u32,
+                env_hash: key.env_hash,
+                callees_hash: key.callees_hash,
+                refs_hash: key.refs_hash,
+                options_hash: key.options_hash,
+                analyzed,
+                has_plan,
+                fallbacks,
+            }
+        };
         if let (Some(key), Some((parsed, cache, ..))) = (&key, shared.as_ref()) {
             if let Some(entry) = cache.lookup(&parsed.name, &func.name, key) {
                 let did = i64::from(func.id.0) - i64::from(entry.base_id);
                 let dpos = i64::from(func.span.start) - i64::from(entry.base_pos);
+                let plan = entry.plan.as_ref().map(|p| relocate_plan(p, did, dpos));
+                let snap = snapshot(key, entry.analyzed, plan.is_some(), entry.fallbacks);
                 return (
                     entry.analyzed,
-                    entry.plan.as_ref().map(|p| relocate_plan(p, did, dpos)),
+                    plan,
                     relocate_diagnostics(&entry.diagnostics, dpos),
                     true,
+                    entry.fallbacks,
+                    Some(snap),
                 );
             }
         }
 
-        let (analyzed, plan, diags) = (|| {
+        let (analyzed, plan, diags, fallbacks) = (|| {
             let Some(graph) = graphs.graphs.function(&func.name) else {
-                return (false, None, Diagnostics::new());
+                return (false, None, Diagnostics::new(), 0u64);
             };
             let Some(mut acc) = accesses.accesses.get(&func.name).cloned() else {
-                return (true, None, Diagnostics::new());
+                return (true, None, Diagnostics::new(), 0u64);
             };
-            augment_with_call_effects(&mut acc, unit, &summaries.summaries);
+            let fallbacks = augment_with_call_effects(&mut acc, unit, effective_summaries) as u64;
             let mut diags = Diagnostics::new();
-            let plan = plan_function(
+            let plan = plan_function_linked(
                 unit,
                 func,
                 graph,
@@ -826,9 +918,13 @@ fn run_plan_stage(
                 &accesses.symbols[&func.name],
                 &options.dataflow,
                 &mut diags,
+                link.map(|l| &*l.extern_refs),
             );
-            (true, plan, diags)
+            (true, plan, diags, fallbacks)
         })();
+        let snap = key
+            .as_ref()
+            .map(|key| snapshot(key, analyzed, plan.is_some(), fallbacks));
         if let (Some(key), Some((parsed, cache, ..))) = (key, shared.as_ref()) {
             cache.store(
                 parsed.name.clone(),
@@ -838,12 +934,13 @@ fn run_plan_stage(
                     base_id: func.id.0,
                     base_pos: func.span.start,
                     analyzed,
+                    fallbacks,
                     plan: plan.clone(),
                     diagnostics: diags.clone(),
                 },
             );
         }
-        (analyzed, plan, diags, false)
+        (analyzed, plan, diags, false, fallbacks, snap)
     };
 
     let slots = parallel_map_indexed(workers, funcs.len(), plan_one);
@@ -853,8 +950,9 @@ fn run_plan_stage(
     let mut diagnostics = Diagnostics::new();
     let mut plan_cache_hits = 0u64;
     let mut plan_cache_misses = 0u64;
+    let mut function_keys = Vec::new();
     for slot in slots {
-        let (analyzed, plan, diags, hit) = slot;
+        let (analyzed, plan, diags, hit, fallbacks, snap) = slot;
         if shared.is_some() {
             if hit {
                 plan_cache_hits += 1;
@@ -865,7 +963,11 @@ fn run_plan_stage(
         if analyzed {
             stats.functions_analyzed += 1;
         }
+        stats.unknown_callee_fallbacks += fallbacks as usize;
         diagnostics.extend(diags);
+        if let Some(snap) = snap {
+            function_keys.push(snap);
+        }
         if let Some(plan) = plan {
             stats.functions_with_kernels += 1;
             stats.kernels += plan.kernels.len();
@@ -882,6 +984,7 @@ fn run_plan_stage(
         diagnostics,
         plan_cache_hits,
         plan_cache_misses,
+        function_keys,
         elapsed: start.elapsed(),
     }
 }
@@ -890,7 +993,7 @@ fn run_plan_stage(
 /// scoped threads pull indices from a shared cursor and fill one slot each.
 /// With one worker (or one item) the map runs inline. Shared by the
 /// per-function plan fan-out and [`BatchDriver::analyze_all`].
-fn parallel_map_indexed<T, F>(workers: usize, len: usize, f: F) -> Vec<T>
+pub(crate) fn parallel_map_indexed<T, F>(workers: usize, len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -938,6 +1041,20 @@ pub fn stage_rewrite(
 // ---------------------------------------------------------------------------
 // The assembled analysis of one translation unit
 // ---------------------------------------------------------------------------
+
+/// The summarize-phase artifacts of one translation unit: everything up to
+/// (and including) the interprocedural summaries, but no plans yet. This is
+/// the unit of work of the whole-program pipeline's parallel first phase;
+/// the link stage consumes a set of these.
+#[derive(Debug)]
+pub struct SummarizedUnit {
+    pub parsed: Arc<ParsedUnit>,
+    pub graphs: Arc<GraphsArtifact>,
+    pub accesses: Arc<AccessArtifact>,
+    /// The *unit-local* summaries (closed-world fixed point). The link
+    /// stage re-converges these across units.
+    pub summaries: Arc<SummariesArtifact>,
+}
 
 /// Every artifact of a fully analyzed translation unit.
 #[derive(Debug)]
@@ -1015,6 +1132,15 @@ pub struct CacheStats {
     /// `analyze` calls that ran the planner while a store was configured
     /// (each one is written back to the store afterwards).
     pub store_misses: u64,
+    /// `summarize` calls (whole-program phase 1) served from the cache.
+    pub summarize_hits: u64,
+    /// `summarize` calls that ran the parse→summaries stages.
+    pub summarize_misses: u64,
+    /// Linked per-unit analyses (whole-program phase 3) served entirely
+    /// from the cache.
+    pub linked_hits: u64,
+    /// Linked per-unit analyses that ran planning (or hit the store).
+    pub linked_misses: u64,
 }
 
 #[derive(Debug, Default)]
@@ -1027,7 +1153,14 @@ struct CacheCounters {
     function_plan_misses: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
+    summarize_hits: AtomicU64,
+    summarize_misses: AtomicU64,
+    linked_hits: AtomicU64,
+    linked_misses: AtomicU64,
 }
+
+/// Linked per-unit analyses keyed by `(content hash, imports fingerprint)`.
+type LinkedCacheMap = HashMap<(u64, u64), Vec<Arc<UnitAnalysis>>>;
 
 /// A reusable, thread-safe driver for the staged pipeline.
 ///
@@ -1055,6 +1188,13 @@ pub struct AnalysisSession {
     parallelism: usize,
     parse_cache: Mutex<HashMap<u64, Vec<Arc<ParsedUnit>>>>,
     unit_cache: Mutex<HashMap<u64, Vec<Arc<UnitAnalysis>>>>,
+    /// Summarize-phase artifacts of whole-program analyses, keyed like the
+    /// other caches by content hash with full `(name, source)` verification.
+    summarize_cache: Mutex<HashMap<u64, Vec<Arc<SummarizedUnit>>>>,
+    /// Linked per-unit analyses, keyed by `(content hash, imports
+    /// fingerprint)`: the same unit content planned under different link
+    /// surroundings yields different plans and must not alias.
+    linked_cache: Mutex<LinkedCacheMap>,
     function_plans: FunctionPlanCache,
     store: Option<ArtifactStore>,
     counters: CacheCounters,
@@ -1080,6 +1220,8 @@ impl AnalysisSession {
             parallelism: default_parallelism(),
             parse_cache: Mutex::new(HashMap::new()),
             unit_cache: Mutex::new(HashMap::new()),
+            summarize_cache: Mutex::new(HashMap::new()),
+            linked_cache: Mutex::new(HashMap::new()),
             function_plans: FunctionPlanCache::new(),
             store: None,
             counters: CacheCounters::default(),
@@ -1102,6 +1244,13 @@ impl AnalysisSession {
     /// artifacts — they are intermediates of the skipped planning stage.
     pub fn with_cache_dir(mut self, dir: impl Into<std::path::PathBuf>) -> AnalysisSession {
         self.store = Some(ArtifactStore::open(dir));
+        self
+    }
+
+    /// Attach an already-configured [`ArtifactStore`] (e.g. one with a
+    /// size cap from [`ArtifactStore::with_max_bytes`]).
+    pub fn with_store(mut self, store: ArtifactStore) -> AnalysisSession {
+        self.store = Some(store);
         self
     }
 
@@ -1134,6 +1283,18 @@ impl AnalysisSession {
             bucket.retain(|a| a.parsed.name != name || a.parsed.file.text() == source);
             !bucket.is_empty()
         });
+        drop(units);
+        let mut summarized = self.summarize_cache.lock().unwrap();
+        summarized.retain(|_, bucket| {
+            bucket.retain(|s| s.parsed.name != name || s.parsed.file.text() == source);
+            !bucket.is_empty()
+        });
+        drop(summarized);
+        let mut linked = self.linked_cache.lock().unwrap();
+        linked.retain(|_, bucket| {
+            bucket.retain(|a| a.parsed.name != name || a.parsed.file.text() == source);
+            !bucket.is_empty()
+        });
     }
 
     /// The active options.
@@ -1157,6 +1318,10 @@ impl AnalysisSession {
             function_plan_misses: self.counters.function_plan_misses.load(Ordering::Relaxed),
             store_hits: self.counters.store_hits.load(Ordering::Relaxed),
             store_misses: self.counters.store_misses.load(Ordering::Relaxed),
+            summarize_hits: self.counters.summarize_hits.load(Ordering::Relaxed),
+            summarize_misses: self.counters.summarize_misses.load(Ordering::Relaxed),
+            linked_hits: self.counters.linked_hits.load(Ordering::Relaxed),
+            linked_misses: self.counters.linked_misses.load(Ordering::Relaxed),
         }
     }
 
@@ -1304,7 +1469,7 @@ impl AnalysisSession {
         // Persistent-store fast path: a verified content match on disk
         // skips access classification, summaries and planning entirely.
         let stored = self.store.as_ref().and_then(|store| {
-            let hit = store.load(name, source, &self.options);
+            let hit = store.load(name, source, &self.options, UNLINKED);
             let counter = if hit.is_some() {
                 &self.counters.store_hits
             } else {
@@ -1315,12 +1480,17 @@ impl AnalysisSession {
         });
         let analysis = match stored {
             Some(stored) => {
+                // Re-seed the function-granular plan cache from the
+                // persisted per-function keys, so the first *edit* after
+                // this warm start is already incremental.
+                self.seed_function_plans(name, source, &stored);
                 let plans = Arc::new(PlansArtifact {
                     plans: stored.plans,
                     stats: stored.stats,
                     diagnostics: Diagnostics::new(),
                     plan_cache_hits: 0,
                     plan_cache_misses: 0,
+                    function_keys: stored.functions,
                     elapsed: Duration::ZERO,
                 });
                 let rewrite = self.rewrite(&parsed, &graphs, &plans);
@@ -1353,7 +1523,15 @@ impl AnalysisSession {
                     // diagnostics are not persisted: the warnings would be
                     // lost on a later store hit.
                     if plans.diagnostics.is_empty() {
-                        let _ = store.save(name, source, &self.options, &plans.plans, &plans.stats);
+                        let _ = store.save(
+                            name,
+                            source,
+                            &self.options,
+                            UNLINKED,
+                            &plans.plans,
+                            &plans.stats,
+                            &plans.function_keys,
+                        );
                     }
                 }
                 Arc::new(UnitAnalysis {
@@ -1376,6 +1554,229 @@ impl AnalysisSession {
         }
         bucket.push(Arc::clone(&analysis));
         Ok(analysis)
+    }
+
+    /// Re-seed the in-memory function-plan cache from a store hit's
+    /// persisted per-function keys. Snippets are recovered from the
+    /// verified source; entries whose recorded byte range no longer fits
+    /// (malformed or truncated documents) are skipped, never trusted.
+    fn seed_function_plans(&self, name: &str, source: &str, stored: &StoredUnit) {
+        for key in &stored.functions {
+            let start = key.base_pos as usize;
+            let Some(end) = start.checked_add(key.snippet_len as usize) else {
+                continue;
+            };
+            if end > source.len()
+                || !source.is_char_boundary(start)
+                || !source.is_char_boundary(end)
+            {
+                continue;
+            }
+            let plan = if key.has_plan {
+                let Some(plan) = stored
+                    .plans
+                    .iter()
+                    .find(|p| p.function == key.function)
+                    .cloned()
+                else {
+                    continue;
+                };
+                Some(plan)
+            } else {
+                None
+            };
+            self.function_plans.store(
+                name.to_string(),
+                key.function.clone(),
+                CachedFunctionPlan {
+                    key: FunctionPlanKey {
+                        snippet: source[start..end].to_string(),
+                        env_hash: key.env_hash,
+                        callees_hash: key.callees_hash,
+                        refs_hash: key.refs_hash,
+                        options_hash: key.options_hash,
+                    },
+                    base_id: key.base_id,
+                    base_pos: key.base_pos,
+                    analyzed: key.analyzed,
+                    fallbacks: key.fallbacks,
+                    plan,
+                    // Only units without planning diagnostics are persisted,
+                    // so the seeded entries legitimately carry none.
+                    diagnostics: Diagnostics::new(),
+                },
+            );
+        }
+    }
+
+    /// Whole-program phase 1, cached: everything up to the interprocedural
+    /// summaries for one unit. Shares the parse cache with [`Self::analyze`]
+    /// and applies the same full-key verification discipline.
+    pub fn summarize(&self, name: &str, source: &str) -> Result<Arc<SummarizedUnit>, StageError> {
+        let key = content_hash(name, source);
+        let find = |bucket: &[Arc<SummarizedUnit>]| {
+            bucket
+                .iter()
+                .find(|s| s.parsed.name == name && s.parsed.file.text() == source)
+                .cloned()
+        };
+        if let Some(hit) = self
+            .summarize_cache
+            .lock()
+            .unwrap()
+            .get(&key)
+            .and_then(|b| find(b))
+        {
+            self.counters.summarize_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit);
+        }
+        self.counters
+            .summarize_misses
+            .fetch_add(1, Ordering::Relaxed);
+        let parsed = self.parse(name, source)?;
+        if self.options.reject_existing_mappings {
+            check_input_contract(&parsed)?;
+        }
+        let graphs = self.graphs(&parsed);
+        let accesses = self.accesses(&parsed, &graphs);
+        let summaries = self.summaries(&parsed, &accesses);
+        let summarized = Arc::new(SummarizedUnit {
+            parsed,
+            graphs,
+            accesses,
+            summaries,
+        });
+        let mut cache = self.summarize_cache.lock().unwrap();
+        let bucket = cache.entry(key).or_default();
+        if let Some(winner) = find(bucket) {
+            return Ok(winner);
+        }
+        bucket.push(Arc::clone(&summarized));
+        Ok(summarized)
+    }
+
+    /// Whole-program phase 3 for one unit: plan and rewrite under a
+    /// [`LinkContext`]. Lookup order mirrors [`Self::analyze`]: the linked
+    /// in-memory cache (keyed by content *and* the unit's imported-interface
+    /// fingerprint), then the persistent store under the same link key, then
+    /// the linked planning stage, whose function-granular cache keys
+    /// incorporate the cross-unit facts.
+    pub fn analyze_linked(
+        &self,
+        unit: &Arc<SummarizedUnit>,
+        link: &LinkContext,
+    ) -> (Arc<UnitAnalysis>, UnitServe) {
+        let name = unit.parsed.name.as_str();
+        let source = unit.parsed.file.text();
+        let key = (content_hash(name, source), link.imports_fingerprint);
+        let find = |bucket: &[Arc<UnitAnalysis>]| {
+            bucket
+                .iter()
+                .find(|a| a.parsed.name == name && a.parsed.file.text() == source)
+                .cloned()
+        };
+        if let Some(hit) = self
+            .linked_cache
+            .lock()
+            .unwrap()
+            .get(&key)
+            .and_then(|b| find(b))
+        {
+            self.counters.linked_hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, UnitServe::Cached);
+        }
+        self.counters.linked_misses.fetch_add(1, Ordering::Relaxed);
+
+        let stored = self.store.as_ref().and_then(|store| {
+            let hit = store.load(name, source, &self.options, link.imports_fingerprint);
+            let counter = if hit.is_some() {
+                &self.counters.store_hits
+            } else {
+                &self.counters.store_misses
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            hit
+        });
+        let (analysis, served) = match stored {
+            Some(stored) => {
+                self.seed_function_plans(name, source, &stored);
+                let plans = Arc::new(PlansArtifact {
+                    plans: stored.plans,
+                    stats: stored.stats,
+                    diagnostics: Diagnostics::new(),
+                    plan_cache_hits: 0,
+                    plan_cache_misses: 0,
+                    function_keys: stored.functions,
+                    elapsed: Duration::ZERO,
+                });
+                let rewrite = self.rewrite(&unit.parsed, &unit.graphs, &plans);
+                (
+                    Arc::new(UnitAnalysis {
+                        parsed: Arc::clone(&unit.parsed),
+                        graphs: Arc::clone(&unit.graphs),
+                        accesses: Arc::clone(&unit.accesses),
+                        summaries: Arc::clone(&unit.summaries),
+                        plans,
+                        rewrite,
+                    }),
+                    UnitServe::Store,
+                )
+            }
+            None => {
+                let plans = Arc::new(stage_plans_linked(
+                    &unit.parsed,
+                    &unit.graphs,
+                    &unit.accesses,
+                    &unit.summaries,
+                    &self.options,
+                    self.parallelism,
+                    &self.function_plans,
+                    link,
+                ));
+                self.counters
+                    .function_plan_hits
+                    .fetch_add(plans.plan_cache_hits, Ordering::Relaxed);
+                self.counters
+                    .function_plan_misses
+                    .fetch_add(plans.plan_cache_misses, Ordering::Relaxed);
+                self.cumulative.lock().unwrap().plan += plans.elapsed;
+                let rewrite = self.rewrite(&unit.parsed, &unit.graphs, &plans);
+                if let Some(store) = &self.store {
+                    if plans.diagnostics.is_empty() {
+                        let _ = store.save(
+                            name,
+                            source,
+                            &self.options,
+                            link.imports_fingerprint,
+                            &plans.plans,
+                            &plans.stats,
+                            &plans.function_keys,
+                        );
+                    }
+                }
+                (
+                    Arc::new(UnitAnalysis {
+                        parsed: Arc::clone(&unit.parsed),
+                        graphs: Arc::clone(&unit.graphs),
+                        accesses: Arc::clone(&unit.accesses),
+                        summaries: Arc::clone(&unit.summaries),
+                        plans: Arc::clone(&plans),
+                        rewrite,
+                    }),
+                    UnitServe::Planned {
+                        reused: plans.plan_cache_hits,
+                        replanned: plans.plan_cache_misses,
+                    },
+                )
+            }
+        };
+        let mut cache = self.linked_cache.lock().unwrap();
+        let bucket = cache.entry(key).or_default();
+        if let Some(winner) = find(bucket) {
+            return (winner, served);
+        }
+        bucket.push(Arc::clone(&analysis));
+        (analysis, served)
     }
 
     /// Run the pipeline and assemble the legacy [`TransformResult`]. The

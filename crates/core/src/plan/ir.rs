@@ -199,6 +199,11 @@ pub enum ProvenanceFact {
     /// A loop condition (or increment) reads device-produced data, so the
     /// host copy is refreshed at the end of the loop body (`update from()`).
     LoopBoundaryHostRead,
+    /// A call to a function whose definition is not visible (no summary, at
+    /// best a prototype) forced maximally pessimistic host read+write
+    /// assumptions at the call site, and that assumption — not an observed
+    /// access — decided this construct. The span points at the call site.
+    UnknownCalleePessimistic,
     /// The construct was not decided by the analysis: it was declared
     /// explicitly in the input source (used when extracting expert plans).
     DeclaredInSource,
@@ -206,7 +211,7 @@ pub enum ProvenanceFact {
 
 impl ProvenanceFact {
     /// All facts, for enumeration in tests and generators.
-    pub fn all() -> [ProvenanceFact; 11] {
+    pub fn all() -> [ProvenanceFact; 12] {
         [
             ProvenanceFact::Unspecified,
             ProvenanceFact::ReadBeforeWriteOnDevice,
@@ -218,6 +223,7 @@ impl ProvenanceFact {
             ProvenanceFact::HostWriteReachesKernel,
             ProvenanceFact::HostReadBetweenKernels,
             ProvenanceFact::LoopBoundaryHostRead,
+            ProvenanceFact::UnknownCalleePessimistic,
             ProvenanceFact::DeclaredInSource,
         ]
     }
@@ -235,6 +241,7 @@ impl ProvenanceFact {
             ProvenanceFact::HostWriteReachesKernel => "host_write_reaches_kernel",
             ProvenanceFact::HostReadBetweenKernels => "host_read_between_kernels",
             ProvenanceFact::LoopBoundaryHostRead => "loop_boundary_host_read",
+            ProvenanceFact::UnknownCalleePessimistic => "unknown_callee_pessimistic",
             ProvenanceFact::DeclaredInSource => "declared_in_source",
         }
     }
@@ -274,6 +281,9 @@ impl ProvenanceFact {
             }
             ProvenanceFact::LoopBoundaryHostRead => {
                 "a loop condition reads the device-produced value at the iteration boundary"
+            }
+            ProvenanceFact::UnknownCalleePessimistic => {
+                "a call to a function whose definition is not visible forced pessimistic host read+write assumptions"
             }
             ProvenanceFact::DeclaredInSource => {
                 "the construct was declared explicitly in the input source"
@@ -572,6 +582,11 @@ pub struct AnalysisStats {
     pub map_clauses: usize,
     pub update_directives: usize,
     pub firstprivate_clauses: usize,
+    /// Call sites whose callee had no visible definition (and no builtin
+    /// model), forcing the maximally pessimistic host read+write fallback.
+    /// Zero for a fully linked whole-program analysis whose calls all
+    /// resolve to real summaries.
+    pub unknown_callee_fallbacks: usize,
 }
 
 impl AnalysisStats {

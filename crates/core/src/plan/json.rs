@@ -69,6 +69,13 @@ impl Json {
         }
     }
 
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     pub fn is_null(&self) -> bool {
         matches!(self, Json::Null)
     }
@@ -788,7 +795,7 @@ pub fn plans_to_json(plans: &[MappingPlan]) -> String {
 
 /// Field order of the [`AnalysisStats`] serialization (kept in one place so
 /// the writer and the reader cannot drift apart).
-const STATS_FIELDS: [&str; 7] = [
+const STATS_FIELDS: [&str; 8] = [
     "functions_analyzed",
     "functions_with_kernels",
     "kernels",
@@ -796,6 +803,7 @@ const STATS_FIELDS: [&str; 7] = [
     "map_clauses",
     "update_directives",
     "firstprivate_clauses",
+    "unknown_callee_fallbacks",
 ];
 
 /// Serialize [`AnalysisStats`] as a JSON object (used by the persistent
@@ -809,6 +817,7 @@ pub fn stats_to_json(stats: &AnalysisStats) -> Json {
         stats.map_clauses,
         stats.update_directives,
         stats.firstprivate_clauses,
+        stats.unknown_callee_fallbacks,
     ];
     Json::Object(
         STATS_FIELDS
@@ -838,6 +847,7 @@ pub fn stats_from_json(value: &Json) -> Result<AnalysisStats, PlanJsonError> {
         map_clauses: field(STATS_FIELDS[4])?,
         update_directives: field(STATS_FIELDS[5])?,
         firstprivate_clauses: field(STATS_FIELDS[6])?,
+        unknown_callee_fallbacks: field(STATS_FIELDS[7])?,
     })
 }
 
@@ -997,6 +1007,7 @@ mod tests {
             map_clauses: 6,
             update_directives: 1,
             firstprivate_clauses: 2,
+            unknown_callee_fallbacks: 4,
         };
         let json = stats_to_json(&stats);
         assert_eq!(stats_from_json(&json).unwrap(), stats);

@@ -1,0 +1,492 @@
+//! The whole-program link stage: cross-translation-unit summaries,
+//! program-level liveness, and the two-phase [`ProgramDriver`].
+//!
+//! The per-unit pipeline treats every translation unit as a closed world:
+//! a call into another file has no summary, so
+//! [`crate::interproc::augment_with_call_effects`] falls back to the
+//! maximally pessimistic host read+write assumption and every cross-file
+//! call forces conservative `tofrom` mappings. This module adds a *link
+//! layer* between the Summaries and Plans stages:
+//!
+//! 1. **Export** — each unit's [`ExportedInterface`] collects the
+//!    prototypes, local interprocedural summaries, and referenced-variable
+//!    sets of its defined functions, plus a stable fingerprint of all of
+//!    it.
+//! 2. **Link** — [`Program::link`] merges every unit's call graph and
+//!    re-runs the interprocedural fixed point to convergence *across*
+//!    units ([`LinkedSummaries`]), so a callee defined in another file
+//!    resolves to its real summary.
+//! 3. **Plan** — each unit is planned against the linked summaries and a
+//!    cross-unit [`ExternalRefs`] view, so whole-program exit liveness
+//!    (the dead-exit-copy demotion) still works when the kernel and the
+//!    last reader live in different files.
+//!
+//! [`ProgramDriver`] packages the three phases as *parallel summarize →
+//! sequential link → parallel plan* over one shared
+//! [`AnalysisSession`]; a single-unit program is the degenerate case and
+//! produces byte-identical output to [`AnalysisSession::analyze`]. The
+//! defining golden property, pinned by `tests/whole_program.rs` and the
+//! split proptest: analyzing `k` units as one linked program rewrites each
+//! unit byte-identically to analyzing the concatenation of all `k` unit
+//! sources as a single translation unit.
+
+use crate::dataflow::function_referenced_vars;
+use crate::interproc::ProgramSummaries;
+use crate::pipeline::{
+    summary_fingerprint, AnalysisSession, Fnv, StageError, SummarizedUnit, UnitAnalysis,
+};
+use ompdart_frontend::ast::TranslationUnit;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// Referenced-variable sets of functions defined in *other* translation
+/// units, keyed by function name. The exit-liveness scan of the planning
+/// stage consults this exactly like it scans same-unit functions.
+pub type ExternalRefs = BTreeMap<String, BTreeSet<String>>;
+
+/// The link-fingerprint value of analyses that are not part of any linked
+/// program (the classic single-unit path).
+pub const UNLINKED: u64 = 0;
+
+// ---------------------------------------------------------------------------
+// ExportedInterface
+// ---------------------------------------------------------------------------
+
+/// What one translation unit exports to the rest of the program: for every
+/// defined function its prototype shape, its *local* interprocedural
+/// summary, and the set of variables its body references (whole-program
+/// liveness input). The [`ExportedInterface::fingerprint`] is stable across
+/// edits that do not change any of those facts — which is precisely when
+/// other units' cached plans remain valid.
+#[derive(Clone, Debug)]
+pub struct ExportedInterface {
+    /// The unit's name (diagnostics file name).
+    pub unit: String,
+    /// Names of the functions the unit defines, in source order.
+    pub functions: Vec<String>,
+    /// Stable fingerprint of the exported surface: function prototypes,
+    /// local summaries, and referenced-variable sets.
+    pub fingerprint: u64,
+}
+
+impl ExportedInterface {
+    /// Export the interface of one summarized unit.
+    pub fn of(unit: &SummarizedUnit) -> ExportedInterface {
+        ExportedInterface::with_refs(unit, &unit_referenced_vars(unit))
+    }
+
+    /// [`ExportedInterface::of`] with the unit's referenced-variable sets
+    /// already computed (the link stage computes them once per unit and
+    /// shares them with every [`LinkContext`] instead of re-walking ASTs).
+    fn with_refs(unit: &SummarizedUnit, refs: &ExternalRefs) -> ExportedInterface {
+        let functions: Vec<String> = unit
+            .parsed
+            .unit
+            .functions()
+            .map(|f| f.name.clone())
+            .collect();
+        // Hash in name order so the fingerprint is insensitive to function
+        // reordering that changes nothing observable.
+        let mut sorted: Vec<&ompdart_frontend::ast::FunctionDef> =
+            unit.parsed.unit.functions().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut h = Fnv::new();
+        for f in sorted {
+            h.write_str(&f.name);
+            h.write_u64(f.params.len() as u64);
+            for p in &f.params {
+                h.write(&[u8::from(p.is_const_pointee)]);
+            }
+            h.write(&[u8::from(f.is_variadic)]);
+            match unit.summaries.summaries.summary(&f.name) {
+                Some(s) => {
+                    h.write(&[1]);
+                    h.write_u64(summary_fingerprint(s));
+                }
+                None => h.write(&[0]),
+            }
+            if let Some(vars) = refs.get(&f.name) {
+                for var in vars {
+                    h.write_str(var);
+                }
+            }
+            h.write(&[0xfe]);
+        }
+        ExportedInterface {
+            unit: unit.parsed.name.clone(),
+            functions,
+            fingerprint: h.finish(),
+        }
+    }
+}
+
+/// The referenced-variable sets of every function a unit defines, keyed by
+/// function name — one AST walk per function, computed once per unit.
+fn unit_referenced_vars(unit: &SummarizedUnit) -> ExternalRefs {
+    unit.parsed
+        .unit
+        .functions()
+        .map(|f| (f.name.clone(), function_referenced_vars(f)))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// LinkedSummaries and LinkContext
+// ---------------------------------------------------------------------------
+
+/// The output of the link fixed point: whole-program interprocedural
+/// summaries (every cross-unit callee resolved to its real effects) plus
+/// the map from function name to defining unit.
+#[derive(Clone, Debug)]
+pub struct LinkedSummaries {
+    /// Merged summaries, converged across unit boundaries.
+    pub summaries: Arc<ProgramSummaries>,
+    /// Function name → index (into the program's unit list) of the
+    /// defining unit.
+    pub defined_in: BTreeMap<String, usize>,
+    /// Propagation passes the cross-unit fixed point took.
+    pub passes: usize,
+}
+
+/// Everything the planning stage of *one unit* needs from the link layer.
+#[derive(Clone, Debug)]
+pub struct LinkContext {
+    /// Whole-program summaries (shared across all units of the program).
+    pub summaries: Arc<ProgramSummaries>,
+    /// Referenced-variable sets of every function defined in another unit.
+    pub extern_refs: Arc<ExternalRefs>,
+    /// Fingerprint of `extern_refs`, mixed into `main`'s liveness cache
+    /// fingerprint.
+    pub extern_refs_fingerprint: u64,
+    /// Fingerprint of all *other* units' [`ExportedInterface`]s — the
+    /// unit's imported surface. Threaded through the persistent store key:
+    /// editing one file invalidates another unit's stored plans only when
+    /// this value changes, i.e. when the edited file's exported interface
+    /// actually changed.
+    pub imports_fingerprint: u64,
+}
+
+fn external_refs_fingerprint(refs: &ExternalRefs) -> u64 {
+    let mut h = Fnv::new();
+    for (name, vars) in refs {
+        h.write_str(name);
+        for v in vars {
+            h.write_str(v);
+        }
+        h.write(&[0xfd]);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Program: the linked whole-program view
+// ---------------------------------------------------------------------------
+
+/// A linked program: every unit's summarize-phase artifacts, the exported
+/// interfaces, and the converged cross-unit summaries.
+#[derive(Debug)]
+pub struct Program {
+    /// The summarized units, in input order.
+    pub units: Vec<Arc<SummarizedUnit>>,
+    /// Per-unit exported interfaces (same order as `units`).
+    pub interfaces: Vec<ExportedInterface>,
+    /// The cross-unit link fixed point.
+    pub linked: LinkedSummaries,
+    /// Per-unit referenced-variable sets (same order as `units`), computed
+    /// once at link time and shared by every [`LinkContext`].
+    unit_refs: Vec<ExternalRefs>,
+}
+
+/// A failure of whole-program analysis.
+#[derive(Clone, Debug)]
+pub enum ProgramError {
+    /// One unit failed a pipeline stage (parse error, input contract).
+    Unit { name: String, error: StageError },
+    /// Two units define the same function: the program has no consistent
+    /// link-time meaning.
+    DuplicateFunction {
+        function: String,
+        units: [String; 2],
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Unit { name, error } => write!(f, "`{name}`: {error}"),
+            ProgramError::DuplicateFunction { function, units } => write!(
+                f,
+                "function `{function}` is defined in both `{}` and `{}`",
+                units[0], units[1]
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+impl Program {
+    /// Link already-summarized units into one program: export interfaces,
+    /// merge the call graphs, and run the interprocedural fixed point to
+    /// convergence across unit boundaries.
+    ///
+    /// The fixed point is computed by the exact algorithm the single-unit
+    /// pipeline uses ([`ProgramSummaries::compute`]) over the merged view,
+    /// which is what makes a linked multi-unit analysis provably equal to a
+    /// single-unit analysis of the concatenated sources.
+    pub fn link(
+        units: Vec<Arc<SummarizedUnit>>,
+        options: &crate::OmpDartOptions,
+    ) -> Result<Program, ProgramError> {
+        // Reject duplicate definitions before merging anything.
+        let mut defined_in: BTreeMap<String, usize> = BTreeMap::new();
+        for (idx, unit) in units.iter().enumerate() {
+            for f in unit.parsed.unit.functions() {
+                if let Some(first) = defined_in.insert(f.name.clone(), idx) {
+                    return Err(ProgramError::DuplicateFunction {
+                        function: f.name.clone(),
+                        units: [units[first].parsed.name.clone(), unit.parsed.name.clone()],
+                    });
+                }
+            }
+        }
+
+        // One AST walk per function: the referenced-variable sets feed both
+        // the interface fingerprints and every unit's LinkContext.
+        let unit_refs: Vec<ExternalRefs> = units.iter().map(|u| unit_referenced_vars(u)).collect();
+        let interfaces: Vec<ExportedInterface> = units
+            .iter()
+            .zip(&unit_refs)
+            .map(|(u, refs)| ExportedInterface::with_refs(u, refs))
+            .collect();
+
+        // Merged whole-program view: items concatenated in input order,
+        // constants unioned, accesses and symbols keyed by (unique)
+        // function name. `ProgramSummaries::compute` never dereferences
+        // node ids, so the id collisions between units are harmless here.
+        let (summaries, passes) = if options.interprocedural {
+            let mut items = Vec::new();
+            let mut constants = HashMap::new();
+            let mut accesses = HashMap::new();
+            let mut symbols = HashMap::new();
+            for unit in &units {
+                items.extend(unit.parsed.unit.items.iter().cloned());
+                constants.extend(unit.parsed.unit.constants.clone());
+                for (name, acc) in &unit.accesses.accesses {
+                    accesses.insert(name.clone(), acc.clone());
+                }
+                for (name, sym) in &unit.accesses.symbols {
+                    symbols.insert(name.clone(), sym.clone());
+                }
+            }
+            let merged_unit = TranslationUnit { items, constants };
+            let merged = ProgramSummaries::compute(
+                &merged_unit,
+                &accesses,
+                &symbols,
+                options.max_interproc_passes,
+            );
+            let passes = merged.passes;
+            (merged, passes)
+        } else {
+            (ProgramSummaries::default(), 0)
+        };
+
+        Ok(Program {
+            units,
+            interfaces,
+            linked: LinkedSummaries {
+                summaries: Arc::new(summaries),
+                defined_in,
+                passes,
+            },
+            unit_refs,
+        })
+    }
+
+    /// Number of units in the program.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// True for the empty program.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+
+    /// The [`LinkContext`] for the unit at `index`: linked summaries plus
+    /// the referenced-variable sets and interface fingerprints of every
+    /// *other* unit.
+    pub fn link_context(&self, index: usize) -> LinkContext {
+        let mut extern_refs: ExternalRefs = BTreeMap::new();
+        for (idx, refs) in self.unit_refs.iter().enumerate() {
+            if idx == index {
+                continue;
+            }
+            for (name, vars) in refs {
+                extern_refs.insert(name.clone(), vars.clone());
+            }
+        }
+        // Imported surface: every other unit's (name, interface
+        // fingerprint), hashed in input order.
+        let mut h = Fnv::new();
+        for (idx, interface) in self.interfaces.iter().enumerate() {
+            if idx == index {
+                continue;
+            }
+            h.write_str(&interface.unit);
+            h.write_u64(interface.fingerprint);
+        }
+        let extern_refs_fingerprint = external_refs_fingerprint(&extern_refs);
+        LinkContext {
+            summaries: Arc::clone(&self.linked.summaries),
+            extern_refs: Arc::new(extern_refs),
+            extern_refs_fingerprint,
+            imports_fingerprint: h.finish(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProgramDriver: the two-phase whole-program pipeline
+// ---------------------------------------------------------------------------
+
+/// How one unit of a program analysis was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnitServe {
+    /// The complete linked analysis came from the in-memory cache.
+    Cached,
+    /// Plans were loaded from the persistent artifact store.
+    Store,
+    /// The unit was planned this run; `reused`/`replanned` split the
+    /// function-granular plan cache outcome.
+    Planned { reused: u64, replanned: u64 },
+}
+
+/// One whole-program analysis: every unit's full artifact bundle (input
+/// order), the exported interfaces, and how each unit was served.
+#[derive(Debug)]
+pub struct ProgramAnalysis {
+    /// Per-unit analyses, in input order.
+    pub units: Vec<Arc<UnitAnalysis>>,
+    /// Per-unit exported interfaces, in input order.
+    pub interfaces: Vec<ExportedInterface>,
+    /// How each unit was served, in input order.
+    pub served: Vec<UnitServe>,
+    /// Propagation passes of the cross-unit fixed point.
+    pub link_passes: usize,
+}
+
+impl ProgramAnalysis {
+    /// Sum of every unit's analysis statistics.
+    pub fn stats(&self) -> crate::plan::ir::AnalysisStats {
+        let mut total = crate::plan::ir::AnalysisStats::default();
+        for unit in &self.units {
+            let s = unit.plans.stats;
+            total.functions_analyzed += s.functions_analyzed;
+            total.functions_with_kernels += s.functions_with_kernels;
+            total.kernels += s.kernels;
+            total.mapped_variables += s.mapped_variables;
+            total.map_clauses += s.map_clauses;
+            total.update_directives += s.update_directives;
+            total.firstprivate_clauses += s.firstprivate_clauses;
+            total.unknown_callee_fallbacks += s.unknown_callee_fallbacks;
+        }
+        total
+    }
+
+    /// The concatenation of every unit's rewritten source, in input order
+    /// (the multi-file analogue of a single rewritten translation unit).
+    pub fn concatenated_rewrite(&self) -> String {
+        self.units
+            .iter()
+            .map(|u| u.rewrite.source.as_str())
+            .collect()
+    }
+}
+
+/// Analyzes many translation units as *one linked program* over a shared
+/// [`AnalysisSession`]: parallel summarize → sequential link → parallel
+/// plan. Contrast with [`crate::pipeline::BatchDriver`], which analyzes
+/// units independently (each a closed world).
+#[derive(Debug)]
+pub struct ProgramDriver {
+    session: Arc<AnalysisSession>,
+    threads: usize,
+}
+
+impl ProgramDriver {
+    /// A driver over a fresh default session.
+    pub fn new() -> ProgramDriver {
+        ProgramDriver::with_session(Arc::new(AnalysisSession::new()))
+    }
+
+    /// A driver over an existing session (shares all of its caches).
+    pub fn with_session(session: Arc<AnalysisSession>) -> ProgramDriver {
+        let threads = session.parallelism();
+        ProgramDriver { session, threads }
+    }
+
+    /// Override the number of worker threads for the parallel phases.
+    pub fn with_threads(mut self, threads: usize) -> ProgramDriver {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Arc<AnalysisSession> {
+        &self.session
+    }
+
+    /// Phase 1+2 only: summarize every unit in parallel and link them.
+    pub fn link(&self, inputs: &[(String, String)]) -> Result<Program, ProgramError> {
+        let summarized = crate::pipeline::parallel_map_indexed(self.threads, inputs.len(), |i| {
+            let (name, source) = &inputs[i];
+            self.session
+                .summarize(name, source)
+                .map_err(|error| ProgramError::Unit {
+                    name: name.clone(),
+                    error,
+                })
+        });
+        let mut units = Vec::with_capacity(summarized.len());
+        for result in summarized {
+            units.push(result?);
+        }
+        Program::link(units, self.session.options())
+    }
+
+    /// The full two-phase pipeline: parallel summarize, sequential link,
+    /// parallel plan+rewrite. Results preserve input order.
+    pub fn analyze_program(
+        &self,
+        inputs: &[(String, String)],
+    ) -> Result<ProgramAnalysis, ProgramError> {
+        let program = self.link(inputs)?;
+        let contexts: Vec<LinkContext> = (0..program.len())
+            .map(|i| program.link_context(i))
+            .collect();
+        let planned = crate::pipeline::parallel_map_indexed(self.threads, program.len(), |i| {
+            self.session.analyze_linked(&program.units[i], &contexts[i])
+        });
+        let mut units = Vec::with_capacity(planned.len());
+        let mut served = Vec::with_capacity(planned.len());
+        for (analysis, serve) in planned {
+            units.push(analysis);
+            served.push(serve);
+        }
+        Ok(ProgramAnalysis {
+            units,
+            interfaces: program.interfaces,
+            served,
+            link_passes: program.linked.passes,
+        })
+    }
+}
+
+impl Default for ProgramDriver {
+    fn default() -> Self {
+        ProgramDriver::new()
+    }
+}

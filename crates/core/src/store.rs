@@ -1,16 +1,29 @@
 //! Persistent on-disk artifact store: warm starts across process restarts.
 //!
 //! The store keeps one JSON document per analyzed translation unit, keyed by
-//! the content of `(file name, source text)`. Documents reuse the versioned
-//! plan JSON of [`crate::plan::json`] and add a *full verification key*:
-//! besides the primary FNV-1a content hash (which also names the file on
-//! disk), every entry records the unit name, the source length, an
-//! independent second content hash, and the fingerprint of the
-//! [`OmpDartOptions`] that produced the plans. A lookup only hits when every
-//! component matches — a corrupt file, a hash collision, a stale entry from
-//! an older format version, or an entry produced under different options is
-//! silently treated as a miss and overwritten on the next write-back, never
-//! trusted.
+//! the content of `(file name, source text)` plus the analysis options and
+//! — for units analyzed as part of a linked whole program — the fingerprint
+//! of the interfaces the unit *imports* from the rest of the program.
+//! Documents reuse the versioned plan JSON of [`crate::plan::json`] and add
+//! a *full verification key*: besides the primary FNV-1a content hash
+//! (which also names the file on disk), every entry records the unit name,
+//! the source length, an independent second content hash, the
+//! [`OmpDartOptions`] fingerprint, and the link fingerprint. A lookup only
+//! hits when every component matches — a corrupt file, a hash collision, a
+//! stale entry from an older format version, or an entry produced under
+//! different options or link surroundings is silently treated as a miss
+//! and overwritten on the next write-back, never trusted.
+//!
+//! The link fingerprint is what makes store invalidation *interface
+//! granular* across files: editing one unit changes its own content key
+//! (its entry misses and is re-planned), but other units' entries keep
+//! hitting unless the edited unit's **exported interface** changed — only
+//! then does their imported-interface fingerprint move.
+//!
+//! Besides the plans, each entry persists the per-function plan-cache key
+//! snapshots ([`FunctionKeySnapshot`]), so a warm-started session re-seeds
+//! its in-memory function-granular cache from a store hit and the *first
+//! edit* after a restart already re-plans only the edited function.
 //!
 //! The store is deliberately plan-granular: plans are the expensive artifact
 //! (the data-flow analysis), while parsing and rewriting are cheap and must
@@ -19,17 +32,25 @@
 //! line up with a fresh parse of the identical source, which is what makes
 //! a store-served rewrite byte-identical to a cold one (the same property
 //! the plan-JSON golden tests pin).
+//!
+//! Disk growth is bounded two ways: superseded content of the same
+//! `(unit, options)` pair is pruned on every write-back, and an optional
+//! size cap ([`ArtifactStore::with_max_bytes`], surfaced as `ompdart cache
+//! gc`) evicts least-recently-used entries. Eviction never touches the
+//! entry being written and removes files one atomic unlink at a time, so a
+//! concurrent reader sees either a full entry or a miss, never a torn one.
 
-use crate::pipeline::{content_hash, content_hash2};
+use crate::pipeline::{content_hash, content_hash2, FunctionKeySnapshot};
 use crate::plan::ir::{AnalysisStats, MappingPlan, PLAN_FORMAT_VERSION};
 use crate::plan::json::{stats_from_json, stats_to_json, Json};
 use crate::OmpDartOptions;
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 /// Version of the on-disk store envelope. Bumped whenever the document
 /// layout around the embedded plan JSON changes; entries written by any
 /// other version are rejected as stale.
-pub const STORE_FORMAT_VERSION: u32 = 1;
+pub const STORE_FORMAT_VERSION: u32 = 2;
 
 /// A directory-backed store of per-unit planning artifacts.
 ///
@@ -39,6 +60,8 @@ pub const STORE_FORMAT_VERSION: u32 = 1;
 #[derive(Clone, Debug)]
 pub struct ArtifactStore {
     dir: PathBuf,
+    /// When set, every write-back enforces this LRU size cap.
+    max_bytes: Option<u64>,
 }
 
 /// One unit's stored planning artifacts, as returned by
@@ -49,12 +72,44 @@ pub struct StoredUnit {
     pub plans: Vec<MappingPlan>,
     /// The aggregate statistics recorded when the plans were produced.
     pub stats: AnalysisStats,
+    /// Per-function plan-cache key snapshots (source order), used to
+    /// re-seed the in-memory function-plan cache on a hit.
+    pub functions: Vec<FunctionKeySnapshot>,
+}
+
+/// What one garbage-collection pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries present before the pass.
+    pub entries_before: usize,
+    /// Entries evicted (least-recently-used first).
+    pub entries_evicted: usize,
+    /// Bytes freed by eviction.
+    pub bytes_freed: u64,
+    /// Bytes still stored after the pass.
+    pub bytes_kept: u64,
 }
 
 impl ArtifactStore {
     /// A store rooted at `dir`. The directory is created on first write.
     pub fn open(dir: impl Into<PathBuf>) -> ArtifactStore {
-        ArtifactStore { dir: dir.into() }
+        ArtifactStore {
+            dir: dir.into(),
+            max_bytes: None,
+        }
+    }
+
+    /// Enforce an LRU size cap: after every write-back, least-recently-used
+    /// entries are evicted until the store fits in `max_bytes`. The entry
+    /// just written is never evicted.
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> ArtifactStore {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// The configured size cap, if any.
+    pub fn max_bytes(&self) -> Option<u64> {
+        self.max_bytes
     }
 
     /// The directory backing this store.
@@ -62,37 +117,59 @@ impl ArtifactStore {
         &self.dir
     }
 
-    /// The on-disk path an entry for `(name, source)` under `options`
-    /// lives at. The file name carries three hashes — the unit name alone,
-    /// the full content, and the options fingerprint — so (a) sessions
-    /// with different options sharing one `cache_dir` coexist instead of
-    /// overwriting each other, and (b) superseded content versions of the
-    /// same unit are identifiable (and pruned) by their shared name/options
-    /// prefix. Colliding hashes share a path but are disambiguated by the
-    /// in-file verification key.
-    pub fn entry_path(&self, name: &str, source: &str, options: &OmpDartOptions) -> PathBuf {
+    /// The on-disk path an entry for `(name, source)` under `options` and
+    /// `link` lives at. The file name carries four hashes — the unit name
+    /// alone, the full content, the options fingerprint, and the link
+    /// fingerprint — so (a) sessions with different options or link
+    /// surroundings sharing one `cache_dir` coexist instead of overwriting
+    /// each other, and (b) superseded content versions of the same unit are
+    /// identifiable (and pruned) by their shared name/options fields.
+    /// Colliding hashes share a path but are disambiguated by the in-file
+    /// verification key.
+    pub fn entry_path(
+        &self,
+        name: &str,
+        source: &str,
+        options: &OmpDartOptions,
+        link: u64,
+    ) -> PathBuf {
         self.dir.join(format!(
-            "unit-{:016x}-{:016x}-{:016x}.json",
+            "unit-{:016x}-{:016x}-{:016x}-{:016x}.json",
             content_hash(name, ""),
             content_hash(name, source),
-            options.fingerprint()
+            options.fingerprint(),
+            link,
         ))
     }
 
-    /// Number of entries currently on disk (diagnostics and tests).
-    pub fn entry_count(&self) -> usize {
+    fn entry_files(&self) -> Vec<PathBuf> {
         std::fs::read_dir(&self.dir)
             .map(|entries| {
                 entries
                     .filter_map(Result::ok)
-                    .filter(|e| {
-                        e.file_name()
-                            .to_str()
+                    .map(|e| e.path())
+                    .filter(|p| {
+                        p.file_name()
+                            .and_then(|n| n.to_str())
                             .is_some_and(|n| n.starts_with("unit-") && n.ends_with(".json"))
                     })
-                    .count()
+                    .collect()
             })
-            .unwrap_or(0)
+            .unwrap_or_default()
+    }
+
+    /// Number of entries currently on disk (diagnostics and tests).
+    pub fn entry_count(&self) -> usize {
+        self.entry_files().len()
+    }
+
+    /// Total size in bytes of all entries currently on disk.
+    pub fn total_bytes(&self) -> u64 {
+        self.entry_files()
+            .iter()
+            .filter_map(|p| std::fs::metadata(p).ok())
+            .map(|m| m.len())
+            .sum()
     }
 
     /// True when no entries are stored.
@@ -100,12 +177,21 @@ impl ArtifactStore {
         self.entry_count() == 0
     }
 
-    /// Look up the stored plans for `(name, source)` under `options`.
-    /// Returns `None` unless the entry exists, parses, carries the expected
-    /// versions, and its full key — name, source length, both content
-    /// hashes, and the options fingerprint — matches exactly.
-    pub fn load(&self, name: &str, source: &str, options: &OmpDartOptions) -> Option<StoredUnit> {
-        let text = std::fs::read_to_string(self.entry_path(name, source, options)).ok()?;
+    /// Look up the stored plans for `(name, source)` under `options` and
+    /// `link`. Returns `None` unless the entry exists, parses, carries the
+    /// expected versions, and its full key — name, source length, both
+    /// content hashes, the options fingerprint, and the link fingerprint —
+    /// matches exactly. A hit refreshes the entry's modification time
+    /// (best effort) so LRU eviction sees it as recently used.
+    pub fn load(
+        &self,
+        name: &str,
+        source: &str,
+        options: &OmpDartOptions,
+        link: u64,
+    ) -> Option<StoredUnit> {
+        let path = self.entry_path(name, source, options, link);
+        let text = std::fs::read_to_string(&path).ok()?;
         let doc = Json::parse(&text).ok()?;
         if doc.get("store_version").and_then(Json::as_int) != Some(i64::from(STORE_FORMAT_VERSION))
             || doc.get("version").and_then(Json::as_int) != Some(i64::from(PLAN_FORMAT_VERSION))
@@ -120,7 +206,8 @@ impl ArtifactStore {
             && key.get("fnv2").and_then(Json::as_str)
                 == Some(format!("{:016x}", content_hash2(name, source)).as_str())
             && doc.get("options").and_then(Json::as_str)
-                == Some(format!("{:016x}", options.fingerprint()).as_str());
+                == Some(format!("{:016x}", options.fingerprint()).as_str())
+            && doc.get("link").and_then(Json::as_str) == Some(format!("{link:016x}").as_str());
         if !matches {
             return None;
         }
@@ -132,22 +219,43 @@ impl ArtifactStore {
             .collect::<Result<Vec<_>, _>>()
             .ok()?;
         let stats = stats_from_json(doc.get("stats")?).ok()?;
-        Some(StoredUnit { plans, stats })
+        let functions = doc
+            .get("functions")
+            .and_then(Json::as_array)?
+            .iter()
+            .map(function_key_from_json)
+            .collect::<Option<Vec<_>>>()?;
+        // LRU touch: a hit makes the entry "recently used". Best effort —
+        // read-only stores simply age out faster.
+        if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&path) {
+            let _ = file.set_modified(SystemTime::now());
+        }
+        Some(StoredUnit {
+            plans,
+            stats,
+            functions,
+        })
     }
 
-    /// Write back the plans for `(name, source)` produced under `options`.
-    /// The write is atomic (temp file + rename) so concurrent writers and
-    /// crashed processes never leave a torn entry behind. Entries for
-    /// *superseded* content of the same unit under the same options are
-    /// pruned afterwards, so a long editing session leaves one file per
-    /// (unit, options) on disk — not one per save.
+    /// Write back the plans for `(name, source)` produced under `options`
+    /// and `link`. The write is atomic (temp file + rename) so concurrent
+    /// writers and crashed processes never leave a torn entry behind.
+    /// Entries for *superseded* content of the same unit under the same
+    /// options and link surroundings are pruned afterwards, so a long
+    /// editing session leaves one file per (unit, options, link) on disk —
+    /// not one per save. When a
+    /// size cap is configured, least-recently-used entries are then evicted
+    /// until the store fits, never including the entry just written.
+    #[allow(clippy::too_many_arguments)]
     pub fn save(
         &self,
         name: &str,
         source: &str,
         options: &OmpDartOptions,
+        link: u64,
         plans: &[MappingPlan],
         stats: &AnalysisStats,
+        functions: &[FunctionKeySnapshot],
     ) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(&self.dir)?;
         let doc = Json::Object(vec![
@@ -175,26 +283,82 @@ impl ArtifactStore {
                 "options".into(),
                 Json::Str(format!("{:016x}", options.fingerprint())),
             ),
+            ("link".into(), Json::Str(format!("{link:016x}"))),
             ("stats".into(), stats_to_json(stats)),
+            (
+                "functions".into(),
+                Json::Array(functions.iter().map(function_key_to_json).collect()),
+            ),
             (
                 "plans".into(),
                 Json::Array(plans.iter().map(MappingPlan::to_json_value).collect()),
             ),
         ]);
-        let path = self.entry_path(name, source, options);
+        let path = self.entry_path(name, source, options, link);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         std::fs::write(&tmp, doc.render_pretty())?;
         std::fs::rename(&tmp, &path)?;
-        self.prune_superseded(name, options, &path);
+        self.prune_superseded(name, options, link, &path);
+        if let Some(max) = self.max_bytes {
+            let _ = self.gc_protecting(max, Some(&path));
+        }
         Ok(path)
     }
 
-    /// Best-effort removal of entries for older content of `(name,
-    /// options)`: everything sharing the fresh entry's name/options hash
-    /// pair except the fresh entry itself.
-    fn prune_superseded(&self, name: &str, options: &OmpDartOptions, keep: &Path) {
-        let prefix = format!("unit-{:016x}-", content_hash(name, ""));
-        let suffix = format!("-{:016x}.json", options.fingerprint());
+    /// Evict least-recently-used entries until the store's total size fits
+    /// in `max_bytes`. Returns what the pass did. Entries are removed one
+    /// atomic unlink at a time; in-flight temp files are never touched.
+    pub fn gc(&self, max_bytes: u64) -> GcReport {
+        self.gc_protecting(max_bytes, None)
+    }
+
+    fn gc_protecting(&self, max_bytes: u64, protect: Option<&Path>) -> GcReport {
+        let mut entries: Vec<(PathBuf, SystemTime, u64)> = self
+            .entry_files()
+            .into_iter()
+            .filter_map(|p| {
+                let meta = std::fs::metadata(&p).ok()?;
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                Some((p, mtime, meta.len()))
+            })
+            .collect();
+        let mut report = GcReport {
+            entries_before: entries.len(),
+            ..Default::default()
+        };
+        let mut total: u64 = entries.iter().map(|(_, _, len)| *len).sum();
+        // Oldest first; ties broken by path for determinism.
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        for (path, _, len) in entries {
+            if total <= max_bytes {
+                break;
+            }
+            if protect.is_some_and(|keep| keep == path) {
+                continue;
+            }
+            if std::fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(len);
+                report.entries_evicted += 1;
+                report.bytes_freed += len;
+            }
+        }
+        report.bytes_kept = total;
+        report
+    }
+
+    /// Best-effort removal of entries superseded by a fresh write:
+    /// everything sharing the fresh entry's name, options, *and link*
+    /// fields except the fresh entry itself. Entries under other link
+    /// surroundings (or other options) coexist — the same unit analyzed
+    /// both stand-alone and inside a program keeps both entries; size
+    /// growth across *changing* link surroundings is the LRU cap's job.
+    /// Legacy three-field (pre-link) entry names can never be loaded by
+    /// this version, so any of them matching the name+options pair is
+    /// removed as well.
+    fn prune_superseded(&self, name: &str, options: &OmpDartOptions, link: u64, keep: &Path) {
+        let name_hash = format!("{:016x}", content_hash(name, ""));
+        let options_hash = format!("{:016x}", options.fingerprint());
+        let link_hash = format!("{link:016x}");
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
@@ -206,7 +370,13 @@ impl ArtifactStore {
             let stale = path
                 .file_name()
                 .and_then(|n| n.to_str())
-                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(&suffix));
+                .and_then(parse_entry_name)
+                .is_some_and(|fields| match fields {
+                    EntryName::Linked([n, _, o, l]) => {
+                        n == name_hash && o == options_hash && l == link_hash
+                    }
+                    EntryName::Legacy([n, _, o]) => n == name_hash && o == options_hash,
+                });
             if stale {
                 let _ = std::fs::remove_file(&path);
             }
@@ -214,10 +384,87 @@ impl ArtifactStore {
     }
 }
 
+/// A parsed store-entry file name: the current four-field layout or the
+/// legacy pre-link three-field one (unloadable, kept only so pruning can
+/// clean it up after an upgrade).
+enum EntryName<'a> {
+    Linked([&'a str; 4]),
+    Legacy([&'a str; 3]),
+}
+
+/// Split `unit-<name>-<content>-<options>[-<link>].json` into its hash
+/// fields; `None` for anything that is not a store entry.
+fn parse_entry_name(file_name: &str) -> Option<EntryName<'_>> {
+    let body = file_name.strip_prefix("unit-")?.strip_suffix(".json")?;
+    let fields: Vec<&str> = body.split('-').collect();
+    if fields.iter().any(|f| f.len() != 16) {
+        return None;
+    }
+    match fields.as_slice() {
+        [a, b, c, d] => Some(EntryName::Linked([a, b, c, d])),
+        [a, b, c] => Some(EntryName::Legacy([a, b, c])),
+        _ => None,
+    }
+}
+
+fn hex_u64(value: Option<&Json>) -> Option<u64> {
+    value
+        .and_then(Json::as_str)
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+}
+
+fn function_key_to_json(key: &FunctionKeySnapshot) -> Json {
+    Json::Object(vec![
+        ("function".into(), Json::Str(key.function.clone())),
+        ("base_id".into(), Json::Int(i64::from(key.base_id))),
+        ("base_pos".into(), Json::Int(i64::from(key.base_pos))),
+        ("snippet_len".into(), Json::Int(i64::from(key.snippet_len))),
+        ("env".into(), Json::Str(format!("{:016x}", key.env_hash))),
+        (
+            "callees".into(),
+            Json::Str(format!("{:016x}", key.callees_hash)),
+        ),
+        ("refs".into(), Json::Str(format!("{:016x}", key.refs_hash))),
+        (
+            "options".into(),
+            Json::Str(format!("{:016x}", key.options_hash)),
+        ),
+        ("analyzed".into(), Json::Bool(key.analyzed)),
+        ("has_plan".into(), Json::Bool(key.has_plan)),
+        ("fallbacks".into(), Json::Int(key.fallbacks as i64)),
+    ])
+}
+
+fn function_key_from_json(value: &Json) -> Option<FunctionKeySnapshot> {
+    let int_u32 = |k: &str| -> Option<u32> {
+        value
+            .get(k)
+            .and_then(Json::as_int)
+            .and_then(|n| u32::try_from(n).ok())
+    };
+    Some(FunctionKeySnapshot {
+        function: value.get("function").and_then(Json::as_str)?.to_string(),
+        base_id: int_u32("base_id")?,
+        base_pos: int_u32("base_pos")?,
+        snippet_len: int_u32("snippet_len")?,
+        env_hash: hex_u64(value.get("env"))?,
+        callees_hash: hex_u64(value.get("callees"))?,
+        refs_hash: hex_u64(value.get("refs"))?,
+        options_hash: hex_u64(value.get("options"))?,
+        analyzed: value.get("analyzed").and_then(Json::as_bool)?,
+        has_plan: value.get("has_plan").and_then(Json::as_bool)?,
+        fallbacks: value
+            .get("fallbacks")
+            .and_then(Json::as_int)
+            .and_then(|n| u64::try_from(n).ok())?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::plan::ir::MapSpec;
+    use crate::program::UNLINKED;
     use ompdart_frontend::omp::MapType;
 
     fn temp_store(tag: &str) -> ArtifactStore {
@@ -236,6 +483,22 @@ mod tests {
         vec![plan]
     }
 
+    fn sample_keys() -> Vec<FunctionKeySnapshot> {
+        vec![FunctionKeySnapshot {
+            function: "main".into(),
+            base_id: 3,
+            base_pos: 14,
+            snippet_len: 25,
+            env_hash: 0x1111,
+            callees_hash: 0x2222,
+            refs_hash: 0x3333,
+            options_hash: 0x4444,
+            analyzed: true,
+            has_plan: true,
+            fallbacks: 1,
+        }]
+    }
+
     #[test]
     fn round_trip_hits_only_on_exact_key() {
         let store = temp_store("roundtrip");
@@ -246,23 +509,41 @@ mod tests {
         };
         let plans = sample_plans();
         store
-            .save("demo.c", "int main() {}", &options, &plans, &stats)
+            .save(
+                "demo.c",
+                "int main() {}",
+                &options,
+                UNLINKED,
+                &plans,
+                &stats,
+                &sample_keys(),
+            )
             .unwrap();
         assert_eq!(store.entry_count(), 1);
 
-        let hit = store.load("demo.c", "int main() {}", &options).unwrap();
+        let hit = store
+            .load("demo.c", "int main() {}", &options, UNLINKED)
+            .unwrap();
         assert_eq!(hit.plans, plans);
         assert_eq!(hit.stats, stats);
+        assert_eq!(hit.functions, sample_keys());
 
-        // Different source, name, or options must miss.
-        assert!(store.load("demo.c", "int main() { }", &options).is_none());
-        assert!(store.load("other.c", "int main() {}", &options).is_none());
+        // Different source, name, options, or link fingerprint must miss.
+        assert!(store
+            .load("demo.c", "int main() { }", &options, UNLINKED)
+            .is_none());
+        assert!(store
+            .load("other.c", "int main() {}", &options, UNLINKED)
+            .is_none());
         let other_options = OmpDartOptions {
             interprocedural: false,
             ..OmpDartOptions::default()
         };
         assert!(store
-            .load("demo.c", "int main() {}", &other_options)
+            .load("demo.c", "int main() {}", &other_options, UNLINKED)
+            .is_none());
+        assert!(store
+            .load("demo.c", "int main() {}", &options, 0xdead_beef)
             .is_none());
         let _ = std::fs::remove_dir_all(store.dir());
     }
@@ -272,38 +553,51 @@ mod tests {
         let store = temp_store("corrupt");
         let options = OmpDartOptions::default();
         let stats = AnalysisStats::default();
-        store
-            .save("x.c", "void f() {}", &options, &sample_plans(), &stats)
-            .unwrap();
-        let path = store.entry_path("x.c", "void f() {}", &options);
+        let save = || {
+            store
+                .save(
+                    "x.c",
+                    "void f() {}",
+                    &options,
+                    UNLINKED,
+                    &sample_plans(),
+                    &stats,
+                    &[],
+                )
+                .unwrap()
+        };
+        save();
+        let path = store.entry_path("x.c", "void f() {}", &options, UNLINKED);
 
         // Corrupt JSON: miss, not a panic or a bad deserialization.
         std::fs::write(&path, "{ not json").unwrap();
-        assert!(store.load("x.c", "void f() {}", &options).is_none());
+        assert!(store
+            .load("x.c", "void f() {}", &options, UNLINKED)
+            .is_none());
 
         // A valid document from a future store version: stale, rejected.
-        store
-            .save("x.c", "void f() {}", &options, &sample_plans(), &stats)
-            .unwrap();
+        save();
         let bumped = std::fs::read_to_string(&path).unwrap().replacen(
-            "\"store_version\": 1",
+            "\"store_version\": 2",
             "\"store_version\": 99",
             1,
         );
         std::fs::write(&path, bumped).unwrap();
-        assert!(store.load("x.c", "void f() {}", &options).is_none());
+        assert!(store
+            .load("x.c", "void f() {}", &options, UNLINKED)
+            .is_none());
 
         // An entry whose key was tampered with (collision simulation).
-        store
-            .save("x.c", "void f() {}", &options, &sample_plans(), &stats)
-            .unwrap();
+        save();
         let tampered = std::fs::read_to_string(&path).unwrap().replacen(
             "\"name\": \"x.c\"",
             "\"name\": \"y.c\"",
             1,
         );
         std::fs::write(&path, tampered).unwrap();
-        assert!(store.load("x.c", "void f() {}", &options).is_none());
+        assert!(store
+            .load("x.c", "void f() {}", &options, UNLINKED)
+            .is_none());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -321,25 +615,78 @@ mod tests {
             interprocedural: false,
             ..OmpDartOptions::default()
         };
-        store.save("a.c", "v1", &defaults, &plans, &stats).unwrap();
-        store.save("a.c", "v1", &no_ip, &plans, &stats).unwrap();
+        let save = |name: &str, src: &str, opts: &OmpDartOptions| {
+            store
+                .save(name, src, opts, UNLINKED, &plans, &stats, &[])
+                .unwrap();
+        };
+        save("a.c", "v1", &defaults);
+        save("a.c", "v1", &no_ip);
         assert_eq!(store.entry_count(), 2, "options variants must coexist");
-        assert!(store.load("a.c", "v1", &defaults).is_some());
-        assert!(store.load("a.c", "v1", &no_ip).is_some());
+        assert!(store.load("a.c", "v1", &defaults, UNLINKED).is_some());
+        assert!(store.load("a.c", "v1", &no_ip, UNLINKED).is_some());
 
         // New content for the default options: the old default entry is
         // pruned, the other-options entry survives.
-        store.save("a.c", "v2", &defaults, &plans, &stats).unwrap();
+        save("a.c", "v2", &defaults);
         assert_eq!(store.entry_count(), 2);
-        assert!(store.load("a.c", "v1", &defaults).is_none());
-        assert!(store.load("a.c", "v2", &defaults).is_some());
-        assert!(store.load("a.c", "v1", &no_ip).is_some());
+        assert!(store.load("a.c", "v1", &defaults, UNLINKED).is_none());
+        assert!(store.load("a.c", "v2", &defaults, UNLINKED).is_some());
+        assert!(store.load("a.c", "v1", &no_ip, UNLINKED).is_some());
 
         // Other units are untouched by pruning.
-        store.save("b.c", "v1", &defaults, &plans, &stats).unwrap();
-        store.save("a.c", "v3", &defaults, &plans, &stats).unwrap();
+        save("b.c", "v1", &defaults);
+        save("a.c", "v3", &defaults);
         assert_eq!(store.entry_count(), 3);
-        assert!(store.load("b.c", "v1", &defaults).is_some());
+        assert!(store.load("b.c", "v1", &defaults, UNLINKED).is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Entries for the same unit under different *link* surroundings
+    /// coexist through write-backs (a unit analyzed stand-alone and inside
+    /// a program shares one cache dir without thrashing), while superseded
+    /// content under the *same* link is still pruned — and unloadable
+    /// legacy three-field entries are cleaned up by the first save.
+    #[test]
+    fn link_variants_coexist_and_legacy_entries_are_pruned() {
+        let store = temp_store("linkprune");
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        let linked = 0xabcd_u64;
+
+        store
+            .save("u.c", "v1", &options, UNLINKED, &plans, &stats, &[])
+            .unwrap();
+        store
+            .save("u.c", "v1", &options, linked, &plans, &stats, &[])
+            .unwrap();
+        assert_eq!(store.entry_count(), 2, "link variants must coexist");
+        assert!(store.load("u.c", "v1", &options, UNLINKED).is_some());
+        assert!(store.load("u.c", "v1", &options, linked).is_some());
+
+        // New content under one link prunes only that link's old entry.
+        store
+            .save("u.c", "v2", &options, linked, &plans, &stats, &[])
+            .unwrap();
+        assert_eq!(store.entry_count(), 2);
+        assert!(store.load("u.c", "v1", &options, UNLINKED).is_some());
+        assert!(store.load("u.c", "v1", &options, linked).is_none());
+        assert!(store.load("u.c", "v2", &options, linked).is_some());
+
+        // A legacy pre-link entry (three hash fields) for the same unit and
+        // options is unloadable dead weight: the next save removes it.
+        let legacy = store.dir().join(format!(
+            "unit-{:016x}-{:016x}-{:016x}.json",
+            crate::pipeline::content_hash("u.c", ""),
+            0x1111_u64,
+            options.fingerprint(),
+        ));
+        std::fs::write(&legacy, "{}").unwrap();
+        store
+            .save("u.c", "v3", &options, UNLINKED, &plans, &stats, &[])
+            .unwrap();
+        assert!(!legacy.exists(), "legacy entry must be pruned on save");
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -347,8 +694,97 @@ mod tests {
     fn missing_directory_degrades_to_miss() {
         let store = ArtifactStore::open("/nonexistent/ompdart-store");
         assert!(store
-            .load("a.c", "int x;", &OmpDartOptions::default())
+            .load("a.c", "int x;", &OmpDartOptions::default(), UNLINKED)
             .is_none());
         assert!(store.is_empty());
+        assert_eq!(store.gc(0), GcReport::default());
+    }
+
+    /// LRU gc evicts oldest entries first and never the protected (just
+    /// written) one; the explicit `gc` entry point reports its work.
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let store = temp_store("gc");
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        for (name, src) in [("a.c", "s1"), ("b.c", "s2"), ("c.c", "s3")] {
+            store
+                .save(name, src, &options, UNLINKED, &plans, &stats, &[])
+                .unwrap();
+            // Distinct mtimes even on coarse-grained filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(store.entry_count(), 3);
+        let total = store.total_bytes();
+        let one = total / 3;
+
+        // Touch a.c (the oldest) via a load hit: b.c becomes the LRU.
+        assert!(store.load("a.c", "s1", &options, UNLINKED).is_some());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+
+        let report = store.gc(total - one);
+        assert_eq!(report.entries_before, 3);
+        assert!(report.entries_evicted >= 1);
+        assert!(report.bytes_kept <= total - one);
+        assert!(
+            store.load("a.c", "s1", &options, UNLINKED).is_some(),
+            "recently-used entry must survive"
+        );
+        assert!(
+            store.load("b.c", "s2", &options, UNLINKED).is_none(),
+            "least-recently-used entry must be evicted"
+        );
+
+        // gc(0) clears everything.
+        let report = store.gc(0);
+        assert_eq!(report.bytes_kept, 0);
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// A capped store stays under its limit on every save, and the entry
+    /// being written is never the one evicted.
+    #[test]
+    fn size_cap_is_enforced_on_save() {
+        let dir =
+            std::env::temp_dir().join(format!("ompdart-store-test-{}-cap", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let probe = ArtifactStore::open(&dir);
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        probe
+            .save("probe.c", "p", &options, UNLINKED, &plans, &stats, &[])
+            .unwrap();
+        let one = probe.total_bytes();
+        let _ = probe.gc(0);
+
+        // Room for roughly two entries.
+        let store = ArtifactStore::open(&dir).with_max_bytes(one * 2 + one / 2);
+        for (i, name) in ["u0.c", "u1.c", "u2.c", "u3.c"].iter().enumerate() {
+            store
+                .save(
+                    name,
+                    &format!("src{i}"),
+                    &options,
+                    UNLINKED,
+                    &plans,
+                    &stats,
+                    &[],
+                )
+                .unwrap();
+            assert!(
+                store.total_bytes() <= one * 2 + one / 2,
+                "cap exceeded after saving {name}"
+            );
+            // The freshly written entry always survives its own save.
+            assert!(store
+                .load(name, &format!("src{i}"), &options, UNLINKED)
+                .is_some());
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert!(store.entry_count() <= 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -156,6 +156,41 @@ pub fn by_name(name: &str) -> Option<Benchmark> {
     all().into_iter().find(|b| b.name == name)
 }
 
+/// The multi-file lulesh port: the single-`main` lulesh benchmark
+/// restructured into three translation units — mesh/forces, EOS/material,
+/// and the driver — each carrying the guarded shared header
+/// (`LULESH_MF_H`), so every unit parses stand-alone *and* the
+/// concatenation of the three units is itself a valid single translation
+/// unit. This is the whole-program link stage's workload: the driver's
+/// kernels call helpers in the other files, `reduce_dtc` is a read-only
+/// non-const-pointer helper that closed-world analysis must treat
+/// pessimistically, and the last host readers of the energy/work fields
+/// live in a different unit than the kernels that produce them.
+///
+/// Returns `(file name, source)` pairs in link order.
+pub fn lulesh_multifile() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "lulesh_mf_mesh.c",
+            include_str!("../assets/lulesh_mf_mesh.c"),
+        ),
+        ("lulesh_mf_eos.c", include_str!("../assets/lulesh_mf_eos.c")),
+        (
+            "lulesh_mf_main.c",
+            include_str!("../assets/lulesh_mf_main.c"),
+        ),
+    ]
+}
+
+/// The single-translation-unit equivalent of [`lulesh_multifile`]: the
+/// three unit sources concatenated in link order. The `#ifndef` header
+/// guard makes the result a well-formed program; the whole-program golden
+/// tests pin that analyzing the units linked equals analyzing this
+/// concatenation.
+pub fn lulesh_multifile_concat() -> String {
+    lulesh_multifile().iter().map(|(_, src)| *src).collect()
+}
+
 /// A multi-function incremental-analysis workload (not part of the paper's
 /// nine-benchmark evaluation): five functions around a 1-D advection step,
 /// several of which launch their own offload kernels. The nine paper ports
@@ -325,6 +360,57 @@ mod tests {
         assert!(!analysis.diagnostics().has_errors());
         assert!(analysis.plans().len() >= 2, "several kernel functions");
         let before = simulate_source(src, SimConfig::default()).unwrap();
+        let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
+        assert_eq!(before.output, after.output);
+    }
+
+    /// The multi-file lulesh port: every unit parses stand-alone, the
+    /// concatenation parses as one unit, the kernel count matches the
+    /// paper's Table IV entry for lulesh (15), and the mapped concatenation
+    /// preserves program output on the simulator.
+    #[test]
+    fn lulesh_multifile_units_and_concat_are_well_formed() {
+        use ompdart_core::Ompdart;
+        use ompdart_frontend::ast::StmtKind;
+        use ompdart_sim::{simulate_source, SimConfig};
+
+        let units = lulesh_multifile();
+        assert_eq!(units.len(), 3, "three translation units");
+        let mut kernels = 0;
+        for (name, src) in &units {
+            let (file, result) = parse_str(name, src);
+            assert!(
+                result.is_ok(),
+                "{name} failed to parse:\n{}",
+                result.diagnostics.render_all(&file)
+            );
+            for f in result.unit.functions() {
+                f.body.as_ref().unwrap().walk(&mut |s| {
+                    if let StmtKind::Omp(d) = &s.kind {
+                        if d.kind.is_offload_kernel() {
+                            kernels += 1;
+                        }
+                    }
+                });
+            }
+        }
+        assert_eq!(kernels, 15, "the port must keep lulesh's 15 kernels");
+
+        let concat = lulesh_multifile_concat();
+        let (file, result) = parse_str("lulesh_mf_concat.c", &concat);
+        assert!(
+            result.is_ok(),
+            "concatenation failed to parse:\n{}",
+            result.diagnostics.render_all(&file)
+        );
+
+        // The linked mapping preserves program output end to end.
+        let analysis = Ompdart::builder()
+            .build()
+            .analyze("lulesh_mf_concat.c", &concat)
+            .unwrap();
+        assert!(!analysis.diagnostics().has_errors());
+        let before = simulate_source(&concat, SimConfig::default()).unwrap();
         let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(before.output, after.output);
     }

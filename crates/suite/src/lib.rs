@@ -29,7 +29,8 @@ pub mod experiment;
 pub mod report;
 
 pub use benchmarks::{
-    all as all_benchmarks, by_name, incremental_demo, one_function_edit, Benchmark, Suite,
+    all as all_benchmarks, by_name, incremental_demo, lulesh_multifile, lulesh_multifile_concat,
+    one_function_edit, Benchmark, Suite,
 };
 pub use complexity::{complexity_of, table4_rows, ComplexityRow};
 pub use experiment::{

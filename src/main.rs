@@ -3,24 +3,32 @@
 //!
 //! ```text
 //! ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
+//! ompdart analyze <a.c> <b.c>... [--out-dir DIR] [--timings]   # linked whole program
 //! ompdart explain <input.c>
 //! ompdart diff-plan <left> <right>        # each side: plan .json or a .c source
 //! ompdart batch <input.c>... [--threads N] [--out-dir DIR]
 //! ompdart watch <dir> [--out-dir DIR] [--cache-dir DIR] [--interval-ms N] [--iterations N]
 //! ompdart serve [--out-dir DIR] [--cache-dir DIR]
+//! ompdart cache gc <dir> [--max-bytes N[k|m|g]]
 //! ```
 //!
 //! `analyze` rewrites one translation unit and can emit the versioned plan
-//! JSON; `explain` prints one justified line per inserted construct;
-//! `diff-plan` compares two mappings (generated, serialized, or extracted
-//! from an already-mapped source); `batch` fans a corpus out over worker
-//! threads with one shared artifact cache. `watch` and `serve` keep one
-//! long-lived session hot — re-planning only the functions an edit touched
-//! and, with `--cache-dir`, starting warm from the persistent artifact
-//! store.
+//! JSON — or, given several inputs, links them as **one whole program**
+//! (cross-unit summaries, program-level liveness) and writes each unit's
+//! mapped output; `explain` prints one justified line per inserted
+//! construct; `diff-plan` compares two mappings (generated, serialized, or
+//! extracted from an already-mapped source); `batch` fans a corpus out over
+//! worker threads with one shared artifact cache, each file a closed world.
+//! `watch` and `serve` keep one long-lived session hot — `watch` links the
+//! watched directory as one program, re-planning only the functions an edit
+//! actually invalidated (across files) and, with `--cache-dir`, starting
+//! warm from the persistent artifact store; `cache gc` evicts
+//! least-recently-used store entries down to a size cap.
 
 use ompdart_core::plan::{diff_plans, extract_explicit_plans, Json, MappingPlan};
-use ompdart_core::{Analysis, CacheStats, Ompdart, StageError};
+use ompdart_core::{
+    Analysis, ArtifactStore, CacheStats, Ompdart, ProgramError, StageError, UnitServe,
+};
 use ompdart_sim::{simulate_source, SimConfig};
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -32,20 +40,25 @@ ompdart — static generation of efficient OpenMP offload data mappings
 
 USAGE:
     ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
+    ompdart analyze <a.c> <b.c>... [--out-dir <dir>] [--timings]
     ompdart explain <input.c>
     ompdart diff-plan <left> <right>
     ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>]
     ompdart watch <dir> [--out-dir <dir>] [--cache-dir <dir>] [--interval-ms <N>]
                   [--iterations <N>] [--once]
     ompdart serve [--out-dir <dir>] [--cache-dir <dir>]
+    ompdart cache gc <dir> [--max-bytes <N[k|m|g]>]
     ompdart help
 
 SUBCOMMANDS:
-    analyze    Insert data-mapping constructs into one source file.
-               Writes the transformed source to stdout (or -o FILE);
-               --plan-json additionally emits the versioned Mapping IR
-               (`-` for stdout); --simulate compares transfer profiles
-               before/after on the offload simulator.
+    analyze    Insert data-mapping constructs. One input: writes the
+               transformed source to stdout (or -o FILE); --plan-json
+               additionally emits the versioned Mapping IR (`-` for
+               stdout); --simulate compares transfer profiles
+               before/after on the offload simulator. Several inputs:
+               links them as ONE whole program (cross-unit summaries,
+               program-level liveness) and writes each unit's
+               `<stem>.mapped.c` (next to the input, or into --out-dir).
     explain    Print one justified line per mapping construct: the
                OpenMP syntax, the dataflow fact that forced it, the
                deciding pipeline stage and source location.
@@ -54,16 +67,23 @@ SUBCOMMANDS:
                or a C source (analyzed when unmapped, its explicit
                directives extracted when already mapped).
     batch      Analyze many files concurrently over one shared artifact
-               cache; --out-dir writes each `<name>.mapped.c`.
+               cache — each file a closed world (use multi-input
+               `analyze` for linked whole-program analysis); --out-dir
+               writes each `<name>.mapped.c`.
     watch      Keep one long-lived session over every `.c` file in a
-               directory: re-analyze on change, re-planning only the
-               functions the edit touched, and re-emit `<name>.mapped.c`.
+               directory, linked as one whole program: re-analyze on
+               change, re-planning only the functions the edit actually
+               invalidated (across files), and re-emit `<name>.mapped.c`.
+               Falls back to independent per-file analysis when the
+               directory holds unrelated programs (duplicate `main`).
                --cache-dir persists plans across restarts; --interval-ms
                sets the poll period (default 500); --iterations exits
                after N scan cycles; --once scans a single time.
     serve      Line protocol on stdin over the same hot session:
                `analyze <path> [<out>]` re-emits one file, `stats`
                prints cache counters, `quit` (or EOF) exits.
+    cache gc   Evict least-recently-used persistent-store entries until
+               the directory fits --max-bytes (default 256m).
 ";
 
 fn main() -> ExitCode {
@@ -80,6 +100,7 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(rest),
         "watch" => cmd_watch(rest),
         "serve" => cmd_serve(rest),
+        "cache" => cmd_cache(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -122,8 +143,9 @@ fn render_stage_error(path: &str, source: &str, err: StageError) -> String {
 }
 
 fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
-    let mut input: Option<&str> = None;
+    let mut inputs: Vec<&str> = Vec::new();
     let mut output: Option<&str> = None;
+    let mut out_dir: Option<&str> = None;
     let mut plan_json: Option<&str> = None;
     let mut timings = false;
     let mut simulate = false;
@@ -132,6 +154,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         match arg.as_str() {
             "-o" | "--output" => {
                 output = Some(it.next().ok_or_else(|| format!("`{arg}` expects a path"))?);
+            }
+            "--out-dir" => {
+                out_dir = Some(it.next().ok_or("`--out-dir` expects a directory")?);
             }
             "--plan-json" => {
                 plan_json = Some(
@@ -142,11 +167,24 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             "--timings" => timings = true,
             "--simulate" => simulate = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
-            path if input.is_none() => input = Some(path),
-            extra => return Err(format!("unexpected argument `{extra}`")),
+            path => inputs.push(path),
         }
     }
-    let input = input.ok_or("`analyze` expects an input file")?;
+    if inputs.len() > 1 {
+        if output.is_some() || plan_json.is_some() || simulate {
+            return Err(
+                "`-o`, `--plan-json` and `--simulate` apply to single-input analyze; \
+                 multi-input analyze links the files as one program and writes each \
+                 `<stem>.mapped.c` (use `--out-dir` to redirect them)"
+                    .into(),
+            );
+        }
+        return cmd_analyze_program(&inputs, out_dir, timings);
+    }
+    if out_dir.is_some() {
+        return Err("`--out-dir` applies to multi-input analyze; use `-o <out.c>`".into());
+    }
+    let input = *inputs.first().ok_or("`analyze` expects an input file")?;
     if plan_json == Some("-") && output.is_none() {
         return Err(
             "`--plan-json -` would interleave the plan JSON with the transformed source on \
@@ -219,6 +257,158 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         );
         return Ok(ExitCode::FAILURE);
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Render a [`ProgramError`] with the failing unit's diagnostics attached.
+fn render_program_error(inputs: &[(String, String)], err: &ProgramError) -> String {
+    match err {
+        ProgramError::Unit { name, error } => inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(n, src)| render_stage_error(n, src, error.clone()))
+            .unwrap_or_else(|| err.to_string()),
+        _ => err.to_string(),
+    }
+}
+
+/// How one unit of a program analysis was served, for log lines.
+fn serve_label(serve: &UnitServe) -> String {
+    match serve {
+        UnitServe::Cached => "cached".to_string(),
+        UnitServe::Store => "store, function plans: 0 reused / 0 replanned".to_string(),
+        UnitServe::Planned { reused, replanned } => {
+            let mode = if *reused > 0 { "incremental" } else { "cold" };
+            format!("{mode}, function plans: {reused} reused / {replanned} replanned")
+        }
+    }
+}
+
+/// Multi-input `analyze`: link every input as one whole program and write
+/// each unit's mapped output.
+fn cmd_analyze_program(
+    inputs: &[&str],
+    out_dir: Option<&str>,
+    timings: bool,
+) -> Result<ExitCode, String> {
+    let pairs: Vec<(String, String)> = inputs
+        .iter()
+        .map(|path| read_source(path).map(|src| (path.to_string(), src)))
+        .collect::<Result<_, _>>()?;
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+    }
+    let tool = Ompdart::builder().build();
+    let start = Instant::now();
+    let program = tool
+        .analyze_program(&pairs)
+        .map_err(|e| render_program_error(&pairs, &e))?;
+
+    let mut failures = 0usize;
+    let mut used_names: std::collections::HashSet<String> = std::collections::HashSet::new();
+    for ((path, _), unit) in pairs.iter().zip(&program.units) {
+        let analysis = Analysis::from_unit(std::sync::Arc::clone(unit));
+        let stats = analysis.stats();
+        let diagnostics = analysis.diagnostics();
+        for diag in diagnostics.iter() {
+            eprintln!("{}", diag.render(analysis.source_file()));
+        }
+        if diagnostics.has_errors() {
+            failures += 1;
+            eprintln!(
+                "{path}: FAILED — analysis reported {} error diagnostic(s)",
+                diagnostics.error_count()
+            );
+            continue;
+        }
+        let stem = Path::new(path)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("unit");
+        let mut name = format!("{stem}.mapped.c");
+        let mut suffix = 1usize;
+        while !used_names.insert(name.clone()) {
+            name = format!("{stem}.{suffix}.mapped.c");
+            suffix += 1;
+        }
+        let out_path = match out_dir {
+            Some(dir) => Path::new(dir).join(name),
+            None => Path::new(path).with_file_name(name),
+        };
+        std::fs::write(&out_path, analysis.rewritten_source())
+            .map_err(|e| format!("cannot write `{}`: {e}", out_path.display()))?;
+        eprintln!(
+            "{path}: {} kernel(s), {} construct(s), {} unknown-callee fallback(s) -> {}",
+            stats.kernels,
+            stats.total_constructs(),
+            stats.unknown_callee_fallbacks,
+            out_path.display()
+        );
+    }
+    let total = program.stats();
+    eprintln!(
+        "linked {} unit(s) as one program: {} kernel(s), {} construct(s), {} unknown-callee fallback(s), link passes {}",
+        program.units.len(),
+        total.kernels,
+        total.total_constructs(),
+        total.unknown_callee_fallbacks,
+        program.link_passes
+    );
+    if timings {
+        eprintln!(
+            "whole-program wall clock: {:.3}ms",
+            start.elapsed().as_secs_f64() * 1e3
+        );
+    }
+    Ok(if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+/// Parse a size like `1048576`, `64k`, `256m`, `2g` into bytes.
+fn parse_size(text: &str) -> Result<u64, String> {
+    let text = text.trim();
+    let (digits, factor) = match text.as_bytes().last() {
+        Some(b'k' | b'K') => (&text[..text.len() - 1], 1u64 << 10),
+        Some(b'm' | b'M') => (&text[..text.len() - 1], 1u64 << 20),
+        Some(b'g' | b'G') => (&text[..text.len() - 1], 1u64 << 30),
+        _ => (text, 1u64),
+    };
+    digits
+        .parse::<u64>()
+        .map_err(|_| format!("`{text}` is not a size (expected N, Nk, Nm or Ng)"))?
+        .checked_mul(factor)
+        .ok_or_else(|| format!("`{text}` overflows"))
+}
+
+fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
+    let Some(("gc", rest)) = args.split_first().map(|(a, r)| (a.as_str(), r)) else {
+        return Err(
+            "`cache` expects the `gc` subcommand: ompdart cache gc <dir> [--max-bytes N]".into(),
+        );
+    };
+    let mut dir: Option<&str> = None;
+    let mut max_bytes: u64 = 256 << 20;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--max-bytes" => {
+                max_bytes = parse_size(it.next().ok_or("`--max-bytes` expects a size")?)?;
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path if dir.is_none() => dir = Some(path),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    let dir = dir.ok_or("`cache gc` expects the cache directory")?;
+    let store = ArtifactStore::open(dir);
+    let report = store.gc(max_bytes);
+    println!(
+        "[cache] {dir}: {} entr(ies) before, evicted {} ({} bytes freed), {} bytes kept (cap {max_bytes})",
+        report.entries_before, report.entries_evicted, report.bytes_freed, report.bytes_kept
+    );
     Ok(ExitCode::SUCCESS)
 }
 
@@ -512,6 +702,7 @@ fn serve_mode(before: &CacheStats, after: &CacheStats) -> &'static str {
 struct SessionFlags {
     out_dir: Option<String>,
     cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
 }
 
 impl SessionFlags {
@@ -520,6 +711,9 @@ impl SessionFlags {
         let mut builder = Ompdart::builder();
         if let Some(dir) = &self.cache_dir {
             builder = builder.cache_dir(dir);
+        }
+        if let Some(max) = self.cache_max_bytes {
+            builder = builder.cache_max_bytes(max);
         }
         builder.build()
     }
@@ -530,6 +724,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     let mut flags = SessionFlags {
         out_dir: None,
         cache_dir: None,
+        cache_max_bytes: None,
     };
     let mut interval_ms: u64 = 500;
     let mut iterations: Option<u64> = None;
@@ -550,6 +745,11 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
                         .ok_or("`--cache-dir` expects a directory")?
                         .to_string(),
                 );
+            }
+            "--cache-max-bytes" => {
+                flags.cache_max_bytes = Some(parse_size(
+                    it.next().ok_or("`--cache-max-bytes` expects a size")?,
+                )?);
             }
             "--interval-ms" => {
                 interval_ms = it
@@ -589,22 +789,28 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     // Re-emit on *content* change, not mtime: editors and CI touch files
     // in too many ways to trust timestamps. The full previous source is
     // kept (not just a hash) so change detection can never be fooled by a
-    // hash collision — the same standard the session caches hold.
+    // hash collision — the same standard the session caches hold. All
+    // watched files are linked as ONE whole program: an edit in one file
+    // re-plans functions in other files exactly when the edited file's
+    // exported interface changed.
     let mut seen: std::collections::HashMap<PathBuf, String> = std::collections::HashMap::new();
+    let mut last_emitted: std::collections::HashMap<PathBuf, String> =
+        std::collections::HashMap::new();
     let mut cycles: u64 = 0;
     loop {
         match scan_c_files(dir) {
             Ok(paths) => {
-                for path in paths {
-                    let Ok(source) = std::fs::read_to_string(&path) else {
-                        continue;
-                    };
-                    if seen.get(&path).is_some_and(|prev| *prev == source) {
-                        continue;
-                    }
-                    let out_path = mapped_path(&path, flags.out_dir.as_deref());
-                    emit_one(&tool, "watch", &path, &source, &out_path);
-                    seen.insert(path, source);
+                let units: Vec<(PathBuf, String)> = paths
+                    .into_iter()
+                    .filter_map(|p| std::fs::read_to_string(&p).ok().map(|s| (p, s)))
+                    .collect();
+                let changed: Vec<&(PathBuf, String)> = units
+                    .iter()
+                    .filter(|(p, s)| seen.get(p) != Some(s))
+                    .collect();
+                if !changed.is_empty() {
+                    watch_program_scan(&tool, &flags, &units, &changed, &mut last_emitted);
+                    seen = units.into_iter().collect();
                 }
             }
             // The watcher is long-lived: a transient scan failure (the
@@ -628,10 +834,89 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// One watch scan over the linked program. Falls back to independent
+/// per-file analysis when the directory does not form one program
+/// (duplicate `main`s, a unit that fails to parse).
+fn watch_program_scan(
+    tool: &Ompdart,
+    flags: &SessionFlags,
+    units: &[(PathBuf, String)],
+    changed: &[&(PathBuf, String)],
+    last_emitted: &mut std::collections::HashMap<PathBuf, String>,
+) {
+    let pairs: Vec<(String, String)> = units
+        .iter()
+        .map(|(p, s)| (p.display().to_string(), s.clone()))
+        .collect();
+    match tool.analyze_program(&pairs) {
+        Ok(program) => {
+            for (idx, (path, source)) in units.iter().enumerate() {
+                let unit = &program.units[idx];
+                let serve = &program.served[idx];
+                // Always drop superseded cached versions of this file —
+                // including on the failure paths below — so session memory
+                // stays bounded by the file count, not the save count.
+                tool.session().evict_stale_versions(&pairs[idx].0, source);
+                let diagnostics = &unit.plans.diagnostics;
+                if diagnostics.has_errors() {
+                    println!(
+                        "[watch] {}: FAILED — analysis reported {} error diagnostic(s)",
+                        path.display(),
+                        diagnostics.error_count()
+                    );
+                    continue;
+                }
+                let rewritten = unit.rewrite.source.as_str();
+                let out_path = mapped_path(path, flags.out_dir.as_deref());
+                let unchanged = last_emitted.get(path).is_some_and(|prev| prev == rewritten);
+                if unchanged {
+                    // Nothing new on disk; still report re-planning work so
+                    // cross-file invalidation is observable.
+                    if let UnitServe::Planned { reused, replanned } = serve {
+                        if *replanned > 0 {
+                            println!(
+                                "[watch] {}: output unchanged (function plans: {reused} reused / {replanned} replanned)",
+                                path.display()
+                            );
+                        }
+                    }
+                    continue;
+                }
+                if let Err(e) = std::fs::write(&out_path, rewritten) {
+                    println!(
+                        "[watch] {}: FAILED — cannot write {}: {e}",
+                        path.display(),
+                        out_path.display()
+                    );
+                    continue;
+                }
+                println!(
+                    "[watch] {}: re-emitted {} ({})",
+                    path.display(),
+                    out_path.display(),
+                    serve_label(serve)
+                );
+                last_emitted.insert(path.clone(), rewritten.to_string());
+            }
+        }
+        Err(err) => {
+            println!("[watch] not linkable as one program ({err}); analyzing files independently");
+            for (path, source) in changed {
+                let out_path = mapped_path(path, flags.out_dir.as_deref());
+                emit_one(tool, "watch", path, source, &out_path);
+                last_emitted.remove(path.as_path());
+            }
+        }
+    }
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
 fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
     let mut flags = SessionFlags {
         out_dir: None,
         cache_dir: None,
+        cache_max_bytes: None,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -649,6 +934,11 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
                         .ok_or("`--cache-dir` expects a directory")?
                         .to_string(),
                 );
+            }
+            "--cache-max-bytes" => {
+                flags.cache_max_bytes = Some(parse_size(
+                    it.next().ok_or("`--cache-max-bytes` expects a size")?,
+                )?);
             }
             other => return Err(format!("unexpected argument `{other}`")),
         }

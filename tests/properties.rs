@@ -395,3 +395,159 @@ proptest! {
         prop_assert_eq!(out.exit_code, expected);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Whole-program link stage: arbitrary splits agree with the concatenation
+// ---------------------------------------------------------------------------
+
+/// What one generated helper function does; every variant touches globals
+/// (and possibly calls an earlier helper) so splits produce real cross-unit
+/// summary and liveness dependencies.
+#[derive(Clone, Copy, Debug)]
+enum HelperKind {
+    HostFill(u8),
+    KernelAdd(u8),
+    KernelScale(u8),
+    HostSum,
+}
+
+fn helper_kind_strategy() -> impl Strategy<Value = HelperKind> {
+    prop_oneof![
+        (0u8..4).prop_map(HelperKind::HostFill),
+        (1u8..4).prop_map(HelperKind::KernelAdd),
+        (1u8..3).prop_map(HelperKind::KernelScale),
+        Just(HelperKind::HostSum),
+    ]
+}
+
+/// The guarded shared header every generated unit carries: the split
+/// concatenation stays a well-formed single translation unit.
+fn program_header(helper_count: usize) -> String {
+    let mut h = String::from(
+        "#ifndef GEN_H\n#define GEN_H\n#define N 40\nextern double field[N];\nextern double acc;\n",
+    );
+    for i in 0..helper_count {
+        h.push_str(&format!("void h{i}();\n"));
+    }
+    h.push_str("#endif\n");
+    h
+}
+
+/// Render helper `i`. `call_prev` additionally calls `h{i-1}`, creating
+/// call chains that cross unit boundaries under most splits.
+fn render_helper(i: usize, kind: HelperKind, call_prev: bool) -> String {
+    let mut body = String::new();
+    match kind {
+        HelperKind::HostFill(v) => {
+            body.push_str(&format!(
+                "  for (int i = 0; i < N; i++) field[i] = {v} + i % 5;\n"
+            ));
+        }
+        HelperKind::KernelAdd(v) => {
+            body.push_str(&format!(
+                "  #pragma omp target teams distribute parallel for\n  for (int i = 0; i < N; i++) field[i] += {v};\n"
+            ));
+        }
+        HelperKind::KernelScale(v) => {
+            body.push_str(&format!(
+                "  #pragma omp target teams distribute parallel for\n  for (int i = 0; i < N; i++) field[i] = field[i] * {v} + 1.0;\n"
+            ));
+        }
+        HelperKind::HostSum => {
+            body.push_str("  for (int i = 0; i < N; i++) acc = acc + field[i];\n");
+        }
+    }
+    if call_prev && i > 0 {
+        body.push_str(&format!("  h{}();\n", i - 1));
+    }
+    format!("void h{i}() {{\n{body}}}\n")
+}
+
+/// Split the generated functions into `k` units at positions driven by
+/// `cuts`; each unit carries the shared header, the globals live in the
+/// first unit, `main` in the last.
+fn split_units(
+    header: &str,
+    functions: &[String],
+    cuts: u64,
+    units_wanted: usize,
+) -> Vec<(String, String)> {
+    let n = functions.len();
+    let k = units_wanted.clamp(1, n);
+    // Assign each function to a unit: a monotone map derived from `cuts`.
+    let mut assignment = Vec::with_capacity(n);
+    let mut unit = 0usize;
+    for (i, _) in functions.iter().enumerate() {
+        let remaining_funcs = n - i;
+        let remaining_units = k - unit - 1;
+        let advance =
+            remaining_units > 0 && (remaining_funcs <= remaining_units || (cuts >> i) & 1 == 1);
+        assignment.push(unit);
+        if advance {
+            unit += 1;
+        }
+    }
+    let used = assignment.last().copied().unwrap_or(0) + 1;
+    let mut out: Vec<(String, String)> = (0..used)
+        .map(|u| {
+            let mut text = header.to_string();
+            if u == 0 {
+                text.push_str("double field[N];\ndouble acc;\n");
+            }
+            (format!("gen_unit{u}.c"), text)
+        })
+        .collect();
+    for (func, unit) in functions.iter().zip(&assignment) {
+        out[*unit].1.push_str(func);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// For any split of a generated multi-function program into k units,
+    /// linked whole-program analysis rewrites byte-identically to a
+    /// single-unit analysis of the concatenated unit sources — and no
+    /// intra-program call ever falls back to the pessimistic assumption.
+    #[test]
+    fn any_program_split_agrees_with_concatenation(
+        kinds in proptest::collection::vec(helper_kind_strategy(), 2..6),
+        call_mask in 0u64..256,
+        cuts in 0u64..256,
+        units_wanted in 1usize..4,
+    ) {
+        let helper_count = kinds.len();
+        let header = program_header(helper_count);
+        let mut functions: Vec<String> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| render_helper(i, *kind, (call_mask >> i) & 1 == 1))
+            .collect();
+        let mut main_body = String::new();
+        for i in 0..helper_count {
+            main_body.push_str(&format!("  h{i}();\n"));
+        }
+        functions.push(format!(
+            "int main() {{\n{main_body}  printf(\"%f %f\\n\", acc, field[3]);\n  return 0;\n}}\n"
+        ));
+
+        let units = split_units(&header, &functions, cuts, units_wanted);
+        let concat: String = units.iter().map(|(_, s)| s.as_str()).collect();
+
+        let program = match ompdart_core::ProgramDriver::new().analyze_program(&units) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("link failed: {e}\n{concat}"))),
+        };
+        let cold = match ompdart_core::AnalysisSession::new().analyze("gen_concat.c", &concat) {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(format!("concat analysis failed: {e}\n{concat}"))),
+        };
+        let linked: String = program.units.iter().map(|u| u.rewrite.source.as_str()).collect();
+        prop_assert_eq!(
+            &linked, &cold.rewrite.source,
+            "linked != concatenated for split {:?}\n{}", cuts, concat
+        );
+        prop_assert_eq!(program.stats().unknown_callee_fallbacks, 0);
+    }
+}

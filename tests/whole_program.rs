@@ -1,0 +1,415 @@
+//! Golden tests for the whole-program link stage.
+//!
+//! The defining property: analyzing `k` translation units as one *linked
+//! program* rewrites each unit byte-identically to analyzing the
+//! concatenation of all `k` unit sources as a single translation unit —
+//! with zero pessimistic unknown-callee fallbacks for intra-program calls.
+//! On top of that sit the invalidation guarantees: an interface-preserving
+//! edit to one unit re-plans only that unit's edited function, an
+//! interface-*changing* edit re-plans exactly the dependent functions in
+//! other units, and a persistent-store warm start re-seeds the
+//! function-plan cache so the first edit after a restart is already
+//! incremental.
+
+use ompdart_core::{
+    AnalysisSession, Ompdart, ProgramDriver, ProgramError, ProvenanceFact, UnitServe,
+};
+use ompdart_suite::{lulesh_multifile, lulesh_multifile_concat};
+use std::sync::Arc;
+
+const HEADER: &str = "\
+#ifndef SHARED_H
+#define SHARED_H
+#define N 32
+extern double data[N];
+extern double out[N];
+void scale(double *p, int n);
+double checksum(const double *p, int n);
+#endif
+";
+
+fn unit_main() -> String {
+    format!(
+        "{HEADER}double data[N];
+double out[N];
+int main() {{
+  for (int i = 0; i < N; i++) data[i] = i * 0.5;
+  for (int it = 0; it < 3; it++) {{
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) out[i] = data[i] * 2.0;
+    scale(out, N);
+  }}
+  printf(\"%f\\n\", checksum(out, N));
+  return 0;
+}}
+"
+    )
+}
+
+fn unit_helpers() -> String {
+    // `scale` only *writes* its argument: strictly weaker than the
+    // pessimistic read+write fallback, so linking observably improves the
+    // caller's mapping (no `update from` before the call).
+    format!(
+        "{HEADER}void scale(double *p, int n) {{
+  for (int i = 0; i < n; i++) p[i] = 0.25 * n;
+}}
+double checksum(const double *p, int n) {{
+  double s = 0.0;
+  for (int i = 0; i < n; i++) s = s + p[i];
+  return s;
+}}
+"
+    )
+}
+
+fn two_unit_program() -> Vec<(String, String)> {
+    vec![
+        ("prog_main.c".to_string(), unit_main()),
+        ("prog_helpers.c".to_string(), unit_helpers()),
+    ]
+}
+
+fn owned(units: &[(&str, &str)]) -> Vec<(String, String)> {
+    units
+        .iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect()
+}
+
+/// Linked multi-unit analysis == single-unit analysis of the concatenation,
+/// byte for byte, with zero unknown-callee fallbacks.
+#[test]
+fn linked_program_matches_concatenated_single_unit() {
+    let inputs = two_unit_program();
+    let driver = ProgramDriver::new();
+    let program = driver.analyze_program(&inputs).expect("link failed");
+
+    let concat_src: String = inputs.iter().map(|(_, s)| s.as_str()).collect();
+    let single = AnalysisSession::new();
+    let cold = single
+        .analyze("concat.c", &concat_src)
+        .expect("concat failed");
+
+    let linked_concat = program.concatenated_rewrite();
+    assert_eq!(
+        linked_concat, cold.rewrite.source,
+        "linked rewrite must equal the single-unit rewrite of the concatenation"
+    );
+
+    // Every intra-program call resolved to a real summary.
+    assert_eq!(program.stats().unknown_callee_fallbacks, 0);
+    // ...while the same units analyzed as closed worlds fall back.
+    let closed = AnalysisSession::new();
+    let solo = closed
+        .analyze(&inputs[0].0, &inputs[0].1)
+        .expect("solo failed");
+    assert!(
+        solo.plans.stats.unknown_callee_fallbacks > 0,
+        "the closed-world analysis of the main unit must hit the fallback"
+    );
+    assert_ne!(
+        solo.rewrite.source, program.units[0].rewrite.source,
+        "linking must actually change the main unit's mapping"
+    );
+}
+
+/// Acceptance golden: the three-file lulesh port's linked rewrite is
+/// byte-identical to the single-file (concatenated) version, with zero
+/// pessimistic fallbacks for intra-program calls.
+#[test]
+fn lulesh_multifile_golden() {
+    let inputs = owned(&lulesh_multifile());
+    let driver = ProgramDriver::new();
+    let program = driver.analyze_program(&inputs).expect("link failed");
+
+    let concat = lulesh_multifile_concat();
+    let cold = AnalysisSession::new()
+        .analyze("lulesh_mf_concat.c", &concat)
+        .expect("concat analysis failed");
+    assert_eq!(
+        program.concatenated_rewrite(),
+        cold.rewrite.source,
+        "linked lulesh must equal the concatenated single-unit rewrite"
+    );
+    let stats = program.stats();
+    assert_eq!(
+        stats.unknown_callee_fallbacks, 0,
+        "no intra-program call may fall back to the pessimistic assumption"
+    );
+    assert_eq!(stats.kernels, 15, "the port keeps lulesh's 15 kernels");
+
+    // The driver's mapping decisions record their cross-unit origins: the
+    // `reduce_dtc` read-only summary from the EOS unit decides an update.
+    let main_unit = &program.units[2];
+    let cross_unit_detail = main_unit
+        .plans
+        .plans
+        .iter()
+        .flat_map(|p| p.provenances())
+        .any(|p| p.detail.contains("cross-unit summary of `reduce_dtc`"));
+    assert!(
+        cross_unit_detail,
+        "a provenance in the driver unit must cite the cross-unit summary:\n{}",
+        main_unit.explain()
+    );
+
+    // Closed-world analysis of the driver unit alone hits the fallback.
+    let solo = AnalysisSession::new()
+        .analyze(&inputs[2].0, &inputs[2].1)
+        .unwrap();
+    assert!(solo.plans.stats.unknown_callee_fallbacks > 0);
+}
+
+/// A one-unit program is the degenerate case: byte-identical to the plain
+/// single-unit session path.
+#[test]
+fn single_unit_program_is_degenerate() {
+    let (name, source) = ("only.c".to_string(), unit_main());
+    let driver = ProgramDriver::new();
+    let program = driver
+        .analyze_program(&[(name.clone(), source.clone())])
+        .expect("link failed");
+    let plain = AnalysisSession::new().analyze(&name, &source).unwrap();
+    assert_eq!(program.units[0].rewrite.source, plain.rewrite.source);
+    assert_eq!(program.units[0].plans.stats, plain.plans.stats);
+    assert_eq!(program.units[0].plans.plans, plain.plans.plans);
+}
+
+/// An interface-preserving edit to one unit re-plans only the edited
+/// function of that unit; every other unit is served from the linked cache
+/// without planning anything.
+#[test]
+fn interface_preserving_edit_replans_only_the_edited_unit() {
+    let inputs = owned(&lulesh_multifile());
+    let session = Arc::new(AnalysisSession::new());
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    driver.analyze_program(&inputs).expect("cold link failed");
+
+    // A comment inside `update_eos`'s body: content changes, the exported
+    // interface (prototypes, summaries, referenced vars) does not.
+    let mut edited = inputs.clone();
+    edited[1].1 = edited[1].1.replacen(
+        "e[i] += (p[i] + q[i])",
+        "/* tweak */ e[i] += (p[i] + q[i])",
+        1,
+    );
+    assert_ne!(edited[1].1, inputs[1].1);
+
+    let before = session.cache_stats();
+    let program = driver.analyze_program(&edited).expect("warm link failed");
+    let after = session.cache_stats();
+
+    assert_eq!(
+        after.function_plan_misses - before.function_plan_misses,
+        1,
+        "only `update_eos` may be re-planned"
+    );
+    assert_eq!(program.served[0], UnitServe::Cached, "mesh unit untouched");
+    assert_eq!(
+        program.served[2],
+        UnitServe::Cached,
+        "driver unit untouched"
+    );
+    assert!(matches!(
+        program.served[1],
+        UnitServe::Planned {
+            replanned: 1,
+            reused: 1
+        }
+    ));
+
+    // The incremental result equals a cold analysis of the edited program.
+    let cold = ProgramDriver::new().analyze_program(&edited).unwrap();
+    assert_eq!(program.concatenated_rewrite(), cold.concatenated_rewrite());
+}
+
+/// An interface-*changing* edit (the helper turns from reader into writer)
+/// re-plans the dependent function in the other unit — exactly once — while
+/// independent functions keep their cached plans.
+#[test]
+fn interface_change_replans_dependents_in_other_units() {
+    let inputs = owned(&lulesh_multifile());
+    let session = Arc::new(AnalysisSession::new());
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    driver.analyze_program(&inputs).expect("cold link failed");
+
+    // `reduce_dtc` now also writes its argument: its exported summary (and
+    // therefore the EOS unit's interface) changes.
+    let mut edited = inputs.clone();
+    edited[1].1 = edited[1].1.replacen(
+        "if (d[i] < mindt) { mindt = d[i]; }",
+        "if (d[i] < mindt) { mindt = d[i]; d[i] = mindt; }",
+        1,
+    );
+    assert_ne!(edited[1].1, inputs[1].1);
+
+    let before = session.cache_stats();
+    let program = driver.analyze_program(&edited).expect("warm link failed");
+    let after = session.cache_stats();
+
+    // Re-planned: `reduce_dtc` (edited) and `main` (its caller in another
+    // unit). The mesh unit's functions don't depend on the EOS interface,
+    // so they relocate from the cache even though the unit re-plans.
+    assert_eq!(
+        after.function_plan_misses - before.function_plan_misses,
+        2,
+        "exactly the edited function and its cross-unit caller re-plan"
+    );
+    assert!(matches!(
+        program.served[2],
+        UnitServe::Planned { replanned: 1, .. }
+    ));
+    assert!(matches!(
+        program.served[0],
+        UnitServe::Planned {
+            replanned: 0,
+            reused: 2
+        }
+    ));
+
+    let cold = ProgramDriver::new().analyze_program(&edited).unwrap();
+    assert_eq!(program.concatenated_rewrite(), cold.concatenated_rewrite());
+}
+
+/// Unknown extern callees produce a dedicated provenance fact anchored at
+/// the call site instead of silently inheriting the pessimistic effect.
+#[test]
+fn unknown_callee_pessimism_is_explained() {
+    let session = AnalysisSession::new();
+    let source = unit_main();
+    let analysis = session.analyze("prog_main.c", &source).unwrap();
+    let plan = analysis
+        .plans
+        .plans
+        .iter()
+        .find(|p| p.function == "main")
+        .expect("main must have a plan");
+    let unknown: Vec<_> = plan
+        .provenances()
+        .into_iter()
+        .filter(|p| p.fact == ProvenanceFact::UnknownCalleePessimistic)
+        .collect();
+    assert!(
+        !unknown.is_empty(),
+        "the pessimistic `scale` call must be explained:\n{}",
+        analysis.explain()
+    );
+    for p in &unknown {
+        assert!(
+            p.detail.contains("`scale`") || p.detail.contains("`checksum`"),
+            "the provenance names the unknown callee: {}",
+            p.detail
+        );
+        let span = p.span.expect("call-site span must be recorded");
+        let snippet = analysis.parsed.file.snippet(span);
+        assert!(
+            snippet.contains("scale") || snippet.contains("checksum"),
+            "span must point at the call site, got `{snippet}`"
+        );
+    }
+    // The explain rendering surfaces the fact key.
+    assert!(analysis.explain().contains("unknown_callee_pessimistic"));
+}
+
+/// Whole-program analyses warm-start from the persistent store: a second
+/// driver over the same cache dir rewrites byte-identically with zero
+/// planned functions, and the *first edit after the restart* is already
+/// incremental thanks to the persisted function-plan keys.
+#[test]
+fn program_store_warm_start_and_seeded_first_edit() {
+    let dir = std::env::temp_dir().join(format!("ompdart-wp-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let inputs = owned(&lulesh_multifile());
+
+    let first = Ompdart::builder().cache_dir(&dir).build();
+    let cold = first.analyze_program(&inputs).expect("cold run failed");
+    assert!(cold
+        .served
+        .iter()
+        .all(|s| matches!(s, UnitServe::Planned { .. })));
+
+    // "Process restart": fresh session, same cache dir.
+    let second = Ompdart::builder().cache_dir(&dir).build();
+    let warm = second.analyze_program(&inputs).expect("warm run failed");
+    assert!(
+        warm.served.iter().all(|s| *s == UnitServe::Store),
+        "all units must be served from the store: {:?}",
+        warm.served
+    );
+    assert_eq!(
+        warm.concatenated_rewrite(),
+        cold.concatenated_rewrite(),
+        "store-served program rewrite diverges"
+    );
+    let stats = second.session().cache_stats();
+    assert_eq!(stats.function_plan_misses, 0, "{stats:?}");
+
+    // First edit after the warm start: the persisted per-function keys
+    // seeded the plan cache, so only the edited function re-plans.
+    let mut edited = inputs.clone();
+    edited[1].1 = edited[1].1.replacen(
+        "e[i] += (p[i] + q[i])",
+        "/* warm */ e[i] += (p[i] + q[i])",
+        1,
+    );
+    let program = second.analyze_program(&edited).expect("edit run failed");
+    let stats = second.session().cache_stats();
+    assert_eq!(
+        stats.function_plan_misses, 1,
+        "the warm-started first edit must already be incremental: {stats:?}"
+    );
+    assert!(matches!(
+        program.served[1],
+        UnitServe::Planned {
+            replanned: 1,
+            reused: 1
+        }
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Duplicate definitions across units are a link error, not silent
+/// last-writer-wins behavior.
+#[test]
+fn duplicate_definitions_are_rejected() {
+    let inputs = vec![
+        ("a.c".to_string(), "void f() { }\n".to_string()),
+        ("b.c".to_string(), "void f() { }\n".to_string()),
+    ];
+    let err = ProgramDriver::new().analyze_program(&inputs).unwrap_err();
+    match err {
+        ProgramError::DuplicateFunction { function, units } => {
+            assert_eq!(function, "f");
+            assert_eq!(units, ["a.c".to_string(), "b.c".to_string()]);
+        }
+        other => panic!("expected DuplicateFunction, got {other:?}"),
+    }
+
+    // A parse failure in any unit names the failing unit.
+    let inputs = vec![
+        ("ok.c".to_string(), "void g() { }\n".to_string()),
+        (
+            "broken.c".to_string(),
+            "int main( { return 0; }\n".to_string(),
+        ),
+    ];
+    let err = ProgramDriver::new().analyze_program(&inputs).unwrap_err();
+    match err {
+        ProgramError::Unit { name, .. } => assert_eq!(name, "broken.c"),
+        other => panic!("expected Unit error, got {other:?}"),
+    }
+}
+
+/// Output preservation end to end: the linked program's mapped
+/// concatenation simulates to the same output as the unmapped program.
+#[test]
+fn linked_lulesh_preserves_program_output() {
+    use ompdart_sim::{simulate_source, SimConfig};
+
+    let inputs = owned(&lulesh_multifile());
+    let program = ProgramDriver::new().analyze_program(&inputs).unwrap();
+    let before = simulate_source(&lulesh_multifile_concat(), SimConfig::default()).unwrap();
+    let after = simulate_source(&program.concatenated_rewrite(), SimConfig::default()).unwrap();
+    assert_eq!(before.output, after.output);
+}
