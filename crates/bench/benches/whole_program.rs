@@ -53,6 +53,24 @@ fn bench(c: &mut Criterion) {
     let edit_ms = t.elapsed().as_secs_f64() * 1e3;
     let after = session.cache_stats();
 
+    // A *summary-changing* one-function edit in the driver unit: the whole
+    // Accesses→Summaries→Link→Plans chain must stay function-granular —
+    // one access re-collection, one local re-summarization, one re-plan,
+    // and an incremental relink that re-seeds only main's call-graph cone
+    // (main alone: nothing calls it).
+    let mut edited2 = edited.clone();
+    edited2[2].1 = edited2[2].1.replacen(
+        "double esum = 0.0;",
+        "double esum = 0.0;\n  work[0] = work[0];",
+        1,
+    );
+    assert_ne!(edited2[2].1, edited[2].1);
+    let before2 = session.cache_stats();
+    let t = Instant::now();
+    driver.analyze_program(&edited2).unwrap();
+    let relink_edit_ms = t.elapsed().as_secs_f64() * 1e3;
+    let after2 = session.cache_stats();
+
     let closed = AnalysisSession::new();
     let mut closed_fallbacks = 0usize;
     for (name, src) in &units {
@@ -66,8 +84,13 @@ fn bench(c: &mut Criterion) {
     let linked_fallbacks = cold.stats().unknown_callee_fallbacks;
     eprintln!(
         "whole_program: cold={cold_ms:.3}ms relink={relink_ms:.3}ms one_edit={edit_ms:.3}ms \
-         edit_replanned={} linked_fallbacks={linked_fallbacks} closed_world_fallbacks={closed_fallbacks}",
+         relink_edit={relink_edit_ms:.3}ms \
+         edit_replanned={} linked_fallbacks={linked_fallbacks} closed_world_fallbacks={closed_fallbacks} \
+         relink_reseeded={} summary_misses={} access_misses={}",
         after.function_plan_misses - before.function_plan_misses,
+        after2.relink_reseeded_functions - before2.relink_reseeded_functions,
+        after2.function_summary_misses - before2.function_summary_misses,
+        after2.function_access_misses - before2.function_access_misses,
     );
     assert_eq!(
         linked_fallbacks, 0,
@@ -81,6 +104,21 @@ fn bench(c: &mut Criterion) {
         after.function_plan_misses - before.function_plan_misses,
         1,
         "an interface-preserving edit must re-plan exactly one function"
+    );
+    assert_eq!(
+        after2.relink_reseeded_functions - before2.relink_reseeded_functions,
+        1,
+        "a one-function edit must re-seed exactly its call-graph cone"
+    );
+    assert_eq!(
+        after2.function_summary_misses - before2.function_summary_misses,
+        1,
+        "a one-function edit must re-summarize exactly one function"
+    );
+    assert_eq!(
+        after2.function_access_misses - before2.function_access_misses,
+        1,
+        "a one-function edit must re-collect accesses for exactly one function"
     );
 
     c.bench_function("whole_program/cold_link_lulesh_mf", |b| {

@@ -67,7 +67,13 @@ pub enum AccessOrigin {
     Callee { callee: String, cross_unit: bool },
     /// Synthesized from the maximally pessimistic fallback for a callee
     /// whose definition is not visible (at best a prototype).
-    UnknownCallee { callee: String },
+    /// `clobbers_global` is true when the access models the opt-in
+    /// "unknown callees clobber globals" mode rather than the default
+    /// by-reference-argument fallback.
+    UnknownCallee {
+        callee: String,
+        clobbers_global: bool,
+    },
 }
 
 /// One classified memory access.
@@ -250,6 +256,27 @@ impl FunctionAccesses {
                 }
             });
         }
+        for (i, access) in out.accesses.iter().enumerate() {
+            out.by_stmt.entry(access.stmt).or_default().push(i);
+        }
+        out
+    }
+
+    /// Reassemble a function's access artifact from its parts, rebuilding
+    /// the statement-index side table. Used by the relocation layer
+    /// ([`crate::relocate`]) when a cached artifact is rebased onto the
+    /// coordinates of a fresh parse.
+    pub fn from_parts(
+        function: String,
+        accesses: Vec<Access>,
+        calls: Vec<CallSite>,
+    ) -> FunctionAccesses {
+        let mut out = FunctionAccesses {
+            function,
+            accesses,
+            calls,
+            by_stmt: HashMap::new(),
+        };
         for (i, access) in out.accesses.iter().enumerate() {
             out.by_stmt.entry(access.stmt).or_default().push(i);
         }

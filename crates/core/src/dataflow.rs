@@ -110,13 +110,27 @@ fn provenance_for(
     deciding: Option<&Deciding>,
 ) -> Provenance {
     match deciding.map(|d| (&d.origin, d.span)) {
-        Some((AccessOrigin::UnknownCallee { callee }, call_span)) => Provenance::plan(
+        Some((
+            AccessOrigin::UnknownCallee {
+                callee,
+                clobbers_global,
+            },
+            call_span,
+        )) => Provenance::plan(
             ProvenanceFact::UnknownCalleePessimistic,
             Some(call_span),
-            format!(
-                "{detail}; the call to `{callee}` has no visible definition, so the analysis \
-                 assumes it reads and writes the argument on the host"
-            ),
+            if *clobbers_global {
+                format!(
+                    "{detail}; the call to `{callee}` has no visible definition and \
+                     pessimistic-globals mode assumes it reads and writes every global \
+                     on the host"
+                )
+            } else {
+                format!(
+                    "{detail}; the call to `{callee}` has no visible definition, so the analysis \
+                     assumes it reads and writes the argument on the host"
+                )
+            },
         ),
         Some((
             AccessOrigin::Callee {

@@ -13,7 +13,7 @@
 
 use crate::access::{Access, AccessKind, AccessOrigin, CallSite, FunctionAccesses, SymbolTable};
 use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// The effect of a function on one externally visible datum.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -156,6 +156,82 @@ const PURE_BUILTINS: &[&str] = &[
     "exit",
 ];
 
+/// The *local* (direct-effect) summary of one function: what its own
+/// expressions do to parameters and globals, before any call-site
+/// propagation. This is the per-function seed of the interprocedural fixed
+/// point — and the unit the function-granular summary cache stores, because
+/// it depends only on the function's own text and the unit environment.
+pub fn seed_summary(
+    func: &FunctionDef,
+    acc: &FunctionAccesses,
+    sym: &SymbolTable,
+) -> FunctionSummary {
+    let mut summary = FunctionSummary {
+        name: func.name.clone(),
+        param_effects: vec![Effect::default(); func.params.len()],
+        global_effects: HashMap::new(),
+        has_kernels: acc.accesses.iter().any(|a| a.on_device)
+            || acc.calls.iter().any(|c| c.on_device),
+    };
+    for access in &acc.accesses {
+        if let Some(idx) = param_index(func, &access.var) {
+            if sym.is_aggregate(&access.var) {
+                summary.param_effects[idx].record(access.kind, access.on_device);
+            }
+        } else if sym.is_global(&access.var) {
+            summary
+                .global_effects
+                .entry(access.var.clone())
+                .or_default()
+                .record(access.kind, access.on_device);
+        }
+    }
+    summary
+}
+
+/// Everything the call-site propagation reads from one function, decoupled
+/// from the owning [`TranslationUnit`] so the link stage can run the fixed
+/// point over functions from *several* units (with unit-private `static`
+/// names already resolved in `calls`).
+#[derive(Clone, Debug)]
+pub struct PropagationNode<'a> {
+    /// The function's name under which its seed (and converged summary) is
+    /// keyed — for cross-unit `static` functions this is the mangled
+    /// unit-private symbol, not the source-level name.
+    pub name: String,
+    /// Parameter names, in declaration order.
+    pub params: Vec<String>,
+    /// The function's symbol table (aggregate/global classification of
+    /// call-argument base variables).
+    pub sym: &'a SymbolTable,
+    /// The function's call sites, callee names fully resolved.
+    pub calls: Vec<CallSite>,
+}
+
+impl<'a> PropagationNode<'a> {
+    /// Build the node for one function from its per-unit artifacts,
+    /// resolving callee names through `resolve` (identity for a single
+    /// unit; the link stage maps unit-private statics to mangled names).
+    pub fn build(
+        name: String,
+        func: &FunctionDef,
+        acc: &FunctionAccesses,
+        sym: &'a SymbolTable,
+        resolve: impl Fn(&str) -> String,
+    ) -> PropagationNode<'a> {
+        let mut calls = acc.calls.clone();
+        for call in &mut calls {
+            call.callee = resolve(&call.callee);
+        }
+        PropagationNode {
+            name,
+            params: func.params.iter().map(|p| p.name.clone()).collect(),
+            sym,
+            calls,
+        }
+    }
+}
+
 impl ProgramSummaries {
     /// Compute summaries by fixed-point iteration over the call graph.
     pub fn compute(
@@ -164,8 +240,8 @@ impl ProgramSummaries {
         symbols: &HashMap<String, SymbolTable>,
         max_passes: usize,
     ) -> ProgramSummaries {
-        let mut result = ProgramSummaries::default();
-        // Seed with direct effects.
+        let mut seeds = HashMap::new();
+        let mut nodes = Vec::new();
         for func in unit.functions() {
             let Some(acc) = accesses.get(&func.name) else {
                 continue;
@@ -173,51 +249,171 @@ impl ProgramSummaries {
             let Some(sym) = symbols.get(&func.name) else {
                 continue;
             };
-            let mut summary = FunctionSummary {
-                name: func.name.clone(),
-                param_effects: vec![Effect::default(); func.params.len()],
-                global_effects: HashMap::new(),
-                has_kernels: acc.accesses.iter().any(|a| a.on_device)
-                    || acc.calls.iter().any(|c| c.on_device),
-            };
-            for access in &acc.accesses {
-                if let Some(idx) = param_index(func, &access.var) {
-                    if sym.is_aggregate(&access.var) {
-                        summary.param_effects[idx].record(access.kind, access.on_device);
-                    }
-                } else if sym.is_global(&access.var) {
-                    summary
-                        .global_effects
-                        .entry(access.var.clone())
-                        .or_default()
-                        .record(access.kind, access.on_device);
+            seeds.insert(func.name.clone(), seed_summary(func, acc, sym));
+            nodes.push(PropagationNode::build(
+                func.name.clone(),
+                func,
+                acc,
+                sym,
+                |c| c.to_string(),
+            ));
+        }
+        ProgramSummaries::propagate(&nodes, &seeds, max_passes)
+    }
+
+    /// Run the call-site propagation to a fixed point over pre-computed
+    /// per-function seeds. This is the exact loop [`Self::compute`] has
+    /// always run — extracted so the per-function seeds can come from a
+    /// cache and so the link stage can feed it nodes spanning several
+    /// translation units.
+    pub fn propagate(
+        nodes: &[PropagationNode<'_>],
+        seeds: &HashMap<String, FunctionSummary>,
+        max_passes: usize,
+    ) -> ProgramSummaries {
+        ProgramSummaries::propagate_opts(nodes, seeds, max_passes, false)
+    }
+
+    /// [`Self::propagate`] with the opt-in pessimistic-globals mode: when
+    /// `clobber_globals` is set, a call to a function with no summary (and
+    /// not a pure builtin) merges a pessimistic host read+write of every
+    /// visible global into the *caller's* summary, so the clobber is
+    /// transitive — callers of a function that calls an unknown extern see
+    /// the globals clobbered too, not just the direct call site.
+    pub fn propagate_opts(
+        nodes: &[PropagationNode<'_>],
+        seeds: &HashMap<String, FunctionSummary>,
+        max_passes: usize,
+        clobber_globals: bool,
+    ) -> ProgramSummaries {
+        let mut result = ProgramSummaries {
+            functions: seeds.clone(),
+            passes: 0,
+        };
+        result.run_passes(nodes, max_passes, None, clobber_globals);
+        result
+    }
+
+    /// Incremental propagation: start from a *previously converged* summary
+    /// set, re-seed only the functions in `dirty` (plus their transitive
+    /// callers — the reverse call-graph cone, the only summaries that can
+    /// depend on a dirty function), and iterate the cone to convergence
+    /// against the stable out-of-cone values. Returns the summaries and the
+    /// cone — exactly the functions whose summaries were re-derived from
+    /// their seeds.
+    ///
+    /// Because the out-of-cone summaries depend only on out-of-cone seeds
+    /// (no transitive call reaches a dirty function), they are already at
+    /// the least fixed point and the result is identical to a cold
+    /// [`Self::propagate`] over all nodes.
+    pub fn propagate_incremental(
+        nodes: &[PropagationNode<'_>],
+        seeds: &HashMap<String, FunctionSummary>,
+        previous: &ProgramSummaries,
+        dirty: &BTreeSet<String>,
+        max_passes: usize,
+        clobber_globals: bool,
+    ) -> (ProgramSummaries, BTreeSet<String>) {
+        // Reverse call-graph closure of the dirty set: summaries flow from
+        // callee to caller, so only transitive callers of a dirty function
+        // can observe the change. Removed functions stay in `dirty` (their
+        // callers still name them in call sites of the new graph).
+        let mut cone: BTreeSet<String> = dirty.clone();
+        let mut grew = true;
+        while grew {
+            grew = false;
+            for node in nodes {
+                if cone.contains(&node.name) {
+                    continue;
+                }
+                if node.calls.iter().any(|c| cone.contains(&c.callee)) {
+                    cone.insert(node.name.clone());
+                    grew = true;
                 }
             }
-            result.functions.insert(func.name.clone(), summary);
         }
 
-        // Propagate through call sites until nothing changes.
-        let functions: Vec<&FunctionDef> = unit.functions().collect();
+        // Start from the previous fixed point; reset the cone to its fresh
+        // seeds (a shrunk seed must not keep stale effects alive).
+        let mut functions = previous.functions.clone();
+        for name in &cone {
+            match seeds.get(name) {
+                Some(seed) => {
+                    functions.insert(name.clone(), seed.clone());
+                }
+                None => {
+                    functions.remove(name);
+                }
+            }
+        }
+        // Functions that exist now but not before (and are not dirty by
+        // value) still need their converged entry.
+        for (name, seed) in seeds {
+            functions
+                .entry(name.clone())
+                .or_insert_with(|| seed.clone());
+        }
+        // Drop entries for functions that no longer exist.
+        functions.retain(|name, _| seeds.contains_key(name));
+
+        let mut result = ProgramSummaries {
+            functions,
+            passes: 0,
+        };
+        if !cone.is_empty() {
+            result.run_passes(nodes, max_passes, Some(&cone), clobber_globals);
+        }
+        (result, cone)
+    }
+
+    /// The propagation pass loop shared by the cold and incremental fixed
+    /// points. With `only` set, updates are restricted to that set of
+    /// functions (reads still see every summary).
+    fn run_passes(
+        &mut self,
+        nodes: &[PropagationNode<'_>],
+        max_passes: usize,
+        only: Option<&BTreeSet<String>>,
+        clobber_globals: bool,
+    ) {
         for pass in 0..max_passes.max(1) {
-            result.passes = pass + 1;
+            self.passes = pass + 1;
             let mut changed = false;
-            for func in &functions {
-                let Some(acc) = accesses.get(&func.name) else {
+            for node in nodes {
+                if only.is_some_and(|set| !set.contains(&node.name)) {
                     continue;
-                };
-                let Some(sym) = symbols.get(&func.name) else {
-                    continue;
-                };
-                let calls: Vec<CallSite> = acc.calls.clone();
-                for call in &calls {
-                    let Some(callee_summary) = result.functions.get(&call.callee).cloned() else {
+                }
+                for call in &node.calls {
+                    let Some(callee_summary) = self.functions.get(&call.callee).cloned() else {
+                        // Unknown callee. In pessimistic-globals mode the
+                        // clobber becomes part of the *summary*, so it
+                        // propagates transitively to this function's own
+                        // callers — not just the direct call site.
+                        if clobber_globals && !PURE_BUILTINS.contains(&call.callee.as_str()) {
+                            let mut caller =
+                                self.functions.get(&node.name).cloned().unwrap_or_default();
+                            let mut effect = Effect::pessimistic_host();
+                            if call.on_device {
+                                effect = device_shifted(effect);
+                            }
+                            let mut local_changed = false;
+                            for var in node.sym.names() {
+                                if node.sym.is_global(var) {
+                                    local_changed |= caller
+                                        .global_effects
+                                        .entry(var.clone())
+                                        .or_default()
+                                        .merge(effect);
+                                }
+                            }
+                            if local_changed {
+                                self.functions.insert(node.name.clone(), caller);
+                                changed = true;
+                            }
+                        }
                         continue;
                     };
-                    let mut caller = result
-                        .functions
-                        .get(&func.name)
-                        .cloned()
-                        .unwrap_or_default();
+                    let mut caller = self.functions.get(&node.name).cloned().unwrap_or_default();
                     let mut local_changed = false;
                     if callee_summary.has_kernels && !caller.has_kernels {
                         caller.has_kernels = true;
@@ -237,11 +433,11 @@ impl ProgramSummaries {
                         if call.on_device {
                             effect = device_shifted(effect);
                         }
-                        if let Some(pidx) = param_index(func, var) {
-                            if sym.is_aggregate(var) {
+                        if let Some(pidx) = node.params.iter().position(|p| p == var) {
+                            if node.sym.is_aggregate(var) {
                                 local_changed |= caller.param_effects[pidx].merge(effect);
                             }
-                        } else if sym.is_global(var) {
+                        } else if node.sym.is_global(var) {
                             local_changed |= caller
                                 .global_effects
                                 .entry(var.clone())
@@ -262,7 +458,7 @@ impl ProgramSummaries {
                             .merge(effect);
                     }
                     if local_changed {
-                        result.functions.insert(func.name.clone(), caller);
+                        self.functions.insert(node.name.clone(), caller);
                         changed = true;
                     }
                 }
@@ -271,12 +467,23 @@ impl ProgramSummaries {
                 break;
             }
         }
-        result
     }
 
     /// The summary for a function, if it was analyzed.
     pub fn summary(&self, name: &str) -> Option<&FunctionSummary> {
         self.functions.get(name)
+    }
+
+    /// Iterate all summaries (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &FunctionSummary)> {
+        self.functions.iter()
+    }
+
+    /// Insert (or replace) one summary under an explicit key. The link
+    /// stage uses this to build per-unit views where unit-private `static`
+    /// symbols appear under their source-level names.
+    pub fn insert(&mut self, name: String, summary: FunctionSummary) {
+        self.functions.insert(name, summary);
     }
 
     /// Number of summarized functions.
@@ -313,10 +520,33 @@ fn param_index(func: &FunctionDef, var: &str) -> Option<usize> {
 /// Returns the number of call sites that hit the pessimistic
 /// unknown-callee fallback (zero when every non-builtin callee resolved to
 /// a real summary, as in a fully linked whole-program analysis).
+///
+/// **Default assumption:** an unknown extern callee is assumed to read and
+/// write the data reached through its non-`const` pointer arguments — and
+/// *nothing else*. In particular it is assumed **not** to touch global
+/// variables it was not handed a pointer to. The opt-in
+/// [`augment_with_call_effects_opts`] `clobber_globals` mode drops that
+/// assumption and treats every global as host-read+written at the call
+/// site.
 pub fn augment_with_call_effects(
     acc: &mut FunctionAccesses,
     unit: &TranslationUnit,
     summaries: &ProgramSummaries,
+) -> usize {
+    augment_with_call_effects_opts(acc, unit, summaries, false)
+}
+
+/// [`augment_with_call_effects`] with the opt-in pessimistic-globals mode:
+/// when `clobber_globals` is set, an unknown extern callee is additionally
+/// assumed to read and write **every global variable** of the translation
+/// unit on the host (the synthesized accesses carry
+/// [`AccessOrigin::UnknownCallee`] with `clobbers_global`, so the
+/// `unknown_callee_pessimistic` provenance explains them at the call site).
+pub fn augment_with_call_effects_opts(
+    acc: &mut FunctionAccesses,
+    unit: &TranslationUnit,
+    summaries: &ProgramSummaries,
+    clobber_globals: bool,
 ) -> usize {
     let calls: Vec<CallSite> = acc.calls.clone();
     let mut fallbacks = 0usize;
@@ -371,6 +601,7 @@ pub fn augment_with_call_effects(
         let proto = unit.all_functions().find(|f| f.name == call.callee);
         let origin = AccessOrigin::UnknownCallee {
             callee: call.callee.clone(),
+            clobbers_global: false,
         };
         let mut fell_back = false;
         for (arg_idx, arg) in call.args.iter().enumerate() {
@@ -389,6 +620,23 @@ pub fn augment_with_call_effects(
                 Effect::pessimistic_host()
             };
             push_effect_accesses(acc, var, effect, call, &origin);
+        }
+        // Opt-in: the unknown callee may also touch any global it can name,
+        // not just the data it was handed a pointer to.
+        if clobber_globals {
+            let mut globals: Vec<&str> = unit.globals().map(|g| g.name.as_str()).collect();
+            globals.sort_unstable();
+            globals.dedup();
+            if !globals.is_empty() {
+                fell_back = true;
+                let origin = AccessOrigin::UnknownCallee {
+                    callee: call.callee.clone(),
+                    clobbers_global: true,
+                };
+                for global in globals {
+                    push_effect_accesses(acc, global, Effect::pessimistic_host(), call, &origin);
+                }
+            }
         }
         if fell_back {
             fallbacks += 1;

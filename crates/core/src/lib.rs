@@ -60,6 +60,7 @@ pub mod mapping;
 pub mod pipeline;
 pub mod plan;
 pub mod program;
+pub mod relocate;
 pub mod rewrite;
 pub mod store;
 pub mod verify;
@@ -67,10 +68,14 @@ pub mod verify;
 pub use access::{Access, AccessKind, AccessOrigin, FunctionAccesses, SymbolTable};
 pub use bounds::{find_update_insert_loc, loop_bounds, LoopBounds};
 pub use dataflow::{plan_function, plan_function_linked, DataflowOptions};
-pub use interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
+pub use interproc::{
+    augment_with_call_effects, augment_with_call_effects_opts, seed_summary, Effect,
+    FunctionSummary, ProgramSummaries, PropagationNode,
+};
 pub use pipeline::{
-    AnalysisSession, BatchDriver, CacheStats, FunctionKeySnapshot, FunctionPlanCache, Stage,
-    StageError, StageTimings, SummarizedUnit, UnitAnalysis,
+    AnalysisSession, BatchDriver, CacheStats, FunctionAccessCache, FunctionKeySnapshot,
+    FunctionPlanCache, FunctionSummaryCache, Stage, StageError, StageTimings, SummarizedUnit,
+    UnitAnalysis,
 };
 #[allow(deprecated)]
 pub use plan::ir::RegionPlan;
@@ -81,8 +86,8 @@ pub use plan::{
     UpdateSpec, PLAN_FORMAT_VERSION,
 };
 pub use program::{
-    ExportedInterface, ExternalRefs, LinkContext, LinkedSummaries, Program, ProgramAnalysis,
-    ProgramDriver, ProgramError, UnitServe, UNLINKED,
+    ExportedInterface, ExternalRefs, LinkContext, LinkState, LinkedSummaries, Program,
+    ProgramAnalysis, ProgramDriver, ProgramError, UnitServe, UNLINKED,
 };
 pub use rewrite::apply_plans;
 pub use store::{ArtifactStore, GcReport, StoredUnit, STORE_FORMAT_VERSION};
@@ -109,6 +114,13 @@ pub struct OmpDartOptions {
     /// Reject inputs that already contain `target data` / `target update`
     /// directives (the expected input contract of Section IV-A).
     pub reject_existing_mappings: bool,
+    /// Opt-in: assume an unknown extern callee reads and writes **every
+    /// global variable** on the host at the call site, not only the data
+    /// reached through its non-`const` pointer arguments (the default
+    /// assumption). Surfaced as `--pessimistic-globals` on the CLI; the
+    /// synthesized accesses are explained with the
+    /// `unknown_callee_pessimistic` provenance at the call site.
+    pub pessimistic_globals: bool,
 }
 
 impl OmpDartOptions {
@@ -127,6 +139,7 @@ impl Default for OmpDartOptions {
             interprocedural: true,
             max_interproc_passes: 16,
             reject_existing_mappings: true,
+            pessimistic_globals: false,
         }
     }
 }
@@ -225,6 +238,14 @@ impl OmpdartBuilder {
     /// Accept inputs that already carry explicit data mappings.
     pub fn accept_existing_mappings(mut self) -> OmpdartBuilder {
         self.options.reject_existing_mappings = false;
+        self
+    }
+
+    /// Opt into pessimistic-globals mode: unknown extern callees are
+    /// assumed to read and write every global on the host (see
+    /// [`OmpDartOptions::pessimistic_globals`]).
+    pub fn pessimistic_globals(mut self, enabled: bool) -> OmpdartBuilder {
+        self.options.pessimistic_globals = enabled;
         self
     }
 

@@ -49,18 +49,22 @@
 
 use crate::access::{FunctionAccesses, SymbolTable};
 use crate::dataflow::{function_referenced_vars, plan_function_linked};
-use crate::interproc::{augment_with_call_effects, Effect, FunctionSummary, ProgramSummaries};
+use crate::interproc::{
+    augment_with_call_effects_opts, seed_summary, Effect, FunctionSummary, ProgramSummaries,
+    PropagationNode,
+};
 use crate::plan::explain::explain_plans;
-use crate::plan::ir::{AnalysisStats, MappingPlan, Provenance};
+use crate::plan::ir::{AnalysisStats, MappingPlan};
 use crate::plan::json::plans_to_json;
-use crate::program::{LinkContext, UnitServe, UNLINKED};
+use crate::program::{LinkContext, LinkState, UnitServe, UNLINKED};
+use crate::relocate::{relocate_diagnostics, relocate_function_accesses, relocate_plan};
 use crate::rewrite;
 use crate::store::{ArtifactStore, StoredUnit};
 use crate::{function_with_existing_mappings, OmpDartError, OmpDartOptions, TransformResult};
-use ompdart_frontend::ast::{FunctionDef, NodeId, TranslationUnit};
+use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
 use ompdart_frontend::diag::Diagnostics;
 use ompdart_frontend::parser::parse_str;
-use ompdart_frontend::source::{SourceFile, Span};
+use ompdart_frontend::source::SourceFile;
 use ompdart_graph::ProgramGraphs;
 use std::collections::HashMap;
 use std::fmt;
@@ -288,6 +292,7 @@ pub fn options_fingerprint(options: &OmpDartOptions) -> u64 {
         u8::from(options.dataflow.hoist_updates),
         u8::from(options.interprocedural),
         u8::from(options.reject_existing_mappings),
+        u8::from(options.pessimistic_globals),
     ]);
     h.write_u64(options.max_interproc_passes as u64);
     h.finish()
@@ -312,6 +317,21 @@ pub struct ParsedUnit {
     pub diagnostics: Diagnostics,
     /// Wall-clock time of the parse stage.
     pub elapsed: Duration,
+    /// Lazily computed hash of everything outside function bodies (shared
+    /// by the access/summary/plan cache keys, so one analysis scans the
+    /// source for it at most once).
+    env_hash: std::sync::OnceLock<u64>,
+}
+
+impl ParsedUnit {
+    /// The environment hash (everything outside function definitions),
+    /// computed once per parse and shared by every function-granular cache
+    /// key.
+    pub fn environment_hash(&self) -> u64 {
+        *self
+            .env_hash
+            .get_or_init(|| environment_hash(&self.file, &self.unit))
+    }
 }
 
 /// Graph artifact: per-function CFGs and the hybrid AST-CFG.
@@ -326,14 +346,57 @@ pub struct GraphsArtifact {
 pub struct AccessArtifact {
     pub accesses: HashMap<String, FunctionAccesses>,
     pub symbols: HashMap<String, SymbolTable>,
+    /// Functions whose access artifact was served (relocated) from the
+    /// function-granular access cache. Zero when no cache was consulted.
+    pub cache_hits: u64,
+    /// Functions whose accesses were re-collected while a cache was
+    /// consulted.
+    pub cache_misses: u64,
     pub elapsed: Duration,
+}
+
+impl AccessArtifact {
+    /// An empty artifact (store-served analyses skip this stage).
+    pub(crate) fn empty() -> AccessArtifact {
+        AccessArtifact {
+            accesses: HashMap::new(),
+            symbols: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
 }
 
 /// Interprocedural artifact: per-function side-effect summaries.
 #[derive(Debug)]
 pub struct SummariesArtifact {
     pub summaries: ProgramSummaries,
+    /// The per-function *local* (direct-effect) seeds the fixed point ran
+    /// over, keyed by function name. The link stage re-converges these
+    /// across units — incrementally, because each seed is a function-
+    /// granular artifact with its own cache key.
+    pub seeds: HashMap<String, FunctionSummary>,
+    /// Functions whose local summary was served from the function-granular
+    /// summary cache. Zero when no cache was consulted.
+    pub cache_hits: u64,
+    /// Functions whose local summary was recomputed while a cache was
+    /// consulted.
+    pub cache_misses: u64,
     pub elapsed: Duration,
+}
+
+impl SummariesArtifact {
+    /// An empty artifact (store-served analyses skip this stage).
+    pub(crate) fn empty() -> SummariesArtifact {
+        SummariesArtifact {
+            summaries: ProgramSummaries::default(),
+            seeds: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            elapsed: Duration::ZERO,
+        }
+    }
 }
 
 /// Planning artifact: per-function mapping plans plus statistics.
@@ -381,6 +444,7 @@ pub fn stage_parse(name: &str, source: &str) -> Result<ParsedUnit, StageError> {
         unit: parse.unit,
         diagnostics: parse.diagnostics,
         elapsed: start.elapsed(),
+        env_hash: std::sync::OnceLock::new(),
     })
 }
 
@@ -405,22 +469,89 @@ pub fn stage_graphs(unit: &TranslationUnit) -> GraphsArtifact {
 
 /// Stage 3 — classify memory accesses and build symbol tables.
 pub fn stage_accesses(unit: &TranslationUnit, graphs: &GraphsArtifact) -> AccessArtifact {
+    stage_accesses_cached(None, unit, graphs, None)
+}
+
+/// [`stage_accesses`] with the function-granular access cache: functions
+/// whose key (own source text + environment hash) is unchanged re-use their
+/// classified accesses — relocated to the current node ids and byte
+/// offsets — instead of re-walking their bodies. Symbol tables are always
+/// rebuilt from the fresh parse (they are cheap, and their array-size
+/// expressions point at *global* declarations, which move by a different
+/// delta than the function).
+pub fn stage_accesses_cached(
+    parsed: Option<&ParsedUnit>,
+    unit: &TranslationUnit,
+    graphs: &GraphsArtifact,
+    cache: Option<(&FunctionAccessCache, u64)>,
+) -> AccessArtifact {
     let start = Instant::now();
     let mut symbols = HashMap::new();
     let mut accesses = HashMap::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
     for func in unit.functions() {
         let sym = SymbolTable::build(unit, func);
-        if let Some(g) = graphs.graphs.function(&func.name) {
-            accesses.insert(
-                func.name.clone(),
-                FunctionAccesses::collect(func, &g.index, &sym),
-            );
+        let keyed = match (parsed, cache) {
+            (Some(parsed), Some((cache, env_hash))) => Some((
+                parsed,
+                cache,
+                FunctionStageKey {
+                    snippet: parsed.file.snippet(func.span).to_string(),
+                    env_hash,
+                },
+            )),
+            _ => None,
+        };
+        let mut served = None;
+        if let Some((parsed, cache, key)) = &keyed {
+            if let Some(entry) = cache.lookup(&parsed.name, &func.name, key) {
+                let did = i64::from(func.id.0) - i64::from(entry.base_id);
+                let dpos = i64::from(func.span.start) - i64::from(entry.base_pos);
+                served = Some(
+                    entry
+                        .accesses
+                        .as_ref()
+                        .map(|acc| relocate_function_accesses(acc, did, dpos)),
+                );
+            }
+        }
+        let collected = match served {
+            Some(acc) => {
+                cache_hits += 1;
+                acc
+            }
+            None => {
+                let acc = graphs
+                    .graphs
+                    .function(&func.name)
+                    .map(|g| FunctionAccesses::collect(func, &g.index, &sym));
+                if let Some((parsed, cache, key)) = keyed {
+                    cache_misses += 1;
+                    cache.store(
+                        parsed.name.clone(),
+                        func.name.clone(),
+                        key,
+                        CachedFunctionAccesses {
+                            base_id: func.id.0,
+                            base_pos: func.span.start,
+                            accesses: acc.clone(),
+                        },
+                    );
+                }
+                acc
+            }
+        };
+        if let Some(acc) = collected {
+            accesses.insert(func.name.clone(), acc);
         }
         symbols.insert(func.name.clone(), sym);
     }
     AccessArtifact {
         accesses,
         symbols,
+        cache_hits,
+        cache_misses,
         elapsed: start.elapsed(),
     }
 }
@@ -431,19 +562,94 @@ pub fn stage_summaries(
     accesses: &AccessArtifact,
     options: &OmpDartOptions,
 ) -> SummariesArtifact {
+    stage_summaries_cached(None, unit, accesses, options, None)
+}
+
+/// [`stage_summaries`] with the function-granular summary cache: the
+/// per-function *local* (direct-effect) seeds are cached under the same
+/// snippet+environment key the access cache uses, so an edit recomputes the
+/// edited function's seed only. The call-site fixed point then propagates
+/// over the (mostly cached) seeds — summaries carry no node ids or spans,
+/// so seed hits need no relocation.
+pub fn stage_summaries_cached(
+    parsed: Option<&ParsedUnit>,
+    unit: &TranslationUnit,
+    accesses: &AccessArtifact,
+    options: &OmpDartOptions,
+    cache: Option<(&FunctionSummaryCache, u64)>,
+) -> SummariesArtifact {
     let start = Instant::now();
-    let summaries = if options.interprocedural {
-        ProgramSummaries::compute(
-            unit,
-            &accesses.accesses,
-            &accesses.symbols,
-            options.max_interproc_passes,
-        )
-    } else {
-        ProgramSummaries::default()
-    };
+    if !options.interprocedural {
+        return SummariesArtifact {
+            summaries: ProgramSummaries::default(),
+            seeds: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+            elapsed: start.elapsed(),
+        };
+    }
+    let mut seeds = HashMap::new();
+    let mut nodes = Vec::new();
+    let mut cache_hits = 0u64;
+    let mut cache_misses = 0u64;
+    for func in unit.functions() {
+        let Some(acc) = accesses.accesses.get(&func.name) else {
+            continue;
+        };
+        let Some(sym) = accesses.symbols.get(&func.name) else {
+            continue;
+        };
+        let keyed = match (parsed, cache) {
+            (Some(parsed), Some((cache, env_hash))) => Some((
+                parsed,
+                cache,
+                FunctionStageKey {
+                    snippet: parsed.file.snippet(func.span).to_string(),
+                    env_hash,
+                },
+            )),
+            _ => None,
+        };
+        let seed = match &keyed {
+            Some((parsed, cache, key)) => match cache.lookup(&parsed.name, &func.name, key) {
+                Some(seed) => {
+                    cache_hits += 1;
+                    seed
+                }
+                None => {
+                    cache_misses += 1;
+                    let seed = seed_summary(func, acc, sym);
+                    cache.store(
+                        parsed.name.clone(),
+                        func.name.clone(),
+                        key.clone(),
+                        seed.clone(),
+                    );
+                    seed
+                }
+            },
+            None => seed_summary(func, acc, sym),
+        };
+        seeds.insert(func.name.clone(), seed);
+        nodes.push(PropagationNode::build(
+            func.name.clone(),
+            func,
+            acc,
+            sym,
+            |c| c.to_string(),
+        ));
+    }
+    let summaries = ProgramSummaries::propagate_opts(
+        &nodes,
+        &seeds,
+        options.max_interproc_passes,
+        options.pessimistic_globals,
+    );
     SummariesArtifact {
         summaries,
+        seeds,
+        cache_hits,
+        cache_misses,
         elapsed: start.elapsed(),
     }
 }
@@ -559,9 +765,89 @@ impl FunctionPlanCache {
     }
 }
 
+/// The inputs that determine a function's *pre-planning* stage artifacts
+/// (classified accesses, local summary seed): the exact source text of the
+/// function and the hash of everything outside function bodies. Options do
+/// not participate — access classification and direct-effect seeding are
+/// option-independent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct FunctionStageKey {
+    snippet: String,
+    env_hash: u64,
+}
+
+/// A session-lifetime per-function stage cache: entries are indexed by
+/// `(unit name, function name)` and verified against the full stage key
+/// (function snippet + environment hash) on every hit — the snippet is
+/// compared byte for byte, never trusted to a hash. One generic cache backs both the access
+/// stage ([`FunctionAccessCache`], whose hits are *relocated* — see
+/// [`crate::relocate`]) and the summary stage ([`FunctionSummaryCache`],
+/// whose values carry no coordinates and need none).
+#[derive(Debug)]
+pub struct FunctionStageCache<T> {
+    entries: Mutex<HashMap<(String, String), (FunctionStageKey, T)>>,
+}
+
+impl<T> Default for FunctionStageCache<T> {
+    fn default() -> Self {
+        FunctionStageCache {
+            entries: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<T: Clone> FunctionStageCache<T> {
+    /// An empty cache.
+    pub fn new() -> FunctionStageCache<T> {
+        FunctionStageCache::default()
+    }
+
+    /// Number of cached function entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lookup(&self, unit: &str, func: &str, key: &FunctionStageKey) -> Option<T> {
+        let entries = self.entries.lock().unwrap();
+        let (stored_key, value) = entries.get(&(unit.to_string(), func.to_string()))?;
+        (stored_key == key).then(|| value.clone())
+    }
+
+    fn store(&self, unit: String, func: String, key: FunctionStageKey, value: T) {
+        self.entries
+            .lock()
+            .unwrap()
+            .insert((unit, func), (key, value));
+    }
+}
+
+/// A cached per-function access artifact, stored in the coordinates of the
+/// parse that produced it and relocated on every hit. `accesses` is `None`
+/// for functions the graph stage produced no CFG for. Opaque outside the
+/// pipeline — it only exists as the value type of [`FunctionAccessCache`].
+#[derive(Clone, Debug)]
+pub struct CachedFunctionAccesses {
+    base_id: u32,
+    base_pos: u32,
+    accesses: Option<FunctionAccesses>,
+}
+
+/// Session-lifetime cache of per-function classified accesses.
+pub type FunctionAccessCache = FunctionStageCache<CachedFunctionAccesses>;
+
+/// Session-lifetime cache of per-function local (direct-effect) summary
+/// seeds. Summaries carry only variable names and effect bits — no node
+/// ids, no spans — so hits need no relocation.
+pub type FunctionSummaryCache = FunctionStageCache<FunctionSummary>;
+
 /// Hash of the translation-unit environment: every byte of the source that
 /// lies outside a function definition. See [`FunctionPlanKey::env_hash`].
-fn environment_hash(file: &SourceFile, unit: &TranslationUnit) -> u64 {
+pub(crate) fn environment_hash(file: &SourceFile, unit: &TranslationUnit) -> u64 {
     let text = file.text().as_bytes();
     let mut spans: Vec<(usize, usize)> = unit
         .functions()
@@ -671,63 +957,6 @@ fn liveness_fingerprint(unit: &TranslationUnit, func_name: &str) -> u64 {
     h.finish()
 }
 
-fn relocate_node(id: NodeId, delta: i64) -> NodeId {
-    NodeId((i64::from(id.0) + delta).max(0) as u32)
-}
-
-fn relocate_span(span: Span, delta: i64) -> Span {
-    Span::new(
-        (i64::from(span.start) + delta).max(0) as u32,
-        (i64::from(span.end) + delta).max(0) as u32,
-    )
-}
-
-fn relocate_provenance(p: &Provenance, dpos: i64) -> Provenance {
-    Provenance {
-        span: p.span.map(|s| relocate_span(s, dpos)),
-        ..p.clone()
-    }
-}
-
-/// Rebase a cached plan onto the coordinates of a fresh parse: shift every
-/// node id by `did` and every byte span by `dpos`.
-fn relocate_plan(plan: &MappingPlan, did: i64, dpos: i64) -> MappingPlan {
-    let mut out = plan.clone();
-    out.region_start = plan.region_start.map(|n| relocate_node(n, did));
-    out.region_end = plan.region_end.map(|n| relocate_node(n, did));
-    out.attach_to_kernel = plan.attach_to_kernel.map(|n| relocate_node(n, did));
-    out.kernels = plan
-        .kernels
-        .iter()
-        .map(|n| relocate_node(*n, did))
-        .collect();
-    for m in &mut out.maps {
-        m.provenance = relocate_provenance(&m.provenance, dpos);
-    }
-    for u in &mut out.updates {
-        u.anchor = relocate_node(u.anchor, did);
-        u.provenance = relocate_provenance(&u.provenance, dpos);
-    }
-    for fp in &mut out.firstprivate {
-        fp.kernel = relocate_node(fp.kernel, did);
-        fp.provenance = relocate_provenance(&fp.provenance, dpos);
-    }
-    out
-}
-
-fn relocate_diagnostics(diags: &Diagnostics, dpos: i64) -> Diagnostics {
-    let mut out = Diagnostics::new();
-    for d in diags.iter() {
-        let mut d = d.clone();
-        d.span = relocate_span(d.span, dpos);
-        for label in &mut d.labels {
-            label.span = relocate_span(label.span, dpos);
-        }
-        out.push(d);
-    }
-    out
-}
-
 /// Stage 5 — host/device data-flow planning, fanned out per function over
 /// scoped worker threads when `parallelism > 1`. The produced plans and
 /// diagnostics are merged back in source order, so the result is identical
@@ -834,7 +1063,7 @@ fn run_plan_stage(
         (
             parsed,
             cache,
-            environment_hash(&parsed.file, unit),
+            parsed.environment_hash(),
             options_fingerprint(options),
         )
     });
@@ -908,7 +1137,12 @@ fn run_plan_stage(
             let Some(mut acc) = accesses.accesses.get(&func.name).cloned() else {
                 return (true, None, Diagnostics::new(), 0u64);
             };
-            let fallbacks = augment_with_call_effects(&mut acc, unit, effective_summaries) as u64;
+            let fallbacks = augment_with_call_effects_opts(
+                &mut acc,
+                unit,
+                effective_summaries,
+                options.pessimistic_globals,
+            ) as u64;
             let mut diags = Diagnostics::new();
             let plan = plan_function_linked(
                 unit,
@@ -1126,6 +1360,21 @@ pub struct CacheStats {
     pub function_plan_hits: u64,
     /// Functions that were actually planned.
     pub function_plan_misses: u64,
+    /// Functions whose classified accesses were served (relocated) from
+    /// the function-granular access cache.
+    pub function_access_hits: u64,
+    /// Functions whose accesses were re-collected.
+    pub function_access_misses: u64,
+    /// Functions whose local (direct-effect) summary seed was served from
+    /// the function-granular summary cache.
+    pub function_summary_hits: u64,
+    /// Functions whose local summary seed was recomputed.
+    pub function_summary_misses: u64,
+    /// Functions the incremental link fixed point re-derived from their
+    /// seeds (the reverse call-graph cone of the edited functions). Cold
+    /// links — where no previous converged state exists — add nothing
+    /// here; an unchanged relink adds zero.
+    pub relink_reseeded_functions: u64,
     /// `analyze` calls whose plans were served from the persistent
     /// artifact store (when a `cache_dir` is configured).
     pub store_hits: u64,
@@ -1151,6 +1400,11 @@ struct CacheCounters {
     analysis_misses: AtomicU64,
     function_plan_hits: AtomicU64,
     function_plan_misses: AtomicU64,
+    function_access_hits: AtomicU64,
+    function_access_misses: AtomicU64,
+    function_summary_hits: AtomicU64,
+    function_summary_misses: AtomicU64,
+    relink_reseeded_functions: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
     summarize_hits: AtomicU64,
@@ -1196,6 +1450,14 @@ pub struct AnalysisSession {
     /// surroundings yields different plans and must not alias.
     linked_cache: Mutex<LinkedCacheMap>,
     function_plans: FunctionPlanCache,
+    function_accesses: FunctionAccessCache,
+    function_summaries: FunctionSummaryCache,
+    /// The previously converged whole-program link state (seed
+    /// fingerprints + converged cross-unit summaries), used by
+    /// [`crate::program::Program::relink`] to re-seed only the edited
+    /// functions' call-graph cone instead of re-running the merged fixed
+    /// point from scratch.
+    link_state: Mutex<Option<Arc<LinkState>>>,
     store: Option<ArtifactStore>,
     counters: CacheCounters,
     cumulative: Mutex<StageTimings>,
@@ -1223,6 +1485,9 @@ impl AnalysisSession {
             summarize_cache: Mutex::new(HashMap::new()),
             linked_cache: Mutex::new(HashMap::new()),
             function_plans: FunctionPlanCache::new(),
+            function_accesses: FunctionAccessCache::new(),
+            function_summaries: FunctionSummaryCache::new(),
+            link_state: Mutex::new(None),
             store: None,
             counters: CacheCounters::default(),
             cumulative: Mutex::new(StageTimings::default()),
@@ -1262,6 +1527,31 @@ impl AnalysisSession {
     /// The session's function-granular plan cache.
     pub fn function_plan_cache(&self) -> &FunctionPlanCache {
         &self.function_plans
+    }
+
+    /// The session's function-granular access cache.
+    pub fn function_access_cache(&self) -> &FunctionAccessCache {
+        &self.function_accesses
+    }
+
+    /// The session's function-granular summary cache.
+    pub fn function_summary_cache(&self) -> &FunctionSummaryCache {
+        &self.function_summaries
+    }
+
+    /// The previously converged link state, if any (whole-program
+    /// incremental relinking; see [`crate::program::Program::relink`]).
+    pub(crate) fn take_link_state(&self) -> Option<Arc<LinkState>> {
+        self.link_state.lock().unwrap().clone()
+    }
+
+    /// Record the converged link state of the latest whole-program link
+    /// and the number of functions the incremental fixed point re-seeded.
+    pub(crate) fn note_link(&self, state: Arc<LinkState>, reseeded: u64) {
+        *self.link_state.lock().unwrap() = Some(state);
+        self.counters
+            .relink_reseeded_functions
+            .fetch_add(reseeded, Ordering::Relaxed);
     }
 
     /// Drop cached parse/unit artifacts of `name` whose content differs
@@ -1316,6 +1606,17 @@ impl AnalysisSession {
             analysis_misses: self.counters.analysis_misses.load(Ordering::Relaxed),
             function_plan_hits: self.counters.function_plan_hits.load(Ordering::Relaxed),
             function_plan_misses: self.counters.function_plan_misses.load(Ordering::Relaxed),
+            function_access_hits: self.counters.function_access_hits.load(Ordering::Relaxed),
+            function_access_misses: self.counters.function_access_misses.load(Ordering::Relaxed),
+            function_summary_hits: self.counters.function_summary_hits.load(Ordering::Relaxed),
+            function_summary_misses: self
+                .counters
+                .function_summary_misses
+                .load(Ordering::Relaxed),
+            relink_reseeded_functions: self
+                .counters
+                .relink_reseeded_functions
+                .load(Ordering::Relaxed),
             store_hits: self.counters.store_hits.load(Ordering::Relaxed),
             store_misses: self.counters.store_misses.load(Ordering::Relaxed),
             summarize_hits: self.counters.summarize_hits.load(Ordering::Relaxed),
@@ -1373,20 +1674,51 @@ impl AnalysisSession {
         artifact
     }
 
-    /// Stage 3: classify memory accesses.
+    /// Stage 3: classify memory accesses, with the function-granular access
+    /// cache — functions whose own text and environment are unchanged since
+    /// a previous call of this session are served by relocation instead of
+    /// a body walk ([`CacheStats::function_access_hits`] proves it).
     pub fn accesses(&self, parsed: &ParsedUnit, graphs: &GraphsArtifact) -> Arc<AccessArtifact> {
-        let artifact = Arc::new(stage_accesses(&parsed.unit, graphs));
+        let env_hash = parsed.environment_hash();
+        let artifact = Arc::new(stage_accesses_cached(
+            Some(parsed),
+            &parsed.unit,
+            graphs,
+            Some((&self.function_accesses, env_hash)),
+        ));
+        self.counters
+            .function_access_hits
+            .fetch_add(artifact.cache_hits, Ordering::Relaxed);
+        self.counters
+            .function_access_misses
+            .fetch_add(artifact.cache_misses, Ordering::Relaxed);
         self.cumulative.lock().unwrap().accesses += artifact.elapsed;
         artifact
     }
 
-    /// Stage 4: interprocedural summaries.
+    /// Stage 4: interprocedural summaries, with the function-granular
+    /// summary cache — unchanged functions re-use their cached local seed
+    /// and only the call-site fixed point re-runs
+    /// ([`CacheStats::function_summary_hits`] proves it).
     pub fn summaries(
         &self,
         parsed: &ParsedUnit,
         accesses: &AccessArtifact,
     ) -> Arc<SummariesArtifact> {
-        let artifact = Arc::new(stage_summaries(&parsed.unit, accesses, &self.options));
+        let env_hash = parsed.environment_hash();
+        let artifact = Arc::new(stage_summaries_cached(
+            Some(parsed),
+            &parsed.unit,
+            accesses,
+            &self.options,
+            Some((&self.function_summaries, env_hash)),
+        ));
+        self.counters
+            .function_summary_hits
+            .fetch_add(artifact.cache_hits, Ordering::Relaxed);
+        self.counters
+            .function_summary_misses
+            .fetch_add(artifact.cache_misses, Ordering::Relaxed);
         self.cumulative.lock().unwrap().summaries += artifact.elapsed;
         artifact
     }
@@ -1469,7 +1801,7 @@ impl AnalysisSession {
         // Persistent-store fast path: a verified content match on disk
         // skips access classification, summaries and planning entirely.
         let stored = self.store.as_ref().and_then(|store| {
-            let hit = store.load(name, source, &self.options, UNLINKED);
+            let hit = store.load(source, &self.options, UNLINKED);
             let counter = if hit.is_some() {
                 &self.counters.store_hits
             } else {
@@ -1500,15 +1832,8 @@ impl AnalysisSession {
                 Arc::new(UnitAnalysis {
                     parsed,
                     graphs,
-                    accesses: Arc::new(AccessArtifact {
-                        accesses: HashMap::new(),
-                        symbols: HashMap::new(),
-                        elapsed: Duration::ZERO,
-                    }),
-                    summaries: Arc::new(SummariesArtifact {
-                        summaries: ProgramSummaries::default(),
-                        elapsed: Duration::ZERO,
-                    }),
+                    accesses: Arc::new(AccessArtifact::empty()),
+                    summaries: Arc::new(SummariesArtifact::empty()),
                     plans,
                     rewrite,
                 })
@@ -1688,7 +2013,7 @@ impl AnalysisSession {
         self.counters.linked_misses.fetch_add(1, Ordering::Relaxed);
 
         let stored = self.store.as_ref().and_then(|store| {
-            let hit = store.load(name, source, &self.options, link.imports_fingerprint);
+            let hit = store.load(source, &self.options, link.imports_fingerprint);
             let counter = if hit.is_some() {
                 &self.counters.store_hits
             } else {

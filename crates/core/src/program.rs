@@ -31,11 +31,10 @@
 //! sources as a single translation unit.
 
 use crate::dataflow::function_referenced_vars;
-use crate::interproc::ProgramSummaries;
+use crate::interproc::{FunctionSummary, ProgramSummaries, PropagationNode};
 use crate::pipeline::{
     summary_fingerprint, AnalysisSession, Fnv, StageError, SummarizedUnit, UnitAnalysis,
 };
-use ompdart_frontend::ast::TranslationUnit;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -48,6 +47,14 @@ pub type ExternalRefs = BTreeMap<String, BTreeSet<String>>;
 /// The link-fingerprint value of analyses that are not part of any linked
 /// program (the classic single-unit path).
 pub const UNLINKED: u64 = 0;
+
+/// The unit-private symbol a cross-unit `static` function links under:
+/// `name@unit`. `@` cannot appear in a C identifier, so mangled names can
+/// never collide with source-level ones. Calls inside the defining unit
+/// resolve to the mangled symbol; other units never see it.
+fn mangle_static(name: &str, unit: &str) -> String {
+    format!("{name}@{unit}")
+}
 
 // ---------------------------------------------------------------------------
 // ExportedInterface
@@ -99,6 +106,10 @@ impl ExportedInterface {
                 h.write(&[u8::from(p.is_const_pointee)]);
             }
             h.write(&[u8::from(f.is_variadic)]);
+            // Unit-private `static` functions are invisible to other units'
+            // call resolution but still participate in whole-program
+            // liveness, so the storage class is part of the surface.
+            h.write(&[u8::from(f.is_static)]);
             match unit.summaries.summaries.summary(&f.name) {
                 Some(s) => {
                     h.write(&[1]);
@@ -140,10 +151,11 @@ fn unit_referenced_vars(unit: &SummarizedUnit) -> ExternalRefs {
 /// the map from function name to defining unit.
 #[derive(Clone, Debug)]
 pub struct LinkedSummaries {
-    /// Merged summaries, converged across unit boundaries.
+    /// Merged summaries, converged across unit boundaries. Unit-private
+    /// `static` functions are keyed by their mangled `name@unit` symbol.
     pub summaries: Arc<ProgramSummaries>,
-    /// Function name → index (into the program's unit list) of the
-    /// defining unit.
+    /// Resolved function name (statics mangled) → index (into the
+    /// program's unit list) of the defining unit.
     pub defined_in: BTreeMap<String, usize>,
     /// Propagation passes the cross-unit fixed point took.
     pub passes: usize,
@@ -191,11 +203,44 @@ pub struct Program {
     pub units: Vec<Arc<SummarizedUnit>>,
     /// Per-unit exported interfaces (same order as `units`).
     pub interfaces: Vec<ExportedInterface>,
-    /// The cross-unit link fixed point.
+    /// The cross-unit link fixed point. Unit-private `static` functions
+    /// appear under their mangled `name@unit` symbols here; per-unit
+    /// [`LinkContext`]s expose them under their source-level names again.
     pub linked: LinkedSummaries,
     /// Per-unit referenced-variable sets (same order as `units`), computed
     /// once at link time and shared by every [`LinkContext`].
     unit_refs: Vec<ExternalRefs>,
+    /// Per-unit sets of `static` function names (source-level), used to
+    /// build the per-unit summary views.
+    unit_statics: Vec<BTreeSet<String>>,
+    /// Per-unit summary views, built once at link time for units that
+    /// define statics (`None` for units without statics, which share
+    /// `linked.summaries` directly instead of cloning it per scan).
+    unit_views: Vec<Option<Arc<ProgramSummaries>>>,
+}
+
+/// The persisted outcome of one whole-program link, kept by the
+/// [`AnalysisSession`] so the *next* link of the same program can start
+/// from the previous fixed point: only functions whose local fingerprint
+/// (seed summary + resolved call list) changed — plus their reverse
+/// call-graph cone — are re-derived from their seeds
+/// ([`ProgramSummaries::propagate_incremental`]). An unchanged program
+/// relinks without running a single propagation pass, and the result is
+/// pinned byte-identical to a cold link.
+#[derive(Debug)]
+pub struct LinkState {
+    /// The unit names of the linked program, in input order. A link over a
+    /// different unit set falls back to a cold fixed point.
+    unit_names: Vec<String>,
+    /// Per-function local fingerprints (resolved names): the seed summary
+    /// plus everything the propagation reads from the caller side of each
+    /// call site.
+    local_fps: BTreeMap<String, u64>,
+    /// The converged cross-unit summaries (resolved names).
+    summaries: ProgramSummaries,
+    /// Propagation passes of the converged fixed point (reported when an
+    /// unchanged relink skips propagation entirely).
+    passes: usize,
 }
 
 /// A failure of whole-program analysis.
@@ -239,17 +284,45 @@ impl Program {
         units: Vec<Arc<SummarizedUnit>>,
         options: &crate::OmpDartOptions,
     ) -> Result<Program, ProgramError> {
-        // Reject duplicate definitions before merging anything.
+        Program::relink(units, options, None).map(|(program, _, _)| program)
+    }
+
+    /// [`Program::link`] with an optional previously converged
+    /// [`LinkState`]: the cross-unit fixed point starts from the previous
+    /// summaries and re-seeds only the functions whose local fingerprint
+    /// changed, plus their reverse call-graph cone. Returns the program,
+    /// the new link state, and the number of re-seeded functions (zero for
+    /// an unchanged relink, everything-defined for a cold link reported as
+    /// zero — cold links have no "re-" to speak of).
+    pub fn relink(
+        units: Vec<Arc<SummarizedUnit>>,
+        options: &crate::OmpDartOptions,
+        previous: Option<&LinkState>,
+    ) -> Result<(Program, Arc<LinkState>, u64), ProgramError> {
+        // Reject duplicate definitions before merging anything. Functions
+        // link under their *resolved* names: unit-private `static`
+        // definitions mangle to `name@unit`, so same-named statics in
+        // different units coexist instead of colliding (two statics with
+        // one name inside the same unit still collide, as in C).
         let mut defined_in: BTreeMap<String, usize> = BTreeMap::new();
+        let mut unit_statics: Vec<BTreeSet<String>> = Vec::with_capacity(units.len());
         for (idx, unit) in units.iter().enumerate() {
+            let mut statics = BTreeSet::new();
             for f in unit.parsed.unit.functions() {
-                if let Some(first) = defined_in.insert(f.name.clone(), idx) {
+                let resolved = if f.is_static {
+                    statics.insert(f.name.clone());
+                    mangle_static(&f.name, &unit.parsed.name)
+                } else {
+                    f.name.clone()
+                };
+                if let Some(first) = defined_in.insert(resolved, idx) {
                     return Err(ProgramError::DuplicateFunction {
                         function: f.name.clone(),
                         units: [units[first].parsed.name.clone(), unit.parsed.name.clone()],
                     });
                 }
             }
+            unit_statics.push(statics);
         }
 
         // One AST walk per function: the referenced-variable sets feed both
@@ -261,48 +334,139 @@ impl Program {
             .map(|(u, refs)| ExportedInterface::with_refs(u, refs))
             .collect();
 
-        // Merged whole-program view: items concatenated in input order,
-        // constants unioned, accesses and symbols keyed by (unique)
-        // function name. `ProgramSummaries::compute` never dereferences
-        // node ids, so the id collisions between units are harmless here.
-        let (summaries, passes) = if options.interprocedural {
-            let mut items = Vec::new();
-            let mut constants = HashMap::new();
-            let mut accesses = HashMap::new();
-            let mut symbols = HashMap::new();
-            for unit in &units {
-                items.extend(unit.parsed.unit.items.iter().cloned());
-                constants.extend(unit.parsed.unit.constants.clone());
-                for (name, acc) in &unit.accesses.accesses {
-                    accesses.insert(name.clone(), acc.clone());
-                }
-                for (name, sym) in &unit.accesses.symbols {
-                    symbols.insert(name.clone(), sym.clone());
+        // The whole-program fixed point over per-function seeds. Each
+        // unit's summarize phase already produced (and cached, function-
+        // granularly) its local seeds; linking only merges them under
+        // resolved names and (re-)runs the call-site propagation.
+        let unit_names: Vec<String> = units.iter().map(|u| u.parsed.name.clone()).collect();
+        let (summaries, passes, reseeded, local_fps) = if options.interprocedural {
+            let mut seeds: HashMap<String, FunctionSummary> = HashMap::new();
+            let mut nodes: Vec<PropagationNode<'_>> = Vec::new();
+            for (idx, unit) in units.iter().enumerate() {
+                let statics = &unit_statics[idx];
+                let uname = &unit.parsed.name;
+                let resolve = |callee: &str| -> String {
+                    if statics.contains(callee) {
+                        mangle_static(callee, uname)
+                    } else {
+                        callee.to_string()
+                    }
+                };
+                for func in unit.parsed.unit.functions() {
+                    let Some(seed) = unit.summaries.seeds.get(&func.name) else {
+                        continue;
+                    };
+                    let Some(acc) = unit.accesses.accesses.get(&func.name) else {
+                        continue;
+                    };
+                    let Some(sym) = unit.accesses.symbols.get(&func.name) else {
+                        continue;
+                    };
+                    let resolved = resolve(&func.name);
+                    let mut seed = seed.clone();
+                    seed.name = resolved.clone();
+                    seeds.insert(resolved.clone(), seed);
+                    nodes.push(PropagationNode::build(resolved, func, acc, sym, resolve));
                 }
             }
-            let merged_unit = TranslationUnit { items, constants };
-            let merged = ProgramSummaries::compute(
-                &merged_unit,
-                &accesses,
-                &symbols,
-                options.max_interproc_passes,
-            );
-            let passes = merged.passes;
-            (merged, passes)
+            let local_fps: BTreeMap<String, u64> = nodes
+                .iter()
+                .map(|node| (node.name.clone(), local_fingerprint(node, &seeds)))
+                .collect();
+
+            // Previous state is only reusable for the same program (same
+            // unit names, in order) — interleaving different programs over
+            // one session falls back to a cold fixed point each time.
+            let reusable = previous.filter(|state| state.unit_names == unit_names);
+            match reusable {
+                Some(state) => {
+                    let dirty: BTreeSet<String> = local_fps
+                        .iter()
+                        .filter(|(name, fp)| state.local_fps.get(*name) != Some(fp))
+                        .map(|(name, _)| name.clone())
+                        .chain(
+                            state
+                                .local_fps
+                                .keys()
+                                .filter(|name| !local_fps.contains_key(*name))
+                                .cloned(),
+                        )
+                        .collect();
+                    let (mut merged, cone) = ProgramSummaries::propagate_incremental(
+                        &nodes,
+                        &seeds,
+                        &state.summaries,
+                        &dirty,
+                        options.max_interproc_passes,
+                        options.pessimistic_globals,
+                    );
+                    let passes = if cone.is_empty() {
+                        // Nothing changed: the previous fixed point stands.
+                        merged.passes = state.passes;
+                        state.passes
+                    } else {
+                        merged.passes
+                    };
+                    (merged, passes, cone.len() as u64, local_fps)
+                }
+                None => {
+                    let merged = ProgramSummaries::propagate_opts(
+                        &nodes,
+                        &seeds,
+                        options.max_interproc_passes,
+                        options.pessimistic_globals,
+                    );
+                    let passes = merged.passes;
+                    (merged, passes, 0, local_fps)
+                }
+            }
         } else {
-            (ProgramSummaries::default(), 0)
+            (ProgramSummaries::default(), 0, 0, BTreeMap::new())
         };
 
-        Ok(Program {
+        let state = Arc::new(LinkState {
+            unit_names,
+            local_fps,
+            summaries: summaries.clone(),
+            passes,
+        });
+        // Per-unit views for static-bearing units, built once here rather
+        // than on every `link_context` call: the unit's own statics appear
+        // under their source-level names (shadowing any same-named
+        // external symbol, as C scoping does).
+        let summaries = Arc::new(summaries);
+        let unit_views: Vec<Option<Arc<ProgramSummaries>>> = units
+            .iter()
+            .zip(&unit_statics)
+            .map(|(unit, statics)| {
+                if statics.is_empty() {
+                    return None;
+                }
+                let mut view = (*summaries).clone();
+                for name in statics {
+                    let mangled = mangle_static(name, &unit.parsed.name);
+                    if let Some(summary) = summaries.summary(&mangled) {
+                        let mut summary = summary.clone();
+                        summary.name = name.clone();
+                        view.insert(name.clone(), summary);
+                    }
+                }
+                Some(Arc::new(view))
+            })
+            .collect();
+        let program = Program {
             units,
             interfaces,
             linked: LinkedSummaries {
-                summaries: Arc::new(summaries),
+                summaries,
                 defined_in,
                 passes,
             },
             unit_refs,
-        })
+            unit_statics,
+            unit_views,
+        };
+        Ok((program, state, reseeded))
     }
 
     /// Number of units in the program.
@@ -317,7 +481,10 @@ impl Program {
 
     /// The [`LinkContext`] for the unit at `index`: linked summaries plus
     /// the referenced-variable sets and interface fingerprints of every
-    /// *other* unit.
+    /// *other* unit. In the context's summary view, this unit's `static`
+    /// functions appear under their source-level names (so the unit's own
+    /// call sites resolve them), while other units' statics stay under
+    /// their private mangled symbols — invisible to name lookup here.
     pub fn link_context(&self, index: usize) -> LinkContext {
         let mut extern_refs: ExternalRefs = BTreeMap::new();
         for (idx, refs) in self.unit_refs.iter().enumerate() {
@@ -325,7 +492,14 @@ impl Program {
                 continue;
             }
             for (name, vars) in refs {
-                extern_refs.insert(name.clone(), vars.clone());
+                // Statics of other units keep their unit-private symbol so
+                // two same-named statics never merge their variable sets.
+                let key = if self.unit_statics[idx].contains(name) {
+                    mangle_static(name, &self.units[idx].parsed.name)
+                } else {
+                    name.clone()
+                };
+                extern_refs.insert(key, vars.clone());
             }
         }
         // Imported surface: every other unit's (name, interface
@@ -339,13 +513,63 @@ impl Program {
             h.write_u64(interface.fingerprint);
         }
         let extern_refs_fingerprint = external_refs_fingerprint(&extern_refs);
+
+        // Per-unit summary view, prebuilt at link time for static-bearing
+        // units; everyone else shares the linked summaries directly.
+        let summaries = match &self.unit_views[index] {
+            Some(view) => Arc::clone(view),
+            None => Arc::clone(&self.linked.summaries),
+        };
         LinkContext {
-            summaries: Arc::clone(&self.linked.summaries),
+            summaries,
             extern_refs: Arc::new(extern_refs),
             extern_refs_fingerprint,
             imports_fingerprint: h.finish(),
         }
     }
+}
+
+/// Fingerprint of everything the cross-unit propagation reads from one
+/// function's caller side: its local seed summary plus, for every call
+/// site, the resolved callee, the execution space, and the classification
+/// of each by-reference argument. Two links in which every function's
+/// local fingerprint matches converge to identical summaries — which is
+/// what lets the incremental relink skip them.
+fn local_fingerprint(node: &PropagationNode<'_>, seeds: &HashMap<String, FunctionSummary>) -> u64 {
+    let mut h = Fnv::new();
+    match seeds.get(&node.name) {
+        Some(seed) => {
+            h.write(&[1]);
+            h.write_u64(summary_fingerprint(seed));
+        }
+        None => h.write(&[0]),
+    }
+    for call in &node.calls {
+        h.write_str(&call.callee);
+        h.write(&[u8::from(call.on_device)]);
+        for arg in &call.args {
+            h.write(&[u8::from(arg.by_ref)]);
+            match &arg.base_var {
+                Some(var) => {
+                    h.write_str(var);
+                    h.write(&[
+                        u8::from(node.sym.is_aggregate(var)),
+                        u8::from(node.sym.is_global(var)),
+                    ]);
+                    h.write_u64(
+                        node.params
+                            .iter()
+                            .position(|p| p == var)
+                            .map(|i| i as u64 + 1)
+                            .unwrap_or(0),
+                    );
+                }
+                None => h.write(&[0xfe]),
+            }
+        }
+        h.write(&[0xfd]);
+    }
+    h.finish()
 }
 
 // ---------------------------------------------------------------------------
@@ -440,6 +664,11 @@ impl ProgramDriver {
     }
 
     /// Phase 1+2 only: summarize every unit in parallel and link them.
+    /// The link is *incremental* across calls on one session: the fixed
+    /// point starts from the previously converged summaries and re-seeds
+    /// only the edited functions' call-graph cone
+    /// (`CacheStats::relink_reseeded_functions` proves it), byte-identical
+    /// to a cold link.
     pub fn link(&self, inputs: &[(String, String)]) -> Result<Program, ProgramError> {
         let summarized = crate::pipeline::parallel_map_indexed(self.threads, inputs.len(), |i| {
             let (name, source) = &inputs[i];
@@ -454,7 +683,11 @@ impl ProgramDriver {
         for result in summarized {
             units.push(result?);
         }
-        Program::link(units, self.session.options())
+        let previous = self.session.take_link_state();
+        let (program, state, reseeded) =
+            Program::relink(units, self.session.options(), previous.as_deref())?;
+        self.session.note_link(state, reseeded);
+        Ok(program)
     }
 
     /// The full two-phase pipeline: parallel summarize, sequential link,

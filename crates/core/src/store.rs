@@ -1,18 +1,28 @@
 //! Persistent on-disk artifact store: warm starts across process restarts.
 //!
-//! The store keeps one JSON document per analyzed translation unit, keyed by
-//! the content of `(file name, source text)` plus the analysis options and
-//! — for units analyzed as part of a linked whole program — the fingerprint
-//! of the interfaces the unit *imports* from the rest of the program.
+//! The store keeps one JSON document per analyzed translation unit, keyed
+//! **content-addressed** — by the source text alone, *not* by the file
+//! name — plus the analysis options and, for units analyzed as part of a
+//! linked whole program, the fingerprint of the interfaces the unit
+//! *imports* from the rest of the program. A renamed or copied file (or
+//! two units that happen to share their full text, e.g. generated sources
+//! sharing one header) therefore starts **warm**: the first analysis under
+//! the new name is served from the entry the old name wrote. Nothing in a
+//! stored document embeds the unit name — the artifacts that do carry the
+//! name (parse diagnostics, the source file handle) are rebuilt from the
+//! fresh parse by the relocation layer ([`crate::relocate`]) instead of
+//! being persisted, which is what makes the name-free key sound.
+//!
 //! Documents reuse the versioned plan JSON of [`crate::plan::json`] and add
 //! a *full verification key*: besides the primary FNV-1a content hash
-//! (which also names the file on disk), every entry records the unit name,
-//! the source length, an independent second content hash, the
-//! [`OmpDartOptions`] fingerprint, and the link fingerprint. A lookup only
-//! hits when every component matches — a corrupt file, a hash collision, a
-//! stale entry from an older format version, or an entry produced under
-//! different options or link surroundings is silently treated as a miss
-//! and overwritten on the next write-back, never trusted.
+//! (which also names the file on disk), every entry records the source
+//! length, an independent second content hash, the [`OmpDartOptions`]
+//! fingerprint, and the link fingerprint. A lookup only hits when every
+//! component matches — a corrupt file, a hash collision, a stale entry
+//! from an older format version (including the pre-v3 `(name, source)`
+//! keyed layout, which degrades cleanly to a miss), or an entry produced
+//! under different options or link surroundings is silently treated as a
+//! miss and overwritten on the next write-back, never trusted.
 //!
 //! The link fingerprint is what makes store invalidation *interface
 //! granular* across files: editing one unit changes its own content key
@@ -20,10 +30,12 @@
 //! hitting unless the edited unit's **exported interface** changed — only
 //! then does their imported-interface fingerprint move.
 //!
-//! Besides the plans, each entry persists the per-function plan-cache key
-//! snapshots ([`FunctionKeySnapshot`]), so a warm-started session re-seeds
-//! its in-memory function-granular cache from a store hit and the *first
-//! edit* after a restart already re-plans only the edited function.
+//! Besides the plans, each entry persists per-function sub-entries
+//! ([`FunctionKeySnapshot`]), so a warm-started session re-seeds its
+//! in-memory function-plan cache from a store hit and the *first edit*
+//! after a restart already re-plans only the edited function (access
+//! collection and local summarization are not persisted — they are cheap
+//! intermediates and re-run for the unit on that first edit).
 //!
 //! The store is deliberately plan-granular: plans are the expensive artifact
 //! (the data-flow analysis), while parsing and rewriting are cheap and must
@@ -33,8 +45,12 @@
 //! a store-served rewrite byte-identical to a cold one (the same property
 //! the plan-JSON golden tests pin).
 //!
-//! Disk growth is bounded two ways: superseded content of the same
-//! `(unit, options)` pair is pruned on every write-back, and an optional
+//! Disk growth is bounded two ways. Content addressing removes the name
+//! from the key, so "the previous version of this file" is tracked through
+//! tiny `ref-*` side files — one per `(unit name, options, link)` — whose
+//! only job is to let a write-back prune the entry the same file's previous
+//! save produced (a shared entry another name still points at simply
+//! re-materializes on that file's next save). On top of that, an optional
 //! size cap ([`ArtifactStore::with_max_bytes`], surfaced as `ompdart cache
 //! gc`) evicts least-recently-used entries. Eviction never touches the
 //! entry being written and removes files one atomic unlink at a time, so a
@@ -49,8 +65,19 @@ use std::time::SystemTime;
 
 /// Version of the on-disk store envelope. Bumped whenever the document
 /// layout around the embedded plan JSON changes; entries written by any
-/// other version are rejected as stale.
-pub const STORE_FORMAT_VERSION: u32 = 2;
+/// other version are rejected as stale. v3 moved to the content-addressed
+/// key (source text only); v2 `(name, source)` entries degrade to a miss.
+pub const STORE_FORMAT_VERSION: u32 = 3;
+
+/// FNV-1a hash of the source text alone — the primary content address.
+fn source_hash(source: &str) -> u64 {
+    content_hash("", source)
+}
+
+/// The independent second hash of the source text alone.
+fn source_hash2(source: &str) -> u64 {
+    content_hash2("", source)
+}
 
 /// A directory-backed store of per-unit planning artifacts.
 ///
@@ -117,26 +144,32 @@ impl ArtifactStore {
         &self.dir
     }
 
-    /// The on-disk path an entry for `(name, source)` under `options` and
-    /// `link` lives at. The file name carries four hashes — the unit name
-    /// alone, the full content, the options fingerprint, and the link
-    /// fingerprint — so (a) sessions with different options or link
-    /// surroundings sharing one `cache_dir` coexist instead of overwriting
-    /// each other, and (b) superseded content versions of the same unit are
-    /// identifiable (and pruned) by their shared name/options fields.
+    /// The on-disk path an entry for `source` under `options` and `link`
+    /// lives at. The file name carries four hashes — two independent
+    /// hashes of the source text (the content address; the unit name does
+    /// not participate), the options fingerprint, and the link fingerprint
+    /// — so sessions with different options or link surroundings sharing
+    /// one `cache_dir` coexist instead of overwriting each other.
     /// Colliding hashes share a path but are disambiguated by the in-file
     /// verification key.
-    pub fn entry_path(
-        &self,
-        name: &str,
-        source: &str,
-        options: &OmpDartOptions,
-        link: u64,
-    ) -> PathBuf {
+    pub fn entry_path(&self, source: &str, options: &OmpDartOptions, link: u64) -> PathBuf {
         self.dir.join(format!(
             "unit-{:016x}-{:016x}-{:016x}-{:016x}.json",
+            source_hash(source),
+            source_hash2(source),
+            options.fingerprint(),
+            link,
+        ))
+    }
+
+    /// The path of the tiny side file remembering which content entry the
+    /// unit called `name` last wrote under `options` and `link` — the only
+    /// place the unit *name* still appears (hashed), and only so a later
+    /// save can prune the superseded entry.
+    fn ref_path(&self, name: &str, options: &OmpDartOptions, link: u64) -> PathBuf {
+        self.dir.join(format!(
+            "ref-{:016x}-{:016x}-{:016x}.ref",
             content_hash(name, ""),
-            content_hash(name, source),
             options.fingerprint(),
             link,
         ))
@@ -177,20 +210,16 @@ impl ArtifactStore {
         self.entry_count() == 0
     }
 
-    /// Look up the stored plans for `(name, source)` under `options` and
-    /// `link`. Returns `None` unless the entry exists, parses, carries the
-    /// expected versions, and its full key — name, source length, both
-    /// content hashes, the options fingerprint, and the link fingerprint —
-    /// matches exactly. A hit refreshes the entry's modification time
-    /// (best effort) so LRU eviction sees it as recently used.
-    pub fn load(
-        &self,
-        name: &str,
-        source: &str,
-        options: &OmpDartOptions,
-        link: u64,
-    ) -> Option<StoredUnit> {
-        let path = self.entry_path(name, source, options, link);
+    /// Look up the stored plans for `source` under `options` and `link` —
+    /// the unit name does not participate, so renamed or copied files hit
+    /// the entries their previous name wrote. Returns `None` unless the
+    /// entry exists, parses, carries the expected versions, and its full
+    /// key — source length, both content hashes, the options fingerprint,
+    /// and the link fingerprint — matches exactly. A hit refreshes the
+    /// entry's modification time (best effort) so LRU eviction sees it as
+    /// recently used.
+    pub fn load(&self, source: &str, options: &OmpDartOptions, link: u64) -> Option<StoredUnit> {
+        let path = self.entry_path(source, options, link);
         let text = std::fs::read_to_string(&path).ok()?;
         let doc = Json::parse(&text).ok()?;
         if doc.get("store_version").and_then(Json::as_int) != Some(i64::from(STORE_FORMAT_VERSION))
@@ -199,12 +228,11 @@ impl ArtifactStore {
             return None;
         }
         let key = doc.get("key")?;
-        let matches = key.get("name").and_then(Json::as_str) == Some(name)
-            && key.get("len").and_then(Json::as_int) == Some(source.len() as i64)
+        let matches = key.get("len").and_then(Json::as_int) == Some(source.len() as i64)
             && key.get("fnv").and_then(Json::as_str)
-                == Some(format!("{:016x}", content_hash(name, source)).as_str())
+                == Some(format!("{:016x}", source_hash(source)).as_str())
             && key.get("fnv2").and_then(Json::as_str)
-                == Some(format!("{:016x}", content_hash2(name, source)).as_str())
+                == Some(format!("{:016x}", source_hash2(source)).as_str())
             && doc.get("options").and_then(Json::as_str)
                 == Some(format!("{:016x}", options.fingerprint()).as_str())
             && doc.get("link").and_then(Json::as_str) == Some(format!("{link:016x}").as_str());
@@ -237,15 +265,18 @@ impl ArtifactStore {
         })
     }
 
-    /// Write back the plans for `(name, source)` produced under `options`
-    /// and `link`. The write is atomic (temp file + rename) so concurrent
+    /// Write back the plans for `source` produced under `options` and
+    /// `link`. The write is atomic (temp file + rename) so concurrent
     /// writers and crashed processes never leave a torn entry behind.
-    /// Entries for *superseded* content of the same unit under the same
-    /// options and link surroundings are pruned afterwards, so a long
-    /// editing session leaves one file per (unit, options, link) on disk —
-    /// not one per save. When a
-    /// size cap is configured, least-recently-used entries are then evicted
-    /// until the store fits, never including the entry just written.
+    ///
+    /// The entry itself is content-addressed and name-free; `name` is used
+    /// only to update the unit's `ref-*` side file and prune the entry the
+    /// same unit's *previous* save produced (plus any unloadable pre-v3
+    /// entries for the same name), so a long editing session still leaves
+    /// one content entry per (unit, options, link) on disk — not one per
+    /// save. When a size cap is configured, least-recently-used entries
+    /// are then evicted until the store fits, never including the entry
+    /// just written.
     #[allow(clippy::too_many_arguments)]
     pub fn save(
         &self,
@@ -267,15 +298,14 @@ impl ArtifactStore {
             (
                 "key".into(),
                 Json::Object(vec![
-                    ("name".into(), Json::Str(name.to_string())),
                     ("len".into(), Json::Int(source.len() as i64)),
                     (
                         "fnv".into(),
-                        Json::Str(format!("{:016x}", content_hash(name, source))),
+                        Json::Str(format!("{:016x}", source_hash(source))),
                     ),
                     (
                         "fnv2".into(),
-                        Json::Str(format!("{:016x}", content_hash2(name, source))),
+                        Json::Str(format!("{:016x}", source_hash2(source))),
                     ),
                 ]),
             ),
@@ -294,7 +324,7 @@ impl ArtifactStore {
                 Json::Array(plans.iter().map(MappingPlan::to_json_value).collect()),
             ),
         ]);
-        let path = self.entry_path(name, source, options, link);
+        let path = self.entry_path(source, options, link);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         std::fs::write(&tmp, doc.render_pretty())?;
         std::fs::rename(&tmp, &path)?;
@@ -346,19 +376,41 @@ impl ArtifactStore {
         report
     }
 
-    /// Best-effort removal of entries superseded by a fresh write:
-    /// everything sharing the fresh entry's name, options, *and link*
-    /// fields except the fresh entry itself. Entries under other link
-    /// surroundings (or other options) coexist — the same unit analyzed
-    /// both stand-alone and inside a program keeps both entries; size
-    /// growth across *changing* link surroundings is the LRU cap's job.
-    /// Legacy three-field (pre-link) entry names can never be loaded by
-    /// this version, so any of them matching the name+options pair is
-    /// removed as well.
+    /// Best-effort removal of the entry superseded by a fresh write.
+    ///
+    /// Content addressing removed the unit name from the entry key, so
+    /// "this file's previous version" is remembered through the unit's
+    /// `ref-*` side file: it names the content entry the same
+    /// `(name, options, link)` triple last wrote. If that entry differs
+    /// from the one just written, it is deleted (if another unit still
+    /// shares that content, its next save simply re-materializes it — a
+    /// cache miss, never an error) and the ref is repointed.
+    ///
+    /// Unloadable legacy entries — the pre-v3 `(name, source)`-keyed
+    /// layouts, whose first file-name field is the hash of the unit name —
+    /// are dead weight after an upgrade; any of them matching this name and
+    /// options is removed as well.
     fn prune_superseded(&self, name: &str, options: &OmpDartOptions, link: u64, keep: &Path) {
+        let keep_file = keep.file_name().and_then(|n| n.to_str()).unwrap_or("");
+
+        // Repoint the unit's ref; drop the entry it used to point at.
+        let ref_path = self.ref_path(name, options, link);
+        if let Ok(previous) = std::fs::read_to_string(&ref_path) {
+            let previous = previous.trim();
+            if !previous.is_empty()
+                && previous != keep_file
+                && previous.starts_with("unit-")
+                && previous.ends_with(".json")
+                && !previous.contains(['/', '\\'])
+            {
+                let _ = std::fs::remove_file(self.dir.join(previous));
+            }
+        }
+        let _ = std::fs::write(&ref_path, keep_file);
+
+        // Legacy (pre-v3) cleanup: entries keyed by the unit name.
         let name_hash = format!("{:016x}", content_hash(name, ""));
         let options_hash = format!("{:016x}", options.fingerprint());
-        let link_hash = format!("{link:016x}");
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
@@ -372,10 +424,13 @@ impl ArtifactStore {
                 .and_then(|n| n.to_str())
                 .and_then(parse_entry_name)
                 .is_some_and(|fields| match fields {
-                    EntryName::Linked([n, _, o, l]) => {
-                        n == name_hash && o == options_hash && l == link_hash
-                    }
-                    EntryName::Legacy([n, _, o]) => n == name_hash && o == options_hash,
+                    // v2 four-field layout: name-hash first. A v3 entry's
+                    // first field is a source hash, which collides with
+                    // this name's hash only with negligible probability —
+                    // and a false positive costs one cache miss, nothing
+                    // more.
+                    EntryName::Legacy4([n, _, o, _]) => n == name_hash && o == options_hash,
+                    EntryName::Legacy3([n, _, o]) => n == name_hash && o == options_hash,
                 });
             if stale {
                 let _ = std::fs::remove_file(&path);
@@ -384,16 +439,19 @@ impl ArtifactStore {
     }
 }
 
-/// A parsed store-entry file name: the current four-field layout or the
-/// legacy pre-link three-field one (unloadable, kept only so pruning can
-/// clean it up after an upgrade).
+/// A parsed store-entry file name, viewed as a *legacy candidate*: the v2
+/// four-field `(name, content, options, link)` layout or the pre-link
+/// three-field one. Neither can be loaded by this version; pruning cleans
+/// them up after an upgrade. (The current v3 layout also has four fields —
+/// disambiguation happens via the in-file `store_version`, and pruning only
+/// ever matches on the name hash, which v3 entries do not carry.)
 enum EntryName<'a> {
-    Linked([&'a str; 4]),
-    Legacy([&'a str; 3]),
+    Legacy4([&'a str; 4]),
+    Legacy3([&'a str; 3]),
 }
 
-/// Split `unit-<name>-<content>-<options>[-<link>].json` into its hash
-/// fields; `None` for anything that is not a store entry.
+/// Split `unit-<a>-<b>-<c>[-<d>].json` into its hash fields; `None` for
+/// anything that is not a store entry.
 fn parse_entry_name(file_name: &str) -> Option<EntryName<'_>> {
     let body = file_name.strip_prefix("unit-")?.strip_suffix(".json")?;
     let fields: Vec<&str> = body.split('-').collect();
@@ -401,8 +459,8 @@ fn parse_entry_name(file_name: &str) -> Option<EntryName<'_>> {
         return None;
     }
     match fields.as_slice() {
-        [a, b, c, d] => Some(EntryName::Linked([a, b, c, d])),
-        [a, b, c] => Some(EntryName::Legacy([a, b, c])),
+        [a, b, c, d] => Some(EntryName::Legacy4([a, b, c, d])),
+        [a, b, c] => Some(EntryName::Legacy3([a, b, c])),
         _ => None,
     }
 }
@@ -521,30 +579,81 @@ mod tests {
             .unwrap();
         assert_eq!(store.entry_count(), 1);
 
-        let hit = store
-            .load("demo.c", "int main() {}", &options, UNLINKED)
-            .unwrap();
+        let hit = store.load("int main() {}", &options, UNLINKED).unwrap();
         assert_eq!(hit.plans, plans);
         assert_eq!(hit.stats, stats);
         assert_eq!(hit.functions, sample_keys());
 
-        // Different source, name, options, or link fingerprint must miss.
-        assert!(store
-            .load("demo.c", "int main() { }", &options, UNLINKED)
-            .is_none());
-        assert!(store
-            .load("other.c", "int main() {}", &options, UNLINKED)
-            .is_none());
+        // Different source, options, or link fingerprint must miss.
+        assert!(store.load("int main() { }", &options, UNLINKED).is_none());
         let other_options = OmpDartOptions {
             interprocedural: false,
             ..OmpDartOptions::default()
         };
         assert!(store
-            .load("demo.c", "int main() {}", &other_options, UNLINKED)
+            .load("int main() {}", &other_options, UNLINKED)
             .is_none());
+        assert!(store.load("int main() {}", &options, 0xdead_beef).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// The key is the *content*, not the name: a renamed or copied file
+    /// hits the entry its previous name wrote, and saving identical
+    /// content under a second name shares the entry instead of duplicating
+    /// it.
+    #[test]
+    fn content_addressing_shares_entries_across_names() {
+        let store = temp_store("content");
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        store
+            .save(
+                "a.c",
+                "void f() {}",
+                &options,
+                UNLINKED,
+                &plans,
+                &stats,
+                &[],
+            )
+            .unwrap();
+        // The "renamed file" does not even participate in the lookup —
+        // only the content does.
+        assert!(store.load("void f() {}", &options, UNLINKED).is_some());
+
+        // A second unit with identical content shares the entry.
+        store
+            .save(
+                "b.c",
+                "void f() {}",
+                &options,
+                UNLINKED,
+                &plans,
+                &stats,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(store.entry_count(), 1, "identical content must share");
+
+        // Editing a.c prunes only its own previous entry (the shared one);
+        // b.c's next save re-materializes it — a miss, never corruption.
+        store
+            .save(
+                "a.c",
+                "void f() { f(); }",
+                &options,
+                UNLINKED,
+                &plans,
+                &stats,
+                &[],
+            )
+            .unwrap();
+        assert_eq!(store.entry_count(), 1);
+        assert!(store.load("void f() {}", &options, UNLINKED).is_none());
         assert!(store
-            .load("demo.c", "int main() {}", &options, 0xdead_beef)
-            .is_none());
+            .load("void f() { f(); }", &options, UNLINKED)
+            .is_some());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -567,37 +676,90 @@ mod tests {
                 .unwrap()
         };
         save();
-        let path = store.entry_path("x.c", "void f() {}", &options, UNLINKED);
+        let path = store.entry_path("void f() {}", &options, UNLINKED);
 
         // Corrupt JSON: miss, not a panic or a bad deserialization.
         std::fs::write(&path, "{ not json").unwrap();
-        assert!(store
-            .load("x.c", "void f() {}", &options, UNLINKED)
-            .is_none());
+        assert!(store.load("void f() {}", &options, UNLINKED).is_none());
 
         // A valid document from a future store version: stale, rejected.
         save();
         let bumped = std::fs::read_to_string(&path).unwrap().replacen(
-            "\"store_version\": 2",
+            "\"store_version\": 3",
             "\"store_version\": 99",
             1,
         );
         std::fs::write(&path, bumped).unwrap();
-        assert!(store
-            .load("x.c", "void f() {}", &options, UNLINKED)
-            .is_none());
+        assert!(store.load("void f() {}", &options, UNLINKED).is_none());
 
         // An entry whose key was tampered with (collision simulation).
         save();
-        let tampered = std::fs::read_to_string(&path).unwrap().replacen(
-            "\"name\": \"x.c\"",
-            "\"name\": \"y.c\"",
-            1,
-        );
+        let tampered =
+            std::fs::read_to_string(&path)
+                .unwrap()
+                .replacen("\"len\": 11", "\"len\": 12", 1);
         std::fs::write(&path, tampered).unwrap();
-        assert!(store
-            .load("x.c", "void f() {}", &options, UNLINKED)
-            .is_none());
+        assert!(store.load("void f() {}", &options, UNLINKED).is_none());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// Store migration: a v2 `(name, source)`-keyed document — whether it
+    /// sits at its legacy path or happens to collide with a v3 path —
+    /// degrades cleanly to a miss, and the legacy files are pruned by the
+    /// next save for the same unit name.
+    #[test]
+    fn v2_entries_degrade_to_miss_and_are_pruned() {
+        let store = temp_store("migrate");
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        let source = "void f() {}";
+
+        // A v2-era document at its own four-field path: first field is the
+        // *name* hash, which v3 never looks up — unreadable dead weight.
+        let v2_path = store.dir().join(format!(
+            "unit-{:016x}-{:016x}-{:016x}-{:016x}.json",
+            content_hash("old.c", ""),
+            content_hash("old.c", source),
+            options.fingerprint(),
+            UNLINKED,
+        ));
+        std::fs::create_dir_all(store.dir()).unwrap();
+        std::fs::write(&v2_path, "{\"store_version\": 2}").unwrap();
+        // ...and a pre-link three-field one.
+        let v2_short = store.dir().join(format!(
+            "unit-{:016x}-{:016x}-{:016x}.json",
+            content_hash("old.c", ""),
+            content_hash("old.c", source),
+            options.fingerprint(),
+        ));
+        std::fs::write(&v2_short, "{}").unwrap();
+        assert!(store.load(source, &options, UNLINKED).is_none());
+
+        // Even a v2 document sitting exactly at the v3 path (simulated
+        // collision) is rejected by its store_version.
+        let v3_path = store.entry_path(source, &options, UNLINKED);
+        std::fs::write(
+            &v3_path,
+            format!(
+                "{{\"store_version\": 2, \"version\": 1, \"key\": {{\"name\": \"old.c\", \
+                 \"len\": {}, \"fnv\": \"x\", \"fnv2\": \"x\"}}}}",
+                source.len()
+            ),
+        )
+        .unwrap();
+        assert!(
+            store.load(source, &options, UNLINKED).is_none(),
+            "a v2 document must degrade to a miss, never be trusted"
+        );
+
+        // The first save for the same unit name sweeps the legacy files.
+        store
+            .save("old.c", source, &options, UNLINKED, &plans, &stats, &[])
+            .unwrap();
+        assert!(!v2_path.exists(), "v2 four-field entry must be pruned");
+        assert!(!v2_short.exists(), "v2 three-field entry must be pruned");
+        assert!(store.load(source, &options, UNLINKED).is_some());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -623,32 +785,31 @@ mod tests {
         save("a.c", "v1", &defaults);
         save("a.c", "v1", &no_ip);
         assert_eq!(store.entry_count(), 2, "options variants must coexist");
-        assert!(store.load("a.c", "v1", &defaults, UNLINKED).is_some());
-        assert!(store.load("a.c", "v1", &no_ip, UNLINKED).is_some());
+        assert!(store.load("v1", &defaults, UNLINKED).is_some());
+        assert!(store.load("v1", &no_ip, UNLINKED).is_some());
 
         // New content for the default options: the old default entry is
         // pruned, the other-options entry survives.
         save("a.c", "v2", &defaults);
         assert_eq!(store.entry_count(), 2);
-        assert!(store.load("a.c", "v1", &defaults, UNLINKED).is_none());
-        assert!(store.load("a.c", "v2", &defaults, UNLINKED).is_some());
-        assert!(store.load("a.c", "v1", &no_ip, UNLINKED).is_some());
+        assert!(store.load("v1", &defaults, UNLINKED).is_none());
+        assert!(store.load("v2", &defaults, UNLINKED).is_some());
+        assert!(store.load("v1", &no_ip, UNLINKED).is_some());
 
         // Other units are untouched by pruning.
-        save("b.c", "v1", &defaults);
+        save("b.c", "w1", &defaults);
         save("a.c", "v3", &defaults);
         assert_eq!(store.entry_count(), 3);
-        assert!(store.load("b.c", "v1", &defaults, UNLINKED).is_some());
+        assert!(store.load("w1", &defaults, UNLINKED).is_some());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
     /// Entries for the same unit under different *link* surroundings
     /// coexist through write-backs (a unit analyzed stand-alone and inside
     /// a program shares one cache dir without thrashing), while superseded
-    /// content under the *same* link is still pruned — and unloadable
-    /// legacy three-field entries are cleaned up by the first save.
+    /// content under the *same* link is still pruned.
     #[test]
-    fn link_variants_coexist_and_legacy_entries_are_pruned() {
+    fn link_variants_coexist_and_superseded_content_is_pruned() {
         let store = temp_store("linkprune");
         let options = OmpDartOptions::default();
         let stats = AnalysisStats::default();
@@ -662,31 +823,17 @@ mod tests {
             .save("u.c", "v1", &options, linked, &plans, &stats, &[])
             .unwrap();
         assert_eq!(store.entry_count(), 2, "link variants must coexist");
-        assert!(store.load("u.c", "v1", &options, UNLINKED).is_some());
-        assert!(store.load("u.c", "v1", &options, linked).is_some());
+        assert!(store.load("v1", &options, UNLINKED).is_some());
+        assert!(store.load("v1", &options, linked).is_some());
 
         // New content under one link prunes only that link's old entry.
         store
             .save("u.c", "v2", &options, linked, &plans, &stats, &[])
             .unwrap();
         assert_eq!(store.entry_count(), 2);
-        assert!(store.load("u.c", "v1", &options, UNLINKED).is_some());
-        assert!(store.load("u.c", "v1", &options, linked).is_none());
-        assert!(store.load("u.c", "v2", &options, linked).is_some());
-
-        // A legacy pre-link entry (three hash fields) for the same unit and
-        // options is unloadable dead weight: the next save removes it.
-        let legacy = store.dir().join(format!(
-            "unit-{:016x}-{:016x}-{:016x}.json",
-            crate::pipeline::content_hash("u.c", ""),
-            0x1111_u64,
-            options.fingerprint(),
-        ));
-        std::fs::write(&legacy, "{}").unwrap();
-        store
-            .save("u.c", "v3", &options, UNLINKED, &plans, &stats, &[])
-            .unwrap();
-        assert!(!legacy.exists(), "legacy entry must be pruned on save");
+        assert!(store.load("v1", &options, UNLINKED).is_some());
+        assert!(store.load("v1", &options, linked).is_none());
+        assert!(store.load("v2", &options, linked).is_some());
         let _ = std::fs::remove_dir_all(store.dir());
     }
 
@@ -694,7 +841,7 @@ mod tests {
     fn missing_directory_degrades_to_miss() {
         let store = ArtifactStore::open("/nonexistent/ompdart-store");
         assert!(store
-            .load("a.c", "int x;", &OmpDartOptions::default(), UNLINKED)
+            .load("int x;", &OmpDartOptions::default(), UNLINKED)
             .is_none());
         assert!(store.is_empty());
         assert_eq!(store.gc(0), GcReport::default());
@@ -720,7 +867,7 @@ mod tests {
         let one = total / 3;
 
         // Touch a.c (the oldest) via a load hit: b.c becomes the LRU.
-        assert!(store.load("a.c", "s1", &options, UNLINKED).is_some());
+        assert!(store.load("s1", &options, UNLINKED).is_some());
         std::thread::sleep(std::time::Duration::from_millis(20));
 
         let report = store.gc(total - one);
@@ -728,11 +875,11 @@ mod tests {
         assert!(report.entries_evicted >= 1);
         assert!(report.bytes_kept <= total - one);
         assert!(
-            store.load("a.c", "s1", &options, UNLINKED).is_some(),
+            store.load("s1", &options, UNLINKED).is_some(),
             "recently-used entry must survive"
         );
         assert!(
-            store.load("b.c", "s2", &options, UNLINKED).is_none(),
+            store.load("s2", &options, UNLINKED).is_none(),
             "least-recently-used entry must be evicted"
         );
 
@@ -779,9 +926,7 @@ mod tests {
                 "cap exceeded after saving {name}"
             );
             // The freshly written entry always survives its own save.
-            assert!(store
-                .load(name, &format!("src{i}"), &options, UNLINKED)
-                .is_some());
+            assert!(store.load(&format!("src{i}"), &options, UNLINKED).is_some());
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
         assert!(store.entry_count() <= 2);

@@ -11,9 +11,11 @@
 //!   as known external functions by the parser/semantics instead.
 //! * `#ifdef NAME` / `#ifndef NAME` / `#else` / `#endif` and the constant
 //!   forms `#if 0` / `#if 1` — conditional inclusion.
-//!
-//! Function-like macros are rejected with a diagnostic; the benchmark ports
-//! in `ompdart-suite` do not need them.
+//! * `#define NAME(args) body` — function-like macros are **accepted** and
+//!   expanded inside `#if`/`#elif` condition evaluation (nested calls
+//!   included); *using* one in the regular token stream is still rejected
+//!   with a diagnostic at the use site, because full call expansion in
+//!   code is not implemented.
 
 use crate::diag::Diagnostics;
 use crate::lexer::Lexer;
@@ -31,15 +33,39 @@ pub struct MacroDef {
     pub span: Span,
 }
 
+/// A function-like macro definition (`#define SQ(x) ((x)*(x))`). Only
+/// expanded inside `#if`/`#elif` condition evaluation.
+#[derive(Clone, Debug)]
+pub struct FnMacroDef {
+    pub name: String,
+    /// Parameter names, in declaration order.
+    pub params: Vec<String>,
+    /// Replacement text (everything after the closing parenthesis).
+    pub body: String,
+    /// Span of the defining directive.
+    pub span: Span,
+}
+
 /// Result of preprocessing: the expanded token stream plus the macro table.
 #[derive(Debug, Default)]
 pub struct PreprocessOutput {
     pub tokens: Vec<Token>,
     /// All object-like macros seen (last definition wins).
     pub macros: HashMap<String, MacroDef>,
+    /// All function-like macros seen (last definition wins); consulted by
+    /// `#if`/`#elif` condition evaluation.
+    pub fn_macros: HashMap<String, FnMacroDef>,
     /// Macros whose replacement is a single numeric literal, exposed to later
     /// stages (pragma expression evaluation, loop-bound const evaluation).
     pub constants: HashMap<String, f64>,
+}
+
+impl PreprocessOutput {
+    /// True if `name` is defined as any kind of macro (`#ifdef`,
+    /// `defined(...)` semantics).
+    fn is_defined(&self, name: &str) -> bool {
+        self.macros.contains_key(name) || self.fn_macros.contains_key(name)
+    }
 }
 
 impl PreprocessOutput {
@@ -68,15 +94,16 @@ pub fn preprocess(tokens: Vec<Token>, diags: &mut Diagnostics) -> PreprocessOutp
                     "undef" if active(&cond_stack) => {
                         let name = rest.trim();
                         out.macros.remove(name);
+                        out.fn_macros.remove(name);
                         out.constants.remove(name);
                     }
                     "include" => { /* ignored: single translation unit model */ }
                     "ifdef" => {
-                        let defined = out.macros.contains_key(rest.trim());
+                        let defined = out.is_defined(rest.trim());
                         cond_stack.push((defined, defined));
                     }
                     "ifndef" => {
-                        let defined = out.macros.contains_key(rest.trim());
+                        let defined = out.is_defined(rest.trim());
                         cond_stack.push((!defined, !defined));
                     }
                     "if" => {
@@ -148,6 +175,18 @@ pub fn preprocess(tokens: Vec<Token>, diags: &mut Diagnostics) -> PreprocessOutp
                 if out.macros.contains_key(name) {
                     let name = name.clone();
                     expand_macro(&name, tok.span, &out.macros, &mut out.tokens, diags, 0);
+                } else if out.fn_macros.contains_key(name) {
+                    // Accepted at definition, expanded in conditions — but
+                    // a call in the regular token stream would need full
+                    // argument substitution, which MiniC does not do yet.
+                    diags.error(
+                        tok.span,
+                        format!(
+                            "function-like macro `{name}` can only be expanded in #if/#elif \
+                             conditions; calls in code are not supported by the MiniC \
+                             preprocessor"
+                        ),
+                    );
                 } else {
                     out.tokens.push(tok);
                 }
@@ -188,10 +227,49 @@ fn handle_define(rest: &str, span: Span, out: &mut PreprocessOutput, diags: &mut
     }
     let after = &rest[name_end..];
     if after.starts_with('(') {
-        diags.error(
-            span,
-            format!("function-like macro `{name}` is not supported by the MiniC preprocessor"),
+        // Function-like macro: record name, parameters, and replacement
+        // text. Calls are expanded in #if/#elif condition evaluation.
+        let Some(close) = after.find(')') else {
+            diags.error(
+                span,
+                format!("unterminated parameter list of macro `{name}`"),
+            );
+            return;
+        };
+        // `()` declares zero parameters; otherwise every comma-separated
+        // piece must be a plain identifier — `F(a,)` and `F(,)` are
+        // malformed, not silently-dropped parameters.
+        let inner = after[1..close].trim();
+        let params: Vec<String> = if inner.is_empty() {
+            Vec::new()
+        } else {
+            inner.split(',').map(|p| p.trim().to_string()).collect()
+        };
+        if params.iter().any(|p| {
+            p.is_empty()
+                || !p.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                || p.chars().next().is_some_and(|c| c.is_ascii_digit())
+        }) {
+            diags.error(
+                span,
+                format!(
+                    "unsupported parameter list of function-like macro `{name}` \
+                     (only plain identifiers are supported)"
+                ),
+            );
+            return;
+        }
+        out.fn_macros.insert(
+            name.to_string(),
+            FnMacroDef {
+                name: name.to_string(),
+                params,
+                body: after[close + 1..].trim().to_string(),
+                span,
+            },
         );
+        out.macros.remove(name);
+        out.constants.remove(name);
         return;
     }
     let replacement = after.trim();
@@ -202,6 +280,7 @@ fn handle_define(rest: &str, span: Span, out: &mut PreprocessOutput, diags: &mut
     if let Some(value) = single_numeric_value(&body) {
         out.constants.insert(name.to_string(), value);
     }
+    out.fn_macros.remove(name);
     out.macros.insert(
         name.to_string(),
         MacroDef {
@@ -261,6 +340,10 @@ fn single_numeric_value(body: &[Token]) -> Option<f64> {
 /// short-circuit. The caller warns and assumes true on `None`.
 fn eval_pp_condition(rest: &str, out: &PreprocessOutput) -> Option<bool> {
     let tokens: Vec<PpTok> = pp_cond_tokens(rest)?;
+    // Pre-pass: expand function-like macro calls (nested calls included) by
+    // token splicing, exactly as a real preprocessor would, so the parser
+    // below only ever sees literals, object-like names, and operators.
+    let tokens = expand_fn_macros(&tokens, out, 0)?;
     let mut p = PpCondParser {
         tokens: &tokens,
         pos: 0,
@@ -271,6 +354,96 @@ fn eval_pp_condition(rest: &str, out: &PreprocessOutput) -> Option<bool> {
         return None; // trailing garbage: unsupported condition
     }
     value.map(|v| v != 0)
+}
+
+/// Expand every known function-like macro call in `tokens` by splicing the
+/// substituted replacement tokens in place (recursively, so nested calls
+/// work). Names under `defined` are never expanded. Unknown function-like
+/// invocations are left untouched — the condition parser treats them as
+/// unknown operands, preserving short-circuit decidability. Returns `None`
+/// when expansion itself is malformed (unbalanced call, arity mismatch,
+/// unlexable body, runaway recursion): the caller then warns and assumes
+/// true, never mis-evaluates.
+fn expand_fn_macros(tokens: &[PpTok], out: &PreprocessOutput, depth: usize) -> Option<Vec<PpTok>> {
+    if depth > 16 {
+        return None; // recursive macro: unsupported condition
+    }
+    let mut result = Vec::with_capacity(tokens.len());
+    let mut i = 0usize;
+    while i < tokens.len() {
+        match &tokens[i] {
+            PpTok::Name(n) if n == "defined" => {
+                // Copy `defined NAME` / `defined ( NAME` verbatim: the
+                // operand of `defined` names a macro, it is not a call.
+                result.push(tokens[i].clone());
+                i += 1;
+                if matches!(tokens.get(i), Some(PpTok::Op("("))) {
+                    result.push(tokens[i].clone());
+                    i += 1;
+                }
+                if matches!(tokens.get(i), Some(PpTok::Name(_))) {
+                    result.push(tokens[i].clone());
+                    i += 1;
+                }
+            }
+            PpTok::Name(n)
+                if out.fn_macros.contains_key(n)
+                    && matches!(tokens.get(i + 1), Some(PpTok::Op("("))) =>
+            {
+                let def = &out.fn_macros[n];
+                // Collect the balanced argument list, split on top-level
+                // commas. `i + 2` points just past the opening paren.
+                let mut args: Vec<Vec<PpTok>> = vec![Vec::new()];
+                let mut depth_parens = 1usize;
+                let mut j = i + 2;
+                loop {
+                    let tok = tokens.get(j)?;
+                    match tok {
+                        PpTok::Op("(") => {
+                            depth_parens += 1;
+                            args.last_mut().unwrap().push(tok.clone());
+                        }
+                        PpTok::Op(")") => {
+                            depth_parens -= 1;
+                            if depth_parens == 0 {
+                                break;
+                            }
+                            args.last_mut().unwrap().push(tok.clone());
+                        }
+                        PpTok::Op(",") if depth_parens == 1 => args.push(Vec::new()),
+                        other => args.last_mut().unwrap().push(other.clone()),
+                    }
+                    j += 1;
+                }
+                if args.len() == 1 && args[0].is_empty() {
+                    args.clear(); // zero-argument call: `F()`
+                }
+                if args.len() != def.params.len() {
+                    return None; // arity mismatch: unsupported condition
+                }
+                // Substitute parameters in the (lazily lexed) body, then
+                // recursively expand the result so nested calls resolve.
+                let body = pp_cond_tokens(&def.body)?;
+                let mut substituted = Vec::with_capacity(body.len());
+                for tok in body {
+                    match &tok {
+                        PpTok::Name(p) => match def.params.iter().position(|param| param == p) {
+                            Some(idx) => substituted.extend(args[idx].iter().cloned()),
+                            None => substituted.push(tok),
+                        },
+                        _ => substituted.push(tok),
+                    }
+                }
+                result.extend(expand_fn_macros(&substituted, out, depth + 1)?);
+                i = j + 1;
+            }
+            other => {
+                result.push(other.clone());
+                i += 1;
+            }
+        }
+    }
+    Some(result)
 }
 
 /// A token of the `#if` condition grammar.
@@ -335,6 +508,7 @@ fn pp_cond_tokens(text: &str) -> Option<Vec<PpTok>> {
                         b'*' => "*",
                         b'/' => "/",
                         b'%' => "%",
+                        b',' => ",",
                         _ => return None, // unsupported character
                     };
                     toks.push(PpTok::Op(op));
@@ -477,7 +651,7 @@ impl PpCondParser<'_> {
                     self.pos = self.tokens.len() + 1;
                     return None;
                 }
-                Some(i64::from(self.out.macros.contains_key(&target)))
+                Some(i64::from(self.out.is_defined(&target)))
             }
             Some(PpTok::Name(name)) => {
                 self.pos += 1;
@@ -658,10 +832,118 @@ mod tests {
         assert!(diags.has_errors());
     }
 
+    /// Defining a function-like macro is accepted; *calling* one in the
+    /// regular token stream is still rejected (at the use site), because
+    /// code-level call expansion is not implemented.
     #[test]
-    fn function_like_macro_rejected() {
-        let (_out, diags) = run("#define SQ(x) ((x)*(x))\nint a;\n");
+    fn function_like_macro_definition_accepted_use_in_code_rejected() {
+        let (out, diags) = run("#define SQ(x) ((x)*(x))\nint a;\n");
+        assert!(!diags.has_errors(), "{diags:?}");
+        assert!(out.fn_macros.contains_key("SQ"));
+
+        let (_out, diags) = run("#define SQ(x) ((x)*(x))\nint a = SQ(3);\n");
         assert!(diags.has_errors());
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("function-like macro `SQ`")));
+
+        // Malformed parameter lists are rejected at the definition, not
+        // silently collapsed to a smaller arity.
+        for bad in ["#define F(a,) x\n", "#define F(,) x\n", "#define F(1a) x\n"] {
+            let (out, diags) = run(bad);
+            assert!(diags.has_errors(), "{bad:?} must be rejected");
+            assert!(!out.fn_macros.contains_key("F"));
+        }
+        // `()` is a valid zero-parameter list.
+        let (out, diags) = run("#define Z() 7\n#if Z() == 7\nint z;\n#endif\n");
+        assert!(!diags.has_errors(), "{diags:?}");
+        assert!(out.fn_macros["Z"].params.is_empty());
+    }
+
+    /// Function-like macros expand inside `#if`/`#elif` conditions: plain
+    /// calls, nested calls, multi-parameter bodies, and `#elif` all go
+    /// through the same token-splicing expansion.
+    #[test]
+    fn function_like_macros_expand_in_conditions() {
+        let has_ident = |out: &PreprocessOutput, name: &str| {
+            kinds(out)
+                .iter()
+                .any(|t| matches!(t, TokenKind::Ident(s) if s == name))
+        };
+
+        let (out, diags) = run("#define SQ(x) ((x)*(x))\n#if SQ(3) == 9\nint yes;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(has_ident(&out, "yes"));
+
+        // Nested calls: the argument of the outer call is itself a call.
+        let (out, diags) = run("#define SQ(x) ((x)*(x))\n#define ADD(a, b) ((a)+(b))\n\
+             #if SQ(ADD(1, 2)) == 9 && ADD(SQ(2), 1) == 5\nint nested;\n#else\nint no;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(has_ident(&out, "nested"));
+        assert!(!has_ident(&out, "no"));
+
+        // Bodies may reference object-like constant macros.
+        let (out, diags) =
+            run("#define N 4\n#define TWICE(x) ((x)*2)\n#if TWICE(N) == 8\nint both;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(has_ident(&out, "both"));
+
+        // #elif expands too.
+        let (out, diags) = run(
+            "#define SEL(m) ((m)%3)\n#if SEL(7) == 0\nint a;\n#elif SEL(7) == 1\nint b;\n\
+             #else\nint c;\n#endif\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!has_ident(&out, "a"));
+        assert!(has_ident(&out, "b"));
+        assert!(!has_ident(&out, "c"));
+
+        // A function-like macro counts as defined — and the operand of
+        // `defined` is never expanded as a call.
+        let (out, diags) = run("#define SQ(x) ((x)*(x))\n#ifdef SQ\nint d1;\n#endif\n\
+             #if defined(SQ) && SQ(2) == 4\nint d2;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(has_ident(&out, "d1"));
+        assert!(has_ident(&out, "d2"));
+
+        // #undef removes function-like macros as well.
+        let (out, diags) = run("#define SQ(x) x\n#undef SQ\n#ifdef SQ\nint gone;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!has_ident(&out, "gone"));
+    }
+
+    /// Unknown function-like invocations propagate as *unknown* operands —
+    /// decidable short circuits still win, genuinely unknown conditions
+    /// warn and assume true, and malformed calls of *known* macros (arity
+    /// mismatch, recursion) degrade to the same loud warn-and-assume-true
+    /// path instead of mis-evaluating.
+    #[test]
+    fn function_like_macro_unknowns_propagate() {
+        let has_ident = |out: &PreprocessOutput, name: &str| {
+            kinds(out)
+                .iter()
+                .any(|t| matches!(t, TokenKind::Ident(s) if s == name))
+        };
+
+        // Unknown call on the undecided side of && with a known-false side.
+        let (out, diags) = run("#if 0 && MYSTERY(3)\nint dead;\n#endif\n");
+        assert!(diags.is_empty(), "{diags:?}");
+        assert!(!has_ident(&out, "dead"));
+
+        // Unknown call alone: warn, assume true.
+        let (out, diags) = run("#if MYSTERY(3)\nint maybe;\n#endif\n");
+        assert!(!diags.is_empty());
+        assert!(has_ident(&out, "maybe"));
+
+        // Arity mismatch of a known macro: warn, assume true.
+        let (out, diags) = run("#define SQ(x) ((x)*(x))\n#if SQ(1, 2)\nint arity;\n#endif\n");
+        assert!(!diags.is_empty(), "arity mismatch must warn");
+        assert!(has_ident(&out, "arity"));
+
+        // Self-recursive macro: warn, assume true — never loop.
+        let (out, diags) = run("#define LOOP(x) LOOP(x)\n#if LOOP(1)\nint rec;\n#endif\n");
+        assert!(!diags.is_empty(), "recursion must warn");
+        assert!(has_ident(&out, "rec"));
     }
 
     #[test]

@@ -191,6 +191,36 @@ pub fn lulesh_multifile_concat() -> String {
     lulesh_multifile().iter().map(|(_, src)| *src).collect()
 }
 
+/// The expert counterpart of [`lulesh_multifile`]: the same mesh and EOS
+/// units (their kernels carry no data directives — the data environment is
+/// established by the driver), with the driver unit replaced by the
+/// hand-mapped `lulesh_mf_main_expert.c` — one target data region whose
+/// dynamic extent covers the kernels in the other files, plus the upstream
+/// port's redundant per-step `target update from` directives.
+///
+/// Returns `(file name, source)` pairs in link order.
+pub fn lulesh_multifile_expert() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "lulesh_mf_mesh.c",
+            include_str!("../assets/lulesh_mf_mesh.c"),
+        ),
+        ("lulesh_mf_eos.c", include_str!("../assets/lulesh_mf_eos.c")),
+        (
+            "lulesh_mf_main_expert.c",
+            include_str!("../assets/lulesh_mf_main_expert.c"),
+        ),
+    ]
+}
+
+/// The single-translation-unit equivalent of [`lulesh_multifile_expert`].
+pub fn lulesh_multifile_expert_concat() -> String {
+    lulesh_multifile_expert()
+        .iter()
+        .map(|(_, src)| *src)
+        .collect()
+}
+
 /// A multi-function incremental-analysis workload (not part of the paper's
 /// nine-benchmark evaluation): five functions around a 1-D advection step,
 /// several of which launch their own offload kernels. The nine paper ports
@@ -413,6 +443,51 @@ mod tests {
         let before = simulate_source(&concat, SimConfig::default()).unwrap();
         let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
         assert_eq!(before.output, after.output);
+    }
+
+    /// The expert counterpart of the multi-file lulesh port: every unit
+    /// parses, the concat parses and carries explicit mappings, and the
+    /// expert program computes exactly what the unoptimized one computes.
+    #[test]
+    fn lulesh_multifile_expert_is_well_formed_and_output_preserving() {
+        use ompdart_sim::{simulate_source, SimConfig};
+
+        let units = lulesh_multifile_expert();
+        assert_eq!(units.len(), 3);
+        for (name, src) in &units {
+            let (file, result) = parse_str(name, src);
+            assert!(
+                result.is_ok(),
+                "{name} failed to parse:\n{}",
+                result.diagnostics.render_all(&file)
+            );
+        }
+        // Only the driver differs from the unoptimized port; the mappings
+        // live entirely in its target data region.
+        let unopt = lulesh_multifile();
+        assert_eq!(units[0].1, unopt[0].1, "mesh unit shared with unoptimized");
+        assert_eq!(units[1].1, unopt[1].1, "eos unit shared with unoptimized");
+        assert_ne!(units[2].1, unopt[2].1);
+
+        let concat = lulesh_multifile_expert_concat();
+        assert!(concat.contains("#pragma omp target data"));
+        assert!(concat.contains("#pragma omp target update from"));
+        let (file, result) = parse_str("lulesh_mf_expert.c", &concat);
+        assert!(
+            result.is_ok(),
+            "expert concat failed to parse:\n{}",
+            result.diagnostics.render_all(&file)
+        );
+
+        let before = simulate_source(&lulesh_multifile_concat(), SimConfig::default()).unwrap();
+        let after = simulate_source(&concat, SimConfig::default()).unwrap();
+        assert_eq!(
+            before.output, after.output,
+            "the expert mapping must preserve program output"
+        );
+        // ...and, being hand-optimized, it must move less data than the
+        // implicit mappings.
+        assert!(after.profile.total_bytes() < before.profile.total_bytes());
     }
 
     /// `one_function_edit` parses, inserts inside the first function, and

@@ -7,7 +7,7 @@
 use crate::benchmarks::{self, Benchmark};
 use ompdart_core::pipeline::StageTimings;
 use ompdart_core::plan::{diff_plans, extract_explicit_plans, plans_to_json, PlanDiff};
-use ompdart_core::{AnalysisSession, MappingPlan, OmpDartOptions};
+use ompdart_core::{AnalysisSession, MappingPlan, OmpDartOptions, ProgramDriver};
 use ompdart_sim::{geometric_mean, simulate, CostModel, Outcome, SimConfig, TransferProfile};
 use std::fmt;
 use std::sync::Arc;
@@ -241,6 +241,86 @@ pub fn run_benchmark_with_session(
     })
 }
 
+/// Run the **multi-file** lulesh benchmark (`lulesh_mf`): the three
+/// `lulesh_mf_*.c` units analyzed as one *linked* program via
+/// [`ProgramDriver`], simulated against the unoptimized and the expert
+/// (`lulesh_mf_main_expert.c`) concatenations. This is the whole-program
+/// row of the Figure 3-6 comparisons — the only one whose OMPDart variant
+/// exercises the cross-unit link stage rather than single-unit analysis.
+pub fn run_multifile_benchmark(
+    config: &ExperimentConfig,
+) -> Result<BenchmarkResult, ExperimentError> {
+    let session = Arc::new(AnalysisSession::with_options(config.tool));
+    run_multifile_benchmark_with_session(config, &session)
+}
+
+/// [`run_multifile_benchmark`] over an existing session (shares its
+/// caches, including the incremental link state).
+pub fn run_multifile_benchmark_with_session(
+    config: &ExperimentConfig,
+    session: &Arc<AnalysisSession>,
+) -> Result<BenchmarkResult, ExperimentError> {
+    let units: Vec<(String, String)> = benchmarks::lulesh_multifile()
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
+    let start = std::time::Instant::now();
+    let program = ProgramDriver::with_session(Arc::clone(session))
+        .analyze_program(&units)
+        .map_err(|e| ExperimentError::Transform(e.to_string()))?;
+    let tool_time = start.elapsed();
+    let transformed_source = program.concatenated_rewrite();
+    let mut stage_timings = StageTimings::default();
+    let mut plans = Vec::new();
+    for unit in &program.units {
+        stage_timings.merge(&unit.timings());
+        plans.extend(unit.plans.plans.iter().cloned());
+    }
+
+    let sim =
+        |name: String, src: &str, variant: &'static str| -> Result<Outcome, ExperimentError> {
+            let parsed = session
+                .parse(&name, src)
+                .map_err(|e| ExperimentError::Simulation {
+                    variant,
+                    message: e.to_string(),
+                })?;
+            let cfg = SimConfig {
+                cost: config.cost,
+                max_ops: config.max_ops,
+                entry: "main".into(),
+            };
+            simulate(&parsed.unit, cfg).map_err(|e| ExperimentError::Simulation {
+                variant,
+                message: e.to_string(),
+            })
+        };
+
+    let unopt_concat = benchmarks::lulesh_multifile_concat();
+    let expert_concat = benchmarks::lulesh_multifile_expert_concat();
+    let unoptimized = sim("lulesh_mf_concat.c".into(), &unopt_concat, "unoptimized")?;
+    let ompdart = sim("lulesh_mf_ompdart.c".into(), &transformed_source, "ompdart")?;
+    let expert = sim("lulesh_mf_expert.c".into(), &expert_concat, "expert")?;
+
+    let expert_plans = session
+        .parse("lulesh_mf_expert.c", &expert_concat)
+        .map(|p| extract_explicit_plans(&p.unit))
+        .map_err(|e| ExperimentError::Transform(format!("expert variant: {e}")))?;
+
+    Ok(BenchmarkResult {
+        name: "lulesh_mf".to_string(),
+        unoptimized: unoptimized.into(),
+        ompdart: ompdart.into(),
+        expert: expert.into(),
+        tool_time,
+        stage_timings,
+        transformed_source,
+        constructs_inserted: program.stats().total_constructs(),
+        plans,
+        expert_plans,
+    })
+}
+
 /// Run every benchmark over one shared analysis session. With
 /// `config.parallel` the nine benchmarks run on scoped worker threads.
 pub fn run_all(config: &ExperimentConfig) -> Vec<BenchmarkResult> {
@@ -439,6 +519,40 @@ mod tests {
         );
         assert!(summary.geomean_speedup_vs_expert >= 0.99);
         assert!(summary.geomean_transfer_improvement_ompdart > 2.0);
+    }
+
+    /// The multi-file lulesh row: the linked OMPDart program preserves the
+    /// output of both the unoptimized and the expert variants, and beats
+    /// the expert's redundant per-step updates — the same headline shape as
+    /// the single-file lulesh row, now through the whole-program link
+    /// stage.
+    #[test]
+    fn multifile_lulesh_row_reproduces_paper_shape() {
+        let config = quick_config();
+        let r = run_multifile_benchmark(&config).unwrap();
+        assert_eq!(r.name, "lulesh_mf");
+        assert!(
+            r.output_matches_expert(),
+            "lulesh_mf: OMPDart output diverges from expert\nompdart: {:?}\nexpert: {:?}\n{}",
+            r.ompdart.output,
+            r.expert.output,
+            r.transformed_source
+        );
+        assert!(r.output_matches_unoptimized());
+        assert!(r.constructs_inserted > 0);
+        assert!(!r.expert_plans.is_empty(), "expert plans must be extracted");
+        assert!(r.ompdart.profile.total_bytes() <= r.unoptimized.profile.total_bytes());
+        // Like single-file lulesh: the expert's per-step updates are
+        // redundant, so OMPDart clearly beats the expert mapping.
+        let vs_expert = r
+            .ompdart
+            .profile
+            .speedup_over(&r.expert.profile, &config.cost);
+        assert!(
+            vs_expert > 1.2,
+            "lulesh_mf: expected a clear win over the expert mapping, got {vs_expert:.2}x"
+        );
+        assert!(r.ompdart.profile.total_bytes() * 2 < r.expert.profile.total_bytes());
     }
 
     #[test]

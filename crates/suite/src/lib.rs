@@ -30,11 +30,12 @@ pub mod report;
 
 pub use benchmarks::{
     all as all_benchmarks, by_name, incremental_demo, lulesh_multifile, lulesh_multifile_concat,
-    one_function_edit, Benchmark, Suite,
+    lulesh_multifile_expert, lulesh_multifile_expert_concat, one_function_edit, Benchmark, Suite,
 };
 pub use complexity::{complexity_of, table4_rows, ComplexityRow};
 pub use experiment::{
-    run_all, run_all_with_session, run_benchmark, run_benchmark_with_session, summarize,
-    BenchmarkResult, ExperimentConfig, Summary, VariantResult,
+    run_all, run_all_with_session, run_benchmark, run_benchmark_with_session,
+    run_multifile_benchmark, run_multifile_benchmark_with_session, summarize, BenchmarkResult,
+    ExperimentConfig, Summary, VariantResult,
 };
 pub use report::{plan_vs_expert, plans_json};

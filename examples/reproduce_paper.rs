@@ -17,7 +17,9 @@
 
 use ompdart_core::plan::explain_plans;
 use ompdart_core::AnalysisSession;
-use ompdart_suite::experiment::{run_all_with_session, ExperimentConfig};
+use ompdart_suite::experiment::{
+    run_all_with_session, run_multifile_benchmark_with_session, ExperimentConfig,
+};
 use ompdart_suite::report;
 use std::sync::Arc;
 
@@ -91,10 +93,20 @@ fn main() {
         return;
     }
 
-    eprintln!("running the nine benchmarks (unoptimized / OMPDart / expert)...");
+    eprintln!(
+        "running the nine benchmarks plus the linked multi-file lulesh port \
+         (unoptimized / OMPDart / expert)..."
+    );
     let config = ExperimentConfig::default();
     let session = Arc::new(AnalysisSession::with_options(config.tool));
-    let results = run_all_with_session(&config, &session);
+    let mut results = run_all_with_session(&config, &session);
+    // The tenth row: the three-file lulesh port, analyzed as one *linked*
+    // program and compared against its hand-mapped expert counterpart.
+    results.push(
+        run_multifile_benchmark_with_session(&config, &session)
+            .unwrap_or_else(|e| panic!("lulesh_mf: {e}")),
+    );
+    let results = results;
 
     if want("--table5") {
         println!("{}", report::table5(&results));

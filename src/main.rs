@@ -40,10 +40,11 @@ ompdart — static generation of efficient OpenMP offload data mappings
 
 USAGE:
     ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
-    ompdart analyze <a.c> <b.c>... [--out-dir <dir>] [--timings]
+                    [--pessimistic-globals]
+    ompdart analyze <a.c> <b.c>... [--out-dir <dir>] [--timings] [--pessimistic-globals]
     ompdart explain <input.c>
     ompdart diff-plan <left> <right>
-    ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>]
+    ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>] [--pessimistic-globals]
     ompdart watch <dir> [--out-dir <dir>] [--cache-dir <dir>] [--interval-ms <N>]
                   [--iterations <N>] [--once]
     ompdart serve [--out-dir <dir>] [--cache-dir <dir>]
@@ -59,6 +60,9 @@ SUBCOMMANDS:
                links them as ONE whole program (cross-unit summaries,
                program-level liveness) and writes each unit's
                `<stem>.mapped.c` (next to the input, or into --out-dir).
+               --pessimistic-globals opts into assuming unknown extern
+               callees clobber every global (default: they only touch
+               their non-const pointer arguments).
     explain    Print one justified line per mapping construct: the
                OpenMP syntax, the dataflow fact that forced it, the
                deciding pipeline stage and source location.
@@ -149,6 +153,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut plan_json: Option<&str> = None;
     let mut timings = false;
     let mut simulate = false;
+    let mut pessimistic_globals = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -166,6 +171,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             }
             "--timings" => timings = true,
             "--simulate" => simulate = true,
+            "--pessimistic-globals" => pessimistic_globals = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => inputs.push(path),
         }
@@ -179,7 +185,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
                     .into(),
             );
         }
-        return cmd_analyze_program(&inputs, out_dir, timings);
+        return cmd_analyze_program(&inputs, out_dir, timings, pessimistic_globals);
     }
     if out_dir.is_some() {
         return Err("`--out-dir` applies to multi-input analyze; use `-o <out.c>`".into());
@@ -193,7 +199,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
         );
     }
 
-    let tool = Ompdart::builder().build();
+    let tool = Ompdart::builder()
+        .pessimistic_globals(pessimistic_globals)
+        .build();
     let analysis = analyze_file(&tool, input)?;
 
     let stats = analysis.stats();
@@ -290,6 +298,7 @@ fn cmd_analyze_program(
     inputs: &[&str],
     out_dir: Option<&str>,
     timings: bool,
+    pessimistic_globals: bool,
 ) -> Result<ExitCode, String> {
     let pairs: Vec<(String, String)> = inputs
         .iter()
@@ -298,7 +307,9 @@ fn cmd_analyze_program(
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
     }
-    let tool = Ompdart::builder().build();
+    let tool = Ompdart::builder()
+        .pessimistic_globals(pessimistic_globals)
+        .build();
     let start = Instant::now();
     let program = tool
         .analyze_program(&pairs)
@@ -512,9 +523,11 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     let mut inputs: Vec<&str> = Vec::new();
     let mut threads: Option<usize> = None;
     let mut out_dir: Option<&str> = None;
+    let mut pessimistic_globals = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--pessimistic-globals" => pessimistic_globals = true,
             "--threads" => {
                 let value = it
                     .next()
@@ -533,7 +546,7 @@ fn cmd_batch(args: &[String]) -> Result<ExitCode, String> {
     if inputs.is_empty() {
         return Err("`batch` expects at least one input file".into());
     }
-    let mut builder = Ompdart::builder();
+    let mut builder = Ompdart::builder().pessimistic_globals(pessimistic_globals);
     if let Some(threads) = threads {
         builder = builder.parallelism(threads);
     }
@@ -703,12 +716,13 @@ struct SessionFlags {
     out_dir: Option<String>,
     cache_dir: Option<String>,
     cache_max_bytes: Option<u64>,
+    pessimistic_globals: bool,
 }
 
 impl SessionFlags {
     /// Build the long-lived tool these commands share.
     fn tool(&self) -> Ompdart {
-        let mut builder = Ompdart::builder();
+        let mut builder = Ompdart::builder().pessimistic_globals(self.pessimistic_globals);
         if let Some(dir) = &self.cache_dir {
             builder = builder.cache_dir(dir);
         }
@@ -725,6 +739,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         out_dir: None,
         cache_dir: None,
         cache_max_bytes: None,
+        pessimistic_globals: false,
     };
     let mut interval_ms: u64 = 500;
     let mut iterations: Option<u64> = None;
@@ -767,6 +782,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             "--once" => once = true,
+            "--pessimistic-globals" => flags.pessimistic_globals = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path if dir.is_none() => dir = Some(path),
             extra => return Err(format!("unexpected argument `{extra}`")),
@@ -828,8 +844,17 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     }
     let stats = tool.session().cache_stats();
     println!(
-        "[watch] done after {cycles} scan(s): function plans {} reused / {} replanned, store {} hit(s)",
-        stats.function_plan_hits, stats.function_plan_misses, stats.store_hits
+        "[watch] done after {cycles} scan(s): function plans {} reused / {} replanned, \
+         accesses {} reused / {} recollected, summaries {} reused / {} recomputed, \
+         relink re-seeded {} function(s), store {} hit(s)",
+        stats.function_plan_hits,
+        stats.function_plan_misses,
+        stats.function_access_hits,
+        stats.function_access_misses,
+        stats.function_summary_hits,
+        stats.function_summary_misses,
+        stats.relink_reseeded_functions,
+        stats.store_hits
     );
     Ok(ExitCode::SUCCESS)
 }
@@ -917,10 +942,12 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         out_dir: None,
         cache_dir: None,
         cache_max_bytes: None,
+        pessimistic_globals: false,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--pessimistic-globals" => flags.pessimistic_globals = true,
             "--out-dir" => {
                 flags.out_dir = Some(
                     it.next()
@@ -977,11 +1004,18 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
             Some("stats") => {
                 let stats = tool.session().cache_stats();
                 println!(
-                    "[serve] stats: analyses {} hit / {} miss, function plans {} reused / {} replanned, store {} hit / {} miss",
+                    "[serve] stats: analyses {} hit / {} miss, function plans {} reused / {} replanned, \
+                     accesses {} reused / {} recollected, summaries {} reused / {} recomputed, \
+                     relink re-seeded {} function(s), store {} hit / {} miss",
                     stats.analysis_hits,
                     stats.analysis_misses,
                     stats.function_plan_hits,
                     stats.function_plan_misses,
+                    stats.function_access_hits,
+                    stats.function_access_misses,
+                    stats.function_summary_hits,
+                    stats.function_summary_misses,
+                    stats.relink_reseeded_functions,
                     stats.store_hits,
                     stats.store_misses
                 );

@@ -139,6 +139,81 @@ fn persistent_store_reproduces_corpus_across_restart() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Every stage after parsing is function-granular: a one-function edit
+/// re-collects accesses, re-seeds the local summary, and re-plans for the
+/// edited function only — on every corpus unit — while the relocated
+/// artifacts keep the result byte-identical to a cold run (pinned by the
+/// golden test above).
+#[test]
+fn one_function_edit_misses_one_access_and_one_summary_on_all_benchmarks() {
+    for (name, source) in corpus() {
+        let session = AnalysisSession::new();
+        session.analyze(&name, &source).unwrap();
+
+        let (edited, edited_func) = one_function_edit(&name, &source)
+            .unwrap_or_else(|| panic!("{name}: no editable function"));
+        let before = session.cache_stats();
+        let incremental = session.analyze(&name, &edited).unwrap();
+        let after = session.cache_stats();
+
+        let functions = incremental.parsed.unit.functions().count() as u64;
+        let access_hits = after.function_access_hits - before.function_access_hits;
+        let access_misses = after.function_access_misses - before.function_access_misses;
+        let summary_hits = after.function_summary_hits - before.function_summary_hits;
+        let summary_misses = after.function_summary_misses - before.function_summary_misses;
+        assert_eq!(
+            access_misses, 1,
+            "{name}: only `{edited_func}` may re-collect accesses"
+        );
+        assert_eq!(access_hits, functions - 1, "{name}");
+        assert_eq!(
+            summary_misses, 1,
+            "{name}: only `{edited_func}` may re-seed its summary"
+        );
+        assert_eq!(summary_hits, functions - 1, "{name}");
+    }
+}
+
+/// The store key is the *content*, not the `(name, source)` pair: a
+/// renamed file (same bytes, new name) starts warm from the entry its old
+/// name wrote, rewriting byte-identically without planning a single
+/// function — and its parse-side artifacts (diagnostics, source handle)
+/// carry the *new* name, because they are rebuilt from the fresh parse
+/// rather than persisted.
+#[test]
+fn renamed_file_starts_warm_from_the_content_addressed_store() {
+    let dir = std::env::temp_dir().join(format!("ompdart-store-rename-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let demo = incremental_demo();
+
+    let first = Ompdart::builder().cache_dir(&dir).build();
+    let cold = first.analyze("original_name.c", demo).unwrap();
+
+    // "Rename": a fresh process analyzes the same bytes under a new name.
+    let second = Ompdart::builder().cache_dir(&dir).build();
+    let warm = second.analyze("renamed_copy.c", demo).unwrap();
+    let stats = second.session().cache_stats();
+    assert_eq!(
+        stats.store_hits, 1,
+        "the rename must hit the store: {stats:?}"
+    );
+    assert_eq!(stats.function_plan_misses, 0, "{stats:?}");
+    assert_eq!(warm.rewritten_source(), cold.rewritten_source());
+    assert_eq!(warm.plans(), cold.plans());
+    assert_eq!(warm.source_file().name(), "renamed_copy.c");
+
+    // The warm start seeded the function-plan cache, so the first edit
+    // under the *new* name is already incremental.
+    let (edited, _) = one_function_edit("renamed_copy.c", demo).unwrap();
+    second.analyze("renamed_copy.c", &edited).unwrap();
+    let stats = second.session().cache_stats();
+    assert_eq!(
+        stats.function_plan_misses, 1,
+        "the renamed file's first edit must re-plan one function: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The persistent store and the in-memory caches compose: within one
 /// session the unit cache wins, across sessions the store wins, and an
 /// edit falls back to incremental planning.

@@ -17,6 +17,20 @@ use ompdart_core::{
 use ompdart_suite::{lulesh_multifile, lulesh_multifile_concat};
 use std::sync::Arc;
 
+/// Counter deltas between two cache-stats snapshots, for the stage-miss
+/// assertions below.
+fn delta(
+    before: ompdart_core::CacheStats,
+    after: ompdart_core::CacheStats,
+) -> (u64, u64, u64, u64) {
+    (
+        after.function_access_misses - before.function_access_misses,
+        after.function_summary_misses - before.function_summary_misses,
+        after.function_plan_misses - before.function_plan_misses,
+        after.relink_reseeded_functions - before.relink_reseeded_functions,
+    )
+}
+
 const HEADER: &str = "\
 #ifndef SHARED_H
 #define SHARED_H
@@ -270,6 +284,330 @@ fn interface_change_replans_dependents_in_other_units() {
 
     let cold = ProgramDriver::new().analyze_program(&edited).unwrap();
     assert_eq!(program.concatenated_rewrite(), cold.concatenated_rewrite());
+}
+
+/// The function-granular incremental core, end to end on a three-unit
+/// program: a one-function edit re-runs access collection, local
+/// summarization, and planning for **exactly one function**, the
+/// incremental relink re-seeds only that function's call-graph cone (here:
+/// just `main`, which nobody calls), and the result is byte-identical to a
+/// cold link of the edited program.
+#[test]
+fn one_function_edit_misses_one_access_one_summary_one_plan_and_reseeds_its_cone() {
+    let inputs = owned(&lulesh_multifile());
+    let session = Arc::new(AnalysisSession::new());
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    driver.analyze_program(&inputs).expect("cold link failed");
+
+    // A *summary-changing* edit inside `main` (unit 2): the host write of
+    // `work` is new in main's local summary, so the relink must re-derive
+    // main — and only main, since no function calls it.
+    let mut edited = inputs.clone();
+    edited[2].1 = edited[2].1.replacen(
+        "double esum = 0.0;",
+        "double esum = 0.0;\n  work[0] = work[0];",
+        1,
+    );
+    assert_ne!(edited[2].1, inputs[2].1);
+
+    let before = session.cache_stats();
+    let program = driver.analyze_program(&edited).expect("warm link failed");
+    let after = session.cache_stats();
+    let (access_misses, summary_misses, plan_misses, reseeded) = delta(before, after);
+    assert_eq!(access_misses, 1, "only the edited function re-collects");
+    assert_eq!(summary_misses, 1, "only the edited function re-summarizes");
+    assert_eq!(plan_misses, 1, "only the edited function re-plans");
+    assert_eq!(
+        reseeded, 1,
+        "the relink must re-seed exactly main's call-graph cone (main alone)"
+    );
+
+    let cold = ProgramDriver::new().analyze_program(&edited).unwrap();
+    assert_eq!(
+        program.concatenated_rewrite(),
+        cold.concatenated_rewrite(),
+        "incremental relink must be byte-identical to a cold link"
+    );
+    assert_eq!(program.link_passes, cold.link_passes);
+
+    // An interface-preserving comment edit changes no local summary value:
+    // the relink re-seeds *nothing* (the summary artifact still re-runs
+    // for the edited function — one miss — but its value is unchanged).
+    let mut commented = edited.clone();
+    commented[1].1 = commented[1].1.replacen(
+        "e[i] += (p[i] + q[i])",
+        "/* tweak */ e[i] += (p[i] + q[i])",
+        1,
+    );
+    let before = session.cache_stats();
+    let program = driver.analyze_program(&commented).expect("relink failed");
+    let after = session.cache_stats();
+    let (access_misses, summary_misses, plan_misses, reseeded) = delta(before, after);
+    assert_eq!(access_misses, 1);
+    assert_eq!(summary_misses, 1);
+    assert_eq!(plan_misses, 1);
+    assert_eq!(
+        reseeded, 0,
+        "a value-preserving edit must not re-seed the fixed point"
+    );
+    let cold = ProgramDriver::new().analyze_program(&commented).unwrap();
+    assert_eq!(program.concatenated_rewrite(), cold.concatenated_rewrite());
+
+    // An unchanged relink re-seeds nothing and misses nothing.
+    let before = session.cache_stats();
+    driver.analyze_program(&commented).expect("relink failed");
+    let after = session.cache_stats();
+    assert_eq!(delta(before, after), (0, 0, 0, 0));
+}
+
+/// An edit that changes a *callee's* summary re-seeds the callee plus its
+/// transitive callers — the reverse call-graph cone — and nothing else.
+#[test]
+fn relink_reseeds_the_reverse_call_graph_cone() {
+    let inputs = owned(&lulesh_multifile());
+    let session = Arc::new(AnalysisSession::new());
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    driver.analyze_program(&inputs).expect("cold link failed");
+
+    // `update_eos` (EOS unit) gains a host write of `e`: its summary
+    // changes, and `main` (driver unit) calls it. Cone = {update_eos, main}.
+    let mut edited = inputs.clone();
+    edited[1].1 = edited[1].1.replacen(
+        "void update_eos() {",
+        "void update_eos() {\n  e[0] = e[0];",
+        1,
+    );
+    assert_ne!(edited[1].1, inputs[1].1);
+
+    let before = session.cache_stats();
+    let program = driver.analyze_program(&edited).expect("warm link failed");
+    let after = session.cache_stats();
+    assert_eq!(
+        after.relink_reseeded_functions - before.relink_reseeded_functions,
+        2,
+        "exactly update_eos and its caller main must be re-seeded"
+    );
+    let cold = ProgramDriver::new().analyze_program(&edited).unwrap();
+    assert_eq!(program.concatenated_rewrite(), cold.concatenated_rewrite());
+}
+
+/// Cross-unit `static` functions link as unit-private symbols: two units
+/// defining a same-named static are no longer rejected as duplicates, each
+/// unit's calls resolve to its own static, and the two statics keep
+/// independent summaries (one writes its argument, the other only reads
+/// it) with zero pessimistic fallbacks.
+#[test]
+fn same_named_statics_link_as_unit_private_symbols() {
+    let header = "\
+#ifndef S_H
+#define S_H
+#define N 32
+extern double abuf[N];
+extern double bbuf[N];
+void run_a();
+void run_b();
+#endif
+";
+    let unit_a = format!(
+        "{header}double abuf[N];
+static void helper(double *p, int n) {{
+  for (int i = 0; i < n; i++) p[i] = 0.5;
+}}
+void run_a() {{
+  for (int it = 0; it < 3; it++) {{
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) abuf[i] += 1.0;
+    helper(abuf, N);
+  }}
+}}
+"
+    );
+    let unit_b = format!(
+        "{header}double bbuf[N];
+double bsum;
+static void helper(double *p, int n) {{
+  for (int i = 0; i < n; i++) bsum = bsum + p[i];
+}}
+void run_b() {{
+  for (int it = 0; it < 3; it++) {{
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) bbuf[i] += 2.0;
+    helper(bbuf, N);
+  }}
+}}
+"
+    );
+    let inputs = vec![("sa.c".to_string(), unit_a), ("sb.c".to_string(), unit_b)];
+
+    let driver = ProgramDriver::new();
+    let program = driver.link(&inputs).expect("statics must link");
+
+    // Independent summaries under unit-private symbols.
+    let a = program
+        .linked
+        .summaries
+        .summary("helper@sa.c")
+        .expect("sa.c's static must be summarized");
+    assert!(a.param_effects[0].host_write, "sa.c's helper writes");
+    assert!(!a.param_effects[0].host_read, "sa.c's helper never reads");
+    let b = program
+        .linked
+        .summaries
+        .summary("helper@sb.c")
+        .expect("sb.c's static must be summarized");
+    assert!(b.param_effects[0].host_read, "sb.c's helper reads");
+    assert!(!b.param_effects[0].host_write, "sb.c's helper never writes");
+    assert!(
+        program.linked.summaries.summary("helper").is_none(),
+        "no unit may export a plain `helper` symbol"
+    );
+
+    // Each unit's calls resolved to its own static: no pessimistic
+    // fallbacks anywhere, and the full analysis goes through cleanly.
+    let analysis = driver.analyze_program(&inputs).expect("analyze failed");
+    assert_eq!(analysis.stats().unknown_callee_fallbacks, 0);
+    let a_rewrite = &analysis.units[0].rewrite.source;
+    let b_rewrite = &analysis.units[1].rewrite.source;
+    assert!(a_rewrite.contains("#pragma omp target data"));
+    assert!(b_rewrite.contains("#pragma omp target data"));
+    // The read-only helper forces a copy-out before the host read; the
+    // write-only helper instead needs the device refreshed afterwards.
+    assert!(
+        b_rewrite.contains("target update from(bbuf"),
+        "sb.c's host read requires an update from:\n{b_rewrite}"
+    );
+    assert!(
+        a_rewrite.contains("target update to(abuf"),
+        "sa.c's host write requires an update to:\n{a_rewrite}"
+    );
+
+    // Non-static duplicates are still rejected (satellite does not weaken
+    // the duplicate-definition check).
+    let clash = vec![
+        ("x.c".to_string(), "void f() { }\n".to_string()),
+        ("y.c".to_string(), "void f() { }\n".to_string()),
+    ];
+    assert!(matches!(
+        ProgramDriver::new().analyze_program(&clash),
+        Err(ProgramError::DuplicateFunction { .. })
+    ));
+}
+
+/// The opt-in pessimistic-globals mode: an unknown extern callee is
+/// assumed to clobber every global, which forces re-synchronization
+/// around the call — explained with the `unknown_callee_pessimistic`
+/// provenance at the call site. The default mode keeps the documented
+/// arguments-only assumption.
+#[test]
+fn pessimistic_globals_mode_clobbers_globals_at_unknown_calls() {
+    let src = "\
+#define N 16
+double data[N];
+void external_touch(int step);
+int main() {
+  for (int it = 0; it < 3; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) data[i] += 1.0;
+    external_touch(it);
+  }
+  printf(\"%f\\n\", data[1]);
+  return 0;
+}
+";
+    // Default: the unknown callee takes no pointer, so it is assumed to
+    // touch nothing — the mapping stays hoisted with no per-step updates.
+    let default_tool = Ompdart::builder().build();
+    let default_analysis = default_tool.analyze("pg.c", src).unwrap();
+    assert_eq!(default_analysis.stats().unknown_callee_fallbacks, 0);
+    assert!(
+        !default_analysis
+            .rewritten_source()
+            .contains("target update"),
+        "default mode must not re-synchronize:\n{}",
+        default_analysis.rewritten_source()
+    );
+
+    // Opt-in: the callee clobbers `data` on the host every iteration.
+    let tool = Ompdart::builder().pessimistic_globals(true).build();
+    let analysis = tool.analyze("pg.c", src).unwrap();
+    assert!(analysis.stats().unknown_callee_fallbacks > 0);
+    assert!(
+        analysis.rewritten_source().contains("target update"),
+        "clobbered globals must be re-synchronized around the call:\n{}",
+        analysis.rewritten_source()
+    );
+    let pessimistic: Vec<_> = analysis
+        .plans()
+        .iter()
+        .flat_map(|p| p.provenances())
+        .filter(|p| p.fact == ProvenanceFact::UnknownCalleePessimistic)
+        .collect();
+    assert!(
+        !pessimistic.is_empty(),
+        "the clobber must be explained:\n{}",
+        analysis.explain()
+    );
+    assert!(
+        pessimistic
+            .iter()
+            .any(|p| p.detail.contains("pessimistic-globals")
+                && p.detail.contains("`external_touch`")),
+        "the provenance must cite the mode and the callee"
+    );
+    // The span anchors at the call site.
+    let cited = pessimistic.iter().any(|p| {
+        p.span
+            .is_some_and(|s| analysis.source_file().snippet(s).contains("external_touch"))
+    });
+    assert!(cited, "the provenance span must point at the call site");
+}
+
+/// The clobber is *transitive*: a helper that calls an unknown extern
+/// carries the global clobber in its own interprocedural summary, so a
+/// caller of the helper re-synchronizes around the helper call even though
+/// the extern call site is a level of indirection away.
+#[test]
+fn pessimistic_globals_mode_is_transitive_through_summaries() {
+    let src = "\
+#define N 16
+double data[N];
+void external_touch(int step);
+void helper(int step) {
+  external_touch(step);
+}
+int main() {
+  for (int it = 0; it < 3; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) data[i] += 1.0;
+    helper(it);
+  }
+  printf(\"%f\\n\", data[1]);
+  return 0;
+}
+";
+    let default_tool = Ompdart::builder().build();
+    let default_analysis = default_tool.analyze("pgt.c", src).unwrap();
+    assert!(
+        !default_analysis
+            .rewritten_source()
+            .contains("target update"),
+        "default mode must not re-synchronize:\n{}",
+        default_analysis.rewritten_source()
+    );
+
+    let tool = Ompdart::builder().pessimistic_globals(true).build();
+    let analysis = tool.analyze("pgt.c", src).unwrap();
+    assert!(
+        analysis.rewritten_source().contains("target update"),
+        "the clobber must reach main through helper's summary:\n{}",
+        analysis.rewritten_source()
+    );
+    // The summary-level clobber also survives the simulator: the
+    // transformed program still computes what the original computes.
+    use ompdart_sim::{simulate_source, SimConfig};
+    let before = simulate_source(src, SimConfig::default()).unwrap();
+    let after = simulate_source(analysis.rewritten_source(), SimConfig::default()).unwrap();
+    assert_eq!(before.output, after.output);
 }
 
 /// Unknown extern callees produce a dedicated provenance fact anchored at
