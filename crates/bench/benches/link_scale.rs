@@ -1,0 +1,160 @@
+//! Link-stage scaling on the seeded synthetic corpus
+//! (`ompdart_suite::corpus`, default 1000 translation units — override
+//! with `LINK_SCALE_UNITS` for smoke runs):
+//!
+//! * **engine isolation** — the merged interprocedural fixed point alone,
+//!   sequential reference sweep vs the SCC-wavefront engine on the
+//!   resolved worker count, with a byte-identity assert between the two;
+//! * **driver trajectory** — cold `analyze_program`, warm relink of the
+//!   unchanged corpus, and a semantic one-function edit in the middle of
+//!   the call chain, asserting `relink_reseeded_functions` stays inside
+//!   the edit's dirty cone (the edited stage plus its transitive
+//!   callers);
+//! * **quality** — `linked_fallbacks == 0`: every cross-unit call in the
+//!   corpus resolves.
+//!
+//! Prints a greppable `link_scale:` summary line and writes the same
+//! numbers to `BENCH_link_scale.json` at the repo root, the perf
+//! trajectory the CI `link-scale` job snapshots.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_core::{AnalysisSession, OmpDartOptions, Program, ProgramDriver};
+use ompdart_suite::corpus;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn corpus_units() -> usize {
+    std::env::var("LINK_SCALE_UNITS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000)
+}
+
+fn options_for(units: usize) -> OmpDartOptions {
+    // The sequential reference engine needs one pass per link of the
+    // corpus's depth-N call chain; the wavefront engine does not, but
+    // both run under the same budget so the comparison is fair.
+    OmpDartOptions {
+        max_interproc_passes: units + 8,
+        ..OmpDartOptions::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let n = corpus_units();
+    let inputs = corpus::generate(n, 42);
+    let options = options_for(n);
+    let threads = options.effective_link_threads();
+
+    // --- Engine isolation: summarize once, converge twice. -------------
+    let session = Arc::new(AnalysisSession::with_options(options));
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    let t = Instant::now();
+    let program = driver.link(&inputs).unwrap();
+    let cold_link_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Best of three for each engine: the first call pays one-off costs
+    // (allocator warmup, thread spawn) that are not the fixed point.
+    let mut sequential_ms = f64::INFINITY;
+    let mut sequential = Program::propagate_merged_sequential(&program.units, &options);
+    for _ in 0..3 {
+        let t = Instant::now();
+        sequential = Program::propagate_merged_sequential(&program.units, &options);
+        sequential_ms = sequential_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    let mut parallel_ms = f64::INFINITY;
+    let mut parallel = Program::propagate_merged(&program.units, &options, threads);
+    for _ in 0..3 {
+        let t = Instant::now();
+        parallel = Program::propagate_merged(&program.units, &options, threads);
+        parallel_ms = parallel_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert!(
+        parallel.same_summaries(&sequential),
+        "SCC-parallel fixed point must be byte-identical to the sequential sweep"
+    );
+    let speedup = sequential_ms / parallel_ms.max(1e-9);
+
+    // --- Driver trajectory: cold, warm, one-function edit. -------------
+    let session = Arc::new(AnalysisSession::with_options(options));
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    let t = Instant::now();
+    let cold = driver.analyze_program(&inputs).unwrap();
+    let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let linked_fallbacks = cold.stats().unknown_callee_fallbacks;
+
+    let t = Instant::now();
+    driver.analyze_program(&inputs).unwrap();
+    let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // A semantic edit in the middle of the chain: its dirty cone is the
+    // edited stage plus every transitive caller (stage_1..stage_k and
+    // main) — k + 1 functions.
+    let edit_at = (n / 2).max(1).min(n - 1);
+    let mut edited = inputs.clone();
+    let edited_fn = corpus::edit_one_function(&mut edited, edit_at);
+    let before = session.cache_stats();
+    let t = Instant::now();
+    driver.analyze_program(&edited).unwrap();
+    let edit_ms = t.elapsed().as_secs_f64() * 1e3;
+    let after = session.cache_stats();
+    let reseeded = after.relink_reseeded_functions - before.relink_reseeded_functions;
+    let cone_bound = (edit_at + 1) as u64;
+
+    eprintln!(
+        "link_scale: units={n} threads={threads} engine_seq={sequential_ms:.3}ms \
+         engine_par={parallel_ms:.3}ms speedup={speedup:.2}x identical=true \
+         cold_link={cold_link_ms:.3}ms cold={cold_ms:.3}ms warm_relink={warm_ms:.3}ms \
+         one_edit={edit_ms:.3}ms edited_fn={edited_fn} \
+         relink_reseeded={reseeded} cone_bound={cone_bound} \
+         linked_fallbacks={linked_fallbacks}"
+    );
+
+    assert_eq!(
+        linked_fallbacks, 0,
+        "every cross-unit call in the corpus must resolve"
+    );
+    assert!(
+        reseeded >= 1,
+        "a semantic edit must re-seed at least the edited function"
+    );
+    assert!(
+        reseeded <= cone_bound,
+        "re-seeding must stay inside the dirty cone: {reseeded} > {cone_bound}"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"link_scale\",\n  \"units\": {n},\n  \"threads\": {threads},\n  \
+         \"engine\": {{\n    \"sequential_ms\": {sequential_ms:.3},\n    \
+         \"parallel_ms\": {parallel_ms:.3},\n    \"speedup\": {speedup:.2},\n    \
+         \"identical\": true\n  }},\n  \"driver\": {{\n    \
+         \"cold_link_ms\": {cold_link_ms:.3},\n    \"cold_analyze_ms\": {cold_ms:.3},\n    \
+         \"warm_relink_ms\": {warm_ms:.3},\n    \"one_edit_ms\": {edit_ms:.3},\n    \
+         \"relink_reseeded_functions\": {reseeded},\n    \
+         \"dirty_cone_bound\": {cone_bound},\n    \
+         \"linked_fallbacks\": {linked_fallbacks}\n  }}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_link_scale.json");
+    std::fs::write(path, json).expect("write BENCH_link_scale.json");
+
+    // Criterion samples of the isolated engines, for trend tracking.
+    c.bench_function("link_scale/propagate_parallel", |b| {
+        b.iter(|| black_box(Program::propagate_merged(&program.units, &options, threads)))
+    });
+    c.bench_function("link_scale/propagate_sequential", |b| {
+        b.iter(|| {
+            black_box(Program::propagate_merged_sequential(
+                &program.units,
+                &options,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

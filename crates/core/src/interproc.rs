@@ -13,7 +13,7 @@
 
 use crate::access::{Access, AccessKind, AccessOrigin, CallSite, FunctionAccesses, SymbolTable};
 use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The effect of a function on one externally visible datum.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -93,14 +93,16 @@ impl Effect {
 }
 
 /// Summary of one function's externally visible effects.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FunctionSummary {
     pub name: String,
     /// Effect on the data reached through each pointer/array parameter,
     /// indexed by parameter position.
     pub param_effects: Vec<Effect>,
-    /// Effect on each global variable.
-    pub global_effects: HashMap<String, Effect>,
+    /// Effect on each global variable. A `BTreeMap` so every iteration over
+    /// the summary — fingerprinting, call-site propagation, augmentation —
+    /// is deterministic regardless of insertion order or thread scheduling.
+    pub global_effects: BTreeMap<String, Effect>,
     /// True if the function (transitively) launches offload kernels.
     pub has_kernels: bool,
 }
@@ -169,7 +171,7 @@ pub fn seed_summary(
     let mut summary = FunctionSummary {
         name: func.name.clone(),
         param_effects: vec![Effect::default(); func.params.len()],
-        global_effects: HashMap::new(),
+        global_effects: BTreeMap::new(),
         has_kernels: acc.accesses.iter().any(|a| a.on_device)
             || acc.calls.iter().any(|c| c.on_device),
     };
@@ -262,10 +264,9 @@ impl ProgramSummaries {
     }
 
     /// Run the call-site propagation to a fixed point over pre-computed
-    /// per-function seeds. This is the exact loop [`Self::compute`] has
-    /// always run — extracted so the per-function seeds can come from a
-    /// cache and so the link stage can feed it nodes spanning several
-    /// translation units.
+    /// per-function seeds — extracted from [`Self::compute`] so the
+    /// per-function seeds can come from a cache and so the link stage can
+    /// feed it nodes spanning several translation units.
     pub fn propagate(
         nodes: &[PropagationNode<'_>],
         seeds: &HashMap<String, FunctionSummary>,
@@ -281,6 +282,53 @@ impl ProgramSummaries {
     /// transitive — callers of a function that calls an unknown extern see
     /// the globals clobbered too, not just the direct call site.
     pub fn propagate_opts(
+        nodes: &[PropagationNode<'_>],
+        seeds: &HashMap<String, FunctionSummary>,
+        max_passes: usize,
+        clobber_globals: bool,
+    ) -> ProgramSummaries {
+        ProgramSummaries::propagate_parallel(nodes, seeds, max_passes, clobber_globals, 1)
+    }
+
+    /// The SCC-wavefront fixed point with up to `threads` workers.
+    ///
+    /// The call graph is condensed into strongly connected components
+    /// ([`crate::scc::condense`]); components within one wavefront share no
+    /// edges and converge in parallel, and only genuinely recursive
+    /// components iterate internally (an acyclic component converges in a
+    /// single visit once its callees are final, because its summary is a
+    /// fixed union of already-converged values). Effects form a finite
+    /// monotone lattice, so the least fixed point is unique: the result is
+    /// bitwise identical for every `threads` value and identical to
+    /// [`Self::propagate_sequential`] whenever the sequential sweep is
+    /// given enough passes to converge.
+    ///
+    /// `max_passes` bounds only the *inner* iteration of recursive
+    /// components (bounded by the component's size in practice); acyclic
+    /// components never consume more than one pass regardless, which is
+    /// what makes thousand-deep cross-unit call chains converge in one
+    /// wavefront sweep instead of a thousand whole-program passes.
+    pub fn propagate_parallel(
+        nodes: &[PropagationNode<'_>],
+        seeds: &HashMap<String, FunctionSummary>,
+        max_passes: usize,
+        clobber_globals: bool,
+        threads: usize,
+    ) -> ProgramSummaries {
+        let mut result = ProgramSummaries {
+            functions: seeds.clone(),
+            passes: 0,
+        };
+        result.run_wavefronts(nodes, max_passes, None, clobber_globals, threads);
+        result
+    }
+
+    /// The pre-condensation engine: a whole-program `while changed` sweep,
+    /// kept as the executable reference the SCC-wavefront engine is pinned
+    /// against (parity tests, the `link_scale` bench). Unlike
+    /// [`Self::propagate_parallel`], convergence on a call chain of depth
+    /// `d` needs `max_passes >= d` here.
+    pub fn propagate_sequential(
         nodes: &[PropagationNode<'_>],
         seeds: &HashMap<String, FunctionSummary>,
         max_passes: usize,
@@ -313,6 +361,33 @@ impl ProgramSummaries {
         dirty: &BTreeSet<String>,
         max_passes: usize,
         clobber_globals: bool,
+    ) -> (ProgramSummaries, BTreeSet<String>) {
+        ProgramSummaries::propagate_incremental_parallel(
+            nodes,
+            seeds,
+            previous,
+            dirty,
+            max_passes,
+            clobber_globals,
+            1,
+        )
+    }
+
+    /// [`Self::propagate_incremental`] with up to `threads` workers for the
+    /// cone's wavefront sweep. The dirty cone is closed under "calls into
+    /// the cone", and every strongly connected component is a set of mutual
+    /// transitive callers — so the cone always covers whole components and
+    /// the wavefront engine re-converges exactly the cone, reading stable
+    /// out-of-cone summaries.
+    #[allow(clippy::too_many_arguments)]
+    pub fn propagate_incremental_parallel(
+        nodes: &[PropagationNode<'_>],
+        seeds: &HashMap<String, FunctionSummary>,
+        previous: &ProgramSummaries,
+        dirty: &BTreeSet<String>,
+        max_passes: usize,
+        clobber_globals: bool,
+        threads: usize,
     ) -> (ProgramSummaries, BTreeSet<String>) {
         // Reverse call-graph closure of the dirty set: summaries flow from
         // callee to caller, so only transitive callers of a dirty function
@@ -361,14 +436,91 @@ impl ProgramSummaries {
             passes: 0,
         };
         if !cone.is_empty() {
-            result.run_passes(nodes, max_passes, Some(&cone), clobber_globals);
+            result.run_wavefronts(nodes, max_passes, Some(&cone), clobber_globals, threads);
         }
         (result, cone)
     }
 
-    /// The propagation pass loop shared by the cold and incremental fixed
+    /// The SCC-wavefront engine shared by the cold and incremental fixed
     /// points. With `only` set, updates are restricted to that set of
     /// functions (reads still see every summary).
+    ///
+    /// Wavefront levels are processed in ascending order; within one level
+    /// the components share no edges, so up to `threads` workers converge
+    /// them concurrently against an immutable snapshot of the summaries and
+    /// their (disjoint) results are merged back between levels. `passes`
+    /// reports the deepest inner iteration any single component needed —
+    /// the wavefront analogue of the old whole-program pass count.
+    fn run_wavefronts(
+        &mut self,
+        nodes: &[PropagationNode<'_>],
+        max_passes: usize,
+        only: Option<&BTreeSet<String>>,
+        clobber_globals: bool,
+        threads: usize,
+    ) {
+        let index: HashMap<&str, usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.name.as_str(), i))
+            .collect();
+        let adj: Vec<Vec<usize>> = nodes
+            .iter()
+            .map(|node| {
+                node.calls
+                    .iter()
+                    .filter_map(|call| index.get(call.callee.as_str()).copied())
+                    .collect()
+            })
+            .collect();
+        let cond = crate::scc::condense(&adj);
+
+        let mut deepest = 0usize;
+        for wavefront in &cond.wavefronts {
+            // The incremental cone covers whole components (see
+            // `propagate_incremental_parallel`), so a component is either
+            // entirely in the cone or entirely stable.
+            let work: Vec<usize> = wavefront
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    only.is_none_or(|set| {
+                        cond.members[c]
+                            .iter()
+                            .any(|&v| set.contains(&nodes[v].name))
+                    })
+                })
+                .collect();
+            if work.is_empty() {
+                continue;
+            }
+            let results = {
+                let base = &self.functions;
+                crate::pipeline::parallel_map_indexed(threads, work.len(), |slot| {
+                    let c = work[slot];
+                    converge_component(
+                        nodes,
+                        base,
+                        &cond.members[c],
+                        cond.cyclic[c],
+                        max_passes,
+                        only,
+                        clobber_globals,
+                    )
+                })
+            };
+            for (updates, inner) in results {
+                deepest = deepest.max(inner);
+                for (name, summary) in updates {
+                    self.functions.insert(name, summary);
+                }
+            }
+        }
+        self.passes = deepest;
+    }
+
+    /// The pre-condensation pass loop: a whole-program sweep until no
+    /// summary changes, backing [`Self::propagate_sequential`].
     fn run_passes(
         &mut self,
         nodes: &[PropagationNode<'_>],
@@ -385,28 +537,10 @@ impl ProgramSummaries {
                 }
                 for call in &node.calls {
                     let Some(callee_summary) = self.functions.get(&call.callee).cloned() else {
-                        // Unknown callee. In pessimistic-globals mode the
-                        // clobber becomes part of the *summary*, so it
-                        // propagates transitively to this function's own
-                        // callers — not just the direct call site.
                         if clobber_globals && !PURE_BUILTINS.contains(&call.callee.as_str()) {
                             let mut caller =
                                 self.functions.get(&node.name).cloned().unwrap_or_default();
-                            let mut effect = Effect::pessimistic_host();
-                            if call.on_device {
-                                effect = device_shifted(effect);
-                            }
-                            let mut local_changed = false;
-                            for var in node.sym.names() {
-                                if node.sym.is_global(var) {
-                                    local_changed |= caller
-                                        .global_effects
-                                        .entry(var.clone())
-                                        .or_default()
-                                        .merge(effect);
-                                }
-                            }
-                            if local_changed {
+                            if merge_unknown_call(&mut caller, node, call.on_device) {
                                 self.functions.insert(node.name.clone(), caller);
                                 changed = true;
                             }
@@ -414,50 +548,7 @@ impl ProgramSummaries {
                         continue;
                     };
                     let mut caller = self.functions.get(&node.name).cloned().unwrap_or_default();
-                    let mut local_changed = false;
-                    if callee_summary.has_kernels && !caller.has_kernels {
-                        caller.has_kernels = true;
-                        local_changed = true;
-                    }
-                    // Parameter effects flow to the caller's own params/globals.
-                    for (arg_idx, arg) in call.args.iter().enumerate() {
-                        if !arg.by_ref {
-                            continue;
-                        }
-                        let Some(var) = &arg.base_var else { continue };
-                        let mut effect = callee_summary
-                            .param_effects
-                            .get(arg_idx)
-                            .copied()
-                            .unwrap_or_default();
-                        if call.on_device {
-                            effect = device_shifted(effect);
-                        }
-                        if let Some(pidx) = node.params.iter().position(|p| p == var) {
-                            if node.sym.is_aggregate(var) {
-                                local_changed |= caller.param_effects[pidx].merge(effect);
-                            }
-                        } else if node.sym.is_global(var) {
-                            local_changed |= caller
-                                .global_effects
-                                .entry(var.clone())
-                                .or_default()
-                                .merge(effect);
-                        }
-                    }
-                    // Global effects propagate directly.
-                    for (global, effect) in &callee_summary.global_effects {
-                        let mut effect = *effect;
-                        if call.on_device {
-                            effect = device_shifted(effect);
-                        }
-                        local_changed |= caller
-                            .global_effects
-                            .entry(global.clone())
-                            .or_default()
-                            .merge(effect);
-                    }
-                    if local_changed {
+                    if merge_known_call(&mut caller, node, call, &callee_summary) {
                         self.functions.insert(node.name.clone(), caller);
                         changed = true;
                     }
@@ -494,6 +585,167 @@ impl ProgramSummaries {
     pub fn is_empty(&self) -> bool {
         self.functions.is_empty()
     }
+
+    /// True when both sides converged to identical summaries. `passes` — a
+    /// diagnostic count whose value depends on the engine — is ignored;
+    /// every effect, parameter slot, and global entry must match exactly.
+    pub fn same_summaries(&self, other: &ProgramSummaries) -> bool {
+        self.functions == other.functions
+    }
+}
+
+/// Merge one known callee's summary into `caller` across `call`. Returns
+/// true when anything changed. Shared verbatim by the sequential reference
+/// engine and the SCC-wavefront workers so the two cannot drift apart.
+fn merge_known_call(
+    caller: &mut FunctionSummary,
+    node: &PropagationNode<'_>,
+    call: &CallSite,
+    callee_summary: &FunctionSummary,
+) -> bool {
+    let mut local_changed = false;
+    if callee_summary.has_kernels && !caller.has_kernels {
+        caller.has_kernels = true;
+        local_changed = true;
+    }
+    // Parameter effects flow to the caller's own params/globals.
+    for (arg_idx, arg) in call.args.iter().enumerate() {
+        if !arg.by_ref {
+            continue;
+        }
+        let Some(var) = &arg.base_var else { continue };
+        let mut effect = callee_summary
+            .param_effects
+            .get(arg_idx)
+            .copied()
+            .unwrap_or_default();
+        if call.on_device {
+            effect = device_shifted(effect);
+        }
+        if let Some(pidx) = node.params.iter().position(|p| p == var) {
+            if node.sym.is_aggregate(var) {
+                local_changed |= caller.param_effects[pidx].merge(effect);
+            }
+        } else if node.sym.is_global(var) {
+            local_changed |= caller
+                .global_effects
+                .entry(var.clone())
+                .or_default()
+                .merge(effect);
+        }
+    }
+    // Global effects propagate directly.
+    for (global, effect) in &callee_summary.global_effects {
+        let mut effect = *effect;
+        if call.on_device {
+            effect = device_shifted(effect);
+        }
+        local_changed |= caller
+            .global_effects
+            .entry(global.clone())
+            .or_default()
+            .merge(effect);
+    }
+    local_changed
+}
+
+/// Merge the pessimistic-globals clobber of an unknown callee into
+/// `caller`: every global the caller can see becomes host read+written
+/// (device-shifted inside offloaded regions), so the clobber is part of
+/// the *summary* and propagates transitively to the caller's own callers.
+/// The symbol table's name order is unordered, but merging into the
+/// `BTreeMap` of global effects is commutative, so the result is
+/// deterministic regardless.
+fn merge_unknown_call(
+    caller: &mut FunctionSummary,
+    node: &PropagationNode<'_>,
+    on_device: bool,
+) -> bool {
+    let mut effect = Effect::pessimistic_host();
+    if on_device {
+        effect = device_shifted(effect);
+    }
+    let mut local_changed = false;
+    for var in node.sym.names() {
+        if node.sym.is_global(var) {
+            local_changed |= caller
+                .global_effects
+                .entry(var.clone())
+                .or_default()
+                .merge(effect);
+        }
+    }
+    local_changed
+}
+
+/// Converge one strongly connected component against an immutable snapshot
+/// of every previously converged summary. Returns the component's updated
+/// entries plus the number of inner passes it took.
+///
+/// An acyclic component's converged summary is its seed unioned with fixed
+/// (already converged) callee contributions; unions are idempotent and
+/// commutative, so a single visit reaches the fixed point. Recursive
+/// components iterate until no summary changes, bounded by `max_passes`.
+fn converge_component(
+    nodes: &[PropagationNode<'_>],
+    base: &HashMap<String, FunctionSummary>,
+    members: &[usize],
+    cyclic: bool,
+    max_passes: usize,
+    only: Option<&BTreeSet<String>>,
+    clobber_globals: bool,
+) -> (Vec<(String, FunctionSummary)>, usize) {
+    let mut local: HashMap<&str, FunctionSummary> = HashMap::new();
+    for &v in members {
+        if let Some(summary) = base.get(&nodes[v].name) {
+            local.insert(nodes[v].name.as_str(), summary.clone());
+        }
+    }
+    let inner_max = if cyclic { max_passes.max(1) } else { 1 };
+    let mut passes = 0usize;
+    for pass in 0..inner_max {
+        passes = pass + 1;
+        let mut changed = false;
+        for &v in members {
+            let node = &nodes[v];
+            if only.is_some_and(|set| !set.contains(&node.name)) {
+                continue;
+            }
+            for call in &node.calls {
+                // In-component callees live in `local` (and shadow their
+                // stale `base` snapshot); everything else is final in `base`.
+                let callee_summary = local
+                    .get(call.callee.as_str())
+                    .or_else(|| base.get(&call.callee))
+                    .cloned();
+                let Some(callee_summary) = callee_summary else {
+                    if clobber_globals && !PURE_BUILTINS.contains(&call.callee.as_str()) {
+                        let mut caller = local.get(node.name.as_str()).cloned().unwrap_or_default();
+                        if merge_unknown_call(&mut caller, node, call.on_device) {
+                            local.insert(node.name.as_str(), caller);
+                            changed = true;
+                        }
+                    }
+                    continue;
+                };
+                let mut caller = local.get(node.name.as_str()).cloned().unwrap_or_default();
+                if merge_known_call(&mut caller, node, call, &callee_summary) {
+                    local.insert(node.name.as_str(), caller);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    (
+        local
+            .into_iter()
+            .map(|(name, summary)| (name.to_string(), summary))
+            .collect(),
+        passes,
+    )
 }
 
 /// Move every host effect to the device (used when the call site itself

@@ -62,6 +62,7 @@ pub mod plan;
 pub mod program;
 pub mod relocate;
 pub mod rewrite;
+pub mod scc;
 pub mod store;
 pub mod verify;
 
@@ -121,6 +122,14 @@ pub struct OmpDartOptions {
     /// synthesized accesses are explained with the
     /// `unknown_callee_pessimistic` provenance at the call site.
     pub pessimistic_globals: bool,
+    /// Worker threads for the cross-unit link fixed point's SCC wavefronts
+    /// (`--link-threads` on the CLI). `0` — the default — picks the
+    /// machine's parallelism automatically. The thread count can never
+    /// change results (the wavefront engine is deterministic by
+    /// construction), so this knob deliberately stays **out of**
+    /// [`OmpDartOptions::fingerprint`]: plans computed under any thread
+    /// count are interchangeable.
+    pub link_threads: usize,
 }
 
 impl OmpDartOptions {
@@ -129,6 +138,16 @@ impl OmpDartOptions {
     /// different analysis knobs are never interchangeable.
     pub fn fingerprint(&self) -> u64 {
         pipeline::options_fingerprint(self)
+    }
+
+    /// The resolved link-stage worker count: `link_threads`, or the
+    /// machine's parallelism when the knob is 0 (auto).
+    pub fn effective_link_threads(&self) -> usize {
+        if self.link_threads == 0 {
+            pipeline::default_parallelism()
+        } else {
+            self.link_threads
+        }
     }
 }
 
@@ -140,6 +159,7 @@ impl Default for OmpDartOptions {
             max_interproc_passes: 16,
             reject_existing_mappings: true,
             pessimistic_globals: false,
+            link_threads: 0,
         }
     }
 }
@@ -252,6 +272,13 @@ impl OmpdartBuilder {
     /// Worker-thread fan-out of the planning stage (and batch analyses).
     pub fn parallelism(mut self, workers: usize) -> OmpdartBuilder {
         self.parallelism = Some(workers.max(1));
+        self
+    }
+
+    /// Worker threads for the cross-unit link fixed point (0 = auto). Never
+    /// affects results — see [`OmpDartOptions::link_threads`].
+    pub fn link_threads(mut self, threads: usize) -> OmpdartBuilder {
+        self.options.link_threads = threads;
         self
     }
 

@@ -59,7 +59,7 @@ use crate::plan::json::plans_to_json;
 use crate::program::{LinkContext, LinkState, UnitServe, UNLINKED};
 use crate::relocate::{relocate_diagnostics, relocate_function_accesses, relocate_plan};
 use crate::rewrite;
-use crate::store::{ArtifactStore, StoredUnit};
+use crate::store::{ArtifactStore, PendingUnitSave, StoredFunctionPlan, StoredUnit};
 use crate::{function_with_existing_mappings, OmpDartError, OmpDartOptions, TransformResult};
 use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
 use ompdart_frontend::diag::Diagnostics;
@@ -412,6 +412,13 @@ pub struct PlansArtifact {
     /// Functions that were actually (re-)planned while a cache was
     /// consulted. Zero when no cache was consulted.
     pub plan_cache_misses: u64,
+    /// Functions served from a *function-level* persistent store entry
+    /// (only `static` functions are eligible — the header-defined-and-
+    /// shared case). Zero when no store was consulted.
+    pub function_store_hits: u64,
+    /// Eligible functions whose function-level store lookup missed (each
+    /// one writes an entry back after planning).
+    pub function_store_misses: u64,
     /// Per-function plan-cache key snapshots (source order), populated when
     /// the function-granular cache was consulted. The persistent store
     /// saves these alongside the plans so a later process can re-seed its
@@ -677,12 +684,12 @@ pub fn stage_summaries_cached(
 ///   the dead-exit-copy demotion;
 /// * `options_hash` — the [`OmpDartOptions`] fingerprint.
 #[derive(Clone, Debug, PartialEq, Eq)]
-struct FunctionPlanKey {
-    snippet: String,
-    env_hash: u64,
-    callees_hash: u64,
-    refs_hash: u64,
-    options_hash: u64,
+pub(crate) struct FunctionPlanKey {
+    pub(crate) snippet: String,
+    pub(crate) env_hash: u64,
+    pub(crate) callees_hash: u64,
+    pub(crate) refs_hash: u64,
+    pub(crate) options_hash: u64,
 }
 
 /// A cached per-function planning result, stored in the coordinates
@@ -978,6 +985,7 @@ pub fn stage_plans(
         parallelism,
         None,
         None,
+        None,
     )
 }
 
@@ -986,6 +994,7 @@ pub fn stage_plans(
 /// cached plan — relocated to the current node ids and byte offsets —
 /// instead of re-running the data-flow analysis. The artifact's
 /// `plan_cache_hits`/`plan_cache_misses` record the split.
+#[allow(clippy::too_many_arguments)]
 pub fn stage_plans_incremental(
     parsed: &ParsedUnit,
     graphs: &GraphsArtifact,
@@ -994,6 +1003,7 @@ pub fn stage_plans_incremental(
     options: &OmpDartOptions,
     parallelism: usize,
     cache: &FunctionPlanCache,
+    store: Option<&ArtifactStore>,
 ) -> PlansArtifact {
     run_plan_stage(
         &parsed.unit,
@@ -1003,6 +1013,7 @@ pub fn stage_plans_incremental(
         options,
         parallelism,
         Some((parsed, cache)),
+        store,
         None,
     )
 }
@@ -1022,6 +1033,7 @@ pub fn stage_plans_linked(
     options: &OmpDartOptions,
     parallelism: usize,
     cache: &FunctionPlanCache,
+    store: Option<&ArtifactStore>,
     link: &LinkContext,
 ) -> PlansArtifact {
     run_plan_stage(
@@ -1032,8 +1044,21 @@ pub fn stage_plans_linked(
         options,
         parallelism,
         Some((parsed, cache)),
+        store,
         Some(link),
     )
+}
+
+/// How one function's plan slot was produced.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum PlanServe {
+    /// Planned from scratch; records whether the function-level store was
+    /// consulted (and therefore missed).
+    Planned { store_consulted: bool },
+    /// Served (relocated) from the in-memory function-plan cache.
+    Memory,
+    /// Served (relocated) from a function-level persistent store entry.
+    Store,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -1045,6 +1070,7 @@ fn run_plan_stage(
     options: &OmpDartOptions,
     parallelism: usize,
     incremental: Option<(&ParsedUnit, &FunctionPlanCache)>,
+    store: Option<&ArtifactStore>,
     link: Option<&LinkContext>,
 ) -> PlansArtifact {
     let start = Instant::now();
@@ -1069,12 +1095,12 @@ fn run_plan_stage(
     });
 
     // One slot per function:
-    // (had a graph, plan, diagnostics, cache hit, fallbacks, key snapshot).
+    // (analyzed, plan, diagnostics, how served, fallbacks, key snapshot).
     type Slot = (
         bool,
         Option<MappingPlan>,
         Diagnostics,
-        bool,
+        PlanServe,
         u64,
         Option<FunctionKeySnapshot>,
     );
@@ -1123,10 +1149,55 @@ fn run_plan_stage(
                     entry.analyzed,
                     plan,
                     relocate_diagnostics(&entry.diagnostics, dpos),
-                    true,
+                    PlanServe::Memory,
                     entry.fallbacks,
                     Some(snap),
                 );
+            }
+        }
+
+        // Function-level persistent store: `static` functions — the ones a
+        // shared header can define in many units without violating the
+        // one-definition rule — are additionally keyed into the store
+        // under their full plan key. The second unit (or process) to see
+        // an identical snippet under an identical environment is served
+        // from disk instead of re-planning.
+        let store_eligible = func.is_static && key.is_some() && store.is_some();
+        if store_eligible {
+            if let (Some(key), Some(store), Some((parsed, cache, ..))) =
+                (&key, store, shared.as_ref())
+            {
+                if let Some(entry) = store.load_function(key) {
+                    let did = i64::from(func.id.0) - i64::from(entry.base_id);
+                    let dpos = i64::from(func.span.start) - i64::from(entry.base_pos);
+                    let plan = entry.plan.as_ref().map(|p| relocate_plan(p, did, dpos));
+                    // Seed the in-memory cache (in current coordinates) so
+                    // later edits relocate from memory, not disk. Only
+                    // diagnostics-free functions are persisted, so the
+                    // seeded entry legitimately carries none.
+                    cache.store(
+                        parsed.name.clone(),
+                        func.name.clone(),
+                        CachedFunctionPlan {
+                            key: (*key).clone(),
+                            base_id: func.id.0,
+                            base_pos: func.span.start,
+                            analyzed: entry.analyzed,
+                            fallbacks: entry.fallbacks,
+                            plan: plan.clone(),
+                            diagnostics: Diagnostics::new(),
+                        },
+                    );
+                    let snap = snapshot(key, entry.analyzed, plan.is_some(), entry.fallbacks);
+                    return (
+                        entry.analyzed,
+                        plan,
+                        Diagnostics::new(),
+                        PlanServe::Store,
+                        entry.fallbacks,
+                        Some(snap),
+                    );
+                }
             }
         }
 
@@ -1159,6 +1230,22 @@ fn run_plan_stage(
         let snap = key
             .as_ref()
             .map(|key| snapshot(key, analyzed, plan.is_some(), fallbacks));
+        if store_eligible && diags.is_empty() {
+            if let (Some(key), Some(store)) = (&key, store) {
+                // Write-back, best effort: functions with diagnostics are
+                // not persisted (the warnings would vanish on a later hit).
+                let _ = store.save_function(
+                    key,
+                    &StoredFunctionPlan {
+                        base_id: func.id.0,
+                        base_pos: func.span.start,
+                        analyzed,
+                        fallbacks,
+                        plan: plan.clone(),
+                    },
+                );
+            }
+        }
         if let (Some(key), Some((parsed, cache, ..))) = (key, shared.as_ref()) {
             cache.store(
                 parsed.name.clone(),
@@ -1174,7 +1261,16 @@ fn run_plan_stage(
                 },
             );
         }
-        (analyzed, plan, diags, false, fallbacks, snap)
+        (
+            analyzed,
+            plan,
+            diags,
+            PlanServe::Planned {
+                store_consulted: store_eligible,
+            },
+            fallbacks,
+            snap,
+        )
     };
 
     let slots = parallel_map_indexed(workers, funcs.len(), plan_one);
@@ -1184,14 +1280,21 @@ fn run_plan_stage(
     let mut diagnostics = Diagnostics::new();
     let mut plan_cache_hits = 0u64;
     let mut plan_cache_misses = 0u64;
+    let mut function_store_hits = 0u64;
+    let mut function_store_misses = 0u64;
     let mut function_keys = Vec::new();
     for slot in slots {
-        let (analyzed, plan, diags, hit, fallbacks, snap) = slot;
+        let (analyzed, plan, diags, serve, fallbacks, snap) = slot;
         if shared.is_some() {
-            if hit {
-                plan_cache_hits += 1;
-            } else {
-                plan_cache_misses += 1;
+            match serve {
+                PlanServe::Memory => plan_cache_hits += 1,
+                PlanServe::Store => function_store_hits += 1,
+                PlanServe::Planned { store_consulted } => {
+                    plan_cache_misses += 1;
+                    if store_consulted {
+                        function_store_misses += 1;
+                    }
+                }
             }
         }
         if analyzed {
@@ -1218,6 +1321,8 @@ fn run_plan_stage(
         diagnostics,
         plan_cache_hits,
         plan_cache_misses,
+        function_store_hits,
+        function_store_misses,
         function_keys,
         elapsed: start.elapsed(),
     }
@@ -1381,6 +1486,13 @@ pub struct CacheStats {
     /// `analyze` calls that ran the planner while a store was configured
     /// (each one is written back to the store afterwards).
     pub store_misses: u64,
+    /// Functions whose plan was served from a *function-level* persistent
+    /// store entry (shared `static` header functions warm across units and
+    /// across processes; see [`crate::store::ArtifactStore`]).
+    pub function_store_hits: u64,
+    /// Function-store lookups that missed (each true planning run of an
+    /// eligible function writes one entry back).
+    pub function_store_misses: u64,
     /// `summarize` calls (whole-program phase 1) served from the cache.
     pub summarize_hits: u64,
     /// `summarize` calls that ran the parse→summaries stages.
@@ -1407,6 +1519,8 @@ struct CacheCounters {
     relink_reseeded_functions: AtomicU64,
     store_hits: AtomicU64,
     store_misses: AtomicU64,
+    function_store_hits: AtomicU64,
+    function_store_misses: AtomicU64,
     summarize_hits: AtomicU64,
     summarize_misses: AtomicU64,
     linked_hits: AtomicU64,
@@ -1459,6 +1573,11 @@ pub struct AnalysisSession {
     /// point from scratch.
     link_state: Mutex<Option<Arc<LinkState>>>,
     store: Option<ArtifactStore>,
+    /// Write-behind buffer of linked store write-backs: `analyze_linked`
+    /// queues here and [`AnalysisSession::flush_store_writes`] flushes the
+    /// whole batch through one [`ArtifactStore::save_many`] call, so a
+    /// 1000-unit cold link pays one directory sweep instead of 1000.
+    pending_saves: Mutex<Vec<PendingUnitSave>>,
     counters: CacheCounters,
     cumulative: Mutex<StageTimings>,
 }
@@ -1466,6 +1585,15 @@ pub struct AnalysisSession {
 impl Default for AnalysisSession {
     fn default() -> Self {
         AnalysisSession::new()
+    }
+}
+
+impl Drop for AnalysisSession {
+    fn drop(&mut self) {
+        // Last-resort flush of the write-behind buffer: queued linked
+        // write-backs must reach the store even if no program driver ever
+        // called `flush_store_writes`.
+        self.flush_store_writes();
     }
 }
 
@@ -1489,6 +1617,7 @@ impl AnalysisSession {
             function_summaries: FunctionSummaryCache::new(),
             link_state: Mutex::new(None),
             store: None,
+            pending_saves: Mutex::new(Vec::new()),
             counters: CacheCounters::default(),
             cumulative: Mutex::new(StageTimings::default()),
         }
@@ -1537,6 +1666,27 @@ impl AnalysisSession {
     /// The session's function-granular summary cache.
     pub fn function_summary_cache(&self) -> &FunctionSummaryCache {
         &self.function_summaries
+    }
+
+    /// Flush the write-behind buffer of linked store write-backs in one
+    /// [`ArtifactStore::save_many`] batch. Returns the number of unit
+    /// entries written. Called once per whole-program analysis by
+    /// [`crate::program::ProgramDriver::analyze_program`]; dropping the
+    /// session flushes any stragglers, so callers driving
+    /// [`Self::analyze_linked`] by hand lose nothing — at the latest, the
+    /// entries land on disk when the session goes away.
+    pub fn flush_store_writes(&self) -> usize {
+        let pending: Vec<PendingUnitSave> =
+            std::mem::take(&mut *self.pending_saves.lock().unwrap());
+        if pending.is_empty() {
+            return 0;
+        }
+        let Some(store) = &self.store else {
+            return 0;
+        };
+        let count = pending.len();
+        let _ = store.save_many(&self.options, &pending);
+        count
     }
 
     /// The previously converged link state, if any (whole-program
@@ -1619,6 +1769,8 @@ impl AnalysisSession {
                 .load(Ordering::Relaxed),
             store_hits: self.counters.store_hits.load(Ordering::Relaxed),
             store_misses: self.counters.store_misses.load(Ordering::Relaxed),
+            function_store_hits: self.counters.function_store_hits.load(Ordering::Relaxed),
+            function_store_misses: self.counters.function_store_misses.load(Ordering::Relaxed),
             summarize_hits: self.counters.summarize_hits.load(Ordering::Relaxed),
             summarize_misses: self.counters.summarize_misses.load(Ordering::Relaxed),
             linked_hits: self.counters.linked_hits.load(Ordering::Relaxed),
@@ -1742,6 +1894,7 @@ impl AnalysisSession {
             &self.options,
             self.parallelism,
             &self.function_plans,
+            self.store.as_ref(),
         ));
         self.counters
             .function_plan_hits
@@ -1749,6 +1902,12 @@ impl AnalysisSession {
         self.counters
             .function_plan_misses
             .fetch_add(artifact.plan_cache_misses, Ordering::Relaxed);
+        self.counters
+            .function_store_hits
+            .fetch_add(artifact.function_store_hits, Ordering::Relaxed);
+        self.counters
+            .function_store_misses
+            .fetch_add(artifact.function_store_misses, Ordering::Relaxed);
         self.cumulative.lock().unwrap().plan += artifact.elapsed;
         artifact
     }
@@ -1822,6 +1981,8 @@ impl AnalysisSession {
                     diagnostics: Diagnostics::new(),
                     plan_cache_hits: 0,
                     plan_cache_misses: 0,
+                    function_store_hits: 0,
+                    function_store_misses: 0,
                     function_keys: stored.functions,
                     elapsed: Duration::ZERO,
                 });
@@ -2031,6 +2192,8 @@ impl AnalysisSession {
                     diagnostics: Diagnostics::new(),
                     plan_cache_hits: 0,
                     plan_cache_misses: 0,
+                    function_store_hits: 0,
+                    function_store_misses: 0,
                     function_keys: stored.functions,
                     elapsed: Duration::ZERO,
                 });
@@ -2056,6 +2219,7 @@ impl AnalysisSession {
                     &self.options,
                     self.parallelism,
                     &self.function_plans,
+                    self.store.as_ref(),
                     link,
                 ));
                 self.counters
@@ -2064,20 +2228,29 @@ impl AnalysisSession {
                 self.counters
                     .function_plan_misses
                     .fetch_add(plans.plan_cache_misses, Ordering::Relaxed);
+                self.counters
+                    .function_store_hits
+                    .fetch_add(plans.function_store_hits, Ordering::Relaxed);
+                self.counters
+                    .function_store_misses
+                    .fetch_add(plans.function_store_misses, Ordering::Relaxed);
                 self.cumulative.lock().unwrap().plan += plans.elapsed;
                 let rewrite = self.rewrite(&unit.parsed, &unit.graphs, &plans);
-                if let Some(store) = &self.store {
-                    if plans.diagnostics.is_empty() {
-                        let _ = store.save(
-                            name,
-                            source,
-                            &self.options,
-                            link.imports_fingerprint,
-                            &plans.plans,
-                            &plans.stats,
-                            &plans.function_keys,
-                        );
-                    }
+                if self.store.is_some() && plans.diagnostics.is_empty() {
+                    // Write-behind: queue the store write-back instead of
+                    // paying a per-unit directory sweep here. The buffer is
+                    // flushed in one `save_many` batch by
+                    // [`Self::flush_store_writes`] (the program driver
+                    // calls it once per whole-program analysis; dropping
+                    // the session flushes as a last resort).
+                    self.pending_saves.lock().unwrap().push(PendingUnitSave {
+                        name: name.to_string(),
+                        source: source.to_string(),
+                        link: link.imports_fingerprint,
+                        plans: plans.plans.clone(),
+                        stats: plans.stats,
+                        functions: plans.function_keys.clone(),
+                    });
                 }
                 (
                     Arc::new(UnitAnalysis {
@@ -2120,8 +2293,9 @@ impl AnalysisSession {
     }
 }
 
-/// Worker count used by default for batch and per-function fan-out.
-fn default_parallelism() -> usize {
+/// Worker count used by default for batch, per-function and link-wavefront
+/// fan-out (see [`crate::OmpDartOptions::effective_link_threads`]).
+pub(crate) fn default_parallelism() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -2524,6 +2698,88 @@ void driver() {
         assert_eq!(warm.rewrite.source, cold.rewrite.source);
         assert_eq!(warm.plans.plans, cold.plans.plans);
         assert_eq!(warm.plans.stats, cold.plans.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Two units that share a header-defined `static` function warm each
+    /// other through the function-level store: the first copy plans and
+    /// writes back, the second is served from disk, and a later session's
+    /// brand-new unit with the same header starts warm too. Unit-level
+    /// entries land via the batched (write-behind) flush.
+    #[test]
+    fn shared_static_function_warms_across_units_via_store() {
+        let dir = std::env::temp_dir().join(format!("ompdart-fn-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let header = "\
+#define N 32
+double shared_buf[N];
+static void touch_shared(void) {
+  for (int it = 0; it < 3; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) shared_buf[i] += 1.0;
+  }
+  printf(\"%f\\n\", shared_buf[0]);
+}
+";
+        let unit = |entry: &str| format!("{header}\nvoid {entry}(void) {{ touch_shared(); }}\n");
+        let inputs = vec![
+            ("a.c".to_string(), unit("a_entry")),
+            ("b.c".to_string(), unit("b_entry")),
+        ];
+
+        let session = Arc::new(AnalysisSession::new().with_cache_dir(&dir));
+        let driver =
+            crate::program::ProgramDriver::with_session(Arc::clone(&session)).with_threads(1);
+        let analysis = driver.analyze_program(&inputs).unwrap();
+        let stats = session.cache_stats();
+        assert_eq!(
+            stats.function_store_misses, 1,
+            "only the first copy of the shared static plans from scratch: {stats:?}"
+        );
+        assert_eq!(
+            stats.function_store_hits, 1,
+            "the second unit's shared static must be a function-store hit: {stats:?}"
+        );
+        assert_eq!(
+            session.artifact_store().unwrap().function_entry_count(),
+            1,
+            "one function-level entry for the shared static"
+        );
+        assert_eq!(
+            session.artifact_store().unwrap().entry_count(),
+            2,
+            "analyze_program must flush the write-behind unit entries"
+        );
+
+        // Store-served plans rewrite byte-identically to a storeless run.
+        let cold = crate::program::ProgramDriver::new()
+            .with_threads(1)
+            .analyze_program(&inputs)
+            .unwrap();
+        for (warm_unit, cold_unit) in analysis.units.iter().zip(&cold.units) {
+            assert_eq!(warm_unit.rewrite.source, cold_unit.rewrite.source);
+        }
+
+        // A later session: a brand-new unit with the same header starts
+        // warm — its shared static is served from the function store.
+        let session2 = Arc::new(AnalysisSession::new().with_cache_dir(&dir));
+        let driver2 =
+            crate::program::ProgramDriver::with_session(Arc::clone(&session2)).with_threads(1);
+        let inputs2 = vec![
+            ("a.c".to_string(), unit("a_entry")),
+            ("c.c".to_string(), unit("c_entry")),
+        ];
+        driver2.analyze_program(&inputs2).unwrap();
+        let stats2 = session2.cache_stats();
+        assert!(
+            stats2.function_store_hits >= 1,
+            "the new unit's shared static must hit the function store: {stats2:?}"
+        );
+        assert_eq!(
+            stats2.function_store_misses, 0,
+            "nothing should plan the shared static from scratch again: {stats2:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

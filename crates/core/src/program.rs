@@ -340,35 +340,8 @@ impl Program {
         // resolved names and (re-)runs the call-site propagation.
         let unit_names: Vec<String> = units.iter().map(|u| u.parsed.name.clone()).collect();
         let (summaries, passes, reseeded, local_fps) = if options.interprocedural {
-            let mut seeds: HashMap<String, FunctionSummary> = HashMap::new();
-            let mut nodes: Vec<PropagationNode<'_>> = Vec::new();
-            for (idx, unit) in units.iter().enumerate() {
-                let statics = &unit_statics[idx];
-                let uname = &unit.parsed.name;
-                let resolve = |callee: &str| -> String {
-                    if statics.contains(callee) {
-                        mangle_static(callee, uname)
-                    } else {
-                        callee.to_string()
-                    }
-                };
-                for func in unit.parsed.unit.functions() {
-                    let Some(seed) = unit.summaries.seeds.get(&func.name) else {
-                        continue;
-                    };
-                    let Some(acc) = unit.accesses.accesses.get(&func.name) else {
-                        continue;
-                    };
-                    let Some(sym) = unit.accesses.symbols.get(&func.name) else {
-                        continue;
-                    };
-                    let resolved = resolve(&func.name);
-                    let mut seed = seed.clone();
-                    seed.name = resolved.clone();
-                    seeds.insert(resolved.clone(), seed);
-                    nodes.push(PropagationNode::build(resolved, func, acc, sym, resolve));
-                }
-            }
+            let threads = options.effective_link_threads();
+            let (seeds, nodes) = merged_propagation_inputs(&units, &unit_statics);
             let local_fps: BTreeMap<String, u64> = nodes
                 .iter()
                 .map(|node| (node.name.clone(), local_fingerprint(node, &seeds)))
@@ -392,13 +365,14 @@ impl Program {
                                 .cloned(),
                         )
                         .collect();
-                    let (mut merged, cone) = ProgramSummaries::propagate_incremental(
+                    let (mut merged, cone) = ProgramSummaries::propagate_incremental_parallel(
                         &nodes,
                         &seeds,
                         &state.summaries,
                         &dirty,
                         options.max_interproc_passes,
                         options.pessimistic_globals,
+                        threads,
                     );
                     let passes = if cone.is_empty() {
                         // Nothing changed: the previous fixed point stands.
@@ -410,11 +384,12 @@ impl Program {
                     (merged, passes, cone.len() as u64, local_fps)
                 }
                 None => {
-                    let merged = ProgramSummaries::propagate_opts(
+                    let merged = ProgramSummaries::propagate_parallel(
                         &nodes,
                         &seeds,
                         options.max_interproc_passes,
                         options.pessimistic_globals,
+                        threads,
                     );
                     let passes = merged.passes;
                     (merged, passes, 0, local_fps)
@@ -527,6 +502,103 @@ impl Program {
             imports_fingerprint: h.finish(),
         }
     }
+
+    /// The cross-unit interprocedural fixed point **alone**: seeds and call
+    /// graphs merged exactly as [`Program::relink`] merges them (statics
+    /// mangled), converged with the SCC-wavefront engine on `threads`
+    /// workers. No interface export, liveness, or planning happens —
+    /// parity tests and the `link_scale` bench use this to isolate the
+    /// link fixed point from the rest of the pipeline.
+    pub fn propagate_merged(
+        units: &[Arc<SummarizedUnit>],
+        options: &crate::OmpDartOptions,
+        threads: usize,
+    ) -> ProgramSummaries {
+        let statics = unit_static_sets(units);
+        let (seeds, nodes) = merged_propagation_inputs(units, &statics);
+        ProgramSummaries::propagate_parallel(
+            &nodes,
+            &seeds,
+            options.max_interproc_passes,
+            options.pessimistic_globals,
+            threads,
+        )
+    }
+
+    /// [`Program::propagate_merged`] through the sequential reference
+    /// engine (the pre-condensation whole-program sweep). Convergence on a
+    /// call chain of depth `d` requires `options.max_interproc_passes >= d`
+    /// here — the wavefront engine has no such requirement, which is the
+    /// asymptotic difference the `link_scale` bench measures.
+    pub fn propagate_merged_sequential(
+        units: &[Arc<SummarizedUnit>],
+        options: &crate::OmpDartOptions,
+    ) -> ProgramSummaries {
+        let statics = unit_static_sets(units);
+        let (seeds, nodes) = merged_propagation_inputs(units, &statics);
+        ProgramSummaries::propagate_sequential(
+            &nodes,
+            &seeds,
+            options.max_interproc_passes,
+            options.pessimistic_globals,
+        )
+    }
+}
+
+/// The per-unit sets of `static` function names (source-level), as
+/// [`Program::relink`] computes them during duplicate rejection.
+fn unit_static_sets(units: &[Arc<SummarizedUnit>]) -> Vec<BTreeSet<String>> {
+    units
+        .iter()
+        .map(|unit| {
+            unit.parsed
+                .unit
+                .functions()
+                .filter(|f| f.is_static)
+                .map(|f| f.name.clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// Merge every unit's per-function seeds and propagation nodes under their
+/// link-resolved names: unit-private `static` functions (and calls to
+/// them from inside their unit) mangle to `name@unit`, everything else
+/// keeps its source-level name.
+fn merged_propagation_inputs<'a>(
+    units: &'a [Arc<SummarizedUnit>],
+    unit_statics: &[BTreeSet<String>],
+) -> (HashMap<String, FunctionSummary>, Vec<PropagationNode<'a>>) {
+    let mut seeds: HashMap<String, FunctionSummary> = HashMap::new();
+    let mut nodes: Vec<PropagationNode<'_>> = Vec::new();
+    for (idx, unit) in units.iter().enumerate() {
+        let statics = &unit_statics[idx];
+        let uname = &unit.parsed.name;
+        let resolve = |callee: &str| -> String {
+            if statics.contains(callee) {
+                mangle_static(callee, uname)
+            } else {
+                callee.to_string()
+            }
+        };
+        for func in unit.parsed.unit.functions() {
+            let Some(seed) = unit.summaries.seeds.get(&func.name) else {
+                continue;
+            };
+            let Some(acc) = unit.accesses.accesses.get(&func.name) else {
+                continue;
+            };
+            let Some(sym) = unit.accesses.symbols.get(&func.name) else {
+                continue;
+            };
+            let resolved = resolve(&func.name);
+            let mut seed = seed.clone();
+            seed.name = resolved.clone();
+            seeds.insert(resolved.clone(), seed);
+            nodes.push(PropagationNode::build(resolved, func, acc, sym, resolve));
+        }
+    }
+    (seeds, nodes)
 }
 
 /// Fingerprint of everything the cross-unit propagation reads from one
@@ -703,6 +775,10 @@ impl ProgramDriver {
         let planned = crate::pipeline::parallel_map_indexed(self.threads, program.len(), |i| {
             self.session.analyze_linked(&program.units[i], &contexts[i])
         });
+        // One batched store flush for the whole program: the per-unit
+        // write-backs queued by `analyze_linked` land on disk through a
+        // single `save_many` (one directory sweep + one gc pass).
+        self.session.flush_store_writes();
         let mut units = Vec::with_capacity(planned.len());
         let mut served = Vec::with_capacity(planned.len());
         for (analysis, serve) in planned {

@@ -1,0 +1,254 @@
+//! Strongly-connected-component condensation of the call graph.
+//!
+//! The interprocedural fixed point ([`crate::interproc::ProgramSummaries`])
+//! is a monotone data-flow problem over the call graph: summaries flow from
+//! callee to caller, and the only reason the classic algorithm iterates the
+//! *whole* program to convergence is recursion. Condensing the graph into
+//! strongly connected components turns it into a DAG, and on a DAG every
+//! node converges in a **single** visit once all of its callees have
+//! converged. Only genuinely recursive components (a self-loop or a
+//! mutual-recursion cycle) need inner fixed-point iteration — and those are
+//! small in real programs.
+//!
+//! [`condense`] computes the condensation with an iterative Tarjan walk
+//! (an explicit frame stack, so thousand-deep call chains cannot overflow
+//! the thread stack) and groups the components into *wavefronts*: level 0
+//! holds components with no callees outside themselves, level *k* holds
+//! components whose deepest callee chain through the condensation has
+//! length *k*. All components in one wavefront are pairwise edge-free, so
+//! they can be converged in parallel; processing wavefronts in ascending
+//! level order guarantees every cross-component callee summary is final
+//! before any caller reads it.
+//!
+//! Everything here is deterministic: component ids follow Tarjan's emission
+//! order (reverse topological — a cross edge always points to a smaller
+//! id), members and wavefronts are sorted, and none of it depends on hash
+//! iteration order or thread scheduling.
+
+/// The condensation of a directed graph given as adjacency lists.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `comp[v]` — the component id of node `v`. Ids are assigned in
+    /// Tarjan's emission order, which is reverse topological: for every
+    /// edge `v -> w` crossing components, `comp[w] < comp[v]`.
+    pub comp: Vec<usize>,
+    /// `members[c]` — the node indices of component `c`, ascending.
+    pub members: Vec<Vec<usize>>,
+    /// `levels[c]` — the wavefront of component `c`: 0 when every edge of
+    /// the component stays inside it, otherwise 1 + the maximum level among
+    /// its cross-component callees.
+    pub levels: Vec<usize>,
+    /// `wavefronts[l]` — the component ids at level `l`, ascending. No
+    /// edge connects two components of one wavefront.
+    pub wavefronts: Vec<Vec<usize>>,
+    /// `cyclic[c]` — true when component `c` contains a cycle (two or more
+    /// members, or a self-loop) and therefore needs inner fixed-point
+    /// iteration instead of a single converging visit.
+    pub cyclic: Vec<bool>,
+}
+
+impl Condensation {
+    /// Number of strongly connected components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True for the condensation of the empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// Condense `adj` (adjacency lists over nodes `0..adj.len()`) into its
+/// strongly connected components and wavefront levels.
+///
+/// Runs in O(nodes + edges). The Tarjan walk keeps its own frame stack on
+/// the heap, so recursion depth is bounded by a constant regardless of how
+/// deep the input's call chains are.
+pub fn condense(adj: &[Vec<usize>]) -> Condensation {
+    let n = adj.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![UNVISITED; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut counter = 0usize;
+    // (node, next child offset) — the explicit recursion frames.
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        index[root] = counter;
+        low[root] = counter;
+        counter += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        frames.push((root, 0));
+        while let Some(&(v, child)) = frames.last() {
+            if child < adj[v].len() {
+                frames.last_mut().expect("frame just read").1 += 1;
+                let w = adj[v][child];
+                if index[w] == UNVISITED {
+                    index[w] = counter;
+                    low[w] = counter;
+                    counter += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let id = members.len();
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack holds the component");
+                        on_stack[w] = false;
+                        comp[w] = id;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort_unstable();
+                    members.push(scc);
+                }
+            }
+        }
+    }
+
+    // Levels in emission order: every cross edge points at an
+    // already-leveled (smaller-id) component.
+    let mut levels = vec![0usize; members.len()];
+    let mut cyclic: Vec<bool> = members.iter().map(|m| m.len() > 1).collect();
+    for (c, scc) in members.iter().enumerate() {
+        for &v in scc {
+            for &w in &adj[v] {
+                if comp[w] == c {
+                    cyclic[c] = true;
+                } else {
+                    debug_assert!(comp[w] < c, "cross edges must point backwards");
+                    levels[c] = levels[c].max(levels[comp[w]] + 1);
+                }
+            }
+        }
+    }
+    let depth = levels.iter().copied().max().map_or(0, |d| d + 1);
+    let mut wavefronts: Vec<Vec<usize>> = vec![Vec::new(); depth];
+    for (c, &level) in levels.iter().enumerate() {
+        wavefronts[level].push(c);
+    }
+
+    Condensation {
+        comp,
+        members,
+        levels,
+        wavefronts,
+        cyclic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let c = condense(&[]);
+        assert!(c.is_empty());
+        assert!(c.wavefronts.is_empty());
+    }
+
+    #[test]
+    fn chain_is_singletons_in_reverse_topological_levels() {
+        // 0 -> 1 -> 2 -> 3
+        let adj = vec![vec![1], vec![2], vec![3], vec![]];
+        let c = condense(&adj);
+        assert_eq!(c.len(), 4);
+        assert!(c.cyclic.iter().all(|&cy| !cy));
+        // The sink is level 0, the source the deepest level.
+        assert_eq!(c.levels[c.comp[3]], 0);
+        assert_eq!(c.levels[c.comp[2]], 1);
+        assert_eq!(c.levels[c.comp[1]], 2);
+        assert_eq!(c.levels[c.comp[0]], 3);
+        // Every cross edge points at a smaller component id.
+        for (v, outs) in adj.iter().enumerate() {
+            for &w in outs {
+                assert!(c.comp[w] < c.comp[v]);
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_recursion_collapses_into_one_cyclic_component() {
+        // 0 -> 1, 1 -> 0 (cycle); 2 -> 0 (caller of the cycle); 3 isolated.
+        let adj = vec![vec![1], vec![0], vec![0], vec![]];
+        let c = condense(&adj);
+        assert_eq!(c.len(), 3);
+        let cycle = c.comp[0];
+        assert_eq!(c.comp[1], cycle);
+        assert_eq!(c.members[cycle], vec![0, 1]);
+        assert!(c.cyclic[cycle]);
+        assert!(!c.cyclic[c.comp[2]]);
+        assert_eq!(c.levels[cycle], 0);
+        assert_eq!(c.levels[c.comp[2]], 1);
+        assert_eq!(c.levels[c.comp[3]], 0);
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_singleton() {
+        let adj = vec![vec![0], vec![0]];
+        let c = condense(&adj);
+        assert_eq!(c.len(), 2);
+        assert!(c.cyclic[c.comp[0]]);
+        assert!(!c.cyclic[c.comp[1]]);
+        assert_eq!(c.levels[c.comp[1]], 1);
+    }
+
+    #[test]
+    fn diamond_shares_one_wavefront_for_independent_components() {
+        // 0 -> {1, 2}; {1, 2} -> 3. Components 1 and 2 are edge-free peers.
+        let adj = vec![vec![1, 2], vec![3], vec![3], vec![]];
+        let c = condense(&adj);
+        assert_eq!(c.levels[c.comp[1]], 1);
+        assert_eq!(c.levels[c.comp[2]], 1);
+        let mid: Vec<usize> = c.wavefronts[1].clone();
+        assert_eq!(mid.len(), 2);
+        // Ascending ids inside a wavefront.
+        assert!(mid.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow_the_stack() {
+        // 100k-node chain: the recursive formulation would blow the stack.
+        let n = 100_000;
+        let adj: Vec<Vec<usize>> = (0..n)
+            .map(|v| if v + 1 < n { vec![v + 1] } else { vec![] })
+            .collect();
+        let c = condense(&adj);
+        assert_eq!(c.len(), n);
+        assert_eq!(c.levels[c.comp[0]], n - 1);
+        assert_eq!(c.wavefronts.len(), n);
+    }
+
+    #[test]
+    fn condensation_is_deterministic() {
+        let adj = vec![vec![1, 2], vec![0, 3], vec![3], vec![4], vec![3]];
+        let a = condense(&adj);
+        let b = condense(&adj);
+        assert_eq!(a.comp, b.comp);
+        assert_eq!(a.members, b.members);
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.wavefronts, b.wavefronts);
+        assert_eq!(a.cyclic, b.cyclic);
+    }
+}

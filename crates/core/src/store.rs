@@ -56,7 +56,7 @@
 //! entry being written and removes files one atomic unlink at a time, so a
 //! concurrent reader sees either a full entry or a miss, never a torn one.
 
-use crate::pipeline::{content_hash, content_hash2, FunctionKeySnapshot};
+use crate::pipeline::{content_hash, content_hash2, FunctionKeySnapshot, FunctionPlanKey};
 use crate::plan::ir::{AnalysisStats, MappingPlan, PLAN_FORMAT_VERSION};
 use crate::plan::json::{stats_from_json, stats_to_json, Json};
 use crate::OmpDartOptions;
@@ -102,6 +102,30 @@ pub struct StoredUnit {
     /// Per-function plan-cache key snapshots (source order), used to
     /// re-seed the in-memory function-plan cache on a hit.
     pub functions: Vec<FunctionKeySnapshot>,
+}
+
+/// One unit's queued write-back, as buffered by the session's write-behind
+/// layer and flushed in bulk through [`ArtifactStore::save_many`].
+#[derive(Clone, Debug)]
+pub struct PendingUnitSave {
+    pub name: String,
+    pub source: String,
+    pub link: u64,
+    pub plans: Vec<MappingPlan>,
+    pub stats: AnalysisStats,
+    pub functions: Vec<FunctionKeySnapshot>,
+}
+
+/// One function's persisted planning result, stored (like the in-memory
+/// [`crate::pipeline::FunctionPlanCache`] it mirrors) in the node-id/byte
+/// coordinates of the parse that produced it and relocated on every hit.
+#[derive(Clone, Debug)]
+pub(crate) struct StoredFunctionPlan {
+    pub(crate) base_id: u32,
+    pub(crate) base_pos: u32,
+    pub(crate) analyzed: bool,
+    pub(crate) fallbacks: u64,
+    pub(crate) plan: Option<MappingPlan>,
 }
 
 /// What one garbage-collection pass did.
@@ -175,7 +199,7 @@ impl ArtifactStore {
         ))
     }
 
-    fn entry_files(&self) -> Vec<PathBuf> {
+    fn files_with_prefix(&self, prefix: &str) -> Vec<PathBuf> {
         std::fs::read_dir(&self.dir)
             .map(|entries| {
                 entries
@@ -184,21 +208,38 @@ impl ArtifactStore {
                     .filter(|p| {
                         p.file_name()
                             .and_then(|n| n.to_str())
-                            .is_some_and(|n| n.starts_with("unit-") && n.ends_with(".json"))
+                            .is_some_and(|n| n.starts_with(prefix) && n.ends_with(".json"))
                     })
                     .collect()
             })
             .unwrap_or_default()
     }
 
-    /// Number of entries currently on disk (diagnostics and tests).
+    fn entry_files(&self) -> Vec<PathBuf> {
+        self.files_with_prefix("unit-")
+    }
+
+    /// Every evictable cache file: unit entries plus function-level
+    /// entries. The LRU garbage collector works over this set.
+    fn cache_files(&self) -> Vec<PathBuf> {
+        let mut files = self.files_with_prefix("unit-");
+        files.extend(self.files_with_prefix("fn-"));
+        files
+    }
+
+    /// Number of unit entries currently on disk (diagnostics and tests).
     pub fn entry_count(&self) -> usize {
         self.entry_files().len()
     }
 
-    /// Total size in bytes of all entries currently on disk.
+    /// Number of function-level entries currently on disk.
+    pub fn function_entry_count(&self) -> usize {
+        self.files_with_prefix("fn-").len()
+    }
+
+    /// Total size in bytes of all cache files currently on disk.
     pub fn total_bytes(&self) -> u64 {
-        self.entry_files()
+        self.cache_files()
             .iter()
             .filter_map(|p| std::fs::metadata(p).ok())
             .map(|m| m.len())
@@ -289,6 +330,63 @@ impl ArtifactStore {
         functions: &[FunctionKeySnapshot],
     ) -> std::io::Result<PathBuf> {
         std::fs::create_dir_all(&self.dir)?;
+        let path = self.write_entry(source, options, link, plans, stats, functions)?;
+        self.repoint_ref(name, options, link, &path);
+        self.sweep_legacy(&[name], options, std::slice::from_ref(&path));
+        if let Some(max) = self.max_bytes {
+            let _ = self.gc_protecting(max, std::slice::from_ref(&path));
+        }
+        Ok(path)
+    }
+
+    /// Write back many units' plans in one batch — the write-behind flush
+    /// of a whole-program analysis. Per-entry atomicity is identical to
+    /// [`ArtifactStore::save`] (each entry is its own temp file + rename,
+    /// each superseded previous entry its own atomic unlink), but the
+    /// directory-wide work — the legacy sweep and the LRU garbage
+    /// collection — runs **once** for the whole batch instead of once per
+    /// unit, so a 1000-unit cold link pays one sweep, not 1000. None of the
+    /// just-written entries is ever evicted by the batch's own gc pass.
+    pub fn save_many(
+        &self,
+        options: &OmpDartOptions,
+        saves: &[PendingUnitSave],
+    ) -> std::io::Result<Vec<PathBuf>> {
+        if saves.is_empty() {
+            return Ok(Vec::new());
+        }
+        std::fs::create_dir_all(&self.dir)?;
+        let mut paths = Vec::with_capacity(saves.len());
+        for save in saves {
+            let path = self.write_entry(
+                &save.source,
+                options,
+                save.link,
+                &save.plans,
+                &save.stats,
+                &save.functions,
+            )?;
+            self.repoint_ref(&save.name, options, save.link, &path);
+            paths.push(path);
+        }
+        let names: Vec<&str> = saves.iter().map(|s| s.name.as_str()).collect();
+        self.sweep_legacy(&names, options, &paths);
+        if let Some(max) = self.max_bytes {
+            let _ = self.gc_protecting(max, &paths);
+        }
+        Ok(paths)
+    }
+
+    /// Atomically materialize one content-addressed entry document.
+    fn write_entry(
+        &self,
+        source: &str,
+        options: &OmpDartOptions,
+        link: u64,
+        plans: &[MappingPlan],
+        stats: &AnalysisStats,
+        functions: &[FunctionKeySnapshot],
+    ) -> std::io::Result<PathBuf> {
         let doc = Json::Object(vec![
             (
                 "store_version".into(),
@@ -328,10 +426,6 @@ impl ArtifactStore {
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         std::fs::write(&tmp, doc.render_pretty())?;
         std::fs::rename(&tmp, &path)?;
-        self.prune_superseded(name, options, link, &path);
-        if let Some(max) = self.max_bytes {
-            let _ = self.gc_protecting(max, Some(&path));
-        }
         Ok(path)
     }
 
@@ -339,12 +433,12 @@ impl ArtifactStore {
     /// in `max_bytes`. Returns what the pass did. Entries are removed one
     /// atomic unlink at a time; in-flight temp files are never touched.
     pub fn gc(&self, max_bytes: u64) -> GcReport {
-        self.gc_protecting(max_bytes, None)
+        self.gc_protecting(max_bytes, &[])
     }
 
-    fn gc_protecting(&self, max_bytes: u64, protect: Option<&Path>) -> GcReport {
+    fn gc_protecting(&self, max_bytes: u64, protect: &[PathBuf]) -> GcReport {
         let mut entries: Vec<(PathBuf, SystemTime, u64)> = self
-            .entry_files()
+            .cache_files()
             .into_iter()
             .filter_map(|p| {
                 let meta = std::fs::metadata(&p).ok()?;
@@ -363,7 +457,7 @@ impl ArtifactStore {
             if total <= max_bytes {
                 break;
             }
-            if protect.is_some_and(|keep| keep == path) {
+            if protect.contains(&path) {
                 continue;
             }
             if std::fs::remove_file(&path).is_ok() {
@@ -385,15 +479,8 @@ impl ArtifactStore {
     /// from the one just written, it is deleted (if another unit still
     /// shares that content, its next save simply re-materializes it — a
     /// cache miss, never an error) and the ref is repointed.
-    ///
-    /// Unloadable legacy entries — the pre-v3 `(name, source)`-keyed
-    /// layouts, whose first file-name field is the hash of the unit name —
-    /// are dead weight after an upgrade; any of them matching this name and
-    /// options is removed as well.
-    fn prune_superseded(&self, name: &str, options: &OmpDartOptions, link: u64, keep: &Path) {
+    fn repoint_ref(&self, name: &str, options: &OmpDartOptions, link: u64, keep: &Path) {
         let keep_file = keep.file_name().and_then(|n| n.to_str()).unwrap_or("");
-
-        // Repoint the unit's ref; drop the entry it used to point at.
         let ref_path = self.ref_path(name, options, link);
         if let Ok(previous) = std::fs::read_to_string(&ref_path) {
             let previous = previous.trim();
@@ -407,16 +494,26 @@ impl ArtifactStore {
             }
         }
         let _ = std::fs::write(&ref_path, keep_file);
+    }
 
-        // Legacy (pre-v3) cleanup: entries keyed by the unit name.
-        let name_hash = format!("{:016x}", content_hash(name, ""));
+    /// Legacy (pre-v3) cleanup: entries keyed by any of `names`' hashes.
+    /// One directory scan serves the whole batch.
+    ///
+    /// A v3 entry's first file-name field is a source hash, which collides
+    /// with a name hash only with negligible probability — and a false
+    /// positive costs one cache miss, nothing more.
+    fn sweep_legacy(&self, names: &[&str], options: &OmpDartOptions, keep: &[PathBuf]) {
+        let name_hashes: Vec<String> = names
+            .iter()
+            .map(|name| format!("{:016x}", content_hash(name, "")))
+            .collect();
         let options_hash = format!("{:016x}", options.fingerprint());
         let Ok(entries) = std::fs::read_dir(&self.dir) else {
             return;
         };
         for entry in entries.filter_map(Result::ok) {
             let path = entry.path();
-            if path == keep {
+            if keep.contains(&path) {
                 continue;
             }
             let stale = path
@@ -424,18 +521,151 @@ impl ArtifactStore {
                 .and_then(|n| n.to_str())
                 .and_then(parse_entry_name)
                 .is_some_and(|fields| match fields {
-                    // v2 four-field layout: name-hash first. A v3 entry's
-                    // first field is a source hash, which collides with
-                    // this name's hash only with negligible probability —
-                    // and a false positive costs one cache miss, nothing
-                    // more.
-                    EntryName::Legacy4([n, _, o, _]) => n == name_hash && o == options_hash,
-                    EntryName::Legacy3([n, _, o]) => n == name_hash && o == options_hash,
+                    EntryName::Legacy4([n, _, o, _]) => {
+                        o == options_hash && name_hashes.iter().any(|h| h == n)
+                    }
+                    EntryName::Legacy3([n, _, o]) => {
+                        o == options_hash && name_hashes.iter().any(|h| h == n)
+                    }
                 });
             if stale {
                 let _ = std::fs::remove_file(&path);
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function-level entries
+// ---------------------------------------------------------------------------
+
+/// Hash over the non-snippet components of a function plan key, used as
+/// the third field of a function entry's file name. Purely an index — the
+/// in-file key re-verifies every component individually.
+fn function_meta_hash(key: &FunctionPlanKey) -> u64 {
+    content_hash(
+        &format!(
+            "{:016x}{:016x}{:016x}{:016x}",
+            key.env_hash, key.callees_hash, key.refs_hash, key.options_hash
+        ),
+        "",
+    )
+}
+
+impl ArtifactStore {
+    /// The on-disk path of a function-level entry: two independent hashes
+    /// of the function's source snippet plus one hash over the remaining
+    /// key components (environment, callee summaries, refs, options). The
+    /// file name only indexes — a hit additionally requires the in-file
+    /// key to match, including the stored snippet byte for byte.
+    pub(crate) fn function_entry_path(&self, key: &FunctionPlanKey) -> PathBuf {
+        self.dir.join(format!(
+            "fn-{:016x}-{:016x}-{:016x}.json",
+            source_hash(&key.snippet),
+            source_hash2(&key.snippet),
+            function_meta_hash(key),
+        ))
+    }
+
+    /// Look up one function's stored planning result under the full plan
+    /// key. Same discipline as [`ArtifactStore::load`]: versions, every
+    /// hash component, and the full snippet text must match exactly, and a
+    /// hit refreshes the entry's mtime so LRU eviction sees it as recently
+    /// used. This is what lets two units (or two processes) sharing a
+    /// header-defined `static` function warm each other: the key carries
+    /// no unit name, only the function's complete planning inputs.
+    pub(crate) fn load_function(&self, key: &FunctionPlanKey) -> Option<StoredFunctionPlan> {
+        let path = self.function_entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let doc = Json::parse(&text).ok()?;
+        if doc.get("store_version").and_then(Json::as_int) != Some(i64::from(STORE_FORMAT_VERSION))
+            || doc.get("version").and_then(Json::as_int) != Some(i64::from(PLAN_FORMAT_VERSION))
+        {
+            return None;
+        }
+        let stored_key = doc.get("key")?;
+        let matches = stored_key.get("len").and_then(Json::as_int)
+            == Some(key.snippet.len() as i64)
+            && hex_u64(stored_key.get("env")) == Some(key.env_hash)
+            && hex_u64(stored_key.get("callees")) == Some(key.callees_hash)
+            && hex_u64(stored_key.get("refs")) == Some(key.refs_hash)
+            && hex_u64(stored_key.get("options")) == Some(key.options_hash)
+            && doc.get("snippet").and_then(Json::as_str) == Some(key.snippet.as_str());
+        if !matches {
+            return None;
+        }
+        let int_u32 = |k: &str| -> Option<u32> {
+            doc.get(k)
+                .and_then(Json::as_int)
+                .and_then(|n| u32::try_from(n).ok())
+        };
+        let plan = match doc.get("plan") {
+            Some(value) => Some(MappingPlan::from_json_value(value).ok()?),
+            None => None,
+        };
+        let entry = StoredFunctionPlan {
+            base_id: int_u32("base_id")?,
+            base_pos: int_u32("base_pos")?,
+            analyzed: doc.get("analyzed").and_then(Json::as_bool)?,
+            fallbacks: doc
+                .get("fallbacks")
+                .and_then(Json::as_int)
+                .and_then(|n| u64::try_from(n).ok())?,
+            plan,
+        };
+        if let Ok(file) = std::fs::OpenOptions::new().write(true).open(&path) {
+            let _ = file.set_modified(SystemTime::now());
+        }
+        Some(entry)
+    }
+
+    /// Write back one function's planning result under its full plan key.
+    /// Atomic (temp file + rename) like the unit entries; no directory
+    /// sweep or gc runs here — function entries participate in the LRU
+    /// accounting of the next unit-level save's gc pass instead.
+    pub(crate) fn save_function(
+        &self,
+        key: &FunctionPlanKey,
+        entry: &StoredFunctionPlan,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(&self.dir)?;
+        let mut fields = vec![
+            (
+                "store_version".into(),
+                Json::Int(i64::from(STORE_FORMAT_VERSION)),
+            ),
+            ("version".into(), Json::Int(i64::from(PLAN_FORMAT_VERSION))),
+            (
+                "key".into(),
+                Json::Object(vec![
+                    ("len".into(), Json::Int(key.snippet.len() as i64)),
+                    ("env".into(), Json::Str(format!("{:016x}", key.env_hash))),
+                    (
+                        "callees".into(),
+                        Json::Str(format!("{:016x}", key.callees_hash)),
+                    ),
+                    ("refs".into(), Json::Str(format!("{:016x}", key.refs_hash))),
+                    (
+                        "options".into(),
+                        Json::Str(format!("{:016x}", key.options_hash)),
+                    ),
+                ]),
+            ),
+            ("snippet".into(), Json::Str(key.snippet.clone())),
+            ("base_id".into(), Json::Int(i64::from(entry.base_id))),
+            ("base_pos".into(), Json::Int(i64::from(entry.base_pos))),
+            ("analyzed".into(), Json::Bool(entry.analyzed)),
+            ("fallbacks".into(), Json::Int(entry.fallbacks as i64)),
+        ];
+        if let Some(plan) = &entry.plan {
+            fields.push(("plan".into(), plan.to_json_value()));
+        }
+        let doc = Json::Object(fields);
+        let path = self.function_entry_path(key);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, doc.render_pretty())?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(path)
     }
 }
 
@@ -834,6 +1064,186 @@ mod tests {
         assert!(store.load("v1", &options, UNLINKED).is_some());
         assert!(store.load("v1", &options, linked).is_none());
         assert!(store.load("v2", &options, linked).is_some());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// `save_many` batches a whole program's write-backs: per-entry
+    /// atomicity and ref-repointing match `save` (superseded content is
+    /// pruned), with one legacy sweep and one gc pass for the batch.
+    #[test]
+    fn save_many_batches_and_prunes_like_save() {
+        let store = temp_store("many");
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        let batch = |srcs: &[(&str, &str)]| -> Vec<PendingUnitSave> {
+            srcs.iter()
+                .map(|(name, src)| PendingUnitSave {
+                    name: name.to_string(),
+                    source: src.to_string(),
+                    link: UNLINKED,
+                    plans: plans.clone(),
+                    stats,
+                    functions: Vec::new(),
+                })
+                .collect()
+        };
+        let paths = store
+            .save_many(
+                &options,
+                &batch(&[("a.c", "s1"), ("b.c", "s2"), ("c.c", "s3")]),
+            )
+            .unwrap();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(store.entry_count(), 3);
+        for src in ["s1", "s2", "s3"] {
+            assert!(store.load(src, &options, UNLINKED).is_some());
+        }
+
+        // A re-flush with one edited unit prunes only its superseded entry.
+        store
+            .save_many(
+                &options,
+                &batch(&[("a.c", "s1-edited"), ("b.c", "s2"), ("c.c", "s3")]),
+            )
+            .unwrap();
+        assert_eq!(store.entry_count(), 3);
+        assert!(store.load("s1", &options, UNLINKED).is_none());
+        assert!(store.load("s1-edited", &options, UNLINKED).is_some());
+        assert!(store.load("s2", &options, UNLINKED).is_some());
+
+        // The empty batch is a no-op.
+        assert!(store.save_many(&options, &[]).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    /// The batch flush enforces the size cap once, and never evicts an
+    /// entry the batch itself just wrote — only older entries age out.
+    #[test]
+    fn save_many_gc_protects_the_whole_batch() {
+        let dir =
+            std::env::temp_dir().join(format!("ompdart-store-test-{}-manycap", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let probe = ArtifactStore::open(&dir);
+        let options = OmpDartOptions::default();
+        let stats = AnalysisStats::default();
+        let plans = sample_plans();
+        probe
+            .save("probe.c", "p", &options, UNLINKED, &plans, &stats, &[])
+            .unwrap();
+        let one = probe.total_bytes();
+        let _ = probe.gc(0);
+
+        // Room for roughly three entries; one old entry, then a batch of
+        // three: the old entry is the only eviction candidate.
+        let store = ArtifactStore::open(&dir).with_max_bytes(one * 3 + one / 2);
+        store
+            .save("old.c", "old", &options, UNLINKED, &plans, &stats, &[])
+            .unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let batch: Vec<PendingUnitSave> = [("n0.c", "n0"), ("n1.c", "n1"), ("n2.c", "n2")]
+            .iter()
+            .map(|(name, src)| PendingUnitSave {
+                name: name.to_string(),
+                source: src.to_string(),
+                link: UNLINKED,
+                plans: plans.clone(),
+                stats,
+                functions: Vec::new(),
+            })
+            .collect();
+        store.save_many(&options, &batch).unwrap();
+        for src in ["n0", "n1", "n2"] {
+            assert!(
+                store.load(src, &options, UNLINKED).is_some(),
+                "batch member {src} must survive its own flush"
+            );
+        }
+        assert!(
+            store.load("old", &options, UNLINKED).is_none(),
+            "the pre-existing entry must be the one evicted"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn sample_fn_key() -> FunctionPlanKey {
+        FunctionPlanKey {
+            snippet: "static void f(void) { }".into(),
+            env_hash: 0xaaaa,
+            callees_hash: 0xbbbb,
+            refs_hash: 0,
+            options_hash: 0xcccc,
+        }
+    }
+
+    /// Function-level entries round-trip under the full plan key, reject
+    /// any differing component (including a tampered snippet), and
+    /// participate in the LRU gc accounting.
+    #[test]
+    fn function_entries_round_trip_and_verify_their_key() {
+        let store = temp_store("fnentry");
+        let key = sample_fn_key();
+        let entry = StoredFunctionPlan {
+            base_id: 7,
+            base_pos: 120,
+            analyzed: true,
+            fallbacks: 2,
+            plan: Some(sample_plans().remove(0)),
+        };
+        store.save_function(&key, &entry).unwrap();
+        assert_eq!(store.function_entry_count(), 1);
+        assert_eq!(
+            store.entry_count(),
+            0,
+            "function entries are not unit entries"
+        );
+        let hit = store.load_function(&key).expect("exact key must hit");
+        assert_eq!(hit.base_id, 7);
+        assert_eq!(hit.base_pos, 120);
+        assert!(hit.analyzed);
+        assert_eq!(hit.fallbacks, 2);
+        assert_eq!(hit.plan, entry.plan);
+
+        // Any differing key component must miss.
+        let mut other = sample_fn_key();
+        other.env_hash ^= 1;
+        assert!(store.load_function(&other).is_none());
+        let mut other = sample_fn_key();
+        other.callees_hash ^= 1;
+        assert!(store.load_function(&other).is_none());
+        let mut other = sample_fn_key();
+        other.snippet.push(' ');
+        assert!(store.load_function(&other).is_none());
+
+        // A tampered snippet (index-collision simulation) is rejected by
+        // the byte-for-byte verification.
+        let path = store.function_entry_path(&key);
+        let tampered = std::fs::read_to_string(&path).unwrap().replacen(
+            "static void f(void) { }",
+            "static void g(void) { }",
+            1,
+        );
+        std::fs::write(&path, tampered).unwrap();
+        assert!(store.load_function(&key).is_none());
+
+        // Entries without a plan round-trip too.
+        let planless = StoredFunctionPlan {
+            base_id: 1,
+            base_pos: 0,
+            analyzed: false,
+            fallbacks: 0,
+            plan: None,
+        };
+        store.save_function(&key, &planless).unwrap();
+        let hit = store.load_function(&key).unwrap();
+        assert!(hit.plan.is_none());
+        assert!(!hit.analyzed);
+
+        // Function entries are part of the gc accounting.
+        assert!(store.total_bytes() > 0);
+        let report = store.gc(0);
+        assert!(report.entries_evicted >= 1);
+        assert_eq!(store.function_entry_count(), 0);
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

@@ -7,6 +7,8 @@
 //! *expert-optimized* variants, together with:
 //!
 //! * [`complexity`] — the data-mapping complexity metrics of Table IV,
+//! * [`corpus`] — a seeded generator for ~1000-unit synthetic programs
+//!   that stress the whole-program link fixed point at scale,
 //! * [`experiment`] — the harness that transforms each unoptimized program
 //!   with OMPDart, simulates all three variants on the offload runtime
 //!   simulator, and derives Figures 3-6, Table V, and the Section VI
@@ -25,6 +27,7 @@
 
 pub mod benchmarks;
 pub mod complexity;
+pub mod corpus;
 pub mod experiment;
 pub mod report;
 
@@ -33,6 +36,7 @@ pub use benchmarks::{
     lulesh_multifile_expert, lulesh_multifile_expert_concat, one_function_edit, Benchmark, Suite,
 };
 pub use complexity::{complexity_of, table4_rows, ComplexityRow};
+pub use corpus::{concat as corpus_concat, edit_one_function, generate as generate_corpus};
 pub use experiment::{
     run_all, run_all_with_session, run_benchmark, run_benchmark_with_session,
     run_multifile_benchmark, run_multifile_benchmark_with_session, summarize, BenchmarkResult,

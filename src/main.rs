@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
-//! ompdart analyze <a.c> <b.c>... [--out-dir DIR] [--timings]   # linked whole program
+//! ompdart analyze <a.c> <b.c>... [--out-dir DIR] [--timings] [--link-threads N]   # linked whole program
 //! ompdart explain <input.c>
 //! ompdart diff-plan <left> <right>        # each side: plan .json or a .c source
 //! ompdart batch <input.c>... [--threads N] [--out-dir DIR]
@@ -42,12 +42,13 @@ USAGE:
     ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
                     [--pessimistic-globals]
     ompdart analyze <a.c> <b.c>... [--out-dir <dir>] [--timings] [--pessimistic-globals]
+                    [--link-threads <N>]
     ompdart explain <input.c>
     ompdart diff-plan <left> <right>
     ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>] [--pessimistic-globals]
     ompdart watch <dir> [--out-dir <dir>] [--cache-dir <dir>] [--interval-ms <N>]
-                  [--iterations <N>] [--once]
-    ompdart serve [--out-dir <dir>] [--cache-dir <dir>]
+                  [--iterations <N>] [--once] [--link-threads <N>]
+    ompdart serve [--out-dir <dir>] [--cache-dir <dir>] [--link-threads <N>]
     ompdart cache gc <dir> [--max-bytes <N[k|m|g]>]
     ompdart help
 
@@ -62,7 +63,9 @@ SUBCOMMANDS:
                `<stem>.mapped.c` (next to the input, or into --out-dir).
                --pessimistic-globals opts into assuming unknown extern
                callees clobber every global (default: they only touch
-               their non-const pointer arguments).
+               their non-const pointer arguments). --link-threads caps
+               the link-stage wavefront workers (0 = auto); results are
+               byte-identical at every worker count.
     explain    Print one justified line per mapping construct: the
                OpenMP syntax, the dataflow fact that forced it, the
                deciding pipeline stage and source location.
@@ -154,6 +157,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut timings = false;
     let mut simulate = false;
     let mut pessimistic_globals = false;
+    let mut link_threads = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -172,6 +176,13 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             "--timings" => timings = true,
             "--simulate" => simulate = true,
             "--pessimistic-globals" => pessimistic_globals = true,
+            "--link-threads" => {
+                link_threads = it
+                    .next()
+                    .ok_or("`--link-threads` expects a number")?
+                    .parse::<usize>()
+                    .map_err(|_| "`--link-threads` expects a number".to_string())?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path => inputs.push(path),
         }
@@ -185,7 +196,10 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
                     .into(),
             );
         }
-        return cmd_analyze_program(&inputs, out_dir, timings, pessimistic_globals);
+        return cmd_analyze_program(&inputs, out_dir, timings, pessimistic_globals, link_threads);
+    }
+    if link_threads != 0 {
+        return Err("`--link-threads` applies to multi-input (linked) analyze".into());
     }
     if out_dir.is_some() {
         return Err("`--out-dir` applies to multi-input analyze; use `-o <out.c>`".into());
@@ -299,6 +313,7 @@ fn cmd_analyze_program(
     out_dir: Option<&str>,
     timings: bool,
     pessimistic_globals: bool,
+    link_threads: usize,
 ) -> Result<ExitCode, String> {
     let pairs: Vec<(String, String)> = inputs
         .iter()
@@ -309,6 +324,7 @@ fn cmd_analyze_program(
     }
     let tool = Ompdart::builder()
         .pessimistic_globals(pessimistic_globals)
+        .link_threads(link_threads)
         .build();
     let start = Instant::now();
     let program = tool
@@ -717,12 +733,15 @@ struct SessionFlags {
     cache_dir: Option<String>,
     cache_max_bytes: Option<u64>,
     pessimistic_globals: bool,
+    link_threads: usize,
 }
 
 impl SessionFlags {
     /// Build the long-lived tool these commands share.
     fn tool(&self) -> Ompdart {
-        let mut builder = Ompdart::builder().pessimistic_globals(self.pessimistic_globals);
+        let mut builder = Ompdart::builder()
+            .pessimistic_globals(self.pessimistic_globals)
+            .link_threads(self.link_threads);
         if let Some(dir) = &self.cache_dir {
             builder = builder.cache_dir(dir);
         }
@@ -740,6 +759,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         cache_dir: None,
         cache_max_bytes: None,
         pessimistic_globals: false,
+        link_threads: 0,
     };
     let mut interval_ms: u64 = 500;
     let mut iterations: Option<u64> = None;
@@ -783,6 +803,13 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
             }
             "--once" => once = true,
             "--pessimistic-globals" => flags.pessimistic_globals = true,
+            "--link-threads" => {
+                flags.link_threads = it
+                    .next()
+                    .ok_or("`--link-threads` expects a number")?
+                    .parse()
+                    .map_err(|_| "`--link-threads` expects a number".to_string())?;
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
             path if dir.is_none() => dir = Some(path),
             extra => return Err(format!("unexpected argument `{extra}`")),
@@ -943,11 +970,19 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         cache_dir: None,
         cache_max_bytes: None,
         pessimistic_globals: false,
+        link_threads: 0,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--pessimistic-globals" => flags.pessimistic_globals = true,
+            "--link-threads" => {
+                flags.link_threads = it
+                    .next()
+                    .ok_or("`--link-threads` expects a number")?
+                    .parse()
+                    .map_err(|_| "`--link-threads` expects a number".to_string())?;
+            }
             "--out-dir" => {
                 flags.out_dir = Some(
                     it.next()

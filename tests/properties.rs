@@ -551,3 +551,149 @@ proptest! {
         prop_assert_eq!(program.stats().unknown_callee_fallbacks, 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// SCC-parallel link fixed point: arbitrary call graphs agree everywhere
+// ---------------------------------------------------------------------------
+
+/// The guarded header for the arbitrary-call-graph generator.
+fn graph_header(n: usize) -> String {
+    let mut h =
+        String::from("#ifndef SCCGEN_H\n#define SCCGEN_H\n#define N 40\nextern double field[N];\n");
+    for i in 0..n {
+        h.push_str(&format!("void g{i}();\n"));
+    }
+    h.push_str("#endif\n");
+    h
+}
+
+/// Render graph function `i`: it always touches the shared global (so
+/// summaries are non-trivial), optionally launches a kernel, and calls
+/// every `j` whose bit is set in row `i` of the edge mask — including
+/// self-loops, back edges, and mutual recursion, so the condensation has
+/// genuinely cyclic components.
+fn render_graph_fn(i: usize, n: usize, edges: u64, kernel: bool) -> String {
+    let mut body = format!("  field[{}] += 1.0;\n", i % 40);
+    if kernel {
+        body.push_str(
+            "  #pragma omp target teams distribute parallel for\n  for (int i = 0; i < N; i++) field[i] += 1.0;\n",
+        );
+    }
+    for j in 0..n {
+        if (edges >> (i * n + j)) & 1 == 1 {
+            body.push_str(&format!("  if (field[{i}] > 100.0) {{ g{j}(); }}\n"));
+        }
+    }
+    format!("void g{i}() {{\n{body}}}\n")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// For an arbitrary call graph — cycles, mutual recursion, and
+    /// unit-private `static` helpers included — split across units:
+    ///
+    /// * the SCC-wavefront merged fixed point is byte-identical to the
+    ///   sequential reference sweep (at any worker count),
+    /// * the linked whole-program rewrite is byte-identical to analyzing
+    ///   the concatenated single translation unit,
+    /// * no intra-program call falls back to the pessimistic assumption.
+    #[test]
+    fn scc_parallel_link_matches_sequential_and_concatenation(
+        n in 3usize..8,
+        edges in 0u64..u64::MAX,
+        kernels in 0u64..256,
+        cuts in 0u64..256,
+        units_wanted in 2usize..4,
+    ) {
+        let header = graph_header(n);
+        let functions: Vec<String> = (0..n)
+            .map(|i| render_graph_fn(i, n, edges, (kernels >> i) & 1 == 1))
+            .collect();
+
+        // Assign the graph functions to units (monotone split from `cuts`).
+        let k = units_wanted.clamp(1, n);
+        let mut assignment = Vec::with_capacity(n);
+        let mut unit = 0usize;
+        for i in 0..n {
+            let remaining_funcs = n - i;
+            let remaining_units = k - unit - 1;
+            let advance = remaining_units > 0
+                && (remaining_funcs <= remaining_units || (cuts >> i) & 1 == 1);
+            assignment.push(unit);
+            if advance {
+                unit += 1;
+            }
+        }
+        let used = assignment.last().copied().unwrap_or(0) + 1;
+        let mut units: Vec<(String, String)> = (0..used)
+            .map(|u| {
+                let mut text = header.clone();
+                if u == 0 {
+                    text.push_str("double field[N];\n");
+                }
+                // A unit-private `static` helper plus its in-unit caller:
+                // the mangled `name@unit` path is on every split. Unique
+                // names keep the concatenation a valid single unit.
+                text.push_str(&format!(
+                    "static void priv{u}() {{\n  field[1] += 2.0;\n}}\nvoid wrap{u}() {{\n  priv{u}();\n}}\n"
+                ));
+                (format!("scc_unit{u}.c"), text)
+            })
+            .collect();
+        for (func, unit) in functions.iter().zip(&assignment) {
+            units[*unit].1.push_str(func);
+        }
+        let mut main_body = String::new();
+        for i in 0..n {
+            main_body.push_str(&format!("  g{i}();\n"));
+        }
+        for u in 0..used {
+            main_body.push_str(&format!("  wrap{u}();\n"));
+        }
+        units[used - 1].1.push_str(&format!(
+            "int main() {{\n{main_body}  printf(\"%f\\n\", field[3]);\n  return 0;\n}}\n"
+        ));
+        let concat: String = units.iter().map(|(_, s)| s.as_str()).collect();
+
+        // Linked (SCC-wavefront) analysis == concatenated single unit.
+        let driver = ompdart_core::ProgramDriver::new();
+        let program_analysis = match driver.analyze_program(&units) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("link failed: {e}\n{concat}"))),
+        };
+        let cold = match ompdart_core::AnalysisSession::new().analyze("scc_concat.c", &concat) {
+            Ok(a) => a,
+            Err(e) => {
+                return Err(TestCaseError::fail(format!(
+                    "concat analysis failed: {e}\n{concat}"
+                )))
+            }
+        };
+        let linked: String = program_analysis
+            .units
+            .iter()
+            .map(|u| u.rewrite.source.as_str())
+            .collect();
+        prop_assert_eq!(
+            &linked, &cold.rewrite.source,
+            "linked != concatenated for edges {:#x} cuts {:#x}\n{}", edges, cuts, concat
+        );
+        prop_assert_eq!(program_analysis.stats().unknown_callee_fallbacks, 0);
+
+        // The merged fixed point: wavefront engine (several worker
+        // counts) byte-identical to the sequential reference sweep.
+        let options = ompdart_core::OmpDartOptions::default();
+        let program = driver.link(&units).expect("relink of the same inputs");
+        let sequential =
+            ompdart_core::Program::propagate_merged_sequential(&program.units, &options);
+        for threads in [1usize, 4] {
+            let parallel =
+                ompdart_core::Program::propagate_merged(&program.units, &options, threads);
+            prop_assert!(
+                parallel.same_summaries(&sequential),
+                "parallel({threads}) != sequential for edges {:#x}\n{}", edges, concat
+            );
+        }
+    }
+}
