@@ -365,6 +365,22 @@ impl Ompdart {
         })
     }
 
+    /// [`Ompdart::analyze`] plus a per-request [`UnitServe`] report: how
+    /// *this* call was served (in-memory cache, persistent store, or
+    /// planned with `reused`/`replanned` function-plan counts), derived
+    /// from the request's own lookups rather than deltas of the
+    /// session-global counters — sound even when many requests interleave
+    /// on one shared session.
+    pub fn analyze_with_serve(
+        &self,
+        name: &str,
+        source: &str,
+    ) -> Result<(Analysis, UnitServe), StageError> {
+        self.session
+            .analyze_served(name, source)
+            .map(|(unit, serve)| (Analysis { unit }, serve))
+    }
+
     /// Analyze many `(name, source)` pairs concurrently over this tool's
     /// shared session, preserving input order. The builder's `parallelism`
     /// governs the batch worker count as well as the per-function fan-out.

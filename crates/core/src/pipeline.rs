@@ -1931,6 +1931,20 @@ impl AnalysisSession {
     /// from disk, only parse/graphs/rewrite re-run), then the full
     /// pipeline, whose planning stage consults the function-granular cache.
     pub fn analyze(&self, name: &str, source: &str) -> Result<Arc<UnitAnalysis>, StageError> {
+        self.analyze_served(name, source).map(|(unit, _)| unit)
+    }
+
+    /// [`Self::analyze`] plus a *per-request* [`UnitServe`] report derived
+    /// from this call's own cache lookups and planning artifacts — never
+    /// from before/after deltas of the session-global counters, which are
+    /// only sound when requests cannot interleave. Long-lived concurrent
+    /// front doors (`ompdart serve`, the `ompdartd` daemon) report how each
+    /// individual request was served through this.
+    pub fn analyze_served(
+        &self,
+        name: &str,
+        source: &str,
+    ) -> Result<(Arc<UnitAnalysis>, UnitServe), StageError> {
         let key = content_hash(name, source);
         let find = |bucket: &[Arc<UnitAnalysis>]| {
             bucket
@@ -1946,7 +1960,7 @@ impl AnalysisSession {
             .and_then(|b| find(b))
         {
             self.counters.analysis_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(hit);
+            return Ok((hit, UnitServe::Cached));
         }
         self.counters
             .analysis_misses
@@ -1969,7 +1983,7 @@ impl AnalysisSession {
             counter.fetch_add(1, Ordering::Relaxed);
             hit
         });
-        let analysis = match stored {
+        let (analysis, served) = match stored {
             Some(stored) => {
                 // Re-seed the function-granular plan cache from the
                 // persisted per-function keys, so the first *edit* after
@@ -1990,14 +2004,17 @@ impl AnalysisSession {
                 // A store-served analysis carries empty access/summary
                 // artifacts: they are intermediates of planning, which was
                 // skipped.
-                Arc::new(UnitAnalysis {
-                    parsed,
-                    graphs,
-                    accesses: Arc::new(AccessArtifact::empty()),
-                    summaries: Arc::new(SummariesArtifact::empty()),
-                    plans,
-                    rewrite,
-                })
+                (
+                    Arc::new(UnitAnalysis {
+                        parsed,
+                        graphs,
+                        accesses: Arc::new(AccessArtifact::empty()),
+                        summaries: Arc::new(SummariesArtifact::empty()),
+                        plans,
+                        rewrite,
+                    }),
+                    UnitServe::Store,
+                )
             }
             None => {
                 let accesses = self.accesses(&parsed, &graphs);
@@ -2020,26 +2037,34 @@ impl AnalysisSession {
                         );
                     }
                 }
-                Arc::new(UnitAnalysis {
-                    parsed,
-                    graphs,
-                    accesses,
-                    summaries,
-                    plans,
-                    rewrite,
-                })
+                let served = UnitServe::Planned {
+                    reused: plans.plan_cache_hits,
+                    replanned: plans.plan_cache_misses,
+                };
+                (
+                    Arc::new(UnitAnalysis {
+                        parsed,
+                        graphs,
+                        accesses,
+                        summaries,
+                        plans,
+                        rewrite,
+                    }),
+                    served,
+                )
             }
         };
         // First writer wins, as in `parse`: concurrent analyses of the same
         // content may both compute (benign duplicated work), but every
-        // caller observes the same cached Arc afterwards.
+        // caller observes the same cached Arc afterwards. The serve report
+        // stays this request's own — the duplicated work really happened.
         let mut cache = self.unit_cache.lock().unwrap();
         let bucket = cache.entry(key).or_default();
         if let Some(winner) = find(bucket) {
-            return Ok(winner);
+            return Ok((winner, served));
         }
         bucket.push(Arc::clone(&analysis));
-        Ok(analysis)
+        Ok((analysis, served))
     }
 
     /// Re-seed the in-memory function-plan cache from a store hit's

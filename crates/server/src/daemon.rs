@@ -1,0 +1,880 @@
+//! `ompdartd`: the long-lived analysis daemon.
+//!
+//! The daemon listens on a unix socket (or, opted in, a TCP address) and
+//! speaks the length-prefixed JSON protocol of [`crate::protocol`]. Each
+//! connection gets a reader thread that decodes frames and *immediately*
+//! hands analysis work to the shared [`WorkerPool`], keyed by program — so
+//! one client can pipeline requests for several programs, two clients
+//! editing the same program serialize on its warm session, and two clients
+//! editing different programs run fully in parallel, each against its own
+//! [`ProgramRegistry`] session (own link state, own counters, own store
+//! subdirectory). Responses are written back under a per-connection writer
+//! lock and matched by `id`, so they may legally arrive out of submission
+//! order.
+//!
+//! Shutdown — SIGINT, SIGTERM, or a `shutdown` request — is graceful and
+//! durable: the accept loop stops, every connection's read half is shut
+//! down (in-flight responses still deliver), reader threads are joined,
+//! the pool drains every submitted job, and **every program session's
+//! write-behind store buffer is flushed** before the socket file is
+//! removed. A daemon killed this way restarts warm from its store.
+
+use crate::pool::WorkerPool;
+use crate::protocol::{
+    self, error_response, ok_response, ErrorKind, FrameError, RequestError, PROTOCOL_VERSION,
+};
+use crate::registry::{ProgramRegistry, ProgramSession, RegistryConfig, RequestStats};
+use crate::signal::{self, ShutdownToken};
+use ompdart_core::plan::Json;
+use ompdart_core::{Analysis, CacheStats, UnitServe};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Where the daemon listens / the client connects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A unix-domain socket at this path (the default transport).
+    Unix(PathBuf),
+    /// A TCP address like `127.0.0.1:7171` (opt-in: `--tcp`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parse a CLI spec: `tcp:ADDR` selects TCP, anything else is a unix
+    /// socket path.
+    pub fn parse(spec: &str) -> Endpoint {
+        match spec.strip_prefix("tcp:") {
+            Some(addr) => Endpoint::Tcp(addr.to_string()),
+            None => Endpoint::Unix(PathBuf::from(spec)),
+        }
+    }
+
+    /// Connect a client stream to this endpoint.
+    pub fn connect(&self) -> std::io::Result<Conn> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Conn::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr).map(Conn::Tcp),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// One bidirectional protocol stream (either transport).
+#[derive(Debug)]
+pub enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        match self {
+            Conn::Unix(s) => s.try_clone().map(Conn::Unix),
+            Conn::Tcp(s) => s.try_clone().map(Conn::Tcp),
+        }
+    }
+
+    /// Stop the peer's requests from arriving while letting queued
+    /// responses drain — the graceful-shutdown half-close.
+    fn shutdown_read(&self) {
+        let _ = match self {
+            Conn::Unix(s) => s.shutdown(Shutdown::Read),
+            Conn::Tcp(s) => s.shutdown(Shutdown::Read),
+        };
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn set_nonblocking(&self) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(l) => l.set_nonblocking(true),
+            Listener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Listener::Unix(l) => l.accept().map(|(s, _)| Conn::Unix(s)),
+            Listener::Tcp(l) => l.accept().map(|(s, _)| Conn::Tcp(s)),
+        }
+    }
+}
+
+/// Daemon construction knobs.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Listen endpoint.
+    pub endpoint: Endpoint,
+    /// Registry (per-program session) configuration.
+    pub registry: RegistryConfig,
+    /// Worker-pool threads (0 = the machine's parallelism).
+    pub workers: usize,
+    /// Suppress per-request log lines on stderr.
+    pub quiet: bool,
+}
+
+struct Shared {
+    registry: ProgramRegistry,
+    pool: WorkerPool,
+    /// Read-half clones of live connections, for the shutdown half-close.
+    conns: Mutex<HashMap<u64, Conn>>,
+    quiet: bool,
+}
+
+impl Shared {
+    fn log(&self, line: std::fmt::Arguments<'_>) {
+        if !self.quiet {
+            eprintln!("[ompdartd] {line}");
+        }
+    }
+}
+
+/// A running daemon: join it, or ask it to stop.
+pub struct DaemonHandle {
+    endpoint: Endpoint,
+    token: ShutdownToken,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl DaemonHandle {
+    /// Bind the endpoint and start serving. Fails only if the socket
+    /// cannot be bound. A stale unix socket file is replaced.
+    pub fn spawn(config: DaemonConfig) -> std::io::Result<DaemonHandle> {
+        let token = signal::install();
+        let (listener, endpoint) = match &config.endpoint {
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                if let Some(parent) = path.parent() {
+                    if !parent.as_os_str().is_empty() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                }
+                (
+                    Listener::Unix(UnixListener::bind(path)?),
+                    Endpoint::Unix(path.clone()),
+                )
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr.as_str())?;
+                let actual = listener.local_addr()?.to_string();
+                (Listener::Tcp(listener), Endpoint::Tcp(actual))
+            }
+        };
+        listener.set_nonblocking()?;
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        } else {
+            config.workers
+        };
+        let shared = Arc::new(Shared {
+            registry: ProgramRegistry::new(config.registry),
+            pool: WorkerPool::new(workers),
+            conns: Mutex::new(HashMap::new()),
+            quiet: config.quiet,
+        });
+        shared.log(format_args!(
+            "listening on {endpoint} ({workers} workers, protocol v{PROTOCOL_VERSION})"
+        ));
+        let accept_token = token.clone();
+        let accept_shared = Arc::clone(&shared);
+        let accept_endpoint = endpoint.clone();
+        let accept = std::thread::Builder::new()
+            .name("ompdartd-accept".into())
+            .spawn(move || accept_loop(listener, accept_endpoint, accept_shared, accept_token))?;
+        Ok(DaemonHandle {
+            endpoint,
+            token,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound endpoint (with TCP port 0 resolved to the real port).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The daemon's shutdown token (shared with the accept loop).
+    pub fn token(&self) -> ShutdownToken {
+        self.token.clone()
+    }
+
+    /// Ask the daemon to stop (same path as SIGTERM / `shutdown`).
+    pub fn request_shutdown(&self) {
+        self.token.request();
+    }
+
+    /// Block until the daemon has fully shut down (drained + flushed).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for DaemonHandle {
+    fn drop(&mut self) {
+        self.token.request();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_loop(listener: Listener, endpoint: Endpoint, shared: Arc<Shared>, token: ShutdownToken) {
+    let next_conn = AtomicU64::new(0);
+    let mut readers: Vec<JoinHandle<()>> = Vec::new();
+    while !token.is_shutdown() {
+        match listener.accept() {
+            Ok(conn) => {
+                let id = next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(read_half) = conn.try_clone() {
+                    shared.conns.lock().unwrap().insert(id, read_half);
+                }
+                let conn_shared = Arc::clone(&shared);
+                let conn_token = token.clone();
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name(format!("ompdartd-conn-{id}"))
+                    .spawn(move || connection_loop(id, conn, conn_shared, conn_token))
+                {
+                    readers.push(handle);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(25)),
+        }
+    }
+    // Graceful shutdown: no new connections (listener drops below), no new
+    // requests (half-close every reader), then drain and flush.
+    drop(listener);
+    for conn in shared.conns.lock().unwrap().values() {
+        conn.shutdown_read();
+    }
+    for reader in readers {
+        let _ = reader.join();
+    }
+    shared.pool.drain();
+    let flushed = shared.registry.flush_all();
+    shared.log(format_args!(
+        "graceful shutdown: drained in-flight requests, flushed {flushed} store entries"
+    ));
+    if let Endpoint::Unix(path) = &endpoint {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+fn connection_loop(id: u64, mut conn: Conn, shared: Arc<Shared>, token: ShutdownToken) {
+    let writer: Arc<Mutex<Conn>> = match conn.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => {
+            shared.conns.lock().unwrap().remove(&id);
+            return;
+        }
+    };
+    loop {
+        match protocol::read_frame(&mut conn) {
+            Ok(payload) => handle_payload(&payload, &shared, &token, &writer),
+            Err(FrameError::Closed) => break,
+            Err(e) => {
+                // The stream cannot be re-synchronized after a framing
+                // violation: report and close.
+                let err = RequestError::new(ErrorKind::BadFrame, e.to_string());
+                respond(&writer, error_response(None, &err));
+                break;
+            }
+        }
+        if token.is_shutdown() {
+            break;
+        }
+    }
+    shared.conns.lock().unwrap().remove(&id);
+}
+
+fn respond(writer: &Arc<Mutex<Conn>>, response: Json) {
+    let payload = response.render();
+    let mut writer = writer
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let _ = protocol::write_frame(&mut *writer, &payload);
+}
+
+/// Decode one request payload and dispatch it. Cheap requests answer
+/// inline on the reader thread; analysis runs on the pool under the
+/// program's shard key.
+fn handle_payload(
+    payload: &str,
+    shared: &Arc<Shared>,
+    token: &ShutdownToken,
+    writer: &Arc<Mutex<Conn>>,
+) {
+    let request = match Json::parse(payload) {
+        Ok(value) => value,
+        Err(e) => {
+            let err = RequestError::new(ErrorKind::BadJson, format!("invalid JSON: {e}"));
+            respond(writer, error_response(None, &err));
+            return;
+        }
+    };
+    let id = request.get("id").and_then(Json::as_int);
+    let version = request.get("version").and_then(Json::as_int);
+    if version != Some(i64::from(PROTOCOL_VERSION)) {
+        let err = RequestError::new(
+            ErrorKind::BadRequest,
+            format!(
+                "unsupported protocol version {:?} (daemon speaks {PROTOCOL_VERSION})",
+                version
+            ),
+        );
+        respond(writer, error_response(id, &err));
+        return;
+    }
+    let kind = match request.get("request").and_then(Json::as_str) {
+        Some(kind) => kind.to_string(),
+        None => {
+            let err = RequestError::new(ErrorKind::BadRequest, "missing `request` field");
+            respond(writer, error_response(id, &err));
+            return;
+        }
+    };
+    let outcome = match kind.as_str() {
+        "analyze" => submit_analyze(&request, id, shared, writer),
+        "explain" => submit_explain(&request, id, shared, writer),
+        "stats" => {
+            respond(writer, ok_response(id, stats_result(shared)));
+            Ok(())
+        }
+        "gc" => handle_gc(&request, id, shared, writer),
+        "shutdown" => {
+            shared.log(format_args!("shutdown requested (id={id:?})"));
+            respond(
+                writer,
+                ok_response(
+                    id,
+                    Json::Object(vec![("stopping".into(), Json::Bool(true))]),
+                ),
+            );
+            token.request();
+            Ok(())
+        }
+        other => Err(RequestError::new(
+            ErrorKind::BadRequest,
+            format!("unknown request type `{other}`"),
+        )),
+    };
+    if let Err(err) = outcome {
+        respond(writer, error_response(id, &err));
+    }
+}
+
+/// Decode the `units` field: an array of `{name, source}` or `{name?,
+/// path}` objects (paths are read daemon-side).
+fn decode_units(request: &Json) -> Result<Vec<(String, String)>, RequestError> {
+    let units = request
+        .get("units")
+        .and_then(Json::as_array)
+        .ok_or_else(|| RequestError::new(ErrorKind::BadRequest, "missing `units` array"))?;
+    if units.is_empty() {
+        return Err(RequestError::new(
+            ErrorKind::BadRequest,
+            "`units` must not be empty",
+        ));
+    }
+    let mut decoded = Vec::with_capacity(units.len());
+    for (i, unit) in units.iter().enumerate() {
+        let name = unit.get("name").and_then(Json::as_str);
+        if let Some(source) = unit.get("source").and_then(Json::as_str) {
+            let name = name.ok_or_else(|| {
+                RequestError::new(ErrorKind::BadRequest, format!("units[{i}] missing `name`"))
+            })?;
+            decoded.push((name.to_string(), source.to_string()));
+        } else if let Some(path) = unit.get("path").and_then(Json::as_str) {
+            let source = std::fs::read_to_string(path).map_err(|e| {
+                RequestError::new(
+                    ErrorKind::Io,
+                    format!("units[{i}]: cannot read {path}: {e}"),
+                )
+            })?;
+            let name = name
+                .map(str::to_string)
+                .or_else(|| {
+                    std::path::Path::new(path)
+                        .file_name()
+                        .map(|f| f.to_string_lossy().into_owned())
+                })
+                .unwrap_or_else(|| path.to_string());
+            decoded.push((name, source));
+        } else {
+            return Err(RequestError::new(
+                ErrorKind::BadRequest,
+                format!("units[{i}] needs `source` or `path`"),
+            ));
+        }
+    }
+    Ok(decoded)
+}
+
+fn program_key(request: &Json) -> String {
+    request
+        .get("program")
+        .and_then(Json::as_str)
+        .unwrap_or("default")
+        .to_string()
+}
+
+fn submit_analyze(
+    request: &Json,
+    id: Option<i64>,
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<Conn>>,
+) -> Result<(), RequestError> {
+    let key = program_key(request);
+    let units = decode_units(request)?;
+    let shared_job = Arc::clone(shared);
+    let writer = Arc::clone(writer);
+    let job_key = key.clone();
+    let accepted = shared.pool.submit(&key, move || {
+        let session = shared_job.registry.program(&job_key);
+        let response = match run_analyze(&session, &units) {
+            Ok(result) => {
+                log_analyze(&shared_job, &job_key, &units, &result);
+                ok_response(id, result)
+            }
+            Err(err) => error_response(id, &err),
+        };
+        respond(&writer, response);
+    });
+    if accepted {
+        Ok(())
+    } else {
+        Err(RequestError::new(
+            ErrorKind::ShuttingDown,
+            "daemon is draining for shutdown",
+        ))
+    }
+}
+
+/// The analysis body of an `analyze` request: single units go through the
+/// per-unit serve path, multi-unit requests through whole-program link.
+fn run_analyze(session: &ProgramSession, units: &[(String, String)]) -> Result<Json, RequestError> {
+    if units.len() == 1 {
+        let (name, source) = &units[0];
+        let (analysis, serve, stats) = session
+            .analyze_unit(name, source)
+            .map_err(|e| RequestError::new(ErrorKind::Analysis, e.to_string()))?;
+        let unit = unit_result(
+            name,
+            &serve,
+            analysis.rewritten_source(),
+            &analysis.plans_json(),
+        );
+        Ok(analyze_result(session.key(), vec![unit], &stats, 0))
+    } else {
+        let (program, stats) = session
+            .analyze_program(units)
+            .map_err(|e| RequestError::new(ErrorKind::Analysis, e.to_string()))?;
+        let mut rendered = Vec::with_capacity(units.len());
+        for (i, unit) in program.units.iter().enumerate() {
+            rendered.push(unit_result(
+                &units[i].0,
+                &program.served[i],
+                &unit.rewrite.source,
+                &unit.plans_json(),
+            ));
+        }
+        Ok(analyze_result(
+            session.key(),
+            rendered,
+            &stats,
+            program.link_passes,
+        ))
+    }
+}
+
+/// Human-readable serve verdict, shared wording with the CLI.
+pub fn serve_label(serve: &UnitServe) -> String {
+    match serve {
+        UnitServe::Cached => "cached".to_string(),
+        UnitServe::Store => "store".to_string(),
+        UnitServe::Planned { reused, replanned } => {
+            format!("planned(reused={reused}, replanned={replanned})")
+        }
+    }
+}
+
+fn unit_result(name: &str, serve: &UnitServe, rewritten: &str, plans_json: &str) -> Json {
+    let plans = Json::parse(plans_json).unwrap_or(Json::Null);
+    Json::Object(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("serve".into(), Json::Str(serve_label(serve))),
+        ("rewritten_source".into(), Json::Str(rewritten.to_string())),
+        ("plans".into(), plans),
+    ])
+}
+
+fn analyze_result(key: &str, units: Vec<Json>, stats: &RequestStats, link_passes: usize) -> Json {
+    Json::Object(vec![
+        ("program".into(), Json::Str(key.to_string())),
+        ("units".into(), Json::Array(units)),
+        ("request_stats".into(), request_stats_json(stats)),
+        ("link_passes".into(), Json::Int(link_passes as i64)),
+    ])
+}
+
+fn request_stats_json(stats: &RequestStats) -> Json {
+    Json::Object(vec![
+        (
+            "function_plan_hits".into(),
+            Json::Int(stats.function_plan_hits as i64),
+        ),
+        (
+            "function_plan_misses".into(),
+            Json::Int(stats.function_plan_misses as i64),
+        ),
+        (
+            "relink_reseeded_functions".into(),
+            Json::Int(stats.relink_reseeded_functions as i64),
+        ),
+        (
+            "analysis_hits".into(),
+            Json::Int(stats.analysis_hits as i64),
+        ),
+        ("store_hits".into(), Json::Int(stats.store_hits as i64)),
+        ("linked_hits".into(), Json::Int(stats.linked_hits as i64)),
+        (
+            "linked_misses".into(),
+            Json::Int(stats.linked_misses as i64),
+        ),
+    ])
+}
+
+fn log_analyze(shared: &Shared, key: &str, units: &[(String, String)], result: &Json) {
+    let serves: Vec<String> = result
+        .get("units")
+        .and_then(Json::as_array)
+        .map(|units| {
+            units
+                .iter()
+                .filter_map(|u| u.get("serve").and_then(Json::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default();
+    let stats = result.get("request_stats");
+    let get = |field: &str| {
+        stats
+            .and_then(|s| s.get(field))
+            .and_then(Json::as_int)
+            .unwrap_or(0)
+    };
+    shared.log(format_args!(
+        "analyze program={key} units={} serves=[{}] plan_hits={} plan_misses={} reseeded={}",
+        units.len(),
+        serves.join(", "),
+        get("function_plan_hits"),
+        get("function_plan_misses"),
+        get("relink_reseeded_functions"),
+    ));
+}
+
+/// Byte offset of a 1-based line:col position in `source`.
+fn offset_of(source: &str, line: u32, col: u32) -> Option<u32> {
+    let mut offset = 0usize;
+    for (current, text) in (1u32..).zip(source.split_inclusive('\n')) {
+        if current == line {
+            let within = (col.max(1) - 1) as usize;
+            if within < text.len() {
+                return Some((offset + within) as u32);
+            }
+            return Some((offset + text.len().saturating_sub(1)) as u32);
+        }
+        offset += text.len();
+    }
+    None
+}
+
+fn submit_explain(
+    request: &Json,
+    id: Option<i64>,
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<Conn>>,
+) -> Result<(), RequestError> {
+    let key = program_key(request);
+    let units = decode_units(request)?;
+    if units.len() != 1 {
+        return Err(RequestError::new(
+            ErrorKind::BadRequest,
+            "`explain` takes exactly one unit",
+        ));
+    }
+    let line = request
+        .get("line")
+        .and_then(Json::as_int)
+        .ok_or_else(|| RequestError::new(ErrorKind::BadRequest, "missing `line` (1-based int)"))?;
+    let col = request.get("col").and_then(Json::as_int).unwrap_or(1);
+    if line < 1 || col < 1 {
+        return Err(RequestError::new(
+            ErrorKind::BadRequest,
+            "`line` and `col` are 1-based",
+        ));
+    }
+    let shared_job = Arc::clone(shared);
+    let writer = Arc::clone(writer);
+    let job_key = key.clone();
+    let accepted = shared.pool.submit(&key, move || {
+        let session = shared_job.registry.program(&job_key);
+        let (name, source) = &units[0];
+        let response = match session.analyze_unit(name, source) {
+            Ok((analysis, _, _)) => {
+                let result = explain_result(&analysis, name, source, line as u32, col as u32);
+                ok_response(id, result)
+            }
+            Err(e) => error_response(id, &RequestError::new(ErrorKind::Analysis, e.to_string())),
+        };
+        respond(&writer, response);
+    });
+    if accepted {
+        Ok(())
+    } else {
+        Err(RequestError::new(
+            ErrorKind::ShuttingDown,
+            "daemon is draining for shutdown",
+        ))
+    }
+}
+
+/// The hover payload: every provenance fact whose deciding span covers the
+/// queried position, LSP-style.
+fn explain_result(analysis: &Analysis, name: &str, source: &str, line: u32, col: u32) -> Json {
+    let mut facts = Vec::new();
+    let mut hovered_line = Json::Null;
+    if let Some(offset) = offset_of(source, line, col) {
+        hovered_line = Json::Str(analysis.source_file().line_text(offset).to_string());
+        for plan in analysis.plans() {
+            for provenance in plan.provenances() {
+                let Some(span) = provenance.span else {
+                    continue;
+                };
+                if !span.contains_pos(offset) {
+                    continue;
+                }
+                let at = analysis.source_file().line_col(span.start);
+                facts.push(Json::Object(vec![
+                    ("function".into(), Json::Str(plan.function.clone())),
+                    ("stage".into(), Json::Str(provenance.stage.name().into())),
+                    ("fact".into(), Json::Str(provenance.fact.key().into())),
+                    ("detail".into(), Json::Str(provenance.detail.clone())),
+                    ("line".into(), Json::Int(i64::from(at.line))),
+                    ("col".into(), Json::Int(i64::from(at.col))),
+                    (
+                        "snippet".into(),
+                        Json::Str(analysis.source_file().snippet(span).to_string()),
+                    ),
+                ]));
+            }
+        }
+    }
+    Json::Object(vec![
+        ("name".into(), Json::Str(name.to_string())),
+        ("line".into(), Json::Int(i64::from(line))),
+        ("col".into(), Json::Int(i64::from(col))),
+        ("hovered_line".into(), hovered_line),
+        ("facts".into(), Json::Array(facts)),
+    ])
+}
+
+fn cache_stats_json(stats: &CacheStats) -> Json {
+    Json::Object(vec![
+        ("parse_hits".into(), Json::Int(stats.parse_hits as i64)),
+        ("parse_misses".into(), Json::Int(stats.parse_misses as i64)),
+        (
+            "analysis_hits".into(),
+            Json::Int(stats.analysis_hits as i64),
+        ),
+        (
+            "analysis_misses".into(),
+            Json::Int(stats.analysis_misses as i64),
+        ),
+        (
+            "function_plan_hits".into(),
+            Json::Int(stats.function_plan_hits as i64),
+        ),
+        (
+            "function_plan_misses".into(),
+            Json::Int(stats.function_plan_misses as i64),
+        ),
+        (
+            "relink_reseeded_functions".into(),
+            Json::Int(stats.relink_reseeded_functions as i64),
+        ),
+        ("store_hits".into(), Json::Int(stats.store_hits as i64)),
+        ("store_misses".into(), Json::Int(stats.store_misses as i64)),
+        (
+            "summarize_hits".into(),
+            Json::Int(stats.summarize_hits as i64),
+        ),
+        (
+            "summarize_misses".into(),
+            Json::Int(stats.summarize_misses as i64),
+        ),
+        ("linked_hits".into(), Json::Int(stats.linked_hits as i64)),
+        (
+            "linked_misses".into(),
+            Json::Int(stats.linked_misses as i64),
+        ),
+    ])
+}
+
+fn stats_result(shared: &Shared) -> Json {
+    let programs: Vec<Json> = shared
+        .registry
+        .sessions()
+        .iter()
+        .map(|session| {
+            Json::Object(vec![
+                ("program".into(), Json::Str(session.key().to_string())),
+                ("stats".into(), cache_stats_json(&session.stats())),
+            ])
+        })
+        .collect();
+    Json::Object(vec![
+        ("programs".into(), Json::Array(programs)),
+        (
+            "pending_jobs".into(),
+            Json::Int(shared.pool.pending() as i64),
+        ),
+        ("workers".into(), Json::Int(shared.pool.workers() as i64)),
+    ])
+}
+
+fn handle_gc(
+    request: &Json,
+    id: Option<i64>,
+    shared: &Arc<Shared>,
+    writer: &Arc<Mutex<Conn>>,
+) -> Result<(), RequestError> {
+    let max_bytes = request
+        .get("max_bytes")
+        .and_then(Json::as_int)
+        .filter(|&n| n >= 0)
+        .ok_or_else(|| {
+            RequestError::new(ErrorKind::BadRequest, "missing `max_bytes` (non-negative)")
+        })? as u64;
+    let reports = match request.get("program").and_then(Json::as_str) {
+        Some(key) => shared
+            .registry
+            .program(key)
+            .gc(max_bytes)
+            .map(|report| vec![(key.to_string(), report)])
+            .unwrap_or_default(),
+        None => shared.registry.gc_all(max_bytes),
+    };
+    let programs: Vec<Json> = reports
+        .into_iter()
+        .map(|(key, report)| {
+            Json::Object(vec![
+                ("program".into(), Json::Str(key)),
+                (
+                    "entries_before".into(),
+                    Json::Int(report.entries_before as i64),
+                ),
+                (
+                    "entries_evicted".into(),
+                    Json::Int(report.entries_evicted as i64),
+                ),
+                ("bytes_freed".into(), Json::Int(report.bytes_freed as i64)),
+                ("bytes_kept".into(), Json::Int(report.bytes_kept as i64)),
+            ])
+        })
+        .collect();
+    respond(
+        writer,
+        ok_response(
+            id,
+            Json::Object(vec![("programs".into(), Json::Array(programs))]),
+        ),
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_parse_and_display() {
+        assert_eq!(
+            Endpoint::parse("/tmp/d.sock"),
+            Endpoint::Unix(PathBuf::from("/tmp/d.sock"))
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:0"),
+            Endpoint::Tcp("127.0.0.1:0".into())
+        );
+        assert_eq!(
+            Endpoint::Tcp("127.0.0.1:9".into()).to_string(),
+            "tcp:127.0.0.1:9"
+        );
+    }
+
+    #[test]
+    fn offsets_resolve_one_based_positions() {
+        let src = "int x;\nint y;\n";
+        assert_eq!(offset_of(src, 1, 1), Some(0));
+        assert_eq!(offset_of(src, 2, 1), Some(7));
+        assert_eq!(offset_of(src, 2, 5), Some(11));
+        // Past the last column clamps to the line end; past the last line
+        // is out of range.
+        assert_eq!(offset_of(src, 1, 99), Some(6));
+        assert_eq!(offset_of(src, 9, 1), None);
+    }
+}

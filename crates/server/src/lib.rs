@@ -1,0 +1,50 @@
+//! # ompdart-server
+//!
+//! Analysis as a service: `ompdartd`, the long-lived concurrent OMPDart
+//! daemon, plus the client used to drive it.
+//!
+//! The one-shot CLI pays the full pipeline on every invocation; `ompdart
+//! watch`/`serve` keep a single warm session but serve one program and one
+//! caller at a time. This crate turns the warm session into a *service*:
+//!
+//! * [`protocol`] — the wire format: length-prefixed JSON frames carrying
+//!   versioned requests (`analyze`, `explain`, `stats`, `gc`, `shutdown`)
+//!   and structured error responses. The payloads reuse the crate-wide
+//!   plan-JSON machinery, so daemon responses embed plan documents exactly
+//!   as the one-shot CLI writes them.
+//! * [`registry`] — the [`registry::ProgramRegistry`]: one warm
+//!   [`ompdart_core::Ompdart`] session *per program key*, each with its own
+//!   incremental link state, function-granular caches, counters, and
+//!   persistent store subdirectory, so interleaved clients never chill each
+//!   other's programs.
+//! * [`pool`] — the shard-stealing [`pool::WorkerPool`]: requests for one
+//!   program serialize in order, requests for different programs run in
+//!   parallel, and `drain()` underwrites graceful shutdown.
+//! * [`daemon`] — the [`daemon::DaemonHandle`] accept/dispatch machinery
+//!   over unix sockets (default) or TCP (opt-in).
+//! * [`client`] — a synchronous [`client::Client`] for tests, CI drivers,
+//!   and the `ompdart client` CLI verbs.
+//! * [`watch`] — inotify-backed [`watch::DirWatcher`] wakeups for the
+//!   rebuilt `ompdart watch` (with the classic polling loop as `--poll`
+//!   fallback).
+//! * [`signal`] — SIGINT/SIGTERM tokens that turn process death into a
+//!   drain-and-flush instead of a lost write-behind buffer.
+
+pub mod client;
+pub mod daemon;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod signal;
+pub mod watch;
+
+pub use client::{Client, ClientError};
+pub use daemon::{serve_label, Conn, DaemonConfig, DaemonHandle, Endpoint};
+pub use pool::WorkerPool;
+pub use protocol::{
+    error_response, ok_response, read_frame, write_frame, ErrorKind, FrameError, RequestError,
+    MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+pub use registry::{ProgramRegistry, ProgramSession, RegistryConfig, RequestStats};
+pub use signal::{ShutdownToken, SIGINT, SIGTERM};
+pub use watch::{make_watcher, DirWatcher, PollWatcher, WatchWake};

@@ -1,0 +1,259 @@
+//! The daemon's worker pool: per-program sharded queues behind a shared
+//! ready list that idle workers steal from.
+//!
+//! Every job is submitted under a *shard key* (the program key). Jobs with
+//! the same key execute strictly in submission order on one worker at a
+//! time — two clients editing the same program serialize on its session —
+//! while shards with different keys run on as many workers as are free.
+//! The scheduling shape is the classic work-stealing one turned inside
+//! out: instead of per-worker deques, the unit of stealing is the *shard*.
+//! A worker that finishes its shard's queue returns to the shared ready
+//! list and steals whichever program has runnable work, so no worker
+//! idles while any program has a backlog, and no program ever runs on two
+//! workers at once (the per-shard `active` flag is the mutual exclusion).
+//!
+//! [`WorkerPool::drain`] is the graceful-shutdown primitive: it blocks
+//! until every submitted job has *finished executing* (not merely been
+//! dequeued), which is what lets the daemon promise that in-flight
+//! requests complete before the store is flushed and the process exits.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Shard {
+    jobs: VecDeque<Job>,
+    /// True while some worker owns this shard (it is either running one of
+    /// the shard's jobs or about to pick the next one). At most one worker
+    /// owns a shard at any time — this is what serializes a program.
+    active: bool,
+}
+
+#[derive(Default)]
+struct State {
+    shards: HashMap<String, Shard>,
+    /// Keys of shards that have runnable jobs and no owner, in the order
+    /// they became ready. Workers steal from the front.
+    ready: VecDeque<String>,
+    /// Jobs submitted but not yet finished executing.
+    pending: usize,
+    /// Closed pools accept no new jobs and wake all workers to exit.
+    closed: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    /// Signals workers: a shard became ready, or the pool closed.
+    runnable: Condvar,
+    /// Signals drainers: `pending` reached zero.
+    drained: Condvar,
+}
+
+/// The sharded worker pool. Dropping the pool closes it and joins every
+/// worker (running jobs finish; queued jobs still run — drop drains).
+pub struct WorkerPool {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with `workers` threads (at least one).
+    pub fn new(workers: usize) -> WorkerPool {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State::default()),
+            runnable: Condvar::new(),
+            drained: Condvar::new(),
+        });
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("ompdartd-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool { inner, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a job under `key`. Jobs sharing a key run in submission
+    /// order, never concurrently; distinct keys run in parallel up to the
+    /// worker count. Returns `false` (dropping the job) if the pool is
+    /// closed.
+    pub fn submit(&self, key: &str, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut state = self.inner.state.lock().unwrap();
+        if state.closed {
+            return false;
+        }
+        state.pending += 1;
+        let shard = state.shards.entry(key.to_string()).or_default();
+        shard.jobs.push_back(Box::new(job));
+        let needs_owner = !shard.active;
+        if needs_owner {
+            shard.active = true;
+            state.ready.push_back(key.to_string());
+            self.inner.runnable.notify_one();
+        }
+        true
+    }
+
+    /// Block until every job submitted so far has finished executing.
+    pub fn drain(&self) {
+        let mut state = self.inner.state.lock().unwrap();
+        while state.pending > 0 {
+            state = self.inner.drained.wait(state).unwrap();
+        }
+    }
+
+    /// Jobs submitted but not yet finished.
+    pub fn pending(&self) -> usize {
+        self.inner.state.lock().unwrap().pending
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().unwrap();
+            state.closed = true;
+            self.inner.runnable.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut state = inner.state.lock().unwrap();
+    loop {
+        // Steal the oldest ready shard; sleep when none.
+        let key = loop {
+            if let Some(key) = state.ready.pop_front() {
+                break key;
+            }
+            if state.closed {
+                return;
+            }
+            state = inner.runnable.wait(state).unwrap();
+        };
+        // Own the shard: run its queue to exhaustion, releasing the lock
+        // around each job. New jobs submitted meanwhile land in the queue
+        // we are draining, preserving order.
+        loop {
+            let job = state
+                .shards
+                .get_mut(&key)
+                .and_then(|shard| shard.jobs.pop_front());
+            let Some(job) = job else {
+                // Queue empty: release ownership and drop empty shards so
+                // the map stays bounded by the *active* program count.
+                if let Some(shard) = state.shards.get_mut(&key) {
+                    shard.active = false;
+                    if shard.jobs.is_empty() {
+                        state.shards.remove(&key);
+                    }
+                }
+                break;
+            };
+            drop(state);
+            job();
+            state = inner.state.lock().unwrap();
+            state.pending -= 1;
+            if state.pending == 0 {
+                inner.drained.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn same_key_serializes_in_order() {
+        let pool = WorkerPool::new(4);
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let in_flight = Arc::new(AtomicUsize::new(0));
+        for i in 0..32 {
+            let log = Arc::clone(&log);
+            let in_flight = Arc::clone(&in_flight);
+            pool.submit("p", move || {
+                // No two jobs of one shard may overlap.
+                assert_eq!(in_flight.fetch_add(1, Ordering::SeqCst), 0);
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                log.lock().unwrap().push(i);
+                in_flight.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(*log.lock().unwrap(), (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn distinct_keys_run_concurrently() {
+        let pool = WorkerPool::new(4);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let now = Arc::new(AtomicUsize::new(0));
+        for i in 0..4 {
+            let peak = Arc::clone(&peak);
+            let now = Arc::clone(&now);
+            pool.submit(&format!("p{i}"), move || {
+                let running = now.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(running, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                now.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert!(
+            peak.load(Ordering::SeqCst) >= 2,
+            "4 distinct shards on 4 workers never overlapped"
+        );
+    }
+
+    #[test]
+    fn drain_waits_for_execution_not_dequeue() {
+        let pool = WorkerPool::new(2);
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..8 {
+            let done = Arc::clone(&done);
+            pool.submit("p", move || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+                done.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.drain();
+        assert_eq!(done.load(Ordering::SeqCst), 8);
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn closed_pool_rejects_new_jobs() {
+        let pool = WorkerPool::new(1);
+        pool.drain();
+        drop(pool);
+        // A second pool still works (no global state).
+        let pool = WorkerPool::new(1);
+        assert!(pool.submit("p", || {}));
+        pool.drain();
+    }
+}

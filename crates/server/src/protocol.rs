@@ -1,0 +1,267 @@
+//! The `ompdartd` wire protocol: length-prefixed JSON frames.
+//!
+//! Every message — request or response — is one *frame*: a 4-byte
+//! big-endian `u32` byte length followed by exactly that many bytes of
+//! UTF-8 JSON. The payload reuses the crate-wide hand-rolled [`Json`]
+//! value (the same machinery that serializes the versioned plan JSON), so
+//! the daemon's responses embed plan documents verbatim.
+//!
+//! Requests are objects of the shape
+//!
+//! ```json
+//! {"version": 1, "id": 7, "request": "analyze", ...}
+//! ```
+//!
+//! and every response echoes the `id` back:
+//!
+//! ```json
+//! {"version": 1, "id": 7, "ok": true,  "result": {...}}
+//! {"version": 1, "id": 7, "ok": false, "error": {"kind": "...", "message": "..."}}
+//! ```
+//!
+//! Malformed input degrades to a *structured error response*, never to a
+//! dead daemon: a frame longer than [`MAX_FRAME_BYTES`], invalid UTF-8, or
+//! unparseable JSON each produce an `ok:false` response (the first two
+//! also close the connection, because the stream can no longer be
+//! re-synchronized; a well-framed bad payload keeps the connection open).
+
+use ompdart_core::plan::Json;
+use std::io::{Read, Write};
+
+/// Version of the request/response schema. Bumped on incompatible change;
+/// the daemon rejects other versions with a structured error.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on one frame's payload. Large enough for a whole-program
+/// analyze request carrying inline sources; small enough that a garbage
+/// or adversarial length prefix cannot make the daemon allocate
+/// gigabytes. Oversized prefixes are reported and the connection closed.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection cleanly between frames.
+    Closed,
+    /// The connection died inside a frame (truncated prefix or payload).
+    Truncated(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized(u32),
+    /// The payload is not valid UTF-8.
+    NotUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Truncated(e) => write!(f, "truncated frame: {e}"),
+            FrameError::Oversized(n) => write!(
+                f,
+                "length prefix {n} exceeds the {MAX_FRAME_BYTES}-byte frame cap"
+            ),
+            FrameError::NotUtf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Read one frame's payload text. `Ok(payload)` on success;
+/// [`FrameError::Closed`] is the *clean* end of the stream (EOF exactly at
+/// a frame boundary), everything else is a protocol violation.
+pub fn read_frame(reader: &mut impl Read) -> Result<String, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < 4 {
+        match reader.read(&mut prefix[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Closed),
+            Ok(0) => {
+                return Err(FrameError::Truncated(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "EOF inside length prefix",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Truncated(e)),
+        }
+    }
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_BYTES {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    if let Err(e) = reader.read_exact(&mut payload) {
+        return Err(FrameError::Truncated(e));
+    }
+    String::from_utf8(payload).map_err(|_| FrameError::NotUtf8)
+}
+
+/// Write one frame (length prefix + payload).
+pub fn write_frame(writer: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let bytes = payload.as_bytes();
+    debug_assert!(bytes.len() <= MAX_FRAME_BYTES as usize);
+    writer.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    writer.write_all(bytes)?;
+    writer.flush()
+}
+
+// ---------------------------------------------------------------------------
+// Response construction
+// ---------------------------------------------------------------------------
+
+/// Machine-readable error kinds of `ok:false` responses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame itself was malformed (oversized prefix, bad UTF-8). The
+    /// connection is closed after this error.
+    BadFrame,
+    /// The payload was not parseable JSON.
+    BadJson,
+    /// The request was well-formed JSON but semantically invalid: wrong
+    /// protocol version, unknown request type, missing field.
+    BadRequest,
+    /// The analysis itself failed (parse error, duplicate definitions).
+    Analysis,
+    /// Daemon-side I/O failed (e.g. a requested path could not be read).
+    Io,
+    /// The daemon is draining for shutdown and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorKind {
+    /// Stable wire keyword.
+    pub fn key(&self) -> &'static str {
+        match self {
+            ErrorKind::BadFrame => "bad_frame",
+            ErrorKind::BadJson => "bad_json",
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::Analysis => "analysis",
+            ErrorKind::Io => "io",
+            ErrorKind::ShuttingDown => "shutting_down",
+        }
+    }
+}
+
+/// A structured request failure: the wire `error` object plus whether the
+/// connection can keep going.
+#[derive(Debug)]
+pub struct RequestError {
+    pub kind: ErrorKind,
+    pub message: String,
+}
+
+impl RequestError {
+    pub fn new(kind: ErrorKind, message: impl Into<String>) -> RequestError {
+        RequestError {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+/// The `ok:true` response for request `id`.
+pub fn ok_response(id: Option<i64>, result: Json) -> Json {
+    Json::Object(vec![
+        ("version".into(), Json::Int(i64::from(PROTOCOL_VERSION))),
+        ("id".into(), id.map(Json::Int).unwrap_or(Json::Null)),
+        ("ok".into(), Json::Bool(true)),
+        ("result".into(), result),
+    ])
+}
+
+/// The `ok:false` response for request `id`.
+pub fn error_response(id: Option<i64>, error: &RequestError) -> Json {
+    Json::Object(vec![
+        ("version".into(), Json::Int(i64::from(PROTOCOL_VERSION))),
+        ("id".into(), id.map(Json::Int).unwrap_or(Json::Null)),
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Object(vec![
+                ("kind".into(), Json::Str(error.kind.key().into())),
+                ("message".into(), Json::Str(error.message.clone())),
+            ]),
+        ),
+    ])
+}
+
+/// Build a request envelope: `{"version", "id", "request", ...fields}`.
+pub fn request(id: i64, kind: &str, fields: Vec<(String, Json)>) -> Json {
+    let mut object = vec![
+        ("version".into(), Json::Int(i64::from(PROTOCOL_VERSION))),
+        ("id".into(), Json::Int(id)),
+        ("request".into(), Json::Str(kind.into())),
+    ];
+    object.extend(fields);
+    Json::Object(object)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_frame(&mut buf, "{\"x\":1}").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), "{\"x\":1}");
+        assert_eq!(read_frame(&mut cursor).unwrap(), "");
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_without_allocating() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized(u32::MAX))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_are_distinguished_from_clean_close() {
+        // EOF inside the prefix.
+        let mut cursor = std::io::Cursor::new(vec![0u8, 0]);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Truncated(_))
+        ));
+        // EOF inside the payload.
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn non_utf8_payload_is_a_frame_error() {
+        let mut buf: Vec<u8> = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::NotUtf8)));
+    }
+
+    #[test]
+    fn responses_carry_the_id_and_shape() {
+        let ok = ok_response(Some(3), Json::Object(vec![]));
+        assert_eq!(ok.get("id").and_then(Json::as_int), Some(3));
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let err = error_response(None, &RequestError::new(ErrorKind::BadJson, "nope"));
+        assert!(err.get("id").unwrap().is_null());
+        assert_eq!(
+            err.get("error").unwrap().get("kind").and_then(Json::as_str),
+            Some("bad_json")
+        );
+    }
+}

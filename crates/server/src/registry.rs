@@ -1,0 +1,360 @@
+//! The [`ProgramRegistry`]: one warm analysis session per program key.
+//!
+//! An [`ompdart_core::pipeline::AnalysisSession`] keeps exactly one
+//! incremental [`ompdart_core::LinkState`], so interleaving requests for
+//! *different* programs through a single session would cold-relink on every
+//! switch and the cache counters of concurrent requests would bleed into
+//! each other. The registry fixes both: every program key owns its own
+//! [`ompdart_core::Ompdart`] tool (own session → own link state, function
+//! caches, and counters) and its own per-program subdirectory of the
+//! persistent store, so clients editing program A never evict or chill
+//! program B. Requests for one program serialize on the session's request
+//! lock (the daemon's worker pool provides the same guarantee by sharding,
+//! but the registry does not rely on its callers for correctness), which is
+//! also what makes the before/after [`CacheStats`] snapshots in
+//! [`RequestStats`] sound: no concurrent request can move this program's
+//! counters between the two reads.
+
+use ompdart_core::{
+    Analysis, CacheStats, GcReport, Ompdart, ProgramAnalysis, ProgramError, StageError, UnitServe,
+};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Session knobs shared by every program the registry creates, mirroring
+/// the CLI's session flags.
+#[derive(Clone, Debug, Default)]
+pub struct RegistryConfig {
+    /// Root of the persistent store; each program gets its own
+    /// subdirectory (`<cache_dir>/<sanitized key>`).
+    pub cache_dir: Option<PathBuf>,
+    /// LRU size cap applied to each program's store subdirectory.
+    pub cache_max_bytes: Option<u64>,
+    /// Pessimistic treatment of unknown extern callees' global effects.
+    pub pessimistic_globals: bool,
+    /// Link-stage worker threads (0 = auto).
+    pub link_threads: usize,
+    /// Per-session summarize/analyze worker threads (0 = auto).
+    pub parallelism: usize,
+}
+
+/// The per-request counter movement, read under the program's request lock
+/// so interleaved requests to *other* programs cannot contaminate it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestStats {
+    /// Functions served from the function-granular plan cache.
+    pub function_plan_hits: u64,
+    /// Functions actually re-planned by this request.
+    pub function_plan_misses: u64,
+    /// Functions the incremental link fixed point re-derived (the dirty
+    /// cone). Zero for cold links and unchanged relinks.
+    pub relink_reseeded_functions: u64,
+    /// Whole-unit artifact-cache hits.
+    pub analysis_hits: u64,
+    /// Units served from the persistent store.
+    pub store_hits: u64,
+    /// Linked per-unit analyses served entirely from the cache.
+    pub linked_hits: u64,
+    /// Linked per-unit analyses that ran planning.
+    pub linked_misses: u64,
+}
+
+impl RequestStats {
+    fn delta(before: &CacheStats, after: &CacheStats) -> RequestStats {
+        RequestStats {
+            function_plan_hits: after.function_plan_hits - before.function_plan_hits,
+            function_plan_misses: after.function_plan_misses - before.function_plan_misses,
+            relink_reseeded_functions: after.relink_reseeded_functions
+                - before.relink_reseeded_functions,
+            analysis_hits: after.analysis_hits - before.analysis_hits,
+            store_hits: after.store_hits - before.store_hits,
+            linked_hits: after.linked_hits - before.linked_hits,
+            linked_misses: after.linked_misses - before.linked_misses,
+        }
+    }
+}
+
+/// One program's warm state: its own tool (session, link state, caches)
+/// plus the request lock that serializes analyses against this program.
+#[derive(Debug)]
+pub struct ProgramSession {
+    key: String,
+    tool: Ompdart,
+    requests: Mutex<()>,
+}
+
+impl ProgramSession {
+    /// The program key this session serves.
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The underlying tool (test and `explain` access; analyses should go
+    /// through [`ProgramSession::analyze_program`] /
+    /// [`ProgramSession::analyze_unit`] so stats snapshots stay sound).
+    pub fn tool(&self) -> &Ompdart {
+        &self.tool
+    }
+
+    /// Serialize against other requests for this program.
+    fn enter(&self) -> MutexGuard<'_, ()> {
+        self.requests
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Whole-program analysis with a request-local stats delta.
+    pub fn analyze_program(
+        &self,
+        units: &[(String, String)],
+    ) -> Result<(ProgramAnalysis, RequestStats), ProgramError> {
+        let _guard = self.enter();
+        let before = self.tool.session().cache_stats();
+        let analysis = self.tool.analyze_program(units)?;
+        let after = self.tool.session().cache_stats();
+        Ok((analysis, RequestStats::delta(&before, &after)))
+    }
+
+    /// Single-unit analysis with the per-request [`UnitServe`] verdict and
+    /// stats delta.
+    pub fn analyze_unit(
+        &self,
+        name: &str,
+        source: &str,
+    ) -> Result<(Analysis, UnitServe, RequestStats), StageError> {
+        let _guard = self.enter();
+        let before = self.tool.session().cache_stats();
+        let (analysis, serve) = self.tool.analyze_with_serve(name, source)?;
+        let after = self.tool.session().cache_stats();
+        Ok((analysis, serve, RequestStats::delta(&before, &after)))
+    }
+
+    /// Cumulative counters for this program's session.
+    pub fn stats(&self) -> CacheStats {
+        self.tool.session().cache_stats()
+    }
+
+    /// Flush the session's write-behind store buffer. Returns the number
+    /// of entries written.
+    pub fn flush(&self) -> usize {
+        self.tool.session().flush_store_writes()
+    }
+
+    /// Evict this program's persistent store down to `max_bytes`.
+    pub fn gc(&self, max_bytes: u64) -> Option<GcReport> {
+        let _guard = self.enter();
+        self.flush();
+        self.tool
+            .session()
+            .artifact_store()
+            .map(|store| store.gc(max_bytes))
+    }
+}
+
+/// Program key → warm [`ProgramSession`], created on first use.
+#[derive(Debug)]
+pub struct ProgramRegistry {
+    config: RegistryConfig,
+    programs: Mutex<HashMap<String, Arc<ProgramSession>>>,
+}
+
+impl ProgramRegistry {
+    pub fn new(config: RegistryConfig) -> ProgramRegistry {
+        ProgramRegistry {
+            config,
+            programs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The shared session config.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// The session for `key`, creating (and warming from its store
+    /// subdirectory, if any) on first use.
+    pub fn program(&self, key: &str) -> Arc<ProgramSession> {
+        let mut programs = self
+            .programs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if let Some(session) = programs.get(key) {
+            return Arc::clone(session);
+        }
+        let mut builder = Ompdart::builder()
+            .pessimistic_globals(self.config.pessimistic_globals)
+            .link_threads(self.config.link_threads);
+        if self.config.parallelism > 0 {
+            builder = builder.parallelism(self.config.parallelism);
+        }
+        if let Some(root) = &self.config.cache_dir {
+            builder = builder.cache_dir(root.join(sanitize_key(key)));
+            if let Some(max) = self.config.cache_max_bytes {
+                builder = builder.cache_max_bytes(max);
+            }
+        }
+        let session = Arc::new(ProgramSession {
+            key: key.to_string(),
+            tool: builder.build(),
+            requests: Mutex::new(()),
+        });
+        programs.insert(key.to_string(), Arc::clone(&session));
+        session
+    }
+
+    /// Keys of every live program, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        let programs = self
+            .programs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut keys: Vec<String> = programs.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Snapshot of every live session (for stats / shutdown flushing).
+    pub fn sessions(&self) -> Vec<Arc<ProgramSession>> {
+        let programs = self
+            .programs
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let mut sessions: Vec<Arc<ProgramSession>> = programs.values().cloned().collect();
+        sessions.sort_by(|a, b| a.key.cmp(&b.key));
+        sessions
+    }
+
+    /// Flush every session's write-behind store buffer; returns the total
+    /// entries written. This is the shutdown path's durability guarantee.
+    pub fn flush_all(&self) -> usize {
+        self.sessions().iter().map(|s| s.flush()).sum()
+    }
+
+    /// Run the store GC on every live program. Returns per-program
+    /// reports, sorted by key.
+    pub fn gc_all(&self, max_bytes: u64) -> Vec<(String, GcReport)> {
+        self.sessions()
+            .iter()
+            .filter_map(|s| s.gc(max_bytes).map(|report| (s.key.clone(), report)))
+            .collect()
+    }
+}
+
+/// Filesystem-safe form of a program key for the per-program store
+/// subdirectory. Distinct keys that sanitize identically share a directory
+/// — harmless, because store entries are verified by full content keys.
+fn sanitize_key(key: &str) -> String {
+    let mut out: String = key
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.is_empty() {
+        out.push_str("default");
+    }
+    out.truncate(64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const UNIT_A: &str = r#"
+#define N 64
+double a[N];
+int main() {
+  for (int it = 0; it < 4; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++) a[i] += 1.0;
+  }
+  printf("%f\n", a[0]);
+  return 0;
+}
+"#;
+
+    const UNIT_B: &str = r#"
+#define M 32
+double b[M];
+int main() {
+  for (int it = 0; it < 2; it++) {
+    #pragma omp target teams distribute parallel for
+    for (int j = 0; j < M; j++) b[j] *= 2.0;
+  }
+  printf("%f\n", b[0]);
+  return 0;
+}
+"#;
+
+    #[test]
+    fn sanitize_produces_fs_safe_keys() {
+        assert_eq!(sanitize_key("lulesh"), "lulesh");
+        assert_eq!(sanitize_key("../evil key"), ".._evil_key");
+        assert_eq!(sanitize_key(""), "default");
+    }
+
+    #[test]
+    fn programs_get_distinct_sessions_and_isolated_counters() {
+        let registry = ProgramRegistry::new(RegistryConfig::default());
+        let a = registry.program("alpha");
+        let b = registry.program("beta");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(Arc::ptr_eq(&a, &registry.program("alpha")));
+
+        let (_, _, stats_a) = a.analyze_unit("a.c", UNIT_A).unwrap();
+        assert!(stats_a.function_plan_misses > 0);
+        // Program beta's counters are untouched by alpha's request.
+        assert_eq!(b.stats(), CacheStats::default());
+
+        // A repeat of the same content is served from alpha's cache and
+        // the per-request delta proves it.
+        let (_, serve, stats_a2) = a.analyze_unit("a.c", UNIT_A).unwrap();
+        assert_eq!(serve, UnitServe::Cached);
+        assert_eq!(stats_a2.function_plan_misses, 0);
+        assert_eq!(stats_a2.analysis_hits, 1);
+
+        let (_, _, stats_b) = b.analyze_unit("b.c", UNIT_B).unwrap();
+        assert!(stats_b.function_plan_misses > 0);
+        assert_eq!(registry.keys(), vec!["alpha".to_string(), "beta".into()]);
+    }
+
+    #[test]
+    fn per_program_store_subdirs_do_not_collide() {
+        let root = std::env::temp_dir().join(format!("ompdart-registry-{}", std::process::id()));
+        std::fs::remove_dir_all(&root).ok();
+        let registry = ProgramRegistry::new(RegistryConfig {
+            cache_dir: Some(root.clone()),
+            ..RegistryConfig::default()
+        });
+        registry
+            .program("alpha")
+            .analyze_unit("a.c", UNIT_A)
+            .unwrap();
+        registry
+            .program("beta")
+            .analyze_unit("b.c", UNIT_B)
+            .unwrap();
+        // Single-unit analyses persist eagerly; flushing drains whatever
+        // the linked write-behind path may have buffered (possibly zero).
+        registry.flush_all();
+        assert!(root.join("alpha").is_dir());
+        assert!(root.join("beta").is_dir());
+
+        // A fresh registry over the same root starts warm from the store.
+        let fresh = ProgramRegistry::new(RegistryConfig {
+            cache_dir: Some(root.clone()),
+            ..RegistryConfig::default()
+        });
+        let (_, serve, stats) = fresh.program("alpha").analyze_unit("a.c", UNIT_A).unwrap();
+        assert_eq!(serve, UnitServe::Store);
+        assert_eq!(stats.store_hits, 1);
+        assert_eq!(stats.function_plan_misses, 0);
+        std::fs::remove_dir_all(&root).ok();
+    }
+}

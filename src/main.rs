@@ -7,8 +7,10 @@
 //! ompdart explain <input.c>
 //! ompdart diff-plan <left> <right>        # each side: plan .json or a .c source
 //! ompdart batch <input.c>... [--threads N] [--out-dir DIR]
-//! ompdart watch <dir> [--out-dir DIR] [--cache-dir DIR] [--interval-ms N] [--iterations N]
+//! ompdart watch <dir> [--out-dir DIR] [--cache-dir DIR] [--interval-ms N] [--iterations N] [--poll]
 //! ompdart serve [--out-dir DIR] [--cache-dir DIR]
+//! ompdart daemon [--socket PATH | --tcp ADDR] [--cache-dir DIR] [--workers N]
+//! ompdart client [--socket PATH | --tcp ADDR] <analyze|explain|stats|gc|shutdown> ...
 //! ompdart cache gc <dir> [--max-bytes N[k|m|g]]
 //! ```
 //!
@@ -23,12 +25,17 @@
 //! watched directory as one program, re-planning only the functions an edit
 //! actually invalidated (across files) and, with `--cache-dir`, starting
 //! warm from the persistent artifact store; `cache gc` evicts
-//! least-recently-used store entries down to a size cap.
+//! least-recently-used store entries down to a size cap. `daemon` runs
+//! `ompdartd` — analysis as a service over a unix socket (or TCP): many
+//! clients, many programs, each program on its own warm incremental
+//! session — and `client` drives it.
 
 use ompdart_core::plan::{diff_plans, extract_explicit_plans, Json, MappingPlan};
-use ompdart_core::{
-    Analysis, ArtifactStore, CacheStats, Ompdart, ProgramError, StageError, UnitServe,
-};
+use ompdart_core::{Analysis, ArtifactStore, Ompdart, ProgramError, StageError, UnitServe};
+use ompdart_server::daemon::{DaemonConfig, DaemonHandle, Endpoint};
+use ompdart_server::registry::RegistryConfig;
+use ompdart_server::watch::make_watcher;
+use ompdart_server::{signal, Client};
 use ompdart_sim::{simulate_source, SimConfig};
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -47,8 +54,15 @@ USAGE:
     ompdart diff-plan <left> <right>
     ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>] [--pessimistic-globals]
     ompdart watch <dir> [--out-dir <dir>] [--cache-dir <dir>] [--interval-ms <N>]
-                  [--iterations <N>] [--once] [--link-threads <N>]
+                  [--iterations <N>] [--once] [--link-threads <N>] [--poll]
     ompdart serve [--out-dir <dir>] [--cache-dir <dir>] [--link-threads <N>]
+    ompdart daemon [--socket <path> | --tcp <addr>] [--workers <N>] [--cache-dir <dir>]
+                   [--cache-max-bytes <N[k|m|g]>] [--pessimistic-globals]
+                   [--link-threads <N>] [--quiet]
+    ompdart client [--socket <path> | --tcp <addr>] [--program <key>] <verb> ...
+                   verbs: analyze <file.c>... [--out-dir <dir>]
+                          explain <file.c> <line> [<col>]
+                          stats | gc --max-bytes <N[k|m|g]> | shutdown
     ompdart cache gc <dir> [--max-bytes <N[k|m|g]>]
     ompdart help
 
@@ -84,11 +98,26 @@ SUBCOMMANDS:
                Falls back to independent per-file analysis when the
                directory holds unrelated programs (duplicate `main`).
                --cache-dir persists plans across restarts; --interval-ms
-               sets the poll period (default 500); --iterations exits
-               after N scan cycles; --once scans a single time.
+               bounds the wait between scans (default 500); --iterations
+               exits after N scan cycles; --once scans a single time.
+               Wakeups come from inotify where available; --poll forces
+               the classic fixed-interval re-scan. SIGINT/SIGTERM flush
+               the persistent store before exit.
     serve      Line protocol on stdin over the same hot session:
                `analyze <path> [<out>]` re-emits one file, `stats`
                prints cache counters, `quit` (or EOF) exits.
+    daemon     Run ompdartd: analysis as a service on a unix socket
+               (default ompdartd.sock) or --tcp ADDR, speaking
+               length-prefixed JSON requests (analyze, explain, stats,
+               gc, shutdown). Every program key gets its own warm
+               incremental session; same-program requests serialize,
+               distinct programs run in parallel. Shutdown (signal or
+               request) drains in-flight work and flushes every
+               program's store. See README \"Analysis as a service\".
+    client     Drive a running daemon: `analyze` sends daemon-side
+               paths (--out-dir writes the returned mapped sources),
+               `explain` asks for the provenance facts governing a
+               source position, `stats`/`gc`/`shutdown` administrate.
     cache gc   Evict least-recently-used persistent-store entries until
                the directory fits --max-bytes (default 256m).
 ";
@@ -107,6 +136,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(rest),
         "watch" => cmd_watch(rest),
         "serve" => cmd_serve(rest),
+        "daemon" => cmd_daemon(rest),
+        "client" => cmd_client(rest),
         "cache" => cmd_cache(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -678,12 +709,13 @@ fn scan_c_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
 /// save lands mid-scan.
 fn emit_one(tool: &Ompdart, tag: &str, path: &Path, source: &str, out_path: &Path) {
     let display = path.display().to_string();
-    let before = tool.session().cache_stats();
     let start = Instant::now();
-    match tool.analyze(&display, source) {
-        Ok(analysis) => {
+    // The serve verdict is part of the analysis result itself — not a
+    // before/after subtraction of the session's global counters, which
+    // other requests interleaving on the same session would contaminate.
+    match tool.analyze_with_serve(&display, source) {
+        Ok((analysis, serve)) => {
             let elapsed = start.elapsed();
-            let after = tool.session().cache_stats();
             if let Err(e) = std::fs::write(out_path, analysis.rewritten_source()) {
                 println!(
                     "[{tag}] {display}: FAILED — cannot write {}: {e}",
@@ -692,11 +724,9 @@ fn emit_one(tool: &Ompdart, tag: &str, path: &Path, source: &str, out_path: &Pat
                 return;
             }
             println!(
-                "[{tag}] {display}: re-emitted {} ({}, function plans: {} reused / {} replanned, {:.1}ms)",
+                "[{tag}] {display}: re-emitted {} ({}, {:.1}ms)",
                 out_path.display(),
-                serve_mode(&before, &after),
-                after.function_plan_hits - before.function_plan_hits,
-                after.function_plan_misses - before.function_plan_misses,
+                serve_label(&serve),
                 elapsed.as_secs_f64() * 1e3
             );
         }
@@ -713,19 +743,6 @@ fn emit_one(tool: &Ompdart, tag: &str, path: &Path, source: &str, out_path: &Pat
     tool.session().evict_stale_versions(&display, source);
     use std::io::Write;
     let _ = std::io::stdout().flush();
-}
-
-/// How an analysis was served, judged from the counter deltas.
-fn serve_mode(before: &CacheStats, after: &CacheStats) -> &'static str {
-    if after.analysis_hits > before.analysis_hits {
-        "cached"
-    } else if after.store_hits > before.store_hits {
-        "store"
-    } else if after.function_plan_hits > before.function_plan_hits {
-        "incremental"
-    } else {
-        "cold"
-    }
 }
 
 struct SessionFlags {
@@ -764,6 +781,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
     let mut interval_ms: u64 = 500;
     let mut iterations: Option<u64> = None;
     let mut once = false;
+    let mut force_poll = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -802,6 +820,7 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
                 );
             }
             "--once" => once = true,
+            "--poll" => force_poll = true,
             "--pessimistic-globals" => flags.pessimistic_globals = true,
             "--link-threads" => {
                 flags.link_threads = it
@@ -820,9 +839,16 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
         std::fs::create_dir_all(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
     }
     let tool = flags.tool();
+    // SIGINT/SIGTERM end the loop cleanly so the persistent store's
+    // write-behind buffer is flushed — not lost in process teardown.
+    let shutdown = signal::install();
+    // inotify (when available) turns the fixed-interval poll into real
+    // wakeups; the interval remains the upper bound between scans.
+    let mut watcher = make_watcher(dir, force_poll);
     println!(
-        "[watch] watching {} every {interval_ms}ms{}",
+        "[watch] watching {} via {} (scan bound {interval_ms}ms){}",
         dir.display(),
+        watcher.backend(),
         match &flags.cache_dir {
             Some(cd) => format!(", persistent cache at {cd}"),
             None => String::new(),
@@ -864,10 +890,19 @@ fn cmd_watch(args: &[String]) -> Result<ExitCode, String> {
             Err(e) => return Err(e),
         }
         cycles += 1;
-        if once || iterations.is_some_and(|n| cycles >= n) {
+        if once || iterations.is_some_and(|n| cycles >= n) || shutdown.is_shutdown() {
             break;
         }
-        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+        // Returns early on filesystem activity (inotify) or after the
+        // interval (poll); either way the content re-scan above decides.
+        let _ = watcher.wait(std::time::Duration::from_millis(interval_ms));
+        if shutdown.is_shutdown() {
+            break;
+        }
+    }
+    let flushed = tool.session().flush_store_writes();
+    if flushed > 0 {
+        println!("[watch] flushed {flushed} store write(s)");
     }
     let stats = tool.session().cache_stats();
     println!(
@@ -1009,9 +1044,14 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         std::fs::create_dir_all(out).map_err(|e| format!("cannot create `{out}`: {e}"))?;
     }
     let tool = flags.tool();
+    // As in `watch`: a signal must not strand the write-behind buffer.
+    let shutdown = signal::install();
     println!("[serve] ready — `analyze <path> [<out>]`, `stats`, `quit`");
     let stdin = std::io::stdin();
     for line in stdin.lock().lines() {
+        if shutdown.is_shutdown() {
+            break;
+        }
         let line = line.map_err(|e| format!("stdin read failed: {e}"))?;
         let mut words = line.split_whitespace();
         match words.next() {
@@ -1061,6 +1101,256 @@ fn cmd_serve(args: &[String]) -> Result<ExitCode, String> {
         }
         use std::io::Write;
         let _ = std::io::stdout().flush();
+    }
+    let flushed = tool.session().flush_store_writes();
+    if flushed > 0 {
+        println!("[serve] flushed {flushed} store write(s)");
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------------
+// daemon / client: analysis as a service
+// ---------------------------------------------------------------------------
+
+/// `ompdart daemon`: run `ompdartd` in the foreground until a signal or a
+/// client `shutdown` request drains and flushes it.
+fn cmd_daemon(args: &[String]) -> Result<ExitCode, String> {
+    let mut endpoint: Option<Endpoint> = None;
+    let mut registry = RegistryConfig::default();
+    let mut workers = 0usize;
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                endpoint = Some(Endpoint::Unix(
+                    it.next().ok_or("`--socket` expects a path")?.into(),
+                ));
+            }
+            "--tcp" => {
+                endpoint = Some(Endpoint::Tcp(
+                    it.next().ok_or("`--tcp` expects an address")?.to_string(),
+                ));
+            }
+            "--workers" => {
+                workers = it
+                    .next()
+                    .ok_or("`--workers` expects a number")?
+                    .parse()
+                    .map_err(|_| "`--workers` expects a number".to_string())?;
+            }
+            "--cache-dir" => {
+                registry.cache_dir =
+                    Some(it.next().ok_or("`--cache-dir` expects a directory")?.into());
+            }
+            "--cache-max-bytes" => {
+                registry.cache_max_bytes = Some(parse_size(
+                    it.next().ok_or("`--cache-max-bytes` expects a size")?,
+                )?);
+            }
+            "--pessimistic-globals" => registry.pessimistic_globals = true,
+            "--link-threads" => {
+                registry.link_threads = it
+                    .next()
+                    .ok_or("`--link-threads` expects a number")?
+                    .parse()
+                    .map_err(|_| "`--link-threads` expects a number".to_string())?;
+            }
+            "--quiet" => quiet = true,
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    let config = DaemonConfig {
+        endpoint: endpoint.unwrap_or_else(|| Endpoint::Unix("ompdartd.sock".into())),
+        registry,
+        workers,
+        quiet,
+    };
+    let handle = DaemonHandle::spawn(config).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let token = handle.token();
+    while !token.is_shutdown() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    // Join the accept loop's drain-and-flush epilogue before exiting 0.
+    handle.join();
+    Ok(ExitCode::SUCCESS)
+}
+
+/// `ompdart client`: one connection, one verb, structured output.
+fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
+    let mut endpoint = Endpoint::Unix("ompdartd.sock".into());
+    let mut program = "default".to_string();
+    let mut out_dir: Option<String> = None;
+    let mut max_bytes: Option<u64> = None;
+    let mut positional: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                endpoint = Endpoint::Unix(it.next().ok_or("`--socket` expects a path")?.into());
+            }
+            "--tcp" => {
+                endpoint =
+                    Endpoint::Tcp(it.next().ok_or("`--tcp` expects an address")?.to_string());
+            }
+            "--program" => {
+                program = it.next().ok_or("`--program` expects a key")?.to_string();
+            }
+            "--out-dir" => {
+                out_dir = Some(
+                    it.next()
+                        .ok_or("`--out-dir` expects a directory")?
+                        .to_string(),
+                );
+            }
+            "--max-bytes" => {
+                max_bytes = Some(parse_size(
+                    it.next().ok_or("`--max-bytes` expects a size")?,
+                )?);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            word => positional.push(word),
+        }
+    }
+    let Some((&verb, rest)) = positional.split_first() else {
+        return Err("`client` expects a verb: analyze, explain, stats, gc, shutdown".into());
+    };
+    let mut client = Client::connect(&endpoint)
+        .map_err(|e| format!("cannot connect to daemon at {endpoint}: {e}"))?;
+    match verb {
+        "analyze" => {
+            if rest.is_empty() {
+                return Err("`client analyze` expects at least one file".into());
+            }
+            let paths: Vec<String> = rest.iter().map(|s| s.to_string()).collect();
+            let result = client
+                .analyze_paths(&program, &paths)
+                .map_err(|e| e.to_string())?;
+            if let Some(dir) = &out_dir {
+                std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
+            }
+            let units = result
+                .get("units")
+                .and_then(Json::as_array)
+                .ok_or("malformed analyze result")?;
+            for unit in units {
+                let name = unit.get("name").and_then(Json::as_str).unwrap_or("?");
+                let serve = unit.get("serve").and_then(Json::as_str).unwrap_or("?");
+                println!("[client] {program}/{name}: serve={serve}");
+                if let (Some(dir), Some(rewritten)) = (
+                    &out_dir,
+                    unit.get("rewritten_source").and_then(Json::as_str),
+                ) {
+                    let out = mapped_path(Path::new(name), Some(dir));
+                    std::fs::write(&out, rewritten)
+                        .map_err(|e| format!("cannot write `{}`: {e}", out.display()))?;
+                    println!("[client] wrote {}", out.display());
+                }
+            }
+            if let Some(stats) = result.get("request_stats") {
+                let get = |f: &str| stats.get(f).and_then(Json::as_int).unwrap_or(0);
+                println!(
+                    "[client] request: plan_hits={} plan_misses={} reseeded={} link_passes={}",
+                    get("function_plan_hits"),
+                    get("function_plan_misses"),
+                    get("relink_reseeded_functions"),
+                    result
+                        .get("link_passes")
+                        .and_then(Json::as_int)
+                        .unwrap_or(0)
+                );
+            }
+        }
+        "explain" => {
+            let (path, line, col) = match rest {
+                [path, line] => (path, line, &"1"),
+                [path, line, col] => (path, line, col),
+                _ => return Err("`client explain` expects <file.c> <line> [<col>]".into()),
+            };
+            let line: u32 = line
+                .parse()
+                .map_err(|_| "`explain` line must be a 1-based number".to_string())?;
+            let col: u32 = col
+                .parse()
+                .map_err(|_| "`explain` col must be a 1-based number".to_string())?;
+            let source = read_source(path)?;
+            let result = client
+                .explain(&program, path, &source, line, col)
+                .map_err(|e| e.to_string())?;
+            let facts = result
+                .get("facts")
+                .and_then(Json::as_array)
+                .ok_or("malformed explain result")?;
+            if facts.is_empty() {
+                println!("[client] {path}:{line}:{col}: no mapping decision anchors here");
+            }
+            for fact in facts {
+                let get = |f: &str| fact.get(f).and_then(Json::as_str).unwrap_or("?");
+                println!(
+                    "[client] {path}:{line}:{col}: {} [{} / {}] {}",
+                    get("function"),
+                    get("stage"),
+                    get("fact"),
+                    get("detail")
+                );
+            }
+        }
+        "stats" => {
+            let result = client.stats().map_err(|e| e.to_string())?;
+            let programs = result
+                .get("programs")
+                .and_then(Json::as_array)
+                .ok_or("malformed stats result")?;
+            if programs.is_empty() {
+                println!("[client] no programs analyzed yet");
+            }
+            for entry in programs {
+                let key = entry.get("program").and_then(Json::as_str).unwrap_or("?");
+                let stats = entry.get("stats");
+                let get = |f: &str| {
+                    stats
+                        .and_then(|s| s.get(f))
+                        .and_then(Json::as_int)
+                        .unwrap_or(0)
+                };
+                println!(
+                    "[client] {key}: analyses {} hit / {} miss, function plans {} reused / {} replanned, \
+                     relink re-seeded {}, store {} hit / {} miss",
+                    get("analysis_hits"),
+                    get("analysis_misses"),
+                    get("function_plan_hits"),
+                    get("function_plan_misses"),
+                    get("relink_reseeded_functions"),
+                    get("store_hits"),
+                    get("store_misses")
+                );
+            }
+        }
+        "gc" => {
+            let max = max_bytes.ok_or("`client gc` expects `--max-bytes <N[k|m|g]>`")?;
+            let result = client.gc(max, None).map_err(|e| e.to_string())?;
+            let programs = result
+                .get("programs")
+                .and_then(Json::as_array)
+                .ok_or("malformed gc result")?;
+            for entry in programs {
+                let key = entry.get("program").and_then(Json::as_str).unwrap_or("?");
+                let get = |f: &str| entry.get(f).and_then(Json::as_int).unwrap_or(0);
+                println!(
+                    "[client] {key}: evicted {} of {} entr(ies), {} bytes freed, {} kept",
+                    get("entries_evicted"),
+                    get("entries_before"),
+                    get("bytes_freed"),
+                    get("bytes_kept")
+                );
+            }
+        }
+        "shutdown" => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("[client] daemon is shutting down (draining + flushing)");
+        }
+        other => return Err(format!("unknown client verb `{other}`")),
     }
     Ok(ExitCode::SUCCESS)
 }

@@ -1,0 +1,400 @@
+//! End-to-end tests of `ompdartd` — the concurrent analysis daemon.
+//!
+//! Covered here:
+//! * response parity: a daemon `analyze` returns byte-identical rewritten
+//!   sources (and render-identical plan documents) to the one-shot API;
+//! * the program registry: two clients interleaving edits to two
+//!   *different* programs stay warm — every warm round re-plans exactly
+//!   the edited function and never cold-relinks;
+//! * protocol robustness: oversized prefixes, invalid JSON, unknown
+//!   request types, wrong versions, and truncated frames all produce
+//!   structured errors (or a clean connection close) without killing the
+//!   daemon or poisoning any program session;
+//! * durable shutdown: a SIGTERM'd daemon drains, flushes its stores, and
+//!   a restart over the same cache directory starts warm.
+//!
+//! Signal state is process-global, and the daemon binds real sockets, so
+//! every test serializes on [`daemon_lock`].
+
+use ompdart_core::plan::Json;
+use ompdart_core::Ompdart;
+use ompdart_server::daemon::{DaemonConfig, DaemonHandle, Endpoint};
+use ompdart_server::registry::RegistryConfig;
+use ompdart_server::{protocol, signal, Client};
+use ompdart_suite::lulesh_multifile;
+use std::path::PathBuf;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+fn daemon_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A per-test scratch directory (unique per test name, wiped on entry).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ompdartd-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn spawn_daemon(socket: PathBuf, cache_dir: Option<PathBuf>) -> DaemonHandle {
+    DaemonHandle::spawn(DaemonConfig {
+        endpoint: Endpoint::Unix(socket),
+        registry: RegistryConfig {
+            cache_dir,
+            ..RegistryConfig::default()
+        },
+        workers: 4,
+        quiet: true,
+    })
+    .expect("daemon must bind its socket")
+}
+
+fn lulesh_units() -> Vec<(String, String)> {
+    lulesh_multifile()
+        .iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect()
+}
+
+fn stat(result: &Json, field: &str) -> i64 {
+    result
+        .get("request_stats")
+        .and_then(|s| s.get(field))
+        .and_then(Json::as_int)
+        .unwrap_or(-1)
+}
+
+fn serves(result: &Json) -> Vec<String> {
+    result
+        .get("units")
+        .and_then(Json::as_array)
+        .map(|units| {
+            units
+                .iter()
+                .filter_map(|u| u.get("serve").and_then(Json::as_str))
+                .map(str::to_string)
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Daemon responses are byte-identical to the one-shot API: same rewritten
+/// sources, same plan documents; a repeat request is served cached; and a
+/// `shutdown` request tears the daemon down cleanly (socket file removed).
+#[test]
+fn daemon_analyze_matches_one_shot_api_byte_for_byte() {
+    let _guard = daemon_lock();
+    let dir = scratch("parity");
+    let socket = dir.join("d.sock");
+    let handle = spawn_daemon(socket.clone(), None);
+    let units = lulesh_units();
+
+    let mut client = Client::connect(handle.endpoint()).expect("connect");
+    let result = client.analyze_sources("lulesh", &units).expect("analyze");
+
+    // One-shot reference: the same whole-program analysis, fresh session.
+    let tool = Ompdart::builder().build();
+    let reference = tool.analyze_program(&units).expect("direct analyze");
+
+    let got = result.get("units").and_then(Json::as_array).unwrap();
+    assert_eq!(got.len(), units.len());
+    for (i, unit) in got.iter().enumerate() {
+        assert_eq!(
+            unit.get("rewritten_source").and_then(Json::as_str).unwrap(),
+            reference.units[i].rewrite.source.as_str(),
+            "unit {i} rewritten source must be byte-identical"
+        );
+        let direct_plans = Json::parse(&reference.units[i].plans_json()).unwrap();
+        assert_eq!(
+            unit.get("plans").unwrap().render(),
+            direct_plans.render(),
+            "unit {i} plan document must match"
+        );
+    }
+    assert_eq!(
+        result.get("link_passes").and_then(Json::as_int).unwrap(),
+        reference.link_passes as i64
+    );
+
+    // Identical content again: everything cached, nothing re-planned.
+    let again = client
+        .analyze_sources("lulesh", &units)
+        .expect("re-analyze");
+    assert!(serves(&again).iter().all(|s| s == "cached"), "{again:?}");
+    assert_eq!(stat(&again, "function_plan_misses"), 0);
+
+    // `explain` hovers the provenance facts at a kernel-body access.
+    let (name, source) = &units[2];
+    let kernel_line = source
+        .lines()
+        .position(|l| l.contains("xd[i] += xdd[i] * 0.01;"))
+        .expect("driver unit has the integration kernel")
+        + 1;
+    let hover = client
+        .explain("lulesh", name, source, kernel_line as u32, 8)
+        .expect("explain");
+    let facts = hover.get("facts").and_then(Json::as_array).unwrap();
+    assert!(
+        !facts.is_empty(),
+        "a kernel statement must carry provenance facts: {hover:?}"
+    );
+    for fact in facts {
+        assert!(fact.get("fact").and_then(Json::as_str).is_some());
+        assert!(fact.get("detail").and_then(Json::as_str).is_some());
+    }
+
+    client.shutdown().expect("shutdown request");
+    handle.join();
+    assert!(!socket.exists(), "socket file must be removed on shutdown");
+}
+
+/// Satellite: the program registry. Two clients interleave edit rounds to
+/// two different programs concurrently; every warm round re-plans exactly
+/// the one edited function (`function_plan_misses == 1`) with the reseed
+/// bounded by the dirty cone — a cold relink would re-plan every function.
+#[test]
+fn interleaved_clients_on_two_programs_never_cold_relink() {
+    let _guard = daemon_lock();
+    let dir = scratch("registry");
+    let handle = spawn_daemon(dir.join("d.sock"), None);
+    let endpoint = handle.endpoint().clone();
+
+    const ROUNDS: usize = 3;
+    fn drive(
+        endpoint: Endpoint,
+        program: &str,
+        edit_unit: usize,
+        edit_at: &str,
+    ) -> (i64, Vec<(i64, i64, Vec<String>)>) {
+        let mut client = Client::connect(&endpoint).expect("connect");
+        let mut units = lulesh_units();
+        // Keyed content per program so alpha and beta are truly distinct
+        // programs, not shared-content cache aliases.
+        units[0].1 = format!("/* program {program} */\n{}", units[0].1);
+        let cold = client.analyze_sources(program, &units).expect("cold");
+        let cold_misses = stat(&cold, "function_plan_misses");
+        let mut warm_stats = Vec::new();
+        for round in 0..ROUNDS {
+            // An interface-preserving body edit of one function.
+            units[edit_unit].1 =
+                units[edit_unit]
+                    .1
+                    .replacen(edit_at, &format!("/* r{round} */ {edit_at}"), 1);
+            let warm = client.analyze_sources(program, &units).expect("warm");
+            warm_stats.push((
+                stat(&warm, "function_plan_misses"),
+                stat(&warm, "relink_reseeded_functions"),
+                serves(&warm),
+            ));
+        }
+        (cold_misses, warm_stats)
+    }
+
+    // Two OS threads, two programs, two different edit sites, running
+    // concurrently against one daemon.
+    let (for_alpha, for_beta) = (endpoint.clone(), endpoint.clone());
+    let alpha = std::thread::spawn(move || drive(for_alpha, "alpha", 1, "e[i] += (p[i] + q[i])"));
+    let beta =
+        std::thread::spawn(move || drive(for_beta, "beta", 0, "xdd[i] = fx[i] / nodalMass[i];"));
+    let (alpha_cold, alpha_warm) = alpha.join().expect("alpha thread");
+    let (beta_cold, beta_warm) = beta.join().expect("beta thread");
+
+    for (program, cold_misses, warm) in [
+        ("alpha", alpha_cold, &alpha_warm),
+        ("beta", beta_cold, &beta_warm),
+    ] {
+        assert!(
+            cold_misses > 1,
+            "{program}: the cold link must plan the whole program"
+        );
+        for (round, (plan_misses, reseeded, serves)) in warm.iter().enumerate() {
+            assert_eq!(
+                *plan_misses, 1,
+                "{program} round {round}: exactly the edited function re-plans \
+                 (a cold relink would re-plan all {cold_misses}); serves={serves:?}"
+            );
+            assert!(
+                (0..=2).contains(reseeded),
+                "{program} round {round}: reseed must stay within the dirty cone"
+            );
+            assert!(
+                serves.iter().any(|s| s.starts_with("planned")),
+                "{program} round {round}: the edited unit must be re-planned: {serves:?}"
+            );
+            assert!(
+                serves.iter().filter(|s| *s == "cached").count() >= serves.len() - 1,
+                "{program} round {round}: untouched units must be cache-served: {serves:?}"
+            );
+        }
+    }
+
+    // Both programs are live in the registry, each with its own counters.
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let stats = client.stats().expect("stats");
+    let keys: Vec<&str> = stats
+        .get("programs")
+        .and_then(Json::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|p| p.get("program").and_then(Json::as_str))
+        .collect();
+    assert_eq!(keys, vec!["alpha", "beta"]);
+    client.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// Satellite: protocol robustness. Malformed input of every kind yields a
+/// structured error — and afterwards the same daemon still serves a real
+/// request on the same program, so nothing was poisoned.
+#[test]
+fn malformed_frames_and_requests_do_not_kill_the_daemon() {
+    let _guard = daemon_lock();
+    let dir = scratch("robust");
+    let handle = spawn_daemon(dir.join("d.sock"), None);
+    let endpoint = handle.endpoint().clone();
+    let unit = vec![(
+        "one.c".to_string(),
+        "#define N 16\ndouble a[N];\nint main() {\n  for (int it = 0; it < 2; it++) {\n    #pragma omp target teams distribute parallel for\n    for (int i = 0; i < N; i++) a[i] += 1.0;\n  }\n  printf(\"%f\\n\", a[0]);\n  return 0;\n}\n"
+            .to_string(),
+    )];
+
+    // Seed the program so later rounds can prove the session stayed warm.
+    let mut seed = Client::connect(&endpoint).expect("connect");
+    seed.analyze_sources("robust", &unit).expect("seed analyze");
+
+    // Invalid JSON in a well-formed frame: bad_json, connection stays up.
+    let mut client = Client::connect(&endpoint).expect("connect");
+    let raw = client
+        .raw_round_trip("this is not json")
+        .expect("round trip");
+    let response = Json::parse(&raw).expect("error response is JSON");
+    assert_eq!(
+        response
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("bad_json")
+    );
+    // ... and the *same connection* still serves real work.
+    let ok = client
+        .analyze_sources("robust", &unit)
+        .expect("still alive");
+    assert_eq!(serves(&ok), vec!["cached".to_string()]);
+
+    // Unknown request type: bad_request.
+    let raw = client
+        .raw_round_trip(r#"{"version": 1, "id": 9, "request": "transmogrify"}"#)
+        .expect("round trip");
+    let response = Json::parse(&raw).unwrap();
+    assert_eq!(
+        response
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+    assert_eq!(response.get("id").and_then(Json::as_int), Some(9));
+
+    // Wrong protocol version: bad_request.
+    let raw = client
+        .raw_round_trip(r#"{"version": 99, "id": 10, "request": "stats"}"#)
+        .expect("round trip");
+    assert_eq!(
+        Json::parse(&raw)
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+
+    // Oversized length prefix: structured bad_frame, then a hard close
+    // (the stream cannot be re-synchronized).
+    let mut conn = endpoint.connect().expect("connect raw");
+    {
+        use std::io::Write;
+        conn.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        conn.flush().unwrap();
+    }
+    let response = protocol::read_frame(&mut conn).expect("bad_frame response");
+    assert_eq!(
+        Json::parse(&response)
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("bad_frame")
+    );
+    assert!(
+        matches!(
+            protocol::read_frame(&mut conn),
+            Err(protocol::FrameError::Closed)
+        ),
+        "the daemon must close after a framing violation"
+    );
+
+    // A truncated frame (half a length prefix, then disconnect) must not
+    // take the daemon down either.
+    {
+        use std::io::Write;
+        let mut conn = endpoint.connect().expect("connect raw");
+        conn.write_all(&[0u8, 0]).unwrap();
+        conn.flush().unwrap();
+        drop(conn);
+    }
+
+    // After all of the abuse: a brand-new client gets a warm answer.
+    let mut fresh = Client::connect(&endpoint).expect("connect");
+    let ok = fresh
+        .analyze_sources("robust", &unit)
+        .expect("daemon alive");
+    assert_eq!(serves(&ok), vec!["cached".to_string()]);
+    fresh.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// Satellite: durable shutdown. SIGTERM drains and flushes every program
+/// store; a new daemon over the same cache directory serves the same
+/// program from the persistent store without re-planning anything.
+#[test]
+fn sigterm_flushes_stores_and_a_restart_starts_warm() {
+    let _guard = daemon_lock();
+    let dir = scratch("sigterm");
+    let cache = dir.join("cache");
+    let units = lulesh_units();
+
+    let handle = spawn_daemon(dir.join("d.sock"), Some(cache.clone()));
+    let mut client = Client::connect(handle.endpoint()).expect("connect");
+    let cold = client.analyze_sources("lulesh", &units).expect("cold");
+    assert!(stat(&cold, "function_plan_misses") > 0);
+    drop(client);
+
+    // The real signal path: raise SIGTERM against the installed handler
+    // (exactly what an external `kill` delivers), then join the daemon's
+    // drain-and-flush epilogue.
+    signal::deliver(signal::SIGTERM);
+    handle.join();
+    assert!(cache.exists(), "the flushed store must be on disk");
+
+    // A fresh daemon over the same cache directory: the program session
+    // starts warm from the store — no function is re-planned.
+    let restarted = spawn_daemon(dir.join("d2.sock"), Some(cache));
+    let mut client = Client::connect(restarted.endpoint()).expect("connect");
+    let warm = client.analyze_sources("lulesh", &units).expect("warm");
+    assert_eq!(
+        stat(&warm, "function_plan_misses"),
+        0,
+        "restart must serve from the persistent store: {warm:?}"
+    );
+    assert!(
+        serves(&warm).iter().all(|s| s == "store" || s == "cached"),
+        "every unit must come from the store: {:?}",
+        serves(&warm)
+    );
+    client.shutdown().expect("shutdown");
+    restarted.join();
+}
