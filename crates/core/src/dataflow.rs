@@ -22,13 +22,13 @@ use crate::access::{Access, AccessOrigin, FunctionAccesses, SymbolTable};
 use crate::bounds::section_length_from_loops;
 use crate::pipeline::Stage;
 use crate::plan::ir::{
-    FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
-    UpdateSpec,
+    CollapseSpec, EnterDataSpec, ExitDataSpec, FirstPrivateSpec, MapSpec, MappingPlan, Placement,
+    Provenance, ProvenanceFact, UpdateDirection, UpdateSpec,
 };
 use crate::program::ExternalRefs;
 use ompdart_frontend::ast::*;
 use ompdart_frontend::diag::Diagnostics;
-use ompdart_frontend::omp::MapType;
+use ompdart_frontend::omp::{Clause, MapType};
 use ompdart_frontend::source::Span;
 use ompdart_graph::{AstCfg, StmtIndex};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -44,6 +44,13 @@ pub struct DataflowOptions {
     /// the naive in-loop placement the paper reports as 14x slower on
     /// backprop.
     pub hoist_updates: bool,
+    /// Unstructured device lifetimes: re-place the structured region's
+    /// `map(...)` clauses as `target enter data` / `target exit data`
+    /// directives anchored at the region's phase boundaries
+    /// (first-device-use / last-host-use), and collapse perfectly nested
+    /// offload loops with `collapse(n)`. Off by default; with it off the
+    /// produced plan is identical to the structured one.
+    pub lifetimes: bool,
 }
 
 impl Default for DataflowOptions {
@@ -51,6 +58,7 @@ impl Default for DataflowOptions {
         DataflowOptions {
             firstprivate_optimization: true,
             hoist_updates: true,
+            lifetimes: false,
         }
     }
 }
@@ -416,12 +424,138 @@ pub fn plan_function_linked(
         } else {
             None
         };
-        plan.maps.push(MapSpec {
-            var: var.clone(),
-            map_type,
-            section_length,
-            provenance,
-        });
+        if options.lifetimes {
+            // Unstructured lifetimes: the structured map becomes an
+            // `enter data` at the phase's first-device-use boundary and an
+            // `exit data` at its last-host-use boundary. The map-type matrix
+            // is exactly the refcounted split of the structured clause:
+            //   to     -> enter(to)    + exit(release)
+            //   tofrom -> enter(to)    + exit(from)
+            //   from   -> enter(alloc) + exit(from)
+            //   alloc  -> enter(alloc) + exit(delete)
+            // Every enter is balanced by an exit: a phase that runs more
+            // than once (a function called per timestep) must leave the
+            // present-table reference count where it found it, or an
+            // enclosing phase's `exit data map(from: ...)` never reaches
+            // zero and never copies the result back.
+            let first_dev_span = accesses
+                .accesses
+                .iter()
+                .find(|a| a.var == *var && a.on_device)
+                .map(|a| a.span);
+            let to_deciding = to_entry.get(var);
+            let enter = match map_type {
+                MapType::To | MapType::ToFrom => EnterDataSpec {
+                    var: var.clone(),
+                    map_type: MapType::To,
+                    anchor: region_start,
+                    placement: Placement::Before,
+                    section_length: section_length.clone(),
+                    provenance: provenance_for(
+                        ProvenanceFact::FirstDeviceUse,
+                        to_deciding.map(|d| d.span).or(first_dev_span),
+                        format!(
+                            "the first device use of `{var}` reads its host value; `enter data` \
+                             copies it in once at the phase boundary"
+                        ),
+                        to_deciding,
+                    ),
+                },
+                _ => EnterDataSpec {
+                    var: var.clone(),
+                    map_type: MapType::Alloc,
+                    anchor: region_start,
+                    placement: Placement::Before,
+                    section_length: section_length.clone(),
+                    provenance: Provenance::plan(
+                        ProvenanceFact::FirstDeviceUse,
+                        first_dev_span,
+                        format!(
+                            "the first device use of `{var}` writes it; the phase allocates \
+                             device storage without copying the host value"
+                        ),
+                    ),
+                },
+            };
+            plan.enter_data.push(enter);
+            let exit = match map_type {
+                MapType::ToFrom | MapType::From => {
+                    let from_deciding = from_exit.get(var);
+                    let (span, detail) = match from_deciding {
+                        Some(read) => (
+                            Some(read.span),
+                            format!(
+                                "the last host use of the device-written `{var}` follows this \
+                                 phase; `exit data` copies it back at the phase boundary"
+                            ),
+                        ),
+                        None => (
+                            escape_exit.get(var).and_then(|w| w.and_then(span_of)),
+                            format!(
+                                "`{var}` escapes the phase and whole-program liveness cannot \
+                                 prove the device result dead; `exit data` copies it back"
+                            ),
+                        ),
+                    };
+                    Some(ExitDataSpec {
+                        var: var.clone(),
+                        map_type: MapType::From,
+                        anchor: region_end,
+                        placement: Placement::After,
+                        section_length,
+                        provenance: provenance_for(
+                            ProvenanceFact::LastHostUse,
+                            span,
+                            detail,
+                            from_deciding,
+                        ),
+                    })
+                }
+                MapType::Alloc => Some(ExitDataSpec {
+                    var: var.clone(),
+                    map_type: MapType::Delete,
+                    anchor: region_end,
+                    placement: Placement::After,
+                    section_length,
+                    provenance: Provenance::plan(
+                        ProvenanceFact::DeviceResidentAcrossPhase,
+                        demoted
+                            .get(var)
+                            .and_then(|w| w.and_then(span_of))
+                            .or(first_dev_span),
+                        format!(
+                            "`{var}` stays device-resident for the entire phase; no host read \
+                             observes it, so `exit data` deletes the device copy"
+                        ),
+                    ),
+                }),
+                MapType::To => Some(ExitDataSpec {
+                    var: var.clone(),
+                    map_type: MapType::Release,
+                    anchor: region_end,
+                    placement: Placement::After,
+                    section_length,
+                    provenance: Provenance::plan(
+                        ProvenanceFact::DeviceResidentAcrossPhase,
+                        first_dev_span,
+                        format!(
+                            "`{var}` is read-only on the device; `exit data` releases the \
+                             phase's reference without a copy, keeping the present-table \
+                             count balanced for enclosing phases"
+                        ),
+                    ),
+                }),
+                _ => None,
+            };
+            plan.exit_data.extend(exit);
+        } else {
+            plan.maps.push(MapSpec {
+                var: var.clone(),
+                map_type,
+                section_length,
+                provenance,
+            });
+        }
     }
 
     for decision in updates_raw {
@@ -485,8 +619,117 @@ pub fn plan_function_linked(
         }
     }
 
+    // Collapse perfectly nested offload loops. Only attempted in lifetimes
+    // mode (it rides the same planning pass), only for kernels that do not
+    // already carry a `collapse` clause, and only when the nest is perfect
+    // with rectangular bounds: each inner loop is the sole statement of its
+    // parent's body and its header never references an outer induction
+    // variable.
+    if options.lifetimes {
+        body.walk(&mut |s| {
+            let StmtKind::Omp(dir) = &s.kind else { return };
+            if !kernels.contains(&s.id) {
+                return;
+            }
+            if dir.clauses.iter().any(|c| matches!(c, Clause::Collapse(_))) {
+                return;
+            }
+            let Some(kernel_loop) = dir.body.as_deref() else {
+                return;
+            };
+            let depth = perfect_nest_depth(kernel_loop);
+            if depth >= 2 {
+                plan.collapses.push(CollapseSpec {
+                    kernel: s.id,
+                    depth,
+                    provenance: Provenance::plan(
+                        ProvenanceFact::PerfectNestCollapsed,
+                        Some(kernel_loop.span),
+                        format!(
+                            "the offload loop nest is perfectly nested {depth} deep with \
+                             rectangular bounds; `collapse({depth})` exposes the full \
+                             iteration space to the device"
+                        ),
+                    ),
+                });
+            }
+        });
+    }
+
     let _ = unit;
     Some(plan)
+}
+
+/// The number of perfectly nested `for` loops starting at `kernel_loop`:
+/// each inner loop must be the sole statement of its parent's body and its
+/// header (init/cond/inc) must not reference any outer induction variable,
+/// so the combined iteration space is rectangular and `collapse(n)` is
+/// legal.
+fn perfect_nest_depth(kernel_loop: &Stmt) -> u32 {
+    if !matches!(kernel_loop.kind, StmtKind::For { .. }) {
+        return 0;
+    }
+    let Some(first_var) = induction_var(kernel_loop) else {
+        return 1;
+    };
+    let mut outer_vars = vec![first_var];
+    let mut depth = 1u32;
+    let mut cur = kernel_loop;
+    while let StmtKind::For { body, .. } = &cur.kind {
+        let Some(inner) = sole_inner_for(body) else {
+            break;
+        };
+        let header = for_header_vars(inner);
+        if outer_vars.iter().any(|v| header.contains(v)) {
+            break;
+        }
+        let Some(v) = induction_var(inner) else {
+            break;
+        };
+        depth += 1;
+        outer_vars.push(v);
+        cur = inner;
+    }
+    depth
+}
+
+/// The sole statement of a loop body, if it is itself a `for` loop.
+fn sole_inner_for(body: &Stmt) -> Option<&Stmt> {
+    let inner = match &body.kind {
+        StmtKind::Compound(items) if items.len() == 1 => &items[0],
+        StmtKind::Compound(_) => return None,
+        _ => body,
+    };
+    matches!(inner.kind, StmtKind::For { .. }).then_some(inner)
+}
+
+/// The induction variable of a `for` loop, from its init clause.
+fn induction_var(stmt: &Stmt) -> Option<String> {
+    let StmtKind::For { init: Some(fi), .. } = &stmt.kind else {
+        return None;
+    };
+    match fi.as_ref() {
+        ForInit::Decl(decls) => decls.first().map(|d| d.name.clone()),
+        ForInit::Expr(e) => match &e.kind {
+            ExprKind::Assign { lhs, .. } => match &lhs.kind {
+                ExprKind::Ident(name) => Some(name.clone()),
+                _ => None,
+            },
+            _ => None,
+        },
+    }
+}
+
+/// Every variable referenced in a `for` loop's header (init, condition,
+/// increment).
+fn for_header_vars(stmt: &Stmt) -> HashSet<String> {
+    let mut out = HashSet::new();
+    if matches!(stmt.kind, StmtKind::For { .. }) {
+        for e in stmt.direct_exprs() {
+            out.extend(e.referenced_vars());
+        }
+    }
+    out
 }
 
 /// Prefer the deciding access that best explains a conservative decision:
@@ -1640,6 +1883,147 @@ int main() {
         );
         assert!(updates[0].provenance.span.is_some());
         assert!(updates[0].provenance.detail.contains("`a`"));
+    }
+
+    /// Lifetimes mode replaces every structured map with the refcounted
+    /// enter/exit split, and every spec carries a lifetime provenance fact.
+    #[test]
+    fn lifetimes_mode_splits_maps_into_enter_exit_pairs() {
+        let src = "\
+#define N 64
+double input[N];
+double output[N];
+double scratch[N];
+int main() {
+  for (int i = 0; i < N; i++) input[i] = i;
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) {
+    scratch[i] = input[i] * 2.0;
+    output[i] = scratch[i] + 1.0;
+  }
+  double s = 0.0;
+  for (int i = 0; i < N; i++) s += output[i];
+  printf(\"%f\\n\", s);
+  return 0;
+}
+";
+        let (structured, _) = plan_for(src, "main");
+        let (plan, _unit) = plan_with_options(
+            src,
+            "main",
+            DataflowOptions {
+                lifetimes: true,
+                ..Default::default()
+            },
+        );
+        assert!(plan.maps.is_empty(), "{:?}", plan.maps);
+        // input: to -> enter(to) + exit(release). The release leg carries no
+        // copy but keeps the present-table count balanced when the phase
+        // re-runs inside an enclosing lifetime.
+        assert_eq!(plan.enter_for("input").unwrap().map_type, MapType::To);
+        assert_eq!(
+            plan.enter_for("input").unwrap().provenance.fact,
+            ProvenanceFact::FirstDeviceUse
+        );
+        assert_eq!(plan.exit_for("input").unwrap().map_type, MapType::Release);
+        // output: from -> enter(alloc) + exit(from).
+        assert_eq!(plan.enter_for("output").unwrap().map_type, MapType::Alloc);
+        let out_exit = plan.exit_for("output").unwrap();
+        assert_eq!(out_exit.map_type, MapType::From);
+        assert_eq!(out_exit.provenance.fact, ProvenanceFact::LastHostUse);
+        // scratch was alloc in the structured plan -> enter(alloc) + exit(delete).
+        assert_eq!(
+            structured.map_for("scratch").unwrap().map_type,
+            MapType::Alloc
+        );
+        let scratch_exit = plan.exit_for("scratch").unwrap();
+        assert_eq!(scratch_exit.map_type, MapType::Delete);
+        assert_eq!(
+            scratch_exit.provenance.fact,
+            ProvenanceFact::DeviceResidentAcrossPhase
+        );
+        // One enter per structured map; every lifetime spec is justified
+        // with a span.
+        assert_eq!(plan.enter_data.len(), structured.maps.len());
+        for p in plan.provenances() {
+            assert!(p.span.is_some(), "{p:?}");
+        }
+        // Anchors are the phase boundaries.
+        for e in &plan.enter_data {
+            assert_eq!(e.anchor, plan.region_start.unwrap());
+            assert_eq!(e.placement, Placement::Before);
+        }
+        for e in &plan.exit_data {
+            assert_eq!(e.anchor, plan.region_end.unwrap());
+            assert_eq!(e.placement, Placement::After);
+        }
+    }
+
+    /// Perfectly nested rectangular offload loops gain `collapse(n)` in
+    /// lifetimes mode; triangular nests and nests with interleaved
+    /// statements are refused.
+    #[test]
+    fn lifetimes_mode_collapses_perfect_nests_only() {
+        let lifetimes = DataflowOptions {
+            lifetimes: true,
+            ..Default::default()
+        };
+        let perfect = "\
+#define N 16
+double a[N * N];
+void f() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      a[i * N + j] = i + j;
+}
+";
+        let (plan, _) = plan_with_options(perfect, "f", lifetimes);
+        assert_eq!(plan.collapses.len(), 1, "{:?}", plan.collapses);
+        assert_eq!(plan.collapses[0].depth, 2);
+        assert_eq!(
+            plan.collapses[0].provenance.fact,
+            ProvenanceFact::PerfectNestCollapsed
+        );
+        assert_eq!(plan.collapses[0].kernel, plan.kernels[0]);
+
+        // Triangular nest: the inner bound references the outer induction
+        // variable, so collapse is illegal.
+        let triangular = "\
+#define N 16
+double a[N * N];
+void f() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < i; j++)
+      a[i * N + j] = i + j;
+}
+";
+        let (plan, _) = plan_with_options(triangular, "f", lifetimes);
+        assert!(plan.collapses.is_empty(), "{:?}", plan.collapses);
+
+        // A statement between the loops breaks perfect nesting.
+        let imperfect = "\
+#define N 16
+double a[N * N];
+double row[N];
+void f() {
+  #pragma omp target teams distribute parallel for
+  for (int i = 0; i < N; i++) {
+    row[i] = 0.0;
+    for (int j = 0; j < N; j++)
+      a[i * N + j] = i + j;
+  }
+}
+";
+        let (plan, _) = plan_with_options(imperfect, "f", lifetimes);
+        assert!(plan.collapses.is_empty(), "{:?}", plan.collapses);
+
+        // With lifetimes off, no collapse specs are planned at all.
+        let (plan, _) = plan_for(perfect, "f");
+        assert!(plan.collapses.is_empty());
+        assert!(plan.enter_data.is_empty());
+        assert!(plan.exit_data.is_empty());
     }
 
     /// Functions without kernels produce no plan.

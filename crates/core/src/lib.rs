@@ -82,9 +82,9 @@ pub use pipeline::{
 pub use plan::ir::RegionPlan;
 pub use plan::{
     diff_plans, explain_plan, explain_plans, extract_explicit_plans, plans_from_json,
-    plans_to_json, AnalysisStats, DiffEntry, FirstPrivateSpec, MapSpec, MappingConstruct,
-    MappingPlan, Placement, PlanDiff, PlanJsonError, Provenance, ProvenanceFact, UpdateDirection,
-    UpdateSpec, PLAN_FORMAT_VERSION,
+    plans_to_json, AnalysisStats, CollapseSpec, DiffEntry, EnterDataSpec, ExitDataSpec,
+    FirstPrivateSpec, MapSpec, MappingConstruct, MappingPlan, Placement, PlanDiff, PlanJsonError,
+    Provenance, ProvenanceFact, UpdateDirection, UpdateSpec, PLAN_FORMAT_VERSION,
 };
 pub use program::{
     ExportedInterface, ExternalRefs, LinkContext, LinkState, LinkedSummaries, Program,
@@ -266,6 +266,15 @@ impl OmpdartBuilder {
     /// [`OmpDartOptions::pessimistic_globals`]).
     pub fn pessimistic_globals(mut self, enabled: bool) -> OmpdartBuilder {
         self.options.pessimistic_globals = enabled;
+        self
+    }
+
+    /// Plan unstructured device lifetimes: structured-region maps become
+    /// `target enter data` / `target exit data` at the phase boundaries and
+    /// perfectly nested offload loops gain `collapse(n)` (see
+    /// [`DataflowOptions::lifetimes`]).
+    pub fn lifetimes(mut self, enabled: bool) -> OmpdartBuilder {
+        self.options.dataflow.lifetimes = enabled;
         self
     }
 

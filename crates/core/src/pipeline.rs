@@ -293,6 +293,7 @@ pub fn options_fingerprint(options: &OmpDartOptions) -> u64 {
         u8::from(options.interprocedural),
         u8::from(options.reject_existing_mappings),
         u8::from(options.pessimistic_globals),
+        u8::from(options.dataflow.lifetimes),
     ]);
     h.write_u64(options.max_interproc_passes as u64);
     h.finish()
@@ -1309,7 +1310,7 @@ fn run_plan_stage(
             stats.functions_with_kernels += 1;
             stats.kernels += plan.kernels.len();
             stats.mapped_variables += plan.mapped_variables().len();
-            stats.map_clauses += plan.maps.len();
+            stats.map_clauses += plan.maps.len() + plan.enter_data.len() + plan.exit_data.len();
             stats.update_directives += plan.updates.len();
             stats.firstprivate_clauses += plan.firstprivate.len();
             plans.push(plan);

@@ -15,11 +15,11 @@
 
 use crate::pipeline::Stage;
 use crate::plan::ir::{
-    FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
-    UpdateSpec,
+    CollapseSpec, EnterDataSpec, ExitDataSpec, FirstPrivateSpec, MapSpec, MappingPlan, Placement,
+    Provenance, ProvenanceFact, UpdateDirection, UpdateSpec,
 };
-use ompdart_frontend::ast::{StmtKind, TranslationUnit};
-use ompdart_frontend::omp::{Clause, MapItem, MapType};
+use ompdart_frontend::ast::{ExprKind, StmtKind, TranslationUnit};
+use ompdart_frontend::omp::{Clause, DirectiveKind, MapItem, MapType};
 use ompdart_frontend::printer::expr_to_c;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -62,19 +62,67 @@ pub fn extract_explicit_plans(unit: &TranslationUnit) -> Vec<MappingPlan> {
             }
             for clause in &dir.clauses {
                 match clause {
-                    Clause::Map { map_type, items } => {
-                        for item in items {
-                            // Duplicated list items (nested regions mapping
-                            // the same variable) collapse to the first.
-                            if plan.map_for(&item.var).is_some() {
-                                continue;
+                    Clause::Map { map_type, items } => match dir.kind {
+                        // Unstructured lifetime directives own their own
+                        // spec lists: an exit map must not be swallowed by
+                        // the structured first-wins dedup below.
+                        DirectiveKind::TargetEnterData => {
+                            for item in items {
+                                plan.enter_data.push(EnterDataSpec {
+                                    var: item.var.clone(),
+                                    map_type: map_type.unwrap_or(MapType::To),
+                                    anchor: s.id,
+                                    placement: Placement::Before,
+                                    section_length: section_length_of(item),
+                                    provenance: declared(item),
+                                });
                             }
-                            plan.maps.push(MapSpec {
-                                var: item.var.clone(),
-                                map_type: map_type.unwrap_or(MapType::ToFrom),
-                                section_length: section_length_of(item),
-                                provenance: declared(item),
-                            });
+                        }
+                        DirectiveKind::TargetExitData => {
+                            for item in items {
+                                plan.exit_data.push(ExitDataSpec {
+                                    var: item.var.clone(),
+                                    map_type: map_type.unwrap_or(MapType::From),
+                                    anchor: s.id,
+                                    placement: Placement::After,
+                                    section_length: section_length_of(item),
+                                    provenance: declared(item),
+                                });
+                            }
+                        }
+                        _ => {
+                            for item in items {
+                                // Duplicated list items (nested regions mapping
+                                // the same variable) collapse to the first.
+                                if plan.map_for(&item.var).is_some() {
+                                    continue;
+                                }
+                                plan.maps.push(MapSpec {
+                                    var: item.var.clone(),
+                                    map_type: map_type.unwrap_or(MapType::ToFrom),
+                                    section_length: section_length_of(item),
+                                    provenance: declared(item),
+                                });
+                            }
+                        }
+                    },
+                    Clause::Collapse(depth_expr) if dir.kind.is_offload_kernel() => {
+                        if let ExprKind::IntLit(n) = &depth_expr.kind {
+                            if *n >= 2 {
+                                plan.collapses.push(CollapseSpec {
+                                    kernel: s.id,
+                                    depth: *n as u32,
+                                    provenance: Provenance::at_stage(
+                                        Stage::Parse,
+                                        ProvenanceFact::DeclaredInSource,
+                                        Some(depth_expr.span),
+                                        format!(
+                                            "declared on `#pragma omp {}`",
+                                            dir.kind.directive_text()
+                                        ),
+                                    ),
+                                });
+                            }
                         }
                     }
                     Clause::UpdateTo(items) | Clause::UpdateFrom(items) => {
@@ -315,6 +363,106 @@ pub fn diff_plans(left: &[MappingPlan], right: &[MappingPlan]) -> PlanDiff {
                 });
             }
         }
+
+        // --- enter/exit data, keyed by variable like maps -----------------
+        let enter_rendering = |e: &EnterDataSpec| {
+            format!(
+                "target enter data map({}: {})",
+                e.map_type.as_str(),
+                e.to_list_item()
+            )
+        };
+        for le in &l.enter_data {
+            match r.enter_for(&le.var) {
+                Some(re)
+                    if re.map_type == le.map_type && re.to_list_item() == le.to_list_item() =>
+                {
+                    diff.agreements += 1
+                }
+                Some(re) => diff.entries.push(DiffEntry::Retyped {
+                    function: function.to_string(),
+                    var: le.var.clone(),
+                    left: enter_rendering(le),
+                    right: enter_rendering(re),
+                }),
+                None => diff.entries.push(DiffEntry::OnlyLeft {
+                    function: function.to_string(),
+                    construct: enter_rendering(le),
+                }),
+            }
+        }
+        for re in &r.enter_data {
+            if l.enter_for(&re.var).is_none() {
+                diff.entries.push(DiffEntry::OnlyRight {
+                    function: function.to_string(),
+                    construct: enter_rendering(re),
+                });
+            }
+        }
+        let exit_rendering = |e: &ExitDataSpec| {
+            format!(
+                "target exit data map({}: {})",
+                e.map_type.as_str(),
+                e.to_list_item()
+            )
+        };
+        for le in &l.exit_data {
+            match r.exit_for(&le.var) {
+                Some(re)
+                    if re.map_type == le.map_type && re.to_list_item() == le.to_list_item() =>
+                {
+                    diff.agreements += 1
+                }
+                Some(re) => diff.entries.push(DiffEntry::Retyped {
+                    function: function.to_string(),
+                    var: le.var.clone(),
+                    left: exit_rendering(le),
+                    right: exit_rendering(re),
+                }),
+                None => diff.entries.push(DiffEntry::OnlyLeft {
+                    function: function.to_string(),
+                    construct: exit_rendering(le),
+                }),
+            }
+        }
+        for re in &r.exit_data {
+            if l.exit_for(&re.var).is_none() {
+                diff.entries.push(DiffEntry::OnlyRight {
+                    function: function.to_string(),
+                    construct: exit_rendering(re),
+                });
+            }
+        }
+
+        // --- collapse clauses, keyed by depth with multiplicity -----------
+        let collapse_counts = |plan: &MappingPlan| -> BTreeMap<u32, usize> {
+            let mut counts = BTreeMap::new();
+            for c in &plan.collapses {
+                *counts.entry(c.depth).or_insert(0) += 1;
+            }
+            counts
+        };
+        let lc = collapse_counts(l);
+        let rc = collapse_counts(r);
+        for (depth, lcount) in &lc {
+            let rcount = rc.get(depth).copied().unwrap_or(0);
+            diff.agreements += (*lcount).min(rcount);
+            for _ in rcount..*lcount {
+                diff.entries.push(DiffEntry::OnlyLeft {
+                    function: function.to_string(),
+                    construct: format!("collapse({depth})"),
+                });
+            }
+        }
+        for (depth, rcount) in &rc {
+            let lcount = lc.get(depth).copied().unwrap_or(0);
+            for _ in lcount..*rcount {
+                diff.entries.push(DiffEntry::OnlyRight {
+                    function: function.to_string(),
+                    construct: format!("collapse({depth})"),
+                });
+            }
+        }
     }
     diff
 }
@@ -370,6 +518,62 @@ mod tests {
         assert!(diff.entries.iter().any(
             |e| matches!(e, DiffEntry::OnlyRight { construct, .. } if construct.contains("update"))
         ));
+    }
+
+    #[test]
+    fn lifetime_plans_are_extracted_and_diffed() {
+        // The devito-style expert idiom: unstructured enter/exit pairs
+        // around a collapsed kernel.
+        let src = "\
+#define N 8
+double u[N];
+double scratch[N];
+void step() {
+  #pragma omp target enter data map(to: u) map(alloc: scratch)
+  #pragma omp target teams distribute parallel for collapse(2)
+  for (int i = 0; i < N; i++)
+    for (int j = 0; j < N; j++)
+      scratch[i] = u[i] + i + j;
+  #pragma omp target exit data map(from: u) map(delete: scratch)
+}
+";
+        let (_file, result) = parse_str("expert.c", src);
+        assert!(result.is_ok(), "{:?}", result.diagnostics);
+        let plans = extract_explicit_plans(&result.unit);
+        assert_eq!(plans.len(), 1);
+        let plan = &plans[0];
+        assert!(plan.maps.is_empty(), "{:?}", plan.maps);
+        assert_eq!(plan.enter_for("u").unwrap().map_type, MapType::To);
+        assert_eq!(plan.enter_for("scratch").unwrap().map_type, MapType::Alloc);
+        assert_eq!(plan.exit_for("u").unwrap().map_type, MapType::From);
+        assert_eq!(plan.exit_for("scratch").unwrap().map_type, MapType::Delete);
+        assert_eq!(plan.collapses.len(), 1);
+        assert_eq!(plan.collapses[0].depth, 2);
+        for p in plan.provenances() {
+            assert_eq!(p.fact, ProvenanceFact::DeclaredInSource);
+        }
+
+        // Identical lifetime plans agree construct for construct.
+        let self_diff = diff_plans(&plans, &plans);
+        assert!(self_diff.is_empty(), "{:?}", self_diff.entries);
+        assert_eq!(self_diff.agreements, plan.construct_count());
+
+        // A dropped exit copy and a retyped enter show up as divergences.
+        let mut other = plan.clone();
+        other.exit_data.retain(|e| e.var != "u");
+        for e in &mut other.enter_data {
+            if e.var == "u" {
+                e.map_type = MapType::Alloc;
+            }
+        }
+        let diff = diff_plans(&plans, &[other]);
+        assert!(diff.entries.iter().any(
+            |e| matches!(e, DiffEntry::OnlyLeft { construct, .. } if construct.contains("exit data map(from: u)"))
+        ));
+        assert!(diff
+            .entries
+            .iter()
+            .any(|e| matches!(e, DiffEntry::Retyped { var, .. } if var == "u")));
     }
 
     #[test]

@@ -19,8 +19,9 @@ pub mod json;
 pub use diff::{diff_plans, extract_explicit_plans, DiffEntry, PlanDiff};
 pub use explain::{explain_plan, explain_plans, justified_line_count};
 pub use ir::{
-    AnalysisStats, FirstPrivateSpec, MapSpec, MappingConstruct, MappingPlan, Placement, Provenance,
-    ProvenanceFact, UpdateDirection, UpdateSpec, PLAN_FORMAT_VERSION,
+    AnalysisStats, CollapseSpec, EnterDataSpec, ExitDataSpec, FirstPrivateSpec, MapSpec,
+    MappingConstruct, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
+    UpdateSpec, PLAN_FORMAT_VERSION,
 };
 pub use json::{
     plans_from_json, plans_to_json, stats_from_json, stats_to_json, Json, PlanJsonError,

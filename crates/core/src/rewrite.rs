@@ -46,20 +46,27 @@ pub fn apply_plans(
                 }
             }
         } else if let (Some(start), Some(end)) = (plan.region_start, plan.region_end) {
+            // A plan whose data movement lives in unstructured lifetime
+            // directives needs no structured region at all: the `enter data`
+            // / `exit data` pair emitted below owns the device data
+            // environment between the same two anchors.
+            let unstructured = !plan.enter_data.is_empty() || !plan.exit_data.is_empty();
             if let (Some(start_span), Some(end_span)) = (span_of(start), span_of(end)) {
-                let indent = file.indentation_at(start_span.start);
-                let open_pos = file.line_start_of(start_span.start);
-                let mut open_text = format!("{indent}#pragma omp target data");
-                if !map_clause_text.is_empty() {
-                    open_text.push(' ');
-                    open_text.push_str(&map_clause_text);
-                }
-                open_text.push('\n');
-                open_text.push_str(&format!("{indent}{{\n"));
-                edits.insert(open_pos, open_text);
+                if !unstructured {
+                    let indent = file.indentation_at(start_span.start);
+                    let open_pos = file.line_start_of(start_span.start);
+                    let mut open_text = format!("{indent}#pragma omp target data");
+                    if !map_clause_text.is_empty() {
+                        open_text.push(' ');
+                        open_text.push_str(&map_clause_text);
+                    }
+                    open_text.push('\n');
+                    open_text.push_str(&format!("{indent}{{\n"));
+                    edits.insert(open_pos, open_text);
 
-                let close_pos = after_line_pos(file, end_span.end);
-                edits.insert(close_pos, format!("{indent}}}\n"));
+                    let close_pos = after_line_pos(file, end_span.end);
+                    edits.insert(close_pos, format!("{indent}}}\n"));
+                }
             }
         }
 
@@ -78,6 +85,13 @@ pub fn apply_plans(
                     dir.pragma_span.end,
                     format!(" firstprivate({})", vars.join(", ")),
                 );
+            }
+        }
+
+        // --- collapse clauses --------------------------------------------------
+        for c in &plan.collapses {
+            if let Some(dir) = directives.get(&c.kernel) {
+                edits.insert(dir.pragma_span.end, format!(" collapse({})", c.depth));
             }
         }
 
@@ -113,8 +127,69 @@ pub fn apply_plans(
             };
             edits.insert(pos, text);
         }
+
+        // --- unstructured lifetime directives ----------------------------------
+        // One `target enter data` / `target exit data` directive per
+        // (anchor, placement), consolidating every spec that shares the
+        // insertion point into a single multi-clause line.
+        let enter_items: Vec<(NodeId, Placement, MapType, String)> = plan
+            .enter_data
+            .iter()
+            .map(|e| (e.anchor, e.placement, e.map_type, e.to_list_item()))
+            .collect();
+        let exit_items: Vec<(NodeId, Placement, MapType, String)> = plan
+            .exit_data
+            .iter()
+            .map(|e| (e.anchor, e.placement, e.map_type, e.to_list_item()))
+            .collect();
+        for (keyword, items) in [("enter", enter_items), ("exit", exit_items)] {
+            let mut grouped: BTreeMap<(NodeId, u8), Vec<(MapType, String)>> = BTreeMap::new();
+            for (anchor, placement, map_type, item) in items {
+                let key = (anchor, matches!(placement, Placement::After) as u8);
+                let entry = grouped.entry(key).or_default();
+                if !entry.iter().any(|(mt, it)| *mt == map_type && *it == item) {
+                    entry.push((map_type, item));
+                }
+            }
+            for ((anchor, after), specs) in grouped {
+                let Some(span) = span_of(anchor) else {
+                    continue;
+                };
+                let indent = file.indentation_at(span.start);
+                let text = format!(
+                    "{indent}#pragma omp target {keyword} data {}\n",
+                    render_lifetime_clauses(&specs)
+                );
+                let pos = if after == 1 {
+                    after_line_pos(file, span.end)
+                } else {
+                    file.line_start_of(span.start)
+                };
+                edits.insert(pos, text);
+            }
+        }
     }
     edits.apply(file.text())
+}
+
+/// Render the consolidated `map(...)` clauses of one lifetime directive, in
+/// the fixed order entry types before exit types.
+fn render_lifetime_clauses(specs: &[(MapType, String)]) -> String {
+    let mut groups: BTreeMap<&'static str, Vec<String>> = BTreeMap::new();
+    for (map_type, item) in specs {
+        groups
+            .entry(map_type.as_str())
+            .or_default()
+            .push(item.clone());
+    }
+    let order = ["to", "alloc", "from", "delete", "release"];
+    let mut clauses = Vec::new();
+    for key in order {
+        if let Some(items) = groups.get(key) {
+            clauses.push(format!("map({key}: {})", items.join(", ")));
+        }
+    }
+    clauses.join(" ")
 }
 
 /// Byte position of the start of the line following the line that contains
@@ -211,6 +286,10 @@ mod tests {
     use std::collections::HashMap;
 
     fn transform(src: &str) -> String {
+        transform_with(src, DataflowOptions::default())
+    }
+
+    fn transform_with(src: &str, options: DataflowOptions) -> String {
         let (file, result) = parse_str("t.c", src);
         assert!(result.is_ok(), "{:?}", result.diagnostics);
         let unit = result.unit;
@@ -226,15 +305,9 @@ mod tests {
                 continue;
             };
             let acc = FunctionAccesses::collect(f, &g.index, &symbols[&f.name]);
-            if let Some(plan) = plan_function(
-                &unit,
-                f,
-                g,
-                &acc,
-                &symbols[&f.name],
-                &DataflowOptions::default(),
-                &mut diags,
-            ) {
+            if let Some(plan) =
+                plan_function(&unit, f, g, &acc, &symbols[&f.name], &options, &mut diags)
+            {
                 plans.push(plan);
             }
         }
@@ -381,6 +454,63 @@ void f() {
         // x is read-only (to); y is read+written and escapes (tofrom).
         assert!(out.contains("map(to: x)"), "{out}");
         assert!(out.contains("map(tofrom: y)"), "{out}");
+    }
+
+    /// Lifetimes mode replaces the structured region with a consolidated
+    /// `enter data`/`exit data` pair at the phase boundaries, appends
+    /// `collapse(n)` to perfectly nested kernels, and the result reparses.
+    #[test]
+    fn lifetimes_mode_emits_unstructured_directives() {
+        let src = "\
+#define N 16
+double input[N * N];
+double output[N * N];
+int main() {
+  for (int i = 0; i < N * N; i++) input[i] = i;
+  for (int it = 0; it < 4; ++it) {
+    #pragma omp target teams distribute parallel for
+    for (int i = 0; i < N; i++)
+      for (int j = 0; j < N; j++)
+        output[i * N + j] = input[i * N + j] + it;
+  }
+  double s = 0.0;
+  for (int i = 0; i < N * N; i++) s += output[i];
+  printf(\"%f\\n\", s);
+  return 0;
+}
+";
+        let lifetimes = DataflowOptions {
+            lifetimes: true,
+            ..Default::default()
+        };
+        let out = transform_with(src, lifetimes);
+        assert!(
+            !out.contains("#pragma omp target data"),
+            "no structured region expected:\n{out}"
+        );
+        assert!(
+            out.contains("#pragma omp target enter data map(to: input)"),
+            "{out}"
+        );
+        assert!(
+            out.contains("#pragma omp target exit data map(from: output)"),
+            "{out}"
+        );
+        assert!(out.contains("collapse(2)"), "{out}");
+        // enter before the phase, exit after it.
+        let enter_pos = out.find("enter data").unwrap();
+        let exit_pos = out.find("exit data").unwrap();
+        let loop_pos = out.find("for (int it").unwrap();
+        assert!(enter_pos < loop_pos && loop_pos < exit_pos, "{out}");
+        let (_f2, reparsed) = parse_str("out.c", &out);
+        assert!(reparsed.is_ok(), "{out}\n{:?}", reparsed.diagnostics);
+        // With lifetimes off the same source keeps the structured region,
+        // byte for byte.
+        assert_eq!(
+            transform(src),
+            transform_with(src, DataflowOptions::default())
+        );
+        assert!(transform(src).contains("#pragma omp target data"));
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub mod strategy {
         )+};
     }
 
-    tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) }
+    tuple_strategy! { (A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E) (A, B, C, D, E, F) (A, B, C, D, E, F, G) }
 
     /// Uniform choice between boxed strategies (the `prop_oneof!` backend).
     pub struct Union<T> {

@@ -166,6 +166,16 @@ impl Client {
         self.request("gc", fields)
     }
 
+    /// `check_plans`: validate a plan-JSON document against the plan format
+    /// this daemon build reads. Old plan versions come back as a structured
+    /// `bad_request` error instead of a crash.
+    pub fn check_plans(&mut self, plans: &str) -> Result<Json, ClientError> {
+        self.request(
+            "check_plans",
+            vec![("plans".into(), Json::Str(plans.to_string()))],
+        )
+    }
+
     /// `shutdown`: ask the daemon to drain, flush, and exit.
     pub fn shutdown(&mut self) -> Result<Json, ClientError> {
         self.request("shutdown", Vec::new())

@@ -393,6 +393,9 @@ fn handle_payload(
             respond(writer, ok_response(id, stats_result(shared)));
             Ok(())
         }
+        "check_plans" => handle_check_plans(&request).map(|result| {
+            respond(writer, ok_response(id, result));
+        }),
         "gc" => handle_gc(&request, id, shared, writer),
         "shutdown" => {
             shared.log(format_args!("shutdown requested (id={id:?})"));
@@ -461,6 +464,41 @@ fn decode_units(request: &Json) -> Result<Vec<(String, String)>, RequestError> {
         }
     }
     Ok(decoded)
+}
+
+/// Validate a client-supplied plan-JSON document against the Mapping IR
+/// format this daemon build reads. A document written at a previous
+/// `PLAN_FORMAT_VERSION` answers a structured `bad_request` carrying the
+/// core error text instead of being half-read (or panicking a session).
+fn handle_check_plans(request: &Json) -> Result<Json, RequestError> {
+    let doc = match request.get("plans") {
+        Some(Json::Str(text)) => text.clone(),
+        Some(value) => value.render(),
+        None => {
+            return Err(RequestError::new(
+                ErrorKind::BadRequest,
+                "missing `plans` field (a plan-JSON document, as a string or embedded value)",
+            ))
+        }
+    };
+    match ompdart_core::plan::plans_from_json(&doc) {
+        Ok(plans) => Ok(Json::Object(vec![
+            ("valid".into(), Json::Bool(true)),
+            (
+                "format_version".into(),
+                Json::Int(i64::from(ompdart_core::plan::PLAN_FORMAT_VERSION)),
+            ),
+            ("plans".into(), Json::Int(plans.len() as i64)),
+            (
+                "constructs".into(),
+                Json::Int(plans.iter().map(|p| p.construct_count()).sum::<usize>() as i64),
+            ),
+        ])),
+        Err(e) => Err(RequestError::new(
+            ErrorKind::BadRequest,
+            format!("plan document rejected: {e}"),
+        )),
+    }
 }
 
 fn program_key(request: &Json) -> String {

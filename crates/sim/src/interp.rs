@@ -624,18 +624,27 @@ impl<'a> Interpreter<'a> {
             DirectiveKind::TargetData => self.exec_target_data(dir),
             DirectiveKind::TargetEnterData => {
                 let actions = self.mapping_actions(dir)?;
+                let (calls, bytes_before) = (self.profile.htod_calls, self.profile.htod_bytes);
                 for (obj, map_type, bytes) in actions {
                     self.device
                         .map_enter(&self.mem, obj, map_type, bytes, &mut self.profile);
                 }
+                // Attribute the traffic this directive caused to the
+                // enter-data sub-counters (refcounting may have skipped some
+                // of it, so measure the delta instead of the clause list).
+                self.profile.enter_htod_calls += self.profile.htod_calls - calls;
+                self.profile.enter_htod_bytes += self.profile.htod_bytes - bytes_before;
                 Ok(Flow::Normal)
             }
             DirectiveKind::TargetExitData => {
                 let actions = self.mapping_actions(dir)?;
+                let (calls, bytes_before) = (self.profile.dtoh_calls, self.profile.dtoh_bytes);
                 for (obj, map_type, bytes) in actions {
                     self.device
                         .map_exit(&mut self.mem, obj, map_type, bytes, &mut self.profile);
                 }
+                self.profile.exit_dtoh_calls += self.profile.dtoh_calls - calls;
+                self.profile.exit_dtoh_bytes += self.profile.dtoh_bytes - bytes_before;
                 Ok(Flow::Normal)
             }
             DirectiveKind::TargetUpdate => {

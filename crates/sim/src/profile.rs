@@ -27,6 +27,15 @@ pub struct TransferProfile {
     pub host_ops: u64,
     /// Abstract operations executed on the device.
     pub device_ops: u64,
+    /// HtoD calls attributed to `target enter data` directives (a subset of
+    /// `htod_calls`; the rest belong to structured regions and updates).
+    pub enter_htod_calls: u64,
+    /// Bytes attributed to `target enter data` (subset of `htod_bytes`).
+    pub enter_htod_bytes: u64,
+    /// DtoH calls attributed to `target exit data` (subset of `dtoh_calls`).
+    pub exit_dtoh_calls: u64,
+    /// Bytes attributed to `target exit data` (subset of `dtoh_bytes`).
+    pub exit_dtoh_bytes: u64,
 }
 
 impl TransferProfile {
@@ -62,18 +71,39 @@ impl TransferProfile {
         self.kernel_launches += other.kernel_launches;
         self.host_ops += other.host_ops;
         self.device_ops += other.device_ops;
+        self.enter_htod_calls += other.enter_htod_calls;
+        self.enter_htod_bytes += other.enter_htod_bytes;
+        self.exit_dtoh_calls += other.exit_dtoh_calls;
+        self.exit_dtoh_bytes += other.exit_dtoh_bytes;
     }
 
-    /// One-line nsys-style summary, used by CLI output and reports.
+    /// One-line nsys-style summary, used by CLI output and reports. When any
+    /// transfer was attributed to an unstructured lifetime directive, the
+    /// line breaks the totals out into enter/exit-data vs structured-region
+    /// traffic.
     pub fn summary(&self) -> String {
-        format!(
+        let mut out = format!(
             "{} HtoD call(s) / {}, {} DtoH call(s) / {}, {} kernel launch(es)",
             self.htod_calls,
             format_bytes(self.htod_bytes),
             self.dtoh_calls,
             format_bytes(self.dtoh_bytes),
             self.kernel_launches
-        )
+        );
+        if self.enter_htod_calls > 0 || self.exit_dtoh_calls > 0 {
+            out.push_str(&format!(
+                "; enter/exit data: {} HtoD call(s) / {}, {} DtoH call(s) / {}; structured: {} HtoD call(s) / {}, {} DtoH call(s) / {}",
+                self.enter_htod_calls,
+                format_bytes(self.enter_htod_bytes),
+                self.exit_dtoh_calls,
+                format_bytes(self.exit_dtoh_bytes),
+                self.htod_calls - self.enter_htod_calls,
+                format_bytes(self.htod_bytes - self.enter_htod_bytes),
+                self.dtoh_calls - self.exit_dtoh_calls,
+                format_bytes(self.dtoh_bytes - self.exit_dtoh_bytes),
+            ));
+        }
+        out
     }
 
     /// Time spent moving data under the given cost model (seconds).
@@ -279,6 +309,34 @@ mod tests {
         let s = opt.speedup_over(&unopt, &cost);
         assert!(s > 10.0, "expected large speedup, got {s}");
         assert!(opt.transfer_improvement_over(&unopt, &cost) > 100.0);
+    }
+
+    #[test]
+    fn summary_breaks_out_lifetime_traffic() {
+        let mut p = TransferProfile::default();
+        p.record_htod(1000);
+        p.record_htod(500);
+        p.record_dtoh(250);
+        // Without lifetime attribution the summary stays the classic one-liner.
+        assert!(!p.summary().contains("enter/exit data"), "{}", p.summary());
+        p.enter_htod_calls = 1;
+        p.enter_htod_bytes = 1000;
+        p.exit_dtoh_calls = 1;
+        p.exit_dtoh_bytes = 250;
+        let s = p.summary();
+        assert!(
+            s.contains("enter/exit data: 1 HtoD call(s) / 1000 B, 1 DtoH call(s) / 250 B"),
+            "{s}"
+        );
+        assert!(
+            s.contains("structured: 1 HtoD call(s) / 500 B, 0 DtoH call(s) / 0 B"),
+            "{s}"
+        );
+        // merge() accumulates the attributed sub-counters too.
+        let mut other = TransferProfile::default();
+        other.merge(&p);
+        assert_eq!(other.enter_htod_bytes, 1000);
+        assert_eq!(other.exit_dtoh_calls, 1);
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct ExperimentConfig {
     pub tool: OmpDartOptions,
     /// Run the nine benchmarks on worker threads.
     pub parallel: bool,
+    /// Also run each benchmark through the unstructured-lifetimes planner
+    /// (`--lifetimes`: `enter/exit data` + `collapse` instead of a
+    /// structured region) and record its transfer profile as a fourth
+    /// variant.
+    pub lifetimes: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -33,6 +38,7 @@ impl Default for ExperimentConfig {
             max_ops: 100_000_000,
             tool: OmpDartOptions::default(),
             parallel: true,
+            lifetimes: false,
         }
     }
 }
@@ -95,6 +101,12 @@ pub struct BenchmarkResult {
     pub plans: Vec<MappingPlan>,
     /// Plans extracted from the expert variant's explicit directives.
     pub expert_plans: Vec<MappingPlan>,
+    /// The unstructured-lifetimes variant (enter/exit data + collapse),
+    /// present when [`ExperimentConfig::lifetimes`] was set.
+    pub lifetimes: Option<VariantResult>,
+    /// Call sites the analysis could not resolve to a summary (0 = fully
+    /// linked; the whole-program row must stay at 0).
+    pub linked_fallbacks: usize,
 }
 
 impl BenchmarkResult {
@@ -165,6 +177,29 @@ impl BenchmarkResult {
     pub fn plan_diff_vs_expert(&self) -> PlanDiff {
         diff_plans(&self.plans, &self.expert_plans)
     }
+
+    /// Whether the unstructured-lifetimes variant moves strictly fewer
+    /// bytes than the expert mapping (`None` when it was not run).
+    pub fn lifetimes_below_expert(&self) -> Option<bool> {
+        self.lifetimes
+            .as_ref()
+            .map(|lt| lt.profile.total_bytes() < self.expert.profile.total_bytes())
+    }
+
+    /// Runtime speedup of the lifetimes variant over unoptimized.
+    pub fn speedup_lifetimes(&self, cost: &CostModel) -> Option<f64> {
+        self.lifetimes
+            .as_ref()
+            .map(|lt| lt.profile.speedup_over(&self.unoptimized.profile, cost))
+    }
+
+    /// Data-transfer wall-time improvement of the lifetimes variant.
+    pub fn transfer_time_improvement_lifetimes(&self, cost: &CostModel) -> Option<f64> {
+        self.lifetimes.as_ref().map(|lt| {
+            lt.profile
+                .transfer_improvement_over(&self.unoptimized.profile, cost)
+        })
+    }
 }
 
 /// Run one benchmark through all three variants on a fresh analysis
@@ -227,6 +262,28 @@ pub fn run_benchmark_with_session(
         .map(|p| extract_explicit_plans(&p.unit))
         .map_err(|e| ExperimentError::Transform(format!("expert variant: {e}")))?;
 
+    // The fourth variant: the same program planned with unstructured
+    // lifetimes. The option flips the plan fingerprint, so it needs its
+    // own session — the caches of the structured run never collide.
+    let lifetimes = if config.lifetimes {
+        let mut options = config.tool;
+        options.dataflow.lifetimes = true;
+        let lt_session = AnalysisSession::with_options(options);
+        let lt = lt_session
+            .analyze(&bench.unoptimized_file(), bench.unoptimized)
+            .map_err(|e| ExperimentError::Transform(format!("lifetimes variant: {e}")))?;
+        Some(
+            sim(
+                format!("{}_lifetimes.c", bench.name),
+                &lt.rewrite.source,
+                "lifetimes",
+            )?
+            .into(),
+        )
+    } else {
+        None
+    };
+
     Ok(BenchmarkResult {
         name: bench.name.to_string(),
         unoptimized: unoptimized.into(),
@@ -236,8 +293,10 @@ pub fn run_benchmark_with_session(
         stage_timings: analysis.timings(),
         transformed_source,
         constructs_inserted: analysis.plans.stats.total_constructs(),
+        linked_fallbacks: analysis.plans.stats.unknown_callee_fallbacks,
         plans: analysis.plans.plans.clone(),
         expert_plans,
+        lifetimes,
     })
 }
 
@@ -307,6 +366,27 @@ pub fn run_multifile_benchmark_with_session(
         .map(|p| extract_explicit_plans(&p.unit))
         .map_err(|e| ExperimentError::Transform(format!("expert variant: {e}")))?;
 
+    // Lifetimes variant of the linked program: re-link the three units
+    // under a lifetimes-enabled session and simulate the concatenation.
+    let lifetimes = if config.lifetimes {
+        let mut options = config.tool;
+        options.dataflow.lifetimes = true;
+        let lt_session = Arc::new(AnalysisSession::with_options(options));
+        let lt_program = ProgramDriver::with_session(Arc::clone(&lt_session))
+            .analyze_program(&units)
+            .map_err(|e| ExperimentError::Transform(format!("lifetimes variant: {e}")))?;
+        Some(
+            sim(
+                "lulesh_mf_lifetimes.c".into(),
+                &lt_program.concatenated_rewrite(),
+                "lifetimes",
+            )?
+            .into(),
+        )
+    } else {
+        None
+    };
+
     Ok(BenchmarkResult {
         name: "lulesh_mf".to_string(),
         unoptimized: unoptimized.into(),
@@ -316,8 +396,10 @@ pub fn run_multifile_benchmark_with_session(
         stage_timings,
         transformed_source,
         constructs_inserted: program.stats().total_constructs(),
+        linked_fallbacks: program.stats().unknown_callee_fallbacks,
         plans,
         expert_plans,
+        lifetimes,
     })
 }
 
@@ -553,6 +635,62 @@ mod tests {
             "lulesh_mf: expected a clear win over the expert mapping, got {vs_expert:.2}x"
         );
         assert!(r.ompdart.profile.total_bytes() * 2 < r.expert.profile.total_bytes());
+    }
+
+    /// The fourth variant: unstructured lifetimes. Host-visible output must
+    /// stay identical on every benchmark, and the simulated transfer volume
+    /// must beat the expert mapping on at least three of them (the
+    /// acceptance bar of the lifetimes milestone).
+    #[test]
+    fn lifetimes_variant_is_correct_and_beats_expert_volume() {
+        let config = ExperimentConfig {
+            lifetimes: true,
+            ..quick_config()
+        };
+        let mut results = run_all(&config);
+        results.push(run_multifile_benchmark(&config).unwrap());
+
+        let mut below = 0usize;
+        for r in &results {
+            let lt = r
+                .lifetimes
+                .as_ref()
+                .unwrap_or_else(|| panic!("{}: lifetimes variant missing", r.name));
+            assert_eq!(
+                lt.output, r.unoptimized.output,
+                "{}: lifetimes variant changes host-visible output",
+                r.name
+            );
+            assert_eq!(
+                lt.output, r.expert.output,
+                "{}: lifetimes variant diverges from the expert program",
+                r.name
+            );
+            assert!(
+                lt.profile.total_bytes() <= r.unoptimized.profile.total_bytes(),
+                "{}: lifetimes variant moves more data than implicit mappings",
+                r.name
+            );
+            // The variant's traffic really flows through enter/exit data:
+            // the attributed counters are live and stay subsets of the
+            // totals.
+            assert!(
+                lt.profile.enter_htod_calls > 0,
+                "{}: no transfer attributed to `target enter data`",
+                r.name
+            );
+            assert!(lt.profile.enter_htod_bytes <= lt.profile.htod_bytes);
+            assert!(lt.profile.exit_dtoh_bytes <= lt.profile.dtoh_bytes);
+            if r.lifetimes_below_expert() == Some(true) {
+                below += 1;
+            }
+        }
+        assert!(
+            below >= 3,
+            "lifetimes variant must beat the expert transfer volume on >=3 benchmarks, got {below}"
+        );
+        let mf = results.iter().find(|r| r.name == "lulesh_mf").unwrap();
+        assert_eq!(mf.linked_fallbacks, 0, "lulesh_mf must stay fully linked");
     }
 
     #[test]

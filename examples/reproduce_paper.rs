@@ -9,9 +9,12 @@
 //! Accepted flags: `--table1` .. `--table5`, `--fig3` .. `--fig6`,
 //! `--summary`, `--timings`, `--plan-diff` (construct-level tool-vs-expert
 //! comparison), `--plans` (plan-JSON emission), `--explain` (justify every
-//! inserted construct). With no flags every tabular artifact — including
-//! the plan-vs-expert diff — is printed in order; only the large `--plans`
-//! and `--explain` dumps are opt-in. The nine benchmarks run concurrently
+//! inserted construct), `--lifetimes` (run the unstructured
+//! `enter/exit data` variant as a fourth row and compare its transfer
+//! volume against the expert mapping). With no flags every tabular
+//! artifact — including the plan-vs-expert diff — is printed in order;
+//! the large `--plans` / `--explain` dumps and the extra `--lifetimes`
+//! run are opt-in. The nine benchmarks run concurrently
 //! over one shared `AnalysisSession`, so repeated artifacts reuse the
 //! cached analyses.
 
@@ -23,7 +26,7 @@ use ompdart_suite::experiment::{
 use ompdart_suite::report;
 use std::sync::Arc;
 
-const FLAGS: [&str; 13] = [
+const FLAGS: [&str; 14] = [
     "--table1",
     "--table2",
     "--table3",
@@ -37,6 +40,7 @@ const FLAGS: [&str; 13] = [
     "--plans",
     "--plan-diff",
     "--explain",
+    "--lifetimes",
 ];
 
 fn main() {
@@ -54,7 +58,7 @@ fn main() {
     // large, so they are opt-in; every tabular artifact (the plan-vs-expert
     // diff included) prints by default.
     let want = |flag: &str| {
-        if matches!(flag, "--plans" | "--explain") {
+        if matches!(flag, "--plans" | "--explain" | "--lifetimes") {
             args.iter().any(|a| a == flag)
         } else {
             args.is_empty() || args.iter().any(|a| a == flag)
@@ -86,6 +90,7 @@ fn main() {
         "--plans",
         "--plan-diff",
         "--explain",
+        "--lifetimes",
     ]
     .iter()
     .any(|f| want(f));
@@ -97,7 +102,13 @@ fn main() {
         "running the nine benchmarks plus the linked multi-file lulesh port \
          (unoptimized / OMPDart / expert)..."
     );
-    let config = ExperimentConfig::default();
+    let config = ExperimentConfig {
+        // Opt-in fourth variant: every benchmark is re-planned with
+        // unstructured `enter/exit data` lifetimes and simulated alongside
+        // the three paper variants.
+        lifetimes: want("--lifetimes"),
+        ..ExperimentConfig::default()
+    };
     let session = Arc::new(AnalysisSession::with_options(config.tool));
     let mut results = run_all_with_session(&config, &session);
     // The tenth row: the three-file lulesh port, analyzed as one *linked*
@@ -128,6 +139,9 @@ fn main() {
     }
     if want("--plan-diff") {
         println!("{}", report::plan_vs_expert(&results));
+    }
+    if want("--lifetimes") {
+        println!("{}", report::lifetimes_vs_expert(&results));
     }
     if want("--plans") {
         println!("{}", report::plans_json(&results));

@@ -47,10 +47,10 @@ ompdart — static generation of efficient OpenMP offload data mappings
 
 USAGE:
     ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
-                    [--pessimistic-globals]
+                    [--pessimistic-globals] [--lifetimes]
     ompdart analyze <a.c> <b.c>... [--out-dir <dir>] [--timings] [--pessimistic-globals]
-                    [--link-threads <N>]
-    ompdart explain <input.c>
+                    [--lifetimes] [--link-threads <N>]
+    ompdart explain <input.c> [--lifetimes]
     ompdart diff-plan <left> <right>
     ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>] [--pessimistic-globals]
     ompdart watch <dir> [--out-dir <dir>] [--cache-dir <dir>] [--interval-ms <N>]
@@ -62,6 +62,7 @@ USAGE:
     ompdart client [--socket <path> | --tcp <addr>] [--program <key>] <verb> ...
                    verbs: analyze <file.c>... [--out-dir <dir>]
                           explain <file.c> <line> [<col>]
+                          check_plans <plans.json>
                           stats | gc --max-bytes <N[k|m|g]> | shutdown
     ompdart cache gc <dir> [--max-bytes <N[k|m|g]>]
     ompdart help
@@ -77,7 +78,11 @@ SUBCOMMANDS:
                `<stem>.mapped.c` (next to the input, or into --out-dir).
                --pessimistic-globals opts into assuming unknown extern
                callees clobber every global (default: they only touch
-               their non-const pointer arguments). --link-threads caps
+               their non-const pointer arguments). --lifetimes plans
+               unstructured device lifetimes: structured-region maps
+               become `target enter data`/`target exit data` at the
+               phase boundaries and perfect offload loop nests gain
+               `collapse(n)`. --link-threads caps
                the link-stage wavefront workers (0 = auto); results are
                byte-identical at every worker count.
     explain    Print one justified line per mapping construct: the
@@ -109,7 +114,7 @@ SUBCOMMANDS:
     daemon     Run ompdartd: analysis as a service on a unix socket
                (default ompdartd.sock) or --tcp ADDR, speaking
                length-prefixed JSON requests (analyze, explain, stats,
-               gc, shutdown). Every program key gets its own warm
+               check_plans, gc, shutdown). Every program key gets its own warm
                incremental session; same-program requests serialize,
                distinct programs run in parallel. Shutdown (signal or
                request) drains in-flight work and flushes every
@@ -117,7 +122,9 @@ SUBCOMMANDS:
     client     Drive a running daemon: `analyze` sends daemon-side
                paths (--out-dir writes the returned mapped sources),
                `explain` asks for the provenance facts governing a
-               source position, `stats`/`gc`/`shutdown` administrate.
+               source position, `check_plans` validates a plan-JSON
+               document (old format versions are refused),
+               `stats`/`gc`/`shutdown` administrate.
     cache gc   Evict least-recently-used persistent-store entries until
                the directory fits --max-bytes (default 256m).
 ";
@@ -188,6 +195,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut timings = false;
     let mut simulate = false;
     let mut pessimistic_globals = false;
+    let mut lifetimes = false;
     let mut link_threads = 0usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -207,6 +215,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             "--timings" => timings = true,
             "--simulate" => simulate = true,
             "--pessimistic-globals" => pessimistic_globals = true,
+            "--lifetimes" => lifetimes = true,
             "--link-threads" => {
                 link_threads = it
                     .next()
@@ -227,7 +236,14 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
                     .into(),
             );
         }
-        return cmd_analyze_program(&inputs, out_dir, timings, pessimistic_globals, link_threads);
+        return cmd_analyze_program(
+            &inputs,
+            out_dir,
+            timings,
+            pessimistic_globals,
+            lifetimes,
+            link_threads,
+        );
     }
     if link_threads != 0 {
         return Err("`--link-threads` applies to multi-input (linked) analyze".into());
@@ -246,6 +262,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
 
     let tool = Ompdart::builder()
         .pessimistic_globals(pessimistic_globals)
+        .lifetimes(lifetimes)
         .build();
     let analysis = analyze_file(&tool, input)?;
 
@@ -344,6 +361,7 @@ fn cmd_analyze_program(
     out_dir: Option<&str>,
     timings: bool,
     pessimistic_globals: bool,
+    lifetimes: bool,
     link_threads: usize,
 ) -> Result<ExitCode, String> {
     let pairs: Vec<(String, String)> = inputs
@@ -355,6 +373,7 @@ fn cmd_analyze_program(
     }
     let tool = Ompdart::builder()
         .pessimistic_globals(pessimistic_globals)
+        .lifetimes(lifetimes)
         .link_threads(link_threads)
         .build();
     let start = Instant::now();
@@ -471,10 +490,19 @@ fn cmd_cache(args: &[String]) -> Result<ExitCode, String> {
 }
 
 fn cmd_explain(args: &[String]) -> Result<ExitCode, String> {
-    let [input] = args else {
+    let mut lifetimes = false;
+    let mut inputs: Vec<&String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--lifetimes" => lifetimes = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            _ => inputs.push(arg),
+        }
+    }
+    let [input] = inputs[..] else {
         return Err("`explain` expects exactly one input file".into());
     };
-    let tool = Ompdart::builder().build();
+    let tool = Ompdart::builder().lifetimes(lifetimes).build();
     let analysis = analyze_file(&tool, input)?;
     print!("{}", analysis.explain());
     let diagnostics = analysis.diagnostics();
@@ -1214,7 +1242,9 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
         }
     }
     let Some((&verb, rest)) = positional.split_first() else {
-        return Err("`client` expects a verb: analyze, explain, stats, gc, shutdown".into());
+        return Err(
+            "`client` expects a verb: analyze, explain, stats, check_plans, gc, shutdown".into(),
+        );
     };
     let mut client = Client::connect(&endpoint)
         .map_err(|e| format!("cannot connect to daemon at {endpoint}: {e}"))?;
@@ -1326,6 +1356,22 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
                     get("store_misses")
                 );
             }
+        }
+        "check_plans" => {
+            let [path] = rest else {
+                return Err("`client check_plans` expects one plan-JSON file".into());
+            };
+            let doc =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let result = client.check_plans(&doc).map_err(|e| e.to_string())?;
+            let version = result
+                .get("format_version")
+                .and_then(Json::as_int)
+                .unwrap_or(0);
+            let plans = result.get("plans").and_then(Json::as_int).unwrap_or(0);
+            println!(
+                "[client] {path}: valid plan document, format version {version}, {plans} plan(s)"
+            );
         }
         "gc" => {
             let max = max_bytes.ok_or("`client gc` expects `--max-bytes <N[k|m|g]>`")?;

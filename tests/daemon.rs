@@ -20,7 +20,7 @@ use ompdart_core::plan::Json;
 use ompdart_core::Ompdart;
 use ompdart_server::daemon::{DaemonConfig, DaemonHandle, Endpoint};
 use ompdart_server::registry::RegistryConfig;
-use ompdart_server::{protocol, signal, Client};
+use ompdart_server::{protocol, signal, Client, ClientError};
 use ompdart_suite::lulesh_multifile;
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -354,6 +354,71 @@ fn malformed_frames_and_requests_do_not_kill_the_daemon() {
         .expect("daemon alive");
     assert_eq!(serves(&ok), vec!["cached".to_string()]);
     fresh.shutdown().expect("shutdown");
+    handle.join();
+}
+
+/// Satellite: the plan format version flows through the wire protocol. A
+/// current plan document validates (and the response names the version);
+/// an old-version document gets a structured `bad_request`, not a dead
+/// daemon.
+#[test]
+fn check_plans_reports_version_and_rejects_old_documents() {
+    let _guard = daemon_lock();
+    let dir = scratch("plans");
+    let handle = spawn_daemon(dir.join("d.sock"), None);
+    let mut client = Client::connect(handle.endpoint()).expect("connect");
+
+    // A genuine current-version document, straight from the one-shot API.
+    let units = vec![(
+        "k.c".to_string(),
+        "#define N 8\ndouble a[N];\nint main() {\n  #pragma omp target teams distribute parallel for\n  for (int i = 0; i < N; i++) a[i] += 1.0;\n  printf(\"%f\\n\", a[0]);\n  return 0;\n}\n"
+            .to_string(),
+    )];
+    let tool = Ompdart::builder().build();
+    let reference = tool.analyze_program(&units).expect("direct analyze");
+    let doc = reference.units[0].plans_json();
+
+    let ok = client.check_plans(&doc).expect("current doc validates");
+    assert_eq!(ok.get("valid").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        ok.get("format_version").and_then(Json::as_int),
+        Some(i64::from(ompdart_core::plan::PLAN_FORMAT_VERSION)),
+        "the response must name the plan format this build reads"
+    );
+    assert!(ok.get("plans").and_then(Json::as_int).unwrap_or(0) >= 1);
+
+    // The same document stamped with the previous format version: a
+    // structured bad_request naming both versions.
+    let old = doc.replacen("\"version\": 2", "\"version\": 1", 1);
+    assert_ne!(old, doc, "the rendered document must carry its version");
+    let err = client.check_plans(&old).expect_err("v1 must be rejected");
+    match err {
+        ClientError::Remote { kind, message } => {
+            assert_eq!(kind, "bad_request");
+            assert!(
+                message.contains("version 1") && message.contains("version 2"),
+                "error must name both versions: {message}"
+            );
+        }
+        other => panic!("expected a structured remote error, got {other:?}"),
+    }
+
+    // Missing `plans` field: bad_request, and the connection stays usable.
+    let raw = client
+        .raw_round_trip(r#"{"version": 1, "id": 77, "request": "check_plans"}"#)
+        .expect("round trip");
+    assert_eq!(
+        Json::parse(&raw)
+            .unwrap()
+            .get("error")
+            .and_then(|e| e.get("kind"))
+            .and_then(Json::as_str),
+        Some("bad_request")
+    );
+    let ok = client.check_plans(&doc).expect("connection still serves");
+    assert_eq!(ok.get("valid").and_then(Json::as_bool), Some(true));
+
+    client.shutdown().expect("shutdown");
     handle.join();
 }
 

@@ -1,0 +1,82 @@
+//! Pinned golden outputs: with `--lifetimes` **off** (the default), the
+//! rewritten source of every benchmark — the nine single-file programs and
+//! the linked three-file lulesh port — is byte-identical to the committed
+//! `tests/golden/*.mapped.c` files.
+//!
+//! These goldens were captured before the unstructured-lifetimes planner
+//! landed; this test is the proof that the lifetimes mode is purely opt-in
+//! and the default pipeline's output never moved.
+
+use ompdart_core::{Ompdart, ProgramDriver};
+use ompdart_suite::benchmarks;
+
+const GOLDENS: [(&str, &str); 9] = [
+    ("accuracy", include_str!("golden/accuracy.mapped.c")),
+    ("ace", include_str!("golden/ace.mapped.c")),
+    ("backprop", include_str!("golden/backprop.mapped.c")),
+    ("bfs", include_str!("golden/bfs.mapped.c")),
+    ("clenergy", include_str!("golden/clenergy.mapped.c")),
+    ("hotspot", include_str!("golden/hotspot.mapped.c")),
+    ("lulesh", include_str!("golden/lulesh.mapped.c")),
+    ("nw", include_str!("golden/nw.mapped.c")),
+    ("xsbench", include_str!("golden/xsbench.mapped.c")),
+];
+
+#[test]
+fn default_rewrites_are_byte_identical_to_goldens() {
+    let tool = Ompdart::builder().build();
+    for (name, golden) in GOLDENS {
+        let bench = benchmarks::by_name(name).unwrap();
+        let analysis = tool
+            .analyze(&bench.unoptimized_file(), bench.unoptimized)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            analysis.rewritten_source(),
+            golden,
+            "{name}: default (lifetimes-off) rewrite moved off its golden"
+        );
+        // The v2 plan document for the default mode round-trips and keeps
+        // the structured shape: no lifetime-placed specs anywhere.
+        let plans = ompdart_core::plan::plans_from_json(&analysis.plans_json()).unwrap();
+        for plan in &plans {
+            assert!(plan.enter_data.is_empty() && plan.exit_data.is_empty());
+            assert!(plan.collapses.is_empty());
+        }
+    }
+}
+
+#[test]
+fn linked_multifile_rewrites_are_byte_identical_to_goldens() {
+    let goldens = [
+        (
+            "lulesh_mf_main.c",
+            include_str!("golden/lulesh_mf/lulesh_mf_main.mapped.c"),
+        ),
+        (
+            "lulesh_mf_mesh.c",
+            include_str!("golden/lulesh_mf/lulesh_mf_mesh.mapped.c"),
+        ),
+        (
+            "lulesh_mf_eos.c",
+            include_str!("golden/lulesh_mf/lulesh_mf_eos.mapped.c"),
+        ),
+    ];
+    let units: Vec<(String, String)> = benchmarks::lulesh_multifile()
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
+    let program = ProgramDriver::new().analyze_program(&units).unwrap();
+    for (name, golden) in goldens {
+        let unit = program
+            .units
+            .iter()
+            .zip(&units)
+            .find(|(_, (n, _))| n == name)
+            .map(|(u, _)| u)
+            .unwrap_or_else(|| panic!("{name}: unit missing from linked program"));
+        assert_eq!(
+            unit.rewrite.source, golden,
+            "{name}: linked (lifetimes-off) rewrite moved off its golden"
+        );
+    }
+}

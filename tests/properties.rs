@@ -12,8 +12,8 @@
 
 use ompdart_core::pipeline::Stage;
 use ompdart_core::plan::{
-    FirstPrivateSpec, MapSpec, MappingPlan, Placement, Provenance, ProvenanceFact, UpdateDirection,
-    UpdateSpec,
+    CollapseSpec, EnterDataSpec, ExitDataSpec, FirstPrivateSpec, MapSpec, MappingPlan, Placement,
+    Provenance, ProvenanceFact, UpdateDirection, UpdateSpec,
 };
 use ompdart_core::Ompdart;
 use ompdart_frontend::ast::NodeId;
@@ -180,31 +180,105 @@ fn firstprivate_strategy() -> impl Strategy<Value = FirstPrivateSpec> {
     })
 }
 
+fn enter_spec_strategy() -> impl Strategy<Value = EnterDataSpec> {
+    (
+        (0u8..8),
+        (0u8..2),
+        (0u32..64),
+        (0u8..2),
+        section_strategy(),
+        provenance_strategy(),
+    )
+        .prop_map(
+            |(var, mt, anchor, place, section_length, provenance)| EnterDataSpec {
+                var: var_name(var),
+                map_type: if mt == 0 { MapType::To } else { MapType::Alloc },
+                anchor: NodeId(anchor),
+                placement: if place == 0 {
+                    Placement::Before
+                } else {
+                    Placement::After
+                },
+                section_length,
+                provenance,
+            },
+        )
+}
+
+fn exit_spec_strategy() -> impl Strategy<Value = ExitDataSpec> {
+    (
+        (0u8..8),
+        (0u8..3),
+        (0u32..64),
+        (0u8..2),
+        section_strategy(),
+        provenance_strategy(),
+    )
+        .prop_map(
+            |(var, mt, anchor, place, section_length, provenance)| ExitDataSpec {
+                var: var_name(var),
+                map_type: match mt {
+                    0 => MapType::From,
+                    1 => MapType::Delete,
+                    _ => MapType::Release,
+                },
+                anchor: NodeId(anchor),
+                placement: if place == 0 {
+                    Placement::Before
+                } else {
+                    Placement::After
+                },
+                section_length,
+                provenance,
+            },
+        )
+}
+
+fn collapse_spec_strategy() -> impl Strategy<Value = CollapseSpec> {
+    ((0u32..64), (2u32..6), provenance_strategy()).prop_map(|(kernel, depth, provenance)| {
+        CollapseSpec {
+            kernel: NodeId(kernel),
+            depth,
+            provenance,
+        }
+    })
+}
+
 fn plan_strategy() -> impl Strategy<Value = MappingPlan> {
     (
         proptest::collection::vec(map_spec_strategy(), 0..5),
         proptest::collection::vec(update_spec_strategy(), 0..5),
         proptest::collection::vec(firstprivate_strategy(), 0..4),
+        proptest::collection::vec(enter_spec_strategy(), 0..4),
+        proptest::collection::vec(exit_spec_strategy(), 0..4),
+        proptest::collection::vec(collapse_spec_strategy(), 0..3),
         (0u32..3, 0u32..200),
     )
-        .prop_map(|(maps, updates, firstprivate, (shape, base))| MappingPlan {
-            function: format!("fn_{base}"),
-            region_start: if shape == 0 { None } else { Some(NodeId(base)) },
-            region_end: if shape == 0 {
-                None
-            } else {
-                Some(NodeId(base + 9))
+        .prop_map(
+            |(maps, updates, firstprivate, enter_data, exit_data, collapses, (shape, base))| {
+                MappingPlan {
+                    function: format!("fn_{base}"),
+                    region_start: if shape == 0 { None } else { Some(NodeId(base)) },
+                    region_end: if shape == 0 {
+                        None
+                    } else {
+                        Some(NodeId(base + 9))
+                    },
+                    attach_to_kernel: if shape == 2 {
+                        Some(NodeId(base + 1))
+                    } else {
+                        None
+                    },
+                    kernels: (0..shape).map(|k| NodeId(base + k)).collect(),
+                    maps,
+                    updates,
+                    firstprivate,
+                    enter_data,
+                    exit_data,
+                    collapses,
+                }
             },
-            attach_to_kernel: if shape == 2 {
-                Some(NodeId(base + 1))
-            } else {
-                None
-            },
-            kernels: (0..shape).map(|k| NodeId(base + k)).collect(),
-            maps,
-            updates,
-            firstprivate,
-        })
+        )
 }
 
 /// True when `needle` is a (byte-)subsequence of `haystack`: the pure
@@ -285,6 +359,74 @@ proptest! {
         };
         let cold = ompdart_core::AnalysisSession::new();
         let fresh = cold.analyze("inc.c", &edited).unwrap();
+        prop_assert_eq!(&fresh.rewrite.source, &incremental.rewrite.source);
+        prop_assert_eq!(&fresh.plans.plans, &incremental.plans.plans);
+    }
+
+    /// Unstructured lifetimes: for arbitrary generated programs, planning
+    /// with `--lifetimes` (enter/exit data at phase boundaries, collapse on
+    /// perfect nests) keeps the host-visible output byte-identical and
+    /// never moves more data than the implicit mappings.
+    #[test]
+    fn lifetimes_mode_preserves_semantics(pieces in proptest::collection::vec(piece_strategy(), 1..6)) {
+        let src = render_program(&pieces);
+        let analysis = match Ompdart::builder().lifetimes(true).build().analyze("lt.c", &src) {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(format!("lifetimes analysis failed: {e}\n{src}"))),
+        };
+        let transformed = analysis.rewritten_source();
+        let (_f, reparsed) = parse_str("lt_out.c", transformed);
+        prop_assert!(reparsed.is_ok(), "transformed program failed to parse:\n{transformed}");
+        prop_assert!(analysis.plans().iter().all(|p| p.fully_justified()),
+            "unjustified lifetime construct in plans for:\n{src}");
+        // Lifetime placement is all-or-nothing per function: a plan that
+        // placed enter/exit specs holds no structured maps.
+        for plan in analysis.plans() {
+            if !plan.enter_data.is_empty() || !plan.exit_data.is_empty() {
+                prop_assert!(plan.maps.is_empty(),
+                    "plan mixes structured maps with lifetime specs:\n{plan:#?}");
+            }
+        }
+        let before = simulate_source(&src, SimConfig::default()).expect("baseline failed");
+        let after = simulate_source(transformed, SimConfig::default())
+            .expect("lifetimes program failed");
+        prop_assert_eq!(&before.output, &after.output,
+            "lifetimes placement changed output\noriginal:\n{src}\ntransformed:\n{transformed}");
+        prop_assert!(after.profile.total_bytes() <= before.profile.total_bytes(),
+            "lifetimes placement increased data movement ({} -> {})\n{transformed}",
+            before.profile.total_bytes(), after.profile.total_bytes());
+    }
+
+    /// With lifetimes on, incremental re-analysis after a one-function edit
+    /// (which relocates enter/exit/collapse specs onto the fresh parse's
+    /// node ids) agrees byte for byte — rewrite and full plan set — with a
+    /// cold analysis of the edited source.
+    #[test]
+    fn lifetimes_incremental_agrees_with_cold(
+        pieces in proptest::collection::vec(piece_strategy(), 1..5),
+        extra in 1u8..4,
+    ) {
+        let mut options = ompdart_core::OmpDartOptions::default();
+        options.dataflow.lifetimes = true;
+        let src = render_program(&pieces);
+        let session = ompdart_core::AnalysisSession::with_options(options);
+        if session.analyze("lt_inc.c", &src).is_err() {
+            return Err(TestCaseError::reject("base program failed to analyze"));
+        }
+        let edited = src.replacen(
+            "  #pragma omp target teams distribute parallel for\n",
+            &format!(
+                "  for (int e = 0; e < {extra}; e++) data[e] += {extra};\n  #pragma omp target teams distribute parallel for\n"
+            ),
+            1,
+        );
+        prop_assert!(edited != src);
+        let incremental = match session.analyze("lt_inc.c", &edited) {
+            Ok(a) => a,
+            Err(e) => return Err(TestCaseError::fail(format!("incremental lifetimes analysis failed: {e}\n{edited}"))),
+        };
+        let cold = ompdart_core::AnalysisSession::with_options(options);
+        let fresh = cold.analyze("lt_inc.c", &edited).unwrap();
         prop_assert_eq!(&fresh.rewrite.source, &incremental.rewrite.source);
         prop_assert_eq!(&fresh.plans.plans, &incremental.plans.plans);
     }
