@@ -6,16 +6,21 @@
 //!   sequential reference sweep vs the SCC-wavefront engine on the
 //!   resolved worker count, with a byte-identity assert between the two;
 //! * **driver trajectory** — cold `analyze_program`, warm relink of the
-//!   unchanged corpus, and a semantic one-function edit in the middle of
-//!   the call chain, asserting `relink_reseeded_functions` stays inside
-//!   the edit's dirty cone (the edited stage plus its transitive
-//!   callers);
+//!   unchanged corpus (the identity fast path), and a semantic
+//!   one-function edit in the middle of the call chain, asserting
+//!   `relink_reseeded_functions` stays inside the edit's dirty cone (the
+//!   edited stage plus its transitive callers);
+//! * **thread sweep** — the same cold/warm/one-edit trajectory at 1, 2,
+//!   4, and 8 workers, each point's rewrites asserted byte-identical to
+//!   the sequential reference;
 //! * **quality** — `linked_fallbacks == 0`: every cross-unit call in the
 //!   corpus resolves.
 //!
-//! Prints a greppable `link_scale:` summary line and writes the same
-//! numbers to `BENCH_link_scale.json` at the repo root, the perf
-//! trajectory the CI `link-scale` job snapshots.
+//! Prints a greppable `link_scale:` summary line plus one
+//! `link_scale_sweep:` line per thread count, and writes the same numbers
+//! (with the warm round's [`ompdart_core::DriverProfile`]) to
+//! `BENCH_link_scale.json` at the repo root, the perf trajectory the CI
+//! `link-scale` job snapshots.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ompdart_core::{AnalysisSession, OmpDartOptions, Program, ProgramDriver};
@@ -83,10 +88,20 @@ fn bench(c: &mut Criterion) {
     let cold = driver.analyze_program(&inputs).unwrap();
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
     let linked_fallbacks = cold.stats().unknown_callee_fallbacks;
+    let cold_rewrite = cold.concatenated_rewrite();
 
     let t = Instant::now();
-    driver.analyze_program(&inputs).unwrap();
+    let (warm, warm_profile) = driver.analyze_program_profiled(&inputs).unwrap();
     let warm_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        warm_profile.fast_path_units, n,
+        "a warm unchanged round must serve every unit via the identity fast path"
+    );
+    assert_eq!(
+        warm.concatenated_rewrite(),
+        cold_rewrite,
+        "the fast-path round must be byte-identical to the cold round"
+    );
 
     // A semantic edit in the middle of the chain: its dirty cone is the
     // edited stage plus every transitive caller (stage_1..stage_k and
@@ -96,11 +111,12 @@ fn bench(c: &mut Criterion) {
     let edited_fn = corpus::edit_one_function(&mut edited, edit_at);
     let before = session.cache_stats();
     let t = Instant::now();
-    driver.analyze_program(&edited).unwrap();
+    let edit_round = driver.analyze_program(&edited).unwrap();
     let edit_ms = t.elapsed().as_secs_f64() * 1e3;
     let after = session.cache_stats();
     let reseeded = after.relink_reseeded_functions - before.relink_reseeded_functions;
     let cone_bound = (edit_at + 1) as u64;
+    let edit_rewrite = edit_round.concatenated_rewrite();
 
     eprintln!(
         "link_scale: units={n} threads={threads} engine_seq={sequential_ms:.3}ms \
@@ -108,7 +124,8 @@ fn bench(c: &mut Criterion) {
          cold_link={cold_link_ms:.3}ms cold={cold_ms:.3}ms warm_relink={warm_ms:.3}ms \
          one_edit={edit_ms:.3}ms edited_fn={edited_fn} \
          relink_reseeded={reseeded} cone_bound={cone_bound} \
-         linked_fallbacks={linked_fallbacks}"
+         linked_fallbacks={linked_fallbacks} fast_path_units={}",
+        warm_profile.fast_path_units
     );
 
     assert_eq!(
@@ -124,6 +141,54 @@ fn bench(c: &mut Criterion) {
         "re-seeding must stay inside the dirty cone: {reseeded} > {cone_bound}"
     );
 
+    // --- Thread sweep: the same trajectory at 1, 2, 4, and 8 workers, ---
+    // each point byte-identical to the trajectory above.
+    let mut sweep_json = String::new();
+    for t_count in [1usize, 2, 4, 8] {
+        let sweep_options = OmpDartOptions {
+            link_threads: t_count,
+            ..options_for(n)
+        };
+        let sweep_session = Arc::new(AnalysisSession::with_options(sweep_options));
+        let sweep_driver =
+            ProgramDriver::with_session(Arc::clone(&sweep_session)).with_threads(t_count);
+
+        let t = Instant::now();
+        let sweep_cold = sweep_driver.analyze_program(&inputs).unwrap();
+        let sweep_cold_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let (sweep_warm, sweep_profile) = sweep_driver.analyze_program_profiled(&inputs).unwrap();
+        let sweep_warm_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let t = Instant::now();
+        let sweep_edit = sweep_driver.analyze_program(&edited).unwrap();
+        let sweep_edit_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let identical = sweep_cold.concatenated_rewrite() == cold_rewrite
+            && sweep_warm.concatenated_rewrite() == cold_rewrite
+            && sweep_edit.concatenated_rewrite() == edit_rewrite;
+        assert!(
+            identical,
+            "rewrites at {t_count} workers must be byte-identical to the reference"
+        );
+        let warm_per_unit_us = sweep_warm_ms * 1e3 / n as f64;
+        eprintln!(
+            "link_scale_sweep: threads={t_count} cold={sweep_cold_ms:.3}ms \
+             warm={sweep_warm_ms:.3}ms warm_per_unit_us={warm_per_unit_us:.1} \
+             one_edit={sweep_edit_ms:.3}ms fast_path_units={} identical=true",
+            sweep_profile.fast_path_units
+        );
+        sweep_json.push_str(&format!(
+            "    {{ \"threads\": {t_count}, \"cold_ms\": {sweep_cold_ms:.3}, \
+             \"warm_ms\": {sweep_warm_ms:.3}, \"warm_per_unit_us\": {warm_per_unit_us:.1}, \
+             \"one_edit_ms\": {sweep_edit_ms:.3}, \"fast_path_units\": {}, \
+             \"identical\": true }},\n",
+            sweep_profile.fast_path_units
+        ));
+    }
+    let sweep_json = sweep_json.trim_end_matches(",\n").to_string();
+
     let json = format!(
         "{{\n  \"bench\": \"link_scale\",\n  \"units\": {n},\n  \"threads\": {threads},\n  \
          \"engine\": {{\n    \"sequential_ms\": {sequential_ms:.3},\n    \
@@ -133,7 +198,9 @@ fn bench(c: &mut Criterion) {
          \"warm_relink_ms\": {warm_ms:.3},\n    \"one_edit_ms\": {edit_ms:.3},\n    \
          \"relink_reseeded_functions\": {reseeded},\n    \
          \"dirty_cone_bound\": {cone_bound},\n    \
-         \"linked_fallbacks\": {linked_fallbacks}\n  }}\n}}\n"
+         \"linked_fallbacks\": {linked_fallbacks}\n  }},\n  \
+         \"warm_profile\": {},\n  \"sweep\": [\n{sweep_json}\n  ]\n}}\n",
+        warm_profile.to_json().trim_end()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_link_scale.json");
     std::fs::write(path, json).expect("write BENCH_link_scale.json");

@@ -14,6 +14,7 @@
 use crate::access::{Access, AccessKind, AccessOrigin, CallSite, FunctionAccesses, SymbolTable};
 use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The effect of a function on one externally visible datum.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -111,6 +112,13 @@ pub struct FunctionSummary {
 #[derive(Clone, Debug, Default)]
 pub struct ProgramSummaries {
     functions: HashMap<String, FunctionSummary>,
+    /// Optional fall-through layer for [`Self::summary`] lookups: an
+    /// [`Self::overlay`] view holds only its own (shadowing) entries and
+    /// resolves everything else here, so building a per-unit view over a
+    /// whole-program summary set costs the few shadowed entries instead of
+    /// cloning every function's summary. Overlays are *lookup-only* views:
+    /// `iter`/`len`/`is_empty`/`same_summaries` see just the own layer.
+    base: Option<Arc<ProgramSummaries>>,
     /// Number of propagation passes performed before reaching a fixed point.
     pub passes: usize,
 }
@@ -317,6 +325,7 @@ impl ProgramSummaries {
     ) -> ProgramSummaries {
         let mut result = ProgramSummaries {
             functions: seeds.clone(),
+            base: None,
             passes: 0,
         };
         result.run_wavefronts(nodes, max_passes, None, clobber_globals, threads);
@@ -336,6 +345,7 @@ impl ProgramSummaries {
     ) -> ProgramSummaries {
         let mut result = ProgramSummaries {
             functions: seeds.clone(),
+            base: None,
             passes: 0,
         };
         result.run_passes(nodes, max_passes, None, clobber_globals);
@@ -433,6 +443,7 @@ impl ProgramSummaries {
 
         let mut result = ProgramSummaries {
             functions,
+            base: None,
             passes: 0,
         };
         if !cone.is_empty() {
@@ -560,9 +571,26 @@ impl ProgramSummaries {
         }
     }
 
-    /// The summary for a function, if it was analyzed.
+    /// A lookup-only view over `base`: [`Self::summary`] resolves names
+    /// first in the view's own (initially empty) layer, then in `base`.
+    /// [`Self::insert`] writes into the own layer, shadowing `base` without
+    /// touching it — the link stage's per-unit static views cost the few
+    /// shadowed `static` entries instead of a full clone of the
+    /// whole-program summary set.
+    pub fn overlay(base: Arc<ProgramSummaries>) -> ProgramSummaries {
+        ProgramSummaries {
+            functions: HashMap::new(),
+            passes: base.passes,
+            base: Some(base),
+        }
+    }
+
+    /// The summary for a function, if it was analyzed. Overlay views fall
+    /// through to their base layer for names they do not shadow.
     pub fn summary(&self, name: &str) -> Option<&FunctionSummary> {
-        self.functions.get(name)
+        self.functions
+            .get(name)
+            .or_else(|| self.base.as_ref().and_then(|base| base.summary(name)))
     }
 
     /// Iterate all summaries (unspecified order).

@@ -59,10 +59,12 @@ pub mod interproc;
 pub mod mapping;
 pub mod pipeline;
 pub mod plan;
+pub mod pool;
 pub mod program;
 pub mod relocate;
 pub mod rewrite;
 pub mod scc;
+pub mod shard;
 pub mod store;
 pub mod verify;
 
@@ -87,8 +89,8 @@ pub use plan::{
     Provenance, ProvenanceFact, UpdateDirection, UpdateSpec, PLAN_FORMAT_VERSION,
 };
 pub use program::{
-    ExportedInterface, ExternalRefs, LinkContext, LinkState, LinkedSummaries, Program,
-    ProgramAnalysis, ProgramDriver, ProgramError, UnitServe, UNLINKED,
+    DriverProfile, ExportedInterface, ExternalRefs, LinkContext, LinkState, LinkedSummaries,
+    Program, ProgramAnalysis, ProgramDriver, ProgramError, UnitServe, UNLINKED,
 };
 pub use rewrite::apply_plans;
 pub use store::{ArtifactStore, GcReport, StoredUnit, STORE_FORMAT_VERSION};
@@ -420,6 +422,18 @@ impl Ompdart {
         ProgramDriver::with_session(Arc::clone(&self.session))
             .with_threads(self.session.parallelism())
             .analyze_program(inputs)
+    }
+
+    /// [`Ompdart::analyze_program`] plus a [`DriverProfile`]: per-phase
+    /// wall time, per-unit plan-time percentiles, identity-fast-path unit
+    /// counts, and worker-pool / shard-lock counters for the call.
+    pub fn analyze_program_profiled(
+        &self,
+        inputs: &[(String, String)],
+    ) -> Result<(ProgramAnalysis, DriverProfile), ProgramError> {
+        ProgramDriver::with_session(Arc::clone(&self.session))
+            .with_threads(self.session.parallelism())
+            .analyze_program_profiled(inputs)
     }
 }
 

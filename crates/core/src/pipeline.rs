@@ -59,6 +59,7 @@ use crate::plan::json::plans_to_json;
 use crate::program::{LinkContext, LinkState, UnitServe, UNLINKED};
 use crate::relocate::{relocate_diagnostics, relocate_function_accesses, relocate_plan};
 use crate::rewrite;
+use crate::shard::ShardMap;
 use crate::store::{ArtifactStore, PendingUnitSave, StoredFunctionPlan, StoredUnit};
 use crate::{function_with_existing_mappings, OmpDartError, OmpDartOptions, TransformResult};
 use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
@@ -68,7 +69,7 @@ use ompdart_frontend::source::SourceFile;
 use ompdart_graph::ProgramGraphs;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -743,7 +744,7 @@ pub struct FunctionKeySnapshot {
 /// the data-flow analysis.
 #[derive(Debug, Default)]
 pub struct FunctionPlanCache {
-    entries: Mutex<HashMap<(String, String), CachedFunctionPlan>>,
+    entries: ShardMap<(String, String), CachedFunctionPlan>,
 }
 
 impl FunctionPlanCache {
@@ -754,22 +755,23 @@ impl FunctionPlanCache {
 
     /// Number of cached function entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.entries.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.entries.is_empty()
     }
 
     fn lookup(&self, unit: &str, func: &str, key: &FunctionPlanKey) -> Option<CachedFunctionPlan> {
-        let entries = self.entries.lock().unwrap();
-        let entry = entries.get(&(unit.to_string(), func.to_string()))?;
-        (entry.key == *key).then(|| entry.clone())
+        self.entries
+            .read(&(unit.to_string(), func.to_string()), |entry| {
+                entry.and_then(|e| (e.key == *key).then(|| e.clone()))
+            })
     }
 
     fn store(&self, unit: String, func: String, entry: CachedFunctionPlan) {
-        self.entries.lock().unwrap().insert((unit, func), entry);
+        self.entries.insert((unit, func), entry);
     }
 }
 
@@ -793,13 +795,13 @@ pub(crate) struct FunctionStageKey {
 /// whose values carry no coordinates and need none).
 #[derive(Debug)]
 pub struct FunctionStageCache<T> {
-    entries: Mutex<HashMap<(String, String), (FunctionStageKey, T)>>,
+    entries: ShardMap<(String, String), (FunctionStageKey, T)>,
 }
 
 impl<T> Default for FunctionStageCache<T> {
     fn default() -> Self {
         FunctionStageCache {
-            entries: Mutex::new(HashMap::new()),
+            entries: ShardMap::new(),
         }
     }
 }
@@ -812,25 +814,23 @@ impl<T: Clone> FunctionStageCache<T> {
 
     /// Number of cached function entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.entries.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.entries.is_empty()
     }
 
     fn lookup(&self, unit: &str, func: &str, key: &FunctionStageKey) -> Option<T> {
-        let entries = self.entries.lock().unwrap();
-        let (stored_key, value) = entries.get(&(unit.to_string(), func.to_string()))?;
-        (stored_key == key).then(|| value.clone())
+        self.entries
+            .read(&(unit.to_string(), func.to_string()), |entry| {
+                entry.and_then(|(stored_key, value)| (stored_key == key).then(|| value.clone()))
+            })
     }
 
     fn store(&self, unit: String, func: String, key: FunctionStageKey, value: T) {
-        self.entries
-            .lock()
-            .unwrap()
-            .insert((unit, func), (key, value));
+        self.entries.insert((unit, func), (key, value));
     }
 }
 
@@ -1329,39 +1329,19 @@ fn run_plan_stage(
     }
 }
 
-/// Order-preserving parallel map over indices `0..len`: up to `workers`
-/// scoped threads pull indices from a shared cursor and fill one slot each.
-/// With one worker (or one item) the map runs inline. Shared by the
-/// per-function plan fan-out and [`BatchDriver::analyze_all`].
+/// Order-preserving parallel map over indices `0..len`, executed on the
+/// session's persistent worker pool ([`crate::pool`]): indices are pulled
+/// from a shared claim cursor into pre-sized result slots — no per-call
+/// thread spawn, no per-slot lock. With one worker (or one item) the map
+/// runs inline, the deterministic-debugging escape hatch. Shared by the
+/// per-function plan fan-out, the whole-program driver, the link
+/// wavefronts and [`BatchDriver::analyze_all`].
 pub(crate) fn parallel_map_indexed<T, F>(workers: usize, len: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = workers.clamp(1, len.max(1));
-    if workers <= 1 {
-        return (0..len).map(f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let done: Vec<Mutex<Option<T>>> = (0..len).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= len {
-                    break;
-                }
-                *done[i].lock().unwrap() = Some(f(i));
-            });
-        }
-    });
-    done.into_iter()
-        .map(|cell| {
-            cell.into_inner()
-                .unwrap()
-                .expect("parallel map slot not filled")
-        })
-        .collect()
+    crate::pool::pool_map(workers, len, f)
 }
 
 /// Stage 6 — source-to-source rewriting.
@@ -1394,6 +1374,12 @@ pub struct SummarizedUnit {
     /// The *unit-local* summaries (closed-world fixed point). The link
     /// stage re-converges these across units.
     pub summaries: Arc<SummariesArtifact>,
+    /// Lazily computed link-stage exports (referenced variables, exported
+    /// interface, static-function names). A content-identical unit keeps
+    /// its `Arc` across rounds, so the AST walks behind these run once per
+    /// unit *content*, not once per relink — see
+    /// [`crate::program::UnitExports`].
+    pub(crate) link_exports: std::sync::OnceLock<crate::program::UnitExports>,
 }
 
 /// Every artifact of a fully analyzed translation unit.
@@ -1503,6 +1489,11 @@ pub struct CacheStats {
     pub linked_hits: u64,
     /// Linked per-unit analyses that ran planning (or hit the store).
     pub linked_misses: u64,
+    /// Units served by the identity fast path: their summarized artifact
+    /// (same `Arc`) and imports fingerprint matched the previous
+    /// whole-program round, so the prior linked analysis was returned
+    /// without content hashing, cache probing, relocation or re-planning.
+    pub fast_path_hits: u64,
 }
 
 #[derive(Debug, Default)]
@@ -1526,10 +1517,51 @@ struct CacheCounters {
     summarize_misses: AtomicU64,
     linked_hits: AtomicU64,
     linked_misses: AtomicU64,
+    fast_path_hits: AtomicU64,
 }
 
 /// Linked per-unit analyses keyed by `(content hash, imports fingerprint)`.
-type LinkedCacheMap = HashMap<(u64, u64), Vec<Arc<UnitAnalysis>>>;
+type LinkedCacheMap = ShardMap<(u64, u64), Vec<Arc<UnitAnalysis>>>;
+
+/// Cumulative per-stage wall time as relaxed atomics, so concurrent stage
+/// calls accumulate without a shared lock (the old `Mutex<StageTimings>`
+/// serialized every stage completion across all workers).
+#[derive(Debug, Default)]
+struct AtomicStageTimings {
+    parse: AtomicU64,
+    graphs: AtomicU64,
+    accesses: AtomicU64,
+    summaries: AtomicU64,
+    plan: AtomicU64,
+    rewrite: AtomicU64,
+}
+
+impl AtomicStageTimings {
+    fn add(&self, stage: Stage, elapsed: Duration) {
+        let ns = elapsed.as_nanos() as u64;
+        let counter = match stage {
+            Stage::Parse => &self.parse,
+            Stage::Graphs => &self.graphs,
+            Stage::Accesses => &self.accesses,
+            Stage::Summaries => &self.summaries,
+            Stage::Plan => &self.plan,
+            Stage::Rewrite => &self.rewrite,
+        };
+        counter.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> StageTimings {
+        let ns = |c: &AtomicU64| Duration::from_nanos(c.load(Ordering::Relaxed));
+        StageTimings {
+            parse: ns(&self.parse),
+            graphs: ns(&self.graphs),
+            accesses: ns(&self.accesses),
+            summaries: ns(&self.summaries),
+            plan: ns(&self.plan),
+            rewrite: ns(&self.rewrite),
+        }
+    }
+}
 
 /// A reusable, thread-safe driver for the staged pipeline.
 ///
@@ -1555,15 +1587,15 @@ type LinkedCacheMap = HashMap<(u64, u64), Vec<Arc<UnitAnalysis>>>;
 pub struct AnalysisSession {
     options: OmpDartOptions,
     parallelism: usize,
-    parse_cache: Mutex<HashMap<u64, Vec<Arc<ParsedUnit>>>>,
-    unit_cache: Mutex<HashMap<u64, Vec<Arc<UnitAnalysis>>>>,
+    parse_cache: ShardMap<u64, Vec<Arc<ParsedUnit>>>,
+    unit_cache: ShardMap<u64, Vec<Arc<UnitAnalysis>>>,
     /// Summarize-phase artifacts of whole-program analyses, keyed like the
     /// other caches by content hash with full `(name, source)` verification.
-    summarize_cache: Mutex<HashMap<u64, Vec<Arc<SummarizedUnit>>>>,
+    summarize_cache: ShardMap<u64, Vec<Arc<SummarizedUnit>>>,
     /// Linked per-unit analyses, keyed by `(content hash, imports
     /// fingerprint)`: the same unit content planned under different link
     /// surroundings yields different plans and must not alias.
-    linked_cache: Mutex<LinkedCacheMap>,
+    linked_cache: LinkedCacheMap,
     function_plans: FunctionPlanCache,
     function_accesses: FunctionAccessCache,
     function_summaries: FunctionSummaryCache,
@@ -1579,8 +1611,13 @@ pub struct AnalysisSession {
     /// whole batch through one [`ArtifactStore::save_many`] call, so a
     /// 1000-unit cold link pays one directory sweep instead of 1000.
     pending_saves: Mutex<Vec<PendingUnitSave>>,
+    /// The previous whole-program round's per-unit artifacts, keyed for
+    /// the identity fast path: a unit whose summarized `Arc` and imports
+    /// fingerprint match its entry is served the prior linked analysis
+    /// with no hashing, relocation or re-planning.
+    last_round: Mutex<Option<Arc<crate::program::ProgramRound>>>,
     counters: CacheCounters,
-    cumulative: Mutex<StageTimings>,
+    cumulative: AtomicStageTimings,
 }
 
 impl Default for AnalysisSession {
@@ -1609,18 +1646,19 @@ impl AnalysisSession {
         AnalysisSession {
             options,
             parallelism: default_parallelism(),
-            parse_cache: Mutex::new(HashMap::new()),
-            unit_cache: Mutex::new(HashMap::new()),
-            summarize_cache: Mutex::new(HashMap::new()),
-            linked_cache: Mutex::new(HashMap::new()),
+            parse_cache: ShardMap::new(),
+            unit_cache: ShardMap::new(),
+            summarize_cache: ShardMap::new(),
+            linked_cache: ShardMap::new(),
             function_plans: FunctionPlanCache::new(),
             function_accesses: FunctionAccessCache::new(),
             function_summaries: FunctionSummaryCache::new(),
             link_state: Mutex::new(None),
             store: None,
             pending_saves: Mutex::new(Vec::new()),
+            last_round: Mutex::new(None),
             counters: CacheCounters::default(),
-            cumulative: Mutex::new(StageTimings::default()),
+            cumulative: AtomicStageTimings::default(),
         }
     }
 
@@ -1686,7 +1724,19 @@ impl AnalysisSession {
             return 0;
         };
         let count = pending.len();
-        let _ = store.save_many(&self.options, &pending);
+        // Drain the batch through the worker pool: each entry keeps its own
+        // tmp-file + rename atomicity (`save_one`), then one legacy sweep
+        // and one GC cover the whole batch (`finish_batch`) — the same
+        // on-disk effect as the old serial `save_many`, minus the serial
+        // write loop.
+        if store.prepare_dir().is_ok() {
+            let paths = parallel_map_indexed(self.parallelism, count, |i| {
+                store.save_one(&self.options, &pending[i]).ok()
+            });
+            let names: Vec<&str> = pending.iter().map(|p| p.name.as_str()).collect();
+            let written: Vec<std::path::PathBuf> = paths.into_iter().flatten().collect();
+            store.finish_batch(&names, &self.options, &written);
+        }
         count
     }
 
@@ -1705,6 +1755,24 @@ impl AnalysisSession {
             .fetch_add(reseeded, Ordering::Relaxed);
     }
 
+    /// The previous whole-program round's artifacts (identity fast path).
+    pub(crate) fn last_round(&self) -> Option<Arc<crate::program::ProgramRound>> {
+        self.last_round.lock().unwrap().clone()
+    }
+
+    /// Record this whole-program round's artifacts for the next round's
+    /// identity fast path.
+    pub(crate) fn note_round(&self, round: Arc<crate::program::ProgramRound>) {
+        *self.last_round.lock().unwrap() = Some(round);
+    }
+
+    /// Count units served by the identity fast path.
+    pub(crate) fn count_fast_path(&self, units: u64) {
+        self.counters
+            .fast_path_hits
+            .fetch_add(units, Ordering::Relaxed);
+    }
+
     /// Drop cached parse/unit artifacts of `name` whose content differs
     /// from `source`. Long-lived front doors (`ompdart watch`/`serve`)
     /// call this after re-analyzing an edited file so that only the latest
@@ -1713,26 +1781,19 @@ impl AnalysisSession {
     /// for the session's lifetime. (The function-plan cache already keeps
     /// one entry per function and needs no eviction.)
     pub fn evict_stale_versions(&self, name: &str, source: &str) {
-        let mut parse = self.parse_cache.lock().unwrap();
-        parse.retain(|_, bucket| {
+        self.parse_cache.retain(|_, bucket| {
             bucket.retain(|p| p.name != name || p.file.text() == source);
             !bucket.is_empty()
         });
-        drop(parse);
-        let mut units = self.unit_cache.lock().unwrap();
-        units.retain(|_, bucket| {
+        self.unit_cache.retain(|_, bucket| {
             bucket.retain(|a| a.parsed.name != name || a.parsed.file.text() == source);
             !bucket.is_empty()
         });
-        drop(units);
-        let mut summarized = self.summarize_cache.lock().unwrap();
-        summarized.retain(|_, bucket| {
+        self.summarize_cache.retain(|_, bucket| {
             bucket.retain(|s| s.parsed.name != name || s.parsed.file.text() == source);
             !bucket.is_empty()
         });
-        drop(summarized);
-        let mut linked = self.linked_cache.lock().unwrap();
-        linked.retain(|_, bucket| {
+        self.linked_cache.retain(|_, bucket| {
             bucket.retain(|a| a.parsed.name != name || a.parsed.file.text() == source);
             !bucket.is_empty()
         });
@@ -1776,13 +1837,14 @@ impl AnalysisSession {
             summarize_misses: self.counters.summarize_misses.load(Ordering::Relaxed),
             linked_hits: self.counters.linked_hits.load(Ordering::Relaxed),
             linked_misses: self.counters.linked_misses.load(Ordering::Relaxed),
+            fast_path_hits: self.counters.fast_path_hits.load(Ordering::Relaxed),
         }
     }
 
     /// Cumulative per-stage wall-clock time spent by this session (cache
     /// hits add nothing — that is the point).
     pub fn timings(&self) -> StageTimings {
-        *self.cumulative.lock().unwrap()
+        self.cumulative.snapshot()
     }
 
     /// Stage 1, cached: parse source text. The content hash only indexes
@@ -1796,34 +1858,28 @@ impl AnalysisSession {
                 .find(|p| p.name == name && p.file.text() == source)
                 .cloned()
         };
-        if let Some(hit) = self
-            .parse_cache
-            .lock()
-            .unwrap()
-            .get(&key)
-            .and_then(|b| find(b))
-        {
+        if let Some(hit) = self.parse_cache.read(&key, |b| b.and_then(|b| find(b))) {
             self.counters.parse_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
         self.counters.parse_misses.fetch_add(1, Ordering::Relaxed);
         let parsed = Arc::new(stage_parse(name, source)?);
-        self.cumulative.lock().unwrap().parse += parsed.elapsed;
+        self.cumulative.add(Stage::Parse, parsed.elapsed);
         // First writer wins: if a concurrent call raced us to the same key,
         // return its artifact so identical content always yields one Arc.
-        let mut cache = self.parse_cache.lock().unwrap();
-        let bucket = cache.entry(key).or_default();
-        if let Some(winner) = find(bucket) {
-            return Ok(winner);
-        }
-        bucket.push(Arc::clone(&parsed));
-        Ok(parsed)
+        Ok(self.parse_cache.update(key, |bucket| {
+            if let Some(winner) = find(bucket) {
+                return winner;
+            }
+            bucket.push(Arc::clone(&parsed));
+            Arc::clone(&parsed)
+        }))
     }
 
     /// Stage 2: build the hybrid AST-CFG.
     pub fn graphs(&self, parsed: &ParsedUnit) -> Arc<GraphsArtifact> {
         let artifact = Arc::new(stage_graphs(&parsed.unit));
-        self.cumulative.lock().unwrap().graphs += artifact.elapsed;
+        self.cumulative.add(Stage::Graphs, artifact.elapsed);
         artifact
     }
 
@@ -1845,7 +1901,7 @@ impl AnalysisSession {
         self.counters
             .function_access_misses
             .fetch_add(artifact.cache_misses, Ordering::Relaxed);
-        self.cumulative.lock().unwrap().accesses += artifact.elapsed;
+        self.cumulative.add(Stage::Accesses, artifact.elapsed);
         artifact
     }
 
@@ -1872,7 +1928,7 @@ impl AnalysisSession {
         self.counters
             .function_summary_misses
             .fetch_add(artifact.cache_misses, Ordering::Relaxed);
-        self.cumulative.lock().unwrap().summaries += artifact.elapsed;
+        self.cumulative.add(Stage::Summaries, artifact.elapsed);
         artifact
     }
 
@@ -1909,7 +1965,7 @@ impl AnalysisSession {
         self.counters
             .function_store_misses
             .fetch_add(artifact.function_store_misses, Ordering::Relaxed);
-        self.cumulative.lock().unwrap().plan += artifact.elapsed;
+        self.cumulative.add(Stage::Plan, artifact.elapsed);
         artifact
     }
 
@@ -1921,7 +1977,7 @@ impl AnalysisSession {
         plans: &PlansArtifact,
     ) -> Arc<RewriteOutput> {
         let artifact = Arc::new(stage_rewrite(parsed, graphs, plans));
-        self.cumulative.lock().unwrap().rewrite += artifact.elapsed;
+        self.cumulative.add(Stage::Rewrite, artifact.elapsed);
         artifact
     }
 
@@ -1953,13 +2009,7 @@ impl AnalysisSession {
                 .find(|a| a.parsed.name == name && a.parsed.file.text() == source)
                 .cloned()
         };
-        if let Some(hit) = self
-            .unit_cache
-            .lock()
-            .unwrap()
-            .get(&key)
-            .and_then(|b| find(b))
-        {
+        if let Some(hit) = self.unit_cache.read(&key, |b| b.and_then(|b| find(b))) {
             self.counters.analysis_hits.fetch_add(1, Ordering::Relaxed);
             return Ok((hit, UnitServe::Cached));
         }
@@ -2059,13 +2109,14 @@ impl AnalysisSession {
         // content may both compute (benign duplicated work), but every
         // caller observes the same cached Arc afterwards. The serve report
         // stays this request's own — the duplicated work really happened.
-        let mut cache = self.unit_cache.lock().unwrap();
-        let bucket = cache.entry(key).or_default();
-        if let Some(winner) = find(bucket) {
-            return Ok((winner, served));
-        }
-        bucket.push(Arc::clone(&analysis));
-        Ok((analysis, served))
+        let winner = self.unit_cache.update(key, |bucket| {
+            if let Some(winner) = find(bucket) {
+                return winner;
+            }
+            bucket.push(Arc::clone(&analysis));
+            Arc::clone(&analysis)
+        });
+        Ok((winner, served))
     }
 
     /// Re-seed the in-memory function-plan cache from a store hit's
@@ -2132,13 +2183,7 @@ impl AnalysisSession {
                 .find(|s| s.parsed.name == name && s.parsed.file.text() == source)
                 .cloned()
         };
-        if let Some(hit) = self
-            .summarize_cache
-            .lock()
-            .unwrap()
-            .get(&key)
-            .and_then(|b| find(b))
-        {
+        if let Some(hit) = self.summarize_cache.read(&key, |b| b.and_then(|b| find(b))) {
             self.counters.summarize_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(hit);
         }
@@ -2157,14 +2202,15 @@ impl AnalysisSession {
             graphs,
             accesses,
             summaries,
+            link_exports: std::sync::OnceLock::new(),
         });
-        let mut cache = self.summarize_cache.lock().unwrap();
-        let bucket = cache.entry(key).or_default();
-        if let Some(winner) = find(bucket) {
-            return Ok(winner);
-        }
-        bucket.push(Arc::clone(&summarized));
-        Ok(summarized)
+        Ok(self.summarize_cache.update(key, |bucket| {
+            if let Some(winner) = find(bucket) {
+                return winner;
+            }
+            bucket.push(Arc::clone(&summarized));
+            Arc::clone(&summarized)
+        }))
     }
 
     /// Whole-program phase 3 for one unit: plan and rewrite under a
@@ -2187,13 +2233,7 @@ impl AnalysisSession {
                 .find(|a| a.parsed.name == name && a.parsed.file.text() == source)
                 .cloned()
         };
-        if let Some(hit) = self
-            .linked_cache
-            .lock()
-            .unwrap()
-            .get(&key)
-            .and_then(|b| find(b))
-        {
+        if let Some(hit) = self.linked_cache.read(&key, |b| b.and_then(|b| find(b))) {
             self.counters.linked_hits.fetch_add(1, Ordering::Relaxed);
             return (hit, UnitServe::Cached);
         }
@@ -2260,7 +2300,7 @@ impl AnalysisSession {
                 self.counters
                     .function_store_misses
                     .fetch_add(plans.function_store_misses, Ordering::Relaxed);
-                self.cumulative.lock().unwrap().plan += plans.elapsed;
+                self.cumulative.add(Stage::Plan, plans.elapsed);
                 let rewrite = self.rewrite(&unit.parsed, &unit.graphs, &plans);
                 if self.store.is_some() && plans.diagnostics.is_empty() {
                     // Write-behind: queue the store write-back instead of
@@ -2294,13 +2334,14 @@ impl AnalysisSession {
                 )
             }
         };
-        let mut cache = self.linked_cache.lock().unwrap();
-        let bucket = cache.entry(key).or_default();
-        if let Some(winner) = find(bucket) {
-            return (winner, served);
-        }
-        bucket.push(Arc::clone(&analysis));
-        (analysis, served)
+        let winner = self.linked_cache.update(key, |bucket| {
+            if let Some(winner) = find(bucket) {
+                return winner;
+            }
+            bucket.push(Arc::clone(&analysis));
+            Arc::clone(&analysis)
+        });
+        (winner, served)
     }
 
     /// Run the pipeline and assemble the legacy [`TransformResult`]. The
@@ -2644,18 +2685,10 @@ void driver() {
         let key = content_hash("x.c", TWO_FUNCS);
         session
             .unit_cache
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_default()
-            .push(Arc::clone(&other));
+            .update(key, |bucket| bucket.push(Arc::clone(&other)));
         session
             .parse_cache
-            .lock()
-            .unwrap()
-            .entry(key)
-            .or_default()
-            .push(Arc::clone(&other.parsed));
+            .update(key, |bucket| bucket.push(Arc::clone(&other.parsed)));
         // The colliding entry must be skipped, not returned.
         let again = session.analyze("x.c", TWO_FUNCS).unwrap();
         assert!(Arc::ptr_eq(&a, &again));
@@ -2674,16 +2707,12 @@ void driver() {
         let edited = DEMO.replace("a[i] += 1.0;", "a[i] += 2.0;");
         let latest = session.analyze("demo.c", &edited).unwrap();
         let other = session.analyze("other.c", TWO_FUNCS).unwrap();
-        assert_eq!(session.unit_cache.lock().unwrap().len(), 3);
+        assert_eq!(session.unit_cache.len(), 3);
 
         session.evict_stale_versions("demo.c", &edited);
         let remaining: usize = session
             .unit_cache
-            .lock()
-            .unwrap()
-            .values()
-            .map(|b| b.len())
-            .sum();
+            .fold(0usize, |acc, _, bucket| acc + bucket.len());
         assert_eq!(remaining, 2, "the old demo.c version must be gone");
         // The surviving entries still hit.
         let again = session.analyze("demo.c", &edited).unwrap();

@@ -38,6 +38,7 @@ use crate::pipeline::{
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Referenced-variable sets of functions defined in *other* translation
 /// units, keyed by function name. The exit-liveness scan of the planning
@@ -142,6 +143,30 @@ fn unit_referenced_vars(unit: &SummarizedUnit) -> ExternalRefs {
         .collect()
 }
 
+/// Everything the link stage derives from one unit's own content: its
+/// referenced-variable sets and its [`ExportedInterface`]. Memoized on the
+/// [`SummarizedUnit`] itself (a `OnceLock`), so a content-identical unit —
+/// which keeps its `Arc` across rounds thanks to the summarize cache —
+/// pays the AST walks once per unit *content*, not once per relink.
+#[derive(Debug)]
+pub(crate) struct UnitExports {
+    /// Referenced variables per defined function (source-level names).
+    pub(crate) refs: ExternalRefs,
+    /// The unit's exported interface (prototypes, summaries, refs).
+    pub(crate) interface: ExportedInterface,
+}
+
+impl SummarizedUnit {
+    /// The memoized link-stage exports of this unit (see [`UnitExports`]).
+    pub(crate) fn exports(&self) -> &UnitExports {
+        self.link_exports.get_or_init(|| {
+            let refs = unit_referenced_vars(self);
+            let interface = ExportedInterface::with_refs(self, &refs);
+            UnitExports { refs, interface }
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // LinkedSummaries and LinkContext
 // ---------------------------------------------------------------------------
@@ -207,15 +232,26 @@ pub struct Program {
     /// appear under their mangled `name@unit` symbols here; per-unit
     /// [`LinkContext`]s expose them under their source-level names again.
     pub linked: LinkedSummaries,
-    /// Per-unit referenced-variable sets (same order as `units`), computed
-    /// once at link time and shared by every [`LinkContext`].
-    unit_refs: Vec<ExternalRefs>,
-    /// Per-unit sets of `static` function names (source-level), used to
-    /// build the per-unit summary views.
-    unit_statics: Vec<BTreeSet<String>>,
+    /// The *program-wide* referenced-variable map shared by every unit's
+    /// [`LinkContext`]: all units' functions, other units' statics under
+    /// their mangled `name@unit` symbols. Built once per relink (O(program)
+    /// total, not O(units²) as the old per-unit exclusion maps were); see
+    /// [`Program::link_context`] for why sharing one map is sound.
+    all_refs: Arc<ExternalRefs>,
+    /// Fingerprint of `all_refs` (shared by every context).
+    all_refs_fingerprint: u64,
+    /// Per-unit XOR terms of the imports fingerprint: `imports_total ^
+    /// import_terms[i]` excludes unit `i`'s own surface in O(1). The index
+    /// participates in each term so duplicate identical units cannot cancel
+    /// each other out of the total.
+    import_terms: Vec<u64>,
+    /// XOR of every `import_terms` entry.
+    imports_total: u64,
     /// Per-unit summary views, built once at link time for units that
     /// define statics (`None` for units without statics, which share
-    /// `linked.summaries` directly instead of cloning it per scan).
+    /// `linked.summaries` directly). Views are lookup-only
+    /// [`ProgramSummaries::overlay`]s over the linked summaries — they hold
+    /// just the unit's shadowing `static` entries, not a full clone.
     unit_views: Vec<Option<Arc<ProgramSummaries>>>,
 }
 
@@ -236,8 +272,10 @@ pub struct LinkState {
     /// plus everything the propagation reads from the caller side of each
     /// call site.
     local_fps: BTreeMap<String, u64>,
-    /// The converged cross-unit summaries (resolved names).
-    summaries: ProgramSummaries,
+    /// The converged cross-unit summaries (resolved names), shared with
+    /// the program's [`LinkedSummaries`] — an unchanged relink reuses the
+    /// `Arc` instead of cloning the whole summary set.
+    summaries: Arc<ProgramSummaries>,
     /// Propagation passes of the converged fixed point (reported when an
     /// unchanged relink skips propagation entirely).
     passes: usize,
@@ -325,14 +363,46 @@ impl Program {
             unit_statics.push(statics);
         }
 
-        // One AST walk per function: the referenced-variable sets feed both
-        // the interface fingerprints and every unit's LinkContext.
-        let unit_refs: Vec<ExternalRefs> = units.iter().map(|u| unit_referenced_vars(u)).collect();
+        // Referenced-variable sets and interfaces come from each unit's
+        // memoized exports: a content-unchanged unit keeps its summarize
+        // Arc, so no AST is re-walked for it on a relink.
         let interfaces: Vec<ExportedInterface> = units
             .iter()
-            .zip(&unit_refs)
-            .map(|(u, refs)| ExportedInterface::with_refs(u, refs))
+            .map(|u| u.exports().interface.clone())
             .collect();
+
+        // The program-wide referenced-variable map every LinkContext
+        // shares: all units, other units' statics mangled. One map for the
+        // whole program instead of one exclusion map per unit.
+        let mut all_refs: ExternalRefs = BTreeMap::new();
+        for (unit, statics) in units.iter().zip(&unit_statics) {
+            for (name, vars) in &unit.exports().refs {
+                let key = if statics.contains(name) {
+                    mangle_static(name, &unit.parsed.name)
+                } else {
+                    name.clone()
+                };
+                all_refs.insert(key, vars.clone());
+            }
+        }
+        let all_refs_fingerprint = external_refs_fingerprint(&all_refs);
+        let all_refs = Arc::new(all_refs);
+
+        // Imported-surface terms: XOR-combined so each unit's own term can
+        // be excluded from the program total in O(1). The index is mixed in
+        // so two byte-identical units contribute distinct terms.
+        let import_terms: Vec<u64> = interfaces
+            .iter()
+            .enumerate()
+            .map(|(idx, interface)| {
+                let mut h = Fnv::new();
+                h.write_u64(idx as u64);
+                h.write_str(&interface.unit);
+                h.write_u64(interface.fingerprint);
+                h.finish()
+            })
+            .collect();
+        let imports_total = import_terms.iter().fold(0u64, |acc, term| acc ^ term);
 
         // The whole-program fixed point over per-function seeds. Each
         // unit's summarize phase already produced (and cached, function-
@@ -365,23 +435,31 @@ impl Program {
                                 .cloned(),
                         )
                         .collect();
-                    let (mut merged, cone) = ProgramSummaries::propagate_incremental_parallel(
-                        &nodes,
-                        &seeds,
-                        &state.summaries,
-                        &dirty,
-                        options.max_interproc_passes,
-                        options.pessimistic_globals,
-                        threads,
-                    );
-                    let passes = if cone.is_empty() {
-                        // Nothing changed: the previous fixed point stands.
-                        merged.passes = state.passes;
-                        state.passes
+                    if dirty.is_empty() {
+                        // Nothing changed: the previous fixed point stands
+                        // verbatim — share its Arc instead of cloning (and
+                        // re-verifying) the whole summary set.
+                        (Arc::clone(&state.summaries), state.passes, 0, local_fps)
                     } else {
-                        merged.passes
-                    };
-                    (merged, passes, cone.len() as u64, local_fps)
+                        let (mut merged, cone) = ProgramSummaries::propagate_incremental_parallel(
+                            &nodes,
+                            &seeds,
+                            &state.summaries,
+                            &dirty,
+                            options.max_interproc_passes,
+                            options.pessimistic_globals,
+                            threads,
+                        );
+                        let passes = if cone.is_empty() {
+                            // The dirty set named only removed functions:
+                            // no propagation ran.
+                            merged.passes = state.passes;
+                            state.passes
+                        } else {
+                            merged.passes
+                        };
+                        (Arc::new(merged), passes, cone.len() as u64, local_fps)
+                    }
                 }
                 None => {
                     let merged = ProgramSummaries::propagate_parallel(
@@ -392,24 +470,25 @@ impl Program {
                         threads,
                     );
                     let passes = merged.passes;
-                    (merged, passes, 0, local_fps)
+                    (Arc::new(merged), passes, 0, local_fps)
                 }
             }
         } else {
-            (ProgramSummaries::default(), 0, 0, BTreeMap::new())
+            (Arc::new(ProgramSummaries::default()), 0, 0, BTreeMap::new())
         };
 
         let state = Arc::new(LinkState {
             unit_names,
             local_fps,
-            summaries: summaries.clone(),
+            summaries: Arc::clone(&summaries),
             passes,
         });
         // Per-unit views for static-bearing units, built once here rather
         // than on every `link_context` call: the unit's own statics appear
         // under their source-level names (shadowing any same-named
-        // external symbol, as C scoping does).
-        let summaries = Arc::new(summaries);
+        // external symbol, as C scoping does). Each view is an overlay
+        // holding only those shadowing entries — resolution of every other
+        // name falls through to the shared linked summaries.
         let unit_views: Vec<Option<Arc<ProgramSummaries>>> = units
             .iter()
             .zip(&unit_statics)
@@ -417,7 +496,7 @@ impl Program {
                 if statics.is_empty() {
                     return None;
                 }
-                let mut view = (*summaries).clone();
+                let mut view = ProgramSummaries::overlay(Arc::clone(&summaries));
                 for name in statics {
                     let mangled = mangle_static(name, &unit.parsed.name);
                     if let Some(summary) = summaries.summary(&mangled) {
@@ -437,8 +516,10 @@ impl Program {
                 defined_in,
                 passes,
             },
-            unit_refs,
-            unit_statics,
+            all_refs,
+            all_refs_fingerprint,
+            import_terms,
+            imports_total,
             unit_views,
         };
         Ok((program, state, reseeded))
@@ -454,41 +535,26 @@ impl Program {
         self.units.is_empty()
     }
 
-    /// The [`LinkContext`] for the unit at `index`: linked summaries plus
-    /// the referenced-variable sets and interface fingerprints of every
-    /// *other* unit. In the context's summary view, this unit's `static`
-    /// functions appear under their source-level names (so the unit's own
-    /// call sites resolve them), while other units' statics stay under
-    /// their private mangled symbols — invisible to name lookup here.
+    /// The [`LinkContext`] for the unit at `index`, assembled in O(1) from
+    /// program-wide pieces: the linked summaries (or the unit's prebuilt
+    /// static-shadowing view), the shared referenced-variable map, and the
+    /// unit's imports fingerprint (`imports_total ^ import_terms[index]`).
+    ///
+    /// Every unit shares **one** `extern_refs` map covering *all* units —
+    /// including the unit's own functions, which the per-unit maps used to
+    /// exclude. That is behavior-preserving because the map's only
+    /// consumer, the exit-liveness scan
+    /// (`dataflow::may_be_read_after_region`), (a) short-circuits to the
+    /// conservative answer for every function except `main` before
+    /// consulting it, (b) skips the entry whose key equals the scanned
+    /// function's own name (mangled `name@unit` symbols can never equal
+    /// `main`), and (c) scans same-unit sibling functions *directly*
+    /// (walking their bodies) before falling back to the map, with the
+    /// identical traversal that produced the map's entries — so a same-unit
+    /// entry can only confirm what the direct scan already found. Other
+    /// units' statics stay under their private mangled symbols, so two
+    /// same-named statics never merge their variable sets.
     pub fn link_context(&self, index: usize) -> LinkContext {
-        let mut extern_refs: ExternalRefs = BTreeMap::new();
-        for (idx, refs) in self.unit_refs.iter().enumerate() {
-            if idx == index {
-                continue;
-            }
-            for (name, vars) in refs {
-                // Statics of other units keep their unit-private symbol so
-                // two same-named statics never merge their variable sets.
-                let key = if self.unit_statics[idx].contains(name) {
-                    mangle_static(name, &self.units[idx].parsed.name)
-                } else {
-                    name.clone()
-                };
-                extern_refs.insert(key, vars.clone());
-            }
-        }
-        // Imported surface: every other unit's (name, interface
-        // fingerprint), hashed in input order.
-        let mut h = Fnv::new();
-        for (idx, interface) in self.interfaces.iter().enumerate() {
-            if idx == index {
-                continue;
-            }
-            h.write_str(&interface.unit);
-            h.write_u64(interface.fingerprint);
-        }
-        let extern_refs_fingerprint = external_refs_fingerprint(&extern_refs);
-
         // Per-unit summary view, prebuilt at link time for static-bearing
         // units; everyone else shares the linked summaries directly.
         let summaries = match &self.unit_views[index] {
@@ -497,9 +563,9 @@ impl Program {
         };
         LinkContext {
             summaries,
-            extern_refs: Arc::new(extern_refs),
-            extern_refs_fingerprint,
-            imports_fingerprint: h.finish(),
+            extern_refs: Arc::clone(&self.all_refs),
+            extern_refs_fingerprint: self.all_refs_fingerprint,
+            imports_fingerprint: self.imports_total ^ self.import_terms[index],
         }
     }
 
@@ -702,6 +768,115 @@ impl ProgramAnalysis {
     }
 }
 
+/// One completed whole-program round, retained by the session for the
+/// *identity fast path* of the next round: a unit whose summarized `Arc`
+/// (content identity — the summarize cache guarantees identical content
+/// yields one `Arc`) and imports fingerprint (everything the unit's plans
+/// can observe of the other units: prototypes, summaries, referenced
+/// variables) both match its entry here is served the previous round's
+/// linked analysis without content hashing, cache probing, relocation or
+/// re-planning.
+#[derive(Debug)]
+pub(crate) struct ProgramRound {
+    pub(crate) units: Vec<Arc<SummarizedUnit>>,
+    pub(crate) analyses: Vec<Arc<UnitAnalysis>>,
+    pub(crate) interfaces: Vec<ExportedInterface>,
+    pub(crate) imports_fps: Vec<u64>,
+    pub(crate) link_passes: usize,
+    /// Unit name → index (last wins for duplicate names; the `Arc::ptr_eq`
+    /// + fingerprint verification makes a wrong mapping harmless).
+    pub(crate) by_name: HashMap<String, usize>,
+}
+
+/// Where one whole-program analysis spent its time: per-phase wall clock,
+/// per-unit latency percentiles, and the process-wide worker-pool and
+/// shard-lock counter deltas attributable to the call. Surfaced by
+/// `ompdart analyze --profile-json`, the daemon `stats` response, and the
+/// `link_scale` bench trajectory.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DriverProfile {
+    /// Units in the program.
+    pub units: usize,
+    /// Units served by the identity fast path this round.
+    pub fast_path_units: usize,
+    /// Wall time of the parallel summarize phase.
+    pub summarize: Duration,
+    /// Wall time of the (incremental) link fixed point.
+    pub link: Duration,
+    /// Wall time spent assembling per-unit link contexts.
+    pub contexts: Duration,
+    /// Wall time of the parallel plan+rewrite fan-out.
+    pub plan: Duration,
+    /// Wall time of the batched store flush.
+    pub flush: Duration,
+    /// End-to-end wall time of the whole call.
+    pub total: Duration,
+    /// Median per-unit latency inside the plan fan-out.
+    pub unit_p50: Duration,
+    /// 99th-percentile per-unit latency inside the plan fan-out.
+    pub unit_p99: Duration,
+    /// Worker-pool jobs this call ran ([`crate::pool::stats`] delta).
+    pub pool_jobs: u64,
+    /// Indices processed by those pool jobs.
+    pub pool_items: u64,
+    /// Nested fan-outs that ran inline on a pool task's thread.
+    pub pool_inline_jobs: u64,
+    /// Fan-outs that found the pool busy and used scoped-thread fallback.
+    pub pool_fallback_jobs: u64,
+    /// Nanoseconds submitters idled waiting for job retirement (pool tail
+    /// latency).
+    pub pool_wait_ns: u64,
+    /// Nanoseconds blocked on shard-cache locks
+    /// ([`crate::shard::lock_stats`] delta).
+    pub lock_wait_ns: u64,
+    /// Shard-cache lock acquisitions that found the lock held.
+    pub lock_contentions: u64,
+}
+
+impl DriverProfile {
+    /// The profile as a small hand-rolled JSON object (milliseconds for
+    /// the wall-clock fields).
+    pub fn to_json(&self) -> String {
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        format!(
+            concat!(
+                "{{\"units\":{},\"fast_path_units\":{},",
+                "\"summarize_ms\":{:.3},\"link_ms\":{:.3},\"contexts_ms\":{:.3},",
+                "\"plan_ms\":{:.3},\"flush_ms\":{:.3},\"total_ms\":{:.3},",
+                "\"unit_p50_ms\":{:.3},\"unit_p99_ms\":{:.3},",
+                "\"pool_jobs\":{},\"pool_items\":{},\"pool_inline_jobs\":{},",
+                "\"pool_fallback_jobs\":{},\"pool_wait_ns\":{},",
+                "\"lock_wait_ns\":{},\"lock_contentions\":{}}}"
+            ),
+            self.units,
+            self.fast_path_units,
+            ms(self.summarize),
+            ms(self.link),
+            ms(self.contexts),
+            ms(self.plan),
+            ms(self.flush),
+            ms(self.total),
+            ms(self.unit_p50),
+            ms(self.unit_p99),
+            self.pool_jobs,
+            self.pool_items,
+            self.pool_inline_jobs,
+            self.pool_fallback_jobs,
+            self.pool_wait_ns,
+            self.lock_wait_ns,
+            self.lock_contentions,
+        )
+    }
+}
+
+/// `sorted` must be ascending; returns the pct-th percentile element.
+fn percentile(sorted: &[Duration], pct: usize) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    sorted[(sorted.len() - 1) * pct / 100]
+}
+
 /// Analyzes many translation units as *one linked program* over a shared
 /// [`AnalysisSession`]: parallel summarize → sequential link → parallel
 /// plan. Contrast with [`crate::pipeline::BatchDriver`], which analyzes
@@ -742,6 +917,15 @@ impl ProgramDriver {
     /// (`CacheStats::relink_reseeded_functions` proves it), byte-identical
     /// to a cold link.
     pub fn link(&self, inputs: &[(String, String)]) -> Result<Program, ProgramError> {
+        let units = self.summarize_all(inputs)?;
+        self.relink_units(units)
+    }
+
+    /// Phase 1: summarize every unit in parallel (input order preserved).
+    fn summarize_all(
+        &self,
+        inputs: &[(String, String)],
+    ) -> Result<Vec<Arc<SummarizedUnit>>, ProgramError> {
         let summarized = crate::pipeline::parallel_map_indexed(self.threads, inputs.len(), |i| {
             let (name, source) = &inputs[i];
             self.session
@@ -755,6 +939,11 @@ impl ProgramDriver {
         for result in summarized {
             units.push(result?);
         }
+        Ok(units)
+    }
+
+    /// Phase 2: (incrementally) link already-summarized units.
+    fn relink_units(&self, units: Vec<Arc<SummarizedUnit>>) -> Result<Program, ProgramError> {
         let previous = self.session.take_link_state();
         let (program, state, reseeded) =
             Program::relink(units, self.session.options(), previous.as_deref())?;
@@ -768,29 +957,176 @@ impl ProgramDriver {
         &self,
         inputs: &[(String, String)],
     ) -> Result<ProgramAnalysis, ProgramError> {
-        let program = self.link(inputs)?;
+        self.analyze_program_profiled(inputs)
+            .map(|(analysis, _)| analysis)
+    }
+
+    /// [`Self::analyze_program`] plus a [`DriverProfile`] of where the call
+    /// spent its time.
+    ///
+    /// Two identity fast paths ride on the previous round recorded in the
+    /// session (see [`ProgramRound`]):
+    ///
+    /// * **Round level** — when every unit's summarized `Arc` matches the
+    ///   previous round position-wise, the whole round is the previous
+    ///   round: its analyses are returned with no link, no contexts, no
+    ///   planning, no flush. A warm re-analysis of an unchanged program is
+    ///   N summarize-cache probes plus N pointer comparisons.
+    /// * **Unit level** — on edit rounds, any unit whose `Arc` *and*
+    ///   imports fingerprint match its previous-round entry reuses its
+    ///   previous analysis without content hashing or cache probing; only
+    ///   genuinely affected units reach `analyze_linked`.
+    ///
+    /// Soundness: the summarize cache guarantees identical `(name,
+    /// content)` yields one `Arc`, so `Arc` identity is content identity;
+    /// the imports fingerprint covers every cross-unit fact a unit's plans
+    /// can observe (the same key the linked cache and the persistent store
+    /// trust). Byte-identity of fast-path rounds is pinned by tests at
+    /// every thread count.
+    pub fn analyze_program_profiled(
+        &self,
+        inputs: &[(String, String)],
+    ) -> Result<(ProgramAnalysis, DriverProfile), ProgramError> {
+        let total_start = Instant::now();
+        let pool_before = crate::pool::stats();
+        let lock_before = crate::shard::lock_stats();
+        let finish_profile = |mut profile: DriverProfile| {
+            let pool = crate::pool::stats();
+            let lock = crate::shard::lock_stats();
+            profile.pool_jobs = pool.jobs - pool_before.jobs;
+            profile.pool_items = pool.items - pool_before.items;
+            profile.pool_inline_jobs = pool.inline_jobs - pool_before.inline_jobs;
+            profile.pool_fallback_jobs = pool.fallback_jobs - pool_before.fallback_jobs;
+            profile.pool_wait_ns = pool.submit_wait_ns - pool_before.submit_wait_ns;
+            profile.lock_wait_ns = lock.0 - lock_before.0;
+            profile.lock_contentions = lock.1 - lock_before.1;
+            profile.total = total_start.elapsed();
+            profile
+        };
+
+        let phase = Instant::now();
+        let units = self.summarize_all(inputs)?;
+        let summarize = phase.elapsed();
+
+        let round = self.session.last_round();
+
+        // Round-level identity fast path: the whole program is the
+        // previous round.
+        if let Some(round) = &round {
+            if round.units.len() == units.len()
+                && units
+                    .iter()
+                    .zip(&round.units)
+                    .all(|(now, prev)| Arc::ptr_eq(now, prev))
+            {
+                self.session.count_fast_path(units.len() as u64);
+                let analysis = ProgramAnalysis {
+                    units: round.analyses.clone(),
+                    interfaces: round.interfaces.clone(),
+                    served: vec![UnitServe::Cached; units.len()],
+                    link_passes: round.link_passes,
+                };
+                let profile = finish_profile(DriverProfile {
+                    units: units.len(),
+                    fast_path_units: units.len(),
+                    summarize,
+                    ..DriverProfile::default()
+                });
+                return Ok((analysis, profile));
+            }
+        }
+
+        let phase = Instant::now();
+        let program = self.relink_units(units)?;
+        let link = phase.elapsed();
+
+        let phase = Instant::now();
         let contexts: Vec<LinkContext> = (0..program.len())
             .map(|i| program.link_context(i))
             .collect();
+        let contexts_elapsed = phase.elapsed();
+
+        let phase = Instant::now();
         let planned = crate::pipeline::parallel_map_indexed(self.threads, program.len(), |i| {
-            self.session.analyze_linked(&program.units[i], &contexts[i])
+            let unit_start = Instant::now();
+            // Unit-level identity fast path: unchanged content (Arc
+            // identity) under an unchanged imported surface reuses the
+            // previous round's analysis outright.
+            let reused = round.as_ref().and_then(|round| {
+                let j = *round.by_name.get(program.units[i].parsed.name.as_str())?;
+                (Arc::ptr_eq(&program.units[i], &round.units[j])
+                    && contexts[i].imports_fingerprint == round.imports_fps[j])
+                    .then(|| Arc::clone(&round.analyses[j]))
+            });
+            let (analysis, serve, fast) = match reused {
+                Some(analysis) => (analysis, UnitServe::Cached, true),
+                None => {
+                    let (analysis, serve) =
+                        self.session.analyze_linked(&program.units[i], &contexts[i]);
+                    (analysis, serve, false)
+                }
+            };
+            (analysis, serve, fast, unit_start.elapsed())
         });
+        let plan = phase.elapsed();
+
         // One batched store flush for the whole program: the per-unit
-        // write-backs queued by `analyze_linked` land on disk through a
-        // single `save_many` (one directory sweep + one gc pass).
+        // write-backs queued by `analyze_linked` land on disk through one
+        // pool-parallel batch (one directory sweep + one gc pass).
+        let phase = Instant::now();
         self.session.flush_store_writes();
+        let flush = phase.elapsed();
+
         let mut units = Vec::with_capacity(planned.len());
         let mut served = Vec::with_capacity(planned.len());
-        for (analysis, serve) in planned {
+        let mut durations = Vec::with_capacity(planned.len());
+        let mut fast_path_units = 0usize;
+        for (analysis, serve, fast, elapsed) in planned {
             units.push(analysis);
             served.push(serve);
+            durations.push(elapsed);
+            fast_path_units += usize::from(fast);
         }
-        Ok(ProgramAnalysis {
-            units,
-            interfaces: program.interfaces,
-            served,
+        self.session.count_fast_path(fast_path_units as u64);
+
+        // Record this round for the next one's identity fast paths.
+        let by_name: HashMap<String, usize> = program
+            .units
+            .iter()
+            .enumerate()
+            .map(|(i, u)| (u.parsed.name.clone(), i))
+            .collect();
+        self.session.note_round(Arc::new(ProgramRound {
+            units: program.units.clone(),
+            analyses: units.clone(),
+            interfaces: program.interfaces.clone(),
+            imports_fps: contexts.iter().map(|c| c.imports_fingerprint).collect(),
             link_passes: program.linked.passes,
-        })
+            by_name,
+        }));
+
+        durations.sort_unstable();
+        let profile = finish_profile(DriverProfile {
+            units: units.len(),
+            fast_path_units,
+            summarize,
+            link,
+            contexts: contexts_elapsed,
+            plan,
+            flush,
+            unit_p50: percentile(&durations, 50),
+            unit_p99: percentile(&durations, 99),
+            ..DriverProfile::default()
+        });
+        Ok((
+            ProgramAnalysis {
+                units,
+                interfaces: program.interfaces,
+                served,
+                link_passes: program.linked.passes,
+            },
+            profile,
+        ))
     }
 }
 

@@ -355,26 +355,56 @@ impl ArtifactStore {
         if saves.is_empty() {
             return Ok(Vec::new());
         }
-        std::fs::create_dir_all(&self.dir)?;
+        self.prepare_dir()?;
         let mut paths = Vec::with_capacity(saves.len());
         for save in saves {
-            let path = self.write_entry(
-                &save.source,
-                options,
-                save.link,
-                &save.plans,
-                &save.stats,
-                &save.functions,
-            )?;
-            self.repoint_ref(&save.name, options, save.link, &path);
-            paths.push(path);
+            paths.push(self.save_one(options, save)?);
         }
         let names: Vec<&str> = saves.iter().map(|s| s.name.as_str()).collect();
-        self.sweep_legacy(&names, options, &paths);
-        if let Some(max) = self.max_bytes {
-            let _ = self.gc_protecting(max, &paths);
-        }
+        self.finish_batch(&names, options, &paths);
         Ok(paths)
+    }
+
+    /// Ensure the store directory exists — the once-per-batch prelude of
+    /// [`ArtifactStore::save_one`] fan-outs.
+    pub(crate) fn prepare_dir(&self) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)
+    }
+
+    /// Write one batch member's content entry and re-point its `ref-*`
+    /// side file. Per-entry atomicity is identical to
+    /// [`ArtifactStore::save`] (own temp file + rename), and entries are
+    /// independent of each other, so a whole batch of `save_one` calls may
+    /// run concurrently — e.g. fanned out over the session's worker pool
+    /// by `AnalysisSession::flush_store_writes`. Callers must run
+    /// [`ArtifactStore::prepare_dir`] once first and
+    /// [`ArtifactStore::finish_batch`] once afterwards.
+    pub(crate) fn save_one(
+        &self,
+        options: &OmpDartOptions,
+        save: &PendingUnitSave,
+    ) -> std::io::Result<PathBuf> {
+        let path = self.write_entry(
+            &save.source,
+            options,
+            save.link,
+            &save.plans,
+            &save.stats,
+            &save.functions,
+        )?;
+        self.repoint_ref(&save.name, options, save.link, &path);
+        Ok(path)
+    }
+
+    /// The directory-wide epilogue of a batch of [`ArtifactStore::save_one`]
+    /// calls: one legacy sweep and one LRU garbage collection for the whole
+    /// batch (never evicting the entries just written), so a 1000-unit cold
+    /// link pays one sweep, not 1000.
+    pub(crate) fn finish_batch(&self, names: &[&str], options: &OmpDartOptions, paths: &[PathBuf]) {
+        self.sweep_legacy(names, options, paths);
+        if let Some(max) = self.max_bytes {
+            let _ = self.gc_protecting(max, paths);
+        }
     }
 
     /// Atomically materialize one content-addressed entry document.

@@ -26,7 +26,7 @@ use crate::protocol::{
 use crate::registry::{ProgramRegistry, ProgramSession, RegistryConfig, RequestStats};
 use crate::signal::{self, ShutdownToken};
 use ompdart_core::plan::Json;
-use ompdart_core::{Analysis, CacheStats, UnitServe};
+use ompdart_core::{Analysis, CacheStats, DriverProfile, UnitServe};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -632,6 +632,10 @@ fn request_stats_json(stats: &RequestStats) -> Json {
             "linked_misses".into(),
             Json::Int(stats.linked_misses as i64),
         ),
+        (
+            "fast_path_hits".into(),
+            Json::Int(stats.fast_path_hits as i64),
+        ),
     ])
 }
 
@@ -809,6 +813,53 @@ fn cache_stats_json(stats: &CacheStats) -> Json {
             "linked_misses".into(),
             Json::Int(stats.linked_misses as i64),
         ),
+        (
+            "fast_path_hits".into(),
+            Json::Int(stats.fast_path_hits as i64),
+        ),
+    ])
+}
+
+/// The per-program [`DriverProfile`] as a protocol object. Durations are
+/// integer microseconds (the wire format has no floats); counters are raw.
+fn driver_profile_json(profile: &DriverProfile) -> Json {
+    let us = |d: std::time::Duration| Json::Int(d.as_micros() as i64);
+    Json::Object(vec![
+        ("units".into(), Json::Int(profile.units as i64)),
+        (
+            "fast_path_units".into(),
+            Json::Int(profile.fast_path_units as i64),
+        ),
+        ("summarize_us".into(), us(profile.summarize)),
+        ("link_us".into(), us(profile.link)),
+        ("contexts_us".into(), us(profile.contexts)),
+        ("plan_us".into(), us(profile.plan)),
+        ("flush_us".into(), us(profile.flush)),
+        ("total_us".into(), us(profile.total)),
+        ("unit_p50_us".into(), us(profile.unit_p50)),
+        ("unit_p99_us".into(), us(profile.unit_p99)),
+        ("pool_jobs".into(), Json::Int(profile.pool_jobs as i64)),
+        ("pool_items".into(), Json::Int(profile.pool_items as i64)),
+        (
+            "pool_inline_jobs".into(),
+            Json::Int(profile.pool_inline_jobs as i64),
+        ),
+        (
+            "pool_fallback_jobs".into(),
+            Json::Int(profile.pool_fallback_jobs as i64),
+        ),
+        (
+            "pool_wait_ns".into(),
+            Json::Int(profile.pool_wait_ns as i64),
+        ),
+        (
+            "lock_wait_ns".into(),
+            Json::Int(profile.lock_wait_ns as i64),
+        ),
+        (
+            "lock_contentions".into(),
+            Json::Int(profile.lock_contentions as i64),
+        ),
     ])
 }
 
@@ -821,6 +872,15 @@ fn stats_result(shared: &Shared) -> Json {
             Json::Object(vec![
                 ("program".into(), Json::Str(session.key().to_string())),
                 ("stats".into(), cache_stats_json(&session.stats())),
+                // Additive in protocol v1: `null` until the program's
+                // first whole-program request completes.
+                (
+                    "profile".into(),
+                    session
+                        .last_profile()
+                        .map(|p| driver_profile_json(&p))
+                        .unwrap_or(Json::Null),
+                ),
             ])
         })
         .collect();

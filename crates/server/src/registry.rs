@@ -16,7 +16,8 @@
 //! counters between the two reads.
 
 use ompdart_core::{
-    Analysis, CacheStats, GcReport, Ompdart, ProgramAnalysis, ProgramError, StageError, UnitServe,
+    Analysis, CacheStats, DriverProfile, GcReport, Ompdart, ProgramAnalysis, ProgramError,
+    StageError, UnitServe,
 };
 use std::collections::HashMap;
 use std::path::PathBuf;
@@ -58,6 +59,10 @@ pub struct RequestStats {
     pub linked_hits: u64,
     /// Linked per-unit analyses that ran planning.
     pub linked_misses: u64,
+    /// Units served by the driver's identity fast path: unchanged content
+    /// under an unchanged imported surface, reusing the previous round's
+    /// analysis with no relocation, re-planning, or re-serialization.
+    pub fast_path_hits: u64,
 }
 
 impl RequestStats {
@@ -71,6 +76,7 @@ impl RequestStats {
             store_hits: after.store_hits - before.store_hits,
             linked_hits: after.linked_hits - before.linked_hits,
             linked_misses: after.linked_misses - before.linked_misses,
+            fast_path_hits: after.fast_path_hits - before.fast_path_hits,
         }
     }
 }
@@ -82,6 +88,9 @@ pub struct ProgramSession {
     key: String,
     tool: Ompdart,
     requests: Mutex<()>,
+    /// Driver profile of the most recent whole-program request, surfaced
+    /// through the daemon's `stats` verb.
+    last_profile: Mutex<Option<DriverProfile>>,
 }
 
 impl ProgramSession {
@@ -111,9 +120,21 @@ impl ProgramSession {
     ) -> Result<(ProgramAnalysis, RequestStats), ProgramError> {
         let _guard = self.enter();
         let before = self.tool.session().cache_stats();
-        let analysis = self.tool.analyze_program(units)?;
+        let (analysis, profile) = self.tool.analyze_program_profiled(units)?;
         let after = self.tool.session().cache_stats();
+        *self
+            .last_profile
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(profile);
         Ok((analysis, RequestStats::delta(&before, &after)))
+    }
+
+    /// The driver profile of the most recent whole-program request, if any.
+    pub fn last_profile(&self) -> Option<DriverProfile> {
+        *self
+            .last_profile
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     /// Single-unit analysis with the per-request [`UnitServe`] verdict and
@@ -198,6 +219,7 @@ impl ProgramRegistry {
             key: key.to_string(),
             tool: builder.build(),
             requests: Mutex::new(()),
+            last_profile: Mutex::new(None),
         });
         programs.insert(key.to_string(), Arc::clone(&session));
         session

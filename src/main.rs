@@ -49,7 +49,7 @@ USAGE:
     ompdart analyze <input.c> [-o <out.c>] [--plan-json <path|->] [--timings] [--simulate]
                     [--pessimistic-globals] [--lifetimes]
     ompdart analyze <a.c> <b.c>... [--out-dir <dir>] [--timings] [--pessimistic-globals]
-                    [--lifetimes] [--link-threads <N>]
+                    [--lifetimes] [--link-threads <N>] [--profile-json <path|->]
     ompdart explain <input.c> [--lifetimes]
     ompdart diff-plan <left> <right>
     ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>] [--pessimistic-globals]
@@ -84,7 +84,10 @@ SUBCOMMANDS:
                phase boundaries and perfect offload loop nests gain
                `collapse(n)`. --link-threads caps
                the link-stage wavefront workers (0 = auto); results are
-               byte-identical at every worker count.
+               byte-identical at every worker count. --profile-json
+               (multi-input) emits a driver profile — per-phase wall
+               time, per-unit plan percentiles, identity-fast-path unit
+               counts, pool and shard-lock counters — to a file or `-`.
     explain    Print one justified line per mapping construct: the
                OpenMP syntax, the dataflow fact that forced it, the
                deciding pipeline stage and source location.
@@ -197,11 +200,18 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut pessimistic_globals = false;
     let mut lifetimes = false;
     let mut link_threads = 0usize;
+    let mut profile_json: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "-o" | "--output" => {
                 output = Some(it.next().ok_or_else(|| format!("`{arg}` expects a path"))?);
+            }
+            "--profile-json" => {
+                profile_json = Some(
+                    it.next()
+                        .ok_or_else(|| format!("`{arg}` expects a path or `-`"))?,
+                );
             }
             "--out-dir" => {
                 out_dir = Some(it.next().ok_or("`--out-dir` expects a directory")?);
@@ -243,10 +253,14 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             pessimistic_globals,
             lifetimes,
             link_threads,
+            profile_json,
         );
     }
     if link_threads != 0 {
         return Err("`--link-threads` applies to multi-input (linked) analyze".into());
+    }
+    if profile_json.is_some() {
+        return Err("`--profile-json` applies to multi-input (linked) analyze".into());
     }
     if out_dir.is_some() {
         return Err("`--out-dir` applies to multi-input analyze; use `-o <out.c>`".into());
@@ -363,6 +377,7 @@ fn cmd_analyze_program(
     pessimistic_globals: bool,
     lifetimes: bool,
     link_threads: usize,
+    profile_json: Option<&str>,
 ) -> Result<ExitCode, String> {
     let pairs: Vec<(String, String)> = inputs
         .iter()
@@ -377,9 +392,18 @@ fn cmd_analyze_program(
         .link_threads(link_threads)
         .build();
     let start = Instant::now();
-    let program = tool
-        .analyze_program(&pairs)
+    let (program, profile) = tool
+        .analyze_program_profiled(&pairs)
         .map_err(|e| render_program_error(&pairs, &e))?;
+    match profile_json {
+        Some("-") => println!("{}", profile.to_json()),
+        Some(path) => {
+            std::fs::write(path, profile.to_json())
+                .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("wrote driver profile to {path}");
+        }
+        None => {}
+    }
 
     let mut failures = 0usize;
     let mut used_names: std::collections::HashSet<String> = std::collections::HashSet::new();
@@ -1346,15 +1370,34 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
                 };
                 println!(
                     "[client] {key}: analyses {} hit / {} miss, function plans {} reused / {} replanned, \
-                     relink re-seeded {}, store {} hit / {} miss",
+                     relink re-seeded {}, store {} hit / {} miss, fast path {}",
                     get("analysis_hits"),
                     get("analysis_misses"),
                     get("function_plan_hits"),
                     get("function_plan_misses"),
                     get("relink_reseeded_functions"),
                     get("store_hits"),
-                    get("store_misses")
+                    get("store_misses"),
+                    get("fast_path_hits")
                 );
+                if let Some(profile) = entry.get("profile").filter(|p| **p != Json::Null) {
+                    let us =
+                        |f: &str| profile.get(f).and_then(Json::as_int).unwrap_or(0) as f64 / 1e3;
+                    println!(
+                        "[client] {key}: last round: {} unit(s) ({} fast-pathed) in {:.3}ms \
+                         (summarize {:.3}ms, link {:.3}ms, plan {:.3}ms, flush {:.3}ms)",
+                        profile.get("units").and_then(Json::as_int).unwrap_or(0),
+                        profile
+                            .get("fast_path_units")
+                            .and_then(Json::as_int)
+                            .unwrap_or(0),
+                        us("total_us"),
+                        us("summarize_us"),
+                        us("link_us"),
+                        us("plan_us"),
+                        us("flush_us")
+                    );
+                }
             }
         }
         "check_plans" => {

@@ -463,3 +463,66 @@ fn sigterm_flushes_stores_and_a_restart_starts_warm() {
     client.shutdown().expect("shutdown");
     restarted.join();
 }
+
+/// Satellite: warm whole-program rounds report the identity fast path in
+/// the wire protocol. The repeat request's `request_stats.fast_path_hits`
+/// equals the unit count, and the `stats` verb's per-program entry carries
+/// the additive `profile` object with the same `fast_path_units` — `null`
+/// before the program's first whole-program request would have been.
+#[test]
+fn warm_rounds_report_fast_path_hits_over_the_wire() {
+    let _guard = daemon_lock();
+    let dir = scratch("fastpath");
+    let socket = dir.join("d.sock");
+    let handle = spawn_daemon(socket.clone(), None);
+    let units = lulesh_units();
+
+    let mut client = Client::connect(handle.endpoint()).expect("connect");
+    let cold = client.analyze_sources("lulesh", &units).expect("cold");
+    assert_eq!(
+        stat(&cold, "fast_path_hits"),
+        0,
+        "a cold round has no previous round to fast-path from: {cold:?}"
+    );
+
+    let warm = client.analyze_sources("lulesh", &units).expect("warm");
+    assert_eq!(
+        stat(&warm, "fast_path_hits"),
+        units.len() as i64,
+        "a warm unchanged round must serve every unit via the fast path: {warm:?}"
+    );
+    assert_eq!(stat(&warm, "function_plan_misses"), 0);
+    assert!(serves(&warm).iter().all(|s| s == "cached"));
+
+    // The stats verb surfaces the last round's driver profile.
+    let stats = client.stats().expect("stats");
+    let program = stats
+        .get("programs")
+        .and_then(Json::as_array)
+        .and_then(|p| p.first())
+        .expect("one live program");
+    let profile = program.get("profile").expect("profile field present");
+    assert_eq!(
+        profile.get("fast_path_units").and_then(Json::as_int),
+        Some(units.len() as i64),
+        "the profile must record the fast-path round: {profile:?}"
+    );
+    assert_eq!(
+        profile.get("units").and_then(Json::as_int),
+        Some(units.len() as i64)
+    );
+    assert!(
+        profile.get("total_us").and_then(Json::as_int).is_some(),
+        "the profile must carry phase timings: {profile:?}"
+    );
+    // Cumulative session counters also expose the fast path.
+    assert_eq!(
+        program
+            .get("stats")
+            .and_then(|s| s.get("fast_path_hits"))
+            .and_then(Json::as_int),
+        Some(units.len() as i64)
+    );
+    client.shutdown().expect("shutdown");
+    handle.join();
+}

@@ -751,3 +751,121 @@ fn linked_lulesh_preserves_program_output() {
     let after = simulate_source(&program.concatenated_rewrite(), SimConfig::default()).unwrap();
     assert_eq!(before.output, after.output);
 }
+
+/// The round-level identity fast path: re-analyzing a byte-identical
+/// program serves every unit from the previous round — zero function-plan
+/// misses, zero relocations (all units `Cached`), `fast_path_hits == N` —
+/// and the rewrites are byte-identical to the cold round.
+#[test]
+fn identity_fast_path_serves_unchanged_rounds_wholesale() {
+    let inputs = owned(&lulesh_multifile());
+    let session = Arc::new(AnalysisSession::new());
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    let cold = driver.analyze_program(&inputs).expect("cold link failed");
+
+    let before = session.cache_stats();
+    let (warm, profile) = driver
+        .analyze_program_profiled(&inputs)
+        .expect("warm round failed");
+    let after = session.cache_stats();
+
+    assert_eq!(
+        after.function_plan_misses - before.function_plan_misses,
+        0,
+        "a warm round must re-plan nothing"
+    );
+    assert_eq!(
+        after.fast_path_hits - before.fast_path_hits,
+        inputs.len() as u64,
+        "every unit must be served by the identity fast path"
+    );
+    assert!(
+        warm.served.iter().all(|s| *s == UnitServe::Cached),
+        "a warm round must relocate nothing: {:?}",
+        warm.served
+    );
+    assert_eq!(profile.units, inputs.len());
+    assert_eq!(profile.fast_path_units, inputs.len());
+    assert_eq!(
+        warm.concatenated_rewrite(),
+        cold.concatenated_rewrite(),
+        "the fast path must return byte-identical rewrites"
+    );
+    assert_eq!(warm.link_passes, cold.link_passes);
+
+    // The fast path keeps serving on every subsequent unchanged round.
+    let before = session.cache_stats();
+    driver.analyze_program(&inputs).expect("third round failed");
+    let after = session.cache_stats();
+    assert_eq!(
+        after.fast_path_hits - before.fast_path_hits,
+        inputs.len() as u64
+    );
+}
+
+/// The unit-level identity fast path on edit rounds: an
+/// interface-preserving edit to one unit leaves every *other* unit's
+/// content and imported surface unchanged, so those units bypass even the
+/// linked artifact cache and reuse the previous round's analyses outright.
+#[test]
+fn identity_fast_path_reuses_untouched_units_on_edit_rounds() {
+    let inputs = owned(&lulesh_multifile());
+    let session = Arc::new(AnalysisSession::new());
+    let driver = ProgramDriver::with_session(Arc::clone(&session));
+    driver.analyze_program(&inputs).expect("cold link failed");
+
+    let mut edited = inputs.clone();
+    edited[1].1 = edited[1].1.replacen(
+        "e[i] += (p[i] + q[i])",
+        "/* tweak */ e[i] += (p[i] + q[i])",
+        1,
+    );
+    assert_ne!(edited[1].1, inputs[1].1);
+
+    let before = session.cache_stats();
+    let (program, profile) = driver
+        .analyze_program_profiled(&edited)
+        .expect("edit round failed");
+    let after = session.cache_stats();
+
+    assert_eq!(
+        after.fast_path_hits - before.fast_path_hits,
+        (inputs.len() - 1) as u64,
+        "every unit but the edited one must ride the per-unit fast path"
+    );
+    assert_eq!(profile.fast_path_units, inputs.len() - 1);
+    assert_eq!(program.served[0], UnitServe::Cached);
+    assert_eq!(program.served[2], UnitServe::Cached);
+    assert!(matches!(program.served[1], UnitServe::Planned { .. }));
+
+    let cold = ProgramDriver::new().analyze_program(&edited).unwrap();
+    assert_eq!(program.concatenated_rewrite(), cold.concatenated_rewrite());
+}
+
+/// Byte-identity is pinned at every worker count: the same program linked
+/// with 1, 2, 4, and 8 threads — cold and warm — produces identical
+/// rewrites and link passes.
+#[test]
+fn results_are_byte_identical_at_every_thread_count() {
+    let inputs = owned(&lulesh_multifile());
+    let reference = ProgramDriver::new()
+        .with_threads(1)
+        .analyze_program(&inputs)
+        .expect("reference link failed");
+    for threads in [2usize, 4, 8] {
+        let driver = ProgramDriver::new().with_threads(threads);
+        let cold = driver.analyze_program(&inputs).expect("cold link failed");
+        assert_eq!(
+            cold.concatenated_rewrite(),
+            reference.concatenated_rewrite(),
+            "cold link at {threads} threads must match the sequential result"
+        );
+        assert_eq!(cold.link_passes, reference.link_passes);
+        let warm = driver.analyze_program(&inputs).expect("warm round failed");
+        assert_eq!(
+            warm.concatenated_rewrite(),
+            reference.concatenated_rewrite(),
+            "warm round at {threads} threads must match the sequential result"
+        );
+    }
+}
