@@ -23,11 +23,17 @@
 //! `link-scale` job snapshots.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use ompdart_bench::alloc_counter;
 use ompdart_core::{AnalysisSession, OmpDartOptions, Program, ProgramDriver};
 use ompdart_suite::corpus;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
+
+// Count every allocator call the whole run makes; the cold round is
+// bracketed with snapshots to report `allocs_per_unit_cold`.
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAllocator = alloc_counter::CountingAllocator;
 
 fn corpus_units() -> usize {
     std::env::var("LINK_SCALE_UNITS")
@@ -84,9 +90,24 @@ fn bench(c: &mut Criterion) {
     // --- Driver trajectory: cold, warm, one-function edit. -------------
     let session = Arc::new(AnalysisSession::with_options(options));
     let driver = ProgramDriver::with_session(Arc::clone(&session));
+    let stage_before = session.timings();
+    let alloc_before = alloc_counter::snapshot();
     let t = Instant::now();
-    let cold = driver.analyze_program(&inputs).unwrap();
+    let (cold, cold_profile) = driver.analyze_program_profiled(&inputs).unwrap();
     let cold_ms = t.elapsed().as_secs_f64() * 1e3;
+    let cold_allocs = alloc_counter::snapshot().since(&alloc_before);
+    let allocs_per_unit_cold = cold_allocs.allocations as f64 / n as f64;
+    let alloc_kb_per_unit_cold = cold_allocs.bytes as f64 / 1024.0 / n as f64;
+    // Per-phase cold breakdown: parse from the session's per-stage
+    // accumulator (CPU time summed over units), the rest from the driver
+    // profile (wall time of each phase).
+    let stage_delta = {
+        let mut now = session.timings();
+        let before = stage_before;
+        now.parse -= before.parse;
+        now
+    };
+    let cold_parse_ms = stage_delta.parse.as_secs_f64() * 1e3;
     let linked_fallbacks = cold.stats().unknown_callee_fallbacks;
     let cold_rewrite = cold.concatenated_rewrite();
 
@@ -111,7 +132,7 @@ fn bench(c: &mut Criterion) {
     let edited_fn = corpus::edit_one_function(&mut edited, edit_at);
     let before = session.cache_stats();
     let t = Instant::now();
-    let edit_round = driver.analyze_program(&edited).unwrap();
+    let (edit_round, edit_profile) = driver.analyze_program_profiled(&edited).unwrap();
     let edit_ms = t.elapsed().as_secs_f64() * 1e3;
     let after = session.cache_stats();
     let reseeded = after.relink_reseeded_functions - before.relink_reseeded_functions;
@@ -124,8 +145,11 @@ fn bench(c: &mut Criterion) {
          cold_link={cold_link_ms:.3}ms cold={cold_ms:.3}ms warm_relink={warm_ms:.3}ms \
          one_edit={edit_ms:.3}ms edited_fn={edited_fn} \
          relink_reseeded={reseeded} cone_bound={cone_bound} \
-         linked_fallbacks={linked_fallbacks} fast_path_units={}",
-        warm_profile.fast_path_units
+         linked_fallbacks={linked_fallbacks} fast_path_units={} \
+         allocs_per_unit_cold={allocs_per_unit_cold:.0} \
+         pool_workers={}",
+        warm_profile.fast_path_units,
+        cold_profile.pool_workers
     );
 
     assert_eq!(
@@ -189,17 +213,42 @@ fn bench(c: &mut Criterion) {
     }
     let sweep_json = sweep_json.trim_end_matches(",\n").to_string();
 
+    let phase_json = |profile: &ompdart_core::DriverProfile, parse_ms: Option<f64>| {
+        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+        let parse = parse_ms
+            .map(|p| format!("\"parse_ms\": {p:.3}, "))
+            .unwrap_or_default();
+        format!(
+            "{{ {parse}\"summarize_ms\": {:.3}, \"link_ms\": {:.3}, \
+             \"plan_ms\": {:.3}, \"flush_ms\": {:.3}, \"total_ms\": {:.3}, \
+             \"fast_path_units\": {} }}",
+            ms(profile.summarize),
+            ms(profile.link),
+            ms(profile.plan),
+            ms(profile.flush),
+            ms(profile.total),
+            profile.fast_path_units
+        )
+    };
     let json = format!(
         "{{\n  \"bench\": \"link_scale\",\n  \"units\": {n},\n  \"threads\": {threads},\n  \
+         \"pool_workers\": {},\n  \
          \"engine\": {{\n    \"sequential_ms\": {sequential_ms:.3},\n    \
          \"parallel_ms\": {parallel_ms:.3},\n    \"speedup\": {speedup:.2},\n    \
          \"identical\": true\n  }},\n  \"driver\": {{\n    \
          \"cold_link_ms\": {cold_link_ms:.3},\n    \"cold_analyze_ms\": {cold_ms:.3},\n    \
          \"warm_relink_ms\": {warm_ms:.3},\n    \"one_edit_ms\": {edit_ms:.3},\n    \
+         \"allocs_per_unit_cold\": {allocs_per_unit_cold:.0},\n    \
+         \"alloc_kb_per_unit_cold\": {alloc_kb_per_unit_cold:.1},\n    \
+         \"cold_phases\": {},\n    \
+         \"one_edit_phases\": {},\n    \
          \"relink_reseeded_functions\": {reseeded},\n    \
          \"dirty_cone_bound\": {cone_bound},\n    \
          \"linked_fallbacks\": {linked_fallbacks}\n  }},\n  \
          \"warm_profile\": {},\n  \"sweep\": [\n{sweep_json}\n  ]\n}}\n",
+        cold_profile.pool_workers,
+        phase_json(&cold_profile, Some(cold_parse_ms)),
+        phase_json(&edit_profile, None),
         warm_profile.to_json().trim_end()
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_link_scale.json");

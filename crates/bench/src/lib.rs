@@ -3,6 +3,8 @@
 use ompdart_core::pipeline::StageTimings;
 use ompdart_suite::all_benchmarks;
 
+pub mod alloc_counter;
+
 /// The nine unoptimized benchmark sources as `(name, source)` pairs — the
 /// batch corpus the throughput benches push through a `BatchDriver`.
 pub fn corpus() -> Vec<(String, String)> {

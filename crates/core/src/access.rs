@@ -9,6 +9,7 @@
 
 use ompdart_frontend::ast::*;
 use ompdart_frontend::source::Span;
+use ompdart_frontend::Symbol;
 use ompdart_graph::StmtIndex;
 use std::collections::{HashMap, HashSet};
 
@@ -64,14 +65,14 @@ pub enum AccessOrigin {
     /// Synthesized from the interprocedural summary of a known callee.
     /// `cross_unit` is true when the callee's definition lives in another
     /// translation unit of a linked whole-program analysis.
-    Callee { callee: String, cross_unit: bool },
+    Callee { callee: Symbol, cross_unit: bool },
     /// Synthesized from the maximally pessimistic fallback for a callee
     /// whose definition is not visible (at best a prototype).
     /// `clobbers_global` is true when the access models the opt-in
     /// "unknown callees clobber globals" mode rather than the default
     /// by-reference-argument fallback.
     UnknownCallee {
-        callee: String,
+        callee: Symbol,
         clobbers_global: bool,
     },
 }
@@ -79,7 +80,7 @@ pub enum AccessOrigin {
 /// One classified memory access.
 #[derive(Clone, Debug)]
 pub struct Access {
-    pub var: String,
+    pub var: Symbol,
     pub kind: AccessKind,
     /// Statement in which the access occurs.
     pub stmt: NodeId,
@@ -98,7 +99,7 @@ pub struct Access {
 /// (Section IV-C) expands these into the callee's side effects.
 #[derive(Clone, Debug)]
 pub struct CallSite {
-    pub callee: String,
+    pub callee: Symbol,
     pub stmt: NodeId,
     pub on_device: bool,
     pub span: Span,
@@ -111,17 +112,17 @@ pub struct CallSite {
 /// One argument of a call site.
 #[derive(Clone, Debug)]
 pub struct CallArg {
-    pub base_var: Option<String>,
+    pub base_var: Option<Symbol>,
     pub by_ref: bool,
 }
 
 /// Lightweight per-function symbol table (parameters, locals, globals).
 #[derive(Clone, Debug, Default)]
 pub struct SymbolTable {
-    vars: HashMap<String, Type>,
-    params: HashSet<String>,
-    const_pointee_params: HashSet<String>,
-    globals: HashSet<String>,
+    vars: HashMap<Symbol, Type>,
+    params: HashSet<Symbol>,
+    const_pointee_params: HashSet<Symbol>,
+    globals: HashSet<Symbol>,
 }
 
 impl SymbolTable {
@@ -129,14 +130,14 @@ impl SymbolTable {
     pub fn build(unit: &TranslationUnit, func: &FunctionDef) -> SymbolTable {
         let mut table = SymbolTable::default();
         for g in unit.globals() {
-            table.vars.insert(g.name.clone(), g.ty.clone());
-            table.globals.insert(g.name.clone());
+            table.vars.insert(g.name, g.ty.clone());
+            table.globals.insert(g.name);
         }
         for p in &func.params {
-            table.vars.insert(p.name.clone(), p.ty.clone());
-            table.params.insert(p.name.clone());
+            table.vars.insert(p.name, p.ty.clone());
+            table.params.insert(p.name);
             if p.is_const_pointee {
-                table.const_pointee_params.insert(p.name.clone());
+                table.const_pointee_params.insert(p.name);
             }
         }
         if let Some(body) = &func.body {
@@ -150,10 +151,7 @@ impl SymbolTable {
                     _ => Vec::new(),
                 };
                 for d in decls {
-                    table
-                        .vars
-                        .entry(d.name.clone())
-                        .or_insert_with(|| d.ty.clone());
+                    table.vars.entry(d.name).or_insert_with(|| d.ty.clone());
                 }
             });
         }
@@ -161,54 +159,55 @@ impl SymbolTable {
     }
 
     /// The declared type of a variable, if known.
-    pub fn type_of(&self, name: &str) -> Option<&Type> {
-        self.vars.get(name)
+    pub fn type_of(&self, name: impl Into<Symbol>) -> Option<&Type> {
+        self.vars.get(&name.into())
     }
 
     /// True if the variable's data is an aggregate OpenMP would map as a
     /// block (array, struct, or pointer target).
-    pub fn is_aggregate(&self, name: &str) -> bool {
+    pub fn is_aggregate(&self, name: impl Into<Symbol>) -> bool {
         self.type_of(name)
             .map(|t| t.is_mappable_aggregate())
             .unwrap_or(false)
     }
 
     /// True for plain scalar variables.
-    pub fn is_scalar(&self, name: &str) -> bool {
+    pub fn is_scalar(&self, name: impl Into<Symbol>) -> bool {
         self.type_of(name).map(|t| t.is_scalar()).unwrap_or(false)
     }
 
     /// True for pointer-typed variables (mapping them requires an array
     /// section because the extent is not part of the type).
-    pub fn is_pointer(&self, name: &str) -> bool {
+    pub fn is_pointer(&self, name: impl Into<Symbol>) -> bool {
         self.type_of(name).map(|t| t.is_pointer()).unwrap_or(false)
     }
 
     /// True if the variable is a function parameter.
-    pub fn is_param(&self, name: &str) -> bool {
-        self.params.contains(name)
+    pub fn is_param(&self, name: impl Into<Symbol>) -> bool {
+        self.params.contains(&name.into())
     }
 
     /// True if the parameter points to `const` data.
-    pub fn is_const_pointee_param(&self, name: &str) -> bool {
-        self.const_pointee_params.contains(name)
+    pub fn is_const_pointee_param(&self, name: impl Into<Symbol>) -> bool {
+        self.const_pointee_params.contains(&name.into())
     }
 
     /// True if the variable is a global.
-    pub fn is_global(&self, name: &str) -> bool {
-        self.globals.contains(name)
+    pub fn is_global(&self, name: impl Into<Symbol>) -> bool {
+        self.globals.contains(&name.into())
     }
 
     /// True if the variable's lifetime extends beyond the function (globals
     /// and data reachable through parameters) so that device-written values
     /// must be copied back before the function returns.
-    pub fn escapes(&self, name: &str) -> bool {
+    pub fn escapes(&self, name: impl Into<Symbol>) -> bool {
+        let name = name.into();
         self.is_global(name) || (self.is_param(name) && self.is_aggregate(name))
     }
 
     /// All known variable names.
-    pub fn names(&self) -> impl Iterator<Item = &String> {
-        self.vars.keys()
+    pub fn names(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.vars.keys().copied()
     }
 }
 
@@ -216,10 +215,59 @@ impl SymbolTable {
 /// sites.
 #[derive(Clone, Debug, Default)]
 pub struct FunctionAccesses {
-    pub function: String,
+    pub function: Symbol,
     pub accesses: Vec<Access>,
     pub calls: Vec<CallSite>,
-    by_stmt: HashMap<NodeId, Vec<usize>>,
+    by_stmt: HashMap<NodeId, StmtIndices>,
+}
+
+/// Access-index list of one statement: up to [`STMT_IDX_INLINE`] entries
+/// live inline, so typical statements cost no heap allocation for their
+/// side table — and, crucially, neither does *cloning* it, which the plan
+/// stage does once per function per round to layer synthetic call-effect
+/// accesses over the cached artifact.
+const STMT_IDX_INLINE: usize = 6;
+
+#[derive(Clone, Debug)]
+enum StmtIndices {
+    Inline { len: u8, buf: [u32; STMT_IDX_INLINE] },
+    Spilled(Vec<u32>),
+}
+
+impl Default for StmtIndices {
+    fn default() -> StmtIndices {
+        StmtIndices::Inline {
+            len: 0,
+            buf: [0; STMT_IDX_INLINE],
+        }
+    }
+}
+
+impl StmtIndices {
+    fn push(&mut self, idx: usize) {
+        let idx = idx as u32;
+        match self {
+            StmtIndices::Inline { len, buf } => {
+                if (*len as usize) < STMT_IDX_INLINE {
+                    buf[*len as usize] = idx;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(STMT_IDX_INLINE * 2);
+                    spilled.extend_from_slice(&buf[..]);
+                    spilled.push(idx);
+                    *self = StmtIndices::Spilled(spilled);
+                }
+            }
+            StmtIndices::Spilled(spilled) => spilled.push(idx),
+        }
+    }
+
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            StmtIndices::Inline { len, buf } => &buf[..*len as usize],
+            StmtIndices::Spilled(spilled) => spilled,
+        }
+    }
 }
 
 impl FunctionAccesses {
@@ -230,7 +278,7 @@ impl FunctionAccesses {
         symbols: &SymbolTable,
     ) -> FunctionAccesses {
         let mut out = FunctionAccesses {
-            function: func.name.clone(),
+            function: func.name,
             ..Default::default()
         };
         if let Some(body) = &func.body {
@@ -267,7 +315,7 @@ impl FunctionAccesses {
     /// ([`crate::relocate`]) when a cached artifact is rebased onto the
     /// coordinates of a fresh parse.
     pub fn from_parts(
-        function: String,
+        function: Symbol,
         accesses: Vec<Access>,
         calls: Vec<CallSite>,
     ) -> FunctionAccesses {
@@ -292,19 +340,21 @@ impl FunctionAccesses {
     }
 
     /// Accesses performed by a specific statement.
-    pub fn for_stmt(&self, id: NodeId) -> Vec<&Access> {
+    pub fn for_stmt(&self, id: NodeId) -> impl Iterator<Item = &Access> + '_ {
         self.by_stmt
             .get(&id)
-            .map(|v| v.iter().map(|i| &self.accesses[*i]).collect())
-            .unwrap_or_default()
+            .map(StmtIndices::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(|i| &self.accesses[*i as usize])
     }
 
     /// Names of variables accessed inside offloaded regions.
-    pub fn device_vars(&self) -> Vec<String> {
+    pub fn device_vars(&self) -> Vec<Symbol> {
         let mut out = Vec::new();
         for a in self.accesses.iter().filter(|a| a.on_device) {
             if !out.contains(&a.var) {
-                out.push(a.var.clone());
+                out.push(a.var);
             }
         }
         out
@@ -340,9 +390,9 @@ struct Classifier<'a> {
 }
 
 impl Classifier<'_> {
-    fn record(&mut self, var: &str, kind: AccessKind, span: Span, indices: Vec<Expr>) {
+    fn record(&mut self, var: Symbol, kind: AccessKind, span: Span, indices: Vec<Expr>) {
         self.out.accesses.push(Access {
-            var: var.to_string(),
+            var,
             kind,
             stmt: self.stmt,
             on_device: self.on_device,
@@ -362,18 +412,18 @@ impl Classifier<'_> {
                 } else {
                     AccessKind::Read
                 };
-                self.record(name, kind, expr.span, Vec::new());
+                self.record(*name, kind, expr.span, Vec::new());
             }
             ExprKind::Index { .. } => {
                 let (base, indices) = flatten_subscripts(expr);
-                if let Some(var) = base.and_then(|b| b.base_variable().map(|s| s.to_string())) {
+                if let Some(var) = base.and_then(|b| b.base_symbol()) {
                     let kind = if writing {
                         AccessKind::Write
                     } else {
                         AccessKind::Read
                     };
                     self.record(
-                        &var,
+                        var,
                         kind,
                         expr.span,
                         indices.iter().map(|e| (*e).clone()).collect(),
@@ -384,21 +434,19 @@ impl Classifier<'_> {
                 }
             }
             ExprKind::Member { base, .. } => {
-                if let Some(var) = base.base_variable() {
+                if let Some(var) = base.base_symbol() {
                     let kind = if writing {
                         AccessKind::Write
                     } else {
                         AccessKind::Read
                     };
-                    let var = var.to_string();
-                    self.record(&var, kind, expr.span, Vec::new());
+                    self.record(var, kind, expr.span, Vec::new());
                 }
             }
             ExprKind::Unary { op, operand, .. } => match op {
                 UnaryOp::Inc | UnaryOp::Dec => {
-                    if let Some(var) = operand.base_variable() {
-                        let var = var.to_string();
-                        self.record(&var, AccessKind::ReadWrite, expr.span, Vec::new());
+                    if let Some(var) = operand.base_symbol() {
+                        self.record(var, AccessKind::ReadWrite, expr.span, Vec::new());
                     }
                     // Subscript indices inside the operand are reads.
                     if let ExprKind::Index { .. } = &operand.kind {
@@ -409,14 +457,13 @@ impl Classifier<'_> {
                     }
                 }
                 UnaryOp::Deref => {
-                    if let Some(var) = operand.base_variable() {
+                    if let Some(var) = operand.base_symbol() {
                         let kind = if writing {
                             AccessKind::Write
                         } else {
                             AccessKind::Read
                         };
-                        let var = var.to_string();
-                        self.record(&var, kind, expr.span, Vec::new());
+                        self.record(var, kind, expr.span, Vec::new());
                     }
                     self.classify(operand, false);
                 }
@@ -424,9 +471,8 @@ impl Classifier<'_> {
                     // Taking an address is not by itself an access; if the
                     // address escapes through a call the call site handles
                     // it. A bare `&x` elsewhere is treated as unknown.
-                    if let Some(var) = operand.base_variable() {
-                        let var = var.to_string();
-                        self.record(&var, AccessKind::Unknown, expr.span, Vec::new());
+                    if let Some(var) = operand.base_symbol() {
+                        self.record(var, AccessKind::Unknown, expr.span, Vec::new());
                     }
                 }
                 _ => self.classify(operand, false),
@@ -442,11 +488,9 @@ impl Classifier<'_> {
                 match &lhs.kind {
                     ExprKind::Index { .. } => {
                         let (base, indices) = flatten_subscripts(lhs);
-                        if let Some(var) =
-                            base.and_then(|b| b.base_variable().map(|s| s.to_string()))
-                        {
+                        if let Some(var) = base.and_then(|b| b.base_symbol()) {
                             self.record(
-                                &var,
+                                var,
                                 kind,
                                 lhs.span,
                                 indices.iter().map(|e| (*e).clone()).collect(),
@@ -457,9 +501,8 @@ impl Classifier<'_> {
                         }
                     }
                     _ => {
-                        if let Some(var) = lhs.base_variable() {
-                            let var = var.to_string();
-                            self.record(&var, kind, lhs.span, Vec::new());
+                        if let Some(var) = lhs.base_symbol() {
+                            self.record(var, kind, lhs.span, Vec::new());
                         }
                     }
                 }
@@ -482,7 +525,7 @@ impl Classifier<'_> {
                     call_args.push(CallArg { base_var, by_ref });
                 }
                 self.out.calls.push(CallSite {
-                    callee: callee.clone(),
+                    callee: *callee,
                     stmt: self.stmt,
                     on_device: self.on_device,
                     span: *callee_span,
@@ -541,24 +584,23 @@ fn flatten_subscripts(expr: &Expr) -> (Option<&Expr>, Vec<&Expr>) {
 
 /// Determine whether an argument passes data by reference and which variable
 /// it is rooted at.
-fn argument_info(arg: &Expr, symbols: &SymbolTable) -> (Option<String>, bool) {
+fn argument_info(arg: &Expr, symbols: &SymbolTable) -> (Option<Symbol>, bool) {
     match &arg.kind {
         ExprKind::Unary {
             op: UnaryOp::AddrOf,
             operand,
             ..
-        } => (operand.base_variable().map(|s| s.to_string()), true),
+        } => (operand.base_symbol(), true),
         ExprKind::Ident(name) => {
-            let by_ref = symbols.is_aggregate(name);
-            (Some(name.clone()), by_ref)
+            let by_ref = symbols.is_aggregate(*name);
+            (Some(*name), by_ref)
         }
         ExprKind::Index { .. } => {
             // Passing `a[i]` or a row `grid[i]` of a multidimensional array:
             // by reference when the element itself is still an aggregate.
             let (base, indices) = flatten_subscripts(arg);
-            let var = base.and_then(|b| b.base_variable().map(|s| s.to_string()));
+            let var = base.and_then(|b| b.base_symbol());
             let by_ref = var
-                .as_deref()
                 .and_then(|v| symbols.type_of(v))
                 .map(|t| {
                     // count array/pointer levels deeper than the subscripts
@@ -574,7 +616,7 @@ fn argument_info(arg: &Expr, symbols: &SymbolTable) -> (Option<String>, bool) {
             (var, by_ref)
         }
         ExprKind::Cast { expr, .. } | ExprKind::Paren(expr) => argument_info(expr, symbols),
-        _ => (arg.base_variable().map(|s| s.to_string()), false),
+        _ => (arg.base_symbol(), false),
     }
 }
 
@@ -627,10 +669,10 @@ void compute(int n) {
     fn device_vars_exclude_host_only() {
         let (acc, _sym) = collect(KERNEL_SRC, "compute");
         let dv = acc.device_vars();
-        assert!(dv.contains(&"a".to_string()));
-        assert!(dv.contains(&"b".to_string()));
-        assert!(dv.contains(&"i".to_string()) || dv.contains(&"n".to_string()));
-        assert!(!dv.contains(&"s".to_string()));
+        assert!(dv.iter().any(|v| v == "a"));
+        assert!(dv.iter().any(|v| v == "b"));
+        assert!(dv.iter().any(|v| v == "i") || dv.iter().any(|v| v == "n"));
+        assert!(!dv.iter().any(|v| v == "s"));
     }
 
     #[test]
@@ -768,7 +810,7 @@ void f(struct conf *c, double *out) {
         let (acc, _) = collect(KERNEL_SRC, "compute");
         // Every recorded access is retrievable through its statement id.
         for a in &acc.accesses {
-            assert!(acc.for_stmt(a.stmt).iter().any(|x| x.var == a.var));
+            assert!(acc.for_stmt(a.stmt).any(|x| x.var == a.var));
         }
     }
 }

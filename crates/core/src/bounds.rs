@@ -81,7 +81,7 @@ pub fn loop_bounds(stmt: &Stmt) -> Option<LoopBounds> {
                 Some(Init::Expr(e)) => Some(e.clone()),
                 _ => None,
             };
-            (d.name.clone(), lower)
+            (d.name.to_string(), lower)
         }
         Some(ForInit::Expr(e)) => match &e.kind {
             ExprKind::Assign {

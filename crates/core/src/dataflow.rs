@@ -27,6 +27,7 @@ use crate::plan::ir::{
 };
 use crate::program::ExternalRefs;
 use ompdart_frontend::ast::*;
+use ompdart_frontend::Symbol;
 use ompdart_frontend::diag::Diagnostics;
 use ompdart_frontend::omp::{Clause, MapType};
 use ompdart_frontend::source::Span;
@@ -159,7 +160,7 @@ fn provenance_for(
 /// the placement decision plus the access that forced it.
 #[derive(Clone, Debug)]
 struct UpdateDecision {
-    var: String,
+    var: Symbol,
     direction: UpdateDirection,
     anchor: NodeId,
     placement: Placement,
@@ -212,12 +213,12 @@ pub fn plan_function_linked(
     let decl_stmts = local_decl_stmts(body);
     let kernel_local = kernel_local_decl_names(body, index);
     let kernel_private = clause_private_vars(body);
-    let mut device_vars: Vec<String> = Vec::new();
+    let mut device_vars: Vec<Symbol> = Vec::new();
     for var in accesses.device_vars() {
-        if symbols.type_of(&var).is_none() {
+        if symbols.type_of(var).is_none() {
             continue; // macro constants and unknown identifiers
         }
-        if kernel_private.contains(&var) {
+        if kernel_private.contains(var.as_str()) {
             continue; // reduction/private clauses own the data movement
         }
         if kernel_local.contains(&var) {
@@ -227,14 +228,14 @@ pub fn plan_function_linked(
     }
 
     // firstprivate optimization: read-only scalars become kernel arguments.
-    let mut firstprivate_vars: Vec<String> = Vec::new();
-    let mut mapped_vars: Vec<String> = Vec::new();
+    let mut firstprivate_vars: Vec<Symbol> = Vec::new();
+    let mut mapped_vars: Vec<Symbol> = Vec::new();
     for var in &device_vars {
         let scalar = symbols.is_scalar(var);
-        if scalar && accesses.device_read_only(var) && options.firstprivate_optimization {
-            firstprivate_vars.push(var.clone());
+        if scalar && accesses.device_read_only(var.as_str()) && options.firstprivate_optimization {
+            firstprivate_vars.push(*var);
         } else {
-            mapped_vars.push(var.clone());
+            mapped_vars.push(*var);
         }
     }
 
@@ -280,10 +281,10 @@ pub fn plan_function_linked(
         accesses,
         index,
         options,
-        mapped: mapped_vars.iter().cloned().collect(),
+        mapped: mapped_vars.iter().copied().collect(),
         state: mapped_vars
             .iter()
-            .map(|v| (v.clone(), VarState::default()))
+            .map(|v| (*v, VarState::default()))
             .collect(),
         loop_stack: Vec::new(),
         to_entry: HashMap::new(),
@@ -306,8 +307,8 @@ pub fn plan_function_linked(
     // host reads): their deciding statement is the device write that makes
     // the escaping data dirty. Demotions are recorded so the plan can
     // explain them (`DeadExitCopy`).
-    let mut escape_exit: HashMap<String, Option<NodeId>> = HashMap::new();
-    let mut demoted: HashMap<String, Option<NodeId>> = HashMap::new();
+    let mut escape_exit: HashMap<Symbol, Option<NodeId>> = HashMap::new();
+    let mut demoted: HashMap<Symbol, Option<NodeId>> = HashMap::new();
     for var in &mapped_vars {
         let st = &walker.state[var];
         if !st.host_valid && symbols.escapes(var) && !walker.from_exit.contains_key(var) {
@@ -317,13 +318,13 @@ pub fn plan_function_linked(
                 accesses,
                 index,
                 region_start,
-                var,
+                *var,
                 symbols,
                 extern_refs,
             ) {
-                escape_exit.insert(var.clone(), st.last_dev_writer);
+                escape_exit.insert(*var, st.last_dev_writer);
             } else {
-                demoted.insert(var.clone(), st.last_dev_writer);
+                demoted.insert(*var, st.last_dev_writer);
             }
         }
     }
@@ -335,7 +336,7 @@ pub fn plan_function_linked(
     let span_of = |id: NodeId| index.info(id).map(|i| i.span);
 
     let mut plan = MappingPlan {
-        function: func.name.clone(),
+        function: func.name.to_string(),
         region_start: Some(region_start),
         region_end: Some(region_end),
         attach_to_kernel,
@@ -420,7 +421,7 @@ pub fn plan_function_linked(
             }
         };
         let section_length = if symbols.is_pointer(var) {
-            pointer_section_length(var, accesses, index, &loop_map)
+            pointer_section_length(*var, accesses, index, &loop_map)
         } else {
             None
         };
@@ -446,7 +447,7 @@ pub fn plan_function_linked(
             let to_deciding = to_entry.get(var);
             let enter = match map_type {
                 MapType::To | MapType::ToFrom => EnterDataSpec {
-                    var: var.clone(),
+                    var: var.to_string(),
                     map_type: MapType::To,
                     anchor: region_start,
                     placement: Placement::Before,
@@ -462,7 +463,7 @@ pub fn plan_function_linked(
                     ),
                 },
                 _ => EnterDataSpec {
-                    var: var.clone(),
+                    var: var.to_string(),
                     map_type: MapType::Alloc,
                     anchor: region_start,
                     placement: Placement::Before,
@@ -498,7 +499,7 @@ pub fn plan_function_linked(
                         ),
                     };
                     Some(ExitDataSpec {
-                        var: var.clone(),
+                        var: var.to_string(),
                         map_type: MapType::From,
                         anchor: region_end,
                         placement: Placement::After,
@@ -512,7 +513,7 @@ pub fn plan_function_linked(
                     })
                 }
                 MapType::Alloc => Some(ExitDataSpec {
-                    var: var.clone(),
+                    var: var.to_string(),
                     map_type: MapType::Delete,
                     anchor: region_end,
                     placement: Placement::After,
@@ -530,7 +531,7 @@ pub fn plan_function_linked(
                     ),
                 }),
                 MapType::To => Some(ExitDataSpec {
-                    var: var.clone(),
+                    var: var.to_string(),
                     map_type: MapType::Release,
                     anchor: region_end,
                     placement: Placement::After,
@@ -550,7 +551,7 @@ pub fn plan_function_linked(
             plan.exit_data.extend(exit);
         } else {
             plan.maps.push(MapSpec {
-                var: var.clone(),
+                var: var.to_string(),
                 map_type,
                 section_length,
                 provenance,
@@ -567,8 +568,8 @@ pub fn plan_function_linked(
             deciding,
             fact,
         } = decision;
-        let section_length = if symbols.is_pointer(&var) {
-            pointer_section_length(&var, accesses, index, &loop_map)
+        let section_length = if symbols.is_pointer(var) {
+            pointer_section_length(var, accesses, index, &loop_map)
         } else {
             None
         };
@@ -582,7 +583,7 @@ pub fn plan_function_linked(
         };
         let provenance = provenance_for(fact, span_of(deciding.stmt), detail, Some(&deciding));
         plan.updates.push(UpdateSpec {
-            var,
+            var: var.to_string(),
             direction,
             anchor,
             placement,
@@ -605,7 +606,7 @@ pub fn plan_function_linked(
             if let Some(deciding) = deciding {
                 plan.firstprivate.push(FirstPrivateSpec {
                     kernel: *kernel,
-                    var: var.clone(),
+                    var: var.to_string(),
                     provenance: Provenance::at_stage(
                         Stage::Accesses,
                         ProvenanceFact::ReadOnlyInRegion,
@@ -704,15 +705,15 @@ fn sole_inner_for(body: &Stmt) -> Option<&Stmt> {
 }
 
 /// The induction variable of a `for` loop, from its init clause.
-fn induction_var(stmt: &Stmt) -> Option<String> {
+fn induction_var(stmt: &Stmt) -> Option<Symbol> {
     let StmtKind::For { init: Some(fi), .. } = &stmt.kind else {
         return None;
     };
     match fi.as_ref() {
-        ForInit::Decl(decls) => decls.first().map(|d| d.name.clone()),
+        ForInit::Decl(decls) => decls.first().map(|d| d.name),
         ForInit::Expr(e) => match &e.kind {
             ExprKind::Assign { lhs, .. } => match &lhs.kind {
-                ExprKind::Ident(name) => Some(name.clone()),
+                ExprKind::Ident(name) => Some(*name),
                 _ => None,
             },
             _ => None,
@@ -722,11 +723,11 @@ fn induction_var(stmt: &Stmt) -> Option<String> {
 
 /// Every variable referenced in a `for` loop's header (init, condition,
 /// increment).
-fn for_header_vars(stmt: &Stmt) -> HashSet<String> {
+fn for_header_vars(stmt: &Stmt) -> HashSet<Symbol> {
     let mut out = HashSet::new();
     if matches!(stmt.kind, StmtKind::For { .. }) {
         for e in stmt.direct_exprs() {
-            out.extend(e.referenced_vars());
+            out.extend(e.referenced_symbols());
         }
     }
     out
@@ -793,7 +794,7 @@ fn may_be_read_after_region(
     accesses: &FunctionAccesses,
     index: &StmtIndex,
     region_start: NodeId,
-    var: &str,
+    var: Symbol,
     symbols: &SymbolTable,
     extern_refs: Option<&ExternalRefs>,
 ) -> bool {
@@ -836,23 +837,23 @@ fn may_be_read_after_region(
     // the link stage exported their referenced-variable sets.
     extern_refs.is_some_and(|refs| {
         refs.iter()
-            .any(|(name, vars)| name != &func.name && vars.contains(var))
+            .any(|(name, vars)| func.name != name.as_str() && vars.contains(var.as_str()))
     })
 }
 
 /// True if `var` appears under `stmt` in a way that can create an alias or
 /// consume the whole object: any occurrence that is not the direct base of
 /// an element access (`var[i]...`) or member access (`var.field`).
-fn stmt_has_aliasing_use(stmt: &Stmt, var: &str) -> bool {
-    fn init_has(init: &Init, var: &str) -> bool {
+fn stmt_has_aliasing_use(stmt: &Stmt, var: Symbol) -> bool {
+    fn init_has(init: &Init, var: Symbol) -> bool {
         match init {
             Init::Expr(e) => expr_has(e, var),
             Init::List(items) => items.iter().any(|i| init_has(i, var)),
         }
     }
-    fn expr_has(e: &Expr, var: &str) -> bool {
+    fn expr_has(e: &Expr, var: Symbol) -> bool {
         match &e.kind {
-            ExprKind::Ident(name) => name == var,
+            ExprKind::Ident(name) => *name == var,
             ExprKind::Index { base, index } => {
                 // `var[i]` touches an element, not the object as a whole;
                 // anything else in base position recurses normally.
@@ -870,7 +871,7 @@ fn stmt_has_aliasing_use(stmt: &Stmt, var: &str) -> bool {
                 op: UnaryOp::AddrOf,
                 operand,
                 ..
-            } => operand.referenced_vars().iter().any(|v| v == var),
+            } => operand.referenced_symbols().contains(&var),
             ExprKind::Unary { operand, .. } => expr_has(operand, var),
             ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
                 expr_has(lhs, var) || expr_has(rhs, var)
@@ -917,7 +918,7 @@ fn stmt_has_aliasing_use(stmt: &Stmt, var: &str) -> bool {
 
 /// True if any expression under `stmt` (including declaration initializers)
 /// references `var`.
-fn stmt_references_var(stmt: &Stmt, var: &str) -> bool {
+fn stmt_references_var(stmt: &Stmt, var: Symbol) -> bool {
     let mut found = false;
     stmt.walk(&mut |s| {
         if found {
@@ -927,14 +928,14 @@ fn stmt_references_var(stmt: &Stmt, var: &str) -> bool {
             StmtKind::Decl(decls) => decls.iter().any(|d| {
                 d.init
                     .as_ref()
-                    .is_some_and(|i| i.referenced_vars().iter().any(|v| v == var))
+                    .is_some_and(|i| i.referenced_symbols().contains(&var))
             }),
             _ => false,
         };
         if decl_inits_hit
             || s.direct_exprs()
                 .iter()
-                .any(|e| e.referenced_vars().iter().any(|v| v == var))
+                .any(|e| e.referenced_symbols().contains(&var))
         {
             found = true;
         }
@@ -984,7 +985,7 @@ fn align_to_common_parent(index: &StmtIndex, a: NodeId, b: NodeId) -> (NodeId, N
 
 /// Names declared anywhere inside an offload kernel (loop counters and
 /// temporaries); these are device-local and never mapped.
-fn kernel_local_decl_names(body: &Stmt, index: &StmtIndex) -> HashSet<String> {
+fn kernel_local_decl_names(body: &Stmt, index: &StmtIndex) -> HashSet<Symbol> {
     let mut out = HashSet::new();
     body.walk(&mut |s| {
         let offloaded = index.info(s.id).map(|i| i.offloaded).unwrap_or(false);
@@ -1000,14 +1001,14 @@ fn kernel_local_decl_names(body: &Stmt, index: &StmtIndex) -> HashSet<String> {
             _ => Vec::new(),
         };
         for d in decls {
-            out.insert(d.name.clone());
+            out.insert(d.name);
         }
     });
     out
 }
 
 /// Map from variable name to the statement where it is locally declared.
-fn local_decl_stmts(body: &Stmt) -> HashMap<String, NodeId> {
+fn local_decl_stmts(body: &Stmt) -> HashMap<Symbol, NodeId> {
     let mut out = HashMap::new();
     body.walk(&mut |s| {
         let decls: Vec<&VarDecl> = match &s.kind {
@@ -1019,7 +1020,7 @@ fn local_decl_stmts(body: &Stmt) -> HashMap<String, NodeId> {
             _ => Vec::new(),
         };
         for d in decls {
-            out.entry(d.name.clone()).or_insert(s.id);
+            out.entry(d.name).or_insert(s.id);
         }
     });
     out
@@ -1060,7 +1061,7 @@ fn enclosing_kernel(index: &StmtIndex, stmt: NodeId) -> Option<NodeId> {
 /// Determine an array-section length for a pointer variable from its device
 /// access patterns (Section IV-E bounds analysis).
 fn pointer_section_length(
-    var: &str,
+    var: Symbol,
     accesses: &FunctionAccesses,
     index: &StmtIndex,
     loop_map: &HashMap<NodeId, Stmt>,
@@ -1089,15 +1090,15 @@ struct Walker<'a> {
     accesses: &'a FunctionAccesses,
     index: &'a StmtIndex,
     options: &'a DataflowOptions,
-    mapped: HashSet<String>,
-    state: HashMap<String, VarState>,
+    mapped: HashSet<Symbol>,
+    state: HashMap<Symbol, VarState>,
     loop_stack: Vec<NodeId>,
     /// Variables copied in at region entry, with the deciding device read.
-    to_entry: HashMap<String, Deciding>,
+    to_entry: HashMap<Symbol, Deciding>,
     /// Variables copied out at region exit, with the deciding host read.
-    from_exit: HashMap<String, Deciding>,
+    from_exit: HashMap<Symbol, Deciding>,
     updates: Vec<UpdateDecision>,
-    seen_updates: HashSet<(String, UpdateDirection, NodeId, Placement)>,
+    seen_updates: HashSet<(Symbol, UpdateDirection, NodeId, Placement)>,
     region_start: NodeId,
     region_end: NodeId,
     region_entered: bool,
@@ -1190,7 +1191,6 @@ impl Walker<'_> {
         let list: Vec<_> = self
             .accesses
             .for_stmt(stmt.id)
-            .into_iter()
             .cloned()
             .collect();
         for access in list {
@@ -1218,16 +1218,16 @@ impl Walker<'_> {
                 if self.cond_depth > 0 && stale_target && !access.kind.may_read() {
                     self.handle_read(&access, loop_cond);
                 }
-                self.handle_write(&access.var, access.on_device, access.stmt);
+                self.handle_write(access.var, access.on_device, access.stmt);
             }
         }
     }
 
     fn handle_read(&mut self, access: &Access, loop_cond: Option<(NodeId, NodeId)>) {
-        let var = access.var.as_str();
+        let var = access.var;
         let on_device = access.on_device;
         let stmt = access.stmt;
-        let st = self.state.get(var).cloned().unwrap_or_default();
+        let st = self.state.get(&var).cloned().unwrap_or_default();
         if on_device {
             if st.dev_valid {
                 return;
@@ -1236,7 +1236,7 @@ impl Walker<'_> {
             if !st.host_modified {
                 // Satisfiable by copying at region entry.
                 self.to_entry
-                    .entry(var.to_string())
+                    .entry(var)
                     .or_insert_with(|| Deciding::of(access));
             } else {
                 // Needs an update inside the region, placed before the kernel
@@ -1253,7 +1253,7 @@ impl Walker<'_> {
                     ProvenanceFact::HostWriteReachesKernel,
                 );
             }
-            if let Some(s) = self.state.get_mut(var) {
+            if let Some(s) = self.state.get_mut(&var) {
                 s.dev_valid = true;
             }
         } else {
@@ -1262,7 +1262,7 @@ impl Walker<'_> {
             }
             if self.past_region {
                 self.from_exit
-                    .entry(var.to_string())
+                    .entry(var)
                     .or_insert_with(|| Deciding::of(access));
             } else if let Some((_loop_id, body_end)) = loop_cond {
                 // Loop-condition read of device-produced data: update at the
@@ -1286,15 +1286,15 @@ impl Walker<'_> {
                     ProvenanceFact::HostReadBetweenKernels,
                 );
             }
-            if let Some(s) = self.state.get_mut(var) {
+            if let Some(s) = self.state.get_mut(&var) {
                 s.host_valid = true;
             }
         }
     }
 
-    fn handle_write(&mut self, var: &str, on_device: bool, stmt: NodeId) {
+    fn handle_write(&mut self, var: Symbol, on_device: bool, stmt: NodeId) {
         let region_entered = self.region_entered;
-        if let Some(s) = self.state.get_mut(var) {
+        if let Some(s) = self.state.get_mut(&var) {
             if on_device {
                 s.dev_valid = true;
                 s.host_valid = false;
@@ -1339,17 +1339,17 @@ impl Walker<'_> {
 
     fn push_update(
         &mut self,
-        var: &str,
+        var: Symbol,
         direction: UpdateDirection,
         anchor: NodeId,
         placement: Placement,
         deciding: &Access,
         fact: ProvenanceFact,
     ) {
-        let key = (var.to_string(), direction, anchor, placement);
+        let key = (var, direction, anchor, placement);
         if self.seen_updates.insert(key) {
             self.updates.push(UpdateDecision {
-                var: var.to_string(),
+                var,
                 direction,
                 anchor,
                 placement,
@@ -1361,14 +1361,14 @@ impl Walker<'_> {
 }
 
 fn merge_states(
-    a: &HashMap<String, VarState>,
-    b: &HashMap<String, VarState>,
-) -> HashMap<String, VarState> {
+    a: &HashMap<Symbol, VarState>,
+    b: &HashMap<Symbol, VarState>,
+) -> HashMap<Symbol, VarState> {
     let mut out = HashMap::new();
     for (var, sa) in a {
         let sb = b.get(var).cloned().unwrap_or_default();
         out.insert(
-            var.clone(),
+            *var,
             VarState {
                 host_valid: sa.host_valid && sb.host_valid,
                 dev_valid: sa.dev_valid && sb.dev_valid,
@@ -1415,13 +1415,16 @@ mod tests {
         let mut all_sym = HashMap::new();
         for f in unit.functions() {
             let sym = SymbolTable::build(&unit, f);
-            let g = graphs.function(&f.name).unwrap();
-            all_acc.insert(f.name.clone(), FunctionAccesses::collect(f, &g.index, &sym));
-            all_sym.insert(f.name.clone(), sym);
+            let g = graphs.function(f.name.as_str()).unwrap();
+            all_acc.insert(f.name, FunctionAccesses::collect(f, &g.index, &sym));
+            all_sym.insert(f.name, sym);
         }
         let summaries = ProgramSummaries::compute(&unit, &all_acc, &all_sym, 8);
         let func = unit.function(func_name).unwrap();
-        let mut acc = all_acc.get(func_name).unwrap().clone();
+        let mut acc = all_acc
+            .get(&Symbol::intern(func_name))
+            .unwrap()
+            .clone();
         augment_with_call_effects(&mut acc, &unit, &summaries);
         let mut diags = Diagnostics::new();
         let plan = plan_function(
@@ -1429,7 +1432,7 @@ mod tests {
             func,
             graphs.function(func_name).unwrap(),
             &acc,
-            all_sym.get(func_name).unwrap(),
+            all_sym.get(&Symbol::intern(func_name)).unwrap(),
             &options,
             &mut diags,
         )

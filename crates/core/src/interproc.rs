@@ -13,6 +13,8 @@
 
 use crate::access::{Access, AccessKind, AccessOrigin, CallSite, FunctionAccesses, SymbolTable};
 use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
+use ompdart_frontend::Symbol;
+use std::borrow::Cow;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -96,14 +98,14 @@ impl Effect {
 /// Summary of one function's externally visible effects.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FunctionSummary {
-    pub name: String,
+    pub name: Symbol,
     /// Effect on the data reached through each pointer/array parameter,
     /// indexed by parameter position.
     pub param_effects: Vec<Effect>,
     /// Effect on each global variable. A `BTreeMap` so every iteration over
     /// the summary — fingerprinting, call-site propagation, augmentation —
     /// is deterministic regardless of insertion order or thread scheduling.
-    pub global_effects: BTreeMap<String, Effect>,
+    pub global_effects: BTreeMap<Symbol, Effect>,
     /// True if the function (transitively) launches offload kernels.
     pub has_kernels: bool,
 }
@@ -111,7 +113,7 @@ pub struct FunctionSummary {
 /// Summaries for every function definition in the translation unit.
 #[derive(Clone, Debug, Default)]
 pub struct ProgramSummaries {
-    functions: HashMap<String, FunctionSummary>,
+    functions: HashMap<Symbol, FunctionSummary>,
     /// Optional fall-through layer for [`Self::summary`] lookups: an
     /// [`Self::overlay`] view holds only its own (shadowing) entries and
     /// resolves everything else here, so building a per-unit view over a
@@ -177,21 +179,21 @@ pub fn seed_summary(
     sym: &SymbolTable,
 ) -> FunctionSummary {
     let mut summary = FunctionSummary {
-        name: func.name.clone(),
+        name: func.name,
         param_effects: vec![Effect::default(); func.params.len()],
         global_effects: BTreeMap::new(),
         has_kernels: acc.accesses.iter().any(|a| a.on_device)
             || acc.calls.iter().any(|c| c.on_device),
     };
     for access in &acc.accesses {
-        if let Some(idx) = param_index(func, &access.var) {
-            if sym.is_aggregate(&access.var) {
+        if let Some(idx) = param_index(func, access.var) {
+            if sym.is_aggregate(access.var) {
                 summary.param_effects[idx].record(access.kind, access.on_device);
             }
-        } else if sym.is_global(&access.var) {
+        } else if sym.is_global(access.var) {
             summary
                 .global_effects
-                .entry(access.var.clone())
+                .entry(access.var)
                 .or_default()
                 .record(access.kind, access.on_device);
         }
@@ -208,14 +210,16 @@ pub struct PropagationNode<'a> {
     /// The function's name under which its seed (and converged summary) is
     /// keyed — for cross-unit `static` functions this is the mangled
     /// unit-private symbol, not the source-level name.
-    pub name: String,
-    /// Parameter names, in declaration order.
-    pub params: Vec<String>,
+    pub name: Symbol,
+    /// Parameter names, in declaration order. Borrowed when the caller
+    /// memoized the resolved list (the link stage does, per unit content),
+    /// owned when built fresh.
+    pub params: Cow<'a, [Symbol]>,
     /// The function's symbol table (aggregate/global classification of
     /// call-argument base variables).
     pub sym: &'a SymbolTable,
     /// The function's call sites, callee names fully resolved.
-    pub calls: Vec<CallSite>,
+    pub calls: Cow<'a, [CallSite]>,
 }
 
 impl<'a> PropagationNode<'a> {
@@ -223,21 +227,21 @@ impl<'a> PropagationNode<'a> {
     /// resolving callee names through `resolve` (identity for a single
     /// unit; the link stage maps unit-private statics to mangled names).
     pub fn build(
-        name: String,
+        name: Symbol,
         func: &FunctionDef,
         acc: &FunctionAccesses,
         sym: &'a SymbolTable,
-        resolve: impl Fn(&str) -> String,
+        resolve: impl Fn(Symbol) -> Symbol,
     ) -> PropagationNode<'a> {
         let mut calls = acc.calls.clone();
         for call in &mut calls {
-            call.callee = resolve(&call.callee);
+            call.callee = resolve(call.callee);
         }
         PropagationNode {
             name,
-            params: func.params.iter().map(|p| p.name.clone()).collect(),
+            params: Cow::Owned(func.params.iter().map(|p| p.name).collect()),
             sym,
-            calls,
+            calls: Cow::Owned(calls),
         }
     }
 }
@@ -246,8 +250,8 @@ impl ProgramSummaries {
     /// Compute summaries by fixed-point iteration over the call graph.
     pub fn compute(
         unit: &TranslationUnit,
-        accesses: &HashMap<String, FunctionAccesses>,
-        symbols: &HashMap<String, SymbolTable>,
+        accesses: &HashMap<Symbol, FunctionAccesses>,
+        symbols: &HashMap<Symbol, SymbolTable>,
         max_passes: usize,
     ) -> ProgramSummaries {
         let mut seeds = HashMap::new();
@@ -259,14 +263,8 @@ impl ProgramSummaries {
             let Some(sym) = symbols.get(&func.name) else {
                 continue;
             };
-            seeds.insert(func.name.clone(), seed_summary(func, acc, sym));
-            nodes.push(PropagationNode::build(
-                func.name.clone(),
-                func,
-                acc,
-                sym,
-                |c| c.to_string(),
-            ));
+            seeds.insert(func.name, seed_summary(func, acc, sym));
+            nodes.push(PropagationNode::build(func.name, func, acc, sym, |c| c));
         }
         ProgramSummaries::propagate(&nodes, &seeds, max_passes)
     }
@@ -277,7 +275,7 @@ impl ProgramSummaries {
     /// feed it nodes spanning several translation units.
     pub fn propagate(
         nodes: &[PropagationNode<'_>],
-        seeds: &HashMap<String, FunctionSummary>,
+        seeds: &HashMap<Symbol, FunctionSummary>,
         max_passes: usize,
     ) -> ProgramSummaries {
         ProgramSummaries::propagate_opts(nodes, seeds, max_passes, false)
@@ -291,7 +289,7 @@ impl ProgramSummaries {
     /// the globals clobbered too, not just the direct call site.
     pub fn propagate_opts(
         nodes: &[PropagationNode<'_>],
-        seeds: &HashMap<String, FunctionSummary>,
+        seeds: &HashMap<Symbol, FunctionSummary>,
         max_passes: usize,
         clobber_globals: bool,
     ) -> ProgramSummaries {
@@ -318,13 +316,33 @@ impl ProgramSummaries {
     /// wavefront sweep instead of a thousand whole-program passes.
     pub fn propagate_parallel(
         nodes: &[PropagationNode<'_>],
-        seeds: &HashMap<String, FunctionSummary>,
+        seeds: &HashMap<Symbol, FunctionSummary>,
+        max_passes: usize,
+        clobber_globals: bool,
+        threads: usize,
+    ) -> ProgramSummaries {
+        ProgramSummaries::propagate_parallel_owned(
+            nodes,
+            seeds.clone(),
+            max_passes,
+            clobber_globals,
+            threads,
+        )
+    }
+
+    /// [`Self::propagate_parallel`] taking ownership of the seed map — the
+    /// converged result is built in place, so a caller that constructs
+    /// seeds per link (as [`crate::Program::relink`] does) avoids cloning
+    /// every summary a second time.
+    pub fn propagate_parallel_owned(
+        nodes: &[PropagationNode<'_>],
+        seeds: HashMap<Symbol, FunctionSummary>,
         max_passes: usize,
         clobber_globals: bool,
         threads: usize,
     ) -> ProgramSummaries {
         let mut result = ProgramSummaries {
-            functions: seeds.clone(),
+            functions: seeds,
             base: None,
             passes: 0,
         };
@@ -339,7 +357,7 @@ impl ProgramSummaries {
     /// `d` needs `max_passes >= d` here.
     pub fn propagate_sequential(
         nodes: &[PropagationNode<'_>],
-        seeds: &HashMap<String, FunctionSummary>,
+        seeds: &HashMap<Symbol, FunctionSummary>,
         max_passes: usize,
         clobber_globals: bool,
     ) -> ProgramSummaries {
@@ -366,12 +384,12 @@ impl ProgramSummaries {
     /// [`Self::propagate`] over all nodes.
     pub fn propagate_incremental(
         nodes: &[PropagationNode<'_>],
-        seeds: &HashMap<String, FunctionSummary>,
+        seeds: &HashMap<Symbol, FunctionSummary>,
         previous: &ProgramSummaries,
-        dirty: &BTreeSet<String>,
+        dirty: &BTreeSet<Symbol>,
         max_passes: usize,
         clobber_globals: bool,
-    ) -> (ProgramSummaries, BTreeSet<String>) {
+    ) -> (ProgramSummaries, BTreeSet<Symbol>) {
         ProgramSummaries::propagate_incremental_parallel(
             nodes,
             seeds,
@@ -392,29 +410,55 @@ impl ProgramSummaries {
     #[allow(clippy::too_many_arguments)]
     pub fn propagate_incremental_parallel(
         nodes: &[PropagationNode<'_>],
-        seeds: &HashMap<String, FunctionSummary>,
+        seeds: &HashMap<Symbol, FunctionSummary>,
         previous: &ProgramSummaries,
-        dirty: &BTreeSet<String>,
+        dirty: &BTreeSet<Symbol>,
         max_passes: usize,
         clobber_globals: bool,
         threads: usize,
-    ) -> (ProgramSummaries, BTreeSet<String>) {
+    ) -> (ProgramSummaries, BTreeSet<Symbol>) {
         // Reverse call-graph closure of the dirty set: summaries flow from
         // callee to caller, so only transitive callers of a dirty function
         // can observe the change. Removed functions stay in `dirty` (their
-        // callers still name them in call sites of the new graph).
-        let mut cone: BTreeSet<String> = dirty.clone();
-        let mut grew = true;
-        while grew {
-            grew = false;
-            for node in nodes {
-                if cone.contains(&node.name) {
-                    continue;
+        // callers still name them in call sites of the new graph). A
+        // worklist over a reverse-adjacency index keeps this O(V + E) —
+        // a fixed-point sweep here would cost O(cone-depth * E) and make a
+        // mid-chain edit *slower* than a cold link on deep call chains.
+        let index: HashMap<Symbol, u32> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| (node.name, i as u32))
+            .collect();
+        let mut callers: Vec<Vec<u32>> = vec![Vec::new(); nodes.len()];
+        for (i, node) in nodes.iter().enumerate() {
+            for call in node.calls.iter() {
+                if let Some(&callee) = index.get(&call.callee) {
+                    callers[callee as usize].push(i as u32);
                 }
-                if node.calls.iter().any(|c| cone.contains(&c.callee)) {
-                    cone.insert(node.name.clone());
-                    grew = true;
+            }
+        }
+        let mut in_cone = vec![false; nodes.len()];
+        let mut worklist: Vec<u32> = Vec::new();
+        for name in dirty {
+            if let Some(&i) = index.get(name) {
+                if !in_cone[i as usize] {
+                    in_cone[i as usize] = true;
+                    worklist.push(i);
                 }
+            }
+        }
+        while let Some(i) = worklist.pop() {
+            for &caller in &callers[i as usize] {
+                if !in_cone[caller as usize] {
+                    in_cone[caller as usize] = true;
+                    worklist.push(caller);
+                }
+            }
+        }
+        let mut cone: BTreeSet<Symbol> = dirty.clone();
+        for (i, node) in nodes.iter().enumerate() {
+            if in_cone[i] {
+                cone.insert(node.name);
             }
         }
 
@@ -424,7 +468,7 @@ impl ProgramSummaries {
         for name in &cone {
             match seeds.get(name) {
                 Some(seed) => {
-                    functions.insert(name.clone(), seed.clone());
+                    functions.insert(*name, seed.clone());
                 }
                 None => {
                     functions.remove(name);
@@ -434,9 +478,7 @@ impl ProgramSummaries {
         // Functions that exist now but not before (and are not dirty by
         // value) still need their converged entry.
         for (name, seed) in seeds {
-            functions
-                .entry(name.clone())
-                .or_insert_with(|| seed.clone());
+            functions.entry(*name).or_insert_with(|| seed.clone());
         }
         // Drop entries for functions that no longer exist.
         functions.retain(|name, _| seeds.contains_key(name));
@@ -466,21 +508,21 @@ impl ProgramSummaries {
         &mut self,
         nodes: &[PropagationNode<'_>],
         max_passes: usize,
-        only: Option<&BTreeSet<String>>,
+        only: Option<&BTreeSet<Symbol>>,
         clobber_globals: bool,
         threads: usize,
     ) {
-        let index: HashMap<&str, usize> = nodes
+        let index: HashMap<Symbol, usize> = nodes
             .iter()
             .enumerate()
-            .map(|(i, node)| (node.name.as_str(), i))
+            .map(|(i, node)| (node.name, i))
             .collect();
         let adj: Vec<Vec<usize>> = nodes
             .iter()
             .map(|node| {
                 node.calls
                     .iter()
-                    .filter_map(|call| index.get(call.callee.as_str()).copied())
+                    .filter_map(|call| index.get(&call.callee).copied())
                     .collect()
             })
             .collect();
@@ -536,7 +578,7 @@ impl ProgramSummaries {
         &mut self,
         nodes: &[PropagationNode<'_>],
         max_passes: usize,
-        only: Option<&BTreeSet<String>>,
+        only: Option<&BTreeSet<Symbol>>,
         clobber_globals: bool,
     ) {
         for pass in 0..max_passes.max(1) {
@@ -546,13 +588,13 @@ impl ProgramSummaries {
                 if only.is_some_and(|set| !set.contains(&node.name)) {
                     continue;
                 }
-                for call in &node.calls {
+                for call in node.calls.iter() {
                     let Some(callee_summary) = self.functions.get(&call.callee).cloned() else {
                         if clobber_globals && !PURE_BUILTINS.contains(&call.callee.as_str()) {
                             let mut caller =
                                 self.functions.get(&node.name).cloned().unwrap_or_default();
                             if merge_unknown_call(&mut caller, node, call.on_device) {
-                                self.functions.insert(node.name.clone(), caller);
+                                self.functions.insert(node.name, caller);
                                 changed = true;
                             }
                         }
@@ -560,7 +602,7 @@ impl ProgramSummaries {
                     };
                     let mut caller = self.functions.get(&node.name).cloned().unwrap_or_default();
                     if merge_known_call(&mut caller, node, call, &callee_summary) {
-                        self.functions.insert(node.name.clone(), caller);
+                        self.functions.insert(node.name, caller);
                         changed = true;
                     }
                 }
@@ -587,22 +629,26 @@ impl ProgramSummaries {
 
     /// The summary for a function, if it was analyzed. Overlay views fall
     /// through to their base layer for names they do not shadow.
-    pub fn summary(&self, name: &str) -> Option<&FunctionSummary> {
+    pub fn summary(&self, name: impl Into<Symbol>) -> Option<&FunctionSummary> {
+        self.summary_sym(name.into())
+    }
+
+    fn summary_sym(&self, name: Symbol) -> Option<&FunctionSummary> {
         self.functions
-            .get(name)
-            .or_else(|| self.base.as_ref().and_then(|base| base.summary(name)))
+            .get(&name)
+            .or_else(|| self.base.as_ref().and_then(|base| base.summary_sym(name)))
     }
 
     /// Iterate all summaries (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = (&String, &FunctionSummary)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&Symbol, &FunctionSummary)> {
         self.functions.iter()
     }
 
     /// Insert (or replace) one summary under an explicit key. The link
     /// stage uses this to build per-unit views where unit-private `static`
     /// symbols appear under their source-level names.
-    pub fn insert(&mut self, name: String, summary: FunctionSummary) {
-        self.functions.insert(name, summary);
+    pub fn insert(&mut self, name: impl Into<Symbol>, summary: FunctionSummary) {
+        self.functions.insert(name.into(), summary);
     }
 
     /// Number of summarized functions.
@@ -651,13 +697,13 @@ fn merge_known_call(
             effect = device_shifted(effect);
         }
         if let Some(pidx) = node.params.iter().position(|p| p == var) {
-            if node.sym.is_aggregate(var) {
+            if node.sym.is_aggregate(*var) {
                 local_changed |= caller.param_effects[pidx].merge(effect);
             }
-        } else if node.sym.is_global(var) {
+        } else if node.sym.is_global(*var) {
             local_changed |= caller
                 .global_effects
-                .entry(var.clone())
+                .entry(*var)
                 .or_default()
                 .merge(effect);
         }
@@ -670,7 +716,7 @@ fn merge_known_call(
         }
         local_changed |= caller
             .global_effects
-            .entry(global.clone())
+            .entry(*global)
             .or_default()
             .merge(effect);
     }
@@ -698,7 +744,7 @@ fn merge_unknown_call(
         if node.sym.is_global(var) {
             local_changed |= caller
                 .global_effects
-                .entry(var.clone())
+                .entry(var)
                 .or_default()
                 .merge(effect);
         }
@@ -716,19 +762,17 @@ fn merge_unknown_call(
 /// components iterate until no summary changes, bounded by `max_passes`.
 fn converge_component(
     nodes: &[PropagationNode<'_>],
-    base: &HashMap<String, FunctionSummary>,
+    base: &HashMap<Symbol, FunctionSummary>,
     members: &[usize],
     cyclic: bool,
     max_passes: usize,
-    only: Option<&BTreeSet<String>>,
+    only: Option<&BTreeSet<Symbol>>,
     clobber_globals: bool,
-) -> (Vec<(String, FunctionSummary)>, usize) {
-    let mut local: HashMap<&str, FunctionSummary> = HashMap::new();
-    for &v in members {
-        if let Some(summary) = base.get(&nodes[v].name) {
-            local.insert(nodes[v].name.as_str(), summary.clone());
-        }
-    }
+) -> (Vec<(Symbol, FunctionSummary)>, usize) {
+    // Working copies exist only for members whose summary actually changes;
+    // unchanged members keep their `base` entry verbatim, so the common
+    // acyclic component converges with zero summary clones.
+    let mut local: HashMap<Symbol, FunctionSummary> = HashMap::new();
     let inner_max = if cyclic { max_passes.max(1) } else { 1 };
     let mut passes = 0usize;
     for pass in 0..inner_max {
@@ -739,41 +783,55 @@ fn converge_component(
             if only.is_some_and(|set| !set.contains(&node.name)) {
                 continue;
             }
-            for call in &node.calls {
-                // In-component callees live in `local` (and shadow their
-                // stale `base` snapshot); everything else is final in `base`.
-                let callee_summary = local
-                    .get(call.callee.as_str())
-                    .or_else(|| base.get(&call.callee))
-                    .cloned();
-                let Some(callee_summary) = callee_summary else {
-                    if clobber_globals && !PURE_BUILTINS.contains(&call.callee.as_str()) {
-                        let mut caller = local.get(node.name.as_str()).cloned().unwrap_or_default();
-                        if merge_unknown_call(&mut caller, node, call.on_device) {
-                            local.insert(node.name.as_str(), caller);
-                            changed = true;
-                        }
+            if node.calls.is_empty() {
+                continue;
+            }
+            // Hoist the caller's working summary out of the maps once per
+            // visit instead of cloning it per call edge; it goes back only
+            // if this visit (or an earlier pass) changed it.
+            let (mut caller, was_local) = match local.remove(&node.name) {
+                Some(summary) => (summary, true),
+                None => (base.get(&node.name).cloned().unwrap_or_default(), false),
+            };
+            let mut caller_changed = false;
+            for call in node.calls.iter() {
+                if call.callee == node.name {
+                    // A self-recursive edge reads the caller while mutating
+                    // it; merge against a snapshot.
+                    let snapshot = caller.clone();
+                    if merge_known_call(&mut caller, node, call, &snapshot) {
+                        caller_changed = true;
                     }
                     continue;
-                };
-                let mut caller = local.get(node.name.as_str()).cloned().unwrap_or_default();
-                if merge_known_call(&mut caller, node, call, &callee_summary) {
-                    local.insert(node.name.as_str(), caller);
-                    changed = true;
+                }
+                // In-component callees live in `local` (and shadow their
+                // stale `base` snapshot); everything else is final in `base`.
+                match local.get(&call.callee).or_else(|| base.get(&call.callee)) {
+                    Some(callee_summary) => {
+                        if merge_known_call(&mut caller, node, call, callee_summary) {
+                            caller_changed = true;
+                        }
+                    }
+                    None => {
+                        if clobber_globals
+                            && !PURE_BUILTINS.contains(&call.callee.as_str())
+                            && merge_unknown_call(&mut caller, node, call.on_device)
+                        {
+                            caller_changed = true;
+                        }
+                    }
                 }
             }
+            if caller_changed || was_local {
+                local.insert(node.name, caller);
+            }
+            changed |= caller_changed;
         }
         if !changed {
             break;
         }
     }
-    (
-        local
-            .into_iter()
-            .map(|(name, summary)| (name.to_string(), summary))
-            .collect(),
-        passes,
-    )
+    (local.into_iter().collect(), passes)
 }
 
 /// Move every host effect to the device (used when the call site itself
@@ -787,7 +845,7 @@ fn device_shifted(e: Effect) -> Effect {
     }
 }
 
-fn param_index(func: &FunctionDef, var: &str) -> Option<usize> {
+fn param_index(func: &FunctionDef, var: Symbol) -> Option<usize> {
     func.params.iter().position(|p| p.name == var)
 }
 
@@ -828,15 +886,17 @@ pub fn augment_with_call_effects_opts(
     summaries: &ProgramSummaries,
     clobber_globals: bool,
 ) -> usize {
-    let calls: Vec<CallSite> = acc.calls.clone();
+    // Detach the call list while synthesizing accesses (which only appends
+    // to `acc.accesses`) instead of deep-cloning every call site.
+    let calls: Vec<CallSite> = std::mem::take(&mut acc.calls);
     let mut fallbacks = 0usize;
     for call in &calls {
         // Known callee with a body: apply its summary. The summary may come
         // from this unit or — in a linked whole-program analysis — from
         // another translation unit; record which.
-        if let Some(summary) = summaries.summary(&call.callee) {
+        if let Some(summary) = summaries.summary(call.callee) {
             let origin = AccessOrigin::Callee {
-                callee: call.callee.clone(),
+                callee: call.callee,
                 cross_unit: !unit.functions().any(|f| f.name == call.callee),
             };
             for (arg_idx, arg) in call.args.iter().enumerate() {
@@ -849,28 +909,27 @@ pub fn augment_with_call_effects_opts(
                     .get(arg_idx)
                     .copied()
                     .unwrap_or_default();
-                push_effect_accesses(acc, var, effect, call, &origin);
+                push_effect_accesses(acc, *var, effect, call, &origin);
             }
             // Deterministic order: the synthetic accesses decide the
             // mapped-variable order of the caller's plan, so iterate the
-            // globals sorted — never in HashMap order.
-            let mut globals: Vec<(&String, &Effect)> = summary.global_effects.iter().collect();
-            globals.sort_by_key(|(name, _)| name.as_str());
-            for (global, effect) in globals {
-                push_effect_accesses(acc, global, *effect, call, &origin);
+            // globals sorted — never in HashMap order. (`BTreeMap<Symbol>`
+            // orders by resolved string, same as the old `String` keys.)
+            for (global, effect) in summary.global_effects.iter() {
+                push_effect_accesses(acc, *global, *effect, call, &origin);
             }
             continue;
         }
         // Pure/standard library functions: reads only.
         if PURE_BUILTINS.contains(&call.callee.as_str()) {
             let origin = AccessOrigin::Callee {
-                callee: call.callee.clone(),
+                callee: call.callee,
                 cross_unit: false,
             };
             for arg in &call.args {
                 if arg.by_ref {
                     if let Some(var) = &arg.base_var {
-                        push_effect_accesses(acc, var, Effect::read_only_host(), call, &origin);
+                        push_effect_accesses(acc, *var, Effect::read_only_host(), call, &origin);
                     }
                 }
             }
@@ -880,7 +939,7 @@ pub fn augment_with_call_effects_opts(
         // refined by `const` pointer parameters on a visible prototype.
         let proto = unit.all_functions().find(|f| f.name == call.callee);
         let origin = AccessOrigin::UnknownCallee {
-            callee: call.callee.clone(),
+            callee: call.callee,
             clobbers_global: false,
         };
         let mut fell_back = false;
@@ -899,18 +958,18 @@ pub fn augment_with_call_effects_opts(
                 fell_back = true;
                 Effect::pessimistic_host()
             };
-            push_effect_accesses(acc, var, effect, call, &origin);
+            push_effect_accesses(acc, *var, effect, call, &origin);
         }
         // Opt-in: the unknown callee may also touch any global it can name,
         // not just the data it was handed a pointer to.
         if clobber_globals {
-            let mut globals: Vec<&str> = unit.globals().map(|g| g.name.as_str()).collect();
+            let mut globals: Vec<Symbol> = unit.globals().map(|g| g.name).collect();
             globals.sort_unstable();
             globals.dedup();
             if !globals.is_empty() {
                 fell_back = true;
                 let origin = AccessOrigin::UnknownCallee {
-                    callee: call.callee.clone(),
+                    callee: call.callee,
                     clobbers_global: true,
                 };
                 for global in globals {
@@ -922,12 +981,13 @@ pub fn augment_with_call_effects_opts(
             fallbacks += 1;
         }
     }
+    acc.calls = calls;
     fallbacks
 }
 
 fn push_effect_accesses(
     acc: &mut FunctionAccesses,
-    var: &str,
+    var: Symbol,
     effect: Effect,
     call: &CallSite,
     origin: &AccessOrigin,
@@ -939,7 +999,7 @@ fn push_effect_accesses(
     let (host_kind, device_kind) = effect.as_access_kinds();
     if let Some(kind) = host_kind {
         acc.add_synthetic(Access {
-            var: var.to_string(),
+            var,
             kind,
             stmt: call.stmt,
             on_device: false,
@@ -950,7 +1010,7 @@ fn push_effect_accesses(
     }
     if let Some(kind) = device_kind {
         acc.add_synthetic(Access {
-            var: var.to_string(),
+            var,
             kind,
             stmt: call.stmt,
             on_device: true,
@@ -972,7 +1032,7 @@ mod tests {
         src: &str,
     ) -> (
         ProgramSummaries,
-        HashMap<String, FunctionAccesses>,
+        HashMap<Symbol, FunctionAccesses>,
         ompdart_frontend::TranslationUnit,
     ) {
         let (_file, result) = parse_str("t.c", src);
@@ -983,9 +1043,9 @@ mod tests {
         let mut symbols = HashMap::new();
         for f in unit.functions() {
             let sym = SymbolTable::build(&unit, f);
-            let g = graphs.function(&f.name).unwrap();
-            accesses.insert(f.name.clone(), FunctionAccesses::collect(f, &g.index, &sym));
-            symbols.insert(f.name.clone(), sym);
+            let g = graphs.function(f.name.as_str()).unwrap();
+            accesses.insert(f.name, FunctionAccesses::collect(f, &g.index, &sym));
+            symbols.insert(f.name, sym);
         }
         let summaries = ProgramSummaries::compute(&unit, &accesses, &symbols, 8);
         (summaries, accesses, unit)
@@ -1030,12 +1090,13 @@ void top(double *data, int n) {
         assert!(o.param_effects[0].host_read);
         // ...and reads/writes the global `weights` both directly and through
         // read_weights.
-        assert!(o.global_effects.get("weights").unwrap().host_read);
-        assert!(o.global_effects.get("weights").unwrap().host_write);
+        let weights = Symbol::intern("weights");
+        assert!(o.global_effects.get(&weights).unwrap().host_read);
+        assert!(o.global_effects.get(&weights).unwrap().host_write);
         // `top` inherits everything through one more level of calls.
         let t = summaries.summary("top").unwrap();
         assert!(t.param_effects[0].host_write);
-        assert!(t.global_effects.get("weights").unwrap().host_read);
+        assert!(t.global_effects.get(&Symbol::intern("weights")).unwrap().host_read);
     }
 
     #[test]
@@ -1071,7 +1132,7 @@ void driver(int n) {
     #[test]
     fn augmentation_applies_summary_at_call_site() {
         let (summaries, mut accesses, unit) = analyze(LAYERED);
-        let outer = accesses.get_mut("outer").unwrap();
+        let outer = accesses.get_mut(&Symbol::intern("outer")).unwrap();
         let before = outer.accesses.len();
         augment_with_call_effects(outer, &unit, &summaries);
         assert!(outer.accesses.len() > before);
@@ -1094,7 +1155,7 @@ void f(double *data, int n) {
 }
 ";
         let (summaries, mut accesses, unit) = analyze(src);
-        let f = accesses.get_mut("f").unwrap();
+        let f = accesses.get_mut(&Symbol::intern("f")).unwrap();
         augment_with_call_effects(f, &unit, &summaries);
         let writes: Vec<_> = f
             .accesses
@@ -1120,7 +1181,7 @@ void f() {
 }
 ";
         let (summaries, mut accesses, unit) = analyze(src);
-        let f = accesses.get_mut("f").unwrap();
+        let f = accesses.get_mut(&Symbol::intern("f")).unwrap();
         augment_with_call_effects(f, &unit, &summaries);
         assert!(!f
             .accesses

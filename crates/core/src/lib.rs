@@ -608,7 +608,7 @@ fn function_with_existing_mappings(unit: &TranslationUnit) -> Option<String> {
             });
         }
         if found {
-            return Some(func.name.clone());
+            return Some(func.name.to_string());
         }
     }
     None

@@ -66,6 +66,7 @@ use ompdart_frontend::ast::{FunctionDef, TranslationUnit};
 use ompdart_frontend::diag::Diagnostics;
 use ompdart_frontend::parser::parse_str;
 use ompdart_frontend::source::SourceFile;
+use ompdart_frontend::Symbol;
 use ompdart_graph::ProgramGraphs;
 use std::collections::HashMap;
 use std::fmt;
@@ -346,8 +347,8 @@ pub struct GraphsArtifact {
 /// Access artifact: classified memory accesses and per-function symbols.
 #[derive(Debug)]
 pub struct AccessArtifact {
-    pub accesses: HashMap<String, FunctionAccesses>,
-    pub symbols: HashMap<String, SymbolTable>,
+    pub accesses: HashMap<Symbol, FunctionAccesses>,
+    pub symbols: HashMap<Symbol, SymbolTable>,
     /// Functions whose access artifact was served (relocated) from the
     /// function-granular access cache. Zero when no cache was consulted.
     pub cache_hits: u64,
@@ -378,7 +379,7 @@ pub struct SummariesArtifact {
     /// over, keyed by function name. The link stage re-converges these
     /// across units — incrementally, because each seed is a function-
     /// granular artifact with its own cache key.
-    pub seeds: HashMap<String, FunctionSummary>,
+    pub seeds: HashMap<Symbol, FunctionSummary>,
     /// Functions whose local summary was served from the function-granular
     /// summary cache. Zero when no cache was consulted.
     pub cache_hits: u64,
@@ -514,7 +515,7 @@ pub fn stage_accesses_cached(
         };
         let mut served = None;
         if let Some((parsed, cache, key)) = &keyed {
-            if let Some(entry) = cache.lookup(&parsed.name, &func.name, key) {
+            if let Some(entry) = cache.lookup(&parsed.name, func.name, key) {
                 let did = i64::from(func.id.0) - i64::from(entry.base_id);
                 let dpos = i64::from(func.span.start) - i64::from(entry.base_pos);
                 served = Some(
@@ -538,8 +539,8 @@ pub fn stage_accesses_cached(
                 if let Some((parsed, cache, key)) = keyed {
                     cache_misses += 1;
                     cache.store(
-                        parsed.name.clone(),
-                        func.name.clone(),
+                        Symbol::intern(&parsed.name),
+                        func.name,
                         key,
                         CachedFunctionAccesses {
                             base_id: func.id.0,
@@ -552,9 +553,9 @@ pub fn stage_accesses_cached(
             }
         };
         if let Some(acc) = collected {
-            accesses.insert(func.name.clone(), acc);
+            accesses.insert(func.name, acc);
         }
-        symbols.insert(func.name.clone(), sym);
+        symbols.insert(func.name, sym);
     }
     AccessArtifact {
         accesses,
@@ -620,7 +621,7 @@ pub fn stage_summaries_cached(
             _ => None,
         };
         let seed = match &keyed {
-            Some((parsed, cache, key)) => match cache.lookup(&parsed.name, &func.name, key) {
+            Some((parsed, cache, key)) => match cache.lookup(&parsed.name, func.name, key) {
                 Some(seed) => {
                     cache_hits += 1;
                     seed
@@ -628,25 +629,14 @@ pub fn stage_summaries_cached(
                 None => {
                     cache_misses += 1;
                     let seed = seed_summary(func, acc, sym);
-                    cache.store(
-                        parsed.name.clone(),
-                        func.name.clone(),
-                        key.clone(),
-                        seed.clone(),
-                    );
+                    cache.store(Symbol::intern(&parsed.name), func.name, key.clone(), seed.clone());
                     seed
                 }
             },
             None => seed_summary(func, acc, sym),
         };
-        seeds.insert(func.name.clone(), seed);
-        nodes.push(PropagationNode::build(
-            func.name.clone(),
-            func,
-            acc,
-            sym,
-            |c| c.to_string(),
-        ));
+        seeds.insert(func.name, seed);
+        nodes.push(PropagationNode::build(func.name, func, acc, sym, |c| c));
     }
     let summaries = ProgramSummaries::propagate_opts(
         &nodes,
@@ -720,7 +710,7 @@ struct CachedFunctionPlan {
 /// recovered from `[base_pos, base_pos + snippet_len)` of that source.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FunctionKeySnapshot {
-    pub function: String,
+    pub function: Symbol,
     pub base_id: u32,
     pub base_pos: u32,
     pub snippet_len: u32,
@@ -744,7 +734,7 @@ pub struct FunctionKeySnapshot {
 /// the data-flow analysis.
 #[derive(Debug, Default)]
 pub struct FunctionPlanCache {
-    entries: ShardMap<(String, String), CachedFunctionPlan>,
+    entries: ShardMap<(Symbol, Symbol), CachedFunctionPlan>,
 }
 
 impl FunctionPlanCache {
@@ -763,14 +753,20 @@ impl FunctionPlanCache {
         self.entries.is_empty()
     }
 
-    fn lookup(&self, unit: &str, func: &str, key: &FunctionPlanKey) -> Option<CachedFunctionPlan> {
-        self.entries
-            .read(&(unit.to_string(), func.to_string()), |entry| {
-                entry.and_then(|e| (e.key == *key).then(|| e.clone()))
-            })
+    fn lookup(
+        &self,
+        unit: &str,
+        func: Symbol,
+        key: &FunctionPlanKey,
+    ) -> Option<CachedFunctionPlan> {
+        // Non-inserting name resolution: a unit never stored never interned.
+        let unit = Symbol::lookup(unit)?;
+        self.entries.read(&(unit, func), |entry| {
+            entry.and_then(|e| (e.key == *key).then(|| e.clone()))
+        })
     }
 
-    fn store(&self, unit: String, func: String, entry: CachedFunctionPlan) {
+    fn store(&self, unit: Symbol, func: Symbol, entry: CachedFunctionPlan) {
         self.entries.insert((unit, func), entry);
     }
 }
@@ -795,7 +791,7 @@ pub(crate) struct FunctionStageKey {
 /// whose values carry no coordinates and need none).
 #[derive(Debug)]
 pub struct FunctionStageCache<T> {
-    entries: ShardMap<(String, String), (FunctionStageKey, T)>,
+    entries: ShardMap<(Symbol, Symbol), (FunctionStageKey, T)>,
 }
 
 impl<T> Default for FunctionStageCache<T> {
@@ -822,14 +818,14 @@ impl<T: Clone> FunctionStageCache<T> {
         self.entries.is_empty()
     }
 
-    fn lookup(&self, unit: &str, func: &str, key: &FunctionStageKey) -> Option<T> {
-        self.entries
-            .read(&(unit.to_string(), func.to_string()), |entry| {
-                entry.and_then(|(stored_key, value)| (stored_key == key).then(|| value.clone()))
-            })
+    fn lookup(&self, unit: &str, func: Symbol, key: &FunctionStageKey) -> Option<T> {
+        let unit = Symbol::lookup(unit)?;
+        self.entries.read(&(unit, func), |entry| {
+            entry.and_then(|(stored_key, value)| (stored_key == key).then(|| value.clone()))
+        })
     }
 
-    fn store(&self, unit: String, func: String, key: FunctionStageKey, value: T) {
+    fn store(&self, unit: Symbol, func: Symbol, key: FunctionStageKey, value: T) {
         self.entries.insert((unit, func), (key, value));
     }
 }
@@ -894,9 +890,8 @@ pub(crate) fn summary_fingerprint(s: &FunctionSummary) -> u64 {
     for e in &s.param_effects {
         h.write(&[effect_byte(*e)]);
     }
-    let mut globals: Vec<(&String, &Effect)> = s.global_effects.iter().collect();
-    globals.sort_by_key(|(name, _)| name.as_str());
-    for (name, e) in globals {
+    // `BTreeMap<Symbol>` iterates in resolved-string order already.
+    for (name, e) in s.global_effects.iter() {
         h.write_str(name);
         h.write(&[effect_byte(*e)]);
     }
@@ -909,15 +904,15 @@ pub(crate) fn summary_fingerprint(s: &FunctionSummary) -> u64 {
 /// reads. In a linked program the summaries are the *whole-program* ones,
 /// so a callee edited in another unit invalidates its callers here exactly
 /// when its converged summary changed.
-fn callees_fingerprint(
-    func_name: &str,
+pub(crate) fn callees_fingerprint(
+    func_name: Symbol,
     accesses: &AccessArtifact,
     summaries: &ProgramSummaries,
     unit: &TranslationUnit,
 ) -> u64 {
     let mut names: Vec<&str> = accesses
         .accesses
-        .get(func_name)
+        .get(&func_name)
         .map(|acc| acc.calls.iter().map(|c| c.callee.as_str()).collect())
         .unwrap_or_default();
     names.sort_unstable();
@@ -1112,7 +1107,7 @@ fn run_plan_stage(
             .map(|(parsed, _, env_hash, options_hash)| FunctionPlanKey {
                 snippet: parsed.file.snippet(func.span).to_string(),
                 env_hash: *env_hash,
-                callees_hash: callees_fingerprint(&func.name, accesses, effective_summaries, unit),
+                callees_hash: callees_fingerprint(func.name, accesses, effective_summaries, unit),
                 refs_hash: if func.name == "main" {
                     let mut h = Fnv::new();
                     h.write_u64(liveness_fingerprint(unit, &func.name));
@@ -1127,7 +1122,7 @@ fn run_plan_stage(
             });
         let snapshot = |key: &FunctionPlanKey, analyzed: bool, has_plan: bool, fallbacks: u64| {
             FunctionKeySnapshot {
-                function: func.name.clone(),
+                function: func.name,
                 base_id: func.id.0,
                 base_pos: func.span.start,
                 snippet_len: key.snippet.len() as u32,
@@ -1141,7 +1136,7 @@ fn run_plan_stage(
             }
         };
         if let (Some(key), Some((parsed, cache, ..))) = (&key, shared.as_ref()) {
-            if let Some(entry) = cache.lookup(&parsed.name, &func.name, key) {
+            if let Some(entry) = cache.lookup(&parsed.name, func.name, key) {
                 let did = i64::from(func.id.0) - i64::from(entry.base_id);
                 let dpos = i64::from(func.span.start) - i64::from(entry.base_pos);
                 let plan = entry.plan.as_ref().map(|p| relocate_plan(p, did, dpos));
@@ -1177,8 +1172,8 @@ fn run_plan_stage(
                     // diagnostics-free functions are persisted, so the
                     // seeded entry legitimately carries none.
                     cache.store(
-                        parsed.name.clone(),
-                        func.name.clone(),
+                        Symbol::intern(&parsed.name),
+                        func.name,
                         CachedFunctionPlan {
                             key: (*key).clone(),
                             base_id: func.id.0,
@@ -1249,8 +1244,8 @@ fn run_plan_stage(
         }
         if let (Some(key), Some((parsed, cache, ..))) = (key, shared.as_ref()) {
             cache.store(
-                parsed.name.clone(),
-                func.name.clone(),
+                Symbol::intern(&parsed.name),
+                func.name,
                 CachedFunctionPlan {
                     key,
                     base_id: func.id.0,
@@ -2139,7 +2134,7 @@ impl AnalysisSession {
                 let Some(plan) = stored
                     .plans
                     .iter()
-                    .find(|p| p.function == key.function)
+                    .find(|p| p.function == key.function.as_str())
                     .cloned()
                 else {
                     continue;
@@ -2149,8 +2144,8 @@ impl AnalysisSession {
                 None
             };
             self.function_plans.store(
-                name.to_string(),
-                key.function.clone(),
+                Symbol::intern(name),
+                key.function,
                 CachedFunctionPlan {
                     key: FunctionPlanKey {
                         snippet: source[start..end].to_string(),

@@ -44,7 +44,7 @@ pub fn extract_explicit_plans(unit: &TranslationUnit) -> Vec<MappingPlan> {
     for func in unit.functions() {
         let Some(body) = &func.body else { continue };
         let mut plan = MappingPlan {
-            function: func.name.clone(),
+            function: func.name.to_string(),
             ..Default::default()
         };
         body.walk(&mut |s| {

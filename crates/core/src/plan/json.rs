@@ -83,28 +83,74 @@ impl Json {
 
     /// Render compactly (no insignificant whitespace).
     pub fn render(&self) -> String {
-        let mut out = String::new();
+        let mut out = String::with_capacity(self.rendered_size_hint(None));
         self.write(&mut out, None, 0);
         out
     }
 
     /// Render with two-space indentation.
     pub fn render_pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, Some(2), 0);
-        out.push('\n');
+        let mut out = String::with_capacity(self.rendered_size_hint(Some(2)));
+        self.render_pretty_into(&mut out);
         out
     }
 
+    /// Render with two-space indentation into a caller-owned buffer,
+    /// appending. Callers serializing many documents (the persistent
+    /// store's write-back batches, the daemon's responses) reuse one
+    /// buffer across documents instead of growing a fresh `String` through
+    /// the doubling schedule every time.
+    pub fn render_pretty_into(&self, out: &mut String) {
+        out.reserve(self.rendered_size_hint(Some(2)));
+        self.write(out, Some(2), 0);
+        out.push('\n');
+    }
+
+    /// Upper-ish estimate of the rendered size, used to pre-size output
+    /// buffers so rendering does O(1) buffer growths instead of O(log n).
+    /// Cheap single pass: strings count raw length plus quote/escape slack,
+    /// containers add per-item punctuation plus (when pretty) a padded
+    /// line per item at an assumed average depth.
+    fn rendered_size_hint(&self, indent: Option<usize>) -> usize {
+        // Average nesting of a plan document is ~4; overshooting a little
+        // only trims one realloc, undershooting falls back to doubling.
+        let per_line = indent.map(|w| 1 + w * 4).unwrap_or(0);
+        match self {
+            Json::Null | Json::Bool(_) => 5,
+            Json::Int(_) => 20,
+            Json::Str(s) => s.len() + 8,
+            Json::Array(items) => {
+                2 + items
+                    .iter()
+                    .map(|item| item.rendered_size_hint(indent) + 1 + per_line)
+                    .sum::<usize>()
+            }
+            Json::Object(fields) => {
+                2 + fields
+                    .iter()
+                    .map(|(key, value)| {
+                        key.len() + 4 + value.rendered_size_hint(indent) + 1 + per_line
+                    })
+                    .sum::<usize>()
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
-        let (nl, pad, pad_in) = match indent {
-            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
-            None => ("", String::new(), String::new()),
+        // Indentation is pushed directly (no per-node pad `String`s): the
+        // writer allocates nothing beyond the output buffer itself.
+        let pad = |out: &mut String, levels: usize| {
+            if let Some(w) = indent {
+                out.push('\n');
+                for _ in 0..w * levels {
+                    out.push(' ');
+                }
+            }
         };
         match self {
             Json::Null => out.push_str("null"),
             Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::Int(n) => write_json_int(out, *n),
             Json::Str(s) => write_json_string(out, s),
             Json::Array(items) => {
                 if items.is_empty() {
@@ -116,12 +162,10 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
+                    pad(out, depth + 1);
                     item.write(out, indent, depth + 1);
                 }
-                out.push_str(nl);
-                out.push_str(&pad);
+                pad(out, depth);
                 out.push(']');
             }
             Json::Object(fields) => {
@@ -134,8 +178,7 @@ impl Json {
                     if i > 0 {
                         out.push(',');
                     }
-                    out.push_str(nl);
-                    out.push_str(&pad_in);
+                    pad(out, depth + 1);
                     write_json_string(out, key);
                     out.push(':');
                     if indent.is_some() {
@@ -143,8 +186,7 @@ impl Json {
                     }
                     value.write(out, indent, depth + 1);
                 }
-                out.push_str(nl);
-                out.push_str(&pad);
+                pad(out, depth);
                 out.push('}');
             }
         }
@@ -167,7 +209,14 @@ impl Json {
     }
 }
 
+/// Append an integer without the `to_string` round-trip allocation.
+fn write_json_int(out: &mut String, n: i64) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{n}");
+}
+
 fn write_json_string(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
     out.push('"');
     for c in s.chars() {
         match c {
@@ -177,7 +226,7 @@ fn write_json_string(out: &mut String, s: &str) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
         }

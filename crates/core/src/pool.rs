@@ -115,6 +115,32 @@ fn global() -> &'static Pool {
     })
 }
 
+/// The machine's available parallelism, probed once per process.
+/// [`pool_map`] never runs a job wider than this: on a box with fewer
+/// cores than the requested width, extra claim threads only add submit
+/// latency and cache traffic without any real concurrency (the 1→8 thread
+/// cold "anti-scaling" in `BENCH_link_scale.json` was exactly this).
+pub fn available_width() -> usize {
+    static WIDTH: OnceLock<usize> = OnceLock::new();
+    *WIDTH.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// The width [`pool_map`] will actually run a large job at for a requested
+/// width: the request capped at the machine's available parallelism.
+pub fn effective_width(requested: usize) -> usize {
+    requested.max(1).min(available_width())
+}
+
+/// Number of persistent worker threads the pool has spawned (0 until the
+/// first wide job, and forever 0 on a single-core machine).
+pub fn spawned_workers() -> usize {
+    global().spawned.get().copied().unwrap_or(0)
+}
+
 /// Snapshot of the process-wide pool counters.
 pub fn stats() -> PoolStats {
     let pool = global();
@@ -317,7 +343,11 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    let workers = workers.clamp(1, len.max(1));
+    // Cap at the machine's parallelism before the item clamp: a width-8
+    // request on a 2-core box runs 2 wide, and on a 1-core box runs
+    // inline — byte-identical results either way (order is positional),
+    // just without the useless submit/wake overhead.
+    let workers = workers.min(available_width()).clamp(1, len.max(1));
     if workers <= 1 {
         return (0..len).map(f).collect();
     }

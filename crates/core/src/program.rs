@@ -35,15 +35,18 @@ use crate::interproc::{FunctionSummary, ProgramSummaries, PropagationNode};
 use crate::pipeline::{
     summary_fingerprint, AnalysisSession, Fnv, StageError, SummarizedUnit, UnitAnalysis,
 };
+use ompdart_frontend::Symbol;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Referenced-variable sets of functions defined in *other* translation
-/// units, keyed by function name. The exit-liveness scan of the planning
-/// stage consults this exactly like it scans same-unit functions.
-pub type ExternalRefs = BTreeMap<String, BTreeSet<String>>;
+/// units, keyed by (link-resolved) function name. The exit-liveness scan of
+/// the planning stage consults this exactly like it scans same-unit
+/// functions. Values are `Arc`-shared with the per-unit memoized exports,
+/// so assembling the program-wide map never deep-copies a set.
+pub type ExternalRefs = BTreeMap<Symbol, Arc<BTreeSet<String>>>;
 
 /// The link-fingerprint value of analyses that are not part of any linked
 /// program (the classic single-unit path).
@@ -92,7 +95,7 @@ impl ExportedInterface {
             .parsed
             .unit
             .functions()
-            .map(|f| f.name.clone())
+            .map(|f| f.name.to_string())
             .collect();
         // Hash in name order so the fingerprint is insensitive to function
         // reordering that changes nothing observable.
@@ -119,7 +122,7 @@ impl ExportedInterface {
                 None => h.write(&[0]),
             }
             if let Some(vars) = refs.get(&f.name) {
-                for var in vars {
+                for var in vars.iter() {
                     h.write_str(var);
                 }
             }
@@ -139,21 +142,52 @@ fn unit_referenced_vars(unit: &SummarizedUnit) -> ExternalRefs {
     unit.parsed
         .unit
         .functions()
-        .map(|f| (f.name.clone(), function_referenced_vars(f)))
+        .map(|f| (f.name, Arc::new(function_referenced_vars(f))))
         .collect()
 }
 
+/// One function's link-ready propagation inputs, resolved once per unit
+/// *content*: its mangled name (statics), resolved call list, parameter
+/// names, and local seed summary. [`Program::relink`] assembles the merged
+/// call graph from these by borrowing — no per-relink name mangling, call
+/// re-resolution, or node rebuilding.
+#[derive(Debug)]
+pub(crate) struct LinkFunction {
+    /// Source-level name (artifact-map key inside the unit).
+    pub(crate) source: Symbol,
+    /// Link-resolved name: `name@unit` for statics, `source` otherwise.
+    pub(crate) resolved: Symbol,
+    /// Parameter names, in declaration order.
+    pub(crate) params: Vec<Symbol>,
+    /// Call sites with callee names link-resolved.
+    pub(crate) calls: Vec<crate::access::CallSite>,
+    /// The local seed summary under its resolved name.
+    pub(crate) seed: FunctionSummary,
+}
+
 /// Everything the link stage derives from one unit's own content: its
-/// referenced-variable sets and its [`ExportedInterface`]. Memoized on the
-/// [`SummarizedUnit`] itself (a `OnceLock`), so a content-identical unit —
-/// which keeps its `Arc` across rounds thanks to the summarize cache —
-/// pays the AST walks once per unit *content*, not once per relink.
+/// referenced-variable sets, its [`ExportedInterface`], and its resolved
+/// propagation inputs. Memoized on the [`SummarizedUnit`] itself (a
+/// `OnceLock`), so a content-identical unit — which keeps its `Arc` across
+/// rounds thanks to the summarize cache — pays the AST walks, name
+/// mangling, and call resolution once per unit *content*, not once per
+/// relink.
 #[derive(Debug)]
 pub(crate) struct UnitExports {
-    /// Referenced variables per defined function (source-level names).
-    pub(crate) refs: ExternalRefs,
+    /// Referenced variables per defined function, keyed by *resolved* name
+    /// (statics mangled) — exactly the entries the program-wide
+    /// `extern_refs` map takes, values `Arc`-shared.
+    pub(crate) resolved_refs: ExternalRefs,
     /// The unit's exported interface (prototypes, summaries, refs).
-    pub(crate) interface: ExportedInterface,
+    pub(crate) interface: Arc<ExportedInterface>,
+    /// `(source, resolved)` name of every defined function, in source
+    /// order (duplicate-definition rejection reads these).
+    pub(crate) names: Vec<(Symbol, Symbol)>,
+    /// `(source, mangled)` for the unit's `static` functions (the
+    /// static-shadowing summary views read these).
+    pub(crate) statics_mangled: Vec<(Symbol, Symbol)>,
+    /// Link-ready propagation inputs per function with full artifacts.
+    pub(crate) link_funcs: Vec<LinkFunction>,
 }
 
 impl SummarizedUnit {
@@ -161,8 +195,65 @@ impl SummarizedUnit {
     pub(crate) fn exports(&self) -> &UnitExports {
         self.link_exports.get_or_init(|| {
             let refs = unit_referenced_vars(self);
-            let interface = ExportedInterface::with_refs(self, &refs);
-            UnitExports { refs, interface }
+            let interface = Arc::new(ExportedInterface::with_refs(self, &refs));
+            let uname = &self.parsed.name;
+            let statics: BTreeSet<Symbol> = self
+                .parsed
+                .unit
+                .functions()
+                .filter(|f| f.is_static)
+                .map(|f| f.name)
+                .collect();
+            let statics_mangled: Vec<(Symbol, Symbol)> = statics
+                .iter()
+                .map(|&s| (s, Symbol::intern(&mangle_static(&s, uname))))
+                .collect();
+            let resolve = |name: Symbol| -> Symbol {
+                match statics_mangled.iter().find(|(s, _)| *s == name) {
+                    Some(&(_, mangled)) => mangled,
+                    None => name,
+                }
+            };
+            let names: Vec<(Symbol, Symbol)> = self
+                .parsed
+                .unit
+                .functions()
+                .map(|f| (f.name, resolve(f.name)))
+                .collect();
+            let resolved_refs: ExternalRefs = refs
+                .iter()
+                .map(|(name, vars)| (resolve(*name), Arc::clone(vars)))
+                .collect();
+            let link_funcs: Vec<LinkFunction> = self
+                .parsed
+                .unit
+                .functions()
+                .filter_map(|f| {
+                    let seed = self.summaries.seeds.get(&f.name)?;
+                    let acc = self.accesses.accesses.get(&f.name)?;
+                    let resolved = resolve(f.name);
+                    let mut calls = acc.calls.clone();
+                    for call in &mut calls {
+                        call.callee = resolve(call.callee);
+                    }
+                    let mut seed = seed.clone();
+                    seed.name = resolved;
+                    Some(LinkFunction {
+                        source: f.name,
+                        resolved,
+                        params: f.params.iter().map(|p| p.name).collect(),
+                        calls,
+                        seed,
+                    })
+                })
+                .collect();
+            UnitExports {
+                resolved_refs,
+                interface,
+                names,
+                statics_mangled,
+                link_funcs,
+            }
         })
     }
 }
@@ -181,7 +272,7 @@ pub struct LinkedSummaries {
     pub summaries: Arc<ProgramSummaries>,
     /// Resolved function name (statics mangled) → index (into the
     /// program's unit list) of the defining unit.
-    pub defined_in: BTreeMap<String, usize>,
+    pub defined_in: BTreeMap<Symbol, usize>,
     /// Propagation passes the cross-unit fixed point took.
     pub passes: usize,
 }
@@ -196,19 +287,22 @@ pub struct LinkContext {
     /// Fingerprint of `extern_refs`, mixed into `main`'s liveness cache
     /// fingerprint.
     pub extern_refs_fingerprint: u64,
-    /// Fingerprint of all *other* units' [`ExportedInterface`]s — the
-    /// unit's imported surface. Threaded through the persistent store key:
-    /// editing one file invalidates another unit's stored plans only when
-    /// this value changes, i.e. when the edited file's exported interface
-    /// actually changed.
+    /// Fingerprint of the unit's *observed* imported surface: the
+    /// converged summary of every callee its functions name (through the
+    /// unit's static-shadowing view) plus, for units defining `main`, the
+    /// program-wide referenced-variable map `main`'s exit-liveness scan
+    /// consults. Threaded through the linked cache and the persistent
+    /// store key: editing one file invalidates another unit's stored plans
+    /// only when a fact that unit actually *reads* changed — an edit round
+    /// re-plans the import cone, not the whole program.
     pub imports_fingerprint: u64,
 }
 
 fn external_refs_fingerprint(refs: &ExternalRefs) -> u64 {
     let mut h = Fnv::new();
     for (name, vars) in refs {
-        h.write_str(name);
-        for v in vars {
+        h.write_str(name.as_str());
+        for v in vars.iter() {
             h.write_str(v);
         }
         h.write(&[0xfd]);
@@ -227,7 +321,7 @@ pub struct Program {
     /// The summarized units, in input order.
     pub units: Vec<Arc<SummarizedUnit>>,
     /// Per-unit exported interfaces (same order as `units`).
-    pub interfaces: Vec<ExportedInterface>,
+    pub interfaces: Vec<Arc<ExportedInterface>>,
     /// The cross-unit link fixed point. Unit-private `static` functions
     /// appear under their mangled `name@unit` symbols here; per-unit
     /// [`LinkContext`]s expose them under their source-level names again.
@@ -240,13 +334,11 @@ pub struct Program {
     all_refs: Arc<ExternalRefs>,
     /// Fingerprint of `all_refs` (shared by every context).
     all_refs_fingerprint: u64,
-    /// Per-unit XOR terms of the imports fingerprint: `imports_total ^
-    /// import_terms[i]` excludes unit `i`'s own surface in O(1). The index
-    /// participates in each term so duplicate identical units cannot cancel
-    /// each other out of the total.
-    import_terms: Vec<u64>,
-    /// XOR of every `import_terms` entry.
-    imports_total: u64,
+    /// Per-unit imported-surface fingerprints (see
+    /// [`LinkContext::imports_fingerprint`]). Dependency-aware: unit `i`'s
+    /// entry hashes the converged summaries of exactly the callees unit
+    /// `i` names, so it moves only when a fact unit `i` observes changed.
+    import_fps: Vec<u64>,
     /// Per-unit summary views, built once at link time for units that
     /// define statics (`None` for units without statics, which share
     /// `linked.summaries` directly). Views are lookup-only
@@ -271,7 +363,7 @@ pub struct LinkState {
     /// Per-function local fingerprints (resolved names): the seed summary
     /// plus everything the propagation reads from the caller side of each
     /// call site.
-    local_fps: BTreeMap<String, u64>,
+    local_fps: BTreeMap<Symbol, u64>,
     /// The converged cross-unit summaries (resolved names), shared with
     /// the program's [`LinkedSummaries`] — an unchanged relink reuses the
     /// `Arc` instead of cloning the whole summary set.
@@ -341,68 +433,40 @@ impl Program {
         // link under their *resolved* names: unit-private `static`
         // definitions mangle to `name@unit`, so same-named statics in
         // different units coexist instead of colliding (two statics with
-        // one name inside the same unit still collide, as in C).
-        let mut defined_in: BTreeMap<String, usize> = BTreeMap::new();
-        let mut unit_statics: Vec<BTreeSet<String>> = Vec::with_capacity(units.len());
+        // one name inside the same unit still collide, as in C). The
+        // resolved names — like every other per-unit link input below —
+        // come from each unit's memoized exports: a content-unchanged unit
+        // keeps its summarize Arc, so no AST is re-walked (and no name is
+        // re-mangled) for it on a relink.
+        let mut defined_in: BTreeMap<Symbol, usize> = BTreeMap::new();
         for (idx, unit) in units.iter().enumerate() {
-            let mut statics = BTreeSet::new();
-            for f in unit.parsed.unit.functions() {
-                let resolved = if f.is_static {
-                    statics.insert(f.name.clone());
-                    mangle_static(&f.name, &unit.parsed.name)
-                } else {
-                    f.name.clone()
-                };
+            for &(source, resolved) in &unit.exports().names {
                 if let Some(first) = defined_in.insert(resolved, idx) {
                     return Err(ProgramError::DuplicateFunction {
-                        function: f.name.clone(),
+                        function: source.to_string(),
                         units: [units[first].parsed.name.clone(), unit.parsed.name.clone()],
                     });
                 }
             }
-            unit_statics.push(statics);
         }
 
-        // Referenced-variable sets and interfaces come from each unit's
-        // memoized exports: a content-unchanged unit keeps its summarize
-        // Arc, so no AST is re-walked for it on a relink.
-        let interfaces: Vec<ExportedInterface> = units
+        let interfaces: Vec<Arc<ExportedInterface>> = units
             .iter()
-            .map(|u| u.exports().interface.clone())
+            .map(|u| Arc::clone(&u.exports().interface))
             .collect();
 
         // The program-wide referenced-variable map every LinkContext
         // shares: all units, other units' statics mangled. One map for the
-        // whole program instead of one exclusion map per unit.
+        // whole program instead of one exclusion map per unit; entries are
+        // Arc-shared with the per-unit memos, never deep-copied.
         let mut all_refs: ExternalRefs = BTreeMap::new();
-        for (unit, statics) in units.iter().zip(&unit_statics) {
-            for (name, vars) in &unit.exports().refs {
-                let key = if statics.contains(name) {
-                    mangle_static(name, &unit.parsed.name)
-                } else {
-                    name.clone()
-                };
-                all_refs.insert(key, vars.clone());
+        for unit in &units {
+            for (name, vars) in &unit.exports().resolved_refs {
+                all_refs.insert(*name, Arc::clone(vars));
             }
         }
         let all_refs_fingerprint = external_refs_fingerprint(&all_refs);
         let all_refs = Arc::new(all_refs);
-
-        // Imported-surface terms: XOR-combined so each unit's own term can
-        // be excluded from the program total in O(1). The index is mixed in
-        // so two byte-identical units contribute distinct terms.
-        let import_terms: Vec<u64> = interfaces
-            .iter()
-            .enumerate()
-            .map(|(idx, interface)| {
-                let mut h = Fnv::new();
-                h.write_u64(idx as u64);
-                h.write_str(&interface.unit);
-                h.write_u64(interface.fingerprint);
-                h.finish()
-            })
-            .collect();
-        let imports_total = import_terms.iter().fold(0u64, |acc, term| acc ^ term);
 
         // The whole-program fixed point over per-function seeds. Each
         // unit's summarize phase already produced (and cached, function-
@@ -411,10 +475,10 @@ impl Program {
         let unit_names: Vec<String> = units.iter().map(|u| u.parsed.name.clone()).collect();
         let (summaries, passes, reseeded, local_fps) = if options.interprocedural {
             let threads = options.effective_link_threads();
-            let (seeds, nodes) = merged_propagation_inputs(&units, &unit_statics);
-            let local_fps: BTreeMap<String, u64> = nodes
+            let (seeds, nodes) = merged_propagation_inputs(&units);
+            let local_fps: BTreeMap<Symbol, u64> = nodes
                 .iter()
-                .map(|node| (node.name.clone(), local_fingerprint(node, &seeds)))
+                .map(|node| (node.name, local_fingerprint(node, &seeds)))
                 .collect();
 
             // Previous state is only reusable for the same program (same
@@ -423,16 +487,16 @@ impl Program {
             let reusable = previous.filter(|state| state.unit_names == unit_names);
             match reusable {
                 Some(state) => {
-                    let dirty: BTreeSet<String> = local_fps
+                    let dirty: BTreeSet<Symbol> = local_fps
                         .iter()
                         .filter(|(name, fp)| state.local_fps.get(*name) != Some(fp))
-                        .map(|(name, _)| name.clone())
+                        .map(|(name, _)| *name)
                         .chain(
                             state
                                 .local_fps
                                 .keys()
                                 .filter(|name| !local_fps.contains_key(*name))
-                                .cloned(),
+                                .copied(),
                         )
                         .collect();
                     if dirty.is_empty() {
@@ -462,9 +526,11 @@ impl Program {
                     }
                 }
                 None => {
-                    let merged = ProgramSummaries::propagate_parallel(
+                    // Cold link: the seed map was built fresh above, so
+                    // hand it to the engine instead of cloning it again.
+                    let merged = ProgramSummaries::propagate_parallel_owned(
                         &nodes,
-                        &seeds,
+                        seeds,
                         options.max_interproc_passes,
                         options.pessimistic_globals,
                         threads,
@@ -491,23 +557,64 @@ impl Program {
         // name falls through to the shared linked summaries.
         let unit_views: Vec<Option<Arc<ProgramSummaries>>> = units
             .iter()
-            .zip(&unit_statics)
-            .map(|(unit, statics)| {
+            .map(|unit| {
+                let statics = &unit.exports().statics_mangled;
                 if statics.is_empty() {
                     return None;
                 }
                 let mut view = ProgramSummaries::overlay(Arc::clone(&summaries));
-                for name in statics {
-                    let mangled = mangle_static(name, &unit.parsed.name);
-                    if let Some(summary) = summaries.summary(&mangled) {
+                for &(name, mangled) in statics {
+                    if let Some(summary) = summaries.summary(mangled) {
                         let mut summary = summary.clone();
-                        summary.name = name.clone();
-                        view.insert(name.clone(), summary);
+                        summary.name = name;
+                        view.insert(name, summary);
                     }
                 }
                 Some(Arc::new(view))
             })
             .collect();
+
+        // Dependency-aware imported-surface fingerprints, derived from the
+        // *converged* fixed point: for each unit, hash the summary of
+        // every callee its functions name — resolved through the unit's
+        // static-shadowing view, exactly as planning resolves them — plus
+        // the program-wide referenced-variable map for units defining
+        // `main` (the only consumer of `extern_refs`). These cover every
+        // cross-unit fact `analyze_linked` can observe, so an edit in unit
+        // A moves unit B's fingerprint only when a summary B actually
+        // reads changed: the edit path re-plans the import cone, not the
+        // program. (The old scheme hashed all *other* units' exported
+        // interfaces, so any interface change anywhere invalidated every
+        // unit — `one_edit_ms` tracked program size, not cone size.)
+        let import_fps: Vec<u64> = units
+            .iter()
+            .enumerate()
+            .map(|(idx, unit)| {
+                let view: &ProgramSummaries = match &unit_views[idx] {
+                    Some(view) => view,
+                    None => &summaries,
+                };
+                let mut h = Fnv::new();
+                let mut defines_main = false;
+                for f in unit.parsed.unit.functions() {
+                    defines_main |= f.name == "main";
+                    h.write_str(&f.name);
+                    h.write_u64(crate::pipeline::callees_fingerprint(
+                        f.name,
+                        &unit.accesses,
+                        view,
+                        &unit.parsed.unit,
+                    ));
+                    h.write(&[0xee]);
+                }
+                if defines_main {
+                    h.write(&[1]);
+                    h.write_u64(all_refs_fingerprint);
+                }
+                h.finish()
+            })
+            .collect();
+
         let program = Program {
             units,
             interfaces,
@@ -518,8 +625,7 @@ impl Program {
             },
             all_refs,
             all_refs_fingerprint,
-            import_terms,
-            imports_total,
+            import_fps,
             unit_views,
         };
         Ok((program, state, reseeded))
@@ -538,7 +644,7 @@ impl Program {
     /// The [`LinkContext`] for the unit at `index`, assembled in O(1) from
     /// program-wide pieces: the linked summaries (or the unit's prebuilt
     /// static-shadowing view), the shared referenced-variable map, and the
-    /// unit's imports fingerprint (`imports_total ^ import_terms[index]`).
+    /// unit's dependency-aware imports fingerprint.
     ///
     /// Every unit shares **one** `extern_refs` map covering *all* units —
     /// including the unit's own functions, which the per-unit maps used to
@@ -565,7 +671,7 @@ impl Program {
             summaries,
             extern_refs: Arc::clone(&self.all_refs),
             extern_refs_fingerprint: self.all_refs_fingerprint,
-            imports_fingerprint: self.imports_total ^ self.import_terms[index],
+            imports_fingerprint: self.import_fps[index],
         }
     }
 
@@ -580,11 +686,10 @@ impl Program {
         options: &crate::OmpDartOptions,
         threads: usize,
     ) -> ProgramSummaries {
-        let statics = unit_static_sets(units);
-        let (seeds, nodes) = merged_propagation_inputs(units, &statics);
-        ProgramSummaries::propagate_parallel(
+        let (seeds, nodes) = merged_propagation_inputs(units);
+        ProgramSummaries::propagate_parallel_owned(
             &nodes,
-            &seeds,
+            seeds,
             options.max_interproc_passes,
             options.pessimistic_globals,
             threads,
@@ -600,8 +705,7 @@ impl Program {
         units: &[Arc<SummarizedUnit>],
         options: &crate::OmpDartOptions,
     ) -> ProgramSummaries {
-        let statics = unit_static_sets(units);
-        let (seeds, nodes) = merged_propagation_inputs(units, &statics);
+        let (seeds, nodes) = merged_propagation_inputs(units);
         ProgramSummaries::propagate_sequential(
             &nodes,
             &seeds,
@@ -611,57 +715,29 @@ impl Program {
     }
 }
 
-/// The per-unit sets of `static` function names (source-level), as
-/// [`Program::relink`] computes them during duplicate rejection.
-fn unit_static_sets(units: &[Arc<SummarizedUnit>]) -> Vec<BTreeSet<String>> {
-    units
-        .iter()
-        .map(|unit| {
-            unit.parsed
-                .unit
-                .functions()
-                .filter(|f| f.is_static)
-                .map(|f| f.name.clone())
-                .collect()
-        })
-        .collect()
-}
-
 /// Merge every unit's per-function seeds and propagation nodes under their
 /// link-resolved names: unit-private `static` functions (and calls to
 /// them from inside their unit) mangle to `name@unit`, everything else
-/// keeps its source-level name.
-fn merged_propagation_inputs<'a>(
-    units: &'a [Arc<SummarizedUnit>],
-    unit_statics: &[BTreeSet<String>],
-) -> (HashMap<String, FunctionSummary>, Vec<PropagationNode<'a>>) {
-    let mut seeds: HashMap<String, FunctionSummary> = HashMap::new();
+/// keeps its source-level name. All resolution already happened once per
+/// unit content ([`UnitExports::link_funcs`]); this merge only borrows the
+/// memoized call lists and clones each seed into the owned map.
+fn merged_propagation_inputs(
+    units: &[Arc<SummarizedUnit>],
+) -> (HashMap<Symbol, FunctionSummary>, Vec<PropagationNode<'_>>) {
+    let mut seeds: HashMap<Symbol, FunctionSummary> = HashMap::new();
     let mut nodes: Vec<PropagationNode<'_>> = Vec::new();
-    for (idx, unit) in units.iter().enumerate() {
-        let statics = &unit_statics[idx];
-        let uname = &unit.parsed.name;
-        let resolve = |callee: &str| -> String {
-            if statics.contains(callee) {
-                mangle_static(callee, uname)
-            } else {
-                callee.to_string()
-            }
-        };
-        for func in unit.parsed.unit.functions() {
-            let Some(seed) = unit.summaries.seeds.get(&func.name) else {
+    for unit in units {
+        for lf in &unit.exports().link_funcs {
+            let Some(sym) = unit.accesses.symbols.get(&lf.source) else {
                 continue;
             };
-            let Some(acc) = unit.accesses.accesses.get(&func.name) else {
-                continue;
-            };
-            let Some(sym) = unit.accesses.symbols.get(&func.name) else {
-                continue;
-            };
-            let resolved = resolve(&func.name);
-            let mut seed = seed.clone();
-            seed.name = resolved.clone();
-            seeds.insert(resolved.clone(), seed);
-            nodes.push(PropagationNode::build(resolved, func, acc, sym, resolve));
+            seeds.insert(lf.resolved, lf.seed.clone());
+            nodes.push(PropagationNode {
+                name: lf.resolved,
+                params: std::borrow::Cow::Borrowed(&lf.params),
+                sym,
+                calls: std::borrow::Cow::Borrowed(&lf.calls),
+            });
         }
     }
     (seeds, nodes)
@@ -673,7 +749,7 @@ fn merged_propagation_inputs<'a>(
 /// of each by-reference argument. Two links in which every function's
 /// local fingerprint matches converge to identical summaries — which is
 /// what lets the incremental relink skip them.
-fn local_fingerprint(node: &PropagationNode<'_>, seeds: &HashMap<String, FunctionSummary>) -> u64 {
+fn local_fingerprint(node: &PropagationNode<'_>, seeds: &HashMap<Symbol, FunctionSummary>) -> u64 {
     let mut h = Fnv::new();
     match seeds.get(&node.name) {
         Some(seed) => {
@@ -682,7 +758,7 @@ fn local_fingerprint(node: &PropagationNode<'_>, seeds: &HashMap<String, Functio
         }
         None => h.write(&[0]),
     }
-    for call in &node.calls {
+    for call in node.calls.iter() {
         h.write_str(&call.callee);
         h.write(&[u8::from(call.on_device)]);
         for arg in &call.args {
@@ -733,7 +809,7 @@ pub struct ProgramAnalysis {
     /// Per-unit analyses, in input order.
     pub units: Vec<Arc<UnitAnalysis>>,
     /// Per-unit exported interfaces, in input order.
-    pub interfaces: Vec<ExportedInterface>,
+    pub interfaces: Vec<Arc<ExportedInterface>>,
     /// How each unit was served, in input order.
     pub served: Vec<UnitServe>,
     /// Propagation passes of the cross-unit fixed point.
@@ -780,7 +856,7 @@ impl ProgramAnalysis {
 pub(crate) struct ProgramRound {
     pub(crate) units: Vec<Arc<SummarizedUnit>>,
     pub(crate) analyses: Vec<Arc<UnitAnalysis>>,
-    pub(crate) interfaces: Vec<ExportedInterface>,
+    pub(crate) interfaces: Vec<Arc<ExportedInterface>>,
     pub(crate) imports_fps: Vec<u64>,
     pub(crate) link_passes: usize,
     /// Unit name → index (last wins for duplicate names; the `Arc::ptr_eq`
@@ -799,6 +875,16 @@ pub struct DriverProfile {
     pub units: usize,
     /// Units served by the identity fast path this round.
     pub fast_path_units: usize,
+    /// Units served warm this round without a fresh plan fan-out:
+    /// previous-round reuse (`Cached`) plus persistent-store hits
+    /// (`Store`). On a fresh process whose store was populated by an
+    /// earlier run, `warm_units > 0` with `edit_path == false` is the
+    /// store-served warm start.
+    pub warm_units: usize,
+    /// True when the round rode previously recorded link state in this
+    /// session (an edit round): the per-phase breakdown below is then a
+    /// one-edit profile, not a cold-start one.
+    pub edit_path: bool,
     /// Wall time of the parallel summarize phase.
     pub summarize: Duration,
     /// Wall time of the (incremental) link fixed point.
@@ -815,6 +901,10 @@ pub struct DriverProfile {
     pub unit_p50: Duration,
     /// 99th-percentile per-unit latency inside the plan fan-out.
     pub unit_p99: Duration,
+    /// Worker count the parallel phases actually ran at: the driver's
+    /// requested thread count capped at the machine's available
+    /// parallelism ([`crate::pool::effective_width`]).
+    pub pool_workers: usize,
     /// Worker-pool jobs this call ran ([`crate::pool::stats`] delta).
     pub pool_jobs: u64,
     /// Indices processed by those pool jobs.
@@ -841,15 +931,19 @@ impl DriverProfile {
         format!(
             concat!(
                 "{{\"units\":{},\"fast_path_units\":{},",
+                "\"warm_units\":{},\"edit_path\":{},",
                 "\"summarize_ms\":{:.3},\"link_ms\":{:.3},\"contexts_ms\":{:.3},",
                 "\"plan_ms\":{:.3},\"flush_ms\":{:.3},\"total_ms\":{:.3},",
                 "\"unit_p50_ms\":{:.3},\"unit_p99_ms\":{:.3},",
+                "\"pool_workers\":{},",
                 "\"pool_jobs\":{},\"pool_items\":{},\"pool_inline_jobs\":{},",
                 "\"pool_fallback_jobs\":{},\"pool_wait_ns\":{},",
                 "\"lock_wait_ns\":{},\"lock_contentions\":{}}}"
             ),
             self.units,
             self.fast_path_units,
+            self.warm_units,
+            self.edit_path,
             ms(self.summarize),
             ms(self.link),
             ms(self.contexts),
@@ -858,6 +952,7 @@ impl DriverProfile {
             ms(self.total),
             ms(self.unit_p50),
             ms(self.unit_p99),
+            self.pool_workers,
             self.pool_jobs,
             self.pool_items,
             self.pool_inline_jobs,
@@ -993,6 +1088,7 @@ impl ProgramDriver {
         let finish_profile = |mut profile: DriverProfile| {
             let pool = crate::pool::stats();
             let lock = crate::shard::lock_stats();
+            profile.pool_workers = crate::pool::effective_width(self.threads);
             profile.pool_jobs = pool.jobs - pool_before.jobs;
             profile.pool_items = pool.items - pool_before.items;
             profile.pool_inline_jobs = pool.inline_jobs - pool_before.inline_jobs;
@@ -1029,6 +1125,8 @@ impl ProgramDriver {
                 let profile = finish_profile(DriverProfile {
                     units: units.len(),
                     fast_path_units: units.len(),
+                    warm_units: units.len(),
+                    edit_path: true,
                     summarize,
                     ..DriverProfile::default()
                 });
@@ -1106,9 +1204,15 @@ impl ProgramDriver {
         }));
 
         durations.sort_unstable();
+        let warm_units = served
+            .iter()
+            .filter(|s| matches!(s, UnitServe::Cached | UnitServe::Store))
+            .count();
         let profile = finish_profile(DriverProfile {
             units: units.len(),
             fast_path_units,
+            warm_units,
+            edit_path: round.is_some(),
             summarize,
             link,
             contexts: contexts_elapsed,

@@ -733,7 +733,7 @@ fn hex_u64(value: Option<&Json>) -> Option<u64> {
 
 fn function_key_to_json(key: &FunctionKeySnapshot) -> Json {
     Json::Object(vec![
-        ("function".into(), Json::Str(key.function.clone())),
+        ("function".into(), Json::Str(key.function.to_string())),
         ("base_id".into(), Json::Int(i64::from(key.base_id))),
         ("base_pos".into(), Json::Int(i64::from(key.base_pos))),
         ("snippet_len".into(), Json::Int(i64::from(key.snippet_len))),
@@ -761,7 +761,7 @@ fn function_key_from_json(value: &Json) -> Option<FunctionKeySnapshot> {
             .and_then(|n| u32::try_from(n).ok())
     };
     Some(FunctionKeySnapshot {
-        function: value.get("function").and_then(Json::as_str)?.to_string(),
+        function: ompdart_frontend::Symbol::intern(value.get("function").and_then(Json::as_str)?),
         base_id: int_u32("base_id")?,
         base_pos: int_u32("base_pos")?,
         snippet_len: int_u32("snippet_len")?,

@@ -18,6 +18,7 @@
 use crate::access::{FunctionAccesses, SymbolTable};
 use ompdart_frontend::ast::{NodeId, Stmt, StmtKind, TranslationUnit};
 use ompdart_frontend::diag::{Diagnostic, Diagnostics};
+use ompdart_frontend::Symbol;
 use ompdart_frontend::omp::{Clause, DirectiveKind, MapType, OmpDirective};
 use ompdart_frontend::parser::parse_str;
 use ompdart_graph::ProgramGraphs;
@@ -72,7 +73,7 @@ pub fn verify_unit(unit: &TranslationUnit) -> VerifyReport {
         let symbols = SymbolTable::build(unit, func);
         let accesses = FunctionAccesses::collect(func, &graph.index, &symbols);
         let mut checker = Checker {
-            function: func.name.clone(),
+            function: func.name.to_string(),
             accesses: &accesses,
             symbols: &symbols,
             state: HashMap::new(),
@@ -193,7 +194,7 @@ impl Checker<'_> {
                 // Kernel: explicit maps enter, implicit rules for the rest.
                 self.apply_map_entries(dir);
                 let fp = dir.firstprivate_vars();
-                let body_vars: Vec<String> = dir
+                let body_vars: Vec<Symbol> = dir
                     .body
                     .as_ref()
                     .map(|b| kernel_vars(b, self.accesses))
@@ -285,7 +286,7 @@ impl Checker<'_> {
     fn check_device_body(&mut self, body: &Stmt, _kernel: &Stmt) {
         body.walk(&mut |s| {
             // Collect accesses by statement; recursion handled by walk.
-            let accesses: Vec<_> = self.accesses.for_stmt(s.id).into_iter().cloned().collect();
+            let accesses: Vec<_> = self.accesses.for_stmt(s.id).cloned().collect();
             for access in accesses {
                 if !self.symbols.is_aggregate(&access.var) && !self.symbols.is_scalar(&access.var) {
                     continue;
@@ -315,7 +316,6 @@ impl Checker<'_> {
         let accesses: Vec<_> = self
             .accesses
             .for_stmt(stmt.id)
-            .into_iter()
             .cloned()
             .collect();
         for access in accesses {
@@ -355,12 +355,12 @@ impl Checker<'_> {
 }
 
 /// Variables referenced by a kernel body that are not declared inside it.
-fn kernel_vars(body: &Stmt, accesses: &FunctionAccesses) -> Vec<String> {
-    let mut out = Vec::new();
+fn kernel_vars(body: &Stmt, accesses: &FunctionAccesses) -> Vec<Symbol> {
+    let mut out: Vec<Symbol> = Vec::new();
     body.walk(&mut |s| {
         for access in accesses.for_stmt(s.id) {
             if access.on_device && !out.contains(&access.var) {
-                out.push(access.var.clone());
+                out.push(access.var);
             }
         }
     });

@@ -10,6 +10,7 @@
 //! [`Span`] into the original source, which the rewriter uses for
 //! source-to-source transformation.
 
+use crate::intern::Symbol;
 use crate::omp::OmpDirective;
 use crate::source::Span;
 use std::fmt;
@@ -46,9 +47,9 @@ pub enum Type {
     Double,
     /// A named type introduced by `typedef` or an unknown type name treated
     /// opaquely (e.g. `size_t`).
-    Named(String),
+    Named(Symbol),
     /// A `struct Name` type (fields resolved through the translation unit).
-    Struct(String),
+    Struct(Symbol),
     /// Pointer to another type.
     Pointer(Box<Type>),
     /// Array with an optional size expression (`int a[N]`, `int a[]`).
@@ -126,7 +127,7 @@ impl Type {
             Type::ULong => "unsigned long".into(),
             Type::Float => "float".into(),
             Type::Double => "double".into(),
-            Type::Named(n) => n.clone(),
+            Type::Named(n) => n.as_str().into(),
             Type::Struct(n) => format!("struct {n}"),
             Type::Pointer(inner) => format!("{} *", inner.to_c_string()),
             Type::Array(inner, _) => format!("{}[]", inner.to_c_string()),
@@ -296,7 +297,7 @@ pub enum ExprKind {
     StrLit(String),
     /// A reference to a declared variable (or enumerator / macro left
     /// unresolved).
-    Ident(String),
+    Ident(Symbol),
     Unary {
         op: UnaryOp,
         operand: Box<Expr>,
@@ -319,7 +320,7 @@ pub enum ExprKind {
         else_expr: Box<Expr>,
     },
     Call {
-        callee: String,
+        callee: Symbol,
         callee_span: Span,
         args: Vec<Expr>,
     },
@@ -331,7 +332,7 @@ pub enum ExprKind {
     /// Member access `base.field` or `base->field`.
     Member {
         base: Box<Expr>,
-        field: String,
+        field: Symbol,
         arrow: bool,
     },
     Cast {
@@ -351,22 +352,28 @@ impl Expr {
     /// declared variable: `a`, `a[i]`, `a[i][j]`, `*a`, `a.x`, `a->x`,
     /// `(*a).x` all report `a`.
     pub fn base_variable(&self) -> Option<&str> {
+        self.base_symbol().map(|s| s.as_str())
+    }
+
+    /// [`Self::base_variable`], but returning the interned symbol — the
+    /// allocation-free form the access classifier keys its maps with.
+    pub fn base_symbol(&self) -> Option<Symbol> {
         match &self.kind {
-            ExprKind::Ident(name) => Some(name),
-            ExprKind::Index { base, .. } => base.base_variable(),
-            ExprKind::Member { base, .. } => base.base_variable(),
-            ExprKind::Paren(inner) => inner.base_variable(),
-            ExprKind::Cast { expr, .. } => expr.base_variable(),
+            ExprKind::Ident(name) => Some(*name),
+            ExprKind::Index { base, .. } => base.base_symbol(),
+            ExprKind::Member { base, .. } => base.base_symbol(),
+            ExprKind::Paren(inner) => inner.base_symbol(),
+            ExprKind::Cast { expr, .. } => expr.base_symbol(),
             ExprKind::Unary {
                 op: UnaryOp::Deref,
                 operand,
                 ..
-            } => operand.base_variable(),
+            } => operand.base_symbol(),
             ExprKind::Unary {
                 op: UnaryOp::AddrOf,
                 operand,
                 ..
-            } => operand.base_variable(),
+            } => operand.base_symbol(),
             _ => None,
         }
     }
@@ -374,19 +381,28 @@ impl Expr {
     /// Collect the names of all variables referenced anywhere in this
     /// expression (in evaluation order, with duplicates removed).
     pub fn referenced_vars(&self) -> Vec<String> {
+        self.referenced_symbols()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// [`Self::referenced_vars`] without the per-name allocations: interned
+    /// symbols in evaluation order, duplicates removed.
+    pub fn referenced_symbols(&self) -> Vec<Symbol> {
         let mut out = Vec::new();
         self.collect_vars(&mut out);
         out
     }
 
-    fn collect_vars(&self, out: &mut Vec<String>) {
-        let mut push = |name: &str| {
-            if !out.iter().any(|n| n == name) {
-                out.push(name.to_string());
+    pub(crate) fn collect_vars(&self, out: &mut Vec<Symbol>) {
+        let mut push = |name: Symbol| {
+            if !out.contains(&name) {
+                out.push(name);
             }
         };
         match &self.kind {
-            ExprKind::Ident(name) => push(name),
+            ExprKind::Ident(name) => push(*name),
             ExprKind::Unary { operand, .. } => operand.collect_vars(out),
             ExprKind::Binary { lhs, rhs, .. } | ExprKind::Assign { lhs, rhs, .. } => {
                 lhs.collect_vars(out);
@@ -434,7 +450,7 @@ impl Expr {
             ExprKind::IntLit(v) => Some(*v),
             ExprKind::CharLit(c) => Some(*c as i64),
             ExprKind::FloatLit(v) => Some(*v as i64),
-            ExprKind::Ident(name) => lookup(name),
+            ExprKind::Ident(name) => lookup(name.as_str()),
             ExprKind::Paren(e) | ExprKind::Cast { expr: e, .. } => e.const_eval(lookup),
             ExprKind::Unary { op, operand, .. } => {
                 let v = operand.const_eval(lookup)?;
@@ -563,18 +579,32 @@ pub enum Init {
 impl Init {
     /// Collect variables referenced by the initializer.
     pub fn referenced_vars(&self) -> Vec<String> {
+        self.referenced_symbols()
+            .into_iter()
+            .map(String::from)
+            .collect()
+    }
+
+    /// Interned form of [`Self::referenced_vars`].
+    pub fn referenced_symbols(&self) -> Vec<Symbol> {
+        let mut out = Vec::new();
+        self.collect_symbols(&mut out);
+        out
+    }
+
+    fn collect_symbols(&self, out: &mut Vec<Symbol>) {
         match self {
-            Init::Expr(e) => e.referenced_vars(),
-            Init::List(items) => {
-                let mut out = Vec::new();
-                for it in items {
-                    for v in it.referenced_vars() {
-                        if !out.contains(&v) {
-                            out.push(v);
-                        }
+            Init::Expr(e) => {
+                for v in e.referenced_symbols() {
+                    if !out.contains(&v) {
+                        out.push(v);
                     }
                 }
-                out
+            }
+            Init::List(items) => {
+                for it in items {
+                    it.collect_symbols(out);
+                }
             }
         }
     }
@@ -585,7 +615,7 @@ impl Init {
 pub struct VarDecl {
     pub id: NodeId,
     pub span: Span,
-    pub name: String,
+    pub name: Symbol,
     pub ty: Type,
     pub init: Option<Init>,
     pub is_const: bool,
@@ -752,7 +782,7 @@ impl Stmt {
 pub struct ParamDecl {
     pub id: NodeId,
     pub span: Span,
-    pub name: String,
+    pub name: Symbol,
     pub ty: Type,
     /// True if the parameter points to `const` data (`const double *x`),
     /// which the interprocedural analysis treats as strictly read-only.
@@ -764,7 +794,7 @@ pub struct ParamDecl {
 pub struct FunctionDef {
     pub id: NodeId,
     pub span: Span,
-    pub name: String,
+    pub name: Symbol,
     pub ret: Type,
     pub params: Vec<ParamDecl>,
     /// `None` for prototypes (declarations without a body).
@@ -785,7 +815,7 @@ impl FunctionDef {
 pub struct StructDef {
     pub id: NodeId,
     pub span: Span,
-    pub name: String,
+    pub name: Symbol,
     pub fields: Vec<VarDecl>,
 }
 
@@ -799,7 +829,7 @@ pub enum TopLevel {
     Typedef {
         id: NodeId,
         span: Span,
-        name: String,
+        name: Symbol,
         ty: Type,
     },
 }

@@ -12,8 +12,10 @@
 //!   preprocessor consumes (`#define`, `#include`, `#ifdef`, ...).
 
 use crate::diag::Diagnostics;
+use crate::intern::{FnvBuild, Symbol};
 use crate::source::{SourceFile, Span};
 use crate::token::{keyword_from_str, Token, TokenKind};
+use std::collections::HashMap;
 
 /// Streaming lexer over a source file (or a sub-range of one).
 pub struct Lexer<'a> {
@@ -24,6 +26,12 @@ pub struct Lexer<'a> {
     /// with spans that index into the full file (used for pragma bodies).
     base: u32,
     diags: Diagnostics,
+    /// Per-unit interner cache: identifier byte-slices of *this* source →
+    /// their interned [`Symbol`]. Repeated occurrences of an identifier hit
+    /// this borrowed-slice map and never touch the global symbol table, so
+    /// lexing a unit costs O(distinct identifiers) table inserts and zero
+    /// per-token string allocations.
+    idents: HashMap<&'a [u8], Symbol, FnvBuild>,
 }
 
 impl<'a> Lexer<'a> {
@@ -34,6 +42,7 @@ impl<'a> Lexer<'a> {
             pos: 0,
             base: 0,
             diags: Diagnostics::new(),
+            idents: HashMap::default(),
         }
     }
 
@@ -45,6 +54,7 @@ impl<'a> Lexer<'a> {
             pos: 0,
             base,
             diags: Diagnostics::new(),
+            idents: HashMap::default(),
         }
     }
 
@@ -205,20 +215,25 @@ impl<'a> Lexer<'a> {
                 }
             }
         }
-        let raw = String::from_utf8_lossy(&self.text[text_start..self.pos]).into_owned();
-        // Normalize continuations and strip trailing comments for the stored text.
-        let mut cleaned = raw.replace("\\\r\n", " ").replace("\\\n", " ");
-        if let Some(idx) = cleaned.find("//") {
-            cleaned.truncate(idx);
-        }
-        let cleaned = cleaned.trim().to_string();
-        let span = Span::new(self.abs(start), self.abs(self.pos));
-        let lower = cleaned.trim_start();
-        if let Some(stripped) = lower.strip_prefix("pragma") {
-            let body = stripped.trim().to_string();
-            Token::new(TokenKind::Pragma(body), span)
+        // Normalize continuations and strip trailing comments for the stored
+        // text. The common case (no continuation) stays zero-copy until the
+        // single final allocation of the token payload.
+        let raw = String::from_utf8_lossy(&self.text[text_start..self.pos]);
+        let cleaned: std::borrow::Cow<'_, str> = if raw.contains('\\') {
+            std::borrow::Cow::Owned(raw.replace("\\\r\n", " ").replace("\\\n", " "))
         } else {
-            Token::new(TokenKind::HashDirective(cleaned), span)
+            raw
+        };
+        let mut body: &str = &cleaned;
+        if let Some(idx) = body.find("//") {
+            body = &body[..idx];
+        }
+        let body = body.trim();
+        let span = Span::new(self.abs(start), self.abs(self.pos));
+        if let Some(stripped) = body.strip_prefix("pragma") {
+            Token::new(TokenKind::Pragma(stripped.trim().to_string()), span)
+        } else {
+            Token::new(TokenKind::HashDirective(body.to_string()), span)
         }
     }
 
@@ -230,13 +245,20 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let s = std::str::from_utf8(&self.text[start..self.pos])
-            .unwrap_or("")
-            .to_string();
+        let bytes = &self.text[start..self.pos];
         let span = Span::new(self.abs(start), self.abs(self.pos));
-        match keyword_from_str(&s) {
+        // Identifier characters are ASCII by construction, so the slice is
+        // valid UTF-8.
+        let s = std::str::from_utf8(bytes).unwrap_or("");
+        match keyword_from_str(s) {
             Some(kw) => Token::new(kw, span),
-            None => Token::new(TokenKind::Ident(s), span),
+            None => {
+                let sym = *self
+                    .idents
+                    .entry(bytes)
+                    .or_insert_with(|| Symbol::intern(s));
+                Token::new(TokenKind::Ident(sym), span)
+            }
         }
     }
 

@@ -41,6 +41,7 @@
 
 pub mod ast;
 pub mod diag;
+pub mod intern;
 pub mod lexer;
 pub mod omp;
 pub mod parser;
@@ -52,6 +53,7 @@ pub mod token;
 
 pub use ast::{Expr, ExprKind, FunctionDef, Stmt, StmtKind, TranslationUnit, Type, VarDecl};
 pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use intern::Symbol;
 pub use omp::{Clause, DirectiveKind, MapItem, MapType, OmpDirective};
 pub use parser::{parse_source, parse_str, ParseResult};
 pub use source::{SourceFile, Span};

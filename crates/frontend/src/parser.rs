@@ -7,6 +7,7 @@
 
 use crate::ast::*;
 use crate::diag::Diagnostics;
+use crate::intern::Symbol;
 use crate::lexer::tokenize_file;
 use crate::omp::{DirectiveKind, OmpDirective};
 use crate::pragma::parse_omp_pragma;
@@ -55,8 +56,8 @@ pub(crate) struct Parser<'a> {
     file: &'a SourceFile,
     pub(crate) diags: Diagnostics,
     next_id: u32,
-    typedefs: HashSet<String>,
-    structs: HashSet<String>,
+    typedefs: HashSet<Symbol>,
+    structs: HashSet<Symbol>,
 }
 
 impl<'a> Parser<'a> {
@@ -81,7 +82,7 @@ impl<'a> Parser<'a> {
             "Index_t",
             "Int_t",
         ] {
-            typedefs.insert(builtin.to_string());
+            typedefs.insert(Symbol::intern(builtin));
         }
         Parser {
             tokens,
@@ -647,7 +648,7 @@ impl<'a> Parser<'a> {
 
     /// Parse a declarator: pointers, a name, then array suffixes.
     /// Returns (full type, name, name span).
-    fn parse_declarator(&mut self, mut base: Type) -> Option<(Type, String, Span)> {
+    fn parse_declarator(&mut self, mut base: Type) -> Option<(Type, Symbol, Span)> {
         loop {
             match self.peek() {
                 TokenKind::Star => {
@@ -1317,7 +1318,7 @@ impl<'a> Parser<'a> {
                         }
                         _ => {
                             self.diags.error(self.peek_span(), "expected member name");
-                            ("<error>".to_string(), self.peek_span())
+                            (Symbol::intern("<error>"), self.peek_span())
                         }
                     };
                     let span = expr.span.to(fspan);

@@ -25,7 +25,7 @@ pub(crate) fn parse_omp_pragma<'a>(
     // 1. Collect the leading directive words (stop at the first clause that
     //    carries parentheses).
     let mut idx = 0usize;
-    let mut words: Vec<String> = Vec::new();
+    let mut words: Vec<&'static str> = Vec::new();
     let mut word_token_end = 0usize;
     while idx < tokens.len() {
         let Some(word) = word_of(&tokens[idx].kind) else {
@@ -49,8 +49,7 @@ pub(crate) fn parse_omp_pragma<'a>(
         return None;
     }
 
-    let word_refs: Vec<&str> = words.iter().map(|s| s.as_str()).collect();
-    let (kind, consumed) = DirectiveKind::from_words(&word_refs);
+    let (kind, consumed) = DirectiveKind::from_words(&words);
     if let DirectiveKind::Other(name) = &kind {
         parser.note_unknown_directive(pragma_span, name);
     }
@@ -77,9 +76,9 @@ pub(crate) fn parse_omp_pragma<'a>(
         if matches!(tokens.get(i).map(|t| &t.kind), Some(TokenKind::LParen)) {
             let (args, next) = collect_paren_args(&tokens, i);
             i = next;
-            clauses.push(build_clause(parser, file, &kind, &name, &args));
+            clauses.push(build_clause(parser, file, &kind, name, &args));
         } else {
-            clauses.push(bare_clause(&name));
+            clauses.push(bare_clause(name));
         }
     }
 
@@ -87,13 +86,15 @@ pub(crate) fn parse_omp_pragma<'a>(
 }
 
 /// The word form of a token usable in pragma directive/clause positions.
-fn word_of(kind: &TokenKind) -> Option<String> {
+/// Both interned identifiers and fixed keywords have `'static` text, so no
+/// allocation is needed here.
+fn word_of(kind: &TokenKind) -> Option<&'static str> {
     match kind {
-        TokenKind::Ident(s) => Some(s.clone()),
+        TokenKind::Ident(s) => Some(s.as_str()),
         k if !k.symbol_text().is_empty()
             && k.symbol_text().chars().all(|c| c.is_ascii_alphabetic()) =>
         {
-            Some(k.symbol_text().to_string())
+            Some(k.symbol_text())
         }
         _ => None,
     }
@@ -258,7 +259,7 @@ fn parse_item_list(file: &crate::source::SourceFile, args: &[Token]) -> Vec<MapI
             continue;
         }
         let (var, var_span) = match &group[0].kind {
-            TokenKind::Ident(name) => (name.clone(), group[0].span),
+            TokenKind::Ident(name) => (name.to_string(), group[0].span),
             _ => continue,
         };
         let mut sections = Vec::new();
@@ -367,7 +368,7 @@ fn parse_expr_fragment(file: &crate::source::SourceFile, tokens: &[Token]) -> Op
 
 fn render_token(tok: &Token) -> String {
     match &tok.kind {
-        TokenKind::Ident(s) => s.clone(),
+        TokenKind::Ident(s) => s.to_string(),
         TokenKind::IntLit(v) => v.to_string(),
         TokenKind::FloatLit(v) => v.to_string(),
         TokenKind::StrLit(s) => format!("\"{s}\""),

@@ -172,10 +172,10 @@ pub fn preprocess(tokens: Vec<Token>, diags: &mut Diagnostics) -> PreprocessOutp
                 if !active(&cond_stack) {
                     continue;
                 }
-                if out.macros.contains_key(name) {
-                    let name = name.clone();
-                    expand_macro(&name, tok.span, &out.macros, &mut out.tokens, diags, 0);
-                } else if out.fn_macros.contains_key(name) {
+                if out.macros.contains_key(name.as_str()) {
+                    let name = name.as_str();
+                    expand_macro(name, tok.span, &out.macros, &mut out.tokens, diags, 0);
+                } else if out.fn_macros.contains_key(name.as_str()) {
                     // Accepted at definition, expanded in conditions — but
                     // a call in the regular token stream would need full
                     // argument substitution, which MiniC does not do yet.
@@ -722,8 +722,8 @@ fn expand_macro(
     let def = &macros[name];
     for tok in &def.body {
         match &tok.kind {
-            TokenKind::Ident(inner) if inner != name && macros.contains_key(inner) => {
-                expand_macro(inner, use_span, macros, out, diags, depth + 1);
+            TokenKind::Ident(inner) if inner != name && macros.contains_key(inner.as_str()) => {
+                expand_macro(inner.as_str(), use_span, macros, out, diags, depth + 1);
             }
             kind => {
                 // Substituted tokens take the span of the use site so that

@@ -23,7 +23,7 @@ pub fn expr_to_c(expr: &Expr) -> String {
         }
         ExprKind::CharLit(c) => format!("'{}'", escape_char(*c)),
         ExprKind::StrLit(s) => format!("\"{}\"", escape_str(s)),
-        ExprKind::Ident(name) => name.clone(),
+        ExprKind::Ident(name) => name.to_string(),
         ExprKind::Unary {
             op,
             operand,

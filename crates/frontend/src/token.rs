@@ -1,5 +1,6 @@
 //! Token definitions for the MiniC lexer.
 
+use crate::intern::Symbol;
 use crate::source::Span;
 use std::fmt;
 
@@ -7,7 +8,7 @@ use std::fmt;
 #[derive(Clone, Debug, PartialEq)]
 pub enum TokenKind {
     // Literals and identifiers
-    Ident(String),
+    Ident(Symbol),
     IntLit(i64),
     FloatLit(f64),
     CharLit(char),

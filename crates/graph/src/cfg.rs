@@ -6,7 +6,6 @@
 //! whether it executes inside an offloaded (device) region.
 
 use ompdart_frontend::ast::{ForInit, NodeId, Stmt, StmtKind};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of a CFG node within one function's graph.
@@ -65,8 +64,10 @@ pub struct CfgNode {
     pub offloaded: bool,
     /// Nesting depth of loops enclosing this node (0 = not in a loop).
     pub loop_depth: u32,
-    /// Human-readable label used by tests and `to_dot`.
-    pub label: String,
+    /// Human-readable label used by tests and `to_dot`. Almost every
+    /// label is a static literal; only pass-through OMP directives format
+    /// one, so node construction is allocation-free in the common case.
+    pub label: std::borrow::Cow<'static, str>,
 }
 
 /// A directed edge of the CFG.
@@ -85,8 +86,13 @@ pub struct Cfg {
     edges: Vec<CfgEdge>,
     entry: CfgNodeId,
     exit: CfgNodeId,
-    succs: HashMap<CfgNodeId, Vec<CfgNodeId>>,
-    preds: HashMap<CfgNodeId, Vec<CfgNodeId>>,
+    // Compressed adjacency (CSR): node `i`'s successors are
+    // `succ_adj[succ_off[i]..succ_off[i+1]]`. Two offset arrays and two
+    // edge arrays per function instead of a Vec per node.
+    succ_off: Vec<u32>,
+    succ_adj: Vec<CfgNodeId>,
+    pred_off: Vec<u32>,
+    pred_adj: Vec<CfgNodeId>,
 }
 
 impl Cfg {
@@ -126,12 +132,14 @@ impl Cfg {
 
     /// Successors of a node.
     pub fn successors(&self, id: CfgNodeId) -> &[CfgNodeId] {
-        self.succs.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+        let i = id.0 as usize;
+        &self.succ_adj[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
     }
 
     /// Predecessors of a node.
     pub fn predecessors(&self, id: CfgNodeId) -> &[CfgNodeId] {
-        self.preds.get(&id).map(|v| v.as_slice()).unwrap_or(&[])
+        let i = id.0 as usize;
+        &self.pred_adj[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
     }
 
     /// The CFG node (if any) associated with an AST statement id.
@@ -274,7 +282,12 @@ impl Builder {
         b
     }
 
-    fn add_node(&mut self, kind: CfgNodeKind, stmt: Option<NodeId>, label: &str) -> CfgNodeId {
+    fn add_node(
+        &mut self,
+        kind: CfgNodeKind,
+        stmt: Option<NodeId>,
+        label: impl Into<std::borrow::Cow<'static, str>>,
+    ) -> CfgNodeId {
         let id = CfgNodeId(self.nodes.len() as u32);
         self.nodes.push(CfgNode {
             id,
@@ -282,7 +295,7 @@ impl Builder {
             stmt,
             offloaded: self.offload_depth > 0,
             loop_depth: self.loop_depth,
-            label: label.to_string(),
+            label: label.into(),
         });
         id
     }
@@ -301,20 +314,39 @@ impl Builder {
         let last = self.lower_stmt(body, self.entry, EdgeKind::Seq);
         let exit = self.exit;
         self.add_edge(last, exit, EdgeKind::Seq);
-        let mut succs: HashMap<CfgNodeId, Vec<CfgNodeId>> = HashMap::new();
-        let mut preds: HashMap<CfgNodeId, Vec<CfgNodeId>> = HashMap::new();
-        for e in &self.edges {
-            succs.entry(e.from).or_default().push(e.to);
-            preds.entry(e.to).or_default().push(e.from);
-        }
+        // Counting-sort the edge list into CSR form; within one node the
+        // adjacency preserves edge-insertion order, exactly as the pushes
+        // into the old per-node Vecs did.
+        let n = self.nodes.len();
+        let csr = |key: &dyn Fn(&CfgEdge) -> usize, val: &dyn Fn(&CfgEdge) -> CfgNodeId| {
+            let mut off = vec![0u32; n + 1];
+            for e in &self.edges {
+                off[key(e) + 1] += 1;
+            }
+            for i in 0..n {
+                off[i + 1] += off[i];
+            }
+            let mut cursor = off.clone();
+            let mut adj = vec![CfgNodeId(0); self.edges.len()];
+            for e in &self.edges {
+                let k = key(e);
+                adj[cursor[k] as usize] = val(e);
+                cursor[k] += 1;
+            }
+            (off, adj)
+        };
+        let (succ_off, succ_adj) = csr(&|e| e.from.0 as usize, &|e| e.to);
+        let (pred_off, pred_adj) = csr(&|e| e.to.0 as usize, &|e| e.from);
         Cfg {
             function: self.function,
             nodes: self.nodes,
             edges: self.edges,
             entry: self.entry,
             exit: self.exit,
-            succs,
-            preds,
+            succ_off,
+            succ_adj,
+            pred_off,
+            pred_adj,
         }
     }
 
@@ -336,7 +368,7 @@ impl Builder {
             | StmtKind::Empty
             | StmtKind::Case { .. }
             | StmtKind::Default => {
-                let node = self.add_node(CfgNodeKind::Statement, Some(stmt.id), &label_of(stmt));
+                let node = self.add_node(CfgNodeKind::Statement, Some(stmt.id), label_of(stmt));
                 self.add_edge(pred, node, in_kind);
                 node
             }
@@ -494,7 +526,10 @@ impl Builder {
                             CfgNodeKind::Statement
                         },
                         Some(stmt.id),
-                        &format!("omp {}", dir.kind.directive_text()),
+                        std::borrow::Cow::Owned(format!(
+                            "omp {}",
+                            dir.kind.directive_text()
+                        )),
                     );
                     self.add_edge(pred, node, in_kind);
                     match &dir.body {
@@ -507,21 +542,14 @@ impl Builder {
     }
 }
 
-fn label_of(stmt: &Stmt) -> String {
+fn label_of(stmt: &Stmt) -> &'static str {
     match &stmt.kind {
-        StmtKind::Expr(_) => "expr".to_string(),
-        StmtKind::Decl(decls) => format!(
-            "decl {}",
-            decls
-                .iter()
-                .map(|d| d.name.clone())
-                .collect::<Vec<_>>()
-                .join(",")
-        ),
-        StmtKind::Empty => "empty".to_string(),
-        StmtKind::Case { .. } => "case".to_string(),
-        StmtKind::Default => "default".to_string(),
-        _ => "stmt".to_string(),
+        StmtKind::Expr(_) => "expr",
+        StmtKind::Decl(_) => "decl",
+        StmtKind::Empty => "empty",
+        StmtKind::Case { .. } => "case",
+        StmtKind::Default => "default",
+        _ => "stmt",
     }
 }
 

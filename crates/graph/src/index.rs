@@ -116,7 +116,7 @@ impl StmtIndex {
     /// Build the index for a function definition.
     pub fn build(func: &FunctionDef) -> StmtIndex {
         let mut index = StmtIndex {
-            function: func.name.clone(),
+            function: func.name.to_string(),
             ..Default::default()
         };
         if let Some(body) = &func.body {

@@ -830,6 +830,8 @@ fn driver_profile_json(profile: &DriverProfile) -> Json {
             "fast_path_units".into(),
             Json::Int(profile.fast_path_units as i64),
         ),
+        ("warm_units".into(), Json::Int(profile.warm_units as i64)),
+        ("edit_path".into(), Json::Bool(profile.edit_path)),
         ("summarize_us".into(), us(profile.summarize)),
         ("link_us".into(), us(profile.link)),
         ("contexts_us".into(), us(profile.contexts)),
@@ -878,6 +880,16 @@ fn stats_result(shared: &Shared) -> Json {
                     "profile".into(),
                     session
                         .last_profile()
+                        .map(|p| driver_profile_json(&p))
+                        .unwrap_or(Json::Null),
+                ),
+                // Additive in protocol v1: `null` until the program's
+                // first *edit* round (a request served over previously
+                // recorded link state) completes.
+                (
+                    "edit_profile".into(),
+                    session
+                        .last_edit_profile()
                         .map(|p| driver_profile_json(&p))
                         .unwrap_or(Json::Null),
                 ),

@@ -91,6 +91,10 @@ pub struct ProgramSession {
     /// Driver profile of the most recent whole-program request, surfaced
     /// through the daemon's `stats` verb.
     last_profile: Mutex<Option<DriverProfile>>,
+    /// Driver profile of the most recent *edit* round (a whole-program
+    /// request that rode previously recorded link state), so `stats` can
+    /// report one-edit phase timings separately from the latest round.
+    last_edit_profile: Mutex<Option<DriverProfile>>,
 }
 
 impl ProgramSession {
@@ -126,6 +130,12 @@ impl ProgramSession {
             .last_profile
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(profile);
+        if profile.edit_path {
+            *self
+                .last_edit_profile
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner()) = Some(profile);
+        }
         Ok((analysis, RequestStats::delta(&before, &after)))
     }
 
@@ -133,6 +143,14 @@ impl ProgramSession {
     pub fn last_profile(&self) -> Option<DriverProfile> {
         *self
             .last_profile
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// The driver profile of the most recent edit round, if any.
+    pub fn last_edit_profile(&self) -> Option<DriverProfile> {
+        *self
+            .last_edit_profile
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
@@ -220,6 +238,7 @@ impl ProgramRegistry {
             tool: builder.build(),
             requests: Mutex::new(()),
             last_profile: Mutex::new(None),
+            last_edit_profile: Mutex::new(None),
         });
         programs.insert(key.to_string(), Arc::clone(&session));
         session

@@ -155,16 +155,16 @@ pub struct Interpreter<'a> {
 impl<'a> Interpreter<'a> {
     /// Create an interpreter for a translation unit.
     pub fn new(unit: &'a TranslationUnit, config: SimConfig) -> Self {
-        let mut functions = HashMap::new();
+        let mut functions: HashMap<String, _> = HashMap::new();
         for f in unit.functions() {
-            functions.insert(f.name.clone(), f);
+            functions.insert(f.name.to_string(), f);
         }
-        let mut structs = HashMap::new();
+        let mut structs: HashMap<String, Vec<String>> = HashMap::new();
         for item in &unit.items {
             if let TopLevel::Struct(s) = item {
                 structs.insert(
-                    s.name.clone(),
-                    s.fields.iter().map(|f| f.name.clone()).collect(),
+                    s.name.to_string(),
+                    s.fields.iter().map(|f| f.name.to_string()).collect(),
                 );
             }
         }
@@ -213,7 +213,7 @@ impl<'a> Interpreter<'a> {
         let items: Vec<&VarDecl> = self.unit.globals().collect();
         for decl in items {
             let obj = self.alloc_for_decl(decl)?;
-            self.globals.insert(decl.name.clone(), obj);
+            self.globals.insert(decl.name.to_string(), obj);
             if let Some(init) = decl.init.clone() {
                 self.apply_init(obj, &init)?;
             }
@@ -251,7 +251,7 @@ impl<'a> Interpreter<'a> {
             Type::Struct(name) => {
                 let fields = self
                     .structs
-                    .get(name)
+                    .get(name.as_str())
                     .cloned()
                     .unwrap_or_else(|| vec!["_0".to_string()]);
                 Ok(ObjectKind::Struct { fields })
@@ -428,7 +428,7 @@ impl<'a> Interpreter<'a> {
                 value
             };
             self.mem.write(obj, 0, stored);
-            frame.scopes[0].insert(param.name.clone(), obj);
+            frame.scopes[0].insert(param.name.to_string(), obj);
         }
         self.frames.push(frame);
         let body = func.body.as_ref().expect("call target must have a body");
@@ -1446,7 +1446,7 @@ fn collect_vars(stmt: &Stmt, declared: &mut HashSet<String>, referenced: &mut Ve
                         }
                     }
                 }
-                declared.insert(d.name.clone());
+                declared.insert(d.name.to_string());
             }
         }
         StmtKind::For {
@@ -1466,7 +1466,7 @@ fn collect_vars(stmt: &Stmt, declared: &mut HashSet<String>, referenced: &mut Ve
                                     }
                                 }
                             }
-                            declared.insert(d.name.clone());
+                            declared.insert(d.name.to_string());
                         }
                     }
                     ForInit::Expr(e) => note_expr(e, declared, referenced),

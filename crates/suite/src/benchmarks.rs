@@ -253,7 +253,7 @@ pub fn one_function_edit(name: &str, source: &str) -> Option<(String, String)> {
     edited.push_str(&source[..insert_at]);
     edited.push_str(" /* édition incrémentale ✎ */");
     edited.push_str(&source[insert_at..]);
-    Some((edited, func.name.clone()))
+    Some((edited, func.name.to_string()))
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ USAGE:
                     [--pessimistic-globals] [--lifetimes]
     ompdart analyze <a.c> <b.c>... [--out-dir <dir>] [--timings] [--pessimistic-globals]
                     [--lifetimes] [--link-threads <N>] [--profile-json <path|->]
+                    [--cache-dir <dir>]
     ompdart explain <input.c> [--lifetimes]
     ompdart diff-plan <left> <right>
     ompdart batch <input.c>... [--threads <N>] [--out-dir <dir>] [--pessimistic-globals]
@@ -201,6 +202,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     let mut lifetimes = false;
     let mut link_threads = 0usize;
     let mut profile_json: Option<&str> = None;
+    let mut cache_dir: Option<&str> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -215,6 +217,9 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             }
             "--out-dir" => {
                 out_dir = Some(it.next().ok_or("`--out-dir` expects a directory")?);
+            }
+            "--cache-dir" => {
+                cache_dir = Some(it.next().ok_or("`--cache-dir` expects a directory")?);
             }
             "--plan-json" => {
                 plan_json = Some(
@@ -254,6 +259,7 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
             lifetimes,
             link_threads,
             profile_json,
+            cache_dir,
         );
     }
     if link_threads != 0 {
@@ -261,6 +267,11 @@ fn cmd_analyze(args: &[String]) -> Result<ExitCode, String> {
     }
     if profile_json.is_some() {
         return Err("`--profile-json` applies to multi-input (linked) analyze".into());
+    }
+    if cache_dir.is_some() {
+        return Err("`--cache-dir` applies to multi-input (linked) analyze \
+                    (single-input incremental caching goes through `watch`/`serve`)"
+            .into());
     }
     if out_dir.is_some() {
         return Err("`--out-dir` applies to multi-input analyze; use `-o <out.c>`".into());
@@ -378,6 +389,7 @@ fn cmd_analyze_program(
     lifetimes: bool,
     link_threads: usize,
     profile_json: Option<&str>,
+    cache_dir: Option<&str>,
 ) -> Result<ExitCode, String> {
     let pairs: Vec<(String, String)> = inputs
         .iter()
@@ -386,11 +398,17 @@ fn cmd_analyze_program(
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(dir).map_err(|e| format!("cannot create `{dir}`: {e}"))?;
     }
-    let tool = Ompdart::builder()
+    let mut builder = Ompdart::builder()
         .pessimistic_globals(pessimistic_globals)
         .lifetimes(lifetimes)
-        .link_threads(link_threads)
-        .build();
+        .link_threads(link_threads);
+    if let Some(dir) = cache_dir {
+        // A persistent store makes a repeat invocation a warm start: the
+        // profile then reports it (`warm_units` > 0) and its phase
+        // breakdown is the edit-path profile.
+        builder = builder.cache_dir(dir);
+    }
+    let tool = builder.build();
     let start = Instant::now();
     let (program, profile) = tool
         .analyze_program_profiled(&pairs)
@@ -1380,15 +1398,22 @@ fn cmd_client(args: &[String]) -> Result<ExitCode, String> {
                     get("store_misses"),
                     get("fast_path_hits")
                 );
-                if let Some(profile) = entry.get("profile").filter(|p| **p != Json::Null) {
+                for (field, label) in [("profile", "last round"), ("edit_profile", "one_edit")] {
+                    let Some(profile) = entry.get(field).filter(|p| **p != Json::Null) else {
+                        continue;
+                    };
                     let us =
                         |f: &str| profile.get(f).and_then(Json::as_int).unwrap_or(0) as f64 / 1e3;
                     println!(
-                        "[client] {key}: last round: {} unit(s) ({} fast-pathed) in {:.3}ms \
+                        "[client] {key}: {label}: {} unit(s) ({} fast-pathed, {} warm) in {:.3}ms \
                          (summarize {:.3}ms, link {:.3}ms, plan {:.3}ms, flush {:.3}ms)",
                         profile.get("units").and_then(Json::as_int).unwrap_or(0),
                         profile
                             .get("fast_path_units")
+                            .and_then(Json::as_int)
+                            .unwrap_or(0),
+                        profile
+                            .get("warm_units")
                             .and_then(Json::as_int)
                             .unwrap_or(0),
                         us("total_us"),

@@ -515,6 +515,19 @@ fn warm_rounds_report_fast_path_hits_over_the_wire() {
         profile.get("total_us").and_then(Json::as_int).is_some(),
         "the profile must carry phase timings: {profile:?}"
     );
+    // The warm round was an edit-path round, so the additive
+    // `edit_profile` object carries its one-edit phase timings too.
+    assert_eq!(profile.get("edit_path").and_then(Json::as_bool), Some(true));
+    let edit_profile = program.get("edit_profile").expect("edit_profile field");
+    assert_eq!(
+        edit_profile.get("fast_path_units").and_then(Json::as_int),
+        Some(units.len() as i64),
+        "the edit profile must record the warm round: {edit_profile:?}"
+    );
+    assert!(
+        edit_profile.get("total_us").and_then(Json::as_int).is_some(),
+        "the edit profile must carry one-edit phase timings: {edit_profile:?}"
+    );
     // Cumulative session counters also expose the fast path.
     assert_eq!(
         program

@@ -80,3 +80,61 @@ fn linked_multifile_rewrites_are_byte_identical_to_goldens() {
         );
     }
 }
+
+/// The cold-path overhaul (interning, CSR graphs, memoized link inputs)
+/// must never move a benchmark's output between rounds: on every
+/// benchmark, a warm second analysis over the same session rewrites
+/// byte-identically and serializes identical plan JSON; the linked
+/// multi-file program additionally agrees at every link worker count.
+#[test]
+fn warm_rounds_and_thread_counts_keep_benchmarks_byte_identical() {
+    let tool = Ompdart::builder().build();
+    for bench in benchmarks::all() {
+        let name = bench.unoptimized_file();
+        let cold = tool
+            .analyze(&name, bench.unoptimized)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let warm = tool
+            .analyze(&name, bench.unoptimized)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(
+            warm.rewritten_source(),
+            cold.rewritten_source(),
+            "{name}: warm rewrite moved"
+        );
+        assert_eq!(warm.plans_json(), cold.plans_json(), "{name}: warm plan JSON moved");
+    }
+
+    let units: Vec<(String, String)> = benchmarks::lulesh_multifile()
+        .into_iter()
+        .map(|(n, s)| (n.to_string(), s.to_string()))
+        .collect();
+    let outputs = |program: &ompdart_core::ProgramAnalysis| -> Vec<(String, String)> {
+        program
+            .units
+            .iter()
+            .map(|u| {
+                let a = ompdart_core::Analysis::from_unit(std::sync::Arc::clone(u));
+                (a.rewritten_source().to_string(), a.plans_json())
+            })
+            .collect()
+    };
+    let driver = ProgramDriver::new().with_threads(1);
+    let baseline = outputs(&driver.analyze_program(&units).unwrap());
+    assert_eq!(
+        outputs(&driver.analyze_program(&units).unwrap()),
+        baseline,
+        "lulesh_mf: warm linked round moved"
+    );
+    for threads in [2, 4, 8] {
+        let program = ProgramDriver::new()
+            .with_threads(threads)
+            .analyze_program(&units)
+            .unwrap();
+        assert_eq!(
+            outputs(&program),
+            baseline,
+            "lulesh_mf: {threads}-thread link moved the output"
+        );
+    }
+}

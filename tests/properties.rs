@@ -839,3 +839,85 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cold-path overhaul: edit rounds and thread counts never move the output
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// For any generated multi-unit program, the interned cold path, the
+    /// identity-fast-path warm round, the dirty-cone edit round, and every
+    /// link worker count produce byte-identical rewrites *and* identical
+    /// plan JSON. A fresh driver analyzing the edited program cold is the
+    /// oracle for the warm edit round.
+    #[test]
+    fn edit_rounds_and_thread_counts_preserve_rewrites_and_plan_json(
+        kinds in proptest::collection::vec(helper_kind_strategy(), 2..6),
+        call_mask in 0u64..256,
+        cuts in 0u64..256,
+        units_wanted in 2usize..4,
+        threads in 1usize..5,
+    ) {
+        let helper_count = kinds.len();
+        let header = program_header(helper_count);
+        let mut functions: Vec<String> = kinds
+            .iter()
+            .enumerate()
+            .map(|(i, kind)| render_helper(i, *kind, (call_mask >> i) & 1 == 1))
+            .collect();
+        let mut main_body = String::new();
+        for i in 0..helper_count {
+            main_body.push_str(&format!("  h{i}();\n"));
+        }
+        functions.push(format!(
+            "int main() {{\n{main_body}  printf(\"%f %f\\n\", acc, field[3]);\n  return 0;\n}}\n"
+        ));
+        let units = split_units(&header, &functions, cuts, units_wanted);
+
+        let outputs = |program: &ompdart_core::ProgramAnalysis| -> Vec<(String, String)> {
+            program
+                .units
+                .iter()
+                .map(|u| {
+                    let a = ompdart_core::Analysis::from_unit(std::sync::Arc::clone(u));
+                    (a.rewritten_source().to_string(), a.plans_json())
+                })
+                .collect()
+        };
+
+        let driver = ompdart_core::ProgramDriver::new().with_threads(threads);
+        let cold = match driver.analyze_program(&units) {
+            Ok(p) => p,
+            Err(e) => return Err(TestCaseError::fail(format!("cold link failed: {e}"))),
+        };
+        let cold_out = outputs(&cold);
+
+        // Warm unchanged round: the identity fast path must not move a byte.
+        let warm = driver.analyze_program(&units).unwrap();
+        prop_assert_eq!(&outputs(&warm), &cold_out, "warm round moved the output");
+
+        // Single-threaded oracle for the same inputs.
+        let oracle = ompdart_core::ProgramDriver::new()
+            .with_threads(1)
+            .analyze_program(&units)
+            .unwrap();
+        prop_assert_eq!(&outputs(&oracle), &cold_out, "thread count moved the output");
+
+        // Edit one unit's body, re-analyze warm (dirty-cone edit path),
+        // and compare against a fresh cold analysis of the edited program.
+        let mut edited = units.clone();
+        let last = edited.len() - 1;
+        edited[last].1.push_str("void gen_extra() { acc = acc + 1.0; }\n");
+        let warm_edit = driver.analyze_program(&edited).unwrap();
+        let cold_edit = ompdart_core::ProgramDriver::new()
+            .with_threads(threads)
+            .analyze_program(&edited)
+            .unwrap();
+        prop_assert_eq!(
+            &outputs(&warm_edit), &outputs(&cold_edit),
+            "edit round disagrees with cold analysis of the edited program"
+        );
+    }
+}
